@@ -1,0 +1,288 @@
+package secext_test
+
+// The attack suite: every test is one concrete attack shape against the
+// model, asserted to fail. Where S1-S4 show the intended behavior
+// working, these show the unintended behaviors *not* working — the
+// adversarial half of a security evaluation.
+
+import (
+	"strings"
+	"testing"
+
+	"secext"
+)
+
+func attackWorld(t *testing.T) *secext.World {
+	t.Helper()
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:     []string{"others", "organization", "local"},
+		Categories: []string{"dept-1", "dept-2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct{ name, class string }{
+		{"victim", "organization:{dept-1}"},
+		{"mallory", "others"},
+		{"insider", "organization:{dept-1}"}, // same compartment as victim
+	} {
+		if _, err := w.Sys.AddPrincipal(p.name, p.class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func ctxA(t *testing.T, w *secext.World, name string) *secext.Context {
+	t.Helper()
+	ctx, err := w.Sys.NewContext(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// TestAttackConfusedDeputy: mallory asks a trusted service (the file
+// service, which runs with no privilege of its own) to read victim's
+// file for her. The service executes at the *caller's* context, so the
+// deputy cannot be confused.
+func TestAttackConfusedDeputy(t *testing.T) {
+	w := attackWorld(t)
+	victim := ctxA(t, w, "victim")
+	if _, err := w.Sys.Call(victim, "/svc/fs/create", secext.FileRequest{Path: "/fs/v-secret"}); err != nil {
+		t.Fatal(err)
+	}
+	mallory := ctxA(t, w, "mallory")
+	if _, err := w.Sys.Call(mallory, "/svc/fs/read", secext.FileRequest{Path: "/fs/v-secret"}); !secext.IsDenied(err) {
+		t.Fatalf("deputy read succeeded: %v", err)
+	}
+}
+
+// TestAttackCapabilityOutlivesRevocation: an extension links a
+// capability, the right is revoked, and under full mediation (the
+// default) the stale capability is dead. Only the explicit
+// TrustLinkTime opt-in keeps it alive, and Revalidate closes even that.
+func TestAttackCapabilityOutlivesRevocation(t *testing.T) {
+	w := attackWorld(t)
+	tok, err := w.Sys.Registry().IssueToken("insider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Sys.RegisterService(secext.ServiceSpec{
+		Path: "/svc/poke",
+		ACL:  secext.NewACL(secext.AllowEveryone(secext.Execute | secext.Extend)),
+		Base: secext.Binding{Owner: "base", Handler: func(ctx *secext.Context, arg any) (any, error) {
+			return "base", nil
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := w.Sys.Loader().Load(secext.Manifest{
+		Name: "holder", Principal: "insider", Token: tok,
+		Imports: []string{"/svc/mbuf/alloc"},
+		Code:    func() secext.Extension { return &holderExt{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := rec.Linkage.MustCap("/svc/mbuf/alloc")
+	if _, err := cap.Invoke(rec.Context, nil); err != nil {
+		t.Fatalf("pre-revocation: %v", err)
+	}
+	// Revoke.
+	if err := w.Sys.Names().SetACLUnchecked("/svc/mbuf/alloc",
+		secext.NewACL(secext.Deny("insider", secext.Execute),
+			secext.AllowEveryone(secext.List))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cap.Invoke(rec.Context, nil); !secext.IsDenied(err) {
+		t.Fatalf("stale capability lived: %v", err)
+	}
+	// Revalidate evicts the extension outright.
+	dropped, err := w.Sys.Loader().Revalidate()
+	if err != nil || len(dropped) != 1 {
+		t.Fatalf("Revalidate = %v, %v", dropped, err)
+	}
+}
+
+type holderExt struct{}
+
+func (holderExt) Init(lk *secext.Linkage) (map[string]secext.Handler, error) {
+	return map[string]secext.Handler{}, nil
+}
+
+// TestAttackTokenForgery: self-made and replayed-from-elsewhere tokens
+// are rejected.
+func TestAttackTokenForgery(t *testing.T) {
+	w := attackWorld(t)
+	for _, tok := range []string{
+		"victim.AAAA", "victim.", "victim",
+		"victim." + strings.Repeat("Q", 43),
+	} {
+		if _, err := w.Sys.NewContextFromToken(tok); err == nil {
+			t.Errorf("forged token accepted: %q", tok)
+		}
+	}
+	// A token from a *different* world (different HMAC secret) fails.
+	other := attackWorld(t)
+	foreign, err := other.Sys.Registry().IssueToken("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.NewContextFromToken(foreign); err == nil {
+		t.Error("cross-world token accepted")
+	}
+}
+
+// TestAttackPathTricks: dotted and malformed paths cannot escape or
+// alias the hierarchy.
+func TestAttackPathTricks(t *testing.T) {
+	w := attackWorld(t)
+	mallory := ctxA(t, w, "mallory")
+	for _, path := range []string{
+		"/fs/../svc/journal", "/fs/./x", "//fs", "/fs//x", "fs/x", "", "/fs/x/",
+	} {
+		if _, err := w.Sys.Call(mallory, "/svc/fs/read", secext.FileRequest{Path: path}); err == nil {
+			t.Errorf("path trick %q succeeded", path)
+		}
+	}
+}
+
+// TestAttackManifestOverclaim: a manifest cannot smuggle a handler for
+// a service it did not declare, and cannot claim a class label that
+// amplifies its principal.
+func TestAttackManifestOverclaim(t *testing.T) {
+	w := attackWorld(t)
+	tok, _ := w.Sys.Registry().IssueToken("mallory")
+	// Handler for an undeclared service.
+	m := secext.Manifest{
+		Name: "smuggler", Principal: "mallory", Token: tok,
+		Extends: []string{}, // declares nothing
+		Code:    func() secext.Extension { return &smugglerExt{} },
+	}
+	if _, err := w.Sys.Loader().Load(m); err == nil {
+		t.Fatal("undeclared handler accepted")
+	}
+	// A static class above the principal clamps down, not up: mallory
+	// (others) claiming local still runs at others.
+	m2 := secext.Manifest{
+		Name: "climber", Principal: "mallory", Token: tok,
+		StaticClass: "local:{dept-1,dept-2}",
+		Code:        func() secext.Extension { return &holderExt{} },
+	}
+	rec, err := w.Sys.Loader().Load(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Context.Class().String() != "others" {
+		t.Errorf("manifest amplified class to %s", rec.Context.Class())
+	}
+}
+
+type smugglerExt struct{}
+
+func (smugglerExt) Init(lk *secext.Linkage) (map[string]secext.Handler, error) {
+	return map[string]secext.Handler{
+		"/svc/fs/read": func(ctx *secext.Context, arg any) (any, error) { return "pwned", nil },
+	}, nil
+}
+
+// TestAttackLaunderThroughJournal: mallory (below) cannot use the
+// append-only journal as a read channel — she can put information in
+// but never get anything out.
+func TestAttackLaunderThroughJournal(t *testing.T) {
+	w := attackWorld(t)
+	victim := ctxA(t, w, "victim")
+	if _, err := w.Sys.Call(victim, "/svc/log/append", "victim's secret observation"); err != nil {
+		t.Fatal(err)
+	}
+	mallory := ctxA(t, w, "mallory")
+	if _, err := w.Sys.Call(mallory, "/svc/log/read", nil); !secext.IsDenied(err) {
+		t.Fatalf("journal read-up: %v", err)
+	}
+}
+
+// TestAttackEndpointSniffing: mallory cannot read, drain, or even
+// measure another compartment's mailbox.
+func TestAttackEndpointSniffing(t *testing.T) {
+	w := attackWorld(t)
+	victim := ctxA(t, w, "victim")
+	if _, err := w.Sys.Call(victim, "/svc/net/open", secext.NetOpenRequest{Name: "v-inbox"}); err != nil {
+		t.Fatal(err)
+	}
+	insider := ctxA(t, w, "insider")
+	if _, err := w.Sys.Call(insider, "/svc/net/send",
+		secext.NetSendRequest{Name: "v-inbox", Data: []byte("for victim only")}); err != nil {
+		t.Fatal(err)
+	}
+	mallory := ctxA(t, w, "mallory")
+	if _, err := w.Sys.Call(mallory, "/svc/net/recv", secext.NetRecvRequest{Name: "v-inbox"}); !secext.IsDenied(err) {
+		t.Fatalf("mailbox drained: %v", err)
+	}
+	// The insider shares the compartment but is not the owner: DAC
+	// still denies the read.
+	if _, err := w.Sys.Call(insider, "/svc/net/recv", secext.NetRecvRequest{Name: "v-inbox"}); !secext.IsDenied(err) {
+		t.Fatalf("insider drained mailbox: %v", err)
+	}
+}
+
+// TestAttackAmplifyViaNestedDerive: no chain of derivations, with or
+// without static classes, ever exceeds the root context's class.
+func TestAttackAmplifyViaNestedDerive(t *testing.T) {
+	w := attackWorld(t)
+	root := ctxA(t, w, "mallory")
+	top, _ := w.Sys.Lattice().Top()
+	ctx := root
+	for i := 0; i < 10; i++ {
+		child, err := ctx.Derive("/svc/x", top) // try to climb every step
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !root.Class().Dominates(child.Class()) {
+			t.Fatalf("derivation %d amplified: %s", i, child.Class())
+		}
+		ctx = child
+	}
+}
+
+// TestAttackShadowService: mallory cannot bind her own node over an
+// existing service name, nor create look-alike services in protected
+// domains.
+func TestAttackShadowService(t *testing.T) {
+	w := attackWorld(t)
+	mallory := ctxA(t, w, "mallory")
+	bot, _ := w.Sys.Lattice().Bottom()
+	// Overwrite an existing name: structural ErrExists even before
+	// access is considered (and access would deny anyway).
+	if _, err := w.Sys.Bind(mallory, "/svc/fs", secext.BindSpec{
+		Name: "read", Kind: secext.KindMethod, Class: bot,
+	}); err == nil {
+		t.Fatal("service name shadowed")
+	}
+	// Create a new name in the service domain: /svc allows nobody
+	// write.
+	if _, err := w.Sys.Bind(mallory, "/svc", secext.BindSpec{
+		Name: "fs2", Kind: secext.KindInterface, Class: bot,
+	}); !secext.IsDenied(err) {
+		t.Fatalf("look-alike interface created: %v", err)
+	}
+}
+
+// TestAttackAuditTampering: subjects cannot silence the audit log
+// through any mediated interface — there simply is none; the log is
+// reachable only through the System value the host holds.
+func TestAttackAuditTampering(t *testing.T) {
+	w := attackWorld(t)
+	mallory := ctxA(t, w, "mallory")
+	// The journal is not the audit log; there is no name-space node for
+	// the audit log to attack.
+	if _, err := w.Sys.Names().ResolveUnchecked("/svc/audit"); err == nil {
+		t.Skip("audit exposed in the name space; revisit this test")
+	}
+	before := w.Sys.Audit().Stats().Total
+	_, _ = w.Sys.Call(mallory, "/svc/fs/read", secext.FileRequest{Path: "/fs/nope"})
+	if w.Sys.Audit().Stats().Total <= before {
+		t.Error("denied call left no audit trace")
+	}
+}

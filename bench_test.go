@@ -1,0 +1,507 @@
+package secext_test
+
+// Benchmarks, one family per experiment table in EXPERIMENTS.md
+// (E1-E8, E10, plus the S1 matrix). cmd/benchtab prints the same
+// measurements as formatted tables; these are the `go test -bench`
+// versions.
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"secext"
+	"secext/internal/acl"
+	"secext/internal/baseline"
+	"secext/internal/baseline/domains"
+	"secext/internal/baseline/ntacl"
+	"secext/internal/baseline/sandbox"
+	"secext/internal/baseline/unixmode"
+	"secext/internal/core"
+	"secext/internal/dispatch"
+	"secext/internal/lattice"
+	"secext/internal/names"
+	"secext/internal/subject"
+)
+
+// benchWorld builds a quiet world with one principal and one file.
+func benchWorld(b *testing.B) (*secext.World, *secext.Context) {
+	b.Helper()
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:       []string{"others", "organization", "local"},
+		Categories:   []string{"dept-1", "dept-2"},
+		DisableAudit: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("alice", "organization:{dept-1}"); err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := w.Sys.NewContext("alice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	open := secext.NewACL(secext.AllowEveryone(secext.Read | secext.Write | secext.WriteAppend))
+	if err := w.FS.Create(ctx, "/fs/f", open, ctx.Class()); err != nil {
+		b.Fatal(err)
+	}
+	return w, ctx
+}
+
+// --- E1: access-check latency by model ---
+
+func BenchmarkE1CheckLatencySecextFull(b *testing.B) {
+	w, ctx := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1CheckLatencySecextDACOnly(b *testing.B) {
+	_, ctx := benchWorld(b)
+	a := acl.New(acl.Allow("alice", acl.Read|acl.Write), acl.AllowEveryone(acl.List))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !a.Check(ctx, acl.Read) {
+			b.Fatal("deny")
+		}
+	}
+}
+
+func BenchmarkE1CheckLatencySecextMACOnly(b *testing.B) {
+	_, ctx := benchWorld(b)
+	obj := ctx.Class()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ctx.Class().CanRead(obj) {
+			b.Fatal("deny")
+		}
+	}
+}
+
+func BenchmarkE1CheckLatencySandbox(b *testing.B) {
+	sb := sandbox.New([]string{"trusted"}, []string{"/fs"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.CheckCall("alice", "/svc/x")
+	}
+}
+
+func BenchmarkE1CheckLatencyDomains(b *testing.B) {
+	dm := domains.New()
+	dm.DefineDomain("fs", "/svc/fs")
+	if err := dm.Link("alice", "fs"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dm.CheckCall("alice", "/svc/fs/read")
+	}
+}
+
+func BenchmarkE1CheckLatencyUnix(b *testing.B) {
+	ux := unixmode.New()
+	ux.SetObject("/fs/f", "alice", "staff", 0o644)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ux.CheckData("alice", "/fs/f", baseline.OpRead)
+	}
+}
+
+func BenchmarkE1CheckLatencyNTACL(b *testing.B) {
+	nt := ntacl.New()
+	nt.SetACL("/fs/f", ntacl.Entry{Subject: "alice", Rights: ntacl.Read | ntacl.Write})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nt.Check("alice", "/fs/f", ntacl.Read)
+	}
+}
+
+// --- E2: ACL size scaling ---
+
+type benchSubject string
+
+func (s benchSubject) SubjectName() string  { return string(s) }
+func (s benchSubject) MemberOf(string) bool { return false }
+
+func BenchmarkE2ACLScale(b *testing.B) {
+	for _, size := range []int{1, 4, 16, 64, 256, 1024} {
+		a := acl.New()
+		for i := 0; i < size; i++ {
+			a.Add(acl.Allow("p"+strconv.Itoa(i), acl.Read))
+		}
+		last := benchSubject("p" + strconv.Itoa(size-1))
+		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.Check(last, acl.Read)
+			}
+		})
+	}
+}
+
+// --- E3: lattice ops vs category universe ---
+
+func BenchmarkE3Lattice(b *testing.B) {
+	for _, size := range []int{4, 16, 64, 256, 1024} {
+		cats := make([]string, size)
+		for i := range cats {
+			cats[i] = "c" + strconv.Itoa(i)
+		}
+		lat, err := lattice.NewWithUniverse([]string{"lo", "hi"}, cats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var aCats []string
+		for i := 0; i < size; i += 2 {
+			aCats = append(aCats, cats[i])
+		}
+		x := lat.MustClass("hi", aCats...)
+		y := lat.MustClass("lo", cats[:size/2]...)
+		b.Run(fmt.Sprintf("cats=%d/dominates", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x.Dominates(y)
+			}
+		})
+		b.Run(fmt.Sprintf("cats=%d/join", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x.Join(y)
+			}
+		})
+	}
+}
+
+// --- E4: name resolution depth ---
+
+func deepNames(b *testing.B, depth int) (*core.System, *subject.Context, string) {
+	b.Helper()
+	sys, err := core.NewSystem(core.Options{Levels: []string{"lo"}, DisableAudit: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	listable := acl.New(acl.AllowEveryone(acl.List))
+	path := ""
+	for i := 0; i < depth-1; i++ {
+		path += "/n" + strconv.Itoa(i)
+		if _, err := sys.CreateNode(core.NodeSpec{Path: path, Kind: names.KindDomain, ACL: listable}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	leaf := path + "/leaf"
+	if _, err := sys.CreateNode(core.NodeSpec{
+		Path: leaf, Kind: names.KindFile, ACL: acl.New(acl.AllowEveryone(acl.Read)),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.AddPrincipal("p", "lo"); err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := sys.NewContext("p")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, ctx, leaf
+}
+
+func BenchmarkE4Lookup(b *testing.B) {
+	for _, depth := range []int{2, 4, 8, 16, 32} {
+		sys, ctx, leaf := deepNames(b, depth)
+		b.Run(fmt.Sprintf("depth=%d/checked", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.CheckData(ctx, leaf, acl.Read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sys.Names().SetTraversalChecks(false)
+		b.Run(fmt.Sprintf("depth=%d/unchecked", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.CheckData(ctx, leaf, acl.Read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E5: class-based dispatch ---
+
+func BenchmarkE5Dispatch(b *testing.B) {
+	noop := func(ctx *subject.Context, arg any) (any, error) { return nil, nil }
+	for _, count := range []int{1, 2, 4, 8, 16, 32} {
+		cats := make([]string, count)
+		for i := range cats {
+			cats[i] = "c" + strconv.Itoa(i)
+		}
+		sys, err := core.NewSystem(core.Options{
+			Levels: []string{"lo", "hi"}, Categories: cats, DisableAudit: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.RegisterService(core.ServiceSpec{
+			Path: "/s", ACL: acl.New(acl.AllowEveryone(acl.Execute)),
+			Base: dispatch.Binding{Owner: "base", Handler: noop},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < count; i++ {
+			if err := sys.Dispatcher().Extend("/s", dispatch.Binding{
+				Owner:   "ext" + strconv.Itoa(i),
+				Static:  sys.Lattice().MustClass("lo", cats[i]),
+				Handler: noop,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sys.AddPrincipal("caller", "hi:{"+cats[count-1]+"}"); err != nil {
+			b.Fatal(err)
+		}
+		ctx, err := sys.NewContext("caller")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("handlers=%d", count), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Call(ctx, "/s", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E6: link-time checking ---
+
+type nullExt struct{}
+
+func (nullExt) Init(lk *secext.Linkage) (map[string]secext.Handler, error) {
+	return map[string]secext.Handler{}, nil
+}
+
+func BenchmarkE6Link(b *testing.B) {
+	noop := func(ctx *subject.Context, arg any) (any, error) { return nil, nil }
+	for _, count := range []int{1, 8, 64, 256} {
+		sys, err := core.NewSystem(core.Options{Levels: []string{"lo"}, DisableAudit: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		imports := make([]string, count)
+		for i := 0; i < count; i++ {
+			p := "/s" + strconv.Itoa(i)
+			if err := sys.RegisterService(core.ServiceSpec{
+				Path: p, ACL: acl.New(acl.AllowEveryone(acl.Execute)),
+				Base: dispatch.Binding{Owner: "b", Handler: noop},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			imports[i] = p
+		}
+		if _, err := sys.AddPrincipal("vendor", "lo"); err != nil {
+			b.Fatal(err)
+		}
+		tok, err := sys.Registry().IssueToken("vendor")
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq := 0
+		b.Run(fmt.Sprintf("imports=%d", count), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := secext.Manifest{
+					Name:      fmt.Sprintf("e%d-%d", count, seq),
+					Principal: "vendor", Token: tok,
+					Imports: imports,
+					Code:    func() secext.Extension { return nullExt{} },
+				}
+				seq++
+				if _, err := sys.Loader().Load(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E7: end-to-end null call ---
+
+func e7System(b *testing.B) (*core.System, *subject.Context) {
+	b.Helper()
+	sys, err := core.NewSystem(core.Options{Levels: []string{"lo"}, AuditCapacity: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	noop := func(ctx *subject.Context, arg any) (any, error) { return nil, nil }
+	if err := sys.RegisterService(core.ServiceSpec{
+		Path: "/null", ACL: acl.New(acl.AllowEveryone(acl.Execute)),
+		Base: dispatch.Binding{Owner: "b", Handler: noop},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.AddPrincipal("p", "lo"); err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := sys.NewContext("p")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, ctx
+}
+
+func BenchmarkE7CallRawDispatch(b *testing.B) {
+	sys, ctx := e7System(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Dispatcher().Invoke("/null", ctx, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7CallMediatedAuditOff(b *testing.B) {
+	sys, ctx := e7System(b)
+	sys.Audit().SetEnabled(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Call(ctx, "/null", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7CallMediatedAuditOn(b *testing.B) {
+	sys, ctx := e7System(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Call(ctx, "/null", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7CallLinkedTrusted(b *testing.B) {
+	sys, ctx := e7System(b)
+	sys.Audit().SetEnabled(false)
+	sys.SetTrustLinkTime(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.CallLinked(ctx, "/null", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: group nesting ---
+
+func BenchmarkE8Groups(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8, 16} {
+		sys, err := core.NewSystem(core.Options{Levels: []string{"lo"}, DisableAudit: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg := sys.Registry()
+		if _, err := sys.AddPrincipal("alice", "lo"); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < depth; i++ {
+			if err := reg.AddGroup("g" + strconv.Itoa(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := reg.AddMember("g0", "alice"); err != nil {
+			b.Fatal(err)
+		}
+		for i := 1; i < depth; i++ {
+			if err := reg.AddMember("g"+strconv.Itoa(i), "g"+strconv.Itoa(i-1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		a := acl.New(acl.AllowGroup("g"+strconv.Itoa(depth-1), acl.Read))
+		ctx, err := sys.NewContext("alice")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !a.Check(ctx, acl.Read) {
+					b.Fatal("deny")
+				}
+			}
+		})
+	}
+}
+
+// --- E10: mediated append ---
+
+func BenchmarkE10Append(b *testing.B) {
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels: []string{"others", "local"}, DisableAudit: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("applet", "others"); err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := w.Sys.NewContext("applet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Journal.Append(ctx, "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- S1: full matrix evaluation ---
+
+func BenchmarkS1OrgMatrix(b *testing.B) {
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:       []string{"others", "organization", "local"},
+		Categories:   []string{"myself", "dept-1", "dept-2", "outside"},
+		DisableAudit: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := map[string]string{
+		"user":     "local:{myself,dept-1,dept-2,outside}",
+		"applet1":  "organization:{dept-1}",
+		"applet2":  "organization:{dept-2}",
+		"applet3":  "organization:{dept-1,dept-2}",
+		"outsider": "others:{outside}",
+	}
+	var ctxs []*secext.Context
+	for name, class := range classes {
+		if _, err := w.Sys.AddPrincipal(name, class); err != nil {
+			b.Fatal(err)
+		}
+		ctx, err := w.Sys.NewContext(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctxs = append(ctxs, ctx)
+	}
+	open := secext.NewACL(secext.AllowEveryone(secext.Read | secext.Write))
+	var files []string
+	for _, owner := range []string{"applet1", "applet2", "applet3"} {
+		ctx, _ := w.Sys.NewContext(owner)
+		path := "/fs/" + owner + "-file"
+		if err := w.FS.Create(ctx, path, open, ctx.Class()); err != nil {
+			b.Fatal(err)
+		}
+		files = append(files, path)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ctx := range ctxs {
+			for _, f := range files {
+				_, _ = w.Sys.CheckData(ctx, f, secext.Read)
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Command benchtab regenerates every table in EXPERIMENTS.md: the
+// scenario reproductions S1-S3 (the paper's qualitative walk-throughs,
+// with asserted outcomes) and the quantitative characterizations E1-E10.
+//
+// Usage:
+//
+//	benchtab            # run everything
+//	benchtab S1 E7 E9   # run selected experiments
+//
+// Exit status is non-zero if any scenario deviates from the paper's
+// stated outcome.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"secext/internal/experiments"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchtab [S1 S2 S3 E1 ... E10]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+
+	failed := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Printf("== %s: %s\n\n%s\n", r.ID, r.Title, r.Table)
+		if r.Err != nil {
+			fmt.Printf("!! %s FAILED: %v\n\n", r.ID, r.Err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) deviated from expected outcomes\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "benchtab-test")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binPath = filepath.Join(dir, "benchtab")
+	build := exec.Command("go", "build", "-o", binPath, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// TestScenarioSubset runs the fast, deterministic experiments and
+// checks they report their expected outcomes.
+func TestScenarioSubset(t *testing.T) {
+	out, err := exec.Command(binPath, "S1", "S2", "S4", "E9").CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchtab: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"== S1:", "== S2:", "== S4:", "== E9:",
+		"matches paper", "12/12",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "FAILED") {
+		t.Errorf("experiments failed:\n%s", s)
+	}
+	// Unselected experiments must not run.
+	if strings.Contains(s, "== E1:") {
+		t.Error("selection filter broken")
+	}
+}
+
+func TestUnknownSelectionRunsNothing(t *testing.T) {
+	out, err := exec.Command(binPath, "Z9").CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchtab Z9: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "== ") {
+		t.Errorf("unknown id must select nothing:\n%s", out)
+	}
+}

@@ -1,0 +1,83 @@
+// Command secextd serves a secext world over TCP using the line
+// protocol in internal/remote: remote clients authenticate with a
+// principal token and every command they issue is mediated by the
+// reference monitor. Tokens for the principals created at startup are
+// printed once so a demo client can connect:
+//
+//	secextd -addr 127.0.0.1:7777 \
+//	    -principal alice=organization:{dept-1} \
+//	    -principal eve=others
+//
+//	$ nc 127.0.0.1 7777
+//	OK secext ready
+//	AUTH alice.…
+//	OK alice organization:{dept-1}
+//	CREATE /fs/x
+//	OK
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"secext"
+	"secext/internal/remote"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
+	levels := flag.String("levels", "others,organization,local",
+		"comma-separated trust levels, lowest first")
+	categories := flag.String("categories", "dept-1,dept-2",
+		"comma-separated categories")
+	var principals []string
+	flag.Func("principal", "name=class-label (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want name=class, got %q", v)
+		}
+		principals = append(principals, v)
+		return nil
+	})
+	flag.Parse()
+
+	var cats []string
+	if *categories != "" {
+		cats = strings.Split(*categories, ",")
+	}
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:     strings.Split(*levels, ","),
+		Categories: cats,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, spec := range principals {
+		name, class, _ := strings.Cut(spec, "=")
+		if _, err := w.Sys.AddPrincipal(name, class); err != nil {
+			fatal(err)
+		}
+		tok, err := w.Sys.Registry().IssueToken(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("principal %-12s class %-36s token %s\n", name, class, tok)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("secextd listening on %s\n", l.Addr())
+	srv := remote.NewServer(w.Sys)
+	if err := srv.Serve(l); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "secextd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+package main
+
+// Integration test: boot the daemon, read the printed token, connect
+// over TCP, and run one authenticated command.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "secextd-test")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binPath = filepath.Join(dir, "secextd")
+	build := exec.Command("go", "build", "-o", binPath, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+func TestDaemonBootAndServe(t *testing.T) {
+	cmd := exec.Command(binPath,
+		"-addr", "127.0.0.1:0",
+		"-principal", "alice=organization:{dept-1}",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// Parse the startup banner for the token and the bound address.
+	var token, addr string
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for token == "" || addr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("daemon exited before banner completed")
+			}
+			if strings.HasPrefix(line, "principal alice") {
+				f := strings.Fields(line)
+				token = f[len(f)-1]
+			}
+			if strings.HasPrefix(line, "secextd listening on ") {
+				addr = strings.TrimPrefix(line, "secextd listening on ")
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for daemon banner")
+		}
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	readLine := func() string {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(line)
+	}
+	if got := readLine(); !strings.HasPrefix(got, "OK secext ready") {
+		t.Fatalf("greeting = %q", got)
+	}
+	fmt.Fprintf(conn, "AUTH %s\n", token)
+	if got := readLine(); !strings.Contains(got, "alice organization:{dept-1}") {
+		t.Fatalf("AUTH = %q", got)
+	}
+	fmt.Fprintln(conn, "CREATE /fs/daemon-file")
+	if got := readLine(); got != "OK" {
+		t.Fatalf("CREATE = %q", got)
+	}
+	fmt.Fprintln(conn, "QUIT")
+	if got := readLine(); !strings.HasPrefix(got, "OK bye") {
+		t.Fatalf("QUIT = %q", got)
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	out, err := exec.Command(binPath, "-principal", "nameonly").CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad -principal accepted:\n%s", out)
+	}
+	out, err = exec.Command(binPath, "-levels", "").CombinedOutput()
+	if err == nil {
+		t.Fatalf("empty levels accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,101 @@
+// Command eventbus demonstrates SPIN-style multicast dispatch under the
+// paper's class-based selection: a mail-delivery event is raised with
+// System.CallAll, and *every* handler admissible for the caller's class
+// runs — the base delivery agent plus whichever filter extensions the
+// lattice admits. A department's data-loss filter sees only its own
+// compartment's mail; the organization-wide auditor sees everything at
+// or below organization; nothing sees up.
+//
+// Run with: go run ./examples/eventbus
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"secext"
+)
+
+func main() {
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:     []string{"others", "organization", "local"},
+		Categories: []string{"dept-1", "dept-2"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := w.Sys
+
+	// The event: /svc/mail/deliver. The base handler is the delivery
+	// agent itself.
+	if _, err := sys.CreateNode(secext.NodeSpec{
+		Path: "/svc/mail", Kind: secext.KindInterface,
+		ACL: secext.NewACL(secext.AllowEveryone(secext.List)),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	err = sys.RegisterService(secext.ServiceSpec{
+		Path: "/svc/mail/deliver",
+		ACL: secext.NewACL(secext.AllowEveryone(secext.Execute|secext.List),
+			secext.Allow("postmaster", secext.Extend)),
+		Base: secext.Binding{Owner: "delivery-agent",
+			Handler: func(ctx *secext.Context, arg any) (any, error) {
+				return fmt.Sprintf("delivered %q for %s", arg, ctx.SubjectName()), nil
+			}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The postmaster installs three filter extensions at different
+	// static classes.
+	if _, err := sys.AddPrincipal("postmaster", "local:{dept-1,dept-2}"); err != nil {
+		log.Fatal(err)
+	}
+	pm, _ := sys.NewContext("postmaster")
+	filters := []struct{ name, static string }{
+		{"dlp-dept-1", "organization:{dept-1}"}, // dept-1 data-loss filter
+		{"dlp-dept-2", "organization:{dept-2}"}, // dept-2 data-loss filter
+		{"org-audit", "organization"},           // org-wide auditor (no category)
+	}
+	for _, f := range filters {
+		class, err := sys.Lattice().ParseClass(f.static)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := f.name
+		err = sys.Extend(pm, "/svc/mail/deliver", secext.Binding{
+			Owner: name, Static: class,
+			Handler: func(ctx *secext.Context, arg any) (any, error) {
+				return fmt.Sprintf("%s scanned %q at %s", name, arg, ctx.Class()), nil
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Senders in different compartments raise the event.
+	for _, p := range []struct{ name, class string }{
+		{"alice", "organization:{dept-1}"},
+		{"bob", "organization:{dept-2}"},
+		{"guest", "others"},
+	} {
+		if _, err := sys.AddPrincipal(p.name, p.class); err != nil {
+			log.Fatal(err)
+		}
+		ctx, _ := sys.NewContext(p.name)
+		fmt.Printf("== %s (%s) sends mail\n", p.name, ctx.Class())
+		results, err := sys.CallAll(ctx, "/svc/mail/deliver", p.name+"-mail")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			fmt.Printf("   %v\n", r)
+		}
+	}
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Println("each sender was seen by the base agent, its own department's")
+	fmt.Println("filter, and the org auditor — never by another department's.")
+}

@@ -1,0 +1,116 @@
+// Command threadmurder replays the attack the paper cites from McGraw &
+// Felten (§1.2): "the ThreadMurder applet kills the threads of all
+// other applets that are running in the same sandbox". It runs the
+// attack twice — once against a reimplementation of the Java 1.x
+// sandbox (binary trust, no isolation between applets) and once against
+// the paper's model (threads as named, ACL- and class-protected
+// objects) — and prints the body count.
+//
+// Run with: go run ./examples/threadmurder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secext"
+	"secext/internal/baseline/sandbox"
+)
+
+func main() {
+	fmt.Println("== the attack under the Java-sandbox baseline")
+	runSandbox()
+	fmt.Println("\n== the attack under the secext model")
+	runSecext()
+}
+
+// runSandbox shows that the sandbox model *cannot express* per-applet
+// thread protection: the kill service is either sensitive for all
+// untrusted code (no applet can manage even its own threads) or open to
+// all of it (ThreadMurder wins). Java 1.x shipped the second choice.
+func runSandbox() {
+	sb := sandbox.New(nil /* every applet untrusted */, []string{"/fs"})
+	applets := []string{"victim1", "victim2", "thread-murder"}
+	alive := map[string]bool{"victim1": true, "victim2": true}
+	for victim := range alive {
+		if sb.CheckCall("thread-murder", "/svc/thread/kill") {
+			// Nothing distinguishes one applet's thread from
+			// another's inside the sandbox.
+			alive[victim] = false
+		}
+	}
+	dead := 0
+	for _, a := range alive {
+		if !a {
+			dead++
+		}
+	}
+	fmt.Printf("  applets: %v\n", applets)
+	fmt.Printf("  ThreadMurder killed %d of 2 victim threads\n", dead)
+}
+
+// runSecext gives every applet its own threads as protected objects.
+// The hostile applet shares a compartment with victim1 — the worst case
+// for the lattice — and still kills nothing, because the discretionary
+// layer names only the owner on each thread node.
+func runSecext() {
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:     []string{"others", "organization", "local"},
+		Categories: []string{"dept-1", "dept-2"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := w.Sys
+	for _, p := range []struct{ name, class string }{
+		{"victim1", "organization:{dept-1}"},
+		{"victim2", "organization:{dept-2}"},
+		{"thread-murder", "organization:{dept-1}"}, // same compartment as victim1
+	} {
+		if _, err := sys.AddPrincipal(p.name, p.class); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ids := make(map[string]int)
+	for _, victim := range []string{"victim1", "victim2"} {
+		ctx, _ := sys.NewContext(victim)
+		out, err := sys.Call(ctx, "/svc/thread/spawn",
+			secext.ThreadSpawnRequest{Name: victim + "-worker"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids[victim] = out.(int)
+		fmt.Printf("  %s spawned thread %d at %s\n", victim, out, ctx.Class())
+	}
+
+	murder, _ := sys.NewContext("thread-murder")
+	visible, err := sys.Call(murder, "/svc/thread/list", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  thread-murder sees thread ids %v and attacks...\n", visible)
+	killed := 0
+	for _, id := range visible.([]int) {
+		_, err := sys.Call(murder, "/svc/thread/kill", secext.ThreadKillRequest{ID: id})
+		if err == nil {
+			killed++
+			continue
+		}
+		if !secext.IsDenied(err) {
+			log.Fatalf("unexpected error: %v", err)
+		}
+		fmt.Printf("    kill %d -> %v\n", id, err)
+	}
+	fmt.Printf("  ThreadMurder killed %d of 2 victim threads\n", killed)
+
+	for victim, id := range ids {
+		if th, ok := w.Threads.Lookup(id); ok && th.Alive() {
+			fmt.Printf("  %s's thread survived\n", victim)
+		} else {
+			log.Fatalf("%s's thread died!", victim)
+		}
+	}
+	st := sys.Audit().Stats()
+	fmt.Printf("  audit: %d denials recorded for the forensics team\n", st.Denied)
+}

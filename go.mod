@@ -1,0 +1,3 @@
+module secext
+
+go 1.22

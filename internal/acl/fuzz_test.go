@@ -1,0 +1,52 @@
+package acl
+
+import "testing"
+
+// FuzzParse checks that ACL parsing never panics and that accepted
+// documents reach a Format/Parse fixed point.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"", "(empty)",
+		"allow alice read",
+		"allow alice read,execute; deny @staff extend",
+		"allow * list; deny * administrate",
+		"allow bob none",
+		"deny x all",
+		"allow ; deny",
+		"allow a b c",
+		"grant a read",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		a, err := Parse(doc)
+		if err != nil {
+			return
+		}
+		out := a.String()
+		b, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", out, doc, err)
+		}
+		if b.String() != out {
+			t.Fatalf("Format not fixed point: %q -> %q", out, b.String())
+		}
+	})
+}
+
+// FuzzParseMode checks mode-list parsing.
+func FuzzParseMode(f *testing.F) {
+	for _, seed := range []string{"", "none", "all", "read", "read,write", "read,", ",", "bogus"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMode(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Fatalf("round trip %q -> %v -> %v (%v)", s, m, back, err)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package admission
+
+import (
+	"errors"
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/core"
+	"secext/internal/dispatch"
+	"secext/internal/extension"
+	"secext/internal/subject"
+)
+
+// nopExt extends nothing and imports one service.
+type nopExt struct{}
+
+func (nopExt) Init(lk *extension.Linkage) (map[string]dispatch.Handler, error) {
+	return map[string]dispatch.Handler{}, nil
+}
+
+func newSys(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{
+		Levels:     []string{"others", "organization", "local"},
+		Categories: []string{"myself", "dept-1", "dept-2", "outside"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop := func(ctx *subject.Context, arg any) (any, error) { return nil, nil }
+	if err := sys.RegisterService(core.ServiceSpec{
+		Path: "/open-svc", ACL: acl.New(acl.AllowEveryone(acl.Execute)),
+		Base: dispatch.Binding{Owner: "b", Handler: noop},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A service only organization-and-above subjects may reach (MAC).
+	if err := sys.RegisterService(core.ServiceSpec{
+		Path: "/org-svc", ACL: acl.New(acl.AllowEveryone(acl.Execute)),
+		Class: sys.Lattice().MustClass("organization"),
+		Base:  dispatch.Binding{Owner: "b", Handler: noop},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// paperRules is the §2 policy: local code fully trusted, organization
+// code at organization, everything else pinned to the least level.
+func paperRules() []Rule {
+	return []Rule{
+		{Pattern: "local", ClassLabel: "local:{myself,dept-1,dept-2,outside}", AutoRegister: true},
+		{Pattern: "*.corp.example", ClassLabel: "organization:{dept-1}", AutoRegister: true},
+		{Pattern: "*", ClassLabel: "others:{outside}", StaticClamp: "others", AutoRegister: true},
+	}
+}
+
+func manifest(name, principal string, imports ...string) extension.Manifest {
+	return extension.Manifest{
+		Name: name, Principal: principal, Imports: imports,
+		Code: func() extension.Extension { return nopExt{} },
+	}
+}
+
+func TestMatchOrder(t *testing.T) {
+	sys := newSys(t)
+	a, err := New(sys, paperRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		origin  string
+		pattern string
+	}{
+		{"local", "local"},
+		{"build.corp.example", "*.corp.example"},
+		{"deep.build.corp.example", "*.corp.example"},
+		{"evil.example.org", "*"},
+		{"corp.example", "*"}, // "*.corp.example" needs a subdomain
+	}
+	for _, tc := range cases {
+		r, ok := a.Match(tc.origin)
+		if !ok || r.Pattern != tc.pattern {
+			t.Errorf("Match(%q) = %+v, %v; want pattern %q", tc.origin, r, ok, tc.pattern)
+		}
+	}
+	if len(a.Rules()) != 3 {
+		t.Error("Rules accessor")
+	}
+}
+
+func TestNoRuleDenies(t *testing.T) {
+	sys := newSys(t)
+	a, err := New(sys, []Rule{{Pattern: "local", ClassLabel: "local"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Admit("elsewhere", manifest("x", "p")); !errors.Is(err, ErrNoRule) {
+		t.Errorf("got %v, want ErrNoRule", err)
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	sys := newSys(t)
+	if _, err := New(sys, []Rule{{Pattern: "", ClassLabel: "local"}}); !errors.Is(err, ErrBadRule) {
+		t.Errorf("empty pattern: %v", err)
+	}
+	if _, err := New(sys, []Rule{{Pattern: "*", ClassLabel: "bogus"}}); !errors.Is(err, ErrBadRule) {
+		t.Errorf("bad class: %v", err)
+	}
+	if _, err := New(sys, []Rule{{Pattern: "*", ClassLabel: "local", StaticClamp: "bogus"}}); !errors.Is(err, ErrBadRule) {
+		t.Errorf("bad clamp: %v", err)
+	}
+}
+
+func TestLocalOriginFullTrust(t *testing.T) {
+	sys := newSys(t)
+	a, _ := New(sys, paperRules())
+	rec, err := a.Admit("local", manifest("localext", "localdev", "/open-svc", "/org-svc"))
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	// Auto-registered at full class; both imports linked (it dominates
+	// the org-svc class).
+	if rec.Context.Class().String() != "local:{dept-1,dept-2,myself,outside}" {
+		t.Errorf("class = %s", rec.Context.Class())
+	}
+	if rec.Static.Valid() {
+		t.Error("local rule must not clamp")
+	}
+}
+
+func TestOrgOriginMidTrust(t *testing.T) {
+	sys := newSys(t)
+	a, _ := New(sys, paperRules())
+	rec, err := a.Admit("apps.corp.example", manifest("orgext", "orgdev", "/open-svc", "/org-svc"))
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if rec.Context.Class().String() != "organization:{dept-1}" {
+		t.Errorf("class = %s", rec.Context.Class())
+	}
+}
+
+func TestOutsideOriginClampedAndBlocked(t *testing.T) {
+	sys := newSys(t)
+	a, _ := New(sys, paperRules())
+	// The outside manifest claims no static class; the rule forces
+	// "others" anyway, and linking against the org service fails MAC.
+	_, err := a.Admit("evil.example.org", manifest("evilext", "evildev", "/org-svc"))
+	if !errors.Is(err, extension.ErrLink) {
+		t.Fatalf("outside link to org service: got %v", err)
+	}
+	// Against open services it loads, but clamped.
+	rec, err := a.Admit("evil.example.org", manifest("evilext2", "evildev", "/open-svc"))
+	if err != nil {
+		t.Fatalf("Admit open: %v", err)
+	}
+	if rec.Static.String() != "others" {
+		t.Errorf("forced clamp = %s", rec.Static)
+	}
+	if rec.Context.Class().String() != "others" {
+		t.Errorf("clamped context = %s", rec.Context.Class())
+	}
+}
+
+func TestManifestCannotEscapeClamp(t *testing.T) {
+	sys := newSys(t)
+	a, _ := New(sys, paperRules())
+	m := manifest("sneaky", "evildev2", "/open-svc")
+	m.StaticClass = "local:{myself,dept-1,dept-2,outside}" // claims the top
+	rec, err := a.Admit("evil.example.org", m)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	// meet(local:{...}, others) = others.
+	if rec.Static.String() != "others" {
+		t.Errorf("effective static = %s, must be clamped to others", rec.Static)
+	}
+}
+
+func TestNoAutoRegisterRequiresToken(t *testing.T) {
+	sys := newSys(t)
+	rules := []Rule{{Pattern: "*", ClassLabel: "others"}} // no AutoRegister
+	a, err := New(sys, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown principal, no token minted: the loader's authentication
+	// fails as usual.
+	if _, err := a.Admit("anywhere", manifest("x", "stranger", "/open-svc")); !errors.Is(err, extension.ErrAuth) {
+		t.Errorf("got %v, want ErrAuth", err)
+	}
+	// A registered principal still needs its token in the manifest.
+	if _, err := sys.AddPrincipal("known", "others"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Admit("anywhere", manifest("y", "known", "/open-svc")); !errors.Is(err, extension.ErrAuth) {
+		t.Errorf("no token: got %v, want ErrAuth", err)
+	}
+	tok, err := sys.Registry().IssueToken("known")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := manifest("z", "known", "/open-svc")
+	m.Token = tok
+	if _, err := a.Admit("anywhere", m); err != nil {
+		t.Errorf("with token: %v", err)
+	}
+}
+
+func TestDeclaredStaticWithoutClamp(t *testing.T) {
+	sys := newSys(t)
+	a, err := New(sys, []Rule{{Pattern: "*", ClassLabel: "organization:{dept-1}", AutoRegister: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := manifest("declared", "dev", "/open-svc")
+	m.StaticClass = "others"
+	rec, err := a.Admit("anywhere", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No rule clamp: the manifest's own static class stands.
+	if rec.Static.String() != "others" {
+		t.Errorf("static = %s", rec.Static)
+	}
+}
+
+func TestExistingPrincipalKeepsClass(t *testing.T) {
+	sys := newSys(t)
+	a, _ := New(sys, paperRules())
+	// Pre-register the principal at dept-2; the catch-all rule must not
+	// re-register or reclassify it.
+	if _, err := sys.AddPrincipal("vendor", "organization:{dept-2}"); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := a.Admit("somewhere.else", manifest("v-ext", "vendor", "/open-svc"))
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	// Class stays dept-2; clamp still applies.
+	if rec.Context.Class().String() != "others" {
+		t.Errorf("clamped = %s", rec.Context.Class())
+	}
+	p, _ := sys.Registry().Principal("vendor")
+	if p.Class().String() != "organization:{dept-2}" {
+		t.Errorf("principal class changed: %s", p.Class())
+	}
+}

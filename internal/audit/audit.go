@@ -1,0 +1,287 @@
+// Package audit records security-relevant events. The paper (§1) lists
+// auditing among the aspects of overall system security its access
+// control model must eventually integrate with; the reference monitor in
+// internal/core emits one audit event per mediated operation so that
+// every allow and deny decision is observable.
+//
+// The log keeps a bounded in-memory ring of recent events, maintains
+// running counters, and can tee events to external sinks. It is safe for
+// concurrent use and is designed to stay cheap when disabled (the E7
+// ablation benchmark measures the difference).
+package audit
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies an audited operation.
+type Kind uint8
+
+const (
+	// KindCall is an invocation of a service (execute).
+	KindCall Kind = iota
+	// KindExtend is a specialization of a service (extend).
+	KindExtend
+	// KindLink is a link-time import resolution by the extension loader.
+	KindLink
+	// KindName is a name-space operation (lookup, bind, unbind, list).
+	KindName
+	// KindData is a data access (read, write, append) on an object.
+	KindData
+	// KindAdmin is an administrative operation (ACL or class change).
+	KindAdmin
+
+	numKinds = 6
+)
+
+var kindNames = [numKinds]string{"call", "extend", "link", "name", "data", "admin"}
+
+func (k Kind) String() string {
+	if int(k) < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one security-relevant occurrence.
+type Event struct {
+	Seq     uint64    // monotonically increasing sequence number
+	Time    time.Time // wall-clock time of the decision
+	Kind    Kind      // operation class
+	Subject string    // principal on whose behalf the operation ran
+	Class   string    // subject's security class label at decision time
+	Path    string    // object name in the universal name space
+	Op      string    // operation detail, e.g. requested modes
+	Allowed bool      // the decision
+	Reason  string    // why (which check failed, or "granted")
+}
+
+// String renders the event in a single audit line.
+func (e Event) String() string {
+	verdict := "DENY"
+	if e.Allowed {
+		verdict = "ALLOW"
+	}
+	return fmt.Sprintf("#%d %s %s subject=%s class=%s path=%s op=%s: %s (%s)",
+		e.Seq, e.Time.UTC().Format(time.RFC3339Nano), e.Kind, e.Subject,
+		e.Class, e.Path, e.Op, verdict, e.Reason)
+}
+
+// Stats are running counters kept by a Log.
+type Stats struct {
+	Total   uint64
+	Allowed uint64
+	Denied  uint64
+	ByKind  [numKinds]uint64
+}
+
+// Log is a bounded, concurrency-safe audit log.
+//
+// The zero Log is not usable; call NewLog. A nil *Log is a valid no-op
+// target: all methods are safe on nil and record nothing, so callers can
+// make auditing optional without branching.
+type Log struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+
+	mu     sync.Mutex
+	ring   []Event
+	next   int  // next ring slot to overwrite
+	filled bool // ring has wrapped
+	sinks  []io.Writer
+	filter func(Event) bool
+
+	stats struct {
+		total   atomic.Uint64
+		allowed atomic.Uint64
+		denied  atomic.Uint64
+		byKind  [numKinds]atomic.Uint64
+	}
+}
+
+// NewLog creates an enabled log retaining the most recent capacity
+// events (minimum 1).
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &Log{ring: make([]Event, capacity)}
+	l.enabled.Store(true)
+	return l
+}
+
+// SetEnabled turns recording on or off. Disabled logs drop events but
+// still hand out sequence numbers so Seq stays meaningful across gaps.
+func (l *Log) SetEnabled(on bool) {
+	if l == nil {
+		return
+	}
+	l.enabled.Store(on)
+}
+
+// Enabled reports whether the log is recording.
+func (l *Log) Enabled() bool { return l != nil && l.enabled.Load() }
+
+// AddSink tees every recorded event, one String line per event, to w.
+func (l *Log) AddSink(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sinks = append(l.sinks, w)
+}
+
+// SetFilter installs a predicate; only events for which it returns true
+// are recorded. A nil filter records everything.
+func (l *Log) SetFilter(f func(Event) bool) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.filter = f
+}
+
+// Record stamps and stores an event, updating counters and sinks.
+// The Seq and Time fields of ev are assigned by Record.
+func (l *Log) Record(ev Event) {
+	if l == nil || !l.enabled.Load() {
+		return
+	}
+	ev.Seq = l.seq.Add(1)
+	ev.Time = time.Now()
+
+	l.mu.Lock()
+	if l.filter != nil && !l.filter(ev) {
+		l.mu.Unlock()
+		return
+	}
+	l.ring[l.next] = ev
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.filled = true
+	}
+	sinks := l.sinks
+	l.mu.Unlock()
+
+	l.stats.total.Add(1)
+	if ev.Allowed {
+		l.stats.allowed.Add(1)
+	} else {
+		l.stats.denied.Add(1)
+	}
+	if int(ev.Kind) < numKinds {
+		l.stats.byKind[ev.Kind].Add(1)
+	}
+	for _, w := range sinks {
+		fmt.Fprintln(w, ev.String())
+	}
+}
+
+// Recent returns up to n of the most recent events, oldest first.
+// n <= 0 returns all retained events.
+func (l *Log) Recent(n int) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var ordered []Event
+	if l.filled {
+		ordered = append(ordered, l.ring[l.next:]...)
+		ordered = append(ordered, l.ring[:l.next]...)
+	} else {
+		ordered = append(ordered, l.ring[:l.next]...)
+	}
+	if n > 0 && len(ordered) > n {
+		ordered = ordered[len(ordered)-n:]
+	}
+	return ordered
+}
+
+// Query selects retained events. Zero-valued fields match anything.
+type Query struct {
+	Subject    string // principal name
+	Path       string // exact object path
+	PathPrefix string // object path prefix ("/fs" matches "/fs/x")
+	Kind       Kind   // operation class; only used when HasKind
+	HasKind    bool
+	DeniedOnly bool // only denials
+}
+
+// Select returns the retained events matching q, oldest first.
+func (l *Log) Select(q Query) []Event {
+	var out []Event
+	for _, e := range l.Recent(0) {
+		if q.Subject != "" && e.Subject != q.Subject {
+			continue
+		}
+		if q.Path != "" && e.Path != q.Path {
+			continue
+		}
+		if q.PathPrefix != "" && !strings.HasPrefix(e.Path, q.PathPrefix) {
+			continue
+		}
+		if q.HasKind && e.Kind != q.Kind {
+			continue
+		}
+		if q.DeniedOnly && e.Allowed {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ExportJSON writes every retained event as one JSON object per line
+// (JSON Lines), oldest first — the durable form of the trail for
+// offline forensics.
+func (l *Log) ExportJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Recent(0) {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("audit: export: %w", err)
+		}
+	}
+	return nil
+}
+
+// ImportJSON reads a JSON Lines stream produced by ExportJSON.
+func ImportJSON(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("audit: import: %w", err)
+		}
+		out = append(out, e)
+	}
+}
+
+// Stats returns a snapshot of the running counters.
+func (l *Log) Stats() Stats {
+	var s Stats
+	if l == nil {
+		return s
+	}
+	s.Total = l.stats.total.Load()
+	s.Allowed = l.stats.allowed.Load()
+	s.Denied = l.stats.denied.Load()
+	for i := range s.ByKind {
+		s.ByKind[i] = l.stats.byKind[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,247 @@
+package audit
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func ev(kind Kind, subject, path string, allowed bool) Event {
+	return Event{Kind: kind, Subject: subject, Path: path, Op: "execute",
+		Class: "others", Allowed: allowed, Reason: "test"}
+}
+
+func TestRecordAndRecent(t *testing.T) {
+	l := NewLog(10)
+	l.Record(ev(KindCall, "alice", "/svc/a", true))
+	l.Record(ev(KindCall, "bob", "/svc/b", false))
+	got := l.Recent(0)
+	if len(got) != 2 {
+		t.Fatalf("Recent = %d events, want 2", len(got))
+	}
+	if got[0].Subject != "alice" || got[1].Subject != "bob" {
+		t.Errorf("order wrong: %v", got)
+	}
+	if got[0].Seq >= got[1].Seq {
+		t.Errorf("sequence numbers must increase: %d %d", got[0].Seq, got[1].Seq)
+	}
+	if got[0].Time.IsZero() {
+		t.Error("Record must stamp time")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 5; i++ {
+		l.Record(ev(KindCall, "p", string(rune('a'+i)), true))
+	}
+	got := l.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	if got[0].Path != "c" || got[2].Path != "e" {
+		t.Errorf("ring contents wrong: %v %v %v", got[0].Path, got[1].Path, got[2].Path)
+	}
+	if last := l.Recent(1); len(last) != 1 || last[0].Path != "e" {
+		t.Errorf("Recent(1) = %v", last)
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := NewLog(8)
+	l.Record(ev(KindCall, "a", "/x", true))
+	l.Record(ev(KindCall, "a", "/x", false))
+	l.Record(ev(KindExtend, "a", "/x", true))
+	l.Record(ev(KindData, "a", "/x", false))
+	s := l.Stats()
+	if s.Total != 4 || s.Allowed != 2 || s.Denied != 2 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.ByKind[KindCall] != 2 || s.ByKind[KindExtend] != 1 || s.ByKind[KindData] != 1 {
+		t.Errorf("ByKind = %v", s.ByKind)
+	}
+}
+
+func TestDisable(t *testing.T) {
+	l := NewLog(8)
+	l.Record(ev(KindCall, "a", "/x", true))
+	l.SetEnabled(false)
+	if l.Enabled() {
+		t.Error("Enabled after SetEnabled(false)")
+	}
+	l.Record(ev(KindCall, "a", "/y", true))
+	if got := len(l.Recent(0)); got != 1 {
+		t.Errorf("disabled log recorded: %d events", got)
+	}
+	l.SetEnabled(true)
+	l.Record(ev(KindCall, "a", "/z", true))
+	if got := len(l.Recent(0)); got != 2 {
+		t.Errorf("re-enabled log: %d events, want 2", got)
+	}
+}
+
+func TestNilLogIsNoop(t *testing.T) {
+	var l *Log
+	l.Record(ev(KindCall, "a", "/x", true)) // must not panic
+	l.SetEnabled(true)
+	l.SetFilter(nil)
+	l.AddSink(&strings.Builder{})
+	if l.Enabled() {
+		t.Error("nil log must report disabled")
+	}
+	if l.Recent(0) != nil {
+		t.Error("nil log Recent must be nil")
+	}
+	if s := l.Stats(); s.Total != 0 {
+		t.Error("nil log Stats must be zero")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := NewLog(8)
+	l.SetFilter(func(e Event) bool { return !e.Allowed }) // denials only
+	l.Record(ev(KindCall, "a", "/x", true))
+	l.Record(ev(KindCall, "a", "/y", false))
+	got := l.Recent(0)
+	if len(got) != 1 || got[0].Path != "/y" {
+		t.Errorf("filter failed: %v", got)
+	}
+	if s := l.Stats(); s.Total != 1 {
+		t.Errorf("filtered events must not count: %+v", s)
+	}
+}
+
+func TestSink(t *testing.T) {
+	l := NewLog(8)
+	var buf strings.Builder
+	l.AddSink(&buf)
+	l.Record(ev(KindExtend, "mallory", "/svc/fs", false))
+	line := buf.String()
+	for _, want := range []string{"DENY", "mallory", "/svc/fs", "extend", "test"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("sink line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := ev(KindCall, "alice", "/svc/a", true)
+	e.Seq = 7
+	s := e.String()
+	for _, want := range []string{"#7", "ALLOW", "alice", "call"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must render")
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.Contains(k.String(), "Kind(") {
+			t.Errorf("kind %d missing name", k)
+		}
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	l := NewLog(0)
+	l.Record(ev(KindCall, "a", "/x", true))
+	l.Record(ev(KindCall, "a", "/y", true))
+	got := l.Recent(0)
+	if len(got) != 1 || got[0].Path != "/y" {
+		t.Errorf("capacity clamp: %v", got)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	l := NewLog(32)
+	l.Record(ev(KindCall, "alice", "/svc/a", true))
+	l.Record(ev(KindCall, "bob", "/svc/a", false))
+	l.Record(ev(KindData, "alice", "/fs/x", false))
+	l.Record(ev(KindData, "alice", "/fs/y", true))
+
+	if got := l.Select(Query{Subject: "alice"}); len(got) != 3 {
+		t.Errorf("by subject: %d", len(got))
+	}
+	if got := l.Select(Query{Path: "/svc/a"}); len(got) != 2 {
+		t.Errorf("by path: %d", len(got))
+	}
+	if got := l.Select(Query{PathPrefix: "/fs"}); len(got) != 2 {
+		t.Errorf("by prefix: %d", len(got))
+	}
+	if got := l.Select(Query{Kind: KindData, HasKind: true}); len(got) != 2 {
+		t.Errorf("by kind: %d", len(got))
+	}
+	if got := l.Select(Query{DeniedOnly: true}); len(got) != 2 {
+		t.Errorf("denials: %d", len(got))
+	}
+	got := l.Select(Query{Subject: "alice", DeniedOnly: true, PathPrefix: "/fs"})
+	if len(got) != 1 || got[0].Path != "/fs/x" {
+		t.Errorf("combined: %v", got)
+	}
+	if got := l.Select(Query{}); len(got) != 4 {
+		t.Errorf("match-all: %d", len(got))
+	}
+	var nilLog *Log
+	if got := nilLog.Select(Query{}); got != nil {
+		t.Error("nil log Select must be nil")
+	}
+}
+
+func TestExportImportJSON(t *testing.T) {
+	l := NewLog(16)
+	l.Record(ev(KindCall, "alice", "/svc/a", true))
+	l.Record(ev(KindData, "bob", "/fs/x", false))
+	var buf strings.Builder
+	if err := l.ExportJSON(&buf); err != nil {
+		t.Fatalf("ExportJSON: %v", err)
+	}
+	if lines := strings.Count(strings.TrimSpace(buf.String()), "\n") + 1; lines != 2 {
+		t.Errorf("exported %d lines", lines)
+	}
+	back, err := ImportJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ImportJSON: %v", err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("imported %d events", len(back))
+	}
+	orig := l.Recent(0)
+	for i := range back {
+		if back[i].Subject != orig[i].Subject || back[i].Allowed != orig[i].Allowed ||
+			back[i].Kind != orig[i].Kind || back[i].Seq != orig[i].Seq ||
+			!back[i].Time.Equal(orig[i].Time) {
+			t.Errorf("event %d mismatch: %+v vs %+v", i, back[i], orig[i])
+		}
+	}
+	// Corrupt input fails cleanly.
+	if _, err := ImportJSON(strings.NewReader("{bad json\n")); err == nil {
+		t.Error("corrupt import must fail")
+	}
+	// Empty input yields nothing.
+	if got, err := ImportJSON(strings.NewReader("")); err != nil || len(got) != 0 {
+		t.Errorf("empty import = %v, %v", got, err)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	l := NewLog(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Record(ev(KindCall, "p", "/x", j%2 == 0))
+			}
+		}()
+	}
+	wg.Wait()
+	s := l.Stats()
+	if s.Total != 1600 || s.Allowed != 800 || s.Denied != 800 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if got := len(l.Recent(0)); got != 64 {
+		t.Errorf("ring retained %d, want 64", got)
+	}
+}

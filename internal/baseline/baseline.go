@@ -1,0 +1,35 @@
+// Package baseline defines the common interface the comparison
+// experiments (E1, E9) drive every protection model through: the
+// paper's model in internal/core, and the §1.2 state-of-the-art models
+// it measures itself against — the Java sandbox, SPIN domains, Unix
+// permission bits, and Windows-NT-style ordered ACLs.
+//
+// The interface is deliberately the smallest common denominator: can a
+// given subject call a service, extend a service, or perform a data
+// operation on an object. What each model can and cannot express within
+// that shape is the content of experiment E9.
+package baseline
+
+// Op is a data operation for CheckData.
+type Op string
+
+// Data operations shared by all models.
+const (
+	OpRead   Op = "read"
+	OpWrite  Op = "write"
+	OpAppend Op = "append"
+	OpDelete Op = "delete"
+	OpList   Op = "list"
+)
+
+// Model is one protection model under comparison.
+type Model interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// CheckCall reports whether subject may invoke service.
+	CheckCall(subject, service string) bool
+	// CheckExtend reports whether subject may specialize service.
+	CheckExtend(subject, service string) bool
+	// CheckData reports whether subject may perform op on object.
+	CheckData(subject, object string, op Op) bool
+}

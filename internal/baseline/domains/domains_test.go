@@ -1,0 +1,90 @@
+package domains
+
+import (
+	"testing"
+
+	"secext/internal/baseline"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m := New()
+	m.DefineDomain("fs", "/svc/fs")
+	m.DefineDomain("net", "/svc/net", "/svc/mbuf")
+	if err := m.Link("ext1", "fs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Link("ext2", "net"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Link("ext3", "fs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Link("ext3", "net"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLinkGrantsWholeDomain(t *testing.T) {
+	m := newModel(t)
+	if !m.CheckCall("ext1", "/svc/fs/read") || !m.CheckCall("ext1", "/svc/fs/unlink") {
+		t.Error("linked domain must grant every interface in it")
+	}
+	if m.CheckCall("ext1", "/svc/net/send") {
+		t.Error("unlinked domain must deny")
+	}
+	if !m.CheckCall("ext2", "/svc/mbuf/alloc") {
+		t.Error("multi-prefix domain must cover all prefixes")
+	}
+	if !m.CheckCall("ext3", "/svc/fs/read") || !m.CheckCall("ext3", "/svc/net/send") {
+		t.Error("multiple links must union")
+	}
+}
+
+func TestAllOrNothingWithinDomain(t *testing.T) {
+	// §1.2: "an extension can either call on and extend all interfaces
+	// in all domains it has been linked against" — the model cannot
+	// grant read without unlink, or call without extend.
+	m := newModel(t)
+	if m.CheckCall("ext1", "/svc/fs/read") != m.CheckCall("ext1", "/svc/fs/unlink") {
+		t.Error("cannot express per-interface grants")
+	}
+	if m.CheckCall("ext1", "/svc/fs/read") != m.CheckExtend("ext1", "/svc/fs/read") {
+		t.Error("cannot separate call from extend")
+	}
+	if m.CheckData("ext1", "/svc/fs/data", baseline.OpRead) !=
+		m.CheckData("ext1", "/svc/fs/data", baseline.OpWrite) {
+		t.Error("cannot separate read from write")
+	}
+}
+
+func TestLinkUnknownDomain(t *testing.T) {
+	m := New()
+	if err := m.Link("x", "nope"); err == nil {
+		t.Error("linking unknown domain must fail")
+	}
+}
+
+func TestPrefixBoundaries(t *testing.T) {
+	m := newModel(t)
+	if m.CheckCall("ext1", "/svc/fsx/read") {
+		t.Error("/svc/fsx is not in domain fs")
+	}
+	if !m.CheckCall("ext1", "/svc/fs") {
+		t.Error("the prefix itself is in the domain")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := newModel(t)
+	if !m.Linked("ext1", "fs") || m.Linked("ext1", "net") {
+		t.Error("Linked wrong")
+	}
+	if m.Name() != "spin-domains" {
+		t.Error("Name")
+	}
+	if m.CheckCall("unknown", "/svc/fs/read") {
+		t.Error("unlinked subject must deny")
+	}
+}

@@ -1,0 +1,122 @@
+package ntacl
+
+import (
+	"testing"
+
+	"secext/internal/baseline"
+)
+
+func TestFirstMatchWins(t *testing.T) {
+	m := New()
+	// Allow-then-deny: the allow is hit first, so access is granted —
+	// the opposite of deny-overrides.
+	m.SetACL("/obj",
+		Entry{Subject: "alice", Rights: Read},
+		Entry{Subject: "alice", Deny: true, Rights: Read},
+	)
+	if !m.Check("alice", "/obj", Read) {
+		t.Error("first-match: earlier allow must win")
+	}
+	// Deny-then-allow: denied.
+	m.SetACL("/obj2",
+		Entry{Subject: "alice", Deny: true, Rights: Read},
+		Entry{Subject: "alice", Rights: Read},
+	)
+	if m.Check("alice", "/obj2", Read) {
+		t.Error("first-match: earlier deny must win")
+	}
+}
+
+func TestGroupAndEveryoneEntries(t *testing.T) {
+	m := New()
+	m.AddToGroup("bob", "staff")
+	m.SetACL("/f",
+		Entry{Subject: "staff", Group: true, Rights: Read | Write},
+		Entry{Subject: "*", Rights: Read},
+	)
+	if !m.Check("bob", "/f", Read|Write) {
+		t.Error("group entry")
+	}
+	if !m.Check("eve", "/f", Read) {
+		t.Error("everyone entry")
+	}
+	if m.Check("eve", "/f", Write) {
+		t.Error("everyone has no write")
+	}
+}
+
+func TestRightsAccumulateAcrossEntries(t *testing.T) {
+	m := New()
+	m.SetACL("/f",
+		Entry{Subject: "alice", Rights: Read},
+		Entry{Subject: "alice", Rights: Write},
+	)
+	if !m.Check("alice", "/f", Read|Write) {
+		t.Error("rights must accumulate until all are granted")
+	}
+}
+
+func TestPartialDenyBlocksWholeRequest(t *testing.T) {
+	m := New()
+	m.SetACL("/f",
+		Entry{Subject: "alice", Rights: Read},
+		Entry{Subject: "alice", Deny: true, Rights: Write},
+	)
+	if m.Check("alice", "/f", Read|Write) {
+		t.Error("denied right must fail the combined request")
+	}
+	if !m.Check("alice", "/f", Read) {
+		t.Error("read alone is granted")
+	}
+}
+
+func TestFailClosed(t *testing.T) {
+	m := New()
+	if m.Check("alice", "/missing", Read) {
+		t.Error("missing ACL must deny")
+	}
+	m.SetACL("/f", Entry{Subject: "alice", Rights: Read})
+	if m.Check("alice", "/f", Read|Delete) {
+		t.Error("unmentioned right must deny")
+	}
+	if m.CheckData("alice", "/f", baseline.Op("bogus")) {
+		t.Error("unknown op must deny")
+	}
+}
+
+func TestModelInterfaceMapping(t *testing.T) {
+	m := New()
+	m.SetACL("/svc/s",
+		Entry{Subject: "ext", Rights: Execute},
+		Entry{Subject: "admin", Rights: Execute | Write | ChangePerms},
+	)
+	if !m.CheckCall("ext", "/svc/s") {
+		t.Error("call is execute")
+	}
+	if m.CheckExtend("ext", "/svc/s") {
+		t.Error("NT approximates extend as write; ext has none")
+	}
+	if !m.CheckExtend("admin", "/svc/s") {
+		t.Error("admin writes -> extends")
+	}
+	m.SetACL("/d", Entry{Subject: "u", Rights: Read | Write | Delete})
+	if !m.CheckData("u", "/d", baseline.OpRead) ||
+		!m.CheckData("u", "/d", baseline.OpWrite) ||
+		!m.CheckData("u", "/d", baseline.OpAppend) ||
+		!m.CheckData("u", "/d", baseline.OpDelete) ||
+		!m.CheckData("u", "/d", baseline.OpList) {
+		t.Error("data op mapping")
+	}
+	if m.Name() != "nt-acl" {
+		t.Error("Name")
+	}
+}
+
+func TestAppendConflatedWithWrite(t *testing.T) {
+	m := New()
+	m.SetACL("/j", Entry{Subject: "low", Rights: Write})
+	if m.CheckData("low", "/j", baseline.OpAppend) !=
+		m.CheckData("low", "/j", baseline.OpWrite) {
+		t.Error("NT cannot separate append from write")
+	}
+}

@@ -1,0 +1,94 @@
+// Package sandbox reimplements the Java 1.x security model the paper
+// criticizes in §1.2: a binary trust decision. Code "stored on the local
+// file system" is trusted and gets "access to the full functionality of
+// the system"; all remote code is untrusted and confined to a sandbox
+// that blocks a fixed list of sensitive services. There are no levels
+// between trusted and untrusted, no compartments between untrusted
+// applets (the ThreadMurder hole), and no distinction between calling
+// and extending a service.
+//
+// For fairness the model is implemented as a single facility rather than
+// Java's three prongs; the paper's criticism of the prong structure is
+// about assurance, not expressiveness, and E9 measures expressiveness.
+package sandbox
+
+import (
+	"strings"
+	"sync"
+
+	"secext/internal/baseline"
+)
+
+// Sandbox is the two-level trust model. It is safe for concurrent use.
+type Sandbox struct {
+	mu        sync.RWMutex
+	trusted   map[string]bool
+	sensitive []string // path prefixes blocked for untrusted code
+}
+
+var _ baseline.Model = (*Sandbox)(nil)
+
+// New creates a sandbox. trusted lists the fully trusted subjects
+// (local code); sensitive lists path prefixes untrusted subjects may
+// not touch (e.g. "/fs", "/svc/thread/kill").
+func New(trusted []string, sensitive []string) *Sandbox {
+	t := make(map[string]bool, len(trusted))
+	for _, s := range trusted {
+		t[s] = true
+	}
+	return &Sandbox{trusted: t, sensitive: append([]string(nil), sensitive...)}
+}
+
+// Name implements baseline.Model.
+func (s *Sandbox) Name() string { return "java-sandbox" }
+
+// Trust marks a subject as trusted (local) or untrusted (remote).
+func (s *Sandbox) Trust(subject string, trusted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if trusted {
+		s.trusted[subject] = true
+	} else {
+		delete(s.trusted, subject)
+	}
+}
+
+// IsTrusted reports the binary trust bit.
+func (s *Sandbox) IsTrusted(subject string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.trusted[subject]
+}
+
+// allowed is the single decision: trusted code may do anything;
+// untrusted code may do anything outside the sensitive prefixes.
+func (s *Sandbox) allowed(subject, object string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.trusted[subject] {
+		return true
+	}
+	for _, p := range s.sensitive {
+		if object == p || strings.HasPrefix(object, p+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckCall implements baseline.Model.
+func (s *Sandbox) CheckCall(subject, service string) bool {
+	return s.allowed(subject, service)
+}
+
+// CheckExtend implements baseline.Model. The sandbox has no extend
+// concept: extending is just another call.
+func (s *Sandbox) CheckExtend(subject, service string) bool {
+	return s.allowed(subject, service)
+}
+
+// CheckData implements baseline.Model. All operations collapse to the
+// same binary decision.
+func (s *Sandbox) CheckData(subject, object string, op baseline.Op) bool {
+	return s.allowed(subject, object)
+}

@@ -1,0 +1,77 @@
+package sandbox
+
+import (
+	"testing"
+
+	"secext/internal/baseline"
+)
+
+func TestTrustedBypassesEverything(t *testing.T) {
+	s := New([]string{"local-code"}, []string{"/fs", "/svc/thread/kill"})
+	if !s.CheckCall("local-code", "/fs/etc/passwd") {
+		t.Error("trusted code must reach sensitive paths")
+	}
+	if !s.CheckData("local-code", "/fs/secret", baseline.OpWrite) {
+		t.Error("trusted code must write anywhere")
+	}
+	if !s.IsTrusted("local-code") || s.IsTrusted("applet") {
+		t.Error("IsTrusted wrong")
+	}
+}
+
+func TestUntrustedBlockedOnSensitivePrefixes(t *testing.T) {
+	s := New(nil, []string{"/fs", "/svc/thread/kill"})
+	if s.CheckCall("applet", "/fs/read") {
+		t.Error("sensitive prefix must be blocked")
+	}
+	if s.CheckData("applet", "/fs", baseline.OpRead) {
+		t.Error("exact sensitive path must be blocked")
+	}
+	if s.CheckCall("applet", "/svc/thread/kill") {
+		t.Error("kill must be blocked")
+	}
+	// Prefix match is path-aware: /fsx is not under /fs.
+	if !s.CheckCall("applet", "/fsx/read") {
+		t.Error("sibling path must not be blocked")
+	}
+	if !s.CheckCall("applet", "/svc/net/send") {
+		t.Error("non-sensitive service must be open")
+	}
+}
+
+func TestNoIsolationBetweenApplets(t *testing.T) {
+	// The sandbox's defining hole (§1.2): untrusted applets share one
+	// sandbox, so applet A can reach applet B's (non-sensitive)
+	// resources — the ThreadMurder shape.
+	s := New(nil, []string{"/fs"})
+	if !s.CheckCall("murder", "/svc/thread/kill") {
+		t.Error("model cannot express per-applet thread protection")
+	}
+	if !s.CheckData("murder", "/applets/victim/state", baseline.OpWrite) {
+		t.Error("model cannot isolate applets from each other")
+	}
+}
+
+func TestCallExtendConflated(t *testing.T) {
+	s := New(nil, []string{"/fs"})
+	for _, svc := range []string{"/svc/fs/read", "/fs/x"} {
+		if s.CheckCall("a", svc) != s.CheckExtend("a", svc) {
+			t.Errorf("sandbox cannot distinguish call from extend on %s", svc)
+		}
+	}
+}
+
+func TestTrustToggle(t *testing.T) {
+	s := New(nil, []string{"/fs"})
+	s.Trust("code", true)
+	if !s.CheckCall("code", "/fs/x") {
+		t.Error("after Trust(true)")
+	}
+	s.Trust("code", false)
+	if s.CheckCall("code", "/fs/x") {
+		t.Error("after Trust(false)")
+	}
+	if s.Name() != "java-sandbox" {
+		t.Error("Name")
+	}
+}

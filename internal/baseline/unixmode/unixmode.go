@@ -1,0 +1,122 @@
+// Package unixmode reimplements the Unix protection model the paper
+// calls "primitive and, barely, [offering] adequate security to protect
+// file access" (§1.2): every object has one owner, one group, and nine
+// permission bits. There are no per-subject entries beyond the
+// owner/group/other triple, no negative entries, no extend mode, and no
+// mandatory layer — the gaps experiment E9 demonstrates.
+package unixmode
+
+import (
+	"sync"
+
+	"secext/internal/baseline"
+)
+
+// Perm is a 9-bit rwxrwxrwx permission word.
+type Perm uint16
+
+// Permission bits, highest octal digit = owner.
+const (
+	OwnerR Perm = 0o400
+	OwnerW Perm = 0o200
+	OwnerX Perm = 0o100
+	GroupR Perm = 0o040
+	GroupW Perm = 0o020
+	GroupX Perm = 0o010
+	OtherR Perm = 0o004
+	OtherW Perm = 0o002
+	OtherX Perm = 0o001
+)
+
+// object is one protected entity.
+type object struct {
+	owner string
+	group string
+	mode  Perm
+}
+
+// Model is the Unix owner/group/other model. It is safe for concurrent
+// use.
+type Model struct {
+	mu      sync.RWMutex
+	objects map[string]object
+	// member maps subject -> groups.
+	member map[string]map[string]bool
+}
+
+var _ baseline.Model = (*Model)(nil)
+
+// New creates an empty model.
+func New() *Model {
+	return &Model{
+		objects: make(map[string]object),
+		member:  make(map[string]map[string]bool),
+	}
+}
+
+// Name implements baseline.Model.
+func (m *Model) Name() string { return "unix-modes" }
+
+// SetObject declares an object with owner, group, and permission bits.
+func (m *Model) SetObject(path, owner, group string, mode Perm) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.objects[path] = object{owner: owner, group: group, mode: mode}
+}
+
+// AddToGroup puts a subject in a group.
+func (m *Model) AddToGroup(subject, group string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := m.member[subject]
+	if set == nil {
+		set = make(map[string]bool)
+		m.member[subject] = set
+	}
+	set[group] = true
+}
+
+// check evaluates one of the r/w/x columns for the subject's relation
+// to the object. Missing objects deny (fail-closed).
+func (m *Model) check(subject, path string, ownerBit, groupBit, otherBit Perm) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	o, ok := m.objects[path]
+	if !ok {
+		return false
+	}
+	switch {
+	case subject == o.owner:
+		return o.mode&ownerBit != 0
+	case m.member[subject][o.group]:
+		return o.mode&groupBit != 0
+	default:
+		return o.mode&otherBit != 0
+	}
+}
+
+// CheckCall implements baseline.Model: calling is execute.
+func (m *Model) CheckCall(subject, service string) bool {
+	return m.check(subject, service, OwnerX, GroupX, OtherX)
+}
+
+// CheckExtend implements baseline.Model. Unix has no extend mode; the
+// closest mapping is write on the service (installing into it), which
+// conflates extension with mutation — one of the gaps E9 shows.
+func (m *Model) CheckExtend(subject, service string) bool {
+	return m.check(subject, service, OwnerW, GroupW, OtherW)
+}
+
+// CheckData implements baseline.Model with the standard mapping: read
+// and list are r; write, append, and delete are w (Unix cannot separate
+// append from overwrite without filesystem-specific flags).
+func (m *Model) CheckData(subject, object string, op baseline.Op) bool {
+	switch op {
+	case baseline.OpRead, baseline.OpList:
+		return m.check(subject, object, OwnerR, GroupR, OtherR)
+	case baseline.OpWrite, baseline.OpAppend, baseline.OpDelete:
+		return m.check(subject, object, OwnerW, GroupW, OtherW)
+	default:
+		return false
+	}
+}

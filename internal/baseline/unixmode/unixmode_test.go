@@ -1,0 +1,100 @@
+package unixmode
+
+import (
+	"testing"
+
+	"secext/internal/baseline"
+)
+
+func newModel() *Model {
+	m := New()
+	m.SetObject("/fs/alice-file", "alice", "staff", 0o640)
+	m.SetObject("/svc/fs/read", "root", "wheel", 0o755)
+	m.SetObject("/fs/shared", "alice", "staff", 0o664)
+	m.AddToGroup("bob", "staff")
+	return m
+}
+
+func TestOwnerGroupOther(t *testing.T) {
+	m := newModel()
+	// Owner: rw-
+	if !m.CheckData("alice", "/fs/alice-file", baseline.OpRead) ||
+		!m.CheckData("alice", "/fs/alice-file", baseline.OpWrite) {
+		t.Error("owner rw")
+	}
+	// Group: r--
+	if !m.CheckData("bob", "/fs/alice-file", baseline.OpRead) {
+		t.Error("group r")
+	}
+	if m.CheckData("bob", "/fs/alice-file", baseline.OpWrite) {
+		t.Error("group must not write 640")
+	}
+	// Other: ---
+	if m.CheckData("eve", "/fs/alice-file", baseline.OpRead) {
+		t.Error("other must not read 640")
+	}
+	// 664 lets group write.
+	if !m.CheckData("bob", "/fs/shared", baseline.OpWrite) {
+		t.Error("group w on 664")
+	}
+}
+
+func TestExecuteGatesCall(t *testing.T) {
+	m := newModel()
+	if !m.CheckCall("eve", "/svc/fs/read") {
+		t.Error("755 lets everyone execute")
+	}
+	m.SetObject("/svc/priv", "root", "wheel", 0o700)
+	if m.CheckCall("eve", "/svc/priv") {
+		t.Error("700 blocks others")
+	}
+	if !m.CheckCall("root", "/svc/priv") {
+		t.Error("owner executes 700")
+	}
+}
+
+func TestExtendIsWrite(t *testing.T) {
+	// Unix conflates extending a service with writing it.
+	m := newModel()
+	if m.CheckExtend("eve", "/svc/fs/read") {
+		t.Error("755 others cannot write -> cannot extend")
+	}
+	if !m.CheckExtend("root", "/svc/fs/read") {
+		t.Error("owner writes -> extends")
+	}
+}
+
+func TestAppendIndistinguishableFromWrite(t *testing.T) {
+	// The expressiveness gap: append and overwrite are the same bit.
+	m := newModel()
+	for _, sub := range []string{"alice", "bob", "eve"} {
+		if m.CheckData(sub, "/fs/shared", baseline.OpAppend) !=
+			m.CheckData(sub, "/fs/shared", baseline.OpWrite) {
+			t.Errorf("%s: append != write is inexpressible in unix modes", sub)
+		}
+	}
+}
+
+func TestFailClosed(t *testing.T) {
+	m := newModel()
+	if m.CheckData("alice", "/nope", baseline.OpRead) {
+		t.Error("missing object must deny")
+	}
+	if m.CheckData("alice", "/fs/alice-file", baseline.Op("bogus")) {
+		t.Error("unknown op must deny")
+	}
+	if m.Name() != "unix-modes" {
+		t.Error("Name")
+	}
+}
+
+func TestNoNegativeEntries(t *testing.T) {
+	// Unix cannot exclude one group member: bob is staff, staff can
+	// read, so bob reads — there is no way to deny bob specifically.
+	m := newModel()
+	if !m.CheckData("bob", "/fs/alice-file", baseline.OpRead) {
+		t.Error("precondition")
+	}
+	// (Nothing to call: the API has no deny. The assertion is the
+	// absence itself; E9 reports it.)
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+
+	"secext/internal/acl"
+	"secext/internal/audit"
+	"secext/internal/dispatch"
+	"secext/internal/names"
+	"secext/internal/subject"
+)
+
+// check is the single enforcement path of the reference monitor. Every
+// mediated operation resolves the object in the universal name space,
+// applies the discretionary and mandatory rules for the requested
+// modes, and records the decision.
+func (s *System) check(ctx *subject.Context, path string, modes acl.Mode, kind audit.Kind) (*names.Node, error) {
+	n, err := s.ns.CheckAccess(ctx, ctx.Class(), path, modes)
+	s.record(kind, ctx, path, modes.String(), err)
+	return n, err
+}
+
+// record writes one audit event for a mediated decision.
+func (s *System) record(kind audit.Kind, ctx *subject.Context, path, op string, err error) {
+	if !s.log.Enabled() {
+		return
+	}
+	reason := "granted"
+	if err != nil {
+		reason = err.Error()
+	}
+	s.log.Record(audit.Event{
+		Kind:    kind,
+		Subject: ctx.SubjectName(),
+		Class:   ctx.Class().String(),
+		Path:    path,
+		Op:      op,
+		Allowed: err == nil,
+		Reason:  reason,
+	})
+}
+
+// Call invokes the service at path on behalf of ctx: the first of the
+// two ways extensions interact with the system (§1.1). The subject
+// needs execute mode under DAC and must dominate the service node under
+// MAC; the dispatcher then selects the right implementation for the
+// caller's class (§2.2) and runs it at the meet of caller and static
+// class.
+func (s *System) Call(ctx *subject.Context, path string, arg any) (any, error) {
+	if _, err := s.check(ctx, path, acl.Execute, audit.KindCall); err != nil {
+		return nil, err
+	}
+	return s.invoke(ctx, path, arg)
+}
+
+// invoke dispatches and contains misbehaving handlers: a recovered
+// handler panic (dispatch.PanicError) is audited against the owning
+// extension before being returned as an ordinary error — VINO's
+// "dealing with disaster" discipline, which the paper's §1 survey
+// cites as the other half of safe extensibility.
+func (s *System) invoke(ctx *subject.Context, path string, arg any) (any, error) {
+	out, err := s.disp.Invoke(path, ctx, arg)
+	var pe *dispatch.PanicError
+	if errors.As(err, &pe) {
+		s.record(audit.KindCall, ctx, path, "handler-panic owner="+pe.Owner, err)
+	}
+	return out, err
+}
+
+// CallLinked invokes a service through a link-time-checked capability.
+// Under full mediation (the default) it is identical to Call; when the
+// system trusts link-time checking (SPIN's discipline) the per-call
+// check is skipped and only class-based dispatch runs.
+func (s *System) CallLinked(ctx *subject.Context, path string, arg any) (any, error) {
+	if !s.trustLinkTime.Load() {
+		return s.Call(ctx, path, arg)
+	}
+	return s.invoke(ctx, path, arg)
+}
+
+// CallAll multicasts to the base implementation and every admissible
+// specialization at path (SPIN-style event raise), after the usual
+// execute check. Results come back in invocation order; handler
+// failures are joined into the error without stopping the rest.
+func (s *System) CallAll(ctx *subject.Context, path string, arg any) ([]any, error) {
+	if _, err := s.check(ctx, path, acl.Execute, audit.KindCall); err != nil {
+		return nil, err
+	}
+	return s.disp.Multicast(path, ctx, arg)
+}
+
+// Extend registers a specialization at path: the second interaction
+// mode. The subject needs extend mode on the service node.
+func (s *System) Extend(ctx *subject.Context, path string, b dispatch.Binding) error {
+	if _, err := s.check(ctx, path, acl.Extend, audit.KindExtend); err != nil {
+		return err
+	}
+	return s.disp.Extend(path, b)
+}
+
+// Retract removes owner's specializations from path (extension unload).
+func (s *System) Retract(path, owner string) error {
+	_, err := s.disp.RemoveExtensions(path, owner)
+	return err
+}
+
+// CheckImport is the loader's link-time check for one import: execute
+// mode, audited as a link event.
+func (s *System) CheckImport(ctx *subject.Context, path string) error {
+	_, err := s.check(ctx, path, acl.Execute, audit.KindLink)
+	return err
+}
+
+// CheckExtend is the loader's link-time check for one specialization
+// target: extend mode, audited as a link event.
+func (s *System) CheckExtend(ctx *subject.Context, path string) error {
+	_, err := s.check(ctx, path, acl.Extend, audit.KindLink)
+	return err
+}
+
+// CheckData verifies arbitrary data-access modes (read, write,
+// write-append, delete) on the object at path. Services built on the
+// monitor (the file service, the log service) use it as their single
+// authorization point.
+func (s *System) CheckData(ctx *subject.Context, path string, modes acl.Mode) (*names.Node, error) {
+	return s.check(ctx, path, modes, audit.KindData)
+}
+
+// List enumerates the names bound under path, mediated by list mode.
+func (s *System) List(ctx *subject.Context, path string) ([]string, error) {
+	out, err := s.ns.List(ctx, ctx.Class(), path)
+	s.record(audit.KindName, ctx, path, "list", err)
+	return out, err
+}
+
+// Resolve walks to the node at path with per-level visibility checks.
+func (s *System) Resolve(ctx *subject.Context, path string) (*names.Node, error) {
+	n, err := s.ns.Resolve(ctx, ctx.Class(), path)
+	s.record(audit.KindName, ctx, path, "resolve", err)
+	return n, err
+}
+
+// Bind creates a new node under parentPath on behalf of ctx (checked:
+// write on the parent, no-write-down on the new class).
+func (s *System) Bind(ctx *subject.Context, parentPath string, spec names.BindSpec) (*names.Node, error) {
+	n, err := s.ns.Bind(ctx, ctx.Class(), parentPath, spec)
+	s.record(audit.KindName, ctx, names.Join(parentPath, spec.Name), "bind", err)
+	return n, err
+}
+
+// Unbind removes the node at path on behalf of ctx.
+func (s *System) Unbind(ctx *subject.Context, path string) error {
+	err := s.ns.Unbind(ctx, ctx.Class(), path)
+	s.record(audit.KindName, ctx, path, "unbind", err)
+	return err
+}
+
+// GetACL reads the protection state of path.
+func (s *System) GetACL(ctx *subject.Context, path string) (*acl.ACL, error) {
+	a, err := s.ns.GetACL(ctx, ctx.Class(), path)
+	s.record(audit.KindAdmin, ctx, path, "get-acl", err)
+	return a, err
+}
+
+// SetACL replaces the protection state of path (administrate mode).
+func (s *System) SetACL(ctx *subject.Context, path string, newACL *acl.ACL) error {
+	err := s.ns.SetACL(ctx, ctx.Class(), path, newACL)
+	s.record(audit.KindAdmin, ctx, path, "set-acl", err)
+	return err
+}
+
+// SetClass relabels path (administrate mode plus relabel flow rules).
+func (s *System) SetClass(ctx *subject.Context, path string, label string) error {
+	class, err := s.lat.ParseClass(label)
+	if err != nil {
+		return err
+	}
+	err = s.ns.SetClass(ctx, ctx.Class(), path, class)
+	s.record(audit.KindAdmin, ctx, path, "set-class "+label, err)
+	return err
+}
+
+// IsDenied reports whether err represents an access-control denial (as
+// opposed to a missing name or an internal failure).
+func IsDenied(err error) bool { return errors.Is(err, names.ErrDenied) }

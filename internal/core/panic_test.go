@@ -1,0 +1,60 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/dispatch"
+	"secext/internal/subject"
+)
+
+func TestCallContainsAndAuditsHandlerPanic(t *testing.T) {
+	s := newSys(t)
+	bomb := dispatch.Binding{Owner: "graft", Handler: func(ctx *subject.Context, arg any) (any, error) {
+		panic("boom")
+	}}
+	if err := s.Names().SetACLUnchecked("/svc/fs/read",
+		acl.New(acl.AllowEveryone(acl.Execute|acl.Extend))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Extend(ctxFor(t, s, "bob"), "/svc/fs/read", bomb); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Call(ctxFor(t, s, "alice"), "/svc/fs/read", nil)
+	if !errors.Is(err, dispatch.ErrHandlerPanic) {
+		t.Fatalf("got %v, want ErrHandlerPanic", err)
+	}
+	// The panic is attributed on the audit trail.
+	found := false
+	for _, e := range s.Audit().Recent(0) {
+		if strings.Contains(e.Op, "handler-panic owner=graft") && !e.Allowed {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("panic must be audited with the owner's name")
+	}
+	// The system survives: retract and call again.
+	if err := s.Retract("/svc/fs/read", "graft"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Call(ctxFor(t, s, "alice"), "/svc/fs/read", nil)
+	if err != nil || out != "base-read" {
+		t.Errorf("after retract: %v, %v", out, err)
+	}
+}
+
+func TestCallLinkedContainsPanicUnderTrust(t *testing.T) {
+	s := newSys(t)
+	s.SetTrustLinkTime(true)
+	if err := s.Dispatcher().Extend("/svc/fs/read", dispatch.Binding{
+		Owner: "graft", Handler: func(ctx *subject.Context, arg any) (any, error) { panic("x") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CallLinked(ctxFor(t, s, "alice"), "/svc/fs/read", nil); !errors.Is(err, dispatch.ErrHandlerPanic) {
+		t.Fatalf("got %v, want ErrHandlerPanic", err)
+	}
+}

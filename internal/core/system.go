@@ -1,0 +1,248 @@
+// Package core implements the paper's primary contribution: a single
+// central facility that provides naming and protection for an entire
+// extensible system ("Security for Extensible Systems", Grimm & Bershad,
+// HotOS 1997, §2–3).
+//
+// The System type is a reference monitor. Every security-relevant
+// operation — calling a service, extending a service, resolving a name,
+// touching data, linking an extension, changing protection state —
+// funnels through one check path that combines the discretionary
+// decision (ACLs with execute/extend modes, §2.1) and the mandatory
+// decision (the trust-level × category lattice, §2.2) over the single
+// hierarchical name space (§2.3), and records an audit event either way.
+// This is deliberate economy of mechanism: the paper's criticism of
+// Java's "three prongs" is that distributing enforcement makes the
+// security of the whole unarguable.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"secext/internal/acl"
+	"secext/internal/audit"
+	"secext/internal/dispatch"
+	"secext/internal/extension"
+	"secext/internal/lattice"
+	"secext/internal/names"
+	"secext/internal/principal"
+	"secext/internal/subject"
+)
+
+// Errors returned by the reference monitor.
+var (
+	ErrConfig = errors.New("core: invalid configuration")
+)
+
+// System is the host the extension loader links against.
+var _ extension.Host = (*System)(nil)
+
+// Options configure a System.
+type Options struct {
+	// Levels are the trust levels, lowest first. Required (>= 1).
+	Levels []string
+	// Categories are the compartment labels. May be empty.
+	Categories []string
+	// AuditCapacity bounds the in-memory audit ring (default 1024).
+	AuditCapacity int
+	// DisableAudit starts the system with auditing off (the E7
+	// ablation); it can be re-enabled at runtime via Audit().
+	DisableAudit bool
+	// TrustLinkTime makes capability invocations skip the per-call
+	// DAC/MAC re-check, relying on the loader's link-time checks (the
+	// SPIN discipline, measured by E6/E7). Default false: full
+	// mediation on every call.
+	TrustLinkTime bool
+}
+
+// System is the reference monitor and the owner of every protection-
+// relevant data structure. It is safe for concurrent use.
+type System struct {
+	lat    *lattice.Lattice
+	reg    *principal.Registry
+	ns     *names.Server
+	disp   *dispatch.Dispatcher
+	log    *audit.Log
+	loader *extension.Loader
+
+	trustLinkTime atomic.Bool
+}
+
+// NewSystem builds an empty system: a lattice from the option universe,
+// an empty principal registry, a name space whose root is at the bottom
+// class and listable by everyone, and an empty dispatcher.
+func NewSystem(opts Options) (*System, error) {
+	if len(opts.Levels) == 0 {
+		return nil, fmt.Errorf("%w: at least one trust level required", ErrConfig)
+	}
+	lat, err := lattice.NewWithUniverse(opts.Levels, opts.Categories)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	bottom, err := lat.Bottom()
+	if err != nil {
+		return nil, err
+	}
+	capacity := opts.AuditCapacity
+	if capacity == 0 {
+		capacity = 1024
+	}
+	rootACL := acl.New(acl.AllowEveryone(acl.List))
+	s := &System{
+		lat:  lat,
+		reg:  principal.NewRegistry(lat),
+		ns:   names.NewServer(lat, rootACL, bottom),
+		disp: dispatch.New(),
+		log:  audit.NewLog(capacity),
+	}
+	s.log.SetEnabled(!opts.DisableAudit)
+	s.trustLinkTime.Store(opts.TrustLinkTime)
+	s.loader = extension.NewLoader(s)
+	return s, nil
+}
+
+// Lattice returns the system's security lattice.
+func (s *System) Lattice() *lattice.Lattice { return s.lat }
+
+// Registry returns the principal and group registry.
+func (s *System) Registry() *principal.Registry { return s.reg }
+
+// Names returns the central name server.
+func (s *System) Names() *names.Server { return s.ns }
+
+// Dispatcher returns the dynamic binding layer.
+func (s *System) Dispatcher() *dispatch.Dispatcher { return s.disp }
+
+// Audit returns the audit log.
+func (s *System) Audit() *audit.Log { return s.log }
+
+// Loader returns the extension loader.
+func (s *System) Loader() *extension.Loader { return s.loader }
+
+// SetTrustLinkTime toggles the SPIN-style linked-call fast path.
+func (s *System) SetTrustLinkTime(on bool) { s.trustLinkTime.Store(on) }
+
+// TrustsLinkTime reports whether linked calls skip the per-call check.
+func (s *System) TrustsLinkTime() bool { return s.trustLinkTime.Load() }
+
+// ParseClass parses a class label against the system lattice; part of
+// extension.Host.
+func (s *System) ParseClass(label string) (lattice.Class, error) {
+	return s.lat.ParseClass(label)
+}
+
+// Authenticate resolves a token to a principal; part of extension.Host.
+func (s *System) Authenticate(token string) (*principal.Principal, error) {
+	return s.reg.Authenticate(token)
+}
+
+// AddPrincipal registers a principal at the class given by label.
+func (s *System) AddPrincipal(name, classLabel string) (*principal.Principal, error) {
+	class, err := s.lat.ParseClass(classLabel)
+	if err != nil {
+		return nil, err
+	}
+	return s.reg.AddPrincipal(name, class)
+}
+
+// NewContext creates a root thread of control for a registered
+// principal.
+func (s *System) NewContext(principalName string) (*subject.Context, error) {
+	p, err := s.reg.Principal(principalName)
+	if err != nil {
+		return nil, err
+	}
+	return subject.New(p)
+}
+
+// NewContextFromToken authenticates a token and creates a root context
+// for the principal it names.
+func (s *System) NewContextFromToken(token string) (*subject.Context, error) {
+	p, err := s.reg.Authenticate(token)
+	if err != nil {
+		return nil, err
+	}
+	return subject.New(p)
+}
+
+// NodeSpec describes one name-space node for bootstrap creation.
+type NodeSpec struct {
+	Path  string        // absolute path of the node
+	Kind  names.Kind    // node kind
+	ACL   *acl.ACL      // nil = empty (fail-closed)
+	Class lattice.Class // zero = bottom
+	// Multilevel marks the node as a multilevel container (see
+	// names.Node.Multilevel): subjects above its class may bind and
+	// unbind entries in it.
+	Multilevel bool
+}
+
+// CreateNode creates a node with no access checks; for system bootstrap
+// before any untrusted code runs. The parent must already exist.
+func (s *System) CreateNode(spec NodeSpec) (*names.Node, error) {
+	parts, err := names.SplitPath(spec.Path)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, names.ErrRoot
+	}
+	class := spec.Class
+	if !class.Valid() {
+		class, err = s.lat.Bottom()
+		if err != nil {
+			return nil, err
+		}
+	}
+	parent := names.Join("/", parts[:len(parts)-1]...)
+	return s.ns.BindUnchecked(parent, names.BindSpec{
+		Name:       parts[len(parts)-1],
+		Kind:       spec.Kind,
+		ACL:        spec.ACL,
+		Class:      class,
+		Multilevel: spec.Multilevel,
+	})
+}
+
+// ServiceSpec describes one callable, extendable service.
+type ServiceSpec struct {
+	Path  string        // absolute path of the method node
+	ACL   *acl.ACL      // protection of the service
+	Class lattice.Class // class of the service node (zero = bottom)
+	Base  dispatch.Binding
+}
+
+// AttachBase installs the base implementation for a method node that
+// already exists — typically one declared by a policy file. Bootstrap
+// only.
+func (s *System) AttachBase(path string, base dispatch.Binding) error {
+	n, err := s.ns.ResolveUnchecked(path)
+	if err != nil {
+		return err
+	}
+	if n.Kind() != names.KindMethod {
+		return fmt.Errorf("%w: %s is a %s, not a method", ErrConfig, path, n.Kind())
+	}
+	return s.disp.Register(path, base)
+}
+
+// RegisterService creates the service's method node and installs its
+// base implementation in the dispatcher. Bootstrap only (unchecked);
+// untrusted code adds behavior exclusively via Extend.
+func (s *System) RegisterService(spec ServiceSpec) error {
+	if spec.Base.Handler == nil {
+		return fmt.Errorf("%w: service %s has no base handler", ErrConfig, spec.Path)
+	}
+	node, err := s.CreateNode(NodeSpec{
+		Path: spec.Path, Kind: names.KindMethod, ACL: spec.ACL, Class: spec.Class,
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.disp.Register(spec.Path, spec.Base); err != nil {
+		_ = s.ns.UnbindUnchecked(node.Path())
+		return err
+	}
+	return nil
+}

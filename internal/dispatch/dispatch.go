@@ -1,0 +1,314 @@
+// Package dispatch implements the dynamic binding layer of the paper's
+// model: services are invoked through existing interfaces, extensions
+// register specializations behind those interfaces, and "when the
+// extended service is invoked, the right extension is selected based on
+// the security class of the caller" (§2.2). The design follows SPIN's
+// event-dispatch model (Pardyak & Bershad, OSDI 1996) with the paper's
+// class-based selection added.
+//
+// The dispatcher holds no policy of its own: the reference monitor in
+// internal/core performs the execute/extend access checks before
+// touching the dispatcher.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"secext/internal/lattice"
+	"secext/internal/subject"
+)
+
+// Errors returned by the dispatcher.
+var (
+	ErrNoService  = errors.New("dispatch: service not registered")
+	ErrDuplicate  = errors.New("dispatch: service already registered")
+	ErrNoHandler  = errors.New("dispatch: no handler admissible for caller class")
+	ErrNilHandler = errors.New("dispatch: nil handler")
+	// ErrHandlerPanic wraps a panic recovered from a handler; see
+	// PanicError.
+	ErrHandlerPanic = errors.New("dispatch: handler panicked")
+)
+
+// PanicError reports a handler that panicked. Following VINO's
+// "surviving misbehaved kernel extensions" discipline, a panicking
+// specialization must not take the system down: the dispatcher converts
+// the panic into an error attributed to the handler's owner, so the
+// monitor can audit it and the host can decide to unload the extension.
+type PanicError struct {
+	Service string // service path
+	Owner   string // owner of the panicking binding
+	Value   any    // the recovered panic value
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("dispatch: handler panicked: %s owned by %q: %v",
+		e.Service, e.Owner, e.Value)
+}
+
+func (e *PanicError) Unwrap() error { return ErrHandlerPanic }
+
+// Handler is one callable service implementation. It receives the
+// (possibly clamped) context it runs at and an opaque argument value.
+type Handler func(ctx *subject.Context, arg any) (any, error)
+
+// Binding associates a handler with the extension that registered it
+// and the static security class it runs at.
+type Binding struct {
+	// Owner names the extension or principal that registered the
+	// handler (for audit and unregistration).
+	Owner string
+	// Static is the statically assigned class of the handler. If
+	// valid, the handler is admissible only for callers whose class
+	// dominates it, and it runs at the meet of the caller's class and
+	// Static. The zero class means the handler is purely dynamic: it is
+	// admissible for every caller and runs at the caller's class.
+	Static lattice.Class
+	// Guard is an optional extra admissibility predicate over the
+	// caller's class. A nil Guard admits every caller the Static rule
+	// admits.
+	Guard func(caller lattice.Class) bool
+	// Handler is the implementation.
+	Handler Handler
+}
+
+func (b Binding) admits(caller lattice.Class) bool {
+	if b.Static.Valid() && !caller.Dominates(b.Static) {
+		return false
+	}
+	if b.Guard != nil && !b.Guard(caller) {
+		return false
+	}
+	return true
+}
+
+// service is one extendable entry point.
+type service struct {
+	base Binding
+	// specs holds specializations in registration order.
+	specs []Binding
+}
+
+// Dispatcher maps name-space paths of method nodes to their handler
+// sets. It is safe for concurrent use.
+type Dispatcher struct {
+	mu       sync.RWMutex
+	services map[string]*service
+}
+
+// New creates an empty dispatcher.
+func New() *Dispatcher {
+	return &Dispatcher{services: make(map[string]*service)}
+}
+
+// Register installs the base implementation of a service. Each path can
+// be registered once.
+func (d *Dispatcher) Register(path string, base Binding) error {
+	if base.Handler == nil {
+		return fmt.Errorf("%w: base of %s", ErrNilHandler, path)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.services[path]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicate, path)
+	}
+	d.services[path] = &service{base: base}
+	return nil
+}
+
+// Unregister removes a service and all its specializations.
+func (d *Dispatcher) Unregister(path string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.services[path]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoService, path)
+	}
+	delete(d.services, path)
+	return nil
+}
+
+// Extend registers a specialization of an existing service.
+func (d *Dispatcher) Extend(path string, b Binding) error {
+	if b.Handler == nil {
+		return fmt.Errorf("%w: specialization of %s", ErrNilHandler, path)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	svc, ok := d.services[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoService, path)
+	}
+	svc.specs = append(svc.specs, b)
+	return nil
+}
+
+// RemoveExtensions drops every specialization owned by owner from the
+// service at path, returning how many were removed.
+func (d *Dispatcher) RemoveExtensions(path, owner string) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	svc, ok := d.services[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoService, path)
+	}
+	kept := svc.specs[:0]
+	removed := 0
+	for _, b := range svc.specs {
+		if b.Owner == owner {
+			removed++
+			continue
+		}
+		kept = append(kept, b)
+	}
+	svc.specs = kept
+	return removed, nil
+}
+
+// Registered reports whether a base implementation exists at path.
+func (d *Dispatcher) Registered(path string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.services[path]
+	return ok
+}
+
+// Handlers returns the owners of the base and every specialization at
+// path, base first.
+func (d *Dispatcher) Handlers(path string) ([]string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	svc, ok := d.services[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoService, path)
+	}
+	out := make([]string, 0, 1+len(svc.specs))
+	out = append(out, svc.base.Owner)
+	for _, b := range svc.specs {
+		out = append(out, b.Owner)
+	}
+	return out, nil
+}
+
+// Select picks the binding that will serve a caller at class caller:
+// among admissible specializations, the one with the most dominant
+// static class (the most specific handler the caller may use); ties go
+// to the earliest registered. Purely dynamic specializations (zero
+// Static) are least specific: they are chosen only if no statically
+// classed specialization is admissible. If no specialization is
+// admissible the base binding is returned.
+func (d *Dispatcher) Select(path string, caller lattice.Class) (Binding, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	svc, ok := d.services[path]
+	if !ok {
+		return Binding{}, fmt.Errorf("%w: %s", ErrNoService, path)
+	}
+	var best *Binding
+	for i := range svc.specs {
+		b := &svc.specs[i]
+		if !b.admits(caller) {
+			continue
+		}
+		if best == nil {
+			best = b
+			continue
+		}
+		// Strictly more specific wins; otherwise keep the earlier one.
+		if b.Static.Valid() && (!best.Static.Valid() ||
+			(b.Static.Dominates(best.Static) && !b.Static.Equal(best.Static))) {
+			best = b
+		}
+	}
+	if best != nil {
+		return *best, nil
+	}
+	if !svc.base.admits(caller) {
+		return Binding{}, fmt.Errorf("%w: %s for class %s", ErrNoHandler, path, caller)
+	}
+	return svc.base, nil
+}
+
+// Invoke selects the right handler for the caller's class and runs it
+// in a derived context clamped by the handler's static class. A panic
+// in the handler is contained: Invoke returns a *PanicError naming the
+// owning extension instead of unwinding the caller.
+func (d *Dispatcher) Invoke(path string, ctx *subject.Context, arg any) (out any, err error) {
+	b, err := d.Select(path, ctx.Class())
+	if err != nil {
+		return nil, err
+	}
+	child, err := ctx.Derive(path, b.Static)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			out = nil
+			err = &PanicError{Service: path, Owner: b.Owner, Value: v}
+		}
+	}()
+	return b.Handler(child, arg)
+}
+
+// Multicast invokes the base implementation and *every* admissible
+// specialization for the caller, each in its own clamped context, and
+// returns the successful results in invocation order (base first).
+// SPIN's event dispatch is multicast — an event may have many handlers
+// — and the paper's model composes with it: each handler still runs at
+// the meet of the caller's class and its own static class. Handler
+// errors and contained panics are joined into the returned error; a
+// failing handler does not stop the rest.
+func (d *Dispatcher) Multicast(path string, ctx *subject.Context, arg any) ([]any, error) {
+	d.mu.RLock()
+	svc, ok := d.services[path]
+	if !ok {
+		d.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoService, path)
+	}
+	bindings := make([]Binding, 0, 1+len(svc.specs))
+	if svc.base.admits(ctx.Class()) {
+		bindings = append(bindings, svc.base)
+	}
+	for _, b := range svc.specs {
+		if b.admits(ctx.Class()) {
+			bindings = append(bindings, b)
+		}
+	}
+	d.mu.RUnlock()
+
+	var results []any
+	var errs []error
+	for _, b := range bindings {
+		out, err := runContained(path, b, ctx, arg)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		results = append(results, out)
+	}
+	return results, errors.Join(errs...)
+}
+
+// runContained runs one binding in a derived context with panic
+// containment.
+func runContained(path string, b Binding, ctx *subject.Context, arg any) (out any, err error) {
+	child, err := ctx.Derive(path, b.Static)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			out = nil
+			err = &PanicError{Service: path, Owner: b.Owner, Value: v}
+		}
+	}()
+	return b.Handler(child, arg)
+}
+
+// Services returns the number of registered services.
+func (d *Dispatcher) Services() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.services)
+}

@@ -1,0 +1,107 @@
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"secext/internal/subject"
+)
+
+func TestMulticastRunsAllAdmissible(t *testing.T) {
+	w := newWorld(t)
+	if err := w.d.Register("/ev", Binding{Owner: "base", Handler: tag("base")}); err != nil {
+		t.Fatal(err)
+	}
+	d1 := w.lat.MustClass("organization", "dept-1")
+	d2 := w.lat.MustClass("organization", "dept-2")
+	if err := w.d.Extend("/ev", Binding{Owner: "h1", Static: d1, Handler: tag("h1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.d.Extend("/ev", Binding{Owner: "h2", Static: d2, Handler: tag("h2")}); err != nil {
+		t.Fatal(err)
+	}
+	// A caller dominating only dept-1 reaches base and h1, not h2.
+	out, err := w.d.Multicast("/ev", w.ctx(t, "u1", "local", "dept-1"), nil)
+	if err != nil {
+		t.Fatalf("Multicast: %v", err)
+	}
+	if len(out) != 2 || out[0] != "base@local:{dept-1}" || out[1] != "h1@organization:{dept-1}" {
+		t.Errorf("results = %v", out)
+	}
+	// A caller dominating both reaches all three, each clamped.
+	out, err = w.d.Multicast("/ev", w.ctx(t, "u2", "local", "dept-1", "dept-2"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Errorf("results = %v", out)
+	}
+}
+
+func TestMulticastJoinsErrorsAndContainsPanics(t *testing.T) {
+	w := newWorld(t)
+	if err := w.d.Register("/ev", Binding{Owner: "base", Handler: tag("base")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.d.Extend("/ev", Binding{Owner: "failing",
+		Handler: func(ctx *subject.Context, arg any) (any, error) {
+			return nil, fmt.Errorf("handler says no")
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.d.Extend("/ev", Binding{Owner: "bomber",
+		Handler: func(ctx *subject.Context, arg any) (any, error) {
+			panic("kaboom")
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.d.Extend("/ev", Binding{Owner: "fine", Handler: tag("fine")}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := w.d.Multicast("/ev", w.ctx(t, "u", "others"), nil)
+	if len(out) != 2 { // base + fine
+		t.Errorf("results = %v", out)
+	}
+	if err == nil {
+		t.Fatal("joined error expected")
+	}
+	if !errors.Is(err, ErrHandlerPanic) {
+		t.Errorf("panic must be in the joined error: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Owner != "bomber" {
+		t.Errorf("panic attribution: %v", err)
+	}
+	if got := err.Error(); !strings.Contains(got, "handler says no") {
+		t.Errorf("plain error must be joined: %v", got)
+	}
+}
+
+func TestMulticastNoService(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.d.Multicast("/missing", w.ctx(t, "u", "others"), nil); !errors.Is(err, ErrNoService) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestMulticastInadmissibleBase(t *testing.T) {
+	w := newWorld(t)
+	org := w.lat.MustClass("organization")
+	if err := w.d.Register("/ev", Binding{Owner: "base", Static: org, Handler: tag("base")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.d.Extend("/ev", Binding{Owner: "dyn", Handler: tag("dyn")}); err != nil {
+		t.Fatal(err)
+	}
+	// A low caller skips the inadmissible base but still reaches the
+	// dynamic specialization.
+	out, err := w.d.Multicast("/ev", w.ctx(t, "low", "others"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != "dyn@others" {
+		t.Errorf("results = %v", out)
+	}
+}

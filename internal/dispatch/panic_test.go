@@ -1,0 +1,72 @@
+package dispatch
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"secext/internal/subject"
+)
+
+func TestInvokeContainsHandlerPanic(t *testing.T) {
+	w := newWorld(t)
+	if err := w.d.Register("/s", Binding{Owner: "base", Handler: tag("base")}); err != nil {
+		t.Fatal(err)
+	}
+	bomb := func(ctx *subject.Context, arg any) (any, error) {
+		panic("misbehaved graft")
+	}
+	if err := w.d.Extend("/s", Binding{Owner: "evil-ext", Handler: bomb}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := w.d.Invoke("/s", w.ctx(t, "u", "organization", "dept-1"), nil)
+	if out != nil {
+		t.Errorf("out = %v, want nil", out)
+	}
+	if !errors.Is(err, ErrHandlerPanic) {
+		t.Fatalf("got %v, want ErrHandlerPanic", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatal("error must be a *PanicError")
+	}
+	if pe.Owner != "evil-ext" || pe.Service != "/s" || pe.Value != "misbehaved graft" {
+		t.Errorf("PanicError = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "evil-ext") {
+		t.Errorf("Error() must name the owner: %s", pe.Error())
+	}
+
+	// The system survives: retract the offender and the base serves.
+	if _, err := w.d.RemoveExtensions("/s", "evil-ext"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.d.Invoke("/s", w.ctx(t, "u", "organization", "dept-1"), nil)
+	if err != nil || got != "base@organization:{dept-1}" {
+		t.Errorf("after retract: %v, %v", got, err)
+	}
+}
+
+func TestPanicDoesNotPoisonOtherServices(t *testing.T) {
+	w := newWorld(t)
+	if err := w.d.Register("/bad", Binding{Owner: "b",
+		Handler: func(ctx *subject.Context, arg any) (any, error) { panic(42) }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.d.Register("/good", Binding{Owner: "g", Handler: tag("good")}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := w.ctx(t, "u", "others")
+	if _, err := w.d.Invoke("/bad", ctx, nil); !errors.Is(err, ErrHandlerPanic) {
+		t.Fatalf("bad: %v", err)
+	}
+	if got, err := w.d.Invoke("/good", ctx, nil); err != nil || got != "good@others" {
+		t.Errorf("good after bad: %v, %v", got, err)
+	}
+	// Repeated panics stay contained.
+	for i := 0; i < 10; i++ {
+		if _, err := w.d.Invoke("/bad", ctx, nil); !errors.Is(err, ErrHandlerPanic) {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+// Probes that back the E9 expressiveness matrix with live model
+// instances: for every probeable cell, construct the baseline's best
+// attempt at the requirement and verify the cell's yes/no against
+// observed behavior. Cells resting on structure rather than probing
+// (e.g. "the sandbox has exactly two trust states by type") are
+// asserted on the decision functions' shapes.
+
+import (
+	"testing"
+
+	"secext/internal/baseline"
+	"secext/internal/baseline/domains"
+	"secext/internal/baseline/ntacl"
+	"secext/internal/baseline/sandbox"
+	"secext/internal/baseline/unixmode"
+)
+
+// row returns the matrix row for a requirement by name.
+func row(t *testing.T, name string) [5]bool {
+	t.Helper()
+	for _, s := range e9Scenarios {
+		if s.name == name {
+			return s.cells
+		}
+	}
+	t.Fatalf("no scenario %q", name)
+	return [5]bool{}
+}
+
+const (
+	colSecext = iota
+	colSandbox
+	colDomains
+	colUnix
+	colNT
+)
+
+func TestE9ProbeCallWithoutExtend(t *testing.T) {
+	cells := row(t, "grant call without extend on one service")
+
+	// unix: 0o555 grants execute without write(≈extend).
+	ux := unixmode.New()
+	ux.SetObject("/svc/s", "root", "wheel", 0o555)
+	got := ux.CheckCall("u", "/svc/s") && !ux.CheckExtend("u", "/svc/s")
+	if got != cells[colUnix] {
+		t.Errorf("unix probe = %v, cell = %v", got, cells[colUnix])
+	}
+
+	// ntacl: Execute right without Write.
+	nt := ntacl.New()
+	nt.SetACL("/svc/s", ntacl.Entry{Subject: "u", Rights: ntacl.Execute})
+	got = nt.CheckCall("u", "/svc/s") && !nt.CheckExtend("u", "/svc/s")
+	if got != cells[colNT] {
+		t.Errorf("ntacl probe = %v, cell = %v", got, cells[colNT])
+	}
+
+	// sandbox and domains compute call and extend from one predicate:
+	// no configuration can split them. Probe equality across settings.
+	sb := sandbox.New([]string{"t"}, []string{"/x"})
+	for _, sub := range []string{"t", "u"} {
+		for _, svc := range []string{"/x/s", "/y/s"} {
+			if sb.CheckCall(sub, svc) != sb.CheckExtend(sub, svc) {
+				t.Fatalf("sandbox split call/extend at %s/%s", sub, svc)
+			}
+		}
+	}
+	if cells[colSandbox] {
+		t.Error("sandbox cell must be no")
+	}
+	dm := domains.New()
+	dm.DefineDomain("d", "/x")
+	_ = dm.Link("u", "d")
+	for _, svc := range []string{"/x/s", "/y/s"} {
+		if dm.CheckCall("u", svc) != dm.CheckExtend("u", svc) {
+			t.Fatalf("domains split call/extend at %s", svc)
+		}
+	}
+	if cells[colDomains] {
+		t.Error("domains cell must be no")
+	}
+}
+
+func TestE9ProbeDenyGroupMember(t *testing.T) {
+	cells := row(t, "deny one member of an allowed group")
+
+	// ntacl: deny-ACE first, group allow after — bob in, mallory out.
+	nt := ntacl.New()
+	nt.AddToGroup("bob", "staff")
+	nt.AddToGroup("mallory", "staff")
+	nt.SetACL("/o",
+		ntacl.Entry{Subject: "mallory", Deny: true, Rights: ntacl.Read},
+		ntacl.Entry{Subject: "staff", Group: true, Rights: ntacl.Read},
+	)
+	got := nt.CheckData("bob", "/o", baseline.OpRead) && !nt.CheckData("mallory", "/o", baseline.OpRead)
+	if got != cells[colNT] {
+		t.Errorf("ntacl probe = %v, cell = %v", got, cells[colNT])
+	}
+
+	// unix: both are group members; the bits cannot tell them apart.
+	// (The owner-slot trick — making mallory the owner with zero owner
+	// bits — is excluded: in real Unix the owner may chmod, so it is
+	// not a deny.) Probe: any mode gives bob and mallory identical
+	// access.
+	ux := unixmode.New()
+	ux.AddToGroup("bob", "staff")
+	ux.AddToGroup("mallory", "staff")
+	for _, mode := range []unixmode.Perm{0o640, 0o644, 0o600, 0o660} {
+		ux.SetObject("/o", "root", "staff", mode)
+		if ux.CheckData("bob", "/o", baseline.OpRead) != ux.CheckData("mallory", "/o", baseline.OpRead) {
+			t.Fatalf("unix distinguished group members at mode %o", mode)
+		}
+	}
+	if cells[colUnix] {
+		t.Error("unix cell must be no")
+	}
+}
+
+func TestE9ProbePeerIsolation(t *testing.T) {
+	cells := row(t, "isolate two untrusted peers' objects (ThreadMurder)")
+
+	// unix: per-object ownership with owner-only write isolates peers.
+	ux := unixmode.New()
+	ux.SetObject("/threads/1", "victim", "users", 0o200)
+	got := !ux.CheckData("murder", "/threads/1", baseline.OpWrite) &&
+		ux.CheckData("victim", "/threads/1", baseline.OpWrite)
+	if got != cells[colUnix] {
+		t.Errorf("unix probe = %v, cell = %v", got, cells[colUnix])
+	}
+
+	// sandbox: two untrusted subjects get identical decisions on any
+	// object — isolation between them is inexpressible.
+	sb := sandbox.New(nil, []string{"/fs"})
+	for _, obj := range []string{"/threads/1", "/fs/x", "/anything"} {
+		if sb.CheckData("murder", obj, baseline.OpWrite) != sb.CheckData("victim", obj, baseline.OpWrite) {
+			t.Fatalf("sandbox distinguished untrusted peers on %s", obj)
+		}
+	}
+	if cells[colSandbox] {
+		t.Error("sandbox cell must be no")
+	}
+}
+
+func TestE9ProbeAppendWithoutWrite(t *testing.T) {
+	cells := row(t, "append without read or overwrite")
+	// unix and nt map append and write to the same right; probe the
+	// conflation across configurations.
+	ux := unixmode.New()
+	for _, mode := range []unixmode.Perm{0o200, 0o600, 0o666, 0o444} {
+		ux.SetObject("/j", "o", "g", mode)
+		if ux.CheckData("u", "/j", baseline.OpAppend) != ux.CheckData("u", "/j", baseline.OpWrite) {
+			t.Fatalf("unix split append/write at %o", mode)
+		}
+	}
+	if cells[colUnix] {
+		t.Error("unix cell must be no")
+	}
+	nt := ntacl.New()
+	nt.SetACL("/j", ntacl.Entry{Subject: "u", Rights: ntacl.Write})
+	if nt.CheckData("u", "/j", baseline.OpAppend) != nt.CheckData("u", "/j", baseline.OpWrite) {
+		t.Fatal("ntacl split append/write")
+	}
+	if cells[colNT] {
+		t.Error("nt cell must be no")
+	}
+}
+
+func TestE9ProbeDefaultAllowWithDeny(t *testing.T) {
+	cells := row(t, "default-allow for unknown subjects, one deny")
+
+	// ntacl: deny mallory; allow * — an unknown subject passes.
+	nt := ntacl.New()
+	nt.SetACL("/o",
+		ntacl.Entry{Subject: "mallory", Deny: true, Rights: ntacl.Read},
+		ntacl.Entry{Subject: "*", Rights: ntacl.Read},
+	)
+	got := nt.CheckData("never-seen-before", "/o", baseline.OpRead) &&
+		!nt.CheckData("mallory", "/o", baseline.OpRead)
+	if got != cells[colNT] {
+		t.Errorf("ntacl probe = %v, cell = %v", got, cells[colNT])
+	}
+
+	// sandbox: unknown subjects are untrusted by default, so with the
+	// object protected mallory is denied — but so is everyone unknown.
+	sb := sandbox.New(nil, []string{"/o"})
+	if sb.CheckData("never-seen-before", "/o", baseline.OpRead) {
+		t.Fatal("sandbox default-allowed a sensitive object")
+	}
+	if cells[colSandbox] {
+		t.Error("sandbox cell must be no")
+	}
+
+	// domains: unknown subjects are unlinked, hence denied.
+	dm := domains.New()
+	dm.DefineDomain("d", "/o")
+	if dm.CheckData("never-seen-before", "/o", baseline.OpRead) {
+		t.Fatal("domains default-allowed an unlinked subject")
+	}
+	if cells[colDomains] {
+		t.Error("domains cell must be no")
+	}
+}
+
+func TestE9ProbeAdministrateSeparateFromWrite(t *testing.T) {
+	cells := row(t, "administrate right separate from write")
+	// ntacl: ChangePerms without Write.
+	nt := ntacl.New()
+	nt.SetACL("/o", ntacl.Entry{Subject: "admin", Rights: ntacl.ChangePerms})
+	got := nt.Check("admin", "/o", ntacl.ChangePerms) && !nt.Check("admin", "/o", ntacl.Write)
+	if got != cells[colNT] {
+		t.Errorf("ntacl probe = %v, cell = %v", got, cells[colNT])
+	}
+	// unix has no grantable chmod bit at all (ownership implies it);
+	// the model exposes no operation to probe, which is the point.
+	if cells[colUnix] {
+		t.Error("unix cell must be no")
+	}
+}

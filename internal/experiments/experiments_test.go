@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestS1Scenario(t *testing.T) {
+	r := S1()
+	if r.Err != nil {
+		t.Fatalf("S1: %v\n%s", r.Err, r.Table)
+	}
+	if !strings.Contains(r.Table, "outsider") || !strings.Contains(r.Table, "ALLOW") {
+		t.Errorf("S1 table malformed:\n%s", r.Table)
+	}
+	// Every row must match the paper.
+	if strings.Contains(r.Table, "  no") {
+		t.Errorf("S1 has deviating rows:\n%s", r.Table)
+	}
+}
+
+func TestS2Scenario(t *testing.T) {
+	r := S2()
+	if r.Err != nil {
+		t.Fatalf("S2: %v\n%s", r.Err, r.Table)
+	}
+	if !strings.Contains(r.Table, "java-sandbox") || !strings.Contains(r.Table, "secext") {
+		t.Errorf("S2 table malformed:\n%s", r.Table)
+	}
+}
+
+func TestS3Scenario(t *testing.T) {
+	r := S3()
+	if r.Err != nil {
+		t.Fatalf("S3: %v\n%s", r.Err, r.Table)
+	}
+}
+
+func TestS4Scenario(t *testing.T) {
+	r := S4()
+	if r.Err != nil {
+		t.Fatalf("S4: %v\n%s", r.Err, r.Table)
+	}
+	if strings.Contains(r.Table, "  no") {
+		t.Errorf("S4 has deviating rows:\n%s", r.Table)
+	}
+}
+
+func TestE9Expressiveness(t *testing.T) {
+	r := E9()
+	if r.Err != nil {
+		t.Fatalf("E9: %v\n%s", r.Err, r.Table)
+	}
+	counts := E9Counts()
+	if counts["secext"] != 12 {
+		t.Errorf("secext expresses %d/12", counts["secext"])
+	}
+	// The ordering the paper's prose implies: the richer the mechanism,
+	// the more of the requirements it covers.
+	if !(counts["secext"] > counts["ntacl"] &&
+		counts["ntacl"] > counts["unix"] &&
+		counts["unix"] > counts["sandbox"]) {
+		t.Errorf("expressiveness ordering violated: %v", counts)
+	}
+	if counts["sandbox"] != 0 || counts["domains"] != 0 {
+		t.Errorf("sandbox/domains should express none of the 12: %v", counts)
+	}
+}
+
+func TestE10WriteAppend(t *testing.T) {
+	r := E10()
+	if r.Err != nil {
+		t.Fatalf("E10: %v\n%s", r.Err, r.Table)
+	}
+	if strings.Contains(r.Table, "  no\n") {
+		t.Errorf("E10 has unexpected outcomes:\n%s", r.Table)
+	}
+}
+
+func TestMeasureScalesIterations(t *testing.T) {
+	calls := 0
+	v := measure(2*time.Millisecond, func(n int) {
+		calls++
+		time.Sleep(time.Duration(n) * 10 * time.Microsecond)
+	})
+	if v <= 0 {
+		t.Errorf("measure = %v", v)
+	}
+	if calls < 2 {
+		t.Errorf("measure must rescale at least once, calls = %d", calls)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &table{header: []string{"a", "long-header"}}
+	tb.add("x", "y")
+	s := tb.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table = %q", s)
+	}
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+}
+
+func TestNsFormatting(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{42, "42.0 ns"},
+		{4200, "4.20 µs"},
+		{4.2e6, "4.20 ms"},
+	}
+	for _, tc := range cases {
+		if got := ns(tc.v); got != tc.want {
+			t.Errorf("ns(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestTimingExperimentsRun executes the timed experiments with the
+// default budget; in -short mode it is skipped to keep CI fast.
+func TestTimingExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiments skipped in -short mode")
+	}
+	for _, r := range []Result{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), A1(), A2(), A3()} {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.ID, r.Err)
+		}
+		if !strings.Contains(r.Table, "ns") && !strings.Contains(r.Table, "µs") &&
+			!strings.Contains(r.Table, "ms") {
+			t.Errorf("%s table has no timings:\n%s", r.ID, r.Table)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secext"
+	"secext/internal/baseline/sandbox"
+)
+
+// orgWorld builds the §2.2 universe used by the scenarios.
+func orgWorld() (*secext.World, error) {
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:     []string{"others", "organization", "local"},
+		Categories: []string{"myself", "dept-1", "dept-2", "outside"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range []struct{ name, class string }{
+		{"user", "local:{myself,dept-1,dept-2,outside}"},
+		{"applet1", "organization:{dept-1}"},
+		{"applet2", "organization:{dept-2}"},
+		{"applet3", "organization:{dept-1,dept-2}"},
+		{"outsider", "others:{outside}"},
+	} {
+		if _, err := w.Sys.AddPrincipal(p.name, p.class); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// S1 reproduces the §2.2 organization access matrix and asserts the
+// paper's stated outcomes.
+func S1() Result {
+	res := Result{ID: "S1", Title: "Organization access matrix (paper §2.2)"}
+	w, err := orgWorld()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	open := secext.NewACL(secext.AllowEveryone(
+		secext.Read | secext.Write | secext.WriteAppend))
+	writers := []string{"applet1", "applet2", "applet3"}
+	for _, name := range writers {
+		ctx, err := w.Sys.NewContext(name)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		if err := w.FS.Create(ctx, "/fs/"+name+"-file", open, ctx.Class()); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	expected := map[string][3]bool{
+		"user":     {true, true, true},
+		"applet1":  {true, false, false},
+		"applet2":  {false, true, false},
+		"applet3":  {true, true, true},
+		"outsider": {false, false, false},
+	}
+	t := &table{header: []string{"reader \\ file", "applet1-file", "applet2-file", "applet3-file", "matches paper"}}
+	for _, reader := range []string{"user", "applet1", "applet2", "applet3", "outsider"} {
+		ctx, err := w.Sys.NewContext(reader)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		row := []string{reader}
+		ok := true
+		for i, wtr := range writers {
+			_, err := w.FS.Read(ctx, "/fs/"+wtr+"-file")
+			got := err == nil
+			row = append(row, verdict(got))
+			if got != expected[reader][i] {
+				ok = false
+			}
+		}
+		row = append(row, yes(ok))
+		t.add(row...)
+		if !ok && res.Err == nil {
+			res.Err = fmt.Errorf("S1: row %s deviates from the paper", reader)
+		}
+	}
+	res.Table = t.String()
+	return res
+}
+
+// S2 replays the ThreadMurder attack against the sandbox baseline and
+// against secext, asserting containment under secext.
+func S2() Result {
+	res := Result{ID: "S2", Title: "ThreadMurder containment (paper §1.2)"}
+	t := &table{header: []string{"model", "victim threads", "killed", "contained"}}
+
+	// Sandbox baseline: the model cannot protect per-applet threads.
+	sb := sandbox.New(nil, []string{"/fs"})
+	sbKilled := 0
+	for i := 0; i < 2; i++ {
+		if sb.CheckCall("thread-murder", "/svc/thread/kill") {
+			sbKilled++
+		}
+	}
+	t.add("java-sandbox", "2", fmt.Sprint(sbKilled), yes(sbKilled == 0))
+
+	// secext: per-thread ACLs + compartments.
+	w, err := orgWorld()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if _, err := w.Sys.AddPrincipal("thread-murder", "organization:{dept-1}"); err != nil {
+		res.Err = err
+		return res
+	}
+	var victims []int
+	for _, owner := range []string{"applet1", "applet2"} {
+		ctx, _ := w.Sys.NewContext(owner)
+		out, err := w.Sys.Call(ctx, "/svc/thread/spawn", secext.ThreadSpawnRequest{Name: owner})
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		victims = append(victims, out.(int))
+	}
+	murder, _ := w.Sys.NewContext("thread-murder")
+	killed := 0
+	for _, id := range victims {
+		if _, err := w.Sys.Call(murder, "/svc/thread/kill", secext.ThreadKillRequest{ID: id}); err == nil {
+			killed++
+		}
+	}
+	t.add("secext", "2", fmt.Sprint(killed), yes(killed == 0))
+	if killed != 0 {
+		res.Err = fmt.Errorf("S2: secext failed to contain ThreadMurder (%d killed)", killed)
+	}
+	if sbKilled == 0 {
+		res.Err = fmt.Errorf("S2: sandbox baseline unexpectedly contained the attack")
+	}
+	res.Table = t.String()
+	return res
+}
+
+// s3Ext is the §1.1 new-file-system extension used by S3.
+type s3Ext struct{ alloc, free *secext.Capability }
+
+func (e *s3Ext) Init(lk *secext.Linkage) (map[string]secext.Handler, error) {
+	var err error
+	if e.alloc, err = lk.Cap("/svc/mbuf/alloc"); err != nil {
+		return nil, err
+	}
+	if e.free, err = lk.Cap("/svc/mbuf/free"); err != nil {
+		return nil, err
+	}
+	read := func(ctx *secext.Context, arg any) (any, error) {
+		req := arg.(secext.FileRequest)
+		out, err := e.alloc.Invoke(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		buf := out.(secext.MbufBuffer)
+		n := copy(buf.Data, "newfs:"+req.Path)
+		data := append([]byte(nil), buf.Data[:n]...)
+		if _, err := e.free.Invoke(ctx, buf); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	return map[string]secext.Handler{"/svc/fs/read": read}, nil
+}
+
+// S3 loads the new-file-system extension and asserts (a) it serves its
+// compartment through the existing interface using the mbuf substrate,
+// (b) other compartments fall back to the base FS, (c) revoking the
+// import's execute right fails the link.
+func S3() Result {
+	res := Result{ID: "S3", Title: "File-system extension via existing interface (paper §1.1)"}
+	w, err := orgWorld()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if err := w.Sys.Names().SetACLUnchecked("/svc/fs/read", secext.NewACL(
+		secext.AllowEveryone(secext.Execute|secext.List),
+		secext.Allow("applet1", secext.Extend))); err != nil {
+		res.Err = err
+		return res
+	}
+	tok, err := w.Sys.Registry().IssueToken("applet1")
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	m := secext.Manifest{
+		Name: "newfs", Principal: "applet1", Token: tok,
+		Imports:     []string{"/svc/mbuf/alloc", "/svc/mbuf/free"},
+		Extends:     []string{"/svc/fs/read"},
+		StaticClass: "organization:{dept-1}",
+		Code:        func() secext.Extension { return &s3Ext{} },
+	}
+	t := &table{header: []string{"step", "outcome", "as expected"}}
+
+	_, err = w.Sys.Loader().Load(m)
+	t.add("load newfs (authenticated, linked)", errStr(err), yes(err == nil))
+	if err != nil {
+		res.Err = err
+		res.Table = t.String()
+		return res
+	}
+
+	a1, _ := w.Sys.NewContext("applet1")
+	out, err := w.Sys.Call(a1, "/svc/fs/read", secext.FileRequest{Path: "/newfs/x"})
+	served := err == nil && string(out.([]byte)) == "newfs:/newfs/x"
+	t.add("dept-1 read via /svc/fs/read", fmt.Sprintf("%v", outOrErr(out, err)), yes(served))
+	if !served {
+		res.Err = fmt.Errorf("S3: extension did not serve its compartment: %v", err)
+	}
+
+	usedMbuf := w.Mbuf.Stats().Allocs > 0
+	t.add("extension used mbuf substrate", fmt.Sprintf("allocs=%d", w.Mbuf.Stats().Allocs), yes(usedMbuf))
+	if !usedMbuf && res.Err == nil {
+		res.Err = fmt.Errorf("S3: extension bypassed the mbuf substrate")
+	}
+
+	outsider, _ := w.Sys.NewContext("outsider")
+	_, err = w.Sys.Call(outsider, "/svc/fs/read", secext.FileRequest{Path: "/newfs/x"})
+	fellBack := err != nil // base FS has no /newfs
+	t.add("outside read falls back to base FS", errStr(err), yes(fellBack))
+	if !fellBack && res.Err == nil {
+		res.Err = fmt.Errorf("S3: outsider was served by the compartment extension")
+	}
+
+	// Revoke and relink.
+	if err := w.Sys.Names().SetACLUnchecked("/svc/mbuf/alloc",
+		secext.NewACL(secext.AllowEveryone(secext.Execute|secext.List),
+			secext.Deny("applet1", secext.Execute))); err != nil {
+		res.Err = err
+		res.Table = t.String()
+		return res
+	}
+	m2 := m
+	m2.Name = "newfs2"
+	_, err = w.Sys.Loader().Load(m2)
+	t.add("relink after import revoked", errStr(err), yes(err != nil))
+	if err == nil && res.Err == nil {
+		res.Err = fmt.Errorf("S3: link succeeded after execute was revoked")
+	}
+	res.Table = t.String()
+	return res
+}
+
+// s4Ext probes one file through its file-read capability.
+type s4Ext struct{ read *secext.Capability }
+
+func (e *s4Ext) Init(lk *secext.Linkage) (map[string]secext.Handler, error) {
+	var err error
+	if e.read, err = lk.Cap("/svc/fs/read"); err != nil {
+		return nil, err
+	}
+	h := func(ctx *secext.Context, arg any) (any, error) {
+		return e.read.Invoke(ctx, secext.FileRequest{Path: arg.(string)})
+	}
+	return map[string]secext.Handler{"/svc/probe": h}, nil
+}
+
+// S4 reproduces the §2 origin policy: the same extension admitted from
+// three origins gets three different ceilings, asserted as a read
+// matrix over three files (public / organization / local).
+func S4() Result {
+	res := Result{ID: "S4", Title: "Origin-based admission matrix (paper §2 opening example)"}
+	w, err := orgWorld()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	sys := w.Sys
+	err = sys.RegisterService(secext.ServiceSpec{
+		Path: "/svc/probe",
+		ACL: secext.NewACL(secext.AllowEveryone(
+			secext.Execute | secext.Extend | secext.List)),
+		Base: secext.Binding{Owner: "base", Handler: func(ctx *secext.Context, arg any) (any, error) {
+			return nil, fmt.Errorf("no probe for this caller")
+		}},
+	})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	// Three files at ascending sensitivity, readable by anyone the
+	// lattice admits.
+	open := secext.NewACL(secext.AllowEveryone(secext.Read))
+	userCtx, _ := sys.NewContext("user")
+	for _, f := range []struct{ path, class string }{
+		{"/fs/public", "others"},
+		{"/fs/org", "organization:{dept-1}"},
+		{"/fs/secret", "local:{myself,dept-1,dept-2,outside}"},
+	} {
+		class, err := sys.Lattice().ParseClass(f.class)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		ctx, err := userCtx.Clamp(class)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		if err := w.FS.Create(ctx, f.path, open, class); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	adm, err := secext.NewAdmitter(sys, []secext.AdmissionRule{
+		{Pattern: "local", ClassLabel: "local:{myself,dept-1,dept-2,outside}",
+			StaticClamp: "local:{myself,dept-1,dept-2,outside}", AutoRegister: true},
+		{Pattern: "*.corp.example", ClassLabel: "organization:{dept-1}",
+			StaticClamp: "organization:{dept-1}", AutoRegister: true},
+		{Pattern: "*", ClassLabel: "others", StaticClamp: "others", AutoRegister: true},
+	})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	origins := []struct{ origin, ext, principal string }{
+		{"local", "p-local", "localdev"},
+		{"apps.corp.example", "p-org", "orgdev"},
+		{"cdn.wild.example", "p-out", "wilddev"},
+	}
+	for _, o := range origins {
+		_, err := adm.Admit(o.origin, secext.Manifest{
+			Name: o.ext, Principal: o.principal,
+			Imports: []string{"/svc/fs/read"},
+			Extends: []string{"/svc/probe"},
+			Code:    func() secext.Extension { return &s4Ext{} },
+		})
+		if err != nil {
+			res.Err = fmt.Errorf("S4: admit %s: %w", o.origin, err)
+			return res
+		}
+	}
+	expected := map[string][3]bool{
+		"localdev": {true, true, true},
+		"orgdev":   {true, true, false},
+		"wilddev":  {true, false, false},
+	}
+	files := []string{"/fs/public", "/fs/org", "/fs/secret"}
+	t := &table{header: []string{"origin principal", "/fs/public", "/fs/org", "/fs/secret", "matches paper"}}
+	for _, o := range origins {
+		ctx, err := sys.NewContext(o.principal)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		row := []string{o.principal}
+		ok := true
+		for i, f := range files {
+			_, err := sys.Call(ctx, "/svc/probe", f)
+			got := err == nil
+			row = append(row, verdict(got))
+			if got != expected[o.principal][i] {
+				ok = false
+			}
+		}
+		row = append(row, yes(ok))
+		t.add(row...)
+		if !ok && res.Err == nil {
+			res.Err = fmt.Errorf("S4: row %s deviates from the paper", o.principal)
+		}
+	}
+	res.Table = t.String()
+	return res
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	s := err.Error()
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
+func outOrErr(out any, err error) any {
+	if err != nil {
+		return errStr(err)
+	}
+	if b, ok := out.([]byte); ok {
+		return string(b)
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package extension
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"secext/internal/dispatch"
+	"secext/internal/lattice"
+	"secext/internal/subject"
+)
+
+// Loaded records one successfully linked extension.
+type Loaded struct {
+	Manifest Manifest
+	Digest   string
+	// Context is the extension's own thread of control: the
+	// authenticated principal's class, clamped by the static class.
+	Context *subject.Context
+	// Static is the parsed static class (zero for dynamic extensions).
+	Static lattice.Class
+	// Linkage is the capability table built at link time.
+	Linkage *Linkage
+	// Handlers is what the extension registered, keyed by path.
+	Handlers map[string]dispatch.Handler
+}
+
+// Loader verifies, authenticates, links, and registers extensions
+// against a Host. It is safe for concurrent use.
+type Loader struct {
+	host Host
+
+	mu     sync.Mutex
+	loaded map[string]*Loaded
+}
+
+// NewLoader creates a loader bound to the host system.
+func NewLoader(host Host) *Loader {
+	return &Loader{host: host, loaded: make(map[string]*Loaded)}
+}
+
+// Load runs the full admission pipeline for a manifest:
+//
+//  1. structural verification (the safety stand-in);
+//  2. authentication of the responsible principal;
+//  3. static-class parsing and clamping of the extension's context;
+//  4. link-time access check of every import, building the capability
+//     table (SPIN-style: checked once, used many times);
+//  5. extend-time access check and registration of every declared
+//     specialization.
+//
+// Any failure unwinds completely: a partially linked extension is never
+// left registered.
+func (l *Loader) Load(m Manifest) (*Loaded, error) {
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	prin, err := l.host.Authenticate(m.Token)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAuth, err)
+	}
+	if prin.SubjectName() != m.Principal {
+		return nil, fmt.Errorf("%w: token names %q, manifest claims %q",
+			ErrAuth, prin.SubjectName(), m.Principal)
+	}
+	ctx, err := subject.New(prin)
+	if err != nil {
+		return nil, err
+	}
+	var static lattice.Class
+	if m.StaticClass != "" {
+		static, err = l.host.ParseClass(m.StaticClass)
+		if err != nil {
+			return nil, fmt.Errorf("%w: static class: %v", ErrVerify, err)
+		}
+		ctx, err = ctx.Clamp(static)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	l.mu.Lock()
+	if _, dup := l.loaded[m.Name]; dup {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyLoaded, m.Name)
+	}
+	// Reserve the name while linking so concurrent loads of the same
+	// manifest cannot interleave; the placeholder is replaced or
+	// removed below.
+	l.loaded[m.Name] = nil
+	l.mu.Unlock()
+
+	rec, err := l.link(m, ctx, static)
+
+	l.mu.Lock()
+	if err != nil {
+		delete(l.loaded, m.Name)
+	} else {
+		l.loaded[m.Name] = rec
+	}
+	l.mu.Unlock()
+	return rec, err
+}
+
+func (l *Loader) link(m Manifest, ctx *subject.Context, static lattice.Class) (*Loaded, error) {
+	// Link imports.
+	caps := make(map[string]*Capability, len(m.Imports))
+	for _, p := range m.Imports {
+		if err := l.host.CheckImport(ctx, p); err != nil {
+			return nil, fmt.Errorf("%w: import %s: %v", ErrLink, p, err)
+		}
+		caps[p] = &Capability{path: p, host: l.host}
+	}
+	lk := &Linkage{caps: caps}
+
+	// Pre-check extends before running extension code.
+	for _, p := range m.Extends {
+		if err := l.host.CheckExtend(ctx, p); err != nil {
+			return nil, fmt.Errorf("%w: extend %s: %v", ErrLink, p, err)
+		}
+	}
+
+	// Instantiate and initialize.
+	inst := m.Code()
+	if inst == nil {
+		return nil, fmt.Errorf("%w: factory returned nil", ErrVerify)
+	}
+	handlers, err := inst.Init(lk)
+	if err != nil {
+		return nil, fmt.Errorf("extension: %s init: %w", m.Name, err)
+	}
+	for _, p := range m.Extends {
+		if handlers[p] == nil {
+			return nil, fmt.Errorf("%w: %s", ErrMissingHandler, p)
+		}
+	}
+	for p := range handlers {
+		declared := false
+		for _, q := range m.Extends {
+			if p == q {
+				declared = true
+				break
+			}
+		}
+		if !declared {
+			return nil, fmt.Errorf("%w: handler for undeclared service %s", ErrVerify, p)
+		}
+	}
+
+	// Register specializations; roll back on failure.
+	registered := make([]string, 0, len(m.Extends))
+	for _, p := range m.Extends {
+		b := dispatch.Binding{Owner: m.Name, Static: static, Handler: handlers[p]}
+		if err := l.host.Extend(ctx, p, b); err != nil {
+			for _, q := range registered {
+				_ = l.host.Retract(q, m.Name)
+			}
+			return nil, fmt.Errorf("%w: extend %s: %v", ErrLink, p, err)
+		}
+		registered = append(registered, p)
+	}
+
+	return &Loaded{
+		Manifest: m,
+		Digest:   m.Digest(),
+		Context:  ctx,
+		Static:   static,
+		Linkage:  lk,
+		Handlers: handlers,
+	}, nil
+}
+
+// Unload retracts every specialization the named extension registered
+// and forgets it.
+func (l *Loader) Unload(name string) error {
+	l.mu.Lock()
+	rec, ok := l.loaded[name]
+	if !ok || rec == nil {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotLoaded, name)
+	}
+	delete(l.loaded, name)
+	l.mu.Unlock()
+	for _, p := range rec.Manifest.Extends {
+		if err := l.host.Retract(p, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Revalidate re-runs every loaded extension's link-time checks against
+// the *current* protection state and unloads the ones that no longer
+// pass. It closes the gap link-time checking opens when ACLs or classes
+// change after an extension linked (the trade E7/E6 measure): calling
+// Revalidate after a policy change restores the invariant that every
+// loaded extension could link today. It returns the names unloaded, in
+// sorted order.
+func (l *Loader) Revalidate() ([]string, error) {
+	var dropped []string
+	for _, name := range l.Names() {
+		rec, err := l.Get(name)
+		if err != nil {
+			continue // unloaded concurrently
+		}
+		if l.stillLinks(rec) {
+			continue
+		}
+		if err := l.Unload(name); err != nil && !errors.Is(err, ErrNotLoaded) {
+			return dropped, err
+		}
+		dropped = append(dropped, name)
+	}
+	sort.Strings(dropped)
+	return dropped, nil
+}
+
+// stillLinks reports whether every import and extend of a loaded
+// extension would still be granted now.
+func (l *Loader) stillLinks(rec *Loaded) bool {
+	for _, p := range rec.Manifest.Imports {
+		if err := l.host.CheckImport(rec.Context, p); err != nil {
+			return false
+		}
+	}
+	for _, p := range rec.Manifest.Extends {
+		if err := l.host.CheckExtend(rec.Context, p); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the record of a loaded extension.
+func (l *Loader) Get(name string) (*Loaded, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.loaded[name]
+	if !ok || rec == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotLoaded, name)
+	}
+	return rec, nil
+}
+
+// Names returns the names of all loaded extensions, sorted.
+func (l *Loader) Names() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.loaded))
+	for n, rec := range l.loaded {
+		if rec != nil {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,88 @@
+package extension
+
+import (
+	"testing"
+)
+
+func TestRevalidateKeepsHealthyExtensions(t *testing.T) {
+	h := newFakeHost(t)
+	l := NewLoader(h)
+	if _, err := l.Load(validManifest(t, h)); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := l.Revalidate()
+	if err != nil {
+		t.Fatalf("Revalidate: %v", err)
+	}
+	if len(dropped) != 0 {
+		t.Errorf("dropped healthy extensions: %v", dropped)
+	}
+	if len(l.Names()) != 1 {
+		t.Error("extension must remain loaded")
+	}
+}
+
+func TestRevalidateDropsRevokedImport(t *testing.T) {
+	h := newFakeHost(t)
+	l := NewLoader(h)
+	if _, err := l.Load(validManifest(t, h)); err != nil {
+		t.Fatal(err)
+	}
+	// Revoke the import after loading.
+	h.denyImport["/svc/mbuf/alloc"] = true
+	dropped, err := l.Revalidate()
+	if err != nil {
+		t.Fatalf("Revalidate: %v", err)
+	}
+	if len(dropped) != 1 || dropped[0] != "newfs" {
+		t.Fatalf("dropped = %v, want [newfs]", dropped)
+	}
+	if len(l.Names()) != 0 {
+		t.Error("revoked extension must be unloaded")
+	}
+	if len(h.extended["/svc/fs/read"]) != 0 {
+		t.Error("revoked extension's specializations must be retracted")
+	}
+}
+
+func TestRevalidateDropsRevokedExtend(t *testing.T) {
+	h := newFakeHost(t)
+	l := NewLoader(h)
+	if _, err := l.Load(validManifest(t, h)); err != nil {
+		t.Fatal(err)
+	}
+	h.denyExtend["/svc/fs/read"] = true
+	dropped, err := l.Revalidate()
+	if err != nil {
+		t.Fatalf("Revalidate: %v", err)
+	}
+	if len(dropped) != 1 {
+		t.Fatalf("dropped = %v", dropped)
+	}
+}
+
+func TestRevalidateMixedPopulation(t *testing.T) {
+	h := newFakeHost(t)
+	l := NewLoader(h)
+	m1 := validManifest(t, h)
+	if _, err := l.Load(m1); err != nil {
+		t.Fatal(err)
+	}
+	m2 := validManifest(t, h)
+	m2.Name = "other"
+	m2.Imports = []string{"/svc/other/import"}
+	if _, err := l.Load(m2); err != nil {
+		t.Fatal(err)
+	}
+	h.denyImport["/svc/mbuf/alloc"] = true // hits only m1
+	dropped, err := l.Revalidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0] != "newfs" {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	if names := l.Names(); len(names) != 1 || names[0] != "other" {
+		t.Errorf("Names = %v", names)
+	}
+}

@@ -1,0 +1,420 @@
+package fsys
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/core"
+	"secext/internal/lattice"
+	"secext/internal/names"
+	"secext/internal/subject"
+)
+
+type world struct {
+	sys *core.System
+	fs  *FS
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{
+		Levels:     []string{"others", "organization", "local"},
+		Categories: []string{"myself", "dept-1", "dept-2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot, _ := sys.Lattice().Bottom()
+	rootACL := acl.New(acl.AllowEveryone(acl.List | acl.Write))
+	fs, err := Mount(sys, "/fs", rootACL, bot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct{ name, class string }{
+		{"alice", "local:{myself,dept-1,dept-2}"},
+		{"bob", "organization:{dept-1}"},
+		{"carol", "organization:{dept-2}"},
+		{"eve", "others"},
+	} {
+		if _, err := sys.AddPrincipal(p.name, p.class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &world{sys: sys, fs: fs}
+}
+
+func (w *world) ctx(t *testing.T, name string) *subject.Context {
+	t.Helper()
+	ctx, err := w.sys.NewContext(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func ownerACL(name string) *acl.ACL {
+	return acl.New(acl.Allow(name,
+		acl.Read|acl.Write|acl.WriteAppend|acl.Delete|acl.Administrate|acl.List))
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	w := newWorld(t)
+	eve := w.ctx(t, "eve") // bottom class matches the mount dir
+	if err := w.fs.Create(eve, "/fs/note", ownerACL("eve"), eve.Class()); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := w.fs.Write(eve, "/fs/note", []byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := w.fs.Read(eve, "/fs/note")
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	// Read copies: mutating the returned slice must not affect the file.
+	got[0] = 'X'
+	again, _ := w.fs.Read(eve, "/fs/note")
+	if !bytes.Equal(again, []byte("hello")) {
+		t.Error("Read must return a copy")
+	}
+	info, err := w.fs.Stat(eve, "/fs/note")
+	if err != nil || info.Size != 5 || info.Kind != names.KindFile {
+		t.Errorf("Stat = %+v, %v", info, err)
+	}
+	ls, err := w.fs.List(eve, "/fs")
+	if err != nil || len(ls) != 1 || ls[0] != "note" {
+		t.Errorf("List = %v, %v", ls, err)
+	}
+}
+
+func TestDACIsolation(t *testing.T) {
+	w := newWorld(t)
+	eve := w.ctx(t, "eve")
+	if err := w.fs.Create(eve, "/fs/secret", ownerACL("eve"), eve.Class()); err != nil {
+		t.Fatal(err)
+	}
+	// mallory: another bottom-class principal without ACL entry.
+	if _, err := w.sys.AddPrincipal("mallory", "others"); err != nil {
+		t.Fatal(err)
+	}
+	mallory := w.ctx(t, "mallory")
+	if _, err := w.fs.Read(mallory, "/fs/secret"); !core.IsDenied(err) {
+		t.Errorf("mallory read: got %v", err)
+	}
+	if err := w.fs.Write(mallory, "/fs/secret", []byte("x")); !core.IsDenied(err) {
+		t.Errorf("mallory write: got %v", err)
+	}
+	if err := w.fs.Remove(mallory, "/fs/secret"); !core.IsDenied(err) {
+		t.Errorf("mallory remove: got %v", err)
+	}
+}
+
+func TestMACCompartments(t *testing.T) {
+	// §2.2: dept-1 and dept-2 applets cannot read each other's files;
+	// the local user reads everything.
+	w := newWorld(t)
+	bob := w.ctx(t, "bob") // organization:{dept-1}
+	everyoneACL := acl.New(acl.AllowEveryone(acl.Read | acl.Write | acl.WriteAppend))
+	if err := w.fs.Create(bob, "/fs/dept1-data", everyoneACL, bob.Class()); err != nil {
+		t.Fatal(err)
+	}
+	carol := w.ctx(t, "carol") // organization:{dept-2}
+	if _, err := w.fs.Read(carol, "/fs/dept1-data"); !core.IsDenied(err) {
+		t.Errorf("carol cross-compartment read: got %v", err)
+	}
+	alice := w.ctx(t, "alice") // local with all categories
+	if _, err := w.fs.Read(alice, "/fs/dept1-data"); err != nil {
+		t.Errorf("alice read: %v", err)
+	}
+	eve := w.ctx(t, "eve") // others
+	if _, err := w.fs.Read(eve, "/fs/dept1-data"); !core.IsDenied(err) {
+		t.Errorf("eve read up: got %v", err)
+	}
+}
+
+func TestWriteAppendSemantics(t *testing.T) {
+	// A low subject may append to a high file but never overwrite it.
+	w := newWorld(t)
+	bob := w.ctx(t, "bob")
+	openACL := acl.New(acl.AllowEveryone(acl.Read | acl.Write | acl.WriteAppend))
+	if err := w.fs.Create(bob, "/fs/journal", openACL, bob.Class()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.fs.Write(bob, "/fs/journal", []byte("base\n")); err != nil {
+		t.Fatal(err)
+	}
+	eve := w.ctx(t, "eve")
+	// Append up: allowed.
+	if err := w.fs.Append(eve, "/fs/journal", []byte("from-eve\n")); err != nil {
+		t.Fatalf("append up: %v", err)
+	}
+	// Blind overwrite up: denied (needs read too).
+	if err := w.fs.Write(eve, "/fs/journal", []byte("clobber")); !core.IsDenied(err) {
+		t.Errorf("blind overwrite: got %v", err)
+	}
+	if err := w.fs.Truncate(eve, "/fs/journal"); !core.IsDenied(err) {
+		t.Errorf("blind truncate: got %v", err)
+	}
+	// Eve cannot read what she appended to.
+	if _, err := w.fs.Read(eve, "/fs/journal"); !core.IsDenied(err) {
+		t.Errorf("eve read: got %v", err)
+	}
+	// Bob sees both contributions.
+	got, err := w.fs.Read(bob, "/fs/journal")
+	if err != nil || string(got) != "base\nfrom-eve\n" {
+		t.Errorf("journal = %q, %v", got, err)
+	}
+	// Bob at the file's own class may overwrite.
+	if err := w.fs.Write(bob, "/fs/journal", []byte("reset")); err != nil {
+		t.Errorf("owner overwrite: %v", err)
+	}
+	// Alice (dominating, but not equal) cannot destructively write a
+	// lower file: that would be a write-down.
+	alice := w.ctx(t, "alice")
+	if err := w.fs.Write(alice, "/fs/journal", []byte("x")); !core.IsDenied(err) {
+		t.Errorf("write down: got %v", err)
+	}
+}
+
+func TestMkdirHierarchy(t *testing.T) {
+	w := newWorld(t)
+	eve := w.ctx(t, "eve")
+	dirACL := acl.New(
+		acl.Allow("eve", acl.Write|acl.List|acl.Delete),
+		acl.AllowEveryone(acl.List),
+	)
+	if err := w.fs.Mkdir(eve, "/fs/home", dirACL, eve.Class()); err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	if err := w.fs.Create(eve, "/fs/home/f", ownerACL("eve"), eve.Class()); err != nil {
+		t.Fatalf("Create in dir: %v", err)
+	}
+	// Remove of non-empty dir fails.
+	if err := w.fs.Remove(eve, "/fs/home"); !errors.Is(err, names.ErrNotEmpty) {
+		t.Errorf("remove non-empty: got %v", err)
+	}
+	if err := w.fs.Remove(eve, "/fs/home/f"); err != nil {
+		t.Fatalf("remove file: %v", err)
+	}
+	if err := w.fs.Remove(eve, "/fs/home"); err != nil {
+		t.Fatalf("remove dir: %v", err)
+	}
+}
+
+func TestNotAFile(t *testing.T) {
+	w := newWorld(t)
+	eve := w.ctx(t, "eve")
+	dirACL := acl.New(acl.Allow("eve", acl.Read|acl.Write|acl.WriteAppend|acl.List))
+	if err := w.fs.Mkdir(eve, "/fs/d", dirACL, eve.Class()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fs.Read(eve, "/fs/d"); !errors.Is(err, ErrNotFile) {
+		t.Errorf("read dir: got %v", err)
+	}
+	if err := w.fs.Write(eve, "/fs/d", nil); !errors.Is(err, ErrNotFile) {
+		t.Errorf("write dir: got %v", err)
+	}
+	if err := w.fs.Append(eve, "/fs/d", nil); !errors.Is(err, ErrNotFile) {
+		t.Errorf("append dir: got %v", err)
+	}
+	if err := w.fs.Truncate(eve, "/fs/d"); !errors.Is(err, ErrNotFile) {
+		t.Errorf("truncate dir: got %v", err)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	w := newWorld(t)
+	eve := w.ctx(t, "eve")
+	if err := w.fs.Create(eve, "relative", nil, eve.Class()); !errors.Is(err, names.ErrBadPath) {
+		t.Errorf("relative create: got %v", err)
+	}
+	if err := w.fs.Create(eve, "/", nil, eve.Class()); !errors.Is(err, names.ErrRoot) {
+		t.Errorf("create root: got %v", err)
+	}
+	if _, err := w.fs.Read(eve, "/fs/nope"); !errors.Is(err, names.ErrNotFound) {
+		t.Errorf("read missing: got %v", err)
+	}
+}
+
+func TestServices(t *testing.T) {
+	w := newWorld(t)
+	svcACL := acl.New(acl.AllowEveryone(acl.Execute | acl.List))
+	bot, _ := w.sys.Lattice().Bottom()
+	if _, err := w.sys.CreateNode(core.NodeSpec{Path: "/svc", Kind: names.KindDomain,
+		ACL: acl.New(acl.AllowEveryone(acl.List))}); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := RegisterServices(w.sys, w.fs, "/svc/fs", svcACL, bot)
+	if err != nil {
+		t.Fatalf("RegisterServices: %v", err)
+	}
+	if len(paths) != 7 {
+		t.Fatalf("paths = %v", paths)
+	}
+	eve := w.ctx(t, "eve")
+	// Create through the service: owner-only ACL at caller class.
+	if _, err := w.sys.Call(eve, "/svc/fs/create", Request{Path: "/fs/via-svc"}); err != nil {
+		t.Fatalf("create via service: %v", err)
+	}
+	if _, err := w.sys.Call(eve, "/svc/fs/write", Request{Path: "/fs/via-svc", Data: []byte("d")}); err != nil {
+		t.Fatalf("write via service: %v", err)
+	}
+	out, err := w.sys.Call(eve, "/svc/fs/read", Request{Path: "/fs/via-svc"})
+	if err != nil || string(out.([]byte)) != "d" {
+		t.Fatalf("read via service = %v, %v", out, err)
+	}
+	if _, err := w.sys.Call(eve, "/svc/fs/append", Request{Path: "/fs/via-svc", Data: []byte("2")}); err != nil {
+		t.Fatalf("append via service: %v", err)
+	}
+	st, err := w.sys.Call(eve, "/svc/fs/stat", Request{Path: "/fs/via-svc"})
+	if err != nil || st.(Info).Size != 2 {
+		t.Fatalf("stat via service = %v, %v", st, err)
+	}
+	ls, err := w.sys.Call(eve, "/svc/fs/list", Request{Path: "/fs"})
+	if err != nil || len(ls.([]string)) != 1 {
+		t.Fatalf("list via service = %v, %v", ls, err)
+	}
+	// Another principal cannot read eve's file through the service:
+	// the service runs at the caller's context, not its own (no
+	// confused deputy).
+	if _, err := w.sys.AddPrincipal("mallory", "others"); err != nil {
+		t.Fatal(err)
+	}
+	mallory := w.ctx(t, "mallory")
+	if _, err := w.sys.Call(mallory, "/svc/fs/read", Request{Path: "/fs/via-svc"}); !core.IsDenied(err) {
+		t.Errorf("confused deputy read: got %v", err)
+	}
+	if _, err := w.sys.Call(mallory, "/svc/fs/remove", Request{Path: "/fs/via-svc"}); !core.IsDenied(err) {
+		t.Errorf("confused deputy remove: got %v", err)
+	}
+	if _, err := w.sys.Call(eve, "/svc/fs/remove", Request{Path: "/fs/via-svc"}); err != nil {
+		t.Errorf("owner remove via service: %v", err)
+	}
+	// Bad argument type.
+	if _, err := w.sys.Call(eve, "/svc/fs/read", 42); err == nil {
+		t.Error("bad request type must fail")
+	}
+}
+
+func TestConcurrentFileAccess(t *testing.T) {
+	w := newWorld(t)
+	eve := w.ctx(t, "eve")
+	openACL := acl.New(acl.AllowEveryone(acl.Read | acl.WriteAppend))
+	if err := w.fs.Create(eve, "/fs/log", openACL, eve.Class()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := w.fs.Append(eve, "/fs/log", []byte("x")); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if _, err := w.fs.Read(eve, "/fs/log"); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := w.fs.Read(eve, "/fs/log")
+	if err != nil || len(got) != 400 {
+		t.Errorf("final size = %d, %v", len(got), err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	w := newWorld(t)
+	eve := w.ctx(t, "eve")
+	full := acl.New(acl.Allow("eve",
+		acl.Read|acl.Write|acl.WriteAppend|acl.Delete|acl.List))
+	if err := w.fs.Create(eve, "/fs/old", full, eve.Class()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.fs.Write(eve, "/fs/old", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.fs.Rename(eve, "/fs/old", "/fs/new"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	got, err := w.fs.Read(eve, "/fs/new")
+	if err != nil || string(got) != "payload" {
+		t.Errorf("read after rename = %q, %v", got, err)
+	}
+	if _, err := w.fs.Read(eve, "/fs/old"); !errors.Is(err, names.ErrNotFound) {
+		t.Errorf("old path: got %v", err)
+	}
+	// Into a subdirectory.
+	dirACL := acl.New(acl.Allow("eve", acl.Write|acl.List), acl.AllowEveryone(acl.List))
+	if err := w.fs.Mkdir(eve, "/fs/sub", dirACL, eve.Class()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.fs.Rename(eve, "/fs/new", "/fs/sub/f"); err != nil {
+		t.Fatalf("rename into dir: %v", err)
+	}
+	if _, err := w.fs.Read(eve, "/fs/sub/f"); err != nil {
+		t.Errorf("read in dir: %v", err)
+	}
+	// A non-owner cannot rename.
+	if _, err := w.sys.AddPrincipal("mallory", "others"); err != nil {
+		t.Fatal(err)
+	}
+	mallory := w.ctx(t, "mallory")
+	if err := w.fs.Rename(mallory, "/fs/sub/f", "/fs/stolen"); !core.IsDenied(err) {
+		t.Errorf("unauthorized rename: got %v", err)
+	}
+	// Renaming to the root is rejected.
+	if err := w.fs.Rename(eve, "/fs/sub/f", "/"); !errors.Is(err, names.ErrRoot) {
+		t.Errorf("rename to root: got %v", err)
+	}
+}
+
+func TestMkdirMultilevel(t *testing.T) {
+	w := newWorld(t)
+	eve := w.ctx(t, "eve") // bottom class
+	shared := acl.New(acl.AllowEveryone(acl.List | acl.Write))
+	if err := w.fs.MkdirMultilevel(eve, "/fs/shared", shared, eve.Class()); err != nil {
+		t.Fatalf("MkdirMultilevel: %v", err)
+	}
+	// A higher-class subject can create inside it (the waiver)...
+	bob := w.ctx(t, "bob") // organization:{dept-1}
+	if err := w.fs.Create(bob, "/fs/shared/bobfile", ownerACL("bob"), bob.Class()); err != nil {
+		t.Fatalf("create in multilevel dir from above: %v", err)
+	}
+	// ...but a regular directory at bottom would deny the same bind.
+	plain := acl.New(acl.AllowEveryone(acl.List | acl.Write))
+	if err := w.fs.Mkdir(eve, "/fs/plain", plain, eve.Class()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.fs.Create(bob, "/fs/plain/bobfile", ownerACL("bob"), bob.Class()); !core.IsDenied(err) {
+		t.Errorf("create in plain low dir from above: got %v", err)
+	}
+	// Stat on a directory reports zero size and directory kind.
+	info, err := w.fs.Stat(eve, "/fs/shared")
+	if err != nil || info.Kind != names.KindDirectory || info.Size != 0 {
+		t.Errorf("Stat dir = %+v, %v", info, err)
+	}
+}
+
+func TestStatClassVisible(t *testing.T) {
+	w := newWorld(t)
+	bob := w.ctx(t, "bob")
+	if err := w.fs.Create(bob, "/fs/labeled", ownerACL("bob"), bob.Class()); err != nil {
+		t.Fatal(err)
+	}
+	info, err := w.fs.Stat(bob, "/fs/labeled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Class.Equal(bob.Class()) || info.Path != "/fs/labeled" {
+		t.Errorf("Stat = %+v", info)
+	}
+}
+
+var _ = lattice.Class{} // keep import for doc examples

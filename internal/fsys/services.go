@@ -1,0 +1,115 @@
+package fsys
+
+import (
+	"fmt"
+
+	"secext/internal/acl"
+	"secext/internal/core"
+	"secext/internal/dispatch"
+	"secext/internal/lattice"
+	"secext/internal/names"
+	"secext/internal/subject"
+)
+
+// Request is the argument type for every file service entry point.
+// Data is used by write/append/create; other operations ignore it.
+type Request struct {
+	Path string
+	Data []byte
+}
+
+// serviceNames lists the general file-system interface (§1.1: "to
+// access the new file system, a user invokes the existing, general file
+// system interfaces which have been extended").
+var serviceNames = []string{"read", "write", "append", "create", "list", "stat", "remove"}
+
+// RegisterServices mounts the general file-system interface under
+// ifacePath (e.g. "/svc/fs"): one method node per operation, each
+// dispatching to the FS by default and open to specialization by
+// extensions. svcACL protects every method node; svcClass labels them.
+//
+// The returned paths are the registered method nodes.
+func RegisterServices(sys *core.System, f *FS, ifacePath string, svcACL *acl.ACL, svcClass lattice.Class) ([]string, error) {
+	if _, err := sys.CreateNode(core.NodeSpec{
+		Path: ifacePath, Kind: names.KindInterface,
+		ACL: acl.New(acl.AllowEveryone(acl.List)), Class: svcClass,
+	}); err != nil {
+		return nil, err
+	}
+	handlers := map[string]dispatch.Handler{
+		"read": func(ctx *subject.Context, arg any) (any, error) {
+			r, err := req(arg)
+			if err != nil {
+				return nil, err
+			}
+			return f.Read(ctx, r.Path)
+		},
+		"write": func(ctx *subject.Context, arg any) (any, error) {
+			r, err := req(arg)
+			if err != nil {
+				return nil, err
+			}
+			return nil, f.Write(ctx, r.Path, r.Data)
+		},
+		"append": func(ctx *subject.Context, arg any) (any, error) {
+			r, err := req(arg)
+			if err != nil {
+				return nil, err
+			}
+			return nil, f.Append(ctx, r.Path, r.Data)
+		},
+		"create": func(ctx *subject.Context, arg any) (any, error) {
+			r, err := req(arg)
+			if err != nil {
+				return nil, err
+			}
+			// Files created through the general interface default to
+			// owner-only access at the creator's class.
+			owner := acl.New(acl.Allow(ctx.SubjectName(),
+				acl.Read|acl.Write|acl.WriteAppend|acl.Delete|acl.Administrate))
+			return nil, f.Create(ctx, r.Path, owner, ctx.Class())
+		},
+		"list": func(ctx *subject.Context, arg any) (any, error) {
+			r, err := req(arg)
+			if err != nil {
+				return nil, err
+			}
+			return f.List(ctx, r.Path)
+		},
+		"stat": func(ctx *subject.Context, arg any) (any, error) {
+			r, err := req(arg)
+			if err != nil {
+				return nil, err
+			}
+			return f.Stat(ctx, r.Path)
+		},
+		"remove": func(ctx *subject.Context, arg any) (any, error) {
+			r, err := req(arg)
+			if err != nil {
+				return nil, err
+			}
+			return nil, f.Remove(ctx, r.Path)
+		},
+	}
+	paths := make([]string, 0, len(serviceNames))
+	for _, name := range serviceNames {
+		p := names.Join(ifacePath, name)
+		err := sys.RegisterService(core.ServiceSpec{
+			Path: p, ACL: svcACL, Class: svcClass,
+			Base: dispatch.Binding{Owner: "fsys", Handler: handlers[name]},
+		})
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+func req(arg any) (Request, error) {
+	r, ok := arg.(Request)
+	if !ok {
+		return Request{}, fmt.Errorf("fsys: bad request type %T", arg)
+	}
+	return r, nil
+}

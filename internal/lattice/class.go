@@ -1,0 +1,245 @@
+package lattice
+
+import "math/bits"
+
+// Class is a security class: one trust level plus a set of categories.
+// The zero Class is invalid; obtain classes from a Lattice. Classes are
+// immutable values — every operation returns a fresh Class — and may be
+// compared only against classes from the same Lattice.
+type Class struct {
+	lat   *Lattice
+	level Level
+	cats  bitset
+}
+
+// Valid reports whether c was produced by a Lattice.
+func (c Class) Valid() bool { return c.lat != nil }
+
+// Lattice returns the lattice that issued c (nil for the zero Class).
+func (c Class) Lattice() *Lattice { return c.lat }
+
+// Level returns the trust level of c.
+func (c Class) Level() Level { return c.level }
+
+// CategoryIndices returns the indices of the categories of c, ascending.
+func (c Class) CategoryIndices() []int { return c.cats.members() }
+
+// NumCategories returns the number of categories in c.
+func (c Class) NumCategories() int { return c.cats.count() }
+
+// HasCategory reports whether category index idx is in c's set.
+func (c Class) HasCategory(idx int) bool { return c.cats.has(idx) }
+
+// sameLattice reports whether two classes can be compared.
+func (c Class) sameLattice(o Class) bool {
+	return c.lat != nil && c.lat == o.lat
+}
+
+// Dominates reports whether c ⊒ o: c's level is greater than or equal to
+// o's and c's categories are a superset of o's. Dominates is a partial
+// order; two classes with incomparable category sets dominate in neither
+// direction. Comparing classes from different lattices returns false.
+func (c Class) Dominates(o Class) bool {
+	if !c.sameLattice(o) {
+		return false
+	}
+	return c.level >= o.level && c.cats.contains(o.cats)
+}
+
+// DominatedBy reports o ⊒ c.
+func (c Class) DominatedBy(o Class) bool { return o.Dominates(c) }
+
+// Equal reports whether the two classes are identical.
+func (c Class) Equal(o Class) bool {
+	return c.sameLattice(o) && c.level == o.level && c.cats.equal(o.cats)
+}
+
+// Comparable reports whether c and o are ordered in either direction.
+func (c Class) Comparable(o Class) bool {
+	return c.Dominates(o) || o.Dominates(c)
+}
+
+// Join returns the least upper bound of c and o: the maximum level and
+// the union of the category sets. Join of classes from different
+// lattices returns the zero Class.
+func (c Class) Join(o Class) Class {
+	if !c.sameLattice(o) {
+		return Class{}
+	}
+	lv := c.level
+	if o.level > lv {
+		lv = o.level
+	}
+	return Class{lat: c.lat, level: lv, cats: c.cats.union(o.cats)}
+}
+
+// Meet returns the greatest lower bound of c and o: the minimum level
+// and the intersection of the category sets. Meet of classes from
+// different lattices returns the zero Class.
+//
+// Meet is how a statically assigned extension class clamps the dynamic
+// class of a calling thread (§2.2): the effective class can exercise
+// only the authority both classes hold.
+func (c Class) Meet(o Class) Class {
+	if !c.sameLattice(o) {
+		return Class{}
+	}
+	lv := c.level
+	if o.level < lv {
+		lv = o.level
+	}
+	return Class{lat: c.lat, level: lv, cats: c.cats.intersect(o.cats)}
+}
+
+// String renders the class label, or "<invalid>" for the zero Class.
+// For deterministic labeled output prefer Lattice.Format, which reports
+// errors instead of folding them into the string.
+func (c Class) String() string {
+	if c.lat == nil {
+		return "<invalid>"
+	}
+	s, err := c.lat.Format(c)
+	if err != nil {
+		return "<invalid>"
+	}
+	return s
+}
+
+// Flow rules (§2.2 of the paper).
+
+// CanRead reports whether a subject at class c may view the contents of
+// an object at class o: the subject must dominate the object (simple
+// security property).
+func (c Class) CanRead(o Class) bool { return c.Dominates(o) }
+
+// CanWrite reports whether a subject at class c may modify an object at
+// class o: the object must dominate the subject (*-property, no
+// write-down). CanWrite permits blind write-up; see CanAppend and
+// CanOverwrite for the paper's write-append refinement.
+func (c Class) CanWrite(o Class) bool { return o.Dominates(c) }
+
+// CanAppend reports whether a subject at class c may append to an object
+// at class o. Appending never destroys existing contents, so the rule is
+// exactly the *-property: the object must dominate the subject.
+func (c Class) CanAppend(o Class) bool { return o.Dominates(c) }
+
+// CanOverwrite reports whether a subject at class c may destructively
+// replace the contents of an object at class o. Following the paper's
+// caution that write-append should "limit subjects at a lower level of
+// trust to blindly overwrite objects at a higher level of trust",
+// destructive writes additionally require that the subject can observe
+// what it destroys: the classes must be equal.
+func (c Class) CanOverwrite(o Class) bool { return c.Equal(o) }
+
+// bitset is a little-endian bit vector with value semantics. The
+// representation is normalized: trailing zero words are trimmed, so two
+// bitsets representing the same set are always structurally comparable
+// even if they were built when the category universe had different
+// sizes.
+type bitset struct {
+	words []uint64
+}
+
+func newBitset(hintBits int) bitset {
+	if hintBits <= 0 {
+		return bitset{}
+	}
+	return bitset{words: make([]uint64, 0, (hintBits+63)/64)}
+}
+
+func (b bitset) norm() bitset {
+	n := len(b.words)
+	for n > 0 && b.words[n-1] == 0 {
+		n--
+	}
+	return bitset{words: b.words[:n]}
+}
+
+// with returns a copy of b with bit i set.
+func (b bitset) with(i int) bitset {
+	w := i / 64
+	words := make([]uint64, max(len(b.words), w+1))
+	copy(words, b.words)
+	words[w] |= 1 << uint(i%64)
+	return bitset{words: words}
+}
+
+func (b bitset) has(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i / 64
+	if w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<uint(i%64)) != 0
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// contains reports whether b is a superset of o.
+func (b bitset) contains(o bitset) bool {
+	o = o.norm()
+	if len(o.words) > len(b.words) {
+		return false
+	}
+	for i, w := range o.words {
+		if w&^b.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) equal(o bitset) bool {
+	b, o = b.norm(), o.norm()
+	if len(b.words) != len(o.words) {
+		return false
+	}
+	for i, w := range b.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) union(o bitset) bitset {
+	long, short := b.words, o.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	words := make([]uint64, len(long))
+	copy(words, long)
+	for i, w := range short {
+		words[i] |= w
+	}
+	return bitset{words: words}.norm()
+}
+
+func (b bitset) intersect(o bitset) bitset {
+	n := min(len(b.words), len(o.words))
+	words := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		words[i] = b.words[i] & o.words[i]
+	}
+	return bitset{words: words}.norm()
+}
+
+func (b bitset) members() []int {
+	out := make([]int, 0, b.count())
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, wi*64+bit)
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package lattice
+
+import "testing"
+
+func TestDominates(t *testing.T) {
+	l := newTestLattice(t)
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"local", "others", true},
+		{"others", "local", false},
+		{"local", "local", true},
+		{"local:{dept-1}", "local", true},
+		{"local", "local:{dept-1}", false},
+		{"local:{dept-1,dept-2}", "organization:{dept-1}", true},
+		{"organization:{dept-1}", "organization:{dept-2}", false},
+		{"organization:{dept-2}", "organization:{dept-1}", false},
+		{"organization:{dept-1,dept-2}", "organization:{dept-1}", true},
+		{"others:{myself,dept-1,dept-2,outside}", "local", false}, // level too low
+	}
+	for _, tc := range cases {
+		a, b := mustParse(t, l, tc.a), mustParse(t, l, tc.b)
+		if got := a.Dominates(b); got != tc.want {
+			t.Errorf("%s.Dominates(%s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := b.DominatedBy(a); got != tc.want {
+			t.Errorf("%s.DominatedBy(%s) = %v, want %v", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func mustParse(t *testing.T, l *Lattice, s string) Class {
+	t.Helper()
+	c, err := l.ParseClass(s)
+	if err != nil {
+		t.Fatalf("ParseClass(%q): %v", s, err)
+	}
+	return c
+}
+
+func TestJoinMeet(t *testing.T) {
+	l := newTestLattice(t)
+	a := mustParse(t, l, "organization:{dept-1}")
+	b := mustParse(t, l, "local:{dept-2}")
+	j := a.Join(b)
+	if want := "local:{dept-1,dept-2}"; j.String() != want {
+		t.Errorf("Join = %s, want %s", j, want)
+	}
+	m := a.Meet(b)
+	if want := "organization"; m.String() != want {
+		t.Errorf("Meet = %s, want %s", m, want)
+	}
+	if !j.Dominates(a) || !j.Dominates(b) {
+		t.Error("join must dominate both operands")
+	}
+	if !a.Dominates(m) || !b.Dominates(m) {
+		t.Error("both operands must dominate meet")
+	}
+}
+
+func TestMeetClampsStaticClass(t *testing.T) {
+	// §2.2: a statically assigned extension class clamps the caller's
+	// dynamic class. An outside applet statically pinned to the lowest
+	// level can never act at organization level even if invoked by a
+	// highly trusted caller.
+	l := newTestLattice(t)
+	caller := l.MustClass("local", "myself", "dept-1", "dept-2", "outside")
+	static := l.MustClass("others")
+	eff := caller.Meet(static)
+	if eff.String() != "others" {
+		t.Fatalf("effective class = %s, want others", eff)
+	}
+	secret := l.MustClass("organization", "dept-1")
+	if eff.CanRead(secret) {
+		t.Error("clamped class must not read organization data")
+	}
+}
+
+func TestFlowRules(t *testing.T) {
+	l := newTestLattice(t)
+	low := l.MustClass("others")
+	mid := l.MustClass("organization", "dept-1")
+	high := l.MustClass("local", "myself", "dept-1", "dept-2", "outside")
+
+	// Simple security property: read down only.
+	if !high.CanRead(mid) || !high.CanRead(low) {
+		t.Error("high subject must read down")
+	}
+	if mid.CanRead(high) || low.CanRead(mid) {
+		t.Error("no read up")
+	}
+
+	// *-property: write up only (appends).
+	if !low.CanAppend(mid) || !mid.CanAppend(high) {
+		t.Error("append up must be allowed")
+	}
+	if mid.CanAppend(low) {
+		t.Error("no append down")
+	}
+	if !low.CanWrite(mid) {
+		t.Error("CanWrite is the *-property: write up allowed")
+	}
+	if mid.CanWrite(low) {
+		t.Error("no write down")
+	}
+
+	// Blind overwrite needs equality.
+	if low.CanOverwrite(mid) {
+		t.Error("low subject must not blindly overwrite high object")
+	}
+	if !mid.CanOverwrite(mid) {
+		t.Error("overwrite at own class must be allowed")
+	}
+}
+
+func TestIncomparableCategories(t *testing.T) {
+	l := newTestLattice(t)
+	d1 := l.MustClass("organization", "dept-1")
+	d2 := l.MustClass("organization", "dept-2")
+	if d1.Comparable(d2) {
+		t.Error("dept-1 and dept-2 at same level must be incomparable")
+	}
+	if d1.CanRead(d2) || d2.CanRead(d1) {
+		t.Error("incomparable classes must not read each other")
+	}
+	both := l.MustClass("organization", "dept-1", "dept-2")
+	if !both.CanRead(d1) || !both.CanRead(d2) {
+		t.Error("{dept-1,dept-2} must read both compartments")
+	}
+}
+
+func TestCrossLatticeOps(t *testing.T) {
+	l1 := newTestLattice(t)
+	l2 := newTestLattice(t)
+	a := l1.MustClass("local")
+	b := l2.MustClass("others")
+	if a.Dominates(b) || b.Dominates(a) {
+		t.Error("cross-lattice dominance must be false")
+	}
+	if a.Equal(b) {
+		t.Error("cross-lattice equality must be false")
+	}
+	if j := a.Join(b); j.Valid() {
+		t.Error("cross-lattice join must be invalid")
+	}
+	if m := a.Meet(b); m.Valid() {
+		t.Error("cross-lattice meet must be invalid")
+	}
+}
+
+func TestZeroClass(t *testing.T) {
+	var z Class
+	if z.Valid() {
+		t.Error("zero Class must be invalid")
+	}
+	if z.String() != "<invalid>" {
+		t.Errorf("zero Class String = %q", z.String())
+	}
+	l := newTestLattice(t)
+	c := l.MustClass("local")
+	if z.Dominates(c) || c.Dominates(z) {
+		t.Error("zero Class must not participate in dominance")
+	}
+}
+
+func TestCategoryAccessors(t *testing.T) {
+	l := newTestLattice(t)
+	c := l.MustClass("local", "myself", "dept-2")
+	if got := c.NumCategories(); got != 2 {
+		t.Errorf("NumCategories = %d, want 2", got)
+	}
+	idx := c.CategoryIndices()
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Errorf("CategoryIndices = %v, want [0 2]", idx)
+	}
+	if !c.HasCategory(0) || c.HasCategory(1) || !c.HasCategory(2) || c.HasCategory(-1) || c.HasCategory(1000) {
+		t.Error("HasCategory wrong membership")
+	}
+	if c.Lattice() != l {
+		t.Error("Lattice() must return issuing lattice")
+	}
+	if c.Level() != Level(2) {
+		t.Errorf("Level = %d, want 2", c.Level())
+	}
+}
+
+// TestPaperOrgExample reproduces the worked example of §2.2 verbatim:
+// three linearly ordered levels (local > organization > others) and four
+// categories (myself, department-1, department-2, outside).
+func TestPaperOrgExample(t *testing.T) {
+	l := newTestLattice(t)
+
+	user := l.MustClass("local", "myself", "dept-1", "dept-2", "outside")
+	applet1 := l.MustClass("organization", "dept-1")
+	applet2 := l.MustClass("organization", "dept-2")
+	applet3 := l.MustClass("organization", "dept-1", "dept-2")
+
+	file1 := applet1 // data generated by applet 1 carries its class
+	file2 := applet2
+
+	// "The user's applets ... have access to all files (including those
+	// generated by other applets)."
+	if !user.CanRead(file1) || !user.CanRead(file2) {
+		t.Error("local user must read all files")
+	}
+	// "Two applets ... using the department-1 and department-2 labels
+	// respectively ... can not access each other's files."
+	if applet1.CanRead(file2) || applet2.CanRead(file1) {
+		t.Error("dept-1 and dept-2 applets must be isolated")
+	}
+	// "a third applet ... that uses both ... labels can access the data
+	// of both the first two applets."
+	if !applet3.CanRead(file1) || !applet3.CanRead(file2) {
+		t.Error("dual-label applet must read both compartments")
+	}
+	// Applets from outside the organization run at the least level.
+	outside := l.MustClass("others", "outside")
+	if outside.CanRead(file1) || outside.CanRead(file2) {
+		t.Error("outside applet must not read organization files")
+	}
+}

@@ -1,0 +1,39 @@
+package lattice
+
+import "testing"
+
+// FuzzParseClass checks that class-label parsing never panics and that
+// every accepted label survives a Format/Parse round trip.
+func FuzzParseClass(f *testing.F) {
+	for _, seed := range []string{
+		"local", "local:{}", "organization:{dept-1}",
+		"organization:{dept-1,dept-2}", ":{}", "x:{", "x:}", "a:{b,,c}",
+		"others:{outside}", "local:{dept-1,dept-2,myself,outside}",
+	} {
+		f.Add(seed)
+	}
+	lat, err := NewWithUniverse(
+		[]string{"others", "organization", "local"},
+		[]string{"myself", "dept-1", "dept-2", "outside"},
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, label string) {
+		c, err := lat.ParseClass(label)
+		if err != nil {
+			return
+		}
+		out, err := lat.Format(c)
+		if err != nil {
+			t.Fatalf("Format of parsed %q: %v", label, err)
+		}
+		back, err := lat.ParseClass(out)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", out, label, err)
+		}
+		if !back.Equal(c) {
+			t.Fatalf("round trip changed class: %q -> %q", label, out)
+		}
+	})
+}

@@ -1,0 +1,285 @@
+// Package lattice implements the mandatory access control model of
+// "Security for Extensible Systems" (Grimm & Bershad, HotOS 1997), §2.2.
+//
+// A security class is the product of a linearly ordered set of trust
+// levels and a subset of a set of categories; all classes form a lattice
+// under the dominance relation (Denning's lattice model of secure
+// information flow). Subjects (threads of control) and objects (named
+// services, files, extensions) each carry a class. The flow rules are
+// Bell-LaPadula style:
+//
+//   - read:  subject must dominate object (level >=, categories superset)
+//   - write: object must dominate subject (no write-down)
+//
+// The paper additionally motivates a write-append mode so that a subject
+// at a lower level of trust cannot blindly overwrite an object at a
+// higher level; see CanAppend and CanOverwrite.
+package lattice
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Level identifies one trust level in a lattice. Levels are linearly
+// ordered: a larger Level dominates a smaller one. The zero Level is the
+// lowest level of the lattice that defined it.
+type Level int
+
+// Errors returned by lattice operations.
+var (
+	ErrUnknownLevel    = errors.New("lattice: unknown trust level")
+	ErrUnknownCategory = errors.New("lattice: unknown category")
+	ErrDuplicateName   = errors.New("lattice: duplicate name")
+	ErrNoLevels        = errors.New("lattice: no trust levels defined")
+	ErrForeignClass    = errors.New("lattice: class belongs to a different lattice")
+	ErrBadLabel        = errors.New("lattice: malformed class label")
+)
+
+// Lattice holds the universe of trust levels and categories out of which
+// security classes are formed. A Lattice is safe for concurrent use.
+//
+// Levels are defined lowest-first; categories are an unordered set.
+// Definitions are append-only: once a level or category exists it cannot
+// be removed, so previously issued Classes remain valid.
+type Lattice struct {
+	mu       sync.RWMutex
+	levels   []string
+	levelIdx map[string]Level
+	cats     []string
+	catIdx   map[string]int
+}
+
+// New returns an empty lattice with no levels and no categories.
+func New() *Lattice {
+	return &Lattice{
+		levelIdx: make(map[string]Level),
+		catIdx:   make(map[string]int),
+	}
+}
+
+// NewWithUniverse is a convenience constructor that defines the given
+// levels (lowest first) and categories in one call.
+func NewWithUniverse(levelsLowToHigh, categories []string) (*Lattice, error) {
+	l := New()
+	for _, name := range levelsLowToHigh {
+		if _, err := l.DefineLevel(name); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range categories {
+		if _, err := l.DefineCategory(name); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// DefineLevel appends a new trust level that dominates every level
+// defined before it, and returns its Level value.
+func (l *Lattice) DefineLevel(name string) (Level, error) {
+	if err := validName(name); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.levelIdx[name]; dup {
+		return 0, fmt.Errorf("%w: level %q", ErrDuplicateName, name)
+	}
+	lv := Level(len(l.levels))
+	l.levels = append(l.levels, name)
+	l.levelIdx[name] = lv
+	return lv, nil
+}
+
+// DefineCategory adds a new category to the universe and returns its
+// index.
+func (l *Lattice) DefineCategory(name string) (int, error) {
+	if err := validName(name); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.catIdx[name]; dup {
+		return 0, fmt.Errorf("%w: category %q", ErrDuplicateName, name)
+	}
+	idx := len(l.cats)
+	l.cats = append(l.cats, name)
+	l.catIdx[name] = idx
+	return idx, nil
+}
+
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty name", ErrBadLabel)
+	}
+	if strings.ContainsAny(name, "{},: \t\n") {
+		return fmt.Errorf("%w: name %q contains reserved characters", ErrBadLabel, name)
+	}
+	return nil
+}
+
+// LevelByName resolves a level name.
+func (l *Lattice) LevelByName(name string) (Level, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	lv, ok := l.levelIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownLevel, name)
+	}
+	return lv, nil
+}
+
+// LevelName returns the name of a level.
+func (l *Lattice) LevelName(lv Level) (string, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if lv < 0 || int(lv) >= len(l.levels) {
+		return "", fmt.Errorf("%w: index %d", ErrUnknownLevel, lv)
+	}
+	return l.levels[lv], nil
+}
+
+// Levels returns all level names, lowest first.
+func (l *Lattice) Levels() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, len(l.levels))
+	copy(out, l.levels)
+	return out
+}
+
+// Categories returns all category names in definition order.
+func (l *Lattice) Categories() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, len(l.cats))
+	copy(out, l.cats)
+	return out
+}
+
+// NumLevels reports the number of defined trust levels.
+func (l *Lattice) NumLevels() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.levels)
+}
+
+// NumCategories reports the number of defined categories.
+func (l *Lattice) NumCategories() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.cats)
+}
+
+// Class constructs a security class at the named level with the named
+// categories.
+func (l *Lattice) Class(level string, categories ...string) (Class, error) {
+	lv, err := l.LevelByName(level)
+	if err != nil {
+		return Class{}, err
+	}
+	set := newBitset(0)
+	l.mu.RLock()
+	for _, c := range categories {
+		idx, ok := l.catIdx[c]
+		if !ok {
+			l.mu.RUnlock()
+			return Class{}, fmt.Errorf("%w: %q", ErrUnknownCategory, c)
+		}
+		set = set.with(idx)
+	}
+	l.mu.RUnlock()
+	return Class{lat: l, level: lv, cats: set}, nil
+}
+
+// MustClass is Class but panics on error; intended for tests and
+// statically known labels.
+func (l *Lattice) MustClass(level string, categories ...string) Class {
+	c, err := l.Class(level, categories...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Bottom returns the least class of the lattice: lowest level, empty
+// category set. It fails if no levels are defined.
+func (l *Lattice) Bottom() (Class, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.levels) == 0 {
+		return Class{}, ErrNoLevels
+	}
+	return Class{lat: l, level: 0, cats: newBitset(0)}, nil
+}
+
+// Top returns the greatest class of the lattice: highest level, all
+// categories. It fails if no levels are defined.
+func (l *Lattice) Top() (Class, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.levels) == 0 {
+		return Class{}, ErrNoLevels
+	}
+	set := newBitset(len(l.cats))
+	for i := range l.cats {
+		set = set.with(i)
+	}
+	return Class{lat: l, level: Level(len(l.levels) - 1), cats: set}, nil
+}
+
+// ParseClass parses a textual class label of the form
+//
+//	level
+//	level:{}
+//	level:{cat1,cat2}
+//
+// Whitespace around names is not permitted; names follow validName.
+func (l *Lattice) ParseClass(label string) (Class, error) {
+	level := label
+	var cats []string
+	if i := strings.IndexByte(label, ':'); i >= 0 {
+		level = label[:i]
+		rest := label[i+1:]
+		if len(rest) < 2 || rest[0] != '{' || rest[len(rest)-1] != '}' {
+			return Class{}, fmt.Errorf("%w: %q", ErrBadLabel, label)
+		}
+		inner := rest[1 : len(rest)-1]
+		if inner != "" {
+			cats = strings.Split(inner, ",")
+		}
+	}
+	return l.Class(level, cats...)
+}
+
+// Format renders a class as a label accepted by ParseClass. Categories
+// are sorted by name for deterministic output.
+func (l *Lattice) Format(c Class) (string, error) {
+	if c.lat != l {
+		return "", ErrForeignClass
+	}
+	name, err := l.LevelName(c.level)
+	if err != nil {
+		return "", err
+	}
+	idxs := c.cats.members()
+	if len(idxs) == 0 {
+		return name, nil
+	}
+	l.mu.RLock()
+	names := make([]string, 0, len(idxs))
+	for _, i := range idxs {
+		if i >= len(l.cats) {
+			l.mu.RUnlock()
+			return "", fmt.Errorf("%w: index %d", ErrUnknownCategory, i)
+		}
+		names = append(names, l.cats[i])
+	}
+	l.mu.RUnlock()
+	sort.Strings(names)
+	return name + ":{" + strings.Join(names, ",") + "}", nil
+}

@@ -1,0 +1,248 @@
+package lattice
+
+import (
+	"errors"
+	"testing"
+)
+
+func newTestLattice(t *testing.T) *Lattice {
+	t.Helper()
+	l, err := NewWithUniverse(
+		[]string{"others", "organization", "local"},
+		[]string{"myself", "dept-1", "dept-2", "outside"},
+	)
+	if err != nil {
+		t.Fatalf("NewWithUniverse: %v", err)
+	}
+	return l
+}
+
+func TestDefineLevelOrdering(t *testing.T) {
+	l := New()
+	lo, err := l.DefineLevel("low")
+	if err != nil {
+		t.Fatalf("DefineLevel(low): %v", err)
+	}
+	hi, err := l.DefineLevel("high")
+	if err != nil {
+		t.Fatalf("DefineLevel(high): %v", err)
+	}
+	if !(hi > lo) {
+		t.Fatalf("later-defined level must dominate: lo=%d hi=%d", lo, hi)
+	}
+}
+
+func TestDefineLevelDuplicate(t *testing.T) {
+	l := New()
+	if _, err := l.DefineLevel("x"); err != nil {
+		t.Fatalf("first define: %v", err)
+	}
+	if _, err := l.DefineLevel("x"); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("duplicate level: got %v, want ErrDuplicateName", err)
+	}
+}
+
+func TestDefineCategoryDuplicate(t *testing.T) {
+	l := New()
+	if _, err := l.DefineCategory("c"); err != nil {
+		t.Fatalf("first define: %v", err)
+	}
+	if _, err := l.DefineCategory("c"); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("duplicate category: got %v, want ErrDuplicateName", err)
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	l := New()
+	for _, bad := range []string{"", "a b", "a,b", "a:b", "a{b", "a}b", "a\nb"} {
+		if _, err := l.DefineLevel(bad); !errors.Is(err, ErrBadLabel) {
+			t.Errorf("DefineLevel(%q): got %v, want ErrBadLabel", bad, err)
+		}
+		if _, err := l.DefineCategory(bad); !errors.Is(err, ErrBadLabel) {
+			t.Errorf("DefineCategory(%q): got %v, want ErrBadLabel", bad, err)
+		}
+	}
+}
+
+func TestLevelByNameUnknown(t *testing.T) {
+	l := newTestLattice(t)
+	if _, err := l.LevelByName("nope"); !errors.Is(err, ErrUnknownLevel) {
+		t.Fatalf("got %v, want ErrUnknownLevel", err)
+	}
+}
+
+func TestLevelNameRoundTrip(t *testing.T) {
+	l := newTestLattice(t)
+	for _, name := range l.Levels() {
+		lv, err := l.LevelByName(name)
+		if err != nil {
+			t.Fatalf("LevelByName(%q): %v", name, err)
+		}
+		back, err := l.LevelName(lv)
+		if err != nil {
+			t.Fatalf("LevelName(%d): %v", lv, err)
+		}
+		if back != name {
+			t.Errorf("round trip %q -> %d -> %q", name, lv, back)
+		}
+	}
+	if _, err := l.LevelName(Level(99)); !errors.Is(err, ErrUnknownLevel) {
+		t.Errorf("LevelName(99): got %v, want ErrUnknownLevel", err)
+	}
+}
+
+func TestClassUnknownCategory(t *testing.T) {
+	l := newTestLattice(t)
+	if _, err := l.Class("local", "nope"); !errors.Is(err, ErrUnknownCategory) {
+		t.Fatalf("got %v, want ErrUnknownCategory", err)
+	}
+}
+
+func TestBottomTop(t *testing.T) {
+	l := newTestLattice(t)
+	bot, err := l.Bottom()
+	if err != nil {
+		t.Fatalf("Bottom: %v", err)
+	}
+	top, err := l.Top()
+	if err != nil {
+		t.Fatalf("Top: %v", err)
+	}
+	if !top.Dominates(bot) {
+		t.Fatalf("top must dominate bottom")
+	}
+	if bot.Dominates(top) {
+		t.Fatalf("bottom must not dominate top")
+	}
+	mid := l.MustClass("organization", "dept-1")
+	if !top.Dominates(mid) || !mid.Dominates(bot) {
+		t.Fatalf("top ⊒ mid ⊒ bottom violated")
+	}
+}
+
+func TestBottomTopEmptyLattice(t *testing.T) {
+	l := New()
+	if _, err := l.Bottom(); !errors.Is(err, ErrNoLevels) {
+		t.Errorf("Bottom on empty lattice: got %v, want ErrNoLevels", err)
+	}
+	if _, err := l.Top(); !errors.Is(err, ErrNoLevels) {
+		t.Errorf("Top on empty lattice: got %v, want ErrNoLevels", err)
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	l := newTestLattice(t)
+	cases := []string{
+		"others",
+		"local",
+		"organization:{dept-1}",
+		"organization:{dept-1,dept-2}",
+		"local:{dept-1,dept-2,myself,outside}",
+	}
+	for _, label := range cases {
+		c, err := l.ParseClass(label)
+		if err != nil {
+			t.Fatalf("ParseClass(%q): %v", label, err)
+		}
+		got, err := l.Format(c)
+		if err != nil {
+			t.Fatalf("Format(%q): %v", label, err)
+		}
+		if got != label {
+			t.Errorf("round trip %q -> %q", label, got)
+		}
+	}
+}
+
+func TestParseClassEmptyBraces(t *testing.T) {
+	l := newTestLattice(t)
+	c, err := l.ParseClass("local:{}")
+	if err != nil {
+		t.Fatalf("ParseClass(local:{}): %v", err)
+	}
+	if c.NumCategories() != 0 {
+		t.Fatalf("want empty category set, got %d", c.NumCategories())
+	}
+	got, err := l.Format(c)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	if got != "local" {
+		t.Errorf("Format = %q, want %q", got, "local")
+	}
+}
+
+func TestParseClassMalformed(t *testing.T) {
+	l := newTestLattice(t)
+	for _, bad := range []string{"local:", "local:{", "local:}", "local:dept-1", ":{}", "local:{dept-1"} {
+		if _, err := l.ParseClass(bad); err == nil {
+			t.Errorf("ParseClass(%q): want error, got nil", bad)
+		}
+	}
+}
+
+func TestFormatForeignClass(t *testing.T) {
+	l1 := newTestLattice(t)
+	l2 := newTestLattice(t)
+	c := l1.MustClass("local")
+	if _, err := l2.Format(c); !errors.Is(err, ErrForeignClass) {
+		t.Fatalf("got %v, want ErrForeignClass", err)
+	}
+}
+
+func TestUniverseAccessors(t *testing.T) {
+	l := newTestLattice(t)
+	if got := l.NumLevels(); got != 3 {
+		t.Errorf("NumLevels = %d, want 3", got)
+	}
+	if got := l.NumCategories(); got != 4 {
+		t.Errorf("NumCategories = %d, want 4", got)
+	}
+	lv := l.Levels()
+	if len(lv) != 3 || lv[0] != "others" || lv[2] != "local" {
+		t.Errorf("Levels = %v", lv)
+	}
+	cats := l.Categories()
+	if len(cats) != 4 || cats[0] != "myself" {
+		t.Errorf("Categories = %v", cats)
+	}
+	// Mutating returned slices must not affect the lattice.
+	lv[0] = "corrupt"
+	cats[0] = "corrupt"
+	if l.Levels()[0] != "others" || l.Categories()[0] != "myself" {
+		t.Error("accessor slices alias internal state")
+	}
+}
+
+func TestClassGrowingUniverse(t *testing.T) {
+	// Classes issued before the universe grew must still compare
+	// correctly against classes issued after.
+	l := New()
+	if _, err := l.DefineLevel("low"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.DefineCategory("a"); err != nil {
+		t.Fatal(err)
+	}
+	early := l.MustClass("low", "a")
+	for i := 0; i < 130; i++ { // push past two bitset words
+		if _, err := l.DefineCategory(catName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late := l.MustClass("low", "a", catName(129))
+	if !late.Dominates(early) {
+		t.Error("late {a,c129} must dominate early {a}")
+	}
+	if early.Dominates(late) {
+		t.Error("early {a} must not dominate late {a,c129}")
+	}
+	same := l.MustClass("low", "a")
+	if !same.Equal(early) || !early.Equal(same) {
+		t.Error("equal sets from different universe sizes must be Equal")
+	}
+}
+
+func catName(i int) string {
+	return "c" + string(rune('0'+i/100)) + string(rune('0'+(i/10)%10)) + string(rune('0'+i%10))
+}

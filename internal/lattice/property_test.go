@@ -1,0 +1,195 @@
+package lattice
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// propLattice is a shared universe for property tests: 5 levels and 70
+// categories (so category bitsets span two words).
+var propLattice = func() *Lattice {
+	levels := []string{"l0", "l1", "l2", "l3", "l4"}
+	cats := make([]string, 70)
+	for i := range cats {
+		cats[i] = catName(i)
+	}
+	l, err := NewWithUniverse(levels, cats)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}()
+
+// randClass is a quick.Generator producing arbitrary classes of
+// propLattice.
+type randClass struct{ C Class }
+
+func (randClass) Generate(r *rand.Rand, _ int) reflect.Value {
+	lv := Level(r.Intn(propLattice.NumLevels()))
+	set := newBitset(0)
+	n := r.Intn(8)
+	for i := 0; i < n; i++ {
+		set = set.with(r.Intn(propLattice.NumCategories()))
+	}
+	return reflect.ValueOf(randClass{Class{lat: propLattice, level: lv, cats: set}})
+}
+
+var quickCfg = &quick.Config{MaxCount: 500}
+
+func TestPropDominanceReflexive(t *testing.T) {
+	f := func(a randClass) bool { return a.C.Dominates(a.C) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDominanceAntisymmetric(t *testing.T) {
+	f := func(a, b randClass) bool {
+		if a.C.Dominates(b.C) && b.C.Dominates(a.C) {
+			return a.C.Equal(b.C)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDominanceTransitive(t *testing.T) {
+	f := func(a, b, c randClass) bool {
+		if a.C.Dominates(b.C) && b.C.Dominates(c.C) {
+			return a.C.Dominates(c.C)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJoinIsLeastUpperBound(t *testing.T) {
+	f := func(a, b, up randClass) bool {
+		j := a.C.Join(b.C)
+		if !j.Dominates(a.C) || !j.Dominates(b.C) {
+			return false
+		}
+		// Any other upper bound dominates the join.
+		if up.C.Dominates(a.C) && up.C.Dominates(b.C) {
+			return up.C.Dominates(j)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMeetIsGreatestLowerBound(t *testing.T) {
+	f := func(a, b, dn randClass) bool {
+		m := a.C.Meet(b.C)
+		if !a.C.Dominates(m) || !b.C.Dominates(m) {
+			return false
+		}
+		if a.C.Dominates(dn.C) && b.C.Dominates(dn.C) {
+			return m.Dominates(dn.C)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJoinMeetCommutative(t *testing.T) {
+	f := func(a, b randClass) bool {
+		return a.C.Join(b.C).Equal(b.C.Join(a.C)) &&
+			a.C.Meet(b.C).Equal(b.C.Meet(a.C))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJoinMeetAssociative(t *testing.T) {
+	f := func(a, b, c randClass) bool {
+		return a.C.Join(b.C).Join(c.C).Equal(a.C.Join(b.C.Join(c.C))) &&
+			a.C.Meet(b.C).Meet(c.C).Equal(a.C.Meet(b.C.Meet(c.C)))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAbsorption(t *testing.T) {
+	f := func(a, b randClass) bool {
+		return a.C.Join(a.C.Meet(b.C)).Equal(a.C) &&
+			a.C.Meet(a.C.Join(b.C)).Equal(a.C)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIdempotent(t *testing.T) {
+	f := func(a randClass) bool {
+		return a.C.Join(a.C).Equal(a.C) && a.C.Meet(a.C).Equal(a.C)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFlowDuality(t *testing.T) {
+	// read(a,b) == write(b,a): information flows one way.
+	f := func(a, b randClass) bool {
+		return a.C.CanRead(b.C) == b.C.CanWrite(a.C)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNoFlowCycleUnlessEqual(t *testing.T) {
+	// If information can flow a->b and b->a the classes are equal:
+	// the lattice admits no laundering cycles.
+	f := func(a, b randClass) bool {
+		if a.C.CanWrite(b.C) && b.C.CanWrite(a.C) {
+			return a.C.Equal(b.C)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFormatParseRoundTrip(t *testing.T) {
+	f := func(a randClass) bool {
+		s, err := propLattice.Format(a.C)
+		if err != nil {
+			return false
+		}
+		back, err := propLattice.ParseClass(s)
+		if err != nil {
+			return false
+		}
+		return back.Equal(a.C)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropOverwriteImpliesReadWrite(t *testing.T) {
+	f := func(a, b randClass) bool {
+		if a.C.CanOverwrite(b.C) {
+			return a.C.CanRead(b.C) && a.C.CanWrite(b.C)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

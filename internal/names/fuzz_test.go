@@ -1,0 +1,31 @@
+package names
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSplitPath checks that path validation never panics, that every
+// accepted path re-joins to itself, and that no accepted component is
+// empty or dotted.
+func FuzzSplitPath(f *testing.F) {
+	for _, seed := range []string{
+		"/", "/a", "/a/b/c", "", "a", "//", "/a//b", "/./x", "/..", "/a/", "/a/./b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		parts, err := SplitPath(path)
+		if err != nil {
+			return
+		}
+		for _, p := range parts {
+			if p == "" || p == "." || p == ".." || strings.ContainsRune(p, '/') {
+				t.Fatalf("SplitPath(%q) accepted bad component %q", path, p)
+			}
+		}
+		if got := Join("/", parts...); got != path {
+			t.Fatalf("Join(SplitPath(%q)) = %q", path, got)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+// Package names implements the single, universal, hierarchical name
+// space of "Security for Extensible Systems" (Grimm & Bershad, HotOS
+// 1997), §2.3, and the central name server that enforces protection on
+// it.
+//
+// The leaves of the name space are the individual functions of system
+// services (methods, procedures) and data objects (files); the non-leaf
+// nodes are objects, interfaces, domains/packages, and directories.
+// Every node carries an access control list and a security class, so the
+// same mechanism protects services, extensions, and files — the paper's
+// "economy of mechanism".
+//
+// Access control on the hierarchy follows the paper's file-system
+// analogy: the list mode on a non-leaf node determines which names under
+// it are visible; the write mode determines whether new entries may be
+// added; execute and extend on leaves gate calling and specializing
+// services.
+package names
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"secext/internal/acl"
+	"secext/internal/lattice"
+)
+
+// Kind classifies a node in the universal name space (§2.3 enumerates
+// the levels for Java and SPIN; we carry them all).
+type Kind uint8
+
+const (
+	// KindRoot is the unique root of the name space.
+	KindRoot Kind = iota
+	// KindDomain groups interfaces, like SPIN domains or Java packages.
+	KindDomain
+	// KindInterface is a collection of methods/procedures.
+	KindInterface
+	// KindObject is an instance exposing methods.
+	KindObject
+	// KindMethod is a leaf: one callable, extendable service entry point.
+	KindMethod
+	// KindDirectory is a file-system directory mounted into the space.
+	KindDirectory
+	// KindFile is a leaf data object.
+	KindFile
+
+	numKinds = 7
+)
+
+var kindNames = [numKinds]string{
+	"root", "domain", "interface", "object", "method", "directory", "file",
+}
+
+func (k Kind) String() string {
+	if int(k) < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Leaf reports whether nodes of this kind may not have children.
+func (k Kind) Leaf() bool { return k == KindMethod || k == KindFile }
+
+// Errors returned by name-space operations.
+var (
+	ErrNotFound = errors.New("names: no such name")
+	ErrExists   = errors.New("names: name already bound")
+	ErrNotLeaf  = errors.New("names: operation requires a leaf node")
+	ErrLeaf     = errors.New("names: leaf nodes cannot have children")
+	ErrBadPath  = errors.New("names: malformed path")
+	ErrDenied   = errors.New("names: access denied")
+	ErrRoot     = errors.New("names: operation not permitted on root")
+)
+
+// DeniedError carries the detail of a failed access check. It unwraps to
+// ErrDenied. The Why field distinguishes discretionary from mandatory
+// failures, which the audit log records.
+type DeniedError struct {
+	Path string // object the check ran against
+	Op   string // requested operation / modes
+	Why  string // "acl" or "mac", plus detail
+}
+
+func (e *DeniedError) Error() string {
+	return fmt.Sprintf("names: access denied: %s on %s (%s)", e.Op, e.Path, e.Why)
+}
+
+func (e *DeniedError) Unwrap() error { return ErrDenied }
+
+// Node is one entry in the name space. Nodes are created and mutated
+// only through a Server, which serializes access; Node's exported
+// methods are read-only snapshots safe to call while the server is in
+// use.
+type Node struct {
+	name       string
+	kind       Kind
+	parent     *Node
+	children   map[string]*Node
+	acl        *acl.ACL
+	class      lattice.Class
+	payload    any
+	multilevel bool
+}
+
+// Multilevel reports whether the node is a multilevel container: a
+// non-leaf node that accepts bindings from subjects at any class the
+// container's class is dominated by, the classic MLS "upgraded
+// directory" mechanism (e.g. an MLS /tmp). Without it, a subject above
+// the container's class could never create anything — binding a name is
+// MAC-wise a write to the container, and writing down is forbidden. The
+// trade-off is explicit: the *names* bound in a multilevel container are
+// visible at the container's class even when the nodes behind them are
+// not readable, a covert channel conventional MLS systems accept.
+func (n *Node) Multilevel() bool { return n.multilevel }
+
+// Name returns the node's final path component ("" for the root).
+func (n *Node) Name() string { return n.name }
+
+// Kind returns the node's kind.
+func (n *Node) Kind() Kind { return n.kind }
+
+// Path returns the absolute path of the node.
+func (n *Node) Path() string {
+	if n.parent == nil {
+		return "/"
+	}
+	var parts []string
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		parts = append(parts, cur.name)
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
+
+// Class returns the node's security class.
+func (n *Node) Class() lattice.Class { return n.class }
+
+// Payload returns the value bound at the node (a service implementation,
+// file contents handle, etc.).
+func (n *Node) Payload() any { return n.payload }
+
+// childNames returns the sorted names of the node's children.
+func (n *Node) childNames() []string {
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SplitPath validates and splits an absolute path into its components.
+// The root path "/" yields an empty slice. Components must be non-empty
+// and must not be "." or "..".
+func SplitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: %q (must be absolute)", ErrBadPath, path)
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(path[1:], "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+// ValidComponent reports whether name is usable as a single path
+// component.
+func ValidComponent(name string) error {
+	if name == "" || name == "." || name == ".." || strings.ContainsRune(name, '/') {
+		return fmt.Errorf("%w: component %q", ErrBadPath, name)
+	}
+	return nil
+}
+
+// Join joins path components under an absolute prefix.
+func Join(prefix string, components ...string) string {
+	out := strings.TrimSuffix(prefix, "/")
+	for _, c := range components {
+		out += "/" + c
+	}
+	if out == "" {
+		return "/"
+	}
+	return out
+}

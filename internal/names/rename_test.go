@@ -1,0 +1,170 @@
+package names
+
+import (
+	"errors"
+	"testing"
+
+	"secext/internal/acl"
+)
+
+// renameFixture builds /a and /b directories plus /a/x with a
+// permissive ACL for "owner".
+func renameFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := newFixture(t)
+	dirACL := acl.New(
+		acl.Allow("owner", acl.Write|acl.List),
+		acl.AllowEveryone(acl.List),
+	)
+	for _, d := range []string{"a", "b"} {
+		if _, err := f.srv.BindUnchecked("/", BindSpec{
+			Name: d, Kind: KindDirectory, ACL: dirACL, Class: f.bot,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.srv.BindUnchecked("/a", BindSpec{
+		Name: "x", Kind: KindFile, Class: f.bot, Payload: "data",
+		ACL: acl.New(acl.Allow("owner", acl.Delete|acl.Read)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRenameHappyPath(t *testing.T) {
+	f := renameFixture(t)
+	owner := subj("owner")
+	if err := f.srv.Rename(owner, f.bot, "/a/x", "/b", "y"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if _, err := f.srv.ResolveUnchecked("/a/x"); !errors.Is(err, ErrNotFound) {
+		t.Error("old name must be gone")
+	}
+	n, err := f.srv.ResolveUnchecked("/b/y")
+	if err != nil {
+		t.Fatalf("new name missing: %v", err)
+	}
+	if n.Payload() != "data" || n.Name() != "y" || n.Path() != "/b/y" {
+		t.Errorf("moved node wrong: %s %v", n.Path(), n.Payload())
+	}
+}
+
+func TestRenameChecks(t *testing.T) {
+	f := renameFixture(t)
+	other := subj("other")
+	// No delete on the node.
+	if err := f.srv.Rename(other, f.bot, "/a/x", "/b", "y"); !errors.Is(err, ErrDenied) {
+		t.Errorf("no delete: got %v", err)
+	}
+	// Delete but no write on the destination parent.
+	if err := f.srv.SetACLUnchecked("/a/x", acl.New(acl.Allow("other", acl.Delete))); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.SetACLUnchecked("/a", acl.New(acl.Allow("other", acl.Write|acl.List), acl.AllowEveryone(acl.List))); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Rename(other, f.bot, "/a/x", "/b", "y"); !errors.Is(err, ErrDenied) {
+		t.Errorf("no destination write: got %v", err)
+	}
+}
+
+func TestRenameStructuralErrors(t *testing.T) {
+	f := renameFixture(t)
+	owner := subj("owner")
+	// Root cannot move.
+	if err := f.srv.Rename(owner, f.bot, "/", "/b", "r"); !errors.Is(err, ErrRoot) {
+		t.Errorf("move root: got %v", err)
+	}
+	// Destination occupied.
+	if _, err := f.srv.BindUnchecked("/b", BindSpec{Name: "x", Kind: KindFile, Class: f.bot}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Rename(owner, f.bot, "/a/x", "/b", "x"); !errors.Is(err, ErrExists) {
+		t.Errorf("occupied destination: got %v", err)
+	}
+	// Bad component.
+	if err := f.srv.Rename(owner, f.bot, "/a/x", "/b", "a/b"); !errors.Is(err, ErrBadPath) {
+		t.Errorf("bad component: got %v", err)
+	}
+	// Destination under a leaf.
+	if err := f.srv.Rename(owner, f.bot, "/a/x", "/b/x", "y"); !errors.Is(err, ErrLeaf) {
+		t.Errorf("leaf destination: got %v", err)
+	}
+}
+
+func TestRenameCycleRejected(t *testing.T) {
+	f := newFixture(t)
+	open := acl.New(acl.Allow("o", acl.Write|acl.Delete|acl.List), acl.AllowEveryone(acl.List))
+	if _, err := f.srv.BindUnchecked("/", BindSpec{Name: "d1", Kind: KindDirectory, ACL: open, Class: f.bot}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.srv.BindUnchecked("/d1", BindSpec{Name: "d2", Kind: KindDirectory, ACL: open, Class: f.bot}); err != nil {
+		t.Fatal(err)
+	}
+	o := subj("o")
+	if err := f.srv.Rename(o, f.bot, "/d1", "/d1/d2", "loop"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("cycle move: got %v", err)
+	}
+	// Moving a directory into itself directly.
+	if err := f.srv.Rename(o, f.bot, "/d1", "/d1", "self"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("self move: got %v", err)
+	}
+}
+
+func TestRenamePreservesProtection(t *testing.T) {
+	// Moving a high-classified node between low directories must not
+	// change its class or ACL. The mover runs at the directories'
+	// class: deleting and re-binding the *name* are writes to the low
+	// directories (a high subject attempting this would be denied as a
+	// write-down — see TestRenameInMultilevelDir for the multilevel
+	// alternative), while deleting the high *node* is a legal write-up.
+	f := renameFixture(t)
+	if err := f.srv.SetClassUnchecked("/a/x", f.org); err != nil {
+		t.Fatal(err)
+	}
+	ownerACL := acl.New(acl.Allow("owner", acl.Delete|acl.Read))
+	if err := f.srv.SetACLUnchecked("/a/x", ownerACL); err != nil {
+		t.Fatal(err)
+	}
+	owner := subj("owner")
+	if err := f.srv.Rename(owner, f.org, "/a/x", "/b", "x"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("high subject moving name in low dirs must be a write-down: %v", err)
+	}
+	if err := f.srv.Rename(owner, f.bot, "/a/x", "/b", "x"); err != nil {
+		t.Fatalf("Rename at directory class: %v", err)
+	}
+	n, _ := f.srv.ResolveUnchecked("/b/x")
+	if !n.Class().Equal(f.org) {
+		t.Errorf("class changed: %s", n.Class())
+	}
+	got, _ := f.srv.ACLOf("/b/x")
+	if got.String() != ownerACL.String() {
+		t.Errorf("ACL changed: %s", got)
+	}
+}
+
+func TestRenameInMultilevelDir(t *testing.T) {
+	f := newFixture(t)
+	shared := acl.New(acl.AllowEveryone(acl.List | acl.Write))
+	if _, err := f.srv.BindUnchecked("/", BindSpec{
+		Name: "tmp", Kind: KindDirectory, ACL: shared, Class: f.bot, Multilevel: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bob := subj("bob")
+	if _, err := f.srv.Bind(bob, f.org, "/tmp", BindSpec{
+		Name: "f", Kind: KindFile, Class: f.org,
+		ACL: acl.New(acl.Allow("bob", acl.Delete)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// bob renames his own entry inside the multilevel dir although the
+	// container is below his class.
+	if err := f.srv.Rename(bob, f.org, "/tmp/f", "/tmp", "g"); err != nil {
+		t.Fatalf("multilevel rename: %v", err)
+	}
+	if _, err := f.srv.ResolveUnchecked("/tmp/g"); err != nil {
+		t.Error("renamed entry missing")
+	}
+}

@@ -1,0 +1,522 @@
+package names
+
+import (
+	"fmt"
+	"sync"
+
+	"secext/internal/acl"
+	"secext/internal/lattice"
+)
+
+// ErrNotEmpty is returned when unbinding a node that still has children.
+var ErrNotEmpty = fmt.Errorf("names: node not empty")
+
+// Server is the central name server: the single facility that names
+// every object in the system and enforces protection on each level of
+// the hierarchy (§2.3). It is safe for concurrent use.
+//
+// Checked operations take the requesting subject (for the DAC decision)
+// and the subject's current security class (for the MAC decision).
+// Unchecked variants exist for bootstrap and for the reference monitor's
+// own bookkeeping; nothing outside internal/core should use them.
+type Server struct {
+	mu   sync.RWMutex
+	root *Node
+	lat  *lattice.Lattice
+
+	// checkTraversal controls whether walking through interior nodes
+	// performs per-level visibility checks (list + MAC read). It is on
+	// by default; experiment E4 measures the cost by toggling it.
+	checkTraversal bool
+}
+
+// NewServer creates a name space whose root carries the given ACL and
+// class.
+func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) *Server {
+	if rootACL == nil {
+		rootACL = acl.New()
+	}
+	return &Server{
+		root: &Node{
+			kind:     KindRoot,
+			children: make(map[string]*Node),
+			acl:      rootACL.Clone(),
+			class:    rootClass,
+		},
+		lat:            lat,
+		checkTraversal: true,
+	}
+}
+
+// Lattice returns the lattice node classes are drawn from.
+func (s *Server) Lattice() *lattice.Lattice { return s.lat }
+
+// SetTraversalChecks toggles per-level visibility checks during path
+// resolution. Intended for experiments; production systems leave it on.
+func (s *Server) SetTraversalChecks(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkTraversal = on
+}
+
+// macAllows maps requested DAC modes onto the lattice flow rules (§2.2):
+//
+//   - read, list, execute, extend require the subject to dominate the
+//     object (information about the object flows to the subject);
+//   - write, delete, administrate require the object to dominate the
+//     subject (*-property, no write-down);
+//   - write-append requires only the *-property and is the paper's
+//     mechanism for upgrading information without reading it.
+//
+// Extend sits in the read group: registering a specialization requires
+// seeing the service, while the authority the specialization runs with
+// is bounded separately by its static class (internal/dispatch).
+func macAllows(subject, object lattice.Class, modes acl.Mode) (bool, string) {
+	const readGroup = acl.Read | acl.List | acl.Execute | acl.Extend
+	const writeGroup = acl.Write | acl.Delete | acl.Administrate
+	if modes&readGroup != 0 && !subject.CanRead(object) {
+		return false, "mac: subject does not dominate object (no read up)"
+	}
+	if modes&writeGroup != 0 && !subject.CanWrite(object) {
+		return false, "mac: object does not dominate subject (no write down)"
+	}
+	if modes&acl.WriteAppend != 0 && !subject.CanAppend(object) {
+		return false, "mac: append would write down"
+	}
+	return true, ""
+}
+
+// checkNodeLocked verifies both the DAC and MAC rules for the requested
+// modes on node n. Caller holds s.mu (read or write).
+func checkNodeLocked(n *Node, sub acl.Subject, class lattice.Class, modes acl.Mode) error {
+	if !n.acl.Check(sub, modes) {
+		return &DeniedError{Path: n.Path(), Op: modes.String(), Why: "acl: modes not granted"}
+	}
+	if ok, why := macAllows(class, n.class, modes); !ok {
+		return &DeniedError{Path: n.Path(), Op: modes.String(), Why: why}
+	}
+	return nil
+}
+
+// resolveLocked walks the path, applying traversal checks to every
+// interior node strictly above the target when enabled. Caller holds
+// s.mu.
+func (s *Server) resolveLocked(sub acl.Subject, class lattice.Class, path string, checked bool) (*Node, error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := s.root
+	for i, part := range parts {
+		if checked && s.checkTraversal {
+			// Visibility: walking through a node requires list on it
+			// and MAC read of it (§2.3: access control determines
+			// which names are visible).
+			if err := checkNodeLocked(cur, sub, class, acl.List); err != nil {
+				return nil, err
+			}
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, Join("/", parts[:i+1]...))
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Resolve walks to the node at path, enforcing visibility along the way.
+// The target node itself is not checked; callers apply the operation-
+// specific check via CheckAccess or a higher-level operation.
+func (s *Server) Resolve(sub acl.Subject, class lattice.Class, path string) (*Node, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.resolveLocked(sub, class, path, true)
+}
+
+// ResolveUnchecked walks to the node at path with no access checks.
+func (s *Server) ResolveUnchecked(path string) (*Node, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.resolveLocked(nil, lattice.Class{}, path, false)
+}
+
+// CheckAccess resolves path and verifies that the subject holds the
+// requested modes on the target under both DAC and MAC. It returns the
+// node on success.
+func (s *Server) CheckAccess(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, err := s.resolveLocked(sub, class, path, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkNodeLocked(n, sub, class, modes); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// List returns the names bound under path, requiring list mode and MAC
+// read on the target.
+func (s *Server) List(sub acl.Subject, class lattice.Class, path string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, err := s.resolveLocked(sub, class, path, true)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind.Leaf() {
+		return nil, fmt.Errorf("%w: %s is a %s", ErrNotLeaf, path, n.kind)
+	}
+	if err := checkNodeLocked(n, sub, class, acl.List); err != nil {
+		return nil, err
+	}
+	return n.childNames(), nil
+}
+
+// BindSpec describes a new node for Bind.
+type BindSpec struct {
+	Name    string        // final path component
+	Kind    Kind          // node kind
+	ACL     *acl.ACL      // nil means empty (fail-closed)
+	Class   lattice.Class // security class of the new node
+	Payload any           // service implementation, file handle, etc.
+	// Multilevel marks the new node as a multilevel container; see
+	// Node.Multilevel.
+	Multilevel bool
+}
+
+// Bind creates a new node under parentPath. The subject needs write mode
+// on the parent (§2.3: "whether an extension can add new entries"), MAC
+// write to the parent, and may only label the new node with a class it
+// could itself write to (preventing creation of objects below the
+// subject's own class, which would constitute a write-down channel).
+func (s *Server) Bind(sub acl.Subject, class lattice.Class, parentPath string, spec BindSpec) (*Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent, err := s.resolveLocked(sub, class, parentPath, true)
+	if err != nil {
+		return nil, err
+	}
+	if parent.multilevel {
+		// Multilevel container: the DAC write mode still applies, but
+		// the MAC no-write-down rule on the container is waived so
+		// subjects above the container's class can create entries
+		// (upgraded-directory semantics). The subject must still
+		// dominate the container to see it at all.
+		if !parent.acl.Check(sub, acl.Write) {
+			return nil, &DeniedError{Path: parent.Path(), Op: "write", Why: "acl: modes not granted"}
+		}
+		if !class.CanRead(parent.class) {
+			return nil, &DeniedError{Path: parent.Path(), Op: "write", Why: "mac: subject does not dominate container"}
+		}
+	} else if err := checkNodeLocked(parent, sub, class, acl.Write); err != nil {
+		return nil, err
+	}
+	if !class.CanWrite(spec.Class) {
+		return nil, &DeniedError{
+			Path: Join(parentPath, spec.Name), Op: "bind",
+			Why: "mac: new node class must dominate creator (no write down)",
+		}
+	}
+	return s.bindLocked(parent, spec)
+}
+
+// BindUnchecked creates a node with no access checks; for bootstrap.
+func (s *Server) BindUnchecked(parentPath string, spec BindSpec) (*Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent, err := s.resolveLocked(nil, lattice.Class{}, parentPath, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.bindLocked(parent, spec)
+}
+
+func (s *Server) bindLocked(parent *Node, spec BindSpec) (*Node, error) {
+	if err := ValidComponent(spec.Name); err != nil {
+		return nil, err
+	}
+	if parent.kind.Leaf() {
+		return nil, fmt.Errorf("%w: %s", ErrLeaf, parent.Path())
+	}
+	if !spec.Class.Valid() || spec.Class.Lattice() != s.lat {
+		return nil, fmt.Errorf("%w: node class must come from the server lattice", ErrBadPath)
+	}
+	if _, dup := parent.children[spec.Name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrExists, Join(parent.Path(), spec.Name))
+	}
+	a := spec.ACL
+	if a == nil {
+		a = acl.New()
+	}
+	n := &Node{
+		name:       spec.Name,
+		kind:       spec.Kind,
+		parent:     parent,
+		acl:        a.Clone(),
+		class:      spec.Class,
+		payload:    spec.Payload,
+		multilevel: spec.Multilevel && !spec.Kind.Leaf(),
+	}
+	if !spec.Kind.Leaf() {
+		n.children = make(map[string]*Node)
+	}
+	parent.children[spec.Name] = n
+	return n, nil
+}
+
+// Unbind removes the node at path. The subject needs delete mode on the
+// target, write mode on the parent, and MAC write to both. Non-empty
+// nodes cannot be unbound.
+func (s *Server) Unbind(sub acl.Subject, class lattice.Class, path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.resolveLocked(sub, class, path, true)
+	if err != nil {
+		return err
+	}
+	if n.parent == nil {
+		return ErrRoot
+	}
+	if len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+	}
+	if err := checkNodeLocked(n, sub, class, acl.Delete); err != nil {
+		return err
+	}
+	if n.parent.multilevel {
+		// Same waiver as Bind: removing an entry from a multilevel
+		// container needs the DAC write mode but not MAC write.
+		if !n.parent.acl.Check(sub, acl.Write) {
+			return &DeniedError{Path: n.parent.Path(), Op: "write", Why: "acl: modes not granted"}
+		}
+	} else if err := checkNodeLocked(n.parent, sub, class, acl.Write); err != nil {
+		return err
+	}
+	delete(n.parent.children, n.name)
+	n.parent = nil
+	return nil
+}
+
+// Rename moves the node at oldPath to newParentPath/newName. The
+// subject needs delete on the node, write on both the old and the new
+// parent (multilevel waivers apply to each side independently), and the
+// usual MAC rules; the node keeps its ACL, class, payload, and
+// children. Renaming across class boundaries never relabels: the name
+// moves, the protection does not.
+func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParentPath, newName string) error {
+	if err := ValidComponent(newName); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.resolveLocked(sub, class, oldPath, true)
+	if err != nil {
+		return err
+	}
+	if n.parent == nil {
+		return ErrRoot
+	}
+	newParent, err := s.resolveLocked(sub, class, newParentPath, true)
+	if err != nil {
+		return err
+	}
+	if newParent.kind.Leaf() {
+		return fmt.Errorf("%w: %s", ErrLeaf, newParentPath)
+	}
+	// A node must not become its own ancestor.
+	for cur := newParent; cur != nil; cur = cur.parent {
+		if cur == n {
+			return fmt.Errorf("%w: cannot move %s under itself", ErrBadPath, oldPath)
+		}
+	}
+	if _, dup := newParent.children[newName]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, Join(newParentPath, newName))
+	}
+	if err := checkNodeLocked(n, sub, class, acl.Delete); err != nil {
+		return err
+	}
+	checkParent := func(p *Node) error {
+		if p.multilevel {
+			if !p.acl.Check(sub, acl.Write) {
+				return &DeniedError{Path: p.Path(), Op: "write", Why: "acl: modes not granted"}
+			}
+			return nil
+		}
+		return checkNodeLocked(p, sub, class, acl.Write)
+	}
+	if err := checkParent(n.parent); err != nil {
+		return err
+	}
+	if err := checkParent(newParent); err != nil {
+		return err
+	}
+	delete(n.parent.children, n.name)
+	n.parent = newParent
+	n.name = newName
+	newParent.children[newName] = n
+	return nil
+}
+
+// UnbindUnchecked removes the node at path with no access checks.
+func (s *Server) UnbindUnchecked(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	if err != nil {
+		return err
+	}
+	if n.parent == nil {
+		return ErrRoot
+	}
+	if len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+	}
+	delete(n.parent.children, n.name)
+	n.parent = nil
+	return nil
+}
+
+// GetACL returns a copy of the node's ACL. Reading the protection state
+// requires read or administrate mode.
+func (s *Server) GetACL(sub acl.Subject, class lattice.Class, path string) (*acl.ACL, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, err := s.resolveLocked(sub, class, path, true)
+	if err != nil {
+		return nil, err
+	}
+	granted := n.acl.Granted(sub)
+	if !granted.Has(acl.Read) && !granted.Has(acl.Administrate) {
+		return nil, &DeniedError{Path: path, Op: "get-acl", Why: "acl: need read or administrate"}
+	}
+	if ok, why := macAllows(class, n.class, acl.Read); !ok {
+		return nil, &DeniedError{Path: path, Op: "get-acl", Why: why}
+	}
+	return n.acl.Clone(), nil
+}
+
+// SetACL replaces the node's ACL. Changing protection is the
+// administrate mode (§2.1) and is MAC-wise a write.
+func (s *Server) SetACL(sub acl.Subject, class lattice.Class, path string, newACL *acl.ACL) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.resolveLocked(sub, class, path, true)
+	if err != nil {
+		return err
+	}
+	if err := checkNodeLocked(n, sub, class, acl.Administrate); err != nil {
+		return err
+	}
+	n.acl = newACL.Clone()
+	return nil
+}
+
+// SetACLUnchecked replaces a node's ACL with no access checks.
+func (s *Server) SetACLUnchecked(path string, newACL *acl.ACL) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	if err != nil {
+		return err
+	}
+	n.acl = newACL.Clone()
+	return nil
+}
+
+// SetClass relabels the node. Relabeling violates tranquility, so it is
+// gated on administrate mode and MAC write against both the old and the
+// new class.
+func (s *Server) SetClass(sub acl.Subject, class lattice.Class, path string, newClass lattice.Class) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.resolveLocked(sub, class, path, true)
+	if err != nil {
+		return err
+	}
+	if !newClass.Valid() || newClass.Lattice() != s.lat {
+		return fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
+	}
+	if err := checkNodeLocked(n, sub, class, acl.Administrate); err != nil {
+		return err
+	}
+	// Relabeling moves the information at the old class to the new one,
+	// so it is simultaneously a read of the old label and a write of the
+	// new: the subject must dominate what it declassifies and may not
+	// write down.
+	if !class.CanRead(n.class) {
+		return &DeniedError{Path: path, Op: "set-class", Why: "mac: subject does not dominate current class"}
+	}
+	if !class.CanWrite(newClass) {
+		return &DeniedError{Path: path, Op: "set-class", Why: "mac: relabel would write down"}
+	}
+	n.class = newClass
+	return nil
+}
+
+// SetClassUnchecked relabels a node with no access checks; for
+// bootstrap and experiments.
+func (s *Server) SetClassUnchecked(path string, newClass lattice.Class) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	if err != nil {
+		return err
+	}
+	if !newClass.Valid() || newClass.Lattice() != s.lat {
+		return fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
+	}
+	n.class = newClass
+	return nil
+}
+
+// ACLOf returns a copy of a node's ACL with no checks (monitor use).
+func (s *Server) ACLOf(path string) (*acl.ACL, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	if err != nil {
+		return nil, err
+	}
+	return n.acl.Clone(), nil
+}
+
+// SetPayload replaces the payload at path with no access checks
+// (monitor and service bootstrap use).
+func (s *Server) SetPayload(path string, payload any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	if err != nil {
+		return err
+	}
+	n.payload = payload
+	return nil
+}
+
+// Walk visits every node in the name space in depth-first order with no
+// access checks, calling fn with each node's path and node. Intended for
+// administrative dumps and tests. The callback must not call back into
+// the server.
+func (s *Server) Walk(fn func(path string, n *Node)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		fn(n.Path(), n)
+		for _, name := range n.childNames() {
+			visit(n.children[name])
+		}
+	}
+	visit(s.root)
+}
+
+// Size returns the number of nodes in the name space, including the
+// root.
+func (s *Server) Size() int {
+	n := 0
+	s.Walk(func(string, *Node) { n++ })
+	return n
+}

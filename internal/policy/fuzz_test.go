@@ -1,0 +1,31 @@
+package policy
+
+import "testing"
+
+// FuzzParse checks that policy parsing never panics and that accepted
+// documents reach a Format/Parse fixed point.
+func FuzzParse(f *testing.F) {
+	f.Add("levels a\n")
+	f.Add("levels a b\ncategories x y\nprincipal p class a\n")
+	f.Add("levels a\ngroup g\nmember g g\n")
+	f.Add("levels a\nnode /x domain class a\nacl /x allow * read\n")
+	f.Add("levels a\nservice /s class a\n")
+	f.Add("levels a\nnode /d directory multilevel\n")
+	f.Add("# comment only\nlevels a\n")
+	f.Add("levels\n")
+	f.Add("bogus directive\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		p, err := ParseString(doc)
+		if err != nil {
+			return
+		}
+		out := p.Format()
+		p2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("reparse of formatted policy failed: %v\n%s", err, out)
+		}
+		if p2.Format() != out {
+			t.Fatalf("Format not fixed point:\n%s\n---\n%s", out, p2.Format())
+		}
+	})
+}

@@ -1,0 +1,334 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/core"
+	"secext/internal/dispatch"
+	"secext/internal/names"
+	"secext/internal/subject"
+)
+
+// orgPolicy is the §2.2 worked example as a policy document.
+const orgPolicy = `
+# The paper's organization example (HotOS 97, section 2.2).
+levels others organization local
+categories myself dept-1 dept-2 outside
+
+principal user    class local:{myself,dept-1,dept-2,outside}
+principal applet1 class organization:{dept-1}
+principal applet2 class organization:{dept-2}
+principal applet3 class organization:{dept-1,dept-2}
+principal outside class others:{outside}
+
+group org-applets
+member org-applets applet1
+member org-applets applet2
+member org-applets applet3
+
+node /svc domain class others
+node /svc/fs interface class others
+service /svc/fs/read class others
+node /files directory multilevel class others
+
+acl /svc equ-ignored-below allow-dummy none       # overwritten below
+`
+
+// The trailing bogus line above is intentional for the error test; the
+// valid document drops it.
+var validOrgPolicy = strings.Replace(orgPolicy,
+	"acl /svc equ-ignored-below allow-dummy none       # overwritten below",
+	`acl /svc allow * list
+acl /svc/fs allow * list
+acl /svc/fs/read allow @org-applets execute,list
+acl /svc/fs/read allow user execute,extend,list
+acl /files allow * list,write`, 1)
+
+func TestParseValid(t *testing.T) {
+	p, err := ParseString(validOrgPolicy)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Levels) != 3 || p.Levels[2] != "local" {
+		t.Errorf("Levels = %v", p.Levels)
+	}
+	if len(p.Categories) != 4 {
+		t.Errorf("Categories = %v", p.Categories)
+	}
+	if len(p.Principals) != 5 || p.Principals[0].Name != "user" {
+		t.Errorf("Principals = %v", p.Principals)
+	}
+	if len(p.Groups) != 1 || len(p.Members) != 3 {
+		t.Errorf("Groups/Members = %v %v", p.Groups, p.Members)
+	}
+	if len(p.Nodes) != 4 {
+		t.Errorf("Nodes = %v", p.Nodes)
+	}
+	svc := p.Nodes[2]
+	if !svc.Service || svc.Kind != names.KindMethod || svc.ClassLabel != "others" {
+		t.Errorf("service decl = %+v", svc)
+	}
+	files := p.Nodes[3]
+	if !files.Multilevel || files.Kind != names.KindDirectory {
+		t.Errorf("files decl = %+v", files)
+	}
+	if len(p.ACLs) != 5 {
+		t.Errorf("ACLs = %v", p.ACLs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"no levels", "categories a b\n"},
+		{"dup levels", "levels a\nlevels b\n"},
+		{"dup categories", "levels a\ncategories x\ncategories y\n"},
+		{"empty levels", "levels\n"},
+		{"bad principal", "levels a\nprincipal alice a\n"},
+		{"bad group", "levels a\ngroup\n"},
+		{"bad member", "levels a\nmember g\n"},
+		{"bad node kind", "levels a\nnode /x widget\n"},
+		{"root node kind", "levels a\nnode /x root\n"},
+		{"node no kind", "levels a\nnode /x\n"},
+		{"bad node path", "levels a\nnode relative domain\n"},
+		{"node trailing junk", "levels a\nnode /x domain banana\n"},
+		{"node class no label", "levels a\nnode /x domain class\n"},
+		{"bad acl", "levels a\nacl /x allow alice\n"},
+		{"bad acl verb", "levels a\nacl /x grant alice read\n"},
+		{"bad acl modes", "levels a\nacl /x allow alice fly\n"},
+		{"unknown directive", "levels a\nfrobnicate\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.text); !errors.Is(err, ErrSyntax) {
+			t.Errorf("%s: got %v, want ErrSyntax", tc.name, err)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p, err := ParseString("# header\n\nlevels a b # trailing\n\n# done\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Levels) != 2 {
+		t.Errorf("Levels = %v", p.Levels)
+	}
+}
+
+func TestBuildOrgScenario(t *testing.T) {
+	p, err := ParseString(validOrgPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := p.Build(core.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Wire the declared service.
+	err = sys.AttachBase("/svc/fs/read", dispatch.Binding{
+		Owner: "base",
+		Handler: func(ctx *subject.Context, arg any) (any, error) {
+			return "read", nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("AttachBase: %v", err)
+	}
+	ctx := func(name string) *subject.Context {
+		c, err := sys.NewContext(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	// Group grant works for all three applets.
+	for _, a := range []string{"applet1", "applet2", "applet3"} {
+		if _, err := sys.Call(ctx(a), "/svc/fs/read", nil); err != nil {
+			t.Errorf("%s call: %v", a, err)
+		}
+	}
+	// The outside principal has no execute grant.
+	if _, err := sys.Call(ctx("outside"), "/svc/fs/read", nil); !core.IsDenied(err) {
+		t.Errorf("outside call: got %v", err)
+	}
+	// Only user may extend.
+	b := dispatch.Binding{Owner: "x", Handler: func(ctx *subject.Context, arg any) (any, error) { return nil, nil }}
+	if err := sys.Extend(ctx("applet1"), "/svc/fs/read", b); !core.IsDenied(err) {
+		t.Errorf("applet extend: got %v", err)
+	}
+	if err := sys.Extend(ctx("user"), "/svc/fs/read", b); err != nil {
+		t.Errorf("user extend: %v", err)
+	}
+	// Membership from policy.
+	u, _ := sys.Registry().Principal("applet1")
+	if !u.MemberOf("org-applets") {
+		t.Error("policy group membership")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	base := "levels a b\nprincipal p class b\n"
+	p, err := ParseString(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply to a system missing level b.
+	sys, err := core.NewSystem(core.Options{Levels: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply(sys); err == nil {
+		t.Error("Apply with missing level must fail")
+	}
+	// Bad principal class label.
+	p2, _ := ParseString("levels a\nprincipal p class nope\n")
+	if _, err := p2.Build(core.Options{}); err == nil {
+		t.Error("bad principal class must fail")
+	}
+	// Node with bad class.
+	p3, _ := ParseString("levels a\nnode /x domain class nope\n")
+	if _, err := p3.Build(core.Options{}); err == nil {
+		t.Error("bad node class must fail")
+	}
+	// Node under missing parent.
+	p4, _ := ParseString("levels a\nnode /x/y domain\n")
+	if _, err := p4.Build(core.Options{}); err == nil {
+		t.Error("orphan node must fail")
+	}
+	// ACL on missing node.
+	p5, _ := ParseString("levels a\nacl /ghost allow p read\n")
+	if _, err := p5.Build(core.Options{}); err == nil {
+		t.Error("ACL on missing node must fail")
+	}
+	// Member of missing group.
+	p6, _ := ParseString("levels a\nprincipal p class a\nmember ghost p\n")
+	if _, err := p6.Build(core.Options{}); err == nil {
+		t.Error("member of missing group must fail")
+	}
+}
+
+func TestMultipleACLLinesMerge(t *testing.T) {
+	text := `levels a
+principal p class a
+principal q class a
+node /n object
+acl /n allow p read
+acl /n allow p write
+acl /n deny q read
+`
+	p, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := p.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Names().ACLOf("/n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 { // p-allow merged, q-deny separate
+		t.Errorf("ACL = %v", a)
+	}
+	pc, _ := sys.NewContext("p")
+	if _, err := sys.CheckData(pc, "/n", acl.Read|acl.Write); err != nil {
+		t.Errorf("merged modes: %v", err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	p, err := ParseString(validOrgPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.Format()
+	p2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if p2.Format() != text {
+		t.Errorf("Format not fixed-point:\n%s\n---\n%s", text, p2.Format())
+	}
+	// The rebuilt policy produces an equivalent system.
+	if _, err := p2.Build(core.Options{}); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+}
+
+func TestAdmitDirectives(t *testing.T) {
+	text := `levels others organization local
+admit local class local register
+admit *.corp.example class organization:{} clamp organization register
+admit * class others clamp others
+`
+	p, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Admissions) != 3 {
+		t.Fatalf("Admissions = %v", p.Admissions)
+	}
+	if p.Admissions[1].Clamp != "organization" || !p.Admissions[1].AutoRegister {
+		t.Errorf("decl = %+v", p.Admissions[1])
+	}
+	if p.Admissions[2].AutoRegister {
+		t.Errorf("decl without register = %+v", p.Admissions[2])
+	}
+	// Format round trip.
+	p2, err := ParseString(p.Format())
+	if err != nil || len(p2.Admissions) != 3 || p2.Format() != p.Format() {
+		t.Errorf("round trip: %v\n%s", err, p.Format())
+	}
+	// Live admitter.
+	sys, err := p.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm, err := p.BuildAdmitter(sys)
+	if err != nil {
+		t.Fatalf("BuildAdmitter: %v", err)
+	}
+	r, ok := adm.Match("x.corp.example")
+	if !ok || r.StaticClamp != "organization" {
+		t.Errorf("Match = %+v, %v", r, ok)
+	}
+	// Parse errors.
+	for _, bad := range []string{
+		"levels a\nadmit\n",
+		"levels a\nadmit p\n",
+		"levels a\nadmit p klass x\n",
+		"levels a\nadmit p class a clamp\n",
+		"levels a\nadmit p class a banana\n",
+	} {
+		if _, err := ParseString(bad); !errors.Is(err, ErrSyntax) {
+			t.Errorf("%q: got %v", bad, err)
+		}
+	}
+	// Bad label surfaces at BuildAdmitter time.
+	p3, _ := ParseString("levels a\nadmit * class nope\n")
+	sys3, _ := p3.Build(core.Options{})
+	if _, err := p3.BuildAdmitter(sys3); err == nil {
+		t.Error("bad admit label must fail BuildAdmitter")
+	}
+}
+
+func TestAttachBaseValidation(t *testing.T) {
+	p, _ := ParseString("levels a\nnode /d domain\n")
+	sys, err := p.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dispatch.Binding{Owner: "o", Handler: func(ctx *subject.Context, arg any) (any, error) { return nil, nil }}
+	if err := sys.AttachBase("/d", b); !errors.Is(err, core.ErrConfig) {
+		t.Errorf("AttachBase on non-method: got %v", err)
+	}
+	if err := sys.AttachBase("/ghost", b); !errors.Is(err, names.ErrNotFound) {
+		t.Errorf("AttachBase on missing: got %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"secext/internal/core"
+	"secext/internal/names"
+)
+
+// Snapshot extracts the live protection state of a system back into a
+// policy document: the lattice universe, every principal with its class
+// label, every group with its direct members, every name-space node
+// with kind/class/multilevel, and every ACL entry. The result can be
+// reviewed, diffed against an intended policy, stored, and rebuilt with
+// Build — the administrator's round trip over the single name space.
+//
+// Node payloads (service implementations, file contents) are not part
+// of protection state and are not captured; method nodes with a
+// registered base implementation are emitted as `service` directives so
+// a rebuild knows to expect an AttachBase.
+func Snapshot(sys *core.System) (*Policy, error) {
+	p := &Policy{
+		Levels:     sys.Lattice().Levels(),
+		Categories: sys.Lattice().Categories(),
+	}
+
+	reg := sys.Registry()
+	for _, name := range reg.Principals() {
+		pr, err := reg.Principal(name)
+		if err != nil {
+			return nil, err
+		}
+		label, err := sys.Lattice().Format(pr.Class())
+		if err != nil {
+			return nil, err
+		}
+		p.Principals = append(p.Principals, PrincipalDecl{Name: name, ClassLabel: label})
+	}
+	for _, g := range reg.Groups() {
+		p.Groups = append(p.Groups, g)
+		members, err := reg.Members(g)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range members {
+			p.Members = append(p.Members, MemberDecl{
+				Group:  g,
+				Member: strings.TrimPrefix(m, "@"),
+			})
+		}
+	}
+
+	var walkErr error
+	sys.Names().Walk(func(path string, n *names.Node) {
+		if walkErr != nil || path == "/" {
+			return
+		}
+		label, err := sys.Lattice().Format(n.Class())
+		if err != nil {
+			walkErr = fmt.Errorf("policy: snapshot %s: %w", path, err)
+			return
+		}
+		p.Nodes = append(p.Nodes, NodeDecl{
+			Path:       path,
+			Kind:       n.Kind(),
+			Multilevel: n.Multilevel(),
+			ClassLabel: label,
+			Service:    n.Kind() == names.KindMethod && sys.Dispatcher().Registered(path),
+		})
+		a, err := sys.Names().ACLOf(path)
+		if err != nil {
+			walkErr = fmt.Errorf("policy: snapshot %s: %w", path, err)
+			return
+		}
+		for _, e := range a.Entries() {
+			p.ACLs = append(p.ACLs, ACLDecl{Path: path, Entry: e})
+		}
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return p, nil
+}

@@ -1,0 +1,288 @@
+// Package remote exposes a secext world over a line-oriented TCP
+// protocol: clients authenticate with a principal token and then issue
+// mediated commands. It is the distributed face of the model — remote
+// code and remote users (the paper's applets "originating from outside
+// the organization" arrive over exactly such connections) get a subject
+// bound to their authenticated principal, and every command funnels
+// through the same reference monitor as local callers.
+//
+// Protocol (one request per line, responses are "OK[ detail]" or
+// "ERR <reason>"):
+//
+//	AUTH <token>             bind the connection to a principal
+//	LS <path>                list a name-space node
+//	CREATE <path>            create a file via /svc/fs/create
+//	READ <path>              read a file (response: OK <quoted bytes>)
+//	WRITE <path> <text...>   destructive write
+//	APPEND <path> <text...>  append (the report-up channel)
+//	RM <path>                remove
+//	CALL <service>           invoke a service with a nil argument
+//	OPEN <endpoint>          open a message endpoint
+//	SEND <endpoint> <text>   send a message
+//	RECV <endpoint>          receive (response: OK <from> <class> <quoted>)
+//	JOURNAL <text...>        append to the system journal
+//	WHOAMI                   current principal and class
+//	QUIT                     close the connection
+package remote
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"secext/internal/core"
+	"secext/internal/fsys"
+	"secext/internal/services/netsvc"
+	"secext/internal/subject"
+)
+
+// Server serves the protocol over a listener.
+type Server struct {
+	sys *core.System
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+}
+
+// NewServer wraps a system. The system is expected to have the standard
+// world services mounted (/svc/fs, /svc/net, /svc/log).
+func NewServer(sys *core.System) *Server {
+	return &Server{sys: sys, conns: make(map[net.Conn]bool)}
+}
+
+// Serve accepts connections until the listener is closed. Each
+// connection is handled on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close terminates every active connection; the caller closes the
+// listener itself.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+func (s *Server) drop(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// session is one authenticated connection.
+type session struct {
+	srv *Server
+	ctx *subject.Context
+	out *bufio.Writer
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.drop(conn)
+	sess := &session{srv: s, out: bufio.NewWriter(conn)}
+	sess.reply("OK secext ready")
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "QUIT") {
+			sess.reply("OK bye")
+			return
+		}
+		sess.dispatch(line)
+	}
+}
+
+func (s *session) reply(format string, args ...any) {
+	fmt.Fprintf(s.out, format+"\n", args...)
+	s.out.Flush()
+}
+
+func (s *session) fail(err error) {
+	if core.IsDenied(err) {
+		s.reply("ERR denied: %v", err)
+		return
+	}
+	s.reply("ERR %v", err)
+}
+
+// need reports whether the session is authenticated, complaining if
+// not.
+func (s *session) need() bool {
+	if s.ctx == nil {
+		s.reply("ERR authenticate first (AUTH <token>)")
+		return false
+	}
+	return true
+}
+
+func (s *session) dispatch(line string) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	args := fields[1:]
+	switch cmd {
+	case "AUTH":
+		if len(args) != 1 {
+			s.reply("ERR usage: AUTH <token>")
+			return
+		}
+		ctx, err := s.srv.sys.NewContextFromToken(args[0])
+		if err != nil {
+			s.reply("ERR authentication failed")
+			return
+		}
+		s.ctx = ctx
+		s.reply("OK %s %s", ctx.SubjectName(), ctx.Class())
+	case "WHOAMI":
+		if s.need() {
+			s.reply("OK %s %s", s.ctx.SubjectName(), s.ctx.Class())
+		}
+	case "LS":
+		if len(args) != 1 {
+			s.reply("ERR usage: LS <path>")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		entries, err := s.srv.sys.List(s.ctx, args[0])
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.reply("OK %s", strings.Join(entries, " "))
+	case "CREATE", "READ", "RM":
+		if len(args) != 1 {
+			s.reply("ERR usage: %s <path>", cmd)
+			return
+		}
+		if !s.need() {
+			return
+		}
+		svc := map[string]string{"CREATE": "create", "READ": "read", "RM": "remove"}[cmd]
+		out, err := s.srv.sys.Call(s.ctx, "/svc/fs/"+svc, fsys.Request{Path: args[0]})
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		if b, ok := out.([]byte); ok {
+			s.reply("OK %q", b)
+			return
+		}
+		s.reply("OK")
+	case "WRITE", "APPEND":
+		if len(args) < 2 {
+			s.reply("ERR usage: %s <path> <text>", cmd)
+			return
+		}
+		if !s.need() {
+			return
+		}
+		req := fsys.Request{Path: args[0], Data: []byte(strings.Join(args[1:], " "))}
+		if _, err := s.srv.sys.Call(s.ctx, "/svc/fs/"+strings.ToLower(cmd), req); err != nil {
+			s.fail(err)
+			return
+		}
+		s.reply("OK")
+	case "CALL":
+		if len(args) != 1 {
+			s.reply("ERR usage: CALL <service>")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		out, err := s.srv.sys.Call(s.ctx, args[0], nil)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.reply("OK %v", out)
+	case "OPEN":
+		if len(args) != 1 {
+			s.reply("ERR usage: OPEN <endpoint>")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		if _, err := s.srv.sys.Call(s.ctx, "/svc/net/open", netsvc.OpenRequest{Name: args[0]}); err != nil {
+			s.fail(err)
+			return
+		}
+		s.reply("OK")
+	case "SEND":
+		if len(args) < 2 {
+			s.reply("ERR usage: SEND <endpoint> <text>")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		req := netsvc.SendRequest{Name: args[0], Data: []byte(strings.Join(args[1:], " "))}
+		if _, err := s.srv.sys.Call(s.ctx, "/svc/net/send", req); err != nil {
+			s.fail(err)
+			return
+		}
+		s.reply("OK")
+	case "RECV":
+		if len(args) != 1 {
+			s.reply("ERR usage: RECV <endpoint>")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		out, err := s.srv.sys.Call(s.ctx, "/svc/net/recv", netsvc.RecvRequest{Name: args[0]})
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		m := out.(netsvc.Message)
+		s.reply("OK %s %s %q", m.From, m.FromClass, m.Data)
+	case "JOURNAL":
+		if len(args) < 1 {
+			s.reply("ERR usage: JOURNAL <text>")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		if _, err := s.srv.sys.Call(s.ctx, "/svc/log/append", strings.Join(args, " ")); err != nil {
+			s.fail(err)
+			return
+		}
+		s.reply("OK")
+	default:
+		s.reply("ERR unknown command %q", cmd)
+	}
+}

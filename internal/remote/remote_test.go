@@ -1,0 +1,247 @@
+package remote
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"secext"
+)
+
+// client is a test-side protocol client.
+type client struct {
+	t    *testing.T
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	c := &client{t: t, conn: conn, rd: bufio.NewReader(conn)}
+	if got := c.readLine(); !strings.HasPrefix(got, "OK secext ready") {
+		t.Fatalf("greeting = %q", got)
+	}
+	return c
+}
+
+func (c *client) readLine() string {
+	c.t.Helper()
+	line, err := c.rd.ReadString('\n')
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	return strings.TrimSpace(line)
+}
+
+func (c *client) cmd(format string, args ...any) string {
+	c.t.Helper()
+	fmt.Fprintf(c.conn, format+"\n", args...)
+	return c.readLine()
+}
+
+func (c *client) expectOK(format string, args ...any) string {
+	c.t.Helper()
+	got := c.cmd(format, args...)
+	if !strings.HasPrefix(got, "OK") {
+		c.t.Fatalf("%s: got %q, want OK", fmt.Sprintf(format, args...), got)
+	}
+	return got
+}
+
+func (c *client) expectErr(format string, args ...any) string {
+	c.t.Helper()
+	got := c.cmd(format, args...)
+	if !strings.HasPrefix(got, "ERR") {
+		c.t.Fatalf("%s: got %q, want ERR", fmt.Sprintf(format, args...), got)
+	}
+	return got
+}
+
+// startServer builds a world with two principals and serves it on a
+// loopback listener.
+func startServer(t *testing.T) (addr, aliceTok, eveTok string) {
+	t.Helper()
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:     []string{"others", "organization", "local"},
+		Categories: []string{"dept-1", "dept-2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("alice", "organization:{dept-1}"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("eve", "others"); err != nil {
+		t.Fatal(err)
+	}
+	aliceTok, err = w.Sys.Registry().IssueToken("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eveTok, err = w.Sys.Registry().IssueToken("eve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(w.Sys)
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { srv.Close(); l.Close() })
+	return l.Addr().String(), aliceTok, eveTok
+}
+
+func TestAuthRequired(t *testing.T) {
+	addr, aliceTok, _ := startServer(t)
+	c := dial(t, addr)
+	c.expectErr("LS /")
+	c.expectErr("READ /fs/x")
+	c.expectErr("AUTH bad-token")
+	got := c.expectOK("AUTH %s", aliceTok)
+	if !strings.Contains(got, "alice") || !strings.Contains(got, "organization:{dept-1}") {
+		t.Errorf("AUTH reply = %q", got)
+	}
+	if got := c.expectOK("WHOAMI"); !strings.Contains(got, "alice") {
+		t.Errorf("WHOAMI = %q", got)
+	}
+}
+
+func TestRemoteFileRoundTrip(t *testing.T) {
+	addr, aliceTok, eveTok := startServer(t)
+	alice := dial(t, addr)
+	alice.expectOK("AUTH %s", aliceTok)
+	alice.expectOK("CREATE /fs/remote-note")
+	alice.expectOK("WRITE /fs/remote-note hello from afar")
+	got := alice.expectOK("READ /fs/remote-note")
+	if !strings.Contains(got, "hello from afar") {
+		t.Errorf("READ = %q", got)
+	}
+	if got := alice.expectOK("LS /fs"); !strings.Contains(got, "remote-note") {
+		t.Errorf("LS = %q", got)
+	}
+
+	// Eve's connection carries Eve's authority, nothing more.
+	eve := dial(t, addr)
+	eve.expectOK("AUTH %s", eveTok)
+	if got := eve.expectErr("READ /fs/remote-note"); !strings.Contains(got, "denied") {
+		t.Errorf("eve READ = %q", got)
+	}
+	eve.expectErr("RM /fs/remote-note")
+
+	alice.expectOK("RM /fs/remote-note")
+}
+
+func TestRemoteMessaging(t *testing.T) {
+	addr, aliceTok, eveTok := startServer(t)
+	alice := dial(t, addr)
+	alice.expectOK("AUTH %s", aliceTok)
+	alice.expectOK("OPEN inbox")
+
+	eve := dial(t, addr)
+	eve.expectOK("AUTH %s", eveTok)
+	// Eve (below) can report up into alice's endpoint...
+	eve.expectOK("SEND inbox psst from eve")
+	// ...but cannot receive from it.
+	eve.expectErr("RECV inbox")
+
+	got := alice.expectOK("RECV inbox")
+	if !strings.Contains(got, "eve") || !strings.Contains(got, "psst from eve") {
+		t.Errorf("RECV = %q", got)
+	}
+}
+
+func TestRemoteJournalAndCall(t *testing.T) {
+	addr, aliceTok, _ := startServer(t)
+	c := dial(t, addr)
+	c.expectOK("AUTH %s", aliceTok)
+	c.expectOK("JOURNAL remote event")
+	// CALL of a denied or missing service reports cleanly.
+	c.expectErr("CALL /svc/nonexistent")
+	// Usage errors.
+	c.expectErr("LS")
+	c.expectErr("WRITE /fs/x")
+	c.expectErr("FROBNICATE")
+	// QUIT closes politely.
+	if got := c.cmd("QUIT"); !strings.HasPrefix(got, "OK bye") {
+		t.Errorf("QUIT = %q", got)
+	}
+}
+
+func TestProtocolEdgeCases(t *testing.T) {
+	addr, aliceTok, eveTok := startServer(t)
+	c := dial(t, addr)
+	// Usage errors before and after auth.
+	c.expectErr("AUTH")
+	c.expectErr("AUTH a b")
+	c.expectOK("AUTH %s", aliceTok)
+	c.expectErr("CREATE")
+	c.expectErr("APPEND /fs/x")
+	c.expectErr("CALL")
+	c.expectErr("OPEN")
+	c.expectErr("SEND ep")
+	c.expectErr("RECV")
+	c.expectErr("JOURNAL")
+	// Re-AUTH switches identity mid-session.
+	got := c.expectOK("AUTH %s", eveTok)
+	if !strings.Contains(got, "eve") {
+		t.Errorf("re-auth = %q", got)
+	}
+	if got := c.expectOK("WHOAMI"); !strings.Contains(got, "eve") {
+		t.Errorf("WHOAMI after re-auth = %q", got)
+	}
+	// Recv on an empty endpoint reports an error, not a hang.
+	c.expectOK("AUTH %s", aliceTok)
+	c.expectOK("OPEN empty-ep")
+	c.expectErr("RECV empty-ep")
+	// Blank lines are ignored; the next command still works.
+	fmt.Fprintf(c.conn, "\n\nWHOAMI\n")
+	if got := c.readLine(); !strings.HasPrefix(got, "OK") {
+		t.Errorf("after blank lines: %q", got)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	addr, aliceTok, _ := startServer(t)
+	c := dial(t, addr)
+	c.expectOK("AUTH %s", aliceTok)
+	// Closing the server drops the connection; subsequent reads fail
+	// rather than hang. (startServer's cleanup calls Close; here we
+	// just verify an early QUIT also leaves the server healthy for
+	// other connections.)
+	if got := c.cmd("QUIT"); !strings.HasPrefix(got, "OK bye") {
+		t.Errorf("QUIT = %q", got)
+	}
+	c2 := dial(t, addr)
+	c2.expectOK("AUTH %s", aliceTok)
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	addr, aliceTok, eveTok := startServer(t)
+	done := make(chan bool, 2)
+	go func() {
+		c := dial(t, addr)
+		c.expectOK("AUTH %s", aliceTok)
+		for i := 0; i < 30; i++ {
+			c.expectOK("CREATE /fs/a%d", i)
+		}
+		done <- true
+	}()
+	go func() {
+		c := dial(t, addr)
+		c.expectOK("AUTH %s", eveTok)
+		for i := 0; i < 30; i++ {
+			c.expectOK("CREATE /fs/e%d", i)
+		}
+		done <- true
+	}()
+	<-done
+	<-done
+}

@@ -1,0 +1,144 @@
+package logsvc
+
+import (
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/core"
+	"secext/internal/names"
+	"secext/internal/subject"
+)
+
+type world struct {
+	sys *core.System
+	j   *Journal
+}
+
+// newWorld builds a journal classified local (top level) that everyone
+// may append to but only local subjects may read.
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{
+		Levels: []string{"others", "organization", "local"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateNode(core.NodeSpec{Path: "/svc", Kind: names.KindDomain,
+		ACL: acl.New(acl.AllowEveryone(acl.List))}); err != nil {
+		t.Fatal(err)
+	}
+	jACL := acl.New(
+		acl.AllowEveryone(acl.WriteAppend),
+		acl.Allow("auditor", acl.Read|acl.Write),
+	)
+	j, err := New(sys, "/svc/journal", "/svc/log",
+		jACL, sys.Lattice().MustClass("local"),
+		acl.New(acl.AllowEveryone(acl.Execute|acl.List)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct{ name, class string }{
+		{"auditor", "local"},
+		{"applet", "others"},
+		{"worker", "organization"},
+	} {
+		if _, err := sys.AddPrincipal(p.name, p.class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &world{sys: sys, j: j}
+}
+
+func (w *world) ctx(t *testing.T, name string) *subject.Context {
+	t.Helper()
+	ctx, err := w.sys.NewContext(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestAppendUpReadDown(t *testing.T) {
+	w := newWorld(t)
+	applet := w.ctx(t, "applet")
+	worker := w.ctx(t, "worker")
+	auditor := w.ctx(t, "auditor")
+
+	// E10 core property: everyone below can append...
+	if err := w.j.Append(applet, "applet was here"); err != nil {
+		t.Fatalf("applet append: %v", err)
+	}
+	if err := w.j.Append(worker, "worker event"); err != nil {
+		t.Fatalf("worker append: %v", err)
+	}
+	// ...but cannot read back or truncate.
+	if _, err := w.j.Read(applet); !core.IsDenied(err) {
+		t.Errorf("applet read: got %v", err)
+	}
+	if err := w.j.Truncate(applet); !core.IsDenied(err) {
+		t.Errorf("applet truncate: got %v", err)
+	}
+	if err := w.j.Truncate(worker); !core.IsDenied(err) {
+		t.Errorf("worker truncate: got %v", err)
+	}
+
+	// The auditor reads everything in order, with attribution.
+	got, err := w.j.Read(auditor)
+	if err != nil {
+		t.Fatalf("auditor read: %v", err)
+	}
+	if len(got) != 2 || got[0].Subject != "applet" || got[1].Subject != "worker" {
+		t.Errorf("journal = %+v", got)
+	}
+	if got[0].Class != "others" || got[1].Class != "organization" {
+		t.Errorf("classes = %+v", got)
+	}
+	if w.j.Len() != 2 || w.j.Path() != "/svc/journal" {
+		t.Error("Len/Path accessors")
+	}
+
+	// The auditor at the journal's class may truncate.
+	if err := w.j.Truncate(auditor); err != nil {
+		t.Fatalf("auditor truncate: %v", err)
+	}
+	if w.j.Len() != 0 {
+		t.Error("journal must be empty")
+	}
+}
+
+func TestServiceEndpoints(t *testing.T) {
+	w := newWorld(t)
+	applet := w.ctx(t, "applet")
+	auditor := w.ctx(t, "auditor")
+	if _, err := w.sys.Call(applet, "/svc/log/append", "hello"); err != nil {
+		t.Fatalf("append via service: %v", err)
+	}
+	if _, err := w.sys.Call(applet, "/svc/log/append", 42); err == nil {
+		t.Error("bad append arg must fail")
+	}
+	if _, err := w.sys.Call(applet, "/svc/log/read", nil); !core.IsDenied(err) {
+		t.Error("applet read via service must be denied")
+	}
+	out, err := w.sys.Call(auditor, "/svc/log/read", nil)
+	if err != nil {
+		t.Fatalf("auditor read via service: %v", err)
+	}
+	entries := out.([]Entry)
+	if len(entries) != 1 || entries[0].Line != "hello" {
+		t.Errorf("entries = %+v", entries)
+	}
+}
+
+func TestDACStillGatesAppend(t *testing.T) {
+	// MAC would allow the append (write up), but without the
+	// write-append mode on the ACL the DAC layer denies.
+	w := newWorld(t)
+	jACL := acl.New(acl.Allow("auditor", acl.Read|acl.Write))
+	if err := w.sys.Names().SetACLUnchecked("/svc/journal", jACL); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.j.Append(w.ctx(t, "applet"), "x"); !core.IsDenied(err) {
+		t.Errorf("append without mode: got %v", err)
+	}
+}

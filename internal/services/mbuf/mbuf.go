@@ -1,0 +1,152 @@
+// Package mbuf is a protected buffer-pool service, the substrate the
+// paper's §1.1 example extension builds on: "the extension that
+// implements the new file system uses existing services (such as mbuf
+// management) and builds on them". Buffers are fixed-size chunks handed
+// out from a free list; allocation and release are services in the name
+// space, so an extension may use them only if it was granted execute on
+// them — exactly the import the S3 scenario links.
+package mbuf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"secext/internal/acl"
+	"secext/internal/core"
+	"secext/internal/dispatch"
+	"secext/internal/names"
+	"secext/internal/subject"
+)
+
+// Errors returned by the buffer service.
+var (
+	ErrExhausted  = errors.New("mbuf: pool exhausted")
+	ErrBadBuffer  = errors.New("mbuf: buffer not issued by this pool")
+	ErrDoubleFree = errors.New("mbuf: buffer already free")
+)
+
+// Buffer is one pool buffer. The ID ties it back to the pool; Data is
+// the usable storage.
+type Buffer struct {
+	ID   int
+	Data []byte
+}
+
+// Stats describes pool occupancy.
+type Stats struct {
+	Size        int // total buffers
+	InUse       int
+	Allocs      uint64
+	Frees       uint64
+	ExhaustHits uint64
+}
+
+// Pool is the buffer pool service.
+type Pool struct {
+	bufSize int
+
+	mu      sync.Mutex
+	free    []int
+	inUse   map[int]bool
+	storage [][]byte
+	stats   Stats
+}
+
+// NewPool creates a pool of count buffers of bufSize bytes and
+// registers alloc, free, and stats services under ifacePath.
+func NewPool(sys *core.System, ifacePath string, count, bufSize int, svcACL *acl.ACL) (*Pool, error) {
+	if count <= 0 || bufSize <= 0 {
+		return nil, fmt.Errorf("mbuf: pool dimensions must be positive (%d x %d)", count, bufSize)
+	}
+	bot, err := sys.Lattice().Bottom()
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		bufSize: bufSize,
+		free:    make([]int, count),
+		inUse:   make(map[int]bool, count),
+		storage: make([][]byte, count),
+	}
+	for i := 0; i < count; i++ {
+		p.free[i] = count - 1 - i // pop from the end -> ascending IDs
+		p.storage[i] = make([]byte, bufSize)
+	}
+	p.stats.Size = count
+
+	if _, err := sys.CreateNode(core.NodeSpec{
+		Path: ifacePath, Kind: names.KindInterface,
+		ACL: acl.New(acl.AllowEveryone(acl.List)), Class: bot,
+	}); err != nil {
+		return nil, err
+	}
+	handlers := map[string]dispatch.Handler{
+		"alloc": func(ctx *subject.Context, arg any) (any, error) { return p.Alloc() },
+		"free": func(ctx *subject.Context, arg any) (any, error) {
+			b, ok := arg.(Buffer)
+			if !ok {
+				return nil, fmt.Errorf("mbuf: bad request type %T", arg)
+			}
+			return nil, p.Free(b)
+		},
+		"stats": func(ctx *subject.Context, arg any) (any, error) { return p.Stats(), nil },
+	}
+	for _, name := range []string{"alloc", "free", "stats"} {
+		err := sys.RegisterService(core.ServiceSpec{
+			Path: names.Join(ifacePath, name), ACL: svcACL, Class: bot,
+			Base: dispatch.Binding{Owner: "mbuf", Handler: handlers[name]},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Alloc hands out a free buffer, zeroed.
+func (p *Pool) Alloc() (Buffer, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		p.stats.ExhaustHits++
+		return Buffer{}, ErrExhausted
+	}
+	id := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.inUse[id] = true
+	p.stats.InUse++
+	p.stats.Allocs++
+	buf := p.storage[id]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return Buffer{ID: id, Data: buf}, nil
+}
+
+// Free returns a buffer to the pool.
+func (p *Pool) Free(b Buffer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b.ID < 0 || b.ID >= len(p.storage) {
+		return fmt.Errorf("%w: id %d", ErrBadBuffer, b.ID)
+	}
+	if !p.inUse[b.ID] {
+		return fmt.Errorf("%w: id %d", ErrDoubleFree, b.ID)
+	}
+	delete(p.inUse, b.ID)
+	p.free = append(p.free, b.ID)
+	p.stats.InUse--
+	p.stats.Frees++
+	return nil
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// BufSize returns the size of each buffer.
+func (p *Pool) BufSize() int { return p.bufSize }

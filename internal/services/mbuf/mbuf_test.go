@@ -1,0 +1,196 @@
+package mbuf
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/core"
+	"secext/internal/names"
+	"secext/internal/subject"
+)
+
+func newWorld(t *testing.T, svcACL *acl.ACL) (*core.System, *Pool) {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{
+		Levels: []string{"low", "high"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateNode(core.NodeSpec{Path: "/svc", Kind: names.KindDomain,
+		ACL: acl.New(acl.AllowEveryone(acl.List))}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(sys, "/svc/mbuf", 4, 64, svcACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, p
+}
+
+func ctxFor(t *testing.T, sys *core.System, name, class string) *subject.Context {
+	t.Helper()
+	if _, err := sys.Registry().Principal(name); err != nil {
+		if _, err := sys.AddPrincipal(name, class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, err := sys.NewContext(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestAllocFreeCycle(t *testing.T) {
+	_, p := newWorld(t, acl.New(acl.AllowEveryone(acl.Execute)))
+	b1, err := p.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if len(b1.Data) != 64 {
+		t.Errorf("buf size = %d", len(b1.Data))
+	}
+	b1.Data[0] = 0xFF
+	if err := p.Free(b1); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	// Reallocation zeroes the buffer.
+	var b2 Buffer
+	for i := 0; i < 4; i++ {
+		b, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.ID == b1.ID {
+			b2 = b
+		}
+	}
+	if b2.Data == nil {
+		t.Fatal("recycled buffer not returned")
+	}
+	if b2.Data[0] != 0 {
+		t.Error("recycled buffer must be zeroed")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	_, p := newWorld(t, acl.New(acl.AllowEveryone(acl.Execute)))
+	var bufs []Buffer
+	for i := 0; i < 4; i++ {
+		b, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs = append(bufs, b)
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("exhausted: got %v", err)
+	}
+	st := p.Stats()
+	if st.InUse != 4 || st.Allocs != 4 || st.ExhaustHits != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+	for _, b := range bufs {
+		if err := p.Free(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Stats(); st.InUse != 0 || st.Frees != 4 {
+		t.Errorf("Stats after free = %+v", st)
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	_, p := newWorld(t, acl.New(acl.AllowEveryone(acl.Execute)))
+	if err := p.Free(Buffer{ID: -1}); !errors.Is(err, ErrBadBuffer) {
+		t.Errorf("negative id: got %v", err)
+	}
+	if err := p.Free(Buffer{ID: 100}); !errors.Is(err, ErrBadBuffer) {
+		t.Errorf("out of range id: got %v", err)
+	}
+	b, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(b); !errors.Is(err, ErrDoubleFree) {
+		t.Errorf("double free: got %v", err)
+	}
+}
+
+func TestPoolDimensionValidation(t *testing.T) {
+	sys, err := core.NewSystem(core.Options{Levels: []string{"l"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPool(sys, "/svc-mbuf", 0, 64, acl.New()); err == nil {
+		t.Error("zero count must fail")
+	}
+	if _, err := NewPool(sys, "/svc-mbuf", 4, 0, acl.New()); err == nil {
+		t.Error("zero size must fail")
+	}
+}
+
+func TestServiceEndpoints(t *testing.T) {
+	svcACL := acl.New(acl.Allow("driver", acl.Execute))
+	sys, _ := newWorld(t, svcACL)
+	driver := ctxFor(t, sys, "driver", "low")
+	out, err := sys.Call(driver, "/svc/mbuf/alloc", nil)
+	if err != nil {
+		t.Fatalf("alloc via service: %v", err)
+	}
+	b := out.(Buffer)
+	st, err := sys.Call(driver, "/svc/mbuf/stats", nil)
+	if err != nil || st.(Stats).InUse != 1 {
+		t.Fatalf("stats via service = %+v, %v", st, err)
+	}
+	if _, err := sys.Call(driver, "/svc/mbuf/free", b); err != nil {
+		t.Fatalf("free via service: %v", err)
+	}
+	if _, err := sys.Call(driver, "/svc/mbuf/free", "junk"); err == nil {
+		t.Error("bad free arg must fail")
+	}
+	// An unauthorized principal cannot even allocate.
+	eve := ctxFor(t, sys, "eve", "low")
+	if _, err := sys.Call(eve, "/svc/mbuf/alloc", nil); !core.IsDenied(err) {
+		t.Errorf("unauthorized alloc: got %v", err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	sys, err := core.NewSystem(core.Options{Levels: []string{"l"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(sys, "/mbuf", 64, 32, acl.New(acl.AllowEveryone(acl.Execute)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				b, err := p.Alloc()
+				if err != nil {
+					continue // exhaustion is fine under contention
+				}
+				b.Data[0] = byte(j)
+				if err := p.Free(b); err != nil {
+					t.Errorf("free: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := p.Stats(); st.InUse != 0 {
+		t.Errorf("leaked buffers: %+v", st)
+	}
+}

@@ -1,0 +1,221 @@
+package netsvc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/core"
+	"secext/internal/names"
+	"secext/internal/subject"
+)
+
+type world struct {
+	sys *core.System
+	net *Net
+}
+
+func newWorld(t *testing.T, depth int) *world {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{
+		Levels:     []string{"others", "organization", "local"},
+		Categories: []string{"dept-1", "dept-2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateNode(core.NodeSpec{Path: "/svc", Kind: names.KindDomain,
+		ACL: acl.New(acl.AllowEveryone(acl.List))}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(sys, "/net", "/svc/net",
+		acl.New(acl.AllowEveryone(acl.Execute|acl.List)), depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct{ name, class string }{
+		{"d1", "organization:{dept-1}"},
+		{"d1peer", "organization:{dept-1}"},
+		{"d2", "organization:{dept-2}"},
+		{"low", "others"},
+		{"admin", "local:{dept-1,dept-2}"},
+	} {
+		if _, err := sys.AddPrincipal(p.name, p.class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &world{sys: sys, net: n}
+}
+
+func (w *world) ctx(t *testing.T, name string) *subject.Context {
+	t.Helper()
+	c, err := w.sys.NewContext(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOpenSendRecvRoundTrip(t *testing.T) {
+	w := newWorld(t, 0)
+	d1 := w.ctx(t, "d1")
+	if err := w.net.Open(d1, "inbox"); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	peer := w.ctx(t, "d1peer")
+	if err := w.net.Send(peer, "inbox", []byte("hello")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	pend, err := w.net.Pending(d1, "inbox")
+	if err != nil || pend != 1 {
+		t.Fatalf("Pending = %d, %v", pend, err)
+	}
+	m, err := w.net.Recv(d1, "inbox")
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.From != "d1peer" || !bytes.Equal(m.Data, []byte("hello")) {
+		t.Errorf("message = %+v", m)
+	}
+	if m.FromClass != "organization:{dept-1}" {
+		t.Errorf("FromClass = %s", m.FromClass)
+	}
+	if _, err := w.net.Recv(d1, "inbox"); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty queue: got %v", err)
+	}
+}
+
+func TestSendIsolationAcrossCompartments(t *testing.T) {
+	w := newWorld(t, 0)
+	d1 := w.ctx(t, "d1")
+	if err := w.net.Open(d1, "inbox"); err != nil {
+		t.Fatal(err)
+	}
+	// dept-2 is incomparable with dept-1: send denied by MAC.
+	if err := w.net.Send(w.ctx(t, "d2"), "inbox", []byte("x")); !core.IsDenied(err) {
+		t.Errorf("cross-compartment send: got %v", err)
+	}
+	// A low principal may send *up* into dept-1 (report-up channel).
+	if err := w.net.Send(w.ctx(t, "low"), "inbox", []byte("up")); err != nil {
+		t.Errorf("send up: %v", err)
+	}
+	// ... but can neither receive from it nor even see its depth.
+	if _, err := w.net.Recv(w.ctx(t, "low"), "inbox"); !core.IsDenied(err) {
+		t.Errorf("recv from below: got %v", err)
+	}
+	if _, err := w.net.Pending(w.ctx(t, "low"), "inbox"); !core.IsDenied(err) {
+		t.Errorf("pending from below: got %v", err)
+	}
+	// The admin dominates dept-1 but is not the owner: DAC denies read.
+	if _, err := w.net.Recv(w.ctx(t, "admin"), "inbox"); !core.IsDenied(err) {
+		t.Errorf("non-owner recv: got %v", err)
+	}
+	m, err := w.net.Recv(d1, "inbox")
+	if err != nil || m.From != "low" {
+		t.Errorf("owner recv = %+v, %v", m, err)
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	w := newWorld(t, 2)
+	d1 := w.ctx(t, "d1")
+	if err := w.net.Open(d1, "q"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := w.net.Send(d1, "q", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.net.Send(d1, "q", []byte("x")); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("full queue: got %v", err)
+	}
+	if _, err := w.net.Recv(d1, "q"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.net.Send(d1, "q", []byte("x")); err != nil {
+		t.Errorf("send after drain: %v", err)
+	}
+}
+
+func TestCloseAndOwnership(t *testing.T) {
+	w := newWorld(t, 0)
+	d1 := w.ctx(t, "d1")
+	if err := w.net.Open(d1, "ep"); err != nil {
+		t.Fatal(err)
+	}
+	// Peer (same compartment, not owner) cannot close.
+	if err := w.net.Close(w.ctx(t, "d1peer"), "ep"); !core.IsDenied(err) {
+		t.Errorf("non-owner close: got %v", err)
+	}
+	if err := w.net.Close(d1, "ep"); err != nil {
+		t.Fatalf("owner close: %v", err)
+	}
+	if err := w.net.Send(d1, "ep", nil); !errors.Is(err, names.ErrNotFound) {
+		t.Errorf("send after close: got %v", err)
+	}
+	// Duplicate open.
+	if err := w.net.Open(d1, "dup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.net.Open(d1, "dup"); !errors.Is(err, names.ErrExists) {
+		t.Errorf("dup open: got %v", err)
+	}
+}
+
+func TestServiceEndpoints(t *testing.T) {
+	w := newWorld(t, 0)
+	d1 := w.ctx(t, "d1")
+	if _, err := w.sys.Call(d1, "/svc/net/open", OpenRequest{Name: "svc-ep"}); err != nil {
+		t.Fatalf("open via service: %v", err)
+	}
+	if _, err := w.sys.Call(d1, "/svc/net/send", SendRequest{Name: "svc-ep", Data: []byte("m")}); err != nil {
+		t.Fatalf("send via service: %v", err)
+	}
+	out, err := w.sys.Call(d1, "/svc/net/recv", RecvRequest{Name: "svc-ep"})
+	if err != nil || string(out.(Message).Data) != "m" {
+		t.Fatalf("recv via service = %v, %v", out, err)
+	}
+	eps, err := w.net.Endpoints(d1)
+	if err != nil || len(eps) != 1 || eps[0] != "svc-ep" {
+		t.Fatalf("Endpoints = %v, %v", eps, err)
+	}
+	if _, err := w.sys.Call(d1, "/svc/net/close", CloseRequest{Name: "svc-ep"}); err != nil {
+		t.Fatalf("close via service: %v", err)
+	}
+	// Bad request types on every entry point.
+	for _, svc := range []string{"open", "send", "recv", "close"} {
+		if _, err := w.sys.Call(d1, "/svc/net/"+svc, 42); err == nil {
+			t.Errorf("%s: bad request type must fail", svc)
+		}
+	}
+}
+
+func TestSenderCannotForgeAttribution(t *testing.T) {
+	// The monitor stamps From/FromClass from the verified context, not
+	// from anything the sender controls.
+	w := newWorld(t, 0)
+	d1 := w.ctx(t, "d1")
+	if err := w.net.Open(d1, "in"); err != nil {
+		t.Fatal(err)
+	}
+	low := w.ctx(t, "low")
+	if err := w.net.Send(low, "in", []byte("i am root")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := w.net.Recv(d1, "in")
+	if err != nil || m.From != "low" || m.FromClass != "others" {
+		t.Errorf("attribution = %+v, %v", m, err)
+	}
+	// Mutating the sent slice after Send must not alter the message.
+	data := []byte("AAAA")
+	if err := w.net.Send(low, "in", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'Z'
+	m, _ = w.net.Recv(d1, "in")
+	if string(m.Data) != "AAAA" {
+		t.Error("Send must copy the payload")
+	}
+}

@@ -1,0 +1,211 @@
+package threadsvc
+
+import (
+	"errors"
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/core"
+	"secext/internal/names"
+	"secext/internal/subject"
+)
+
+type world struct {
+	sys *core.System
+	mgr *Manager
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{
+		Levels:     []string{"others", "organization", "local"},
+		Categories: []string{"dept-1", "dept-2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateNode(core.NodeSpec{Path: "/svc", Kind: names.KindDomain,
+		ACL: acl.New(acl.AllowEveryone(acl.List))}); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(sys, "/threads", "/svc/thread",
+		acl.New(acl.AllowEveryone(acl.Execute|acl.List)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct{ name, class string }{
+		{"user", "local:{dept-1,dept-2}"},
+		{"applet1", "organization:{dept-1}"},
+		{"applet2", "organization:{dept-1}"},
+		{"applet3", "organization:{dept-2}"},
+		{"murder", "organization:{dept-1}"},
+	} {
+		if _, err := sys.AddPrincipal(p.name, p.class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &world{sys: sys, mgr: mgr}
+}
+
+func (w *world) ctx(t *testing.T, name string) *subject.Context {
+	t.Helper()
+	ctx, err := w.sys.NewContext(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestSpawnAndOwnKill(t *testing.T) {
+	w := newWorld(t)
+	a1 := w.ctx(t, "applet1")
+	th, err := w.mgr.Spawn(a1, "worker")
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if !th.Alive() || th.Owner != "applet1" {
+		t.Errorf("thread state: %+v", th)
+	}
+	got, err := w.mgr.Get(a1, th.ID)
+	if err != nil || got != th {
+		t.Errorf("Get: %v %v", got, err)
+	}
+	if err := w.mgr.Kill(a1, th.ID); err != nil {
+		t.Fatalf("own kill: %v", err)
+	}
+	if th.Alive() {
+		t.Error("thread must be dead")
+	}
+	if th.KilledBy() != "applet1" {
+		t.Errorf("KilledBy = %q", th.KilledBy())
+	}
+	select {
+	case <-th.Done():
+	default:
+		t.Error("Done channel must be closed")
+	}
+	// Node is reaped.
+	if err := w.mgr.Kill(a1, th.ID); !errors.Is(err, names.ErrNotFound) {
+		t.Errorf("kill dead: got %v", err)
+	}
+}
+
+func TestThreadMurderContained(t *testing.T) {
+	// S2: the ThreadMurder applet (same compartment as applet1, same
+	// class!) still cannot kill peers because the per-thread ACL names
+	// only the owner; an applet in another compartment cannot even
+	// touch the node under MAC.
+	w := newWorld(t)
+	victim1, err := w.mgr.Spawn(w.ctx(t, "applet1"), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim2, err := w.mgr.Spawn(w.ctx(t, "applet3"), "v2") // dept-2
+	if err != nil {
+		t.Fatal(err)
+	}
+	murder := w.ctx(t, "murder") // organization:{dept-1}
+	ids, err := w.mgr.List(murder)
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("List = %v, %v", ids, err)
+	}
+	killed := 0
+	for _, id := range ids {
+		if err := w.mgr.Kill(murder, id); err == nil {
+			killed++
+		} else if !core.IsDenied(err) {
+			t.Errorf("kill %d: unexpected error %v", id, err)
+		}
+	}
+	if killed != 0 {
+		t.Fatalf("ThreadMurder killed %d threads; containment failed", killed)
+	}
+	if !victim1.Alive() || !victim2.Alive() {
+		t.Error("victims must survive")
+	}
+	// The denials are on the audit trail.
+	denied := w.sys.Audit().Stats().Denied
+	if denied < 2 {
+		t.Errorf("audited denials = %d, want >= 2", denied)
+	}
+}
+
+func TestCrossCompartmentGetDenied(t *testing.T) {
+	w := newWorld(t)
+	th, err := w.mgr.Spawn(w.ctx(t, "applet1"), "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dept-2 applet cannot read a dept-1 thread even if ACL allowed it.
+	if _, err := w.mgr.Get(w.ctx(t, "applet3"), th.ID); !core.IsDenied(err) {
+		t.Errorf("cross-compartment get: got %v", err)
+	}
+}
+
+func TestServicesEndpoints(t *testing.T) {
+	w := newWorld(t)
+	a1 := w.ctx(t, "applet1")
+	out, err := w.sys.Call(a1, "/svc/thread/spawn", SpawnRequest{Name: "via-svc"})
+	if err != nil {
+		t.Fatalf("spawn via service: %v", err)
+	}
+	id := out.(int)
+	ids, err := w.sys.Call(a1, "/svc/thread/list", nil)
+	if err != nil || len(ids.([]int)) != 1 || ids.([]int)[0] != id {
+		t.Fatalf("list via service = %v, %v", ids, err)
+	}
+	// Kill via service by a non-owner in the same compartment: denied.
+	if _, err := w.sys.Call(w.ctx(t, "applet2"), "/svc/thread/kill", KillRequest{ID: id}); !core.IsDenied(err) {
+		t.Errorf("non-owner kill via service: got %v", err)
+	}
+	if _, err := w.sys.Call(a1, "/svc/thread/kill", KillRequest{ID: id}); err != nil {
+		t.Errorf("owner kill via service: %v", err)
+	}
+	// Bad request types.
+	if _, err := w.sys.Call(a1, "/svc/thread/spawn", 3); err == nil {
+		t.Error("bad spawn arg must fail")
+	}
+	if _, err := w.sys.Call(a1, "/svc/thread/kill", "x"); err == nil {
+		t.Error("bad kill arg must fail")
+	}
+}
+
+func TestUserDominatesApplets(t *testing.T) {
+	// The local user (dominating class) may see applet threads but
+	// still needs DAC write to kill: dominance alone is not authority
+	// to destroy (and MAC write-down forbids it anyway).
+	w := newWorld(t)
+	th, err := w.mgr.Spawn(w.ctx(t, "applet1"), "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := w.ctx(t, "user")
+	if _, err := w.mgr.Get(user, th.ID); err != nil {
+		t.Errorf("user get (read down): %v", err)
+	}
+	if err := w.mgr.Kill(user, th.ID); !core.IsDenied(err) {
+		t.Errorf("user kill (write down): got %v", err)
+	}
+}
+
+func TestLookupAndDoubleKill(t *testing.T) {
+	w := newWorld(t)
+	a1 := w.ctx(t, "applet1")
+	th, err := w.mgr.Spawn(a1, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w.mgr.Lookup(th.ID)
+	if !ok || got != th {
+		t.Error("Lookup")
+	}
+	if _, ok := w.mgr.Lookup(9999); ok {
+		t.Error("Lookup missing id")
+	}
+	if err := th.kill("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.kill("y"); !errors.Is(err, ErrDead) {
+		t.Errorf("double kill: got %v", err)
+	}
+}

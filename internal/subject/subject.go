@@ -1,0 +1,141 @@
+// Package subject models the paper's subjects: threads of control that
+// "function at the same security class as the associated principal"
+// (§2.2). Go has no thread-local storage, so a Context value is passed
+// explicitly along each chain of invocations; deriving a child context
+// is how "the security class is passed on when another system service is
+// invoked".
+//
+// A Context satisfies acl.Subject, so the same value drives both the
+// discretionary and the mandatory decision.
+package subject
+
+import (
+	"errors"
+	"fmt"
+
+	"secext/internal/lattice"
+	"secext/internal/principal"
+)
+
+// Errors returned by context operations.
+var (
+	ErrNilPrincipal = errors.New("subject: nil principal")
+	ErrBadClamp     = errors.New("subject: clamp class from different lattice")
+	ErrTooDeep      = errors.New("subject: invocation chain too deep")
+)
+
+// MaxDepth bounds the invocation chain length; it exists to turn
+// accidental dispatch recursion into a clean error instead of a stack
+// overflow.
+const MaxDepth = 256
+
+// Context is one thread of control: the principal it acts for, its
+// current (possibly clamped) security class, and its invocation chain.
+// Contexts are immutable; Derive and Clamp return children.
+type Context struct {
+	prin   *principal.Principal
+	class  lattice.Class
+	parent *Context
+	site   string // name-space path of the service this context entered
+	depth  int
+}
+
+// New creates a root context for a principal, running at the
+// principal's own class.
+func New(p *principal.Principal) (*Context, error) {
+	if p == nil {
+		return nil, ErrNilPrincipal
+	}
+	return &Context{prin: p, class: p.Class()}, nil
+}
+
+// MustNew is New but panics on error; for tests and bootstrap.
+func MustNew(p *principal.Principal) *Context {
+	c, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Principal returns the principal this thread of control acts for.
+func (c *Context) Principal() *principal.Principal { return c.prin }
+
+// Class returns the context's current security class.
+func (c *Context) Class() lattice.Class { return c.class }
+
+// Depth returns the length of the invocation chain (0 for a root).
+func (c *Context) Depth() int { return c.depth }
+
+// Parent returns the invoking context, or nil for a root.
+func (c *Context) Parent() *Context { return c.parent }
+
+// Site returns the name-space path this context entered ("" for roots).
+func (c *Context) Site() string { return c.site }
+
+// SubjectName implements acl.Subject.
+func (c *Context) SubjectName() string { return c.prin.SubjectName() }
+
+// MemberOf implements acl.Subject.
+func (c *Context) MemberOf(group string) bool { return c.prin.MemberOf(group) }
+
+// Derive creates the child context used to run the service at path
+// site. If static is a valid class, the child's class is the meet of
+// the caller's class and the static class — a statically assigned
+// extension class can only ever shrink authority, never amplify it
+// (§2.2). An invalid (zero) static leaves the class unchanged, i.e. the
+// service runs at the caller's dynamic class.
+func (c *Context) Derive(site string, static lattice.Class) (*Context, error) {
+	if c.depth+1 > MaxDepth {
+		return nil, fmt.Errorf("%w: %d frames", ErrTooDeep, c.depth+1)
+	}
+	class := c.class
+	if static.Valid() {
+		if static.Lattice() != c.class.Lattice() {
+			return nil, ErrBadClamp
+		}
+		class = c.class.Meet(static)
+	}
+	return &Context{
+		prin:   c.prin,
+		class:  class,
+		parent: c,
+		site:   site,
+		depth:  c.depth + 1,
+	}, nil
+}
+
+// Clamp returns a child context whose class is the meet of the current
+// class and limit, without recording an invocation site. It is how a
+// caller voluntarily sheds authority before invoking less trusted code.
+func (c *Context) Clamp(limit lattice.Class) (*Context, error) {
+	if !limit.Valid() || limit.Lattice() != c.class.Lattice() {
+		return nil, ErrBadClamp
+	}
+	return &Context{
+		prin:   c.prin,
+		class:  c.class.Meet(limit),
+		parent: c.parent,
+		site:   c.site,
+		depth:  c.depth,
+	}, nil
+}
+
+// Chain returns the invocation sites from the root to this context.
+func (c *Context) Chain() []string {
+	var sites []string
+	for cur := c; cur != nil; cur = cur.parent {
+		if cur.site != "" {
+			sites = append(sites, cur.site)
+		}
+	}
+	// Reverse to root-first order.
+	for i, j := 0, len(sites)-1; i < j; i, j = i+1, j-1 {
+		sites[i], sites[j] = sites[j], sites[i]
+	}
+	return sites
+}
+
+func (c *Context) String() string {
+	return fmt.Sprintf("%s@%s depth=%d", c.prin.SubjectName(), c.class, c.depth)
+}
