@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench-smoke bench tables
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full local gate: build, vet, the complete test suite
+# under the race detector, and a benchmark smoke run so the harness
+# itself cannot bit-rot unnoticed.
+check: build vet race bench-smoke
+
+# bench-smoke compiles and exercises the E1 benchmarks for a fixed tiny
+# iteration count; it validates the harness, not the numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'E1' -benchtime 100x .
+
+# bench runs the full benchmark suite with allocation stats (slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# tables regenerates the EXPERIMENTS.md tables and writes structured
+# BENCH_<ID>.json rows for machine consumers.
+tables:
+	$(GO) run ./cmd/benchtab -json .

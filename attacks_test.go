@@ -286,3 +286,78 @@ func TestAttackAuditTampering(t *testing.T) {
 		t.Error("denied call left no audit trace")
 	}
 }
+
+// TestAttackCachedGrantOutlivesRevocation: the decision cache memoizes
+// granted verdicts, so an attacker who held a right hammers the same
+// check after revocation, hoping the fast path serves the stale grant.
+// Generation invalidation defeats it: every protection-state mutation
+// (group membership, ACL edit, relabel) bumps the generation, so the
+// very next check after the revocation recomputes and denies.
+func TestAttackCachedGrantOutlivesRevocation(t *testing.T) {
+	w := attackWorld(t)
+	reg := w.Sys.Registry()
+	if err := reg.AddGroup("project"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddMember("project", "insider"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.CreateNode(secext.NodeSpec{
+		Path: "/fs/plans", Kind: secext.KindFile,
+		ACL:   secext.NewACL(secext.AllowGroup("project", secext.Read)),
+		Class: w.Sys.Lattice().MustClass("organization", "dept-1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	insider := ctxA(t, w, "insider")
+
+	// Warm the cache: repeated checks are served from the fast path.
+	for i := 0; i < 3; i++ {
+		if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); err != nil {
+			t.Fatalf("check %d while entitled: %v", i, err)
+		}
+	}
+
+	// Revocation #1: insider is dropped from the project group.
+	if err := reg.RemoveMember("project", "insider"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); !secext.IsDenied(err) {
+		t.Fatalf("cached grant outlived group removal: %v", err)
+	}
+
+	// Re-grant directly, warm again, then revoke by ACL edit.
+	if err := w.Sys.Names().SetACLUnchecked("/fs/plans",
+		secext.NewACL(secext.Allow("insider", secext.Read))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); err != nil {
+			t.Fatalf("re-granted check %d: %v", i, err)
+		}
+	}
+	if err := w.Sys.Names().SetACLUnchecked("/fs/plans", secext.NewACL()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); !secext.IsDenied(err) {
+		t.Fatalf("cached grant outlived ACL revocation: %v", err)
+	}
+
+	// Re-grant, warm, then revoke by relabeling above insider's class.
+	if err := w.Sys.Names().SetACLUnchecked("/fs/plans",
+		secext.NewACL(secext.Allow("insider", secext.Read))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); err != nil {
+			t.Fatalf("relabel-setup check %d: %v", i, err)
+		}
+	}
+	if err := w.Sys.Names().SetClassUnchecked("/fs/plans",
+		w.Sys.Lattice().MustClass("local", "dept-1", "dept-2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); !secext.IsDenied(err) {
+		t.Fatalf("cached grant outlived relabel: %v", err)
+	}
+}

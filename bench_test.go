@@ -8,6 +8,7 @@ package secext_test
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"testing"
 
 	"secext"
@@ -25,7 +26,7 @@ import (
 )
 
 // benchWorld builds a quiet world with one principal and one file.
-func benchWorld(b *testing.B) (*secext.World, *secext.Context) {
+func benchWorld(b testing.TB) (*secext.World, *secext.Context) {
 	b.Helper()
 	w, err := secext.NewWorld(secext.WorldOptions{
 		Levels:       []string{"others", "organization", "local"},
@@ -118,6 +119,69 @@ func BenchmarkE1CheckLatencyNTACL(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nt.Check("alice", "/fs/f", ntacl.Read)
+	}
+}
+
+// runParallel splits b.N across exactly `goroutines` workers — unlike
+// b.RunParallel, which keys on GOMAXPROCS, this pins the concurrency
+// level so 1/4/16-goroutine rows are comparable across machines.
+func runParallel(b *testing.B, goroutines int, fn func(n int)) {
+	b.Helper()
+	var wg sync.WaitGroup
+	per, extra := b.N/goroutines, b.N%goroutines
+	b.ResetTimer()
+	for g := 0; g < goroutines; g++ {
+		n := per
+		if g < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			fn(n)
+		}(n)
+	}
+	wg.Wait()
+}
+
+var parallelLevels = []int{1, 4, 16}
+
+// BenchmarkE1CheckParallel is the contended variant of E1: identical
+// warm checks from 1/4/16 goroutines. With the decision cache on, every
+// iteration is a lock-free cache hit.
+func BenchmarkE1CheckParallel(b *testing.B) {
+	for _, g := range parallelLevels {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			w, ctx := benchWorld(b)
+			if _, err := w.Sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+				b.Fatal(err)
+			}
+			runParallel(b, g, func(n int) {
+				for i := 0; i < n; i++ {
+					if _, err := w.Sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestCachedCheckZeroAllocs is the allocs-per-op guard the fast path is
+// held to: a warm mediated check (audit off) must not allocate.
+func TestCachedCheckZeroAllocs(t *testing.T) {
+	w, ctx := benchWorld(t)
+	if _, err := w.Sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := w.Sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached check allocates %.1f objects/op, want 0", allocs)
 	}
 }
 
@@ -391,6 +455,121 @@ func BenchmarkE7CallLinkedTrusted(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkE7CallParallel is the contended variant of E7: the full
+// mediated null call (check + dispatch) from 1/4/16 goroutines, audit
+// off.
+func BenchmarkE7CallParallel(b *testing.B) {
+	for _, g := range parallelLevels {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			sys, ctx := e7System(b)
+			sys.Audit().SetEnabled(false)
+			if _, err := sys.Call(ctx, "/null", nil); err != nil {
+				b.Fatal(err)
+			}
+			runParallel(b, g, func(n int) {
+				for i := 0; i < n; i++ {
+					if _, err := sys.Call(ctx, "/null", nil); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// --- E11: decision-cache contention ---
+
+// e11World builds the E11 fixture: a quiet world, one principal, one
+// file, optionally without the decision cache.
+func e11World(b testing.TB, disableCache bool) (*secext.World, *secext.Context) {
+	b.Helper()
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:               []string{"others", "organization", "local"},
+		Categories:           []string{"dept-1", "dept-2"},
+		DisableAudit:         true,
+		DisableDecisionCache: disableCache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("alice", "organization:{dept-1}"); err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := w.Sys.NewContext("alice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	open := secext.NewACL(secext.AllowEveryone(secext.Read | secext.Write))
+	if err := w.FS.Create(ctx, "/fs/f", open, ctx.Class()); err != nil {
+		b.Fatal(err)
+	}
+	return w, ctx
+}
+
+// BenchmarkE11Contention compares four 16-goroutine workloads:
+//
+//	uncached — decision cache off; every check takes the RWMutex walk
+//	cold     — cache on, but each worker invalidates before checking,
+//	           so every check misses, recomputes, and republishes
+//	warm     — steady state: every check is a lock-free hit
+//	storm    — a background writer bumps the generation in a tight
+//	           loop while 16 readers check (revocation storm)
+func BenchmarkE11Contention(b *testing.B) {
+	const goroutines = 16
+	check := func(b *testing.B, w *secext.World, ctx *secext.Context, pre func()) {
+		runParallel(b, goroutines, func(n int) {
+			for i := 0; i < n; i++ {
+				if pre != nil {
+					pre()
+				}
+				if _, err := w.Sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+	b.Run("uncached", func(b *testing.B) {
+		w, ctx := e11World(b, true)
+		check(b, w, ctx, nil)
+	})
+	b.Run("cold", func(b *testing.B) {
+		w, ctx := e11World(b, false)
+		cache := w.Sys.DecisionCache()
+		check(b, w, ctx, cache.Invalidate)
+	})
+	b.Run("warm", func(b *testing.B) {
+		w, ctx := e11World(b, false)
+		if _, err := w.Sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+			b.Fatal(err)
+		}
+		check(b, w, ctx, nil)
+	})
+	b.Run("storm", func(b *testing.B) {
+		w, ctx := e11World(b, false)
+		cache := w.Sys.DecisionCache()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					cache.Invalidate()
+				}
+			}
+		}()
+		check(b, w, ctx, nil)
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
 }
 
 // --- E8: group nesting ---

@@ -1,28 +1,58 @@
 // Command benchtab regenerates every table in EXPERIMENTS.md: the
 // scenario reproductions S1-S3 (the paper's qualitative walk-throughs,
-// with asserted outcomes) and the quantitative characterizations E1-E10.
+// with asserted outcomes) and the quantitative characterizations E1-E11.
 //
 // Usage:
 //
-//	benchtab            # run everything
-//	benchtab S1 E7 E9   # run selected experiments
+//	benchtab                 # run everything
+//	benchtab S1 E7 E11       # run selected experiments
+//	benchtab -json . E11     # also write BENCH_E11.json with the rows
+//
+// Only the selected experiments run; an unknown ID selects nothing.
+// With -json DIR, each experiment additionally writes its structured
+// rows to DIR/BENCH_<ID>.json for machine consumption (plots, CI
+// regression tracking of the parallel and contention tables).
 //
 // Exit status is non-zero if any scenario deviates from the paper's
 // stated outcome.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"secext/internal/experiments"
 )
 
+// benchFile is the JSON shape of one BENCH_<ID>.json document.
+type benchFile struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Err    string     `json:"err,omitempty"`
+}
+
+func writeJSON(dir string, r experiments.Result) error {
+	doc := benchFile{ID: r.ID, Title: r.Title, Header: r.Header, Rows: r.Rows}
+	if r.Err != nil {
+		doc.Err = r.Err.Error()
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+r.ID+".json"), append(data, '\n'), 0o644)
+}
+
 func main() {
+	jsonDir := flag.String("json", "", "directory to write BENCH_<ID>.json files with structured rows")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchtab [S1 S2 S3 E1 ... E10]\n")
+		fmt.Fprintf(os.Stderr, "usage: benchtab [-json DIR] [S1 S2 S3 E1 ... E11]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -32,14 +62,21 @@ func main() {
 	}
 
 	failed := 0
-	for _, r := range experiments.All() {
-		if len(want) > 0 && !want[r.ID] {
+	for _, runner := range experiments.Runners() {
+		if len(want) > 0 && !want[runner.ID] {
 			continue
 		}
+		r := runner.Run()
 		fmt.Printf("== %s: %s\n\n%s\n", r.ID, r.Title, r.Table)
 		if r.Err != nil {
 			fmt.Printf("!! %s FAILED: %v\n\n", r.ID, r.Err)
 			failed++
+		}
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, r); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				failed++
+			}
 		}
 	}
 	if failed > 0 {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -47,6 +48,41 @@ func TestScenarioSubset(t *testing.T) {
 	// Unselected experiments must not run.
 	if strings.Contains(s, "== E1:") {
 		t.Error("selection filter broken")
+	}
+}
+
+// TestJSONEmission checks -json writes a BENCH_<ID>.json document whose
+// structured rows mirror the printed table.
+func TestJSONEmission(t *testing.T) {
+	dir := t.TempDir()
+	out, err := exec.Command(binPath, "-json", dir, "S4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchtab -json: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_S4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Err    string     `json:"err"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_S4.json: %v\n%s", err, data)
+	}
+	if doc.ID != "S4" || doc.Err != "" {
+		t.Errorf("doc = %+v", doc)
+	}
+	if len(doc.Header) == 0 || len(doc.Rows) == 0 {
+		t.Errorf("structured rows missing: header=%v rows=%v", doc.Header, doc.Rows)
+	}
+	for _, row := range doc.Rows {
+		if len(row) != len(doc.Header) {
+			t.Errorf("row width %d != header width %d: %v", len(row), len(doc.Header), row)
+		}
 	}
 }
 

@@ -129,6 +129,14 @@ func ParseEntry(s string) (Entry, error) {
 // name space serializes updates to the ACL attached to each node.
 type ACL struct {
 	entries []Entry
+
+	// onMutate, when set, is called after every in-place entry mutation
+	// (Add, Remove). The name server installs it on the private clones
+	// attached to nodes so that any edit of live protection state bumps
+	// the decision-cache generation, even one that bypasses SetACL.
+	// Clone deliberately drops the hook: copies handed to callers are
+	// not live protection state.
+	onMutate func()
 }
 
 // New builds an ACL from entries.
@@ -170,9 +178,21 @@ func DenyEveryone(modes Mode) Entry {
 	return Entry{Kind: Everyone, Deny: true, Modes: modes}
 }
 
+// SetMutationHook installs a function called after every in-place
+// mutation of the ACL. A nil hook clears it.
+func (a *ACL) SetMutationHook(fn func()) { a.onMutate = fn }
+
+// mutated invokes the mutation hook, if any.
+func (a *ACL) mutated() {
+	if a.onMutate != nil {
+		a.onMutate()
+	}
+}
+
 // Add inserts an entry. Entries with the same (Kind, Who, Deny) key are
 // merged by mode union, so an ACL never carries duplicate keys.
 func (a *ACL) Add(e Entry) {
+	defer a.mutated()
 	for i := range a.entries {
 		x := &a.entries[i]
 		if x.Kind == e.Kind && x.Who == e.Who && x.Deny == e.Deny {
@@ -194,6 +214,7 @@ func (a *ACL) Remove(kind WhoKind, who string, deny bool, modes Mode) error {
 			if x.Modes == None {
 				a.entries = append(a.entries[:i], a.entries[i+1:]...)
 			}
+			a.mutated()
 			return nil
 		}
 	}

@@ -63,8 +63,32 @@ var modeNames = [numModes]string{
 // Has reports whether m includes every mode in want.
 func (m Mode) Has(want Mode) bool { return m&want == want }
 
+// modeStrings holds the rendered form of every valid mode set so that
+// Mode.String is allocation-free on the mediation hot path (the audit
+// layer renders the requested modes of every mediated call).
+var modeStrings [AllModes + 1]string
+
+func init() {
+	for m := Mode(0); ; m++ {
+		modeStrings[m] = m.render()
+		if m == AllModes {
+			break
+		}
+	}
+}
+
 // String renders the mode set as a comma-separated list, "none" if empty.
+// For valid mode sets the result is a precomputed string and no
+// allocation occurs.
 func (m Mode) String() string {
+	if m&^AllModes == 0 && modeStrings[m] != "" {
+		return modeStrings[m]
+	}
+	return m.render()
+}
+
+// render builds the textual form; String serves valid sets from a table.
+func (m Mode) render() string {
 	if m == None {
 		return "none"
 	}

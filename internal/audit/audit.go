@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -84,6 +85,15 @@ type Stats struct {
 
 // Log is a bounded, concurrency-safe audit log.
 //
+// The hot path (Record) is lock-free: a writer claims a ring slot with
+// one atomic increment and publishes an immutable event with one atomic
+// pointer store, so concurrent mediated operations never serialize on
+// the log. Mutexes remain only where they cannot hurt the hot path:
+// sinkMu serializes the (rare) external sink writes — the line is
+// formatted before the lock is taken, so a slow sink never holds it
+// during formatting and never touches the ring — and snapMu serializes
+// whole-ring snapshot reads (Recent).
+//
 // The zero Log is not usable; call NewLog. A nil *Log is a valid no-op
 // target: all methods are safe on nil and record nothing, so callers can
 // make auditing optional without branching.
@@ -91,12 +101,23 @@ type Log struct {
 	enabled atomic.Bool
 	seq     atomic.Uint64
 
-	mu     sync.Mutex
-	ring   []Event
-	next   int  // next ring slot to overwrite
-	filled bool // ring has wrapped
-	sinks  []io.Writer
-	filter func(Event) bool
+	// ring holds the most recent events. pos counts slots ever claimed;
+	// slot pos%len(ring) is overwritten by the claimant. Events are
+	// immutable once published.
+	ring []atomic.Pointer[Event]
+	pos  atomic.Uint64
+
+	// filter is applied before an event claims a slot or counts.
+	filter atomic.Pointer[func(Event) bool]
+
+	// sinks is copy-on-write: AddSink swaps in a new slice, Record loads
+	// it without locking. sinkMu serializes the actual writes (and the
+	// append) so sink output lines do not interleave.
+	sinks  atomic.Pointer[[]io.Writer]
+	sinkMu sync.Mutex
+
+	// snapMu serializes snapshot reads; it is never taken by Record.
+	snapMu sync.Mutex
 
 	stats struct {
 		total   atomic.Uint64
@@ -112,7 +133,7 @@ func NewLog(capacity int) *Log {
 	if capacity < 1 {
 		capacity = 1
 	}
-	l := &Log{ring: make([]Event, capacity)}
+	l := &Log{ring: make([]atomic.Pointer[Event], capacity)}
 	l.enabled.Store(true)
 	return l
 }
@@ -134,9 +155,14 @@ func (l *Log) AddSink(w io.Writer) {
 	if l == nil {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.sinks = append(l.sinks, w)
+	l.sinkMu.Lock()
+	defer l.sinkMu.Unlock()
+	var next []io.Writer
+	if cur := l.sinks.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, w)
+	l.sinks.Store(&next)
 }
 
 // SetFilter installs a predicate; only events for which it returns true
@@ -145,13 +171,21 @@ func (l *Log) SetFilter(f func(Event) bool) {
 	if l == nil {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.filter = f
+	if f == nil {
+		l.filter.Store(nil)
+		return
+	}
+	l.filter.Store(&f)
 }
 
 // Record stamps and stores an event, updating counters and sinks.
 // The Seq and Time fields of ev are assigned by Record.
+//
+// Record never blocks on another recorder: the filter runs lock-free,
+// the ring slot is claimed with one atomic increment, and the event is
+// published with one atomic store. Sink output is formatted first and
+// only then written under sinkMu, so a slow sink delays other writers
+// only if they too have sink output pending — never the ring.
 func (l *Log) Record(ev Event) {
 	if l == nil || !l.enabled.Load() {
 		return
@@ -159,19 +193,9 @@ func (l *Log) Record(ev Event) {
 	ev.Seq = l.seq.Add(1)
 	ev.Time = time.Now()
 
-	l.mu.Lock()
-	if l.filter != nil && !l.filter(ev) {
-		l.mu.Unlock()
+	if f := l.filter.Load(); f != nil && !(*f)(ev) {
 		return
 	}
-	l.ring[l.next] = ev
-	l.next++
-	if l.next == len(l.ring) {
-		l.next = 0
-		l.filled = true
-	}
-	sinks := l.sinks
-	l.mu.Unlock()
 
 	l.stats.total.Add(1)
 	if ev.Allowed {
@@ -182,26 +206,39 @@ func (l *Log) Record(ev Event) {
 	if int(ev.Kind) < numKinds {
 		l.stats.byKind[ev.Kind].Add(1)
 	}
-	for _, w := range sinks {
-		fmt.Fprintln(w, ev.String())
+
+	slot := (l.pos.Add(1) - 1) % uint64(len(l.ring))
+	l.ring[slot].Store(&ev)
+
+	if sinks := l.sinks.Load(); sinks != nil && len(*sinks) > 0 {
+		line := ev.String()
+		l.sinkMu.Lock()
+		for _, w := range *sinks {
+			fmt.Fprintln(w, line)
+		}
+		l.sinkMu.Unlock()
 	}
 }
 
 // Recent returns up to n of the most recent events, oldest first.
 // n <= 0 returns all retained events.
+//
+// The snapshot reads the ring slots without stopping writers; events
+// are ordered by sequence number, so a record that lands mid-snapshot
+// may or may not appear but can never reorder what does.
 func (l *Log) Recent(n int) []Event {
 	if l == nil {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
 	var ordered []Event
-	if l.filled {
-		ordered = append(ordered, l.ring[l.next:]...)
-		ordered = append(ordered, l.ring[:l.next]...)
-	} else {
-		ordered = append(ordered, l.ring[:l.next]...)
+	for i := range l.ring {
+		if e := l.ring[i].Load(); e != nil {
+			ordered = append(ordered, *e)
+		}
 	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Seq < ordered[j].Seq })
 	if n > 0 && len(ordered) > n {
 		ordered = ordered[len(ordered)-n:]
 	}

@@ -32,7 +32,7 @@ func (s *System) record(kind audit.Kind, ctx *subject.Context, path, op string, 
 	s.log.Record(audit.Event{
 		Kind:    kind,
 		Subject: ctx.SubjectName(),
-		Class:   ctx.Class().String(),
+		Class:   ctx.ClassLabel(),
 		Path:    path,
 		Op:      op,
 		Allowed: err == nil,

@@ -22,6 +22,7 @@ import (
 
 	"secext/internal/acl"
 	"secext/internal/audit"
+	"secext/internal/decision"
 	"secext/internal/dispatch"
 	"secext/internal/extension"
 	"secext/internal/lattice"
@@ -54,6 +55,17 @@ type Options struct {
 	// SPIN discipline, measured by E6/E7). Default false: full
 	// mediation on every call.
 	TrustLinkTime bool
+	// DisableDecisionCache turns off the mediation fast path: every
+	// check takes the full resolve-and-verify walk. Default false — the
+	// cache preserves full-mediation semantics (generation-based
+	// invalidation means a cached verdict is provably computed against
+	// the current protection state), so there is no security reason to
+	// disable it; the switch exists for experiments (E11) and debugging.
+	DisableDecisionCache bool
+	// DecisionCacheSize is the approximate entry capacity of the
+	// decision cache (rounded up to a power of two per shard; default
+	// 32768 entries).
+	DecisionCacheSize int
 }
 
 // System is the reference monitor and the owner of every protection-
@@ -96,6 +108,16 @@ func NewSystem(opts Options) (*System, error) {
 		disp: dispatch.New(),
 		log:  audit.NewLog(capacity),
 	}
+	if !opts.DisableDecisionCache {
+		// The mediation fast path: memoized verdicts, invalidated by a
+		// generation bump from ANY layer whose state feeds an access
+		// decision — the name space (bindings, ACLs, classes), the
+		// lattice universe, and the principal/group registry.
+		cache := decision.NewCache(opts.DecisionCacheSize)
+		s.ns.SetDecisionCache(cache)
+		lat.SetMutationHook(cache.Invalidate)
+		s.reg.SetMutationHook(cache.Invalidate)
+	}
 	s.log.SetEnabled(!opts.DisableAudit)
 	s.trustLinkTime.Store(opts.TrustLinkTime)
 	s.loader = extension.NewLoader(s)
@@ -116,6 +138,10 @@ func (s *System) Dispatcher() *dispatch.Dispatcher { return s.disp }
 
 // Audit returns the audit log.
 func (s *System) Audit() *audit.Log { return s.log }
+
+// DecisionCache returns the mediation fast-path cache, or nil when the
+// system was built with DisableDecisionCache.
+func (s *System) DecisionCache() *decision.Cache { return s.ns.DecisionCache() }
 
 // Loader returns the extension loader.
 func (s *System) Loader() *extension.Loader { return s.loader }

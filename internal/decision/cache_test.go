@@ -1,0 +1,198 @@
+package decision
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/lattice"
+)
+
+func testLattice(t *testing.T) *lattice.Lattice {
+	t.Helper()
+	lat, err := lattice.NewWithUniverse([]string{"low", "high"}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	lat := testLattice(t)
+	cls := lat.MustClass("low")
+	c := NewCache(0)
+
+	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute); ok {
+		t.Fatal("empty cache must miss")
+	}
+	node := &struct{ name string }{"payload"}
+	c.StoreAt(c.Gen(), "alice", cls, "/svc/a", acl.Execute, node, nil)
+	got, err, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute)
+	if !ok || err != nil || got != node {
+		t.Fatalf("Lookup = %v, %v, %v; want stored node", got, err, ok)
+	}
+
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Stores != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestCachedDenial(t *testing.T) {
+	lat := testLattice(t)
+	cls := lat.MustClass("low")
+	c := NewCache(0)
+	denied := errors.New("denied for test")
+	c.StoreAt(c.Gen(), "mallory", cls, "/svc/a", acl.Write, nil, denied)
+	node, err, ok := c.Lookup("mallory", cls, "/svc/a", acl.Write)
+	if !ok || node != nil || !errors.Is(err, denied) {
+		t.Fatalf("Lookup = %v, %v, %v; want cached denial", node, err, ok)
+	}
+}
+
+func TestExactKeyMatch(t *testing.T) {
+	lat := testLattice(t)
+	low, high := lat.MustClass("low"), lat.MustClass("high", "a")
+	c := NewCache(0)
+	c.StoreAt(c.Gen(), "alice", low, "/svc/a", acl.Execute, "v", nil)
+
+	// Any differing key component must miss, even if the hash collides.
+	misses := []struct {
+		subject string
+		class   lattice.Class
+		path    string
+		modes   acl.Mode
+	}{
+		{"bob", low, "/svc/a", acl.Execute},
+		{"alice", high, "/svc/a", acl.Execute},
+		{"alice", low, "/svc/b", acl.Execute},
+		{"alice", low, "/svc/a", acl.Read},
+	}
+	for _, m := range misses {
+		if _, _, ok := c.Lookup(m.subject, m.class, m.path, m.modes); ok {
+			t.Errorf("Lookup(%q, %v, %q, %v) hit; want miss", m.subject, m.class, m.path, m.modes)
+		}
+	}
+}
+
+func TestInvalidateKillsEveryEntry(t *testing.T) {
+	lat := testLattice(t)
+	cls := lat.MustClass("low")
+	c := NewCache(0)
+	for i := 0; i < 100; i++ {
+		c.StoreAt(c.Gen(), "alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute, i, nil)
+	}
+	c.Invalidate()
+	for i := 0; i < 100; i++ {
+		if _, _, ok := c.Lookup("alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute); ok {
+			t.Fatalf("entry %d survived invalidation", i)
+		}
+	}
+	if s := c.Stats(); s.Invalidations != 1 {
+		t.Errorf("Invalidations = %d, want 1", s.Invalidations)
+	}
+}
+
+// TestStaleStoreDropped is the TOCTOU guard: a verdict computed against
+// generation g must not be served if the protection state mutated while
+// the computation ran.
+func TestStaleStoreDropped(t *testing.T) {
+	lat := testLattice(t)
+	cls := lat.MustClass("low")
+	c := NewCache(0)
+	gen := c.Gen() // read before "computing" the decision
+	c.Invalidate() // a mutation races with the computation
+	c.StoreAt(gen, "alice", cls, "/svc/a", acl.Execute, "v", nil)
+	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute); ok {
+		t.Fatal("verdict computed against a stale generation was served")
+	}
+}
+
+// TestTinyCacheCollisions forces heavy slot sharing and verifies a
+// collision can only evict, never serve the wrong verdict.
+func TestTinyCacheCollisions(t *testing.T) {
+	lat := testLattice(t)
+	cls := lat.MustClass("low")
+	c := NewCache(numShards) // one slot per shard
+	for i := 0; i < 1000; i++ {
+		path := fmt.Sprintf("/svc/n%d", i)
+		c.StoreAt(c.Gen(), "alice", cls, path, acl.Execute, path, nil)
+	}
+	for i := 0; i < 1000; i++ {
+		path := fmt.Sprintf("/svc/n%d", i)
+		if v, err, ok := c.Lookup("alice", cls, path, acl.Execute); ok {
+			if err != nil || v.(string) != path {
+				t.Fatalf("collision served wrong verdict: key %q got %v, %v", path, v, err)
+			}
+		}
+	}
+}
+
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *Cache
+	lat := testLattice(t)
+	cls := lat.MustClass("low")
+	if _, _, ok := c.Lookup("alice", cls, "/x", acl.Read); ok {
+		t.Error("nil cache must miss")
+	}
+	c.StoreAt(0, "alice", cls, "/x", acl.Read, nil, nil) // must not panic
+	c.Invalidate()
+	if g := c.Gen(); g != 0 {
+		t.Errorf("nil Gen = %d", g)
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("nil Stats = %+v", s)
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ req, min int }{
+		{0, numShards},
+		{1, numShards},
+		{100000, 100000},
+	} {
+		c := NewCache(tc.req)
+		if s := c.Stats(); s.Capacity < tc.min {
+			t.Errorf("NewCache(%d).Capacity = %d, want >= %d", tc.req, s.Capacity, tc.min)
+		}
+		if s := c.Stats(); s.Capacity&(s.Capacity-1) != 0 {
+			t.Errorf("capacity %d not a power of two", s.Capacity)
+		}
+	}
+}
+
+// TestConcurrentMixedUse hammers the cache from many goroutines doing
+// lookups, stores, and invalidations at once; run under -race this is
+// the memory-safety proof for the lock-free design.
+func TestConcurrentMixedUse(t *testing.T) {
+	lat := testLattice(t)
+	cls := lat.MustClass("low")
+	c := NewCache(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				path := fmt.Sprintf("/svc/n%d", i%64)
+				switch {
+				case i%97 == 0:
+					c.Invalidate()
+				case i%3 == 0:
+					gen := c.Gen()
+					c.StoreAt(gen, "alice", cls, path, acl.Execute, path, nil)
+				default:
+					if v, err, ok := c.Lookup("alice", cls, path, acl.Execute); ok {
+						if err != nil || v.(string) != path {
+							t.Errorf("wrong verdict under concurrency: %v, %v", v, err)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -63,7 +63,7 @@ func A1() Result {
 		})
 		t.add(strconv.Itoa(denies), ns(mSec), ns(mNT))
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -107,7 +107,7 @@ func A2() Result {
 		})
 		t.add(strconv.Itoa(capacity), ns(m))
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -163,6 +163,6 @@ func A3() Result {
 	t := &table{header: []string{"container", "bind+unbind"}}
 	t.add("regular directory", ns(measure(defaultMinDur, bindCycle("/plain"))))
 	t.add("multilevel directory", ns(measure(defaultMinDur, bindCycle("/ml"))))
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }

@@ -19,16 +19,48 @@ type Result struct {
 	Title string
 	Table string // formatted text table
 	Err   error  // non-nil if the scenario's asserted outcome failed
+
+	// Header and Rows are the structured form of Table, for machine
+	// consumers (cmd/benchtab -json writes them to BENCH_<ID>.json).
+	Header []string
+	Rows   [][]string
+}
+
+// setTable renders t into the result, keeping the structured rows
+// alongside the formatted text.
+func (r *Result) setTable(t *table) {
+	r.Table = t.String()
+	r.Header = t.header
+	r.Rows = t.rows
+}
+
+// Runner names one experiment without running it; cmd/benchtab iterates
+// Runners so a selection executes only the selected experiments.
+type Runner struct {
+	ID  string
+	Run func() Result
+}
+
+// Runners lists every experiment in canonical order.
+func Runners() []Runner {
+	return []Runner{
+		{"S1", S1}, {"S2", S2}, {"S3", S3}, {"S4", S4},
+		{"E1", E1}, {"E2", E2}, {"E3", E3}, {"E4", E4}, {"E5", E5},
+		{"E6", E6}, {"E7", E7}, {"E8", E8}, {"E9", E9}, {"E10", E10},
+		{"E11", E11},
+		{"A1", A1}, {"A2", A2}, {"A3", A3},
+	}
 }
 
 // All runs every experiment in order. Timing experiments take a few
 // hundred milliseconds each.
 func All() []Result {
-	return []Result{
-		S1(), S2(), S3(), S4(),
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(),
-		A1(), A2(), A3(),
+	runners := Runners()
+	out := make([]Result, 0, len(runners))
+	for _, r := range runners {
+		out = append(out, r.Run())
 	}
+	return out
 }
 
 // measure times fn, auto-scaling iterations until the run lasts at

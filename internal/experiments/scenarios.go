@@ -83,7 +83,7 @@ func S1() Result {
 			res.Err = fmt.Errorf("S1: row %s deviates from the paper", reader)
 		}
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -137,7 +137,7 @@ func S2() Result {
 	if sbKilled == 0 {
 		res.Err = fmt.Errorf("S2: sandbox baseline unexpectedly contained the attack")
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -204,7 +204,7 @@ func S3() Result {
 	t.add("load newfs (authenticated, linked)", errStr(err), yes(err == nil))
 	if err != nil {
 		res.Err = err
-		res.Table = t.String()
+		res.setTable(t)
 		return res
 	}
 
@@ -235,7 +235,7 @@ func S3() Result {
 		secext.NewACL(secext.AllowEveryone(secext.Execute|secext.List),
 			secext.Deny("applet1", secext.Execute))); err != nil {
 		res.Err = err
-		res.Table = t.String()
+		res.setTable(t)
 		return res
 	}
 	m2 := m
@@ -245,7 +245,7 @@ func S3() Result {
 	if err == nil && res.Err == nil {
 		res.Err = fmt.Errorf("S3: link succeeded after execute was revoked")
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -367,7 +367,7 @@ func S4() Result {
 			res.Err = fmt.Errorf("S4: row %s deviates from the paper", o.principal)
 		}
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 

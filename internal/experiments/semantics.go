@@ -76,7 +76,7 @@ func E9() Result {
 		fmt.Sprintf("%d/12", counts[0]), fmt.Sprintf("%d/12", counts[1]),
 		fmt.Sprintf("%d/12", counts[2]), fmt.Sprintf("%d/12", counts[3]),
 		fmt.Sprintf("%d/12", counts[4]))
-	res.Table = t.String()
+	res.setTable(t)
 	if counts[0] != len(e9Scenarios) {
 		res.Err = fmt.Errorf("E9: secext must express all %d requirements, got %d",
 			len(e9Scenarios), counts[0])
@@ -161,6 +161,6 @@ func E10() Result {
 		}
 	})
 	t.add("append throughput", "others", jc, ns(perAppend)+"/op", "-")
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }

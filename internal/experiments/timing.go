@@ -22,26 +22,7 @@ import (
 // benchWorld builds a quiet world (audit off) with one principal and
 // one readable file for check-latency experiments.
 func benchWorld() (*secext.World, *secext.Context, error) {
-	w, err := secext.NewWorld(secext.WorldOptions{
-		Levels:       []string{"others", "organization", "local"},
-		Categories:   []string{"dept-1", "dept-2"},
-		DisableAudit: true,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	if _, err := w.Sys.AddPrincipal("alice", "organization:{dept-1}"); err != nil {
-		return nil, nil, err
-	}
-	ctx, err := w.Sys.NewContext("alice")
-	if err != nil {
-		return nil, nil, err
-	}
-	open := secext.NewACL(secext.AllowEveryone(secext.Read | secext.Write | secext.WriteAppend))
-	if err := w.FS.Create(ctx, "/fs/f", open, ctx.Class()); err != nil {
-		return nil, nil, err
-	}
-	return w, ctx, nil
+	return checkWorld(false)
 }
 
 // E1 compares single access-check latency across the models.
@@ -115,7 +96,7 @@ func E1() Result {
 			nt.Check("alice", "/fs/f", ntacl.Read)
 		}
 	})))
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -161,7 +142,7 @@ func E2() Result {
 		})
 		t.add(strconv.Itoa(size), ns(mf), ns(ml), ns(mm))
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -206,7 +187,7 @@ func E3() Result {
 		})
 		t.add(strconv.Itoa(size), ns(md), ns(mj), ns(mm))
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -269,7 +250,7 @@ func E4() Result {
 		})
 		t.add(strconv.Itoa(depth), ns(on), ns(off))
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -328,7 +309,7 @@ func E5() Result {
 		})
 		t.add(strconv.Itoa(count), ns(m))
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -391,7 +372,7 @@ func E6() Result {
 		})
 		t.add(strconv.Itoa(count), ns(perLink), ns(perLink/float64(count)))
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -464,7 +445,7 @@ func E7() Result {
 		}
 	})
 	t.add("linked call, trust link time", ns(linked), ratio(linked, raw))
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 
@@ -523,7 +504,7 @@ func E8() Result {
 		})
 		t.add(strconv.Itoa(depth), ns(m))
 	}
-	res.Table = t.String()
+	res.setTable(t)
 	return res
 }
 

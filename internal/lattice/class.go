@@ -91,6 +91,22 @@ func (c Class) Meet(o Class) Class {
 	return Class{lat: c.lat, level: lv, cats: c.cats.intersect(o.cats)}
 }
 
+// Hash64 folds the class into 64 bits without allocating: the level and
+// the category bitset words under FNV-1a. Classes that are Equal hash
+// equally; the converse does not hold, so Hash64 may only route (e.g.
+// pick a cache shard), never decide — callers must confirm with Equal.
+func (c Class) Hash64() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	h ^= uint64(c.level)
+	h *= prime
+	for _, w := range c.cats.norm().words {
+		h ^= w
+		h *= prime
+	}
+	return h
+}
+
 // String renders the class label, or "<invalid>" for the zero Class.
 // For deterministic labeled output prefer Lattice.Format, which reports
 // errors instead of folding them into the string.

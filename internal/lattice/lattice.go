@@ -51,6 +51,13 @@ type Lattice struct {
 	levelIdx map[string]Level
 	cats     []string
 	catIdx   map[string]int
+
+	// onMutate, when set, is called after every universe mutation. The
+	// reference monitor wires it to the decision cache's generation
+	// counter so cached verdicts never outlive a definition change.
+	// (Definitions are append-only, so existing dominance relations are
+	// in fact unaffected; the bump is deliberate conservatism.)
+	onMutate func()
 }
 
 // New returns an empty lattice with no levels and no categories.
@@ -78,6 +85,22 @@ func NewWithUniverse(levelsLowToHigh, categories []string) (*Lattice, error) {
 	return l, nil
 }
 
+// SetMutationHook installs a function called after every universe
+// mutation (level or category definition). Used by the reference
+// monitor for decision-cache invalidation; a nil hook clears it.
+func (l *Lattice) SetMutationHook(fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onMutate = fn
+}
+
+// mutated invokes the mutation hook. Caller holds l.mu.
+func (l *Lattice) mutated() {
+	if l.onMutate != nil {
+		l.onMutate()
+	}
+}
+
 // DefineLevel appends a new trust level that dominates every level
 // defined before it, and returns its Level value.
 func (l *Lattice) DefineLevel(name string) (Level, error) {
@@ -92,6 +115,7 @@ func (l *Lattice) DefineLevel(name string) (Level, error) {
 	lv := Level(len(l.levels))
 	l.levels = append(l.levels, name)
 	l.levelIdx[name] = lv
+	l.mutated()
 	return lv, nil
 }
 
@@ -109,6 +133,7 @@ func (l *Lattice) DefineCategory(name string) (int, error) {
 	idx := len(l.cats)
 	l.cats = append(l.cats, name)
 	l.catIdx[name] = idx
+	l.mutated()
 	return idx, nil
 }
 

@@ -156,23 +156,47 @@ func (n *Node) childNames() []string {
 	return out
 }
 
+// ValidPath checks that path is a well-formed absolute path: it starts
+// with '/', and every component is non-empty and neither "." nor "..".
+// The scan allocates nothing (errors excepted), so callers on the
+// mediation hot path can validate without paying SplitPath's slice.
+func ValidPath(path string) error {
+	if path == "" || path[0] != '/' {
+		return fmt.Errorf("%w: %q (must be absolute)", ErrBadPath, path)
+	}
+	if path == "/" {
+		return nil
+	}
+	rest := path[1:]
+	for {
+		part := rest
+		i := strings.IndexByte(rest, '/')
+		if i >= 0 {
+			part = rest[:i]
+		}
+		if part == "" || part == "." || part == ".." {
+			return fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+		if i < 0 {
+			return nil
+		}
+		rest = rest[i+1:]
+	}
+}
+
 // SplitPath validates and splits an absolute path into its components.
 // The root path "/" yields an empty slice. Components must be non-empty
-// and must not be "." or "..".
+// and must not be "." or "..". The validity scan runs first, so
+// malformed paths and "/" are rejected or answered without allocating;
+// only a clean multi-component path pays for the component slice.
 func SplitPath(path string) ([]string, error) {
-	if path == "" || path[0] != '/' {
-		return nil, fmt.Errorf("%w: %q (must be absolute)", ErrBadPath, path)
+	if err := ValidPath(path); err != nil {
+		return nil, err
 	}
 	if path == "/" {
 		return nil, nil
 	}
-	parts := strings.Split(path[1:], "/")
-	for _, p := range parts {
-		if p == "" || p == "." || p == ".." {
-			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
-		}
-	}
-	return parts, nil
+	return strings.Split(path[1:], "/"), nil
 }
 
 // ValidComponent reports whether name is usable as a single path

@@ -1,10 +1,13 @@
 package names
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"secext/internal/acl"
+	"secext/internal/decision"
 	"secext/internal/lattice"
 )
 
@@ -28,6 +31,16 @@ type Server struct {
 	// performs per-level visibility checks (list + MAC read). It is on
 	// by default; experiment E4 measures the cost by toggling it.
 	checkTraversal bool
+
+	// cache, when set, memoizes CheckAccess verdicts keyed by
+	// (subject, class, path, modes) with generation-based invalidation:
+	// every name-space mutation bumps the cache generation, so a hit is
+	// provably computed against the current protection state. Install it
+	// with SetDecisionCache before the server sees concurrent traffic;
+	// only the reference monitor should do so (cached verdicts assume
+	// subject names are canonical, which core guarantees). A nil cache
+	// means every check takes the full path.
+	cache *decision.Cache
 }
 
 // NewServer creates a name space whose root carries the given ACL and
@@ -36,7 +49,7 @@ func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) 
 	if rootACL == nil {
 		rootACL = acl.New()
 	}
-	return &Server{
+	s := &Server{
 		root: &Node{
 			kind:     KindRoot,
 			children: make(map[string]*Node),
@@ -46,10 +59,44 @@ func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) 
 		lat:            lat,
 		checkTraversal: true,
 	}
+	s.root.acl.SetMutationHook(s.invalidate)
+	return s
 }
 
 // Lattice returns the lattice node classes are drawn from.
 func (s *Server) Lattice() *lattice.Lattice { return s.lat }
+
+// SetDecisionCache installs (or, with nil, removes) the decision cache
+// consulted by CheckAccess. Call it during setup, before the server sees
+// concurrent traffic. Only the reference monitor should install a cache:
+// cached verdicts are keyed by subject *name*, which is sound only when
+// every subject name maps to one identity — core's registry guarantees
+// that; arbitrary acl.Subject implementations do not.
+func (s *Server) SetDecisionCache(c *decision.Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = c
+}
+
+// DecisionCache returns the installed decision cache (nil if none).
+func (s *Server) DecisionCache() *decision.Cache {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cache
+}
+
+// invalidate bumps the decision-cache generation. Every mutation of the
+// name space (bindings, ACLs, classes, payloads, traversal policy) must
+// call it; a nil cache makes it a no-op.
+func (s *Server) invalidate() { s.cache.Invalidate() }
+
+// hookACL attaches the cache-invalidation hook to an ACL that is about
+// to become live protection state on a node, so any in-place edit of it
+// bumps the generation even if it bypasses SetACL.
+func (s *Server) hookACL(a *acl.ACL) *acl.ACL {
+	a.SetMutationHook(s.invalidate)
+	return a
+}
 
 // SetTraversalChecks toggles per-level visibility checks during path
 // resolution. Intended for experiments; production systems leave it on.
@@ -57,6 +104,7 @@ func (s *Server) SetTraversalChecks(on bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.checkTraversal = on
+	s.invalidate()
 }
 
 // macAllows maps requested DAC modes onto the lattice flow rules (§2.2):
@@ -100,14 +148,23 @@ func checkNodeLocked(n *Node, sub acl.Subject, class lattice.Class, modes acl.Mo
 
 // resolveLocked walks the path, applying traversal checks to every
 // interior node strictly above the target when enabled. Caller holds
-// s.mu.
+// s.mu. The walk slices components out of path in place instead of
+// calling SplitPath, so resolution allocates nothing on success.
 func (s *Server) resolveLocked(sub acl.Subject, class lattice.Class, path string, checked bool) (*Node, error) {
-	parts, err := SplitPath(path)
-	if err != nil {
+	if err := ValidPath(path); err != nil {
 		return nil, err
 	}
 	cur := s.root
-	for i, part := range parts {
+	// Invariant: rest is the unconsumed suffix of path after the slash
+	// that follows the current node's name.
+	rest := path[1:]
+	for rest != "" {
+		part := rest
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			part, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
 		if checked && s.checkTraversal {
 			// Visibility: walking through a node requires list on it
 			// and MAC read of it (§2.3: access control determines
@@ -118,7 +175,12 @@ func (s *Server) resolveLocked(sub acl.Subject, class lattice.Class, path string
 		}
 		next, ok := cur.children[part]
 		if !ok {
-			return nil, fmt.Errorf("%w: %s", ErrNotFound, Join("/", parts[:i+1]...))
+			// Report the prefix up to and including the missing name.
+			consumed := len(path) - len(rest)
+			if rest != "" {
+				consumed-- // drop the trailing slash
+			}
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, path[:consumed])
 		}
 		cur = next
 	}
@@ -144,7 +206,40 @@ func (s *Server) ResolveUnchecked(path string) (*Node, error) {
 // CheckAccess resolves path and verifies that the subject holds the
 // requested modes on the target under both DAC and MAC. It returns the
 // node on success.
+//
+// With a decision cache installed, a repeated check is served from the
+// cache with zero locks and zero allocations; the full check runs only
+// on a miss, and its verdict is published stamped with the generation
+// read *before* the computation, so a mutation racing with the check
+// invalidates the entry the moment it lands.
 func (s *Server) CheckAccess(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
+	cache := s.cache
+	if cache == nil {
+		return s.checkAccessFull(sub, class, path, modes)
+	}
+	name := sub.SubjectName()
+	if node, err, ok := cache.Lookup(name, class, path, modes); ok {
+		if err != nil {
+			return nil, err
+		}
+		return node.(*Node), nil
+	}
+	gen := cache.Gen()
+	n, err := s.checkAccessFull(sub, class, path, modes)
+	// Cache grants and access denials only. Structural errors
+	// (ErrNotFound, ErrBadPath) are cheap to recompute and their error
+	// values carry no security weight worth pinning.
+	if err == nil {
+		cache.StoreAt(gen, name, class, path, modes, n, nil)
+	} else if errors.Is(err, ErrDenied) {
+		cache.StoreAt(gen, name, class, path, modes, nil, err)
+	}
+	return n, err
+}
+
+// checkAccessFull is the uncached check: resolve under the read lock,
+// then verify the target.
+func (s *Server) checkAccessFull(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n, err := s.resolveLocked(sub, class, path, true)
@@ -255,7 +350,7 @@ func (s *Server) bindLocked(parent *Node, spec BindSpec) (*Node, error) {
 		name:       spec.Name,
 		kind:       spec.Kind,
 		parent:     parent,
-		acl:        a.Clone(),
+		acl:        s.hookACL(a.Clone()),
 		class:      spec.Class,
 		payload:    spec.Payload,
 		multilevel: spec.Multilevel && !spec.Kind.Leaf(),
@@ -264,6 +359,7 @@ func (s *Server) bindLocked(parent *Node, spec BindSpec) (*Node, error) {
 		n.children = make(map[string]*Node)
 	}
 	parent.children[spec.Name] = n
+	s.invalidate()
 	return n, nil
 }
 
@@ -297,6 +393,7 @@ func (s *Server) Unbind(sub acl.Subject, class lattice.Class, path string) error
 	}
 	delete(n.parent.children, n.name)
 	n.parent = nil
+	s.invalidate()
 	return nil
 }
 
@@ -357,6 +454,7 @@ func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParent
 	n.parent = newParent
 	n.name = newName
 	newParent.children[newName] = n
+	s.invalidate()
 	return nil
 }
 
@@ -376,6 +474,7 @@ func (s *Server) UnbindUnchecked(path string) error {
 	}
 	delete(n.parent.children, n.name)
 	n.parent = nil
+	s.invalidate()
 	return nil
 }
 
@@ -410,7 +509,8 @@ func (s *Server) SetACL(sub acl.Subject, class lattice.Class, path string, newAC
 	if err := checkNodeLocked(n, sub, class, acl.Administrate); err != nil {
 		return err
 	}
-	n.acl = newACL.Clone()
+	n.acl = s.hookACL(newACL.Clone())
+	s.invalidate()
 	return nil
 }
 
@@ -422,7 +522,8 @@ func (s *Server) SetACLUnchecked(path string, newACL *acl.ACL) error {
 	if err != nil {
 		return err
 	}
-	n.acl = newACL.Clone()
+	n.acl = s.hookACL(newACL.Clone())
+	s.invalidate()
 	return nil
 }
 
@@ -453,6 +554,7 @@ func (s *Server) SetClass(sub acl.Subject, class lattice.Class, path string, new
 		return &DeniedError{Path: path, Op: "set-class", Why: "mac: relabel would write down"}
 	}
 	n.class = newClass
+	s.invalidate()
 	return nil
 }
 
@@ -469,6 +571,7 @@ func (s *Server) SetClassUnchecked(path string, newClass lattice.Class) error {
 		return fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
 	}
 	n.class = newClass
+	s.invalidate()
 	return nil
 }
 
@@ -493,6 +596,7 @@ func (s *Server) SetPayload(path string, payload any) error {
 		return err
 	}
 	n.payload = payload
+	s.invalidate()
 	return nil
 }
 

@@ -87,6 +87,13 @@ type Registry struct {
 	// belongs to. Entries are computed lazily under mu and dropped on
 	// any membership mutation.
 	closure map[string]map[string]bool
+
+	// onMutate, when set, is called after every registry mutation that
+	// can change an access decision (new identities, group membership
+	// edits). The reference monitor wires it to the decision cache's
+	// generation counter so cached verdicts never outlive a membership
+	// change.
+	onMutate func()
 }
 
 // NewRegistry creates an empty registry whose principals carry classes
@@ -109,6 +116,22 @@ func NewRegistry(lat *lattice.Lattice) *Registry {
 
 // Lattice returns the lattice principals of this registry label against.
 func (r *Registry) Lattice() *lattice.Lattice { return r.lat }
+
+// SetMutationHook installs a function called after every mutation that
+// can change an access decision. Used by the reference monitor for
+// decision-cache invalidation; a nil hook clears it.
+func (r *Registry) SetMutationHook(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onMutate = fn
+}
+
+// mutated invokes the mutation hook. Caller holds r.mu.
+func (r *Registry) mutated() {
+	if r.onMutate != nil {
+		r.onMutate()
+	}
+}
 
 func validName(name string) error {
 	if name == "" || name == "*" || strings.ContainsAny(name, "@ \t\n;/") {
@@ -135,6 +158,7 @@ func (r *Registry) AddPrincipal(name string, class lattice.Class) (*Principal, e
 	}
 	p := &Principal{name: name, class: class, reg: r}
 	r.principals[name] = p
+	r.mutated()
 	return p, nil
 }
 
@@ -178,6 +202,7 @@ func (r *Registry) AddGroup(name string) error {
 		principals: make(map[string]bool),
 		subgroups:  make(map[string]bool),
 	}
+	r.mutated()
 	return nil
 }
 
@@ -205,6 +230,7 @@ func (r *Registry) AddMember(groupName, member string) error {
 	if _, isP := r.principals[member]; isP {
 		g.principals[member] = true
 		r.closure = make(map[string]map[string]bool)
+		r.mutated()
 		return nil
 	}
 	if _, isG := r.groups[member]; isG {
@@ -213,6 +239,7 @@ func (r *Registry) AddMember(groupName, member string) error {
 		}
 		g.subgroups[member] = true
 		r.closure = make(map[string]map[string]bool)
+		r.mutated()
 		return nil
 	}
 	return fmt.Errorf("%w: member %q", ErrNotFound, member)
@@ -229,11 +256,13 @@ func (r *Registry) RemoveMember(groupName, member string) error {
 	if g.principals[member] {
 		delete(g.principals, member)
 		r.closure = make(map[string]map[string]bool)
+		r.mutated()
 		return nil
 	}
 	if g.subgroups[member] {
 		delete(g.subgroups, member)
 		r.closure = make(map[string]map[string]bool)
+		r.mutated()
 		return nil
 	}
 	return fmt.Errorf("%w: member %q of %q", ErrNotFound, member, groupName)

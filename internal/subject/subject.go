@@ -12,6 +12,7 @@ package subject
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"secext/internal/lattice"
 	"secext/internal/principal"
@@ -38,6 +39,11 @@ type Context struct {
 	parent *Context
 	site   string // name-space path of the service this context entered
 	depth  int
+
+	// label memoizes the rendered form of class. A context's class is
+	// immutable and the audit layer renders it on every mediated call, so
+	// caching it keeps the hot path allocation-free after the first use.
+	label atomic.Pointer[string]
 }
 
 // New creates a root context for a principal, running at the
@@ -63,6 +69,17 @@ func (c *Context) Principal() *principal.Principal { return c.prin }
 
 // Class returns the context's current security class.
 func (c *Context) Class() lattice.Class { return c.class }
+
+// ClassLabel returns the rendered form of the context's class, computed
+// once and memoized (contexts are immutable, so the label never changes).
+func (c *Context) ClassLabel() string {
+	if s := c.label.Load(); s != nil {
+		return *s
+	}
+	s := c.class.String()
+	c.label.Store(&s)
+	return s
+}
 
 // Depth returns the length of the invocation chain (0 for a root).
 func (c *Context) Depth() int { return c.depth }

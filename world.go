@@ -63,6 +63,12 @@ type WorldOptions struct {
 	DisableAudit bool
 	// TrustLinkTime enables the SPIN-style linked-call fast path.
 	TrustLinkTime bool
+	// DisableDecisionCache turns off the mediation fast path (see
+	// core.Options.DisableDecisionCache); for experiments.
+	DisableDecisionCache bool
+	// DecisionCacheSize overrides the decision cache's approximate
+	// entry capacity (0 = default).
+	DecisionCacheSize int
 	// PolicyText, if non-empty, is parsed as a policy document and
 	// applied to the assembled world: its principals, groups, extra
 	// nodes, and ACL grants land on top of the standard services. The
@@ -99,10 +105,12 @@ type World struct {
 // NewWorld builds the standard world.
 func NewWorld(opts WorldOptions) (*World, error) {
 	sys, err := core.NewSystem(core.Options{
-		Levels:        opts.Levels,
-		Categories:    opts.Categories,
-		DisableAudit:  opts.DisableAudit,
-		TrustLinkTime: opts.TrustLinkTime,
+		Levels:               opts.Levels,
+		Categories:           opts.Categories,
+		DisableAudit:         opts.DisableAudit,
+		TrustLinkTime:        opts.TrustLinkTime,
+		DisableDecisionCache: opts.DisableDecisionCache,
+		DecisionCacheSize:    opts.DecisionCacheSize,
 	})
 	if err != nil {
 		return nil, err
