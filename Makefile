@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-smoke bench tables
+.PHONY: all build vet test race check cover bench-smoke bench tables
 
 all: check
 
@@ -20,6 +20,17 @@ race:
 # under the race detector, and a benchmark smoke run so the harness
 # itself cannot bit-rot unnoticed.
 check: build vet race bench-smoke
+
+# cover runs the monitor packages' tests with coverage and enforces a
+# floor on internal/monitor itself: the policy layer is the code whose
+# regressions are security bugs, so its statements stay covered.
+MONITOR_COVER_FLOOR := 90.0
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/monitor/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	echo "internal/monitor coverage: $$total% (floor $(MONITOR_COVER_FLOOR)%)"; \
+	awk "BEGIN {exit !($$total >= $(MONITOR_COVER_FLOOR))}" || \
+		{ echo "coverage below floor"; exit 1; }
 
 # bench-smoke compiles and exercises the E1 benchmarks for a fixed tiny
 # iteration count; it validates the harness, not the numbers.

@@ -1,11 +1,11 @@
 // Command benchtab regenerates every table in EXPERIMENTS.md: the
 // scenario reproductions S1-S3 (the paper's qualitative walk-throughs,
-// with asserted outcomes) and the quantitative characterizations E1-E11.
+// with asserted outcomes) and the quantitative characterizations E1-E12.
 //
 // Usage:
 //
 //	benchtab                 # run everything
-//	benchtab S1 E7 E11       # run selected experiments
+//	benchtab S1 E7 E12       # run selected experiments
 //	benchtab -json . E11     # also write BENCH_E11.json with the rows
 //
 // Only the selected experiments run; an unknown ID selects nothing.
@@ -52,7 +52,7 @@ func writeJSON(dir string, r experiments.Result) error {
 func main() {
 	jsonDir := flag.String("json", "", "directory to write BENCH_<ID>.json files with structured rows")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchtab [-json DIR] [S1 S2 S3 E1 ... E11]\n")
+		fmt.Fprintf(os.Stderr, "usage: benchtab [-json DIR] [S1 S2 S3 E1 ... E12]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

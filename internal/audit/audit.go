@@ -38,11 +38,17 @@ const (
 	KindData
 	// KindAdmin is an administrative operation (ACL or class change).
 	KindAdmin
+	// KindUnchecked is a host-privileged operation that bypassed the
+	// reference monitor entirely (names.ResolveUnchecked and the
+	// *Unchecked mutators). These are recorded so the trail shows where
+	// trusted code stepped around mediation, but they are not decisions:
+	// they count in Stats.Bypassed, never in Allowed or Denied.
+	KindUnchecked
 
-	numKinds = 6
+	numKinds = 7
 )
 
-var kindNames = [numKinds]string{"call", "extend", "link", "name", "data", "admin"}
+var kindNames = [numKinds]string{"call", "extend", "link", "name", "data", "admin", "unchecked"}
 
 func (k Kind) String() string {
 	if int(k) < numKinds {
@@ -75,12 +81,16 @@ func (e Event) String() string {
 		e.Class, e.Path, e.Op, verdict, e.Reason)
 }
 
-// Stats are running counters kept by a Log.
+// Stats are running counters kept by a Log. Total, Allowed, and Denied
+// count mediated decisions only; Bypassed counts unchecked operations
+// recorded via RecordBypass, which appear in ByKind (KindUnchecked) and
+// the ring but not in the decision counters.
 type Stats struct {
-	Total   uint64
-	Allowed uint64
-	Denied  uint64
-	ByKind  [numKinds]uint64
+	Total    uint64
+	Allowed  uint64
+	Denied   uint64
+	Bypassed uint64
+	ByKind   [numKinds]uint64
 }
 
 // Log is a bounded, concurrency-safe audit log.
@@ -120,10 +130,11 @@ type Log struct {
 	snapMu sync.Mutex
 
 	stats struct {
-		total   atomic.Uint64
-		allowed atomic.Uint64
-		denied  atomic.Uint64
-		byKind  [numKinds]atomic.Uint64
+		total    atomic.Uint64
+		allowed  atomic.Uint64
+		denied   atomic.Uint64
+		bypassed atomic.Uint64
+		byKind   [numKinds]atomic.Uint64
 	}
 }
 
@@ -187,6 +198,20 @@ func (l *Log) SetFilter(f func(Event) bool) {
 // only then written under sinkMu, so a slow sink delays other writers
 // only if they too have sink output pending — never the ring.
 func (l *Log) Record(ev Event) {
+	l.record(ev, true)
+}
+
+// RecordBypass records an operation that stepped around the reference
+// monitor (host-privileged *Unchecked calls). The event lands in the
+// ring, the sinks, ByKind, and Stats.Bypassed, but not in Total,
+// Allowed, or Denied — a bypass is the absence of a decision, and
+// inflating the decision counters would corrupt the allow/deny ratios
+// the experiments report.
+func (l *Log) RecordBypass(ev Event) {
+	l.record(ev, false)
+}
+
+func (l *Log) record(ev Event, decision bool) {
 	if l == nil || !l.enabled.Load() {
 		return
 	}
@@ -197,11 +222,15 @@ func (l *Log) Record(ev Event) {
 		return
 	}
 
-	l.stats.total.Add(1)
-	if ev.Allowed {
-		l.stats.allowed.Add(1)
+	if decision {
+		l.stats.total.Add(1)
+		if ev.Allowed {
+			l.stats.allowed.Add(1)
+		} else {
+			l.stats.denied.Add(1)
+		}
 	} else {
-		l.stats.denied.Add(1)
+		l.stats.bypassed.Add(1)
 	}
 	if int(ev.Kind) < numKinds {
 		l.stats.byKind[ev.Kind].Add(1)
@@ -317,6 +346,7 @@ func (l *Log) Stats() Stats {
 	s.Total = l.stats.total.Load()
 	s.Allowed = l.stats.allowed.Load()
 	s.Denied = l.stats.denied.Load()
+	s.Bypassed = l.stats.bypassed.Load()
 	for i := range s.ByKind {
 		s.ByKind[i] = l.stats.byKind[i].Load()
 	}

@@ -245,3 +245,42 @@ func TestConcurrentRecord(t *testing.T) {
 		t.Errorf("ring retained %d, want 64", got)
 	}
 }
+
+func TestRecordBypassCountsSeparately(t *testing.T) {
+	l := NewLog(16)
+	l.Record(ev(KindCall, "alice", "/svc/x", true))
+	l.RecordBypass(Event{Kind: KindUnchecked, Subject: "host",
+		Path: "/boot/x", Op: "bind-unchecked", Allowed: true, Reason: "bypassed mediation"})
+
+	s := l.Stats()
+	if s.Total != 1 || s.Allowed != 1 || s.Denied != 0 {
+		t.Errorf("decision counters polluted by bypass: %+v", s)
+	}
+	if s.Bypassed != 1 || s.ByKind[KindUnchecked] != 1 {
+		t.Errorf("bypass not counted: %+v", s)
+	}
+
+	// The event itself must land in the ring like any other.
+	recent := l.Recent(0)
+	if len(recent) != 2 {
+		t.Fatalf("ring holds %d events, want 2", len(recent))
+	}
+	last := recent[len(recent)-1]
+	if last.Kind != KindUnchecked || last.Op != "bind-unchecked" {
+		t.Errorf("ring event = %+v", last)
+	}
+	if last.Kind.String() != "unchecked" {
+		t.Errorf("Kind string = %q", last.Kind.String())
+	}
+}
+
+func TestRecordBypassOnNilAndDisabled(t *testing.T) {
+	var nilLog *Log
+	nilLog.RecordBypass(Event{Kind: KindUnchecked}) // must not panic
+	l := NewLog(4)
+	l.SetEnabled(false)
+	l.RecordBypass(Event{Kind: KindUnchecked})
+	if s := l.Stats(); s.Bypassed != 0 {
+		t.Errorf("disabled log counted a bypass: %+v", s)
+	}
+}

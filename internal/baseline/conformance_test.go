@@ -8,16 +8,47 @@ package baseline_test
 import (
 	"testing"
 
+	"secext/internal/acl"
 	"secext/internal/baseline"
 	"secext/internal/baseline/domains"
 	"secext/internal/baseline/ntacl"
 	"secext/internal/baseline/sandbox"
+	"secext/internal/baseline/secextmodel"
 	"secext/internal/baseline/unixmode"
+	"secext/internal/core"
+	"secext/internal/names"
 )
+
+// newSecextModel builds the paper's model over a minimal live system.
+// grant configures it with a /obj node granting "good" everything;
+// without it the system is empty (no subjects, no objects).
+func newSecextModel(grant bool) *secextmodel.Model {
+	sys, err := core.NewSystem(core.Options{Levels: []string{"low", "high"}})
+	if err != nil {
+		panic(err)
+	}
+	m := secextmodel.New(sys)
+	if grant {
+		if _, err := sys.AddPrincipal("good", "low"); err != nil {
+			panic(err)
+		}
+		if err := m.AddSubject("good"); err != nil {
+			panic(err)
+		}
+		if _, err := sys.CreateNode(core.NodeSpec{
+			Path: "/obj", Kind: names.KindObject,
+			ACL: acl.New(acl.Allow("good", acl.AllModes)),
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
 
 // fresh returns each model in its empty (unconfigured) state.
 func fresh() []baseline.Model {
 	return []baseline.Model{
+		newSecextModel(false),
 		sandbox.New(nil, nil),
 		domains.New(),
 		unixmode.New(),
@@ -41,7 +72,7 @@ func configured() []baseline.Model {
 	nt.SetACL("/obj", ntacl.Entry{Subject: "good",
 		Rights: ntacl.Read | ntacl.Write | ntacl.Execute | ntacl.Delete})
 
-	return []baseline.Model{sb, dm, ux, nt}
+	return []baseline.Model{newSecextModel(true), sb, dm, ux, nt}
 }
 
 func TestConformanceNamesAreDistinct(t *testing.T) {

@@ -1,0 +1,92 @@
+// Package secextmodel adapts the paper's own protection model — the
+// full reference monitor in internal/core — to the baseline.Model
+// interface, so the comparison experiments (E1, E9) can drive all five
+// models through one shape instead of treating the paper's model as a
+// special case.
+//
+// The adapter is deliberately thin: a decision is a real mediated check
+// against a real system (name resolution, ACL evaluation, lattice
+// rules, monitor pipeline, audit), not a reimplementation. Anything the
+// adapter cannot route — an unregistered subject, an unknown operation
+// — is denied, matching the conformance suite's fail-closed demand.
+package secextmodel
+
+import (
+	"secext/internal/acl"
+	"secext/internal/baseline"
+	"secext/internal/core"
+	"secext/internal/subject"
+)
+
+// Model drives a live core.System through the baseline interface.
+type Model struct {
+	sys  *core.System
+	ctxs map[string]*subject.Context
+}
+
+// New wraps an assembled system. Subjects must be registered with
+// AddSubject before they can be granted anything; unknown subjects are
+// denied everywhere.
+func New(sys *core.System) *Model {
+	return &Model{sys: sys, ctxs: make(map[string]*subject.Context)}
+}
+
+// AddSubject creates a root context for a principal already registered
+// with the system, making it visible to the Check methods.
+func (m *Model) AddSubject(name string) error {
+	ctx, err := m.sys.NewContext(name)
+	if err != nil {
+		return err
+	}
+	m.ctxs[name] = ctx
+	return nil
+}
+
+// Name implements baseline.Model.
+func (*Model) Name() string { return "secext" }
+
+// CheckCall implements baseline.Model: a mediated execute check on the
+// service node.
+func (m *Model) CheckCall(subjectName, service string) bool {
+	ctx, ok := m.ctxs[subjectName]
+	if !ok {
+		return false
+	}
+	return m.sys.CheckImport(ctx, service) == nil
+}
+
+// CheckExtend implements baseline.Model: a mediated extend check.
+func (m *Model) CheckExtend(subjectName, service string) bool {
+	ctx, ok := m.ctxs[subjectName]
+	if !ok {
+		return false
+	}
+	return m.sys.CheckExtend(ctx, service) == nil
+}
+
+// ops maps the baseline vocabulary onto the paper's access modes. The
+// mapping is exact — append is WriteAppend, not Write — which is the
+// point of the comparison: the baselines that conflate the two lose the
+// corresponding E9 rows.
+var ops = map[baseline.Op]acl.Mode{
+	baseline.OpRead:   acl.Read,
+	baseline.OpWrite:  acl.Write,
+	baseline.OpAppend: acl.WriteAppend,
+	baseline.OpDelete: acl.Delete,
+	baseline.OpList:   acl.List,
+}
+
+// CheckData implements baseline.Model: a mediated data check with the
+// op translated to the paper's mode. Unknown ops are denied.
+func (m *Model) CheckData(subjectName, object string, op baseline.Op) bool {
+	ctx, ok := m.ctxs[subjectName]
+	if !ok {
+		return false
+	}
+	mode, ok := ops[op]
+	if !ok {
+		return false
+	}
+	_, err := m.sys.CheckData(ctx, object, mode)
+	return err == nil
+}

@@ -26,6 +26,9 @@ import (
 	"secext/internal/dispatch"
 	"secext/internal/extension"
 	"secext/internal/lattice"
+	"secext/internal/monitor"
+	"secext/internal/monitor/dacguard"
+	"secext/internal/monitor/macguard"
 	"secext/internal/names"
 	"secext/internal/principal"
 	"secext/internal/subject"
@@ -66,6 +69,11 @@ type Options struct {
 	// decision cache (rounded up to a power of two per shard; default
 	// 32768 entries).
 	DecisionCacheSize int
+	// Guards are extra policy modules stacked after the built-in
+	// discretionary and mandatory guards in the reference monitor's
+	// pipeline (internal/monitor). They run in order; the first denial
+	// wins. More guards can be installed later via Monitor().Install.
+	Guards []monitor.Guard
 }
 
 // System is the reference monitor and the owner of every protection-
@@ -77,6 +85,7 @@ type System struct {
 	disp   *dispatch.Dispatcher
 	log    *audit.Log
 	loader *extension.Loader
+	pipe   *monitor.Pipeline
 
 	trustLinkTime atomic.Bool
 }
@@ -108,6 +117,40 @@ func NewSystem(opts Options) (*System, error) {
 		disp: dispatch.New(),
 		log:  audit.NewLog(capacity),
 	}
+
+	// The reference monitor's policy pipeline: the paper's layering —
+	// discretionary first, mandatory on top — plus any caller-supplied
+	// guards. Name-space checks, data checks, and dispatcher admission
+	// all consult this one stack.
+	stack := append([]monitor.Guard{dacguard.New(), macguard.New()}, opts.Guards...)
+	s.pipe = monitor.NewPipeline(stack...)
+	s.ns.SetPipeline(s.pipe)
+
+	// Host-privileged *Unchecked operations bypass the pipeline; record
+	// each one as an administrative bypass event so the audit trail
+	// shows exactly where trusted code stepped around mediation.
+	s.ns.SetAdminHook(func(op, path string, err error) {
+		reason := "bypassed mediation"
+		if err != nil {
+			reason = err.Error()
+		}
+		s.log.RecordBypass(audit.Event{
+			Kind: audit.KindUnchecked, Subject: "host", Path: path,
+			Op: op, Allowed: err == nil, Reason: reason,
+		})
+	})
+
+	// Class-based handler selection (§2.2) is an admission question for
+	// the same pipeline: may this caller use a binding at this static
+	// class? The dispatcher itself stays policy-free.
+	s.disp.SetAdmission(func(caller lattice.Class, service string, static lattice.Class) bool {
+		return s.pipe.Check(monitor.Request{
+			Class:  caller,
+			Object: monitor.Object{Path: service, Class: static},
+			Op:     monitor.OpAdmit,
+		}).Allow
+	})
+
 	if !opts.DisableDecisionCache {
 		// The mediation fast path: memoized verdicts, invalidated by a
 		// generation bump from ANY layer whose state feeds an access
@@ -135,6 +178,11 @@ func (s *System) Names() *names.Server { return s.ns }
 
 // Dispatcher returns the dynamic binding layer.
 func (s *System) Dispatcher() *dispatch.Dispatcher { return s.disp }
+
+// Monitor returns the policy pipeline every mediated operation consults.
+// Use Install to stack additional guards at runtime; installing or
+// removing a guard invalidates all cached verdicts.
+func (s *System) Monitor() *monitor.Pipeline { return s.pipe }
 
 // Audit returns the audit log.
 func (s *System) Audit() *audit.Log { return s.log }

@@ -24,12 +24,12 @@ func TestLookupMissThenHit(t *testing.T) {
 	cls := lat.MustClass("low")
 	c := NewCache(0)
 
-	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute); ok {
+	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute, 0); ok {
 		t.Fatal("empty cache must miss")
 	}
 	node := &struct{ name string }{"payload"}
-	c.StoreAt(c.Gen(), "alice", cls, "/svc/a", acl.Execute, node, nil)
-	got, err, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute)
+	c.StoreAt(c.Gen(), "alice", cls, "/svc/a", acl.Execute, 0, node, nil)
+	got, err, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute, 0)
 	if !ok || err != nil || got != node {
 		t.Fatalf("Lookup = %v, %v, %v; want stored node", got, err, ok)
 	}
@@ -45,8 +45,8 @@ func TestCachedDenial(t *testing.T) {
 	cls := lat.MustClass("low")
 	c := NewCache(0)
 	denied := errors.New("denied for test")
-	c.StoreAt(c.Gen(), "mallory", cls, "/svc/a", acl.Write, nil, denied)
-	node, err, ok := c.Lookup("mallory", cls, "/svc/a", acl.Write)
+	c.StoreAt(c.Gen(), "mallory", cls, "/svc/a", acl.Write, 0, nil, denied)
+	node, err, ok := c.Lookup("mallory", cls, "/svc/a", acl.Write, 0)
 	if !ok || node != nil || !errors.Is(err, denied) {
 		t.Fatalf("Lookup = %v, %v, %v; want cached denial", node, err, ok)
 	}
@@ -56,7 +56,7 @@ func TestExactKeyMatch(t *testing.T) {
 	lat := testLattice(t)
 	low, high := lat.MustClass("low"), lat.MustClass("high", "a")
 	c := NewCache(0)
-	c.StoreAt(c.Gen(), "alice", low, "/svc/a", acl.Execute, "v", nil)
+	c.StoreAt(c.Gen(), "alice", low, "/svc/a", acl.Execute, 0, "v", nil)
 
 	// Any differing key component must miss, even if the hash collides.
 	misses := []struct {
@@ -71,7 +71,7 @@ func TestExactKeyMatch(t *testing.T) {
 		{"alice", low, "/svc/a", acl.Read},
 	}
 	for _, m := range misses {
-		if _, _, ok := c.Lookup(m.subject, m.class, m.path, m.modes); ok {
+		if _, _, ok := c.Lookup(m.subject, m.class, m.path, m.modes, 0); ok {
 			t.Errorf("Lookup(%q, %v, %q, %v) hit; want miss", m.subject, m.class, m.path, m.modes)
 		}
 	}
@@ -82,11 +82,11 @@ func TestInvalidateKillsEveryEntry(t *testing.T) {
 	cls := lat.MustClass("low")
 	c := NewCache(0)
 	for i := 0; i < 100; i++ {
-		c.StoreAt(c.Gen(), "alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute, i, nil)
+		c.StoreAt(c.Gen(), "alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute, 0, i, nil)
 	}
 	c.Invalidate()
 	for i := 0; i < 100; i++ {
-		if _, _, ok := c.Lookup("alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute); ok {
+		if _, _, ok := c.Lookup("alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute, 0); ok {
 			t.Fatalf("entry %d survived invalidation", i)
 		}
 	}
@@ -104,8 +104,8 @@ func TestStaleStoreDropped(t *testing.T) {
 	c := NewCache(0)
 	gen := c.Gen() // read before "computing" the decision
 	c.Invalidate() // a mutation races with the computation
-	c.StoreAt(gen, "alice", cls, "/svc/a", acl.Execute, "v", nil)
-	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute); ok {
+	c.StoreAt(gen, "alice", cls, "/svc/a", acl.Execute, 0, "v", nil)
+	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute, 0); ok {
 		t.Fatal("verdict computed against a stale generation was served")
 	}
 }
@@ -118,11 +118,11 @@ func TestTinyCacheCollisions(t *testing.T) {
 	c := NewCache(numShards) // one slot per shard
 	for i := 0; i < 1000; i++ {
 		path := fmt.Sprintf("/svc/n%d", i)
-		c.StoreAt(c.Gen(), "alice", cls, path, acl.Execute, path, nil)
+		c.StoreAt(c.Gen(), "alice", cls, path, acl.Execute, 0, path, nil)
 	}
 	for i := 0; i < 1000; i++ {
 		path := fmt.Sprintf("/svc/n%d", i)
-		if v, err, ok := c.Lookup("alice", cls, path, acl.Execute); ok {
+		if v, err, ok := c.Lookup("alice", cls, path, acl.Execute, 0); ok {
 			if err != nil || v.(string) != path {
 				t.Fatalf("collision served wrong verdict: key %q got %v, %v", path, v, err)
 			}
@@ -134,10 +134,10 @@ func TestNilCacheIsNoop(t *testing.T) {
 	var c *Cache
 	lat := testLattice(t)
 	cls := lat.MustClass("low")
-	if _, _, ok := c.Lookup("alice", cls, "/x", acl.Read); ok {
+	if _, _, ok := c.Lookup("alice", cls, "/x", acl.Read, 0); ok {
 		t.Error("nil cache must miss")
 	}
-	c.StoreAt(0, "alice", cls, "/x", acl.Read, nil, nil) // must not panic
+	c.StoreAt(0, "alice", cls, "/x", acl.Read, 0, nil, nil) // must not panic
 	c.Invalidate()
 	if g := c.Gen(); g != 0 {
 		t.Errorf("nil Gen = %d", g)
@@ -182,9 +182,9 @@ func TestConcurrentMixedUse(t *testing.T) {
 					c.Invalidate()
 				case i%3 == 0:
 					gen := c.Gen()
-					c.StoreAt(gen, "alice", cls, path, acl.Execute, path, nil)
+					c.StoreAt(gen, "alice", cls, path, acl.Execute, 0, path, nil)
 				default:
-					if v, err, ok := c.Lookup("alice", cls, path, acl.Execute); ok {
+					if v, err, ok := c.Lookup("alice", cls, path, acl.Execute, 0); ok {
 						if err != nil || v.(string) != path {
 							t.Errorf("wrong verdict under concurrency: %v, %v", v, err)
 							return
@@ -195,4 +195,19 @@ func TestConcurrentMixedUse(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestStackGenerationIsPartOfTheKey: a verdict computed under one
+// monitor guard stack must never be served under another.
+func TestStackGenerationIsPartOfTheKey(t *testing.T) {
+	lat := testLattice(t)
+	cls := lat.MustClass("low")
+	c := NewCache(0)
+	c.StoreAt(c.Gen(), "alice", cls, "/svc/a", acl.Execute, 7, "v", nil)
+	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute, 8); ok {
+		t.Fatal("verdict computed under another guard stack was served")
+	}
+	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute, 7); !ok {
+		t.Fatal("matching stack generation must hit")
+	}
 }

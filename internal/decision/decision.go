@@ -8,7 +8,8 @@
 // lock, walks per-level visibility, evaluates the ACL, and applies the
 // lattice flow rules. The decision, however, is a pure function of
 //
-//	(subject, subject class, object path, requested modes)
+//	(subject, subject class, object path, requested modes,
+//	 guard-stack generation)
 //
 // and of the protection state (bindings, ACLs, classes, group
 // memberships). The cache memoizes verdicts keyed by the tuple and
@@ -73,16 +74,9 @@ type entry struct {
 	path    string        // object path
 	class   lattice.Class // subject's class at decision time
 	modes   acl.Mode      // requested modes
+	stack   uint64        // monitor guard-stack generation at decision time
 	node    any           // resolved object on grant (opaque to this package)
 	err     error         // nil for a grant, the denial error otherwise
-}
-
-// matches reports whether the entry decides exactly this request. Every
-// component is compared exactly — the hash only routes, it never
-// decides — so a collision can evict an entry but can never cause the
-// wrong verdict to be served.
-func (e *entry) matches(subject string, class lattice.Class, path string, modes acl.Mode) bool {
-	return e.modes == modes && e.subject == subject && e.path == path && e.class.Equal(class)
 }
 
 // shard is one independent slice of the table with its own hit/miss
@@ -162,7 +156,12 @@ func hashString(h uint64, s string) uint64 {
 	return h
 }
 
-// keyHash folds the full key into 64 bits without allocating.
+// keyHash folds the key into 64 bits without allocating. The monitor
+// guard-stack generation is deliberately left OUT of the hash even
+// though it is part of the key (Lookup compares it exactly): the hash
+// only routes, so keeping every generation of a logical key in the same
+// slot lets the current stack's verdict overwrite its dead predecessor
+// instead of stranding stale entries across the table.
 func keyHash(subject string, class lattice.Class, path string, modes acl.Mode) uint64 {
 	h := uint64(fnvOffset)
 	h = hashString(h, subject)
@@ -183,16 +182,25 @@ func (c *Cache) slotFor(h uint64) (*shard, *atomic.Pointer[entry]) {
 }
 
 // Lookup returns the cached verdict for the request, if one is present
-// and still current. On a grant, node is the value stored by StoreAt and
+// and still current. stack is the monitor pipeline's guard-stack
+// generation the caller observed; entries stored under any other stack
+// never match. On a grant, node is the value stored by StoreAt and
 // err is nil; on a cached denial, err is the original denial error. The
 // fast path takes zero locks and performs zero allocations.
-func (c *Cache) Lookup(subject string, class lattice.Class, path string, modes acl.Mode) (node any, err error, ok bool) {
+func (c *Cache) Lookup(subject string, class lattice.Class, path string, modes acl.Mode, stack uint64) (node any, err error, ok bool) {
 	if c == nil {
 		return nil, nil, false
 	}
 	sh, slot := c.slotFor(keyHash(subject, class, path, modes))
 	e := slot.Load()
-	if e == nil || e.gen != c.gen.Current() || !e.matches(subject, class, path, modes) {
+	// Every key component is compared exactly — the hash only routes, it
+	// never decides — so a collision can evict an entry but can never
+	// cause the wrong verdict to be served. The comparison is written
+	// inline (not as an entry method) to keep the hit path free of call
+	// boundaries.
+	if e == nil || e.gen != c.gen.Current() ||
+		e.modes != modes || e.stack != stack || e.subject != subject ||
+		e.path != path || !e.class.Equal(class) {
 		sh.misses.Add(1)
 		return nil, nil, false
 	}
@@ -203,9 +211,12 @@ func (c *Cache) Lookup(subject string, class lattice.Class, path string, modes a
 // StoreAt publishes a verdict computed while the protection state was at
 // generation gen (obtained from Gen before the computation started). If
 // the state has moved on since, the entry is dropped: it could describe
-// a world that no longer exists. node is returned verbatim by Lookup on
-// a hit and is opaque to the cache; err non-nil caches a denial.
-func (c *Cache) StoreAt(gen uint64, subject string, class lattice.Class, path string, modes acl.Mode, node any, err error) {
+// a world that no longer exists. stack is the guard-stack generation
+// observed before the computation; a pipeline change between then and a
+// later lookup makes the entry unreachable. node is returned verbatim by
+// Lookup on a hit and is opaque to the cache; err non-nil caches a
+// denial.
+func (c *Cache) StoreAt(gen uint64, subject string, class lattice.Class, path string, modes acl.Mode, stack uint64, node any, err error) {
 	if c == nil || gen != c.gen.Current() {
 		return
 	}
@@ -216,6 +227,7 @@ func (c *Cache) StoreAt(gen uint64, subject string, class lattice.Class, path st
 		path:    path,
 		class:   class,
 		modes:   modes,
+		stack:   stack,
 		node:    node,
 		err:     err,
 	})

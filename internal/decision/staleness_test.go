@@ -10,6 +10,7 @@ import (
 
 	"secext/internal/acl"
 	"secext/internal/core"
+	"secext/internal/monitor"
 	"secext/internal/names"
 	"secext/internal/subject"
 )
@@ -188,5 +189,52 @@ func mustBind(t *testing.T, s *core.System, path string, a *acl.ACL) {
 	t.Helper()
 	if _, err := s.CreateNode(core.NodeSpec{Path: path, Kind: names.KindFile, ACL: a}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// denyAll is a test guard that vetoes every request.
+type denyAll struct{}
+
+func (denyAll) Name() string { return "deny-all" }
+func (denyAll) Check(monitor.Request) monitor.Verdict {
+	return monitor.Deny("deny-all", "test veto")
+}
+
+// TestGuardStackChangeInvalidatesGrant covers the monitor layer: the
+// decision-cache key carries the guard-stack generation, so installing
+// a guard must kill every cached verdict (the very next check runs the
+// new stack and denies), and removing it must kill the cached denial
+// again.
+func TestGuardStackChangeInvalidatesGrant(t *testing.T) {
+	s, ctx := stalenessSystem(t)
+	mustBind(t, s, "/obj/doc", acl.New(acl.Allow("worker", acl.Read)))
+
+	// Warm the cache with a grant computed under the default stack.
+	if _, err := s.CheckData(ctx, "/obj/doc", acl.Read); err != nil {
+		t.Fatalf("setup check: %v", err)
+	}
+	before := s.DecisionCache().Stats()
+	if _, err := s.CheckData(ctx, "/obj/doc", acl.Read); err != nil {
+		t.Fatalf("warm check: %v", err)
+	}
+	if after := s.DecisionCache().Stats(); after.Hits <= before.Hits {
+		t.Fatalf("second check was not a cache hit: %+v -> %+v", before, after)
+	}
+
+	// Installing a guard changes the policy; the cached grant computed
+	// under the old stack must not survive it.
+	remove := s.Monitor().Install(denyAll{})
+	if _, err := s.CheckData(ctx, "/obj/doc", acl.Read); !core.IsDenied(err) {
+		t.Fatalf("check after guard install = %v; want denial", err)
+	}
+
+	// Cache the denial under the widened stack, then remove the guard:
+	// the stale denial must die just as dead as the stale grant did.
+	if _, err := s.CheckData(ctx, "/obj/doc", acl.Read); !core.IsDenied(err) {
+		t.Fatal("second denied check")
+	}
+	remove()
+	if _, err := s.CheckData(ctx, "/obj/doc", acl.Read); err != nil {
+		t.Fatalf("check after guard removal = %v; want the grant back", err)
 	}
 }

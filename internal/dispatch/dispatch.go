@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"secext/internal/lattice"
 	"secext/internal/subject"
@@ -73,14 +74,17 @@ type Binding struct {
 	Handler Handler
 }
 
-func (b Binding) admits(caller lattice.Class) bool {
-	if b.Static.Valid() && !caller.Dominates(b.Static) {
-		return false
-	}
-	if b.Guard != nil && !b.Guard(caller) {
-		return false
-	}
-	return true
+// AdmissionFunc is the pluggable class-admissibility rule: may a caller
+// at class caller use a binding of service whose static class is static?
+// It must be a pure function of its arguments and must not call back
+// into the dispatcher.
+type AdmissionFunc func(caller lattice.Class, service string, static lattice.Class) bool
+
+// defaultAdmission is the paper's rule applied when no AdmissionFunc is
+// installed: a statically classed binding admits only callers that
+// dominate its class; a zero static class admits everyone.
+func defaultAdmission(caller lattice.Class, _ string, static lattice.Class) bool {
+	return !static.Valid() || caller.Dominates(static)
 }
 
 // service is one extendable entry point.
@@ -95,11 +99,43 @@ type service struct {
 type Dispatcher struct {
 	mu       sync.RWMutex
 	services map[string]*service
+
+	// admission, when set, replaces the built-in static-class rule for
+	// every binding. The dispatcher itself stays policy-free: the
+	// reference monitor installs its pipeline here as a plain function.
+	admission atomic.Pointer[AdmissionFunc]
 }
 
 // New creates an empty dispatcher.
 func New() *Dispatcher {
 	return &Dispatcher{services: make(map[string]*service)}
+}
+
+// SetAdmission replaces the class-admissibility rule applied during
+// Select and Multicast. A nil f restores the built-in rule (caller must
+// dominate a valid static class). The per-binding Guard predicate is
+// applied after the admission rule either way.
+func (d *Dispatcher) SetAdmission(f AdmissionFunc) {
+	if f == nil {
+		d.admission.Store(nil)
+		return
+	}
+	d.admission.Store(&f)
+}
+
+// admits applies the admission rule and the binding's own Guard.
+func (d *Dispatcher) admits(path string, caller lattice.Class, b *Binding) bool {
+	rule := defaultAdmission
+	if f := d.admission.Load(); f != nil {
+		rule = *f
+	}
+	if !rule(caller, path, b.Static) {
+		return false
+	}
+	if b.Guard != nil && !b.Guard(caller) {
+		return false
+	}
+	return true
 }
 
 // Register installs the base implementation of a service. Each path can
@@ -207,7 +243,7 @@ func (d *Dispatcher) Select(path string, caller lattice.Class) (Binding, error) 
 	var best *Binding
 	for i := range svc.specs {
 		b := &svc.specs[i]
-		if !b.admits(caller) {
+		if !d.admits(path, caller, b) {
 			continue
 		}
 		if best == nil {
@@ -223,7 +259,7 @@ func (d *Dispatcher) Select(path string, caller lattice.Class) (Binding, error) 
 	if best != nil {
 		return *best, nil
 	}
-	if !svc.base.admits(caller) {
+	if !d.admits(path, caller, &svc.base) {
 		return Binding{}, fmt.Errorf("%w: %s for class %s", ErrNoHandler, path, caller)
 	}
 	return svc.base, nil
@@ -267,12 +303,12 @@ func (d *Dispatcher) Multicast(path string, ctx *subject.Context, arg any) ([]an
 		return nil, fmt.Errorf("%w: %s", ErrNoService, path)
 	}
 	bindings := make([]Binding, 0, 1+len(svc.specs))
-	if svc.base.admits(ctx.Class()) {
+	if d.admits(path, ctx.Class(), &svc.base) {
 		bindings = append(bindings, svc.base)
 	}
-	for _, b := range svc.specs {
-		if b.admits(ctx.Class()) {
-			bindings = append(bindings, b)
+	for i := range svc.specs {
+		if d.admits(path, ctx.Class(), &svc.specs[i]) {
+			bindings = append(bindings, svc.specs[i])
 		}
 	}
 	d.mu.RUnlock()

@@ -4,6 +4,15 @@ import (
 	"fmt"
 
 	"secext"
+	"secext/internal/acl"
+	"secext/internal/baseline"
+	"secext/internal/baseline/domains"
+	"secext/internal/baseline/ntacl"
+	"secext/internal/baseline/sandbox"
+	"secext/internal/baseline/secextmodel"
+	"secext/internal/baseline/unixmode"
+	"secext/internal/core"
+	"secext/internal/names"
 )
 
 // e9Scenario is one policy requirement probed across models. Each cell
@@ -76,12 +85,100 @@ func E9() Result {
 		fmt.Sprintf("%d/12", counts[0]), fmt.Sprintf("%d/12", counts[1]),
 		fmt.Sprintf("%d/12", counts[2]), fmt.Sprintf("%d/12", counts[3]),
 		fmt.Sprintf("%d/12", counts[4]))
+	t.add("(rows 1 and 6 verified live via baseline.Model, secext included)")
 	res.setTable(t)
 	if counts[0] != len(e9Scenarios) {
 		res.Err = fmt.Errorf("E9: secext must express all %d requirements, got %d",
 			len(e9Scenarios), counts[0])
 	}
+	if err := e9LiveProbes(); err != nil && res.Err == nil {
+		res.Err = err
+	}
 	return res
+}
+
+// e9SecextModel assembles the paper's model behind the baseline
+// interface: one principal "p" at the bottom level and one node /obj
+// protected by the given ACL.
+func e9SecextModel(kind names.Kind, objACL *acl.ACL) (*secextmodel.Model, error) {
+	sys, err := core.NewSystem(core.Options{Levels: []string{"low", "high"}})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.AddPrincipal("p", "low"); err != nil {
+		return nil, err
+	}
+	m := secextmodel.New(sys)
+	if err := m.AddSubject("p"); err != nil {
+		return nil, err
+	}
+	if _, err := sys.CreateNode(core.NodeSpec{Path: "/obj", Kind: kind, ACL: objACL}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// e9LiveProbes backs two rows of the static matrix with executed
+// decisions, every model — the paper's included, via
+// internal/baseline/secextmodel — driven through the one baseline.Model
+// interface. The matrix says which models CAN express each requirement;
+// the probes demonstrate it (or demonstrate the conflation) on live
+// instances configured as close to the requirement as each model
+// allows.
+func e9LiveProbes() error {
+	// Row 1: "grant call without extend on one service". Each model is
+	// configured to come as close as it can to call-only on /obj.
+	se, err := e9SecextModel(names.KindMethod, acl.New(acl.Allow("p", acl.Execute)))
+	if err != nil {
+		return fmt.Errorf("E9 probe 1: %v", err)
+	}
+	sb := sandbox.New([]string{"p"}, nil)
+	dm := domains.New()
+	dm.DefineDomain("d", "/obj")
+	if err := dm.Link("p", "d"); err != nil {
+		return fmt.Errorf("E9 probe 1: %v", err)
+	}
+	ux := unixmode.New()
+	ux.SetObject("/obj", "p", "g", 0o500)
+	nt := ntacl.New()
+	nt.SetACL("/obj", ntacl.Entry{Subject: "p", Rights: ntacl.Execute})
+
+	// The expressive models separate the two rights...
+	for _, m := range []baseline.Model{se, ux, nt} {
+		if !m.CheckCall("p", "/obj") || m.CheckExtend("p", "/obj") {
+			return fmt.Errorf("E9 probe 1: %s: want call without extend, got call=%v extend=%v",
+				m.Name(), m.CheckCall("p", "/obj"), m.CheckExtend("p", "/obj"))
+		}
+	}
+	// ...the single-predicate models cannot, by construction.
+	for _, m := range []baseline.Model{sb, dm} {
+		if m.CheckCall("p", "/obj") != m.CheckExtend("p", "/obj") {
+			return fmt.Errorf("E9 probe 1: %s: call and extend unexpectedly separable", m.Name())
+		}
+	}
+
+	// Row 6: "append without read or overwrite". Only the paper's model
+	// has a distinct write-append right; every baseline's best attempt
+	// conflates append with write.
+	se, err = e9SecextModel(names.KindObject, acl.New(acl.Allow("p", acl.WriteAppend)))
+	if err != nil {
+		return fmt.Errorf("E9 probe 2: %v", err)
+	}
+	if !se.CheckData("p", "/obj", baseline.OpAppend) ||
+		se.CheckData("p", "/obj", baseline.OpRead) ||
+		se.CheckData("p", "/obj", baseline.OpWrite) {
+		return fmt.Errorf("E9 probe 2: secext: want append-only grant")
+	}
+	ux = unixmode.New()
+	ux.SetObject("/obj", "p", "g", 0o200)
+	nt = ntacl.New()
+	nt.SetACL("/obj", ntacl.Entry{Subject: "p", Rights: ntacl.Write})
+	for _, m := range []baseline.Model{sb, dm, ux, nt} {
+		if m.CheckData("p", "/obj", baseline.OpAppend) != m.CheckData("p", "/obj", baseline.OpWrite) {
+			return fmt.Errorf("E9 probe 2: %s: append and write unexpectedly separable", m.Name())
+		}
+	}
+	return nil
 }
 
 // E9Counts exposes the per-model totals for tests.

@@ -13,6 +13,7 @@ import (
 	"secext/internal/baseline/sandbox"
 	"secext/internal/baseline/unixmode"
 	"secext/internal/core"
+	"secext/internal/monitor"
 	"secext/internal/dispatch"
 	"secext/internal/lattice"
 	"secext/internal/names"
@@ -44,6 +45,25 @@ func E1() Result {
 		}
 	})
 	t.add("secext DAC+MAC (resolve+check)", ns(full))
+
+	// The same check swept over monitor pipeline depth (E12 has the
+	// full uncached/warm split; these rows anchor it in E1's table).
+	for _, st := range pipelineStacks() {
+		dw, dctx, err := benchWorld()
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		dw.Sys.Names().SetPipeline(monitor.NewPipeline(st.guards...))
+		depth := measure(defaultMinDur, func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := dw.Sys.CheckData(dctx, "/fs/f", secext.Read); err != nil {
+					panic(err)
+				}
+			}
+		})
+		t.add(fmt.Sprintf("secext pipeline %s (depth %d)", st.name, len(st.guards)), ns(depth))
+	}
 
 	// Isolated DAC decision.
 	a := acl.New(acl.Allow("alice", acl.Read|acl.Write), acl.AllowEveryone(acl.List))

@@ -1,0 +1,70 @@
+// Package auditguard provides a dry-run observer for the monitor
+// pipeline: a guard that never denies, but counts the requests it sees
+// and — when wrapping an inner guard — counts how many of them the
+// inner guard would have denied. This is the standard rollout tool for
+// a new policy: stack auditguard.New(candidate) in front of production
+// traffic, watch WouldDeny, and only then install the candidate for
+// real.
+//
+// The guard is pure in the pipeline's sense (its counters never affect
+// a verdict), so it does not disable the decision cache. That is a
+// deliberate trade: with the cache enabled the observer samples cache
+// misses only. Disable the cache, or pair it with a Stateful guard,
+// when an exhaustive count matters more than the fast path.
+package auditguard
+
+import (
+	"sync/atomic"
+
+	"secext/internal/monitor"
+)
+
+// Guard observes requests without ever denying them.
+type Guard struct {
+	name   string
+	inner  monitor.Guard
+	record func(monitor.Request, monitor.Verdict)
+
+	checked   atomic.Uint64
+	wouldDeny atomic.Uint64
+}
+
+// New builds an observer. inner, if non-nil, is evaluated in shadow
+// mode: its verdict is counted and reported to record but never
+// returned. record, if non-nil, receives every request with the shadow
+// verdict (an allow when there is no inner guard); it runs on the
+// mediation path under the mechanism's locks and must not call back
+// into the system.
+func New(inner monitor.Guard, record func(monitor.Request, monitor.Verdict)) *Guard {
+	name := "audit"
+	if inner != nil {
+		name = "audit:" + inner.Name()
+	}
+	return &Guard{name: name, inner: inner, record: record}
+}
+
+// Name implements monitor.Guard.
+func (g *Guard) Name() string { return g.name }
+
+// Check implements monitor.Guard: count, shadow-evaluate, always allow.
+func (g *Guard) Check(r monitor.Request) monitor.Verdict {
+	g.checked.Add(1)
+	v := monitor.Allow()
+	if g.inner != nil {
+		v = g.inner.Check(r)
+		if !v.Allow {
+			g.wouldDeny.Add(1)
+		}
+	}
+	if g.record != nil {
+		g.record(r, v)
+	}
+	return monitor.Allow()
+}
+
+// Checked returns how many requests the observer has seen.
+func (g *Guard) Checked() uint64 { return g.checked.Load() }
+
+// WouldDeny returns how many of those the inner guard would have
+// denied. Always zero without an inner guard.
+func (g *Guard) WouldDeny() uint64 { return g.wouldDeny.Load() }

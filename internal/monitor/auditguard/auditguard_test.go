@@ -1,0 +1,63 @@
+package auditguard
+
+import (
+	"testing"
+
+	"secext/internal/monitor"
+)
+
+// veto denies everything; the shadow candidate under test.
+type veto struct{}
+
+func (veto) Name() string { return "veto" }
+func (veto) Check(monitor.Request) monitor.Verdict {
+	return monitor.Deny("veto", "candidate says no")
+}
+
+func TestObserverNeverDenies(t *testing.T) {
+	g := New(veto{}, nil)
+	for i := 0; i < 5; i++ {
+		if v := g.Check(monitor.Request{}); !v.Allow {
+			t.Fatalf("dry-run guard denied: %+v", v)
+		}
+	}
+	if g.Checked() != 5 || g.WouldDeny() != 5 {
+		t.Errorf("Checked=%d WouldDeny=%d; want 5, 5", g.Checked(), g.WouldDeny())
+	}
+}
+
+func TestObserverWithoutInner(t *testing.T) {
+	g := New(nil, nil)
+	if v := g.Check(monitor.Request{}); !v.Allow {
+		t.Fatalf("bare observer denied: %+v", v)
+	}
+	if g.Checked() != 1 || g.WouldDeny() != 0 {
+		t.Errorf("Checked=%d WouldDeny=%d; want 1, 0", g.Checked(), g.WouldDeny())
+	}
+	if g.Name() != "audit" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}
+
+func TestRecorderSeesShadowVerdict(t *testing.T) {
+	var got []monitor.Verdict
+	g := New(veto{}, func(_ monitor.Request, v monitor.Verdict) {
+		got = append(got, v)
+	})
+	if g.Name() != "audit:veto" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	g.Check(monitor.Request{})
+	if len(got) != 1 || got[0].Allow || got[0].Reason != "candidate says no" {
+		t.Fatalf("recorded verdicts = %+v; want the shadow denial", got)
+	}
+}
+
+// The observer must stay pure: installing it must not disable the
+// decision cache.
+func TestObserverIsNotStateful(t *testing.T) {
+	p := monitor.NewPipeline(New(veto{}, nil))
+	if !p.Cacheable() {
+		t.Fatal("observer made the pipeline non-cacheable")
+	}
+}

@@ -1,0 +1,58 @@
+// Package dacguard is the discretionary half of the default guard
+// stack: the ACL decision of §2.1, ported verbatim out of the name
+// server so that discretionary policy is a pluggable module rather than
+// mechanism. It runs first in the default pipeline — the paper layers
+// mandatory control on top of discretionary control, so a DAC denial
+// short-circuits before the lattice is consulted.
+package dacguard
+
+import (
+	"strings"
+
+	"secext/internal/acl"
+	"secext/internal/monitor"
+)
+
+// name is the guard's identity in verdicts.
+const name = "dac"
+
+// Guard evaluates the object's ACL against the requested modes. It is
+// stateless and safe for concurrent use.
+type Guard struct{}
+
+// New returns the discretionary guard.
+func New() *Guard { return &Guard{} }
+
+// Name implements monitor.Guard.
+func (*Guard) Name() string { return name }
+
+// Check implements monitor.Guard.
+//
+//   - OpCreate, OpRelabel, OpAdmit carry no discretionary question (the
+//     ACL legs of those operations arrive as separate OpAccess
+//     requests), so they pass.
+//   - A request with AnyOf set needs at least one of those modes
+//     granted (GetACL's "read or administrate" disjunction).
+//   - Everything else is the conjunctive check: every requested mode
+//     must be granted, deny entries overriding (acl.ACL.Check).
+func (*Guard) Check(r monitor.Request) monitor.Verdict {
+	switch r.Op {
+	case monitor.OpCreate, monitor.OpRelabel, monitor.OpAdmit:
+		return monitor.Allow()
+	}
+	if r.AnyOf != 0 {
+		if r.Object.ACL.Granted(r.Subject)&r.AnyOf == 0 {
+			return monitor.Deny(name, "acl: need "+disjunction(r.AnyOf))
+		}
+		return monitor.Allow()
+	}
+	if !r.Object.ACL.Check(r.Subject, r.Modes) {
+		return monitor.Deny(name, "acl: modes not granted")
+	}
+	return monitor.Allow()
+}
+
+// disjunction renders an AnyOf mode set as "read or administrate".
+func disjunction(m acl.Mode) string {
+	return strings.ReplaceAll(m.String(), ",", " or ")
+}

@@ -1,0 +1,65 @@
+package dacguard
+
+import (
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/monitor"
+)
+
+// sub is a bare test subject.
+type sub string
+
+func (s sub) SubjectName() string { return string(s) }
+func (sub) MemberOf(string) bool  { return false }
+
+func req(a *acl.ACL, modes, anyOf acl.Mode, op monitor.Op) monitor.Request {
+	return monitor.Request{
+		Subject: sub("p"),
+		Object:  monitor.Object{Path: "/obj", ACL: a},
+		Modes:   modes, AnyOf: anyOf, Op: op,
+	}
+}
+
+func TestConjunctiveCheck(t *testing.T) {
+	g := New()
+	a := acl.New(acl.Allow("p", acl.Read|acl.Write))
+	if v := g.Check(req(a, acl.Read|acl.Write, 0, monitor.OpAccess)); !v.Allow {
+		t.Fatalf("granted modes denied: %+v", v)
+	}
+	v := g.Check(req(a, acl.Read|acl.Delete, 0, monitor.OpAccess))
+	if v.Allow || v.Guard != "dac" || v.Reason != "acl: modes not granted" {
+		t.Fatalf("ungranted mode allowed or wrong reason: %+v", v)
+	}
+}
+
+func TestAnyOfDisjunction(t *testing.T) {
+	g := New()
+	// Administrate but not Read still satisfies read-or-administrate.
+	a := acl.New(acl.Allow("p", acl.Administrate))
+	anyOf := acl.Read | acl.Administrate
+	if v := g.Check(req(a, acl.Read, anyOf, monitor.OpAccess)); !v.Allow {
+		t.Fatalf("disjunction denied: %+v", v)
+	}
+	v := g.Check(req(acl.New(), acl.Read, anyOf, monitor.OpAccess))
+	if v.Allow || v.Reason != "acl: need read or administrate" {
+		t.Fatalf("empty ACL: %+v; want the disjunctive reason", v)
+	}
+}
+
+func TestNonDiscretionaryOpsPass(t *testing.T) {
+	g := New()
+	for _, op := range []monitor.Op{monitor.OpCreate, monitor.OpRelabel, monitor.OpAdmit} {
+		// Even an empty ACL and ungranted modes pass: these ops carry
+		// no discretionary question of their own.
+		if v := g.Check(req(acl.New(), acl.Write, 0, op)); !v.Allow {
+			t.Errorf("%v denied by dac: %+v", op, v)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "dac" {
+		t.Fatal("name changed; verdict attribution depends on it")
+	}
+}

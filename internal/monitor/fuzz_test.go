@@ -1,0 +1,75 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+
+	"secext/internal/acl"
+)
+
+// maskGuard denies any request whose modes intersect its mask — a pure
+// guard: its verdict is a function of the request alone.
+type maskGuard struct {
+	name string
+	mask acl.Mode
+}
+
+func (g maskGuard) Name() string { return g.name }
+func (g maskGuard) Check(r Request) Verdict {
+	if r.Modes&g.mask != 0 {
+		return Deny(g.name, "masked")
+	}
+	return Allow()
+}
+
+// FuzzPipelineOrder checks the order-independence property for pure
+// guards: a pipeline is a conjunction, so while the ORDER decides which
+// guard's reason is reported (short-circuit), the allow/deny OUTCOME
+// must be identical under any permutation of the stack. Stateful guards
+// are exactly the guards for which this property can fail — which is
+// why they must declare themselves (monitor.Stateful) and disable the
+// decision cache.
+func FuzzPipelineOrder(f *testing.F) {
+	f.Add([]byte{0x01, 0x10, 0x82}, uint8(0x12))
+	f.Add([]byte{0x00}, uint8(0xff))
+	f.Add([]byte{0xff, 0x0f, 0xf0, 0x3c}, uint8(0x00))
+	f.Fuzz(func(t *testing.T, masks []byte, modes uint8) {
+		if len(masks) == 0 || len(masks) > 8 {
+			return
+		}
+		guards := make([]Guard, len(masks))
+		for i, m := range masks {
+			guards[i] = maskGuard{name: fmt.Sprintf("m%d", i), mask: acl.Mode(m)}
+		}
+		req := Request{Modes: acl.Mode(modes)}
+		want := NewPipeline(guards...).Check(req).Allow
+
+		// Every rotation and the full reversal must agree on the outcome.
+		for rot := 1; rot < len(guards); rot++ {
+			perm := append(append([]Guard(nil), guards[rot:]...), guards[:rot]...)
+			if got := NewPipeline(perm...).Check(req).Allow; got != want {
+				t.Fatalf("rotation %d: allow=%v, original=%v (masks=%x modes=%x)",
+					rot, got, want, masks, modes)
+			}
+		}
+		rev := make([]Guard, len(guards))
+		for i, g := range guards {
+			rev[len(guards)-1-i] = g
+		}
+		if got := NewPipeline(rev...).Check(req).Allow; got != want {
+			t.Fatalf("reversal: allow=%v, original=%v (masks=%x modes=%x)", got, want, masks, modes)
+		}
+
+		// The outcome must also match the direct conjunction of the
+		// individual verdicts (no guard's decision is lost or invented).
+		all := true
+		for _, g := range guards {
+			if !g.Check(req).Allow {
+				all = false
+			}
+		}
+		if want != all {
+			t.Fatalf("pipeline=%v, conjunction=%v (masks=%x modes=%x)", want, all, masks, modes)
+		}
+	})
+}

@@ -1,0 +1,312 @@
+// Package monitor is the policy half of the reference monitor: an
+// ordered pipeline of pluggable guards that decide access requests the
+// mechanism layers (internal/names, internal/core, internal/dispatch)
+// produce.
+//
+// The paper's model layers mandatory control over discretionary control
+// and funnels every call, extend, and data access through one monitor
+// (§2.1–§2.2). Before this package existed that layering was an
+// implementation accident — DAC and MAC were evaluated inline by the
+// name server. Here the layering is explicit structure: the name server
+// resolves names and describes the object it found (ACL, class,
+// multilevel flag); each Guard renders an independent verdict on the
+// request; the Pipeline composes them with short-circuit deny. The
+// default stack is [dacguard, macguard], reproducing the paper's
+// "mandatory on top of discretionary" order, and new policies are new
+// guards, not name-server patches.
+//
+// Concurrency and cost: the guard stack is copy-on-write behind an
+// atomic pointer, so Check takes no locks, and Request/Verdict travel
+// by value, so a decision allocates nothing. Installing or removing a
+// guard bumps a decision.Generation; the decision cache folds that
+// generation into its keys, so every cached verdict computed under the
+// old stack dies the moment the stack changes.
+//
+// Guards whose verdicts depend on mutable internal state (budgets,
+// rates) must declare themselves by implementing Stateful; the pipeline
+// then reports itself non-cacheable and the mediation fast path is
+// bypassed, so such guards see every request rather than only cache
+// misses.
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"secext/internal/acl"
+	"secext/internal/decision"
+	"secext/internal/lattice"
+)
+
+// Op tells guards which mechanism operation produced a request. Most
+// requests are plain OpAccess checks; the remaining values mark the
+// operations whose rules the paper special-cases (multilevel
+// containers, node creation, relabeling) and the dispatcher's
+// admissibility question.
+type Op uint8
+
+const (
+	// OpAccess checks the requested modes on the target object: the
+	// common case (CheckAccess, List, SetACL, the Delete and Write legs
+	// of Unbind and Rename, GetACL with AnyOf set).
+	OpAccess Op = iota
+	// OpTraverse checks visibility of an interior node during path
+	// resolution (list on every node strictly above the target, §2.3).
+	OpTraverse
+	// OpContainerBind checks adding an entry to a multilevel container:
+	// the DAC write mode applies, the MAC no-write-down rule is waived,
+	// but the subject must still dominate the container to see it.
+	OpContainerBind
+	// OpContainerUnbind checks removing an entry from a multilevel
+	// container: DAC write only, no MAC rule at all.
+	OpContainerUnbind
+	// OpCreate checks the class a new node is being labeled with
+	// (Request.NewClass): a subject may not create objects below its own
+	// class — that would be a write-down channel.
+	OpCreate
+	// OpRelabel checks moving the object to Request.NewClass: a read of
+	// the old label and a write of the new one.
+	OpRelabel
+	// OpAdmit asks whether a caller at Request.Class may use a dispatch
+	// binding whose static class is Object.Class. The request carries no
+	// Subject and no ACL: the discretionary execute check already
+	// happened on the service node.
+	OpAdmit
+)
+
+var opNames = [...]string{
+	"access", "traverse", "container-bind", "container-unbind",
+	"create", "relabel", "admit",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Object is the mechanism's description of the node a request targets.
+// The name server fills it from the resolved node; guards read it and
+// decide.
+type Object struct {
+	// Path is the absolute name of the object.
+	Path string
+	// ACL is the object's live discretionary state. It may be nil only
+	// for requests that carry no discretionary question (OpAdmit).
+	ACL *acl.ACL
+	// Class is the object's mandatory security class (for OpAdmit, the
+	// binding's static class).
+	Class lattice.Class
+	// Multilevel marks multilevel containers (names.Node.Multilevel).
+	Multilevel bool
+}
+
+// Request is one access-control question. It travels by value so that a
+// decision on the mediation path performs no heap allocation; guards
+// must not retain pointers derived from it beyond the call.
+//
+// Requests produced on behalf of the mechanism itself (OpAdmit) carry a
+// nil Subject; guards keyed by subject identity must pass those through.
+type Request struct {
+	// Subject is the requesting principal (nil for OpAdmit).
+	Subject acl.Subject
+	// Class is the subject's current security class.
+	Class lattice.Class
+	// Object describes the target node.
+	Object Object
+	// Modes are the requested access modes: the conjunctive
+	// discretionary question and, simultaneously, the flow modes the
+	// mandatory rules apply to.
+	Modes acl.Mode
+	// AnyOf, when non-zero, replaces the conjunctive discretionary
+	// check: the subject needs at least one of these modes (GetACL's
+	// "read or administrate"). The mandatory rules still use Modes.
+	AnyOf acl.Mode
+	// NewClass is the class being introduced by the operation: the class
+	// requested for a new node (OpCreate) or the class the object would
+	// move to (OpRelabel). The two ops share the field — no request
+	// carries both — which keeps the by-value Request a cache-friendly
+	// size on the mediation path.
+	NewClass lattice.Class
+	// Op is the operation that produced the request.
+	Op Op
+}
+
+// Verdict is one guard's answer (or the pipeline's combined answer).
+type Verdict struct {
+	// Guard names the guard that produced the verdict; empty for the
+	// pipeline's combined allow.
+	Guard string
+	// Allow is the decision.
+	Allow bool
+	// Reason explains a denial ("acl: ...", "mac: ...", "quota: ...");
+	// empty on allow.
+	Reason string
+}
+
+// Allow is the affirmative verdict guards return on no objection.
+func Allow() Verdict { return Verdict{Allow: true} }
+
+// Deny builds a denying verdict for the named guard.
+func Deny(guard, reason string) Verdict {
+	return Verdict{Guard: guard, Allow: false, Reason: reason}
+}
+
+// Guard is one composable policy module.
+//
+// Check must be a function of the request and (for Stateful guards) the
+// guard's own state: it must not call back into the name server or the
+// reference monitor, because the mechanism invokes the pipeline while
+// holding its own locks.
+type Guard interface {
+	// Name identifies the guard in verdicts and diagnostics.
+	Name() string
+	// Check renders the guard's verdict on one request.
+	Check(Request) Verdict
+}
+
+// Stateful is optionally implemented by guards whose verdicts depend on
+// mutable internal state (budgets, rate windows). A pipeline containing
+// a stateful guard reports Cacheable() == false, which makes the name
+// server bypass the decision cache so the guard sees every request.
+type Stateful interface {
+	Stateful() bool
+}
+
+// stack is one immutable configuration of the pipeline, published as a
+// whole so Check reads a consistent guard list with one atomic load. It
+// carries the generation it was published under, so the mediation fast
+// path snapshots (guards, cacheable, generation) together in that one
+// load instead of paying separate atomic reads.
+type stack struct {
+	guards    []Guard
+	cacheable bool
+	gen       uint64
+}
+
+func newStack(guards []Guard, gen uint64) *stack {
+	s := &stack{guards: guards, cacheable: true, gen: gen}
+	for _, g := range guards {
+		if sf, ok := g.(Stateful); ok && sf.Stateful() {
+			s.cacheable = false
+		}
+	}
+	return s
+}
+
+// Pipeline composes an ordered guard stack with short-circuit deny: the
+// first guard that objects decides, later guards never run. An empty
+// pipeline allows everything — it is pure mechanism with no policy,
+// which is exactly what a name server with no monitor should be.
+//
+// The pipeline is safe for concurrent use. Check is lock-free and
+// allocation-free; Install and the remove functions it returns take a
+// mutex and bump the stack generation.
+type Pipeline struct {
+	mu    sync.Mutex
+	stack atomic.Pointer[stack]
+	gen   decision.Generation
+}
+
+// NewPipeline builds a pipeline over the given guards, in order.
+func NewPipeline(guards ...Guard) *Pipeline {
+	p := &Pipeline{}
+	p.stack.Store(newStack(append([]Guard(nil), guards...), 0))
+	return p
+}
+
+// Check runs the stack over one request: the first denial wins; if no
+// guard objects the request is allowed.
+func (p *Pipeline) Check(r Request) Verdict {
+	for _, g := range p.stack.Load().guards {
+		if v := g.Check(r); !v.Allow {
+			return v
+		}
+	}
+	return Verdict{Allow: true}
+}
+
+// Explain runs every guard regardless of earlier denials and returns
+// all verdicts in stack order — the diagnostic view of a decision.
+// Unlike Check it allocates; tooling only.
+func (p *Pipeline) Explain(r Request) []Verdict {
+	guards := p.stack.Load().guards
+	out := make([]Verdict, 0, len(guards))
+	for _, g := range guards {
+		v := g.Check(r)
+		if v.Allow && v.Guard == "" {
+			v.Guard = g.Name()
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Install appends a guard to the stack and returns a function that
+// removes exactly that guard again. Both directions bump the stack
+// generation, so cached verdicts computed under the old stack are dead
+// the moment the change lands.
+func (p *Pipeline) Install(g Guard) (remove func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur := p.stack.Load().guards
+	next := make([]Guard, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, g)
+	p.gen.Bump()
+	p.stack.Store(newStack(next, p.gen.Current()))
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			cur := p.stack.Load().guards
+			next := make([]Guard, 0, len(cur))
+			removed := false
+			for _, have := range cur {
+				if !removed && have == g {
+					removed = true
+					continue
+				}
+				next = append(next, have)
+			}
+			p.gen.Bump()
+			p.stack.Store(newStack(next, p.gen.Current()))
+		})
+	}
+}
+
+// Gen returns the current guard-stack generation. The decision cache
+// folds it into every key, so a stack change invalidates all cached
+// verdicts without touching the cache.
+func (p *Pipeline) Gen() uint64 { return p.stack.Load().gen }
+
+// Cacheable reports whether every guard in the stack is pure (its
+// verdict a function of the request and the protection state alone).
+// Stateful guards make the pipeline non-cacheable.
+func (p *Pipeline) Cacheable() bool { return p.stack.Load().cacheable }
+
+// Snapshot returns the cacheability and guard-stack generation of the
+// current stack in one atomic load — the pair the mediation fast path
+// needs before consulting the decision cache. Both values come from the
+// same published stack, so they are mutually consistent even against a
+// concurrent Install.
+func (p *Pipeline) Snapshot() (cacheable bool, gen uint64) {
+	s := p.stack.Load()
+	return s.cacheable, s.gen
+}
+
+// Depth returns the number of guards in the stack.
+func (p *Pipeline) Depth() int { return len(p.stack.Load().guards) }
+
+// Guards returns the names of the stacked guards, in order.
+func (p *Pipeline) Guards() []string {
+	guards := p.stack.Load().guards
+	out := make([]string, len(guards))
+	for i, g := range guards {
+		out[i] = g.Name()
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// scripted is a test guard with a fixed verdict.
+type scripted struct {
+	name  string
+	allow bool
+	calls int
+}
+
+func (g *scripted) Name() string { return g.name }
+func (g *scripted) Check(Request) Verdict {
+	g.calls++
+	if g.allow {
+		return Allow()
+	}
+	return Deny(g.name, "scripted denial by "+g.name)
+}
+
+// statefulGuard is an always-allow guard that declares mutable state.
+type statefulGuard struct{ scripted }
+
+func (*statefulGuard) Stateful() bool { return true }
+
+func TestEmptyPipelineAllows(t *testing.T) {
+	p := NewPipeline()
+	if v := p.Check(Request{}); !v.Allow {
+		t.Fatalf("empty pipeline denied: %+v", v)
+	}
+	if p.Depth() != 0 || !p.Cacheable() {
+		t.Errorf("Depth=%d Cacheable=%v; want 0, true", p.Depth(), p.Cacheable())
+	}
+}
+
+func TestShortCircuitDeny(t *testing.T) {
+	a := &scripted{name: "a", allow: true}
+	b := &scripted{name: "b", allow: false}
+	c := &scripted{name: "c", allow: true}
+	p := NewPipeline(a, b, c)
+
+	v := p.Check(Request{})
+	if v.Allow || v.Guard != "b" || v.Reason != "scripted denial by b" {
+		t.Fatalf("verdict = %+v; want b's denial", v)
+	}
+	if a.calls != 1 || b.calls != 1 || c.calls != 0 {
+		t.Errorf("calls = %d/%d/%d; want 1/1/0 (short-circuit)", a.calls, b.calls, c.calls)
+	}
+}
+
+func TestExplainRunsEveryGuard(t *testing.T) {
+	a := &scripted{name: "a", allow: true}
+	b := &scripted{name: "b", allow: false}
+	c := &scripted{name: "c", allow: true}
+	p := NewPipeline(a, b, c)
+
+	vs := p.Explain(Request{})
+	if len(vs) != 3 {
+		t.Fatalf("Explain returned %d verdicts", len(vs))
+	}
+	if !vs[0].Allow || vs[0].Guard != "a" {
+		t.Errorf("vs[0] = %+v", vs[0])
+	}
+	if vs[1].Allow || vs[1].Guard != "b" {
+		t.Errorf("vs[1] = %+v", vs[1])
+	}
+	if !vs[2].Allow || vs[2].Guard != "c" {
+		t.Errorf("vs[2] = %+v", vs[2])
+	}
+	if c.calls != 1 {
+		t.Errorf("Explain skipped c after b's denial")
+	}
+}
+
+func TestInstallRemoveAndGeneration(t *testing.T) {
+	p := NewPipeline(&scripted{name: "base", allow: true})
+	g0 := p.Gen()
+	if v := p.Check(Request{}); !v.Allow {
+		t.Fatal("baseline denied")
+	}
+
+	veto := &scripted{name: "veto", allow: false}
+	remove := p.Install(veto)
+	if p.Gen() == g0 {
+		t.Error("Install did not bump the generation")
+	}
+	if v := p.Check(Request{}); v.Allow {
+		t.Error("installed veto not consulted")
+	}
+	if got := p.Guards(); len(got) != 2 || got[1] != "veto" {
+		t.Errorf("Guards = %v", got)
+	}
+
+	g1 := p.Gen()
+	remove()
+	if p.Gen() == g1 {
+		t.Error("remove did not bump the generation")
+	}
+	if v := p.Check(Request{}); !v.Allow {
+		t.Error("removed veto still denying")
+	}
+	// remove is idempotent: calling it again must not bump or panic.
+	g2 := p.Gen()
+	remove()
+	if p.Gen() != g2 {
+		t.Error("second remove bumped the generation")
+	}
+}
+
+func TestRemoveDeletesOnlyOneIdentity(t *testing.T) {
+	// Two installs of distinct guards with equal behavior: removing the
+	// first must leave the second in place.
+	a := &scripted{name: "dup", allow: false}
+	b := &scripted{name: "dup", allow: false}
+	p := NewPipeline()
+	removeA := p.Install(a)
+	p.Install(b)
+	removeA()
+	if got := p.Depth(); got != 1 {
+		t.Fatalf("Depth after removing one of two = %d", got)
+	}
+	if v := p.Check(Request{}); v.Allow || b.calls == 0 {
+		t.Error("surviving guard not consulted")
+	}
+}
+
+func TestStatefulDisablesCaching(t *testing.T) {
+	pure := &scripted{name: "pure", allow: true}
+	p := NewPipeline(pure)
+	if !p.Cacheable() {
+		t.Fatal("pure pipeline must be cacheable")
+	}
+	sf := &statefulGuard{scripted{name: "meter", allow: true}}
+	remove := p.Install(sf)
+	if p.Cacheable() {
+		t.Fatal("stateful guard must disable caching")
+	}
+	remove()
+	if !p.Cacheable() {
+		t.Fatal("caching must return once the stateful guard is gone")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpAccess: "access", OpTraverse: "traverse",
+		OpContainerBind: "container-bind", OpContainerUnbind: "container-unbind",
+		OpCreate: "create", OpRelabel: "relabel", OpAdmit: "admit",
+		Op(99): "op?",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+// pureAllow is a guard with no mutable state, safe for the race test.
+type pureAllow struct{ name string }
+
+func (g pureAllow) Name() string        { return g.name }
+func (pureAllow) Check(Request) Verdict { return Allow() }
+
+// TestConcurrentCheckAndInstall is the -race proof for the copy-on-
+// write stack: checks proceed lock-free while guards come and go.
+func TestConcurrentCheckAndInstall(t *testing.T) {
+	p := NewPipeline(pureAllow{name: "base"})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					p.Check(Request{})
+					p.Cacheable()
+					p.Gen()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		remove := p.Install(pureAllow{name: fmt.Sprintf("g%d", i)})
+		remove()
+	}
+	close(stop)
+	wg.Wait()
+	if p.Depth() != 1 {
+		t.Errorf("Depth = %d after balanced install/remove", p.Depth())
+	}
+}

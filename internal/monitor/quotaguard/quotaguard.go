@@ -1,0 +1,96 @@
+// Package quotaguard is a deny-by-default budget guard for the monitor
+// pipeline: each subject gets a finite number of object accesses, and a
+// subject with no budget assigned is denied outright. The paper (§3)
+// argues the protection model must compose with resource control;
+// budgets-as-a-guard shows the pipeline carrying a policy the original
+// DAC/MAC monolith could not express without surgery.
+//
+// The guard is Stateful — its verdict depends on how much budget
+// remains — so a pipeline containing it reports itself non-cacheable
+// and the mediation fast path is bypassed. Every request the guard
+// should count therefore actually reaches it; a cached allow can never
+// smuggle an access past the meter.
+package quotaguard
+
+import (
+	"strings"
+	"sync"
+
+	"secext/internal/monitor"
+)
+
+// name is the guard's identity in verdicts.
+const name = "quota"
+
+// Guard meters OpAccess requests per subject. It is safe for concurrent
+// use.
+type Guard struct {
+	// prefix, when non-empty, scopes the meter to objects under that
+	// path; requests elsewhere pass unmetered.
+	prefix string
+
+	mu      sync.Mutex
+	budgets map[string]int64
+}
+
+// New builds a quota guard metering every object access. A non-empty
+// prefix (e.g. "/fs") restricts metering to objects whose path starts
+// with it.
+func New(prefix string) *Guard {
+	return &Guard{prefix: prefix, budgets: make(map[string]int64)}
+}
+
+// SetQuota assigns subject a budget of n accesses, replacing any
+// previous budget. A negative n revokes the budget entirely (back to
+// deny-by-default).
+func (g *Guard) SetQuota(subject string, n int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n < 0 {
+		delete(g.budgets, subject)
+		return
+	}
+	g.budgets[subject] = n
+}
+
+// Remaining reports the subject's unspent budget and whether one is
+// assigned at all.
+func (g *Guard) Remaining(subject string) (int64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.budgets[subject]
+	return n, ok
+}
+
+// Name implements monitor.Guard.
+func (*Guard) Name() string { return name }
+
+// Stateful marks the guard's verdicts as state-dependent, which makes
+// the pipeline non-cacheable (see monitor.Stateful).
+func (*Guard) Stateful() bool { return true }
+
+// Check implements monitor.Guard. Only direct object accesses are
+// metered: traversal, container maintenance, creation, relabeling, and
+// dispatcher admission pass free, as do the mechanism's own subjectless
+// requests. A metered request spends one unit; a subject with no
+// assigned budget is denied, and so is one whose budget has run out.
+func (g *Guard) Check(r monitor.Request) monitor.Verdict {
+	if r.Op != monitor.OpAccess || r.Subject == nil {
+		return monitor.Allow()
+	}
+	if g.prefix != "" && !strings.HasPrefix(r.Object.Path, g.prefix) {
+		return monitor.Allow()
+	}
+	who := r.Subject.SubjectName()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.budgets[who]
+	if !ok {
+		return monitor.Deny(name, "quota: no budget assigned")
+	}
+	if n <= 0 {
+		return monitor.Deny(name, "quota: exhausted")
+	}
+	g.budgets[who] = n - 1
+	return monitor.Allow()
+}

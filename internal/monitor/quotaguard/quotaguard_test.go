@@ -1,0 +1,91 @@
+package quotaguard
+
+import (
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/monitor"
+)
+
+type sub string
+
+func (s sub) SubjectName() string { return string(s) }
+func (sub) MemberOf(string) bool  { return false }
+
+func access(who, path string) monitor.Request {
+	return monitor.Request{
+		Subject: sub(who),
+		Object:  monitor.Object{Path: path},
+		Modes:   acl.Read,
+		Op:      monitor.OpAccess,
+	}
+}
+
+func TestDenyByDefault(t *testing.T) {
+	g := New("")
+	v := g.Check(access("nobody", "/x"))
+	if v.Allow || v.Guard != "quota" || v.Reason != "quota: no budget assigned" {
+		t.Fatalf("unbudgeted subject: %+v", v)
+	}
+}
+
+func TestBudgetSpendsAndExhausts(t *testing.T) {
+	g := New("")
+	g.SetQuota("p", 2)
+	for i := 0; i < 2; i++ {
+		if v := g.Check(access("p", "/x")); !v.Allow {
+			t.Fatalf("access %d denied: %+v", i, v)
+		}
+	}
+	v := g.Check(access("p", "/x"))
+	if v.Allow || v.Reason != "quota: exhausted" {
+		t.Fatalf("third access: %+v", v)
+	}
+	if rem, ok := g.Remaining("p"); !ok || rem != 0 {
+		t.Errorf("Remaining = %d, %v", rem, ok)
+	}
+	// A negative SetQuota revokes the budget entirely.
+	g.SetQuota("p", -1)
+	if v := g.Check(access("p", "/x")); v.Allow || v.Reason != "quota: no budget assigned" {
+		t.Fatalf("after revocation: %+v", v)
+	}
+}
+
+func TestOnlyScopedAccessesMetered(t *testing.T) {
+	g := New("/fs")
+	g.SetQuota("p", 1)
+	// Outside the scope: free.
+	if v := g.Check(access("p", "/svc/thing")); !v.Allow {
+		t.Fatalf("out-of-scope access denied: %+v", v)
+	}
+	// Non-access ops and subjectless mechanism requests: free.
+	for _, r := range []monitor.Request{
+		{Subject: sub("p"), Object: monitor.Object{Path: "/fs/x"}, Op: monitor.OpTraverse},
+		{Subject: sub("p"), Object: monitor.Object{Path: "/fs"}, Op: monitor.OpContainerBind},
+		{Subject: sub("p"), Op: monitor.OpCreate},
+		{Object: monitor.Object{Path: "/fs/x"}, Op: monitor.OpAdmit},
+		{Object: monitor.Object{Path: "/fs/x"}, Op: monitor.OpAccess}, // nil subject
+	} {
+		if v := g.Check(r); !v.Allow {
+			t.Fatalf("unmetered request denied: op=%v %+v", r.Op, v)
+		}
+	}
+	if rem, _ := g.Remaining("p"); rem != 1 {
+		t.Fatalf("budget spent by unmetered requests: %d", rem)
+	}
+	// The scoped access spends the single unit.
+	if v := g.Check(access("p", "/fs/x")); !v.Allow {
+		t.Fatalf("in-scope access denied: %+v", v)
+	}
+	if rem, _ := g.Remaining("p"); rem != 0 {
+		t.Errorf("Remaining = %d, want 0", rem)
+	}
+}
+
+// The meter must declare its state so pipelines bypass the decision
+// cache; a cached allow would let accesses through unmetered.
+func TestGuardIsStateful(t *testing.T) {
+	if monitor.NewPipeline(New("")).Cacheable() {
+		t.Fatal("quota pipeline reported cacheable")
+	}
+}

@@ -9,19 +9,27 @@ import (
 	"secext/internal/acl"
 	"secext/internal/decision"
 	"secext/internal/lattice"
+	"secext/internal/monitor"
+	"secext/internal/monitor/dacguard"
+	"secext/internal/monitor/macguard"
 )
 
 // ErrNotEmpty is returned when unbinding a node that still has children.
 var ErrNotEmpty = fmt.Errorf("names: node not empty")
 
 // Server is the central name server: the single facility that names
-// every object in the system and enforces protection on each level of
-// the hierarchy (§2.3). It is safe for concurrent use.
+// every object in the system (§2.3). It is pure mechanism — resolution,
+// binding, storage — and delegates every policy decision to an injected
+// monitor.Pipeline: the server resolves a name, describes the node it
+// found (ACL, class, multilevel flag), and lets the guard stack decide.
+// It is safe for concurrent use.
 //
 // Checked operations take the requesting subject (for the DAC decision)
 // and the subject's current security class (for the MAC decision).
 // Unchecked variants exist for bootstrap and for the reference monitor's
-// own bookkeeping; nothing outside internal/core should use them.
+// own bookkeeping; nothing outside internal/core should use them. The
+// reference monitor can observe unchecked operations via SetAdminHook so
+// that even mediation bypasses leave an audit trail.
 type Server struct {
 	mu   sync.RWMutex
 	root *Node
@@ -32,19 +40,34 @@ type Server struct {
 	// by default; experiment E4 measures the cost by toggling it.
 	checkTraversal bool
 
+	// pipe is the policy pipeline every checked operation consults.
+	// NewServer installs the default [dac, mac] stack; SetPipeline
+	// replaces it during setup. Like cache, it is read without the lock
+	// on the fast path, so install it before concurrent traffic.
+	pipe *monitor.Pipeline
+
+	// adminHook, when set, observes every unchecked (policy-bypassing)
+	// operation: op is a short operation name, path the affected name,
+	// err the structural outcome. The hook runs with the server lock
+	// held and must not call back into the server.
+	adminHook func(op, path string, err error)
+
 	// cache, when set, memoizes CheckAccess verdicts keyed by
-	// (subject, class, path, modes) with generation-based invalidation:
-	// every name-space mutation bumps the cache generation, so a hit is
-	// provably computed against the current protection state. Install it
-	// with SetDecisionCache before the server sees concurrent traffic;
-	// only the reference monitor should do so (cached verdicts assume
-	// subject names are canonical, which core guarantees). A nil cache
-	// means every check takes the full path.
+	// (subject, class, path, modes, guard-stack generation) with
+	// generation-based invalidation: every name-space mutation bumps the
+	// cache generation and every pipeline change bumps the stack
+	// generation, so a hit is provably computed against the current
+	// protection state AND the current guard stack. Install it with
+	// SetDecisionCache before the server sees concurrent traffic; only
+	// the reference monitor should do so (cached verdicts assume subject
+	// names are canonical, which core guarantees). A nil cache means
+	// every check takes the full path, as does a pipeline containing a
+	// stateful guard (whose verdicts must not be memoized).
 	cache *decision.Cache
 }
 
 // NewServer creates a name space whose root carries the given ACL and
-// class.
+// class, guarded by the default [dac, mac] pipeline.
 func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) *Server {
 	if rootACL == nil {
 		rootACL = acl.New()
@@ -58,6 +81,7 @@ func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) 
 		},
 		lat:            lat,
 		checkTraversal: true,
+		pipe:           monitor.NewPipeline(dacguard.New(), macguard.New()),
 	}
 	s.root.acl.SetMutationHook(s.invalidate)
 	return s
@@ -65,6 +89,44 @@ func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) 
 
 // Lattice returns the lattice node classes are drawn from.
 func (s *Server) Lattice() *lattice.Lattice { return s.lat }
+
+// Pipeline returns the monitor pipeline the server consults.
+func (s *Server) Pipeline() *monitor.Pipeline {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pipe
+}
+
+// SetPipeline replaces the policy pipeline. Call it during setup,
+// before the server sees concurrent traffic; a nil pipeline is
+// rejected (a server without policy would fail open). Swapping whole
+// pipelines also invalidates the decision cache, since the old and new
+// stacks' generations are unrelated.
+func (s *Server) SetPipeline(p *monitor.Pipeline) {
+	if p == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pipe = p
+	s.invalidate()
+}
+
+// SetAdminHook installs an observer for unchecked operations; nil
+// removes it. Call during setup. The hook must not call back into the
+// server (it runs under the server lock).
+func (s *Server) SetAdminHook(fn func(op, path string, err error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adminHook = fn
+}
+
+// admin reports one unchecked operation to the hook, if any.
+func (s *Server) admin(op, path string, err error) {
+	if s.adminHook != nil {
+		s.adminHook(op, path, err)
+	}
+}
 
 // SetDecisionCache installs (or, with nil, removes) the decision cache
 // consulted by CheckAccess. Call it during setup, before the server sees
@@ -107,49 +169,38 @@ func (s *Server) SetTraversalChecks(on bool) {
 	s.invalidate()
 }
 
-// macAllows maps requested DAC modes onto the lattice flow rules (§2.2):
-//
-//   - read, list, execute, extend require the subject to dominate the
-//     object (information about the object flows to the subject);
-//   - write, delete, administrate require the object to dominate the
-//     subject (*-property, no write-down);
-//   - write-append requires only the *-property and is the paper's
-//     mechanism for upgrading information without reading it.
-//
-// Extend sits in the read group: registering a specialization requires
-// seeing the service, while the authority the specialization runs with
-// is bounded separately by its static class (internal/dispatch).
-func macAllows(subject, object lattice.Class, modes acl.Mode) (bool, string) {
-	const readGroup = acl.Read | acl.List | acl.Execute | acl.Extend
-	const writeGroup = acl.Write | acl.Delete | acl.Administrate
-	if modes&readGroup != 0 && !subject.CanRead(object) {
-		return false, "mac: subject does not dominate object (no read up)"
-	}
-	if modes&writeGroup != 0 && !subject.CanWrite(object) {
-		return false, "mac: object does not dominate subject (no write down)"
-	}
-	if modes&acl.WriteAppend != 0 && !subject.CanAppend(object) {
-		return false, "mac: append would write down"
-	}
-	return true, ""
+// describe builds the pipeline's view of node n at path.
+func describe(n *Node, path string) monitor.Object {
+	return monitor.Object{Path: path, ACL: n.acl, Class: n.class, Multilevel: n.multilevel}
 }
 
-// checkNodeLocked verifies both the DAC and MAC rules for the requested
-// modes on node n. Caller holds s.mu (read or write).
-func checkNodeLocked(n *Node, sub acl.Subject, class lattice.Class, modes acl.Mode) error {
-	if !n.acl.Check(sub, modes) {
-		return &DeniedError{Path: n.Path(), Op: modes.String(), Why: "acl: modes not granted"}
-	}
-	if ok, why := macAllows(class, n.class, modes); !ok {
-		return &DeniedError{Path: n.Path(), Op: modes.String(), Why: why}
+// checkNode consults the pipeline for the requested modes on node n,
+// which lives at path. Caller holds s.mu (read or write).
+func (s *Server) checkNode(n *Node, path string, sub acl.Subject, class lattice.Class, modes acl.Mode, op monitor.Op) error {
+	v := s.pipe.Check(monitor.Request{
+		Subject: sub, Class: class, Object: describe(n, path), Modes: modes, Op: op,
+	})
+	if !v.Allow {
+		return &DeniedError{Path: path, Op: modes.String(), Why: v.Reason}
 	}
 	return nil
+}
+
+// parentOf returns the parent path of a canonical absolute path.
+func parentOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
 }
 
 // resolveLocked walks the path, applying traversal checks to every
 // interior node strictly above the target when enabled. Caller holds
 // s.mu. The walk slices components out of path in place instead of
-// calling SplitPath, so resolution allocates nothing on success.
+// calling SplitPath, so resolution allocates nothing on success; the
+// per-level prefix handed to the pipeline is a slice of path, not a
+// rebuilt string.
 func (s *Server) resolveLocked(sub acl.Subject, class lattice.Class, path string, checked bool) (*Node, error) {
 	if err := ValidPath(path); err != nil {
 		return nil, err
@@ -168,8 +219,16 @@ func (s *Server) resolveLocked(sub acl.Subject, class lattice.Class, path string
 		if checked && s.checkTraversal {
 			// Visibility: walking through a node requires list on it
 			// and MAC read of it (§2.3: access control determines
-			// which names are visible).
-			if err := checkNodeLocked(cur, sub, class, acl.List); err != nil {
+			// which names are visible). The node's path is the consumed
+			// prefix (the root's is "/").
+			prefix := path[:len(path)-len(part)-len(rest)-1]
+			if rest != "" {
+				prefix = path[:len(path)-len(part)-len(rest)-2]
+			}
+			if prefix == "" {
+				prefix = "/"
+			}
+			if err := s.checkNode(cur, prefix, sub, class, acl.List, monitor.OpTraverse); err != nil {
 				return nil, err
 			}
 		}
@@ -200,25 +259,33 @@ func (s *Server) Resolve(sub acl.Subject, class lattice.Class, path string) (*No
 func (s *Server) ResolveUnchecked(path string) (*Node, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.resolveLocked(nil, lattice.Class{}, path, false)
+	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	s.admin("resolve-unchecked", path, err)
+	return n, err
 }
 
 // CheckAccess resolves path and verifies that the subject holds the
-// requested modes on the target under both DAC and MAC. It returns the
+// requested modes on the target under the guard pipeline. It returns the
 // node on success.
 //
-// With a decision cache installed, a repeated check is served from the
-// cache with zero locks and zero allocations; the full check runs only
-// on a miss, and its verdict is published stamped with the generation
-// read *before* the computation, so a mutation racing with the check
-// invalidates the entry the moment it lands.
+// With a decision cache installed and a pure (cacheable) pipeline, a
+// repeated check is served from the cache with zero locks and zero
+// allocations; the full check runs only on a miss, and its verdict is
+// published stamped with the cache generation read *before* the
+// computation and the pipeline's guard-stack generation, so a mutation
+// or a guard install racing with the check invalidates the entry the
+// moment it lands.
 func (s *Server) CheckAccess(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
 	cache := s.cache
 	if cache == nil {
 		return s.checkAccessFull(sub, class, path, modes)
 	}
+	cacheable, stack := s.pipe.Snapshot()
+	if !cacheable {
+		return s.checkAccessFull(sub, class, path, modes)
+	}
 	name := sub.SubjectName()
-	if node, err, ok := cache.Lookup(name, class, path, modes); ok {
+	if node, err, ok := cache.Lookup(name, class, path, modes, stack); ok {
 		if err != nil {
 			return nil, err
 		}
@@ -230,9 +297,9 @@ func (s *Server) CheckAccess(sub acl.Subject, class lattice.Class, path string, 
 	// (ErrNotFound, ErrBadPath) are cheap to recompute and their error
 	// values carry no security weight worth pinning.
 	if err == nil {
-		cache.StoreAt(gen, name, class, path, modes, n, nil)
+		cache.StoreAt(gen, name, class, path, modes, stack, n, nil)
 	} else if errors.Is(err, ErrDenied) {
-		cache.StoreAt(gen, name, class, path, modes, nil, err)
+		cache.StoreAt(gen, name, class, path, modes, stack, nil, err)
 	}
 	return n, err
 }
@@ -246,7 +313,7 @@ func (s *Server) checkAccessFull(sub acl.Subject, class lattice.Class, path stri
 	if err != nil {
 		return nil, err
 	}
-	if err := checkNodeLocked(n, sub, class, modes); err != nil {
+	if err := s.checkNode(n, path, sub, class, modes, monitor.OpAccess); err != nil {
 		return nil, err
 	}
 	return n, nil
@@ -264,7 +331,7 @@ func (s *Server) List(sub acl.Subject, class lattice.Class, path string) ([]stri
 	if n.kind.Leaf() {
 		return nil, fmt.Errorf("%w: %s is a %s", ErrNotLeaf, path, n.kind)
 	}
-	if err := checkNodeLocked(n, sub, class, acl.List); err != nil {
+	if err := s.checkNode(n, path, sub, class, acl.List, monitor.OpAccess); err != nil {
 		return nil, err
 	}
 	return n.childNames(), nil
@@ -287,6 +354,8 @@ type BindSpec struct {
 // write to the parent, and may only label the new node with a class it
 // could itself write to (preventing creation of objects below the
 // subject's own class, which would constitute a write-down channel).
+// Multilevel containers waive the parent's no-write-down rule
+// (monitor.OpContainerBind).
 func (s *Server) Bind(sub acl.Subject, class lattice.Class, parentPath string, spec BindSpec) (*Node, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -294,26 +363,18 @@ func (s *Server) Bind(sub acl.Subject, class lattice.Class, parentPath string, s
 	if err != nil {
 		return nil, err
 	}
+	op := monitor.OpAccess
 	if parent.multilevel {
-		// Multilevel container: the DAC write mode still applies, but
-		// the MAC no-write-down rule on the container is waived so
-		// subjects above the container's class can create entries
-		// (upgraded-directory semantics). The subject must still
-		// dominate the container to see it at all.
-		if !parent.acl.Check(sub, acl.Write) {
-			return nil, &DeniedError{Path: parent.Path(), Op: "write", Why: "acl: modes not granted"}
-		}
-		if !class.CanRead(parent.class) {
-			return nil, &DeniedError{Path: parent.Path(), Op: "write", Why: "mac: subject does not dominate container"}
-		}
-	} else if err := checkNodeLocked(parent, sub, class, acl.Write); err != nil {
+		op = monitor.OpContainerBind
+	}
+	if err := s.checkNode(parent, parentPath, sub, class, acl.Write, op); err != nil {
 		return nil, err
 	}
-	if !class.CanWrite(spec.Class) {
-		return nil, &DeniedError{
-			Path: Join(parentPath, spec.Name), Op: "bind",
-			Why: "mac: new node class must dominate creator (no write down)",
-		}
+	if v := s.pipe.Check(monitor.Request{
+		Subject: sub, Class: class, Object: describe(parent, parentPath),
+		NewClass: spec.Class, Op: monitor.OpCreate,
+	}); !v.Allow {
+		return nil, &DeniedError{Path: Join(parentPath, spec.Name), Op: "bind", Why: v.Reason}
 	}
 	return s.bindLocked(parent, spec)
 }
@@ -324,9 +385,12 @@ func (s *Server) BindUnchecked(parentPath string, spec BindSpec) (*Node, error) 
 	defer s.mu.Unlock()
 	parent, err := s.resolveLocked(nil, lattice.Class{}, parentPath, false)
 	if err != nil {
+		s.admin("bind-unchecked", Join(parentPath, spec.Name), err)
 		return nil, err
 	}
-	return s.bindLocked(parent, spec)
+	n, err := s.bindLocked(parent, spec)
+	s.admin("bind-unchecked", Join(parentPath, spec.Name), err)
+	return n, err
 }
 
 func (s *Server) bindLocked(parent *Node, spec BindSpec) (*Node, error) {
@@ -364,8 +428,9 @@ func (s *Server) bindLocked(parent *Node, spec BindSpec) (*Node, error) {
 }
 
 // Unbind removes the node at path. The subject needs delete mode on the
-// target, write mode on the parent, and MAC write to both. Non-empty
-// nodes cannot be unbound.
+// target, write mode on the parent, and MAC write to both (the parent's
+// MAC rule is waived for multilevel containers). Non-empty nodes cannot
+// be unbound.
 func (s *Server) Unbind(sub acl.Subject, class lattice.Class, path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -379,16 +444,14 @@ func (s *Server) Unbind(sub acl.Subject, class lattice.Class, path string) error
 	if len(n.children) > 0 {
 		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
 	}
-	if err := checkNodeLocked(n, sub, class, acl.Delete); err != nil {
+	if err := s.checkNode(n, path, sub, class, acl.Delete, monitor.OpAccess); err != nil {
 		return err
 	}
+	op := monitor.OpAccess
 	if n.parent.multilevel {
-		// Same waiver as Bind: removing an entry from a multilevel
-		// container needs the DAC write mode but not MAC write.
-		if !n.parent.acl.Check(sub, acl.Write) {
-			return &DeniedError{Path: n.parent.Path(), Op: "write", Why: "acl: modes not granted"}
-		}
-	} else if err := checkNodeLocked(n.parent, sub, class, acl.Write); err != nil {
+		op = monitor.OpContainerUnbind
+	}
+	if err := s.checkNode(n.parent, parentOf(path), sub, class, acl.Write, op); err != nil {
 		return err
 	}
 	delete(n.parent.children, n.name)
@@ -432,22 +495,20 @@ func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParent
 	if _, dup := newParent.children[newName]; dup {
 		return fmt.Errorf("%w: %s", ErrExists, Join(newParentPath, newName))
 	}
-	if err := checkNodeLocked(n, sub, class, acl.Delete); err != nil {
+	if err := s.checkNode(n, oldPath, sub, class, acl.Delete, monitor.OpAccess); err != nil {
 		return err
 	}
-	checkParent := func(p *Node) error {
+	checkParent := func(p *Node, path string) error {
+		op := monitor.OpAccess
 		if p.multilevel {
-			if !p.acl.Check(sub, acl.Write) {
-				return &DeniedError{Path: p.Path(), Op: "write", Why: "acl: modes not granted"}
-			}
-			return nil
+			op = monitor.OpContainerUnbind
 		}
-		return checkNodeLocked(p, sub, class, acl.Write)
+		return s.checkNode(p, path, sub, class, acl.Write, op)
 	}
-	if err := checkParent(n.parent); err != nil {
+	if err := checkParent(n.parent, parentOf(oldPath)); err != nil {
 		return err
 	}
-	if err := checkParent(newParent); err != nil {
+	if err := checkParent(newParent, newParentPath); err != nil {
 		return err
 	}
 	delete(n.parent.children, n.name)
@@ -462,6 +523,12 @@ func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParent
 func (s *Server) UnbindUnchecked(path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	err := s.unbindUncheckedLocked(path)
+	s.admin("unbind-unchecked", path, err)
+	return err
+}
+
+func (s *Server) unbindUncheckedLocked(path string) error {
 	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
 	if err != nil {
 		return err
@@ -479,7 +546,8 @@ func (s *Server) UnbindUnchecked(path string) error {
 }
 
 // GetACL returns a copy of the node's ACL. Reading the protection state
-// requires read or administrate mode.
+// requires read or administrate mode (the AnyOf disjunction) and MAC
+// read.
 func (s *Server) GetACL(sub acl.Subject, class lattice.Class, path string) (*acl.ACL, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -487,12 +555,11 @@ func (s *Server) GetACL(sub acl.Subject, class lattice.Class, path string) (*acl
 	if err != nil {
 		return nil, err
 	}
-	granted := n.acl.Granted(sub)
-	if !granted.Has(acl.Read) && !granted.Has(acl.Administrate) {
-		return nil, &DeniedError{Path: path, Op: "get-acl", Why: "acl: need read or administrate"}
-	}
-	if ok, why := macAllows(class, n.class, acl.Read); !ok {
-		return nil, &DeniedError{Path: path, Op: "get-acl", Why: why}
+	if v := s.pipe.Check(monitor.Request{
+		Subject: sub, Class: class, Object: describe(n, path),
+		Modes: acl.Read, AnyOf: acl.Read | acl.Administrate, Op: monitor.OpAccess,
+	}); !v.Allow {
+		return nil, &DeniedError{Path: path, Op: "get-acl", Why: v.Reason}
 	}
 	return n.acl.Clone(), nil
 }
@@ -506,7 +573,7 @@ func (s *Server) SetACL(sub acl.Subject, class lattice.Class, path string, newAC
 	if err != nil {
 		return err
 	}
-	if err := checkNodeLocked(n, sub, class, acl.Administrate); err != nil {
+	if err := s.checkNode(n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
 		return err
 	}
 	n.acl = s.hookACL(newACL.Clone())
@@ -519,6 +586,7 @@ func (s *Server) SetACLUnchecked(path string, newACL *acl.ACL) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	s.admin("set-acl-unchecked", path, err)
 	if err != nil {
 		return err
 	}
@@ -528,8 +596,8 @@ func (s *Server) SetACLUnchecked(path string, newACL *acl.ACL) error {
 }
 
 // SetClass relabels the node. Relabeling violates tranquility, so it is
-// gated on administrate mode and MAC write against both the old and the
-// new class.
+// gated on administrate mode and the relabel flow rules (a read of the
+// old label, a write of the new).
 func (s *Server) SetClass(sub acl.Subject, class lattice.Class, path string, newClass lattice.Class) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -540,18 +608,14 @@ func (s *Server) SetClass(sub acl.Subject, class lattice.Class, path string, new
 	if !newClass.Valid() || newClass.Lattice() != s.lat {
 		return fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
 	}
-	if err := checkNodeLocked(n, sub, class, acl.Administrate); err != nil {
+	if err := s.checkNode(n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
 		return err
 	}
-	// Relabeling moves the information at the old class to the new one,
-	// so it is simultaneously a read of the old label and a write of the
-	// new: the subject must dominate what it declassifies and may not
-	// write down.
-	if !class.CanRead(n.class) {
-		return &DeniedError{Path: path, Op: "set-class", Why: "mac: subject does not dominate current class"}
-	}
-	if !class.CanWrite(newClass) {
-		return &DeniedError{Path: path, Op: "set-class", Why: "mac: relabel would write down"}
+	if v := s.pipe.Check(monitor.Request{
+		Subject: sub, Class: class, Object: describe(n, path),
+		NewClass: newClass, Op: monitor.OpRelabel,
+	}); !v.Allow {
+		return &DeniedError{Path: path, Op: "set-class", Why: v.Reason}
 	}
 	n.class = newClass
 	s.invalidate()
@@ -565,13 +629,17 @@ func (s *Server) SetClassUnchecked(path string, newClass lattice.Class) error {
 	defer s.mu.Unlock()
 	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
 	if err != nil {
+		s.admin("set-class-unchecked", path, err)
 		return err
 	}
 	if !newClass.Valid() || newClass.Lattice() != s.lat {
-		return fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
+		err = fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
+		s.admin("set-class-unchecked", path, err)
+		return err
 	}
 	n.class = newClass
 	s.invalidate()
+	s.admin("set-class-unchecked", path, nil)
 	return nil
 }
 
@@ -592,6 +660,7 @@ func (s *Server) SetPayload(path string, payload any) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	s.admin("set-payload", path, err)
 	if err != nil {
 		return err
 	}

@@ -245,3 +245,67 @@ func TestConcurrentSessions(t *testing.T) {
 	<-done
 	<-done
 }
+
+// TestRemoteQuotaGuard installs the deny-by-default quota guard in the
+// served world and shows the budget being enforced over the wire: a
+// subject with no budget is refused outright, and a granted budget runs
+// out. The quota guard is stateful, so the decision cache is bypassed
+// and every remote request reaches the meter.
+func TestRemoteQuotaGuard(t *testing.T) {
+	quota := secext.NewQuotaGuard("/fs")
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:     []string{"others", "organization", "local"},
+		Categories: []string{"dept-1", "dept-2"},
+		Guards:     []secext.Guard{quota},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("alice", "organization:{dept-1}"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("eve", "others"); err != nil {
+		t.Fatal(err)
+	}
+	aliceTok, err := w.Sys.Registry().IssueToken("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eveTok, err := w.Sys.Registry().IssueToken("eve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(w.Sys)
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { srv.Close(); l.Close() })
+
+	quota.SetQuota("alice", 1000)
+	alice := dial(t, l.Addr().String())
+	alice.expectOK("AUTH %s", aliceTok)
+	alice.expectOK("CREATE /fs/metered")
+	alice.expectOK("WRITE /fs/metered rationed bytes")
+	alice.expectOK("READ /fs/metered")
+	if rem, ok := quota.Remaining("alice"); !ok || rem >= 1000 {
+		t.Errorf("Remaining(alice) = %d, %v; want a spent budget", rem, ok)
+	}
+
+	// Eve has no budget: deny-by-default, with the guard's reason on
+	// the wire. She works on her own file so the discretionary and
+	// mandatory guards allow and the quota guard decides.
+	eve := dial(t, l.Addr().String())
+	eve.expectOK("AUTH %s", eveTok)
+	eve.expectOK("CREATE /fs/eve-file")
+	if got := eve.expectErr("WRITE /fs/eve-file denied bytes"); !strings.Contains(got, "quota: no budget assigned") {
+		t.Errorf("eve WRITE = %q, want quota denial", got)
+	}
+
+	// Alice's budget runs dry.
+	quota.SetQuota("alice", 0)
+	if got := alice.expectErr("READ /fs/metered"); !strings.Contains(got, "quota: exhausted") {
+		t.Errorf("alice exhausted READ = %q", got)
+	}
+}

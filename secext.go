@@ -42,6 +42,9 @@ import (
 	"secext/internal/extension"
 	"secext/internal/fsys"
 	"secext/internal/lattice"
+	"secext/internal/monitor"
+	"secext/internal/monitor/auditguard"
+	"secext/internal/monitor/quotaguard"
 	"secext/internal/names"
 	"secext/internal/policy"
 	"secext/internal/principal"
@@ -150,6 +153,33 @@ type (
 	Handler = dispatch.Handler
 	// Binding associates a handler with its owner and static class.
 	Binding = dispatch.Binding
+)
+
+// The reference monitor's policy pipeline (mechanism/policy split).
+type (
+	// Guard is one composable policy module in the monitor pipeline.
+	Guard = monitor.Guard
+	// GuardRequest is one access-control question a guard decides.
+	GuardRequest = monitor.Request
+	// GuardVerdict is a guard's (or the pipeline's) answer.
+	GuardVerdict = monitor.Verdict
+	// Pipeline is the ordered guard stack every mediated operation
+	// consults; reach it via System.Monitor().
+	Pipeline = monitor.Pipeline
+	// AuditGuard observes requests without denying (dry-run rollout).
+	AuditGuard = auditguard.Guard
+	// QuotaGuard meters object accesses per subject, deny-by-default.
+	QuotaGuard = quotaguard.Guard
+)
+
+// Guard constructors.
+var (
+	// NewAuditGuard builds a dry-run observer, optionally shadowing an
+	// inner guard (see internal/monitor/auditguard).
+	NewAuditGuard = auditguard.New
+	// NewQuotaGuard builds a per-subject access meter scoped to a path
+	// prefix ("" = everything; see internal/monitor/quotaguard).
+	NewQuotaGuard = quotaguard.New
 )
 
 // Audit.

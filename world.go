@@ -69,6 +69,9 @@ type WorldOptions struct {
 	// DecisionCacheSize overrides the decision cache's approximate
 	// entry capacity (0 = default).
 	DecisionCacheSize int
+	// Guards are extra policy modules stacked after the built-in
+	// discretionary and mandatory guards (see core.Options.Guards).
+	Guards []Guard
 	// PolicyText, if non-empty, is parsed as a policy document and
 	// applied to the assembled world: its principals, groups, extra
 	// nodes, and ACL grants land on top of the standard services. The
@@ -111,6 +114,7 @@ func NewWorld(opts WorldOptions) (*World, error) {
 		TrustLinkTime:        opts.TrustLinkTime,
 		DisableDecisionCache: opts.DisableDecisionCache,
 		DecisionCacheSize:    opts.DecisionCacheSize,
+		Guards:               opts.Guards,
 	})
 	if err != nil {
 		return nil, err
