@@ -21,15 +21,22 @@ race:
 # itself cannot bit-rot unnoticed.
 check: build vet race bench-smoke
 
-# cover runs the monitor packages' tests with coverage and enforces a
-# floor on internal/monitor itself: the policy layer is the code whose
-# regressions are security bugs, so its statements stay covered.
+# cover runs the monitor and telemetry packages' tests with coverage
+# and enforces per-tree floors: the policy layer is the code whose
+# regressions are security bugs, and the telemetry layer is what makes
+# such regressions observable in production, so both stay covered.
 MONITOR_COVER_FLOOR := 90.0
+TELEMETRY_COVER_FLOOR := 90.0
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/monitor/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
 	echo "internal/monitor coverage: $$total% (floor $(MONITOR_COVER_FLOOR)%)"; \
 	awk "BEGIN {exit !($$total >= $(MONITOR_COVER_FLOOR))}" || \
+		{ echo "coverage below floor"; exit 1; }
+	$(GO) test -coverprofile=cover-telemetry.out ./internal/telemetry/
+	@total=$$($(GO) tool cover -func=cover-telemetry.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	echo "internal/telemetry coverage: $$total% (floor $(TELEMETRY_COVER_FLOOR)%)"; \
+	awk "BEGIN {exit !($$total >= $(TELEMETRY_COVER_FLOOR))}" || \
 		{ echo "coverage below floor"; exit 1; }
 
 # bench-smoke compiles and exercises the E1 benchmarks for a fixed tiny

@@ -8,16 +8,23 @@
 //	secctl matrix -policy p.pol -modes read [-paths /a,/b]
 //	secctl tree   -policy p.pol
 //	secctl fmt    -policy p.pol
+//	secctl stats  -http 127.0.0.1:7778
+//	secctl trace  -http 127.0.0.1:7778 [-n 10] [-denied]
 //
 // check prints ALLOW/DENY with the monitor's reason; matrix prints the
 // decision for every principal against the given (or all leaf) paths;
 // tree dumps the name space with per-node kind, class, and ACL; fmt
-// re-emits the policy in canonical form.
+// re-emits the policy in canonical form. stats and trace talk to a
+// running secextd's telemetry endpoint (-http on the daemon): stats
+// summarizes the live counters, trace prints recent decision traces.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
@@ -41,6 +48,10 @@ func main() {
 		runFmt(args)
 	case "snapshot":
 		runSnapshot(args)
+	case "stats":
+		runStats(args)
+	case "trace":
+		runTrace(args)
 	default:
 		usage()
 	}
@@ -48,6 +59,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: secctl <check|matrix|tree|fmt|snapshot> -policy <file> [flags]")
+	fmt.Fprintln(os.Stderr, "       secctl <stats|trace> -http <addr> [flags]")
 	os.Exit(2)
 }
 
@@ -204,6 +216,85 @@ func runSnapshot(args []string) {
 		fatal(err)
 	}
 	fmt.Print(snap.Format())
+}
+
+// fetch GETs a telemetry endpoint from a running secextd.
+func fetch(httpAddr, path string) []byte {
+	if httpAddr == "" {
+		fatal(fmt.Errorf("-http is required (the daemon's -http address)"))
+	}
+	resp, err := http.Get("http://" + httpAddr + path)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body))))
+	}
+	return body
+}
+
+// runStats summarizes a running daemon's live counters.
+func runStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	httpAddr := fs.String("http", "", "daemon telemetry address (host:port)")
+	raw := fs.Bool("json", false, "print the raw JSON snapshot")
+	_ = fs.Parse(args)
+	body := fetch(*httpAddr, "/debug/stats")
+	if *raw {
+		os.Stdout.Write(body)
+		return
+	}
+	var s secext.TelemetrySnapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("telemetry mode %s (sampling 1/%d, %d traces sampled)\n",
+		s.Mode, s.SampleEvery, s.TracesSampled)
+	allowed, denied := s.Mediated()
+	fmt.Printf("mediations: %d total (%d allowed, %d denied)\n", allowed+denied, allowed, denied)
+	for _, m := range s.Mediations {
+		if m.Allowed+m.Denied == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s allowed %-8d denied %d\n", m.Kind, m.Allowed, m.Denied)
+	}
+	lat := s.MediationLatency
+	fmt.Printf("mediation latency (sampled): p50 %gns p95 %gns p99 %gns over %d samples\n",
+		lat.P50, lat.P95, lat.P99, lat.Count)
+	fmt.Printf("decision cache: %d hits, %d misses, %d stores, %d invalidations\n",
+		s.Cache.Hits, s.Cache.Misses, s.Cache.Stores, s.Cache.Invalidations)
+	fmt.Printf("audit: %d decisions (%d allowed, %d denied), %d bypasses, %d dropped from ring\n",
+		s.Audit.Total, s.Audit.Allowed, s.Audit.Denied, s.Audit.Bypassed, s.Audit.Dropped)
+	fmt.Printf("dispatcher admissions: %d admitted, %d rejected\n",
+		s.Admissions.Allowed, s.Admissions.Denied)
+	for _, g := range s.Guards {
+		fmt.Printf("guard %-12s allowed %-8d denied %-6d p95 %gns (sampled %d)\n",
+			g.Name, g.Allowed, g.Denied, g.Latency.P95, g.Latency.Count)
+	}
+}
+
+// runTrace prints recent decision traces from a running daemon.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	httpAddr := fs.String("http", "", "daemon telemetry address (host:port)")
+	n := fs.Int("n", 10, "maximum traces to print")
+	denied := fs.Bool("denied", false, "only denied requests")
+	_ = fs.Parse(args)
+	path := fmt.Sprintf("/debug/trace/recent?text=1&n=%d", *n)
+	if *denied {
+		path += "&denied=1"
+	}
+	body := fetch(*httpAddr, path)
+	if len(strings.TrimSpace(string(body))) == 0 {
+		fmt.Println("no traces retained")
+		return
+	}
+	os.Stdout.Write(body)
 }
 
 var _ = names.KindRoot // keep names import for Node alias methods

@@ -14,21 +14,30 @@
 //	OK alice organization:{dept-1}
 //	CREATE /fs/x
 //	OK
+//
+// With -http the daemon also serves the live introspection endpoints:
+// /metrics (Prometheus text), /debug/stats (JSON), and
+// /debug/trace/recent (sampled decision traces).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"secext"
 	"secext/internal/remote"
+	"secext/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
+	httpAddr := flag.String("http", "", "telemetry HTTP listen address (empty = no HTTP)")
+	telMode := flag.String("telemetry", "sampled",
+		"telemetry mode: off, metrics, sampled, full")
 	levels := flag.String("levels", "others,organization,local",
 		"comma-separated trust levels, lowest first")
 	categories := flag.String("categories", "dept-1,dept-2",
@@ -47,9 +56,14 @@ func main() {
 	if *categories != "" {
 		cats = strings.Split(*categories, ",")
 	}
+	mode, ok := telemetry.ParseMode(*telMode)
+	if !ok {
+		fatal(fmt.Errorf("unknown telemetry mode %q", *telMode))
+	}
 	w, err := secext.NewWorld(secext.WorldOptions{
 		Levels:     strings.Split(*levels, ","),
 		Categories: cats,
+		Telemetry:  secext.TelemetryOptions{Mode: mode},
 	})
 	if err != nil {
 		fatal(err)
@@ -71,6 +85,18 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("secextd listening on %s\n", l.Addr())
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("secextd telemetry on http://%s\n", hl.Addr())
+		go func() {
+			if err := http.Serve(hl, w.Telemetry().HTTPHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "secextd: http:", err)
+			}
+		}()
+	}
 	srv := remote.NewServer(w.Sys)
 	if err := srv.Serve(l); err != nil {
 		fatal(err)

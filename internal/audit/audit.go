@@ -57,6 +57,48 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// KindNames returns the display names of every kind, indexed by Kind
+// value — the label set metrics layers key their per-kind counters by.
+func KindNames() []string {
+	out := make([]string, numKinds)
+	copy(out, kindNames[:])
+	return out
+}
+
+// MarshalJSON renders a known kind as its name ("call", "extend", …)
+// so exported trails are self-describing; unknown values fall back to
+// the bare number.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if int(k) < numKinds {
+		return json.Marshal(kindNames[k])
+	}
+	return json.Marshal(uint8(k))
+}
+
+// UnmarshalJSON accepts both the named form written by MarshalJSON and
+// the bare numeric form of legacy exports.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		for i, name := range kindNames {
+			if name == s {
+				*k = Kind(i)
+				return nil
+			}
+		}
+		return fmt.Errorf("audit: unknown kind %q", s)
+	}
+	var n uint8
+	if err := json.Unmarshal(data, &n); err != nil {
+		return err
+	}
+	*k = Kind(n)
+	return nil
+}
+
 // Event is one security-relevant occurrence.
 type Event struct {
 	Seq     uint64    // monotonically increasing sequence number
@@ -84,12 +126,16 @@ func (e Event) String() string {
 // Stats are running counters kept by a Log. Total, Allowed, and Denied
 // count mediated decisions only; Bypassed counts unchecked operations
 // recorded via RecordBypass, which appear in ByKind (KindUnchecked) and
-// the ring but not in the decision counters.
+// the ring but not in the decision counters. Dropped counts ring
+// overwrites: events that have been pushed out of the bounded ring by
+// newer ones (they remain in the counters and any sinks, but Recent can
+// no longer return them).
 type Stats struct {
 	Total    uint64
 	Allowed  uint64
 	Denied   uint64
 	Bypassed uint64
+	Dropped  uint64
 	ByKind   [numKinds]uint64
 }
 
@@ -189,16 +235,19 @@ func (l *Log) SetFilter(f func(Event) bool) {
 	l.filter.Store(&f)
 }
 
-// Record stamps and stores an event, updating counters and sinks.
-// The Seq and Time fields of ev are assigned by Record.
+// Record stamps and stores an event, updating counters and sinks, and
+// returns the sequence number it assigned (0 when the log is nil or
+// disabled) so callers can correlate other records — decision traces,
+// external tickets — with the audit trail. The Seq and Time fields of
+// ev are assigned by Record.
 //
 // Record never blocks on another recorder: the filter runs lock-free,
 // the ring slot is claimed with one atomic increment, and the event is
 // published with one atomic store. Sink output is formatted first and
 // only then written under sinkMu, so a slow sink delays other writers
 // only if they too have sink output pending — never the ring.
-func (l *Log) Record(ev Event) {
-	l.record(ev, true)
+func (l *Log) Record(ev Event) uint64 {
+	return l.record(ev, true)
 }
 
 // RecordBypass records an operation that stepped around the reference
@@ -207,19 +256,19 @@ func (l *Log) Record(ev Event) {
 // Allowed, or Denied — a bypass is the absence of a decision, and
 // inflating the decision counters would corrupt the allow/deny ratios
 // the experiments report.
-func (l *Log) RecordBypass(ev Event) {
-	l.record(ev, false)
+func (l *Log) RecordBypass(ev Event) uint64 {
+	return l.record(ev, false)
 }
 
-func (l *Log) record(ev Event, decision bool) {
+func (l *Log) record(ev Event, decision bool) uint64 {
 	if l == nil || !l.enabled.Load() {
-		return
+		return 0
 	}
 	ev.Seq = l.seq.Add(1)
 	ev.Time = time.Now()
 
 	if f := l.filter.Load(); f != nil && !(*f)(ev) {
-		return
+		return ev.Seq
 	}
 
 	if decision {
@@ -247,6 +296,7 @@ func (l *Log) record(ev Event, decision bool) {
 		}
 		l.sinkMu.Unlock()
 	}
+	return ev.Seq
 }
 
 // Recent returns up to n of the most recent events, oldest first.
@@ -282,30 +332,63 @@ type Query struct {
 	Kind       Kind   // operation class; only used when HasKind
 	HasKind    bool
 	DeniedOnly bool // only denials
+	// Limit, when positive, bounds Select to the most recent Limit
+	// matching events, so callers serving remote or HTTP requests never
+	// copy the whole ring per query. 0 means no bound.
+	Limit int
 }
 
-// Select returns the retained events matching q, oldest first.
+// match reports whether e satisfies every set field of q (Limit aside).
+func (q Query) match(e Event) bool {
+	if q.Subject != "" && e.Subject != q.Subject {
+		return false
+	}
+	if q.Path != "" && e.Path != q.Path {
+		return false
+	}
+	if q.PathPrefix != "" && !strings.HasPrefix(e.Path, q.PathPrefix) {
+		return false
+	}
+	if q.HasKind && e.Kind != q.Kind {
+		return false
+	}
+	if q.DeniedOnly && e.Allowed {
+		return false
+	}
+	return true
+}
+
+// Select returns the retained events matching q, oldest first; a
+// positive q.Limit keeps only the most recent that many matches.
 func (l *Log) Select(q Query) []Event {
 	var out []Event
 	for _, e := range l.Recent(0) {
-		if q.Subject != "" && e.Subject != q.Subject {
-			continue
+		if q.match(e) {
+			out = append(out, e)
 		}
-		if q.Path != "" && e.Path != q.Path {
-			continue
-		}
-		if q.PathPrefix != "" && !strings.HasPrefix(e.Path, q.PathPrefix) {
-			continue
-		}
-		if q.HasKind && e.Kind != q.Kind {
-			continue
-		}
-		if q.DeniedOnly && e.Allowed {
-			continue
-		}
-		out = append(out, e)
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
 	}
 	return out
+}
+
+// Count returns how many retained events match q without copying or
+// ordering the ring — the cheap form of Select for callers that only
+// need the number (q.Limit is ignored).
+func (l *Log) Count(q Query) int {
+	if l == nil {
+		return 0
+	}
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	n := 0
+	for i := range l.ring {
+		if e := l.ring[i].Load(); e != nil && q.match(*e) {
+			n++
+		}
+	}
+	return n
 }
 
 // ExportJSON writes every retained event as one JSON object per line
@@ -347,6 +430,9 @@ func (l *Log) Stats() Stats {
 	s.Allowed = l.stats.allowed.Load()
 	s.Denied = l.stats.denied.Load()
 	s.Bypassed = l.stats.bypassed.Load()
+	if pos := l.pos.Load(); pos > uint64(len(l.ring)) {
+		s.Dropped = pos - uint64(len(l.ring))
+	}
 	for i := range s.ByKind {
 		s.ByKind[i] = l.stats.byKind[i].Load()
 	}

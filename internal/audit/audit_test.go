@@ -284,3 +284,149 @@ func TestRecordBypassOnNilAndDisabled(t *testing.T) {
 		t.Errorf("disabled log counted a bypass: %+v", s)
 	}
 }
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	l := NewLog(16)
+	l.Record(ev(KindCall, "alice", "/svc/a", true))
+	l.Record(ev(KindData, "bob", "/fs/x", false))
+	var buf strings.Builder
+	if err := l.ExportJSON(&buf); err != nil {
+		t.Fatalf("ExportJSON: %v", err)
+	}
+	// The modern export carries kind names, not numbers.
+	if !strings.Contains(buf.String(), `"Kind":"call"`) ||
+		!strings.Contains(buf.String(), `"Kind":"data"`) {
+		t.Fatalf("export lacks named kinds:\n%s", buf.String())
+	}
+	back, err := ImportJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ImportJSON: %v", err)
+	}
+	if len(back) != 2 || back[0].Kind != KindCall || back[1].Kind != KindData {
+		t.Fatalf("named round trip = %+v", back)
+	}
+
+	// Legacy exports carried bare numbers; ImportJSON must still read them.
+	legacy := `{"Seq":1,"Kind":0,"Subject":"alice","Path":"/svc/a","Allowed":true}
+{"Seq":2,"Kind":4,"Subject":"bob","Path":"/fs/x","Allowed":false}
+`
+	back, err = ImportJSON(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy import: %v", err)
+	}
+	if len(back) != 2 || back[0].Kind != KindCall || back[1].Kind != KindData {
+		t.Fatalf("legacy round trip = %+v", back)
+	}
+
+	// Unknown names are a clean error, unknown numbers are preserved.
+	if _, err := ImportJSON(strings.NewReader(`{"Kind":"bogus"}` + "\n")); err == nil {
+		t.Error("unknown kind name must fail")
+	}
+	back, err = ImportJSON(strings.NewReader(`{"Kind":200}` + "\n"))
+	if err != nil || len(back) != 1 || back[0].Kind != Kind(200) {
+		t.Errorf("out-of-range numeric kind = %+v, %v", back, err)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	names := KindNames()
+	if len(names) != numKinds || names[KindCall] != "call" || names[KindUnchecked] != "unchecked" {
+		t.Fatalf("KindNames = %v", names)
+	}
+	// The returned slice is a copy; mutating it must not corrupt the table.
+	names[0] = "mutated"
+	if KindNames()[0] != "call" {
+		t.Error("KindNames leaked the internal table")
+	}
+}
+
+func TestSelectLimit(t *testing.T) {
+	l := NewLog(32)
+	for i := 0; i < 6; i++ {
+		l.Record(ev(KindCall, "alice", "/svc/a", i%2 == 0))
+	}
+	got := l.Select(Query{Limit: 2})
+	if len(got) != 2 {
+		t.Fatalf("limit 2 returned %d", len(got))
+	}
+	// Most recent matches, still oldest-first.
+	if got[0].Seq != 5 || got[1].Seq != 6 {
+		t.Errorf("limited window = seq %d,%d, want 5,6", got[0].Seq, got[1].Seq)
+	}
+	if got := l.Select(Query{DeniedOnly: true, Limit: 1}); len(got) != 1 || got[0].Seq != 6 {
+		t.Errorf("filtered limit = %+v", got)
+	}
+	if got := l.Select(Query{Limit: 100}); len(got) != 6 {
+		t.Errorf("oversized limit = %d", len(got))
+	}
+}
+
+func TestCount(t *testing.T) {
+	l := NewLog(32)
+	l.Record(ev(KindCall, "alice", "/svc/a", true))
+	l.Record(ev(KindCall, "bob", "/svc/a", false))
+	l.Record(ev(KindData, "alice", "/fs/x", false))
+
+	if got := l.Count(Query{}); got != 3 {
+		t.Errorf("count all = %d", got)
+	}
+	if got := l.Count(Query{Subject: "alice"}); got != 2 {
+		t.Errorf("count alice = %d", got)
+	}
+	if got := l.Count(Query{DeniedOnly: true}); got != 2 {
+		t.Errorf("count denied = %d", got)
+	}
+	// Limit is a Select concept; Count ignores it.
+	if got := l.Count(Query{Limit: 1}); got != 3 {
+		t.Errorf("count with limit = %d", got)
+	}
+	var nilLog *Log
+	if got := nilLog.Count(Query{}); got != 0 {
+		t.Errorf("nil count = %d", got)
+	}
+}
+
+func TestStatsDropped(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 3; i++ {
+		l.Record(ev(KindCall, "alice", "/svc/a", true))
+	}
+	if s := l.Stats(); s.Dropped != 0 {
+		t.Fatalf("dropped before wrap = %d", s.Dropped)
+	}
+	for i := 0; i < 7; i++ {
+		l.Record(ev(KindCall, "alice", "/svc/a", true))
+	}
+	if s := l.Stats(); s.Dropped != 6 {
+		t.Fatalf("dropped after wrap = %d, want 6", s.Dropped)
+	}
+	// Filtered events never claim a slot and so never count as dropped.
+	l.SetFilter(func(Event) bool { return false })
+	l.Record(ev(KindCall, "alice", "/svc/a", true))
+	if s := l.Stats(); s.Dropped != 6 {
+		t.Errorf("filtered event counted as dropped: %d", s.Dropped)
+	}
+}
+
+func TestRecordReturnsSeq(t *testing.T) {
+	l := NewLog(8)
+	if seq := l.Record(ev(KindCall, "alice", "/svc/a", true)); seq != 1 {
+		t.Errorf("first seq = %d", seq)
+	}
+	if seq := l.RecordBypass(ev(KindUnchecked, "host", "/x", true)); seq != 2 {
+		t.Errorf("bypass seq = %d", seq)
+	}
+	// Filtered events still consume and report a sequence number.
+	l.SetFilter(func(Event) bool { return false })
+	if seq := l.Record(ev(KindCall, "alice", "/svc/a", true)); seq != 3 {
+		t.Errorf("filtered seq = %d", seq)
+	}
+	var nilLog *Log
+	if seq := nilLog.Record(Event{}); seq != 0 {
+		t.Errorf("nil seq = %d", seq)
+	}
+	l.SetEnabled(false)
+	if seq := l.Record(Event{}); seq != 0 {
+		t.Errorf("disabled seq = %d", seq)
+	}
+}

@@ -8,28 +8,52 @@ import (
 	"secext/internal/dispatch"
 	"secext/internal/names"
 	"secext/internal/subject"
+	"secext/internal/telemetry"
 )
 
 // check is the single enforcement path of the reference monitor. Every
 // mediated operation resolves the object in the universal name space,
 // applies the discretionary and mandatory rules for the requested
-// modes, and records the decision.
+// modes, and records the decision. When the telemetry sampler selects
+// the request, the whole decision is traced stage by stage and the
+// trace is correlated with the audit event via its sequence number;
+// unsampled requests take the exact untraced path.
 func (s *System) check(ctx *subject.Context, path string, modes acl.Mode, kind audit.Kind) (*names.Node, error) {
-	n, err := s.ns.CheckAccess(ctx, ctx.Class(), path, modes)
-	s.record(kind, ctx, path, modes.String(), err)
+	var tr *telemetry.ActiveTrace
+	if s.tel.Tracing() {
+		tr = s.tel.StartTrace(kind.String(), ctx.SubjectName(), path, modes.String())
+	}
+	var n *names.Node
+	var err error
+	if tr == nil {
+		n, err = s.ns.CheckAccess(ctx, ctx.Class(), path, modes)
+	} else {
+		tr.SetClass(ctx.ClassLabel())
+		n, err = s.ns.CheckAccessTraced(ctx, ctx.Class(), path, modes, tr)
+	}
+	seq := s.record(kind, ctx, path, modes.String(), err)
+	reason := ""
+	if err != nil {
+		reason = err.Error()
+	}
+	tr.Finish(seq, err == nil, reason)
 	return n, err
 }
 
-// record writes one audit event for a mediated decision.
-func (s *System) record(kind audit.Kind, ctx *subject.Context, path, op string, err error) {
+// record counts and audits one mediated decision, returning the audit
+// sequence number (0 when auditing is off). The telemetry counter runs
+// regardless of audit state: metrics must see every decision even on
+// systems running the E7 no-audit configuration.
+func (s *System) record(kind audit.Kind, ctx *subject.Context, path, op string, err error) uint64 {
+	s.tel.Mediation(int(kind), err == nil)
 	if !s.log.Enabled() {
-		return
+		return 0
 	}
 	reason := "granted"
 	if err != nil {
 		reason = err.Error()
 	}
-	s.log.Record(audit.Event{
+	return s.log.Record(audit.Event{
 		Kind:    kind,
 		Subject: ctx.SubjectName(),
 		Class:   ctx.ClassLabel(),

@@ -32,6 +32,7 @@ import (
 	"secext/internal/names"
 	"secext/internal/principal"
 	"secext/internal/subject"
+	"secext/internal/telemetry"
 )
 
 // Errors returned by the reference monitor.
@@ -74,6 +75,13 @@ type Options struct {
 	// pipeline (internal/monitor). They run in order; the first denial
 	// wins. More guards can be installed later via Monitor().Install.
 	Guards []monitor.Guard
+	// Telemetry configures the observability subsystem: mediation
+	// counters, sampled latency histograms, and decision traces. The
+	// zero value enables the default (metrics on, traces sampled 1/64);
+	// Mode telemetry.ModeOff disables it entirely, leaving the mediation
+	// path exactly as it was before telemetry existed. Kinds is filled in
+	// by NewSystem.
+	Telemetry telemetry.Options
 }
 
 // System is the reference monitor and the owner of every protection-
@@ -86,6 +94,7 @@ type System struct {
 	log    *audit.Log
 	loader *extension.Loader
 	pipe   *monitor.Pipeline
+	tel    *telemetry.Telemetry
 
 	trustLinkTime atomic.Bool
 }
@@ -126,6 +135,28 @@ func NewSystem(opts Options) (*System, error) {
 	s.pipe = monitor.NewPipeline(stack...)
 	s.ns.SetPipeline(s.pipe)
 
+	// Observability: counters keyed by the audit kind vocabulary, guard
+	// series pre-registered so /metrics exposes every guard from the
+	// first scrape, and snapshot wiring for the stats other layers keep
+	// themselves. ModeOff leaves tel nil — every instrumentation site is
+	// nil-safe, so a disabled system pays one predictable branch.
+	telOpts := opts.Telemetry
+	telOpts.Kinds = audit.KindNames()
+	s.tel = telemetry.New(telOpts)
+	s.tel.RegisterGuards(s.pipe.Guards()...)
+	s.tel.SetAuditStats(func() telemetry.AuditStats {
+		st := s.log.Stats()
+		return telemetry.AuditStats{
+			Total: st.Total, Allowed: st.Allowed, Denied: st.Denied,
+			Bypassed: st.Bypassed, Dropped: st.Dropped,
+		}
+	})
+	if s.tel != nil {
+		s.disp.SetAdmissionObserver(func(_ string, admitted bool) {
+			s.tel.Admission(admitted)
+		})
+	}
+
 	// Host-privileged *Unchecked operations bypass the pipeline; record
 	// each one as an administrative bypass event so the audit trail
 	// shows exactly where trusted code stepped around mediation.
@@ -160,6 +191,13 @@ func NewSystem(opts Options) (*System, error) {
 		s.ns.SetDecisionCache(cache)
 		lat.SetMutationHook(cache.Invalidate)
 		s.reg.SetMutationHook(cache.Invalidate)
+		s.tel.SetCacheStats(func() telemetry.CacheStats {
+			st := cache.Stats()
+			return telemetry.CacheStats{
+				Hits: st.Hits, Misses: st.Misses, Stores: st.Stores,
+				Invalidations: st.Invalidations, Capacity: st.Capacity,
+			}
+		})
 	}
 	s.log.SetEnabled(!opts.DisableAudit)
 	s.trustLinkTime.Store(opts.TrustLinkTime)
@@ -186,6 +224,11 @@ func (s *System) Monitor() *monitor.Pipeline { return s.pipe }
 
 // Audit returns the audit log.
 func (s *System) Audit() *audit.Log { return s.log }
+
+// Telemetry returns the observability subsystem, or nil when the system
+// was built with telemetry.ModeOff. All telemetry methods are nil-safe,
+// so callers may use the result unconditionally.
+func (s *System) Telemetry() *telemetry.Telemetry { return s.tel }
 
 // DecisionCache returns the mediation fast-path cache, or nil when the
 // system was built with DisableDecisionCache.

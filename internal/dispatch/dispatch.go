@@ -104,6 +104,12 @@ type Dispatcher struct {
 	// every binding. The dispatcher itself stays policy-free: the
 	// reference monitor installs its pipeline here as a plain function.
 	admission atomic.Pointer[AdmissionFunc]
+
+	// observer, when set, is told the outcome of every admission check
+	// (Select and Multicast candidates alike). The reference monitor
+	// points it at its telemetry counters; like admission it must be a
+	// cheap pure function and must not call back into the dispatcher.
+	observer atomic.Pointer[func(service string, admitted bool)]
 }
 
 // New creates an empty dispatcher.
@@ -123,19 +129,30 @@ func (d *Dispatcher) SetAdmission(f AdmissionFunc) {
 	d.admission.Store(&f)
 }
 
+// SetAdmissionObserver installs (or, with nil, removes) a callback
+// notified of every admission decision. Call during setup.
+func (d *Dispatcher) SetAdmissionObserver(f func(service string, admitted bool)) {
+	if f == nil {
+		d.observer.Store(nil)
+		return
+	}
+	d.observer.Store(&f)
+}
+
 // admits applies the admission rule and the binding's own Guard.
 func (d *Dispatcher) admits(path string, caller lattice.Class, b *Binding) bool {
 	rule := defaultAdmission
 	if f := d.admission.Load(); f != nil {
 		rule = *f
 	}
-	if !rule(caller, path, b.Static) {
-		return false
+	ok := rule(caller, path, b.Static)
+	if ok && b.Guard != nil && !b.Guard(caller) {
+		ok = false
 	}
-	if b.Guard != nil && !b.Guard(caller) {
-		return false
+	if obs := d.observer.Load(); obs != nil {
+		(*obs)(path, ok)
 	}
-	return true
+	return ok
 }
 
 // Register installs the base implementation of a service. Each path can

@@ -32,10 +32,12 @@ package monitor
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"secext/internal/acl"
 	"secext/internal/decision"
 	"secext/internal/lattice"
+	"secext/internal/telemetry"
 )
 
 // Op tells guards which mechanism operation produced a request. Most
@@ -221,6 +223,28 @@ func NewPipeline(guards ...Guard) *Pipeline {
 func (p *Pipeline) Check(r Request) Verdict {
 	for _, g := range p.stack.Load().guards {
 		if v := g.Check(r); !v.Allow {
+			return v
+		}
+	}
+	return Verdict{Allow: true}
+}
+
+// CheckTraced is Check with per-guard observability: each guard's
+// verdict and evaluation time are recorded as a span on tr, and the
+// denying guard's name is filled into the combined verdict. It is only
+// invoked for requests the telemetry sampler selected, so the
+// per-guard timestamps never burden the common path; tr may be nil, in
+// which case it degrades to Check plus the clock reads.
+func (p *Pipeline) CheckTraced(r Request, tr *telemetry.ActiveTrace) Verdict {
+	for _, g := range p.stack.Load().guards {
+		start := time.Now()
+		v := g.Check(r)
+		d := time.Since(start)
+		tr.Guard(g.Name(), v.Allow, v.Reason, d)
+		if !v.Allow {
+			if v.Guard == "" {
+				v.Guard = g.Name()
+			}
 			return v
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"secext/internal/acl"
 	"secext/internal/decision"
@@ -12,6 +13,7 @@ import (
 	"secext/internal/monitor"
 	"secext/internal/monitor/dacguard"
 	"secext/internal/monitor/macguard"
+	"secext/internal/telemetry"
 )
 
 // ErrNotEmpty is returned when unbinding a node that still has children.
@@ -304,6 +306,41 @@ func (s *Server) CheckAccess(sub acl.Subject, class lattice.Class, path string, 
 	return n, err
 }
 
+// CheckAccessTraced is CheckAccess with stage-by-stage observability:
+// the decision-cache probe, the path resolution, and each guard's
+// verdict land as spans on tr. It is invoked only for requests the
+// telemetry sampler selected, so the extra clock reads never touch the
+// common path; the decision returned is identical to CheckAccess's.
+func (s *Server) CheckAccessTraced(sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, error) {
+	cache := s.cache
+	if cache == nil {
+		return s.checkAccessFullTraced(sub, class, path, modes, tr)
+	}
+	cacheable, stack := s.pipe.Snapshot()
+	if !cacheable {
+		tr.Span("cache-skip", "stateful guard", 0)
+		return s.checkAccessFullTraced(sub, class, path, modes, tr)
+	}
+	name := sub.SubjectName()
+	start := time.Now()
+	node, err, ok := cache.Lookup(name, class, path, modes, stack)
+	gen := cache.Gen()
+	tr.CacheProbe(ok, gen, time.Since(start))
+	if ok {
+		if err != nil {
+			return nil, err
+		}
+		return node.(*Node), nil
+	}
+	n, err := s.checkAccessFullTraced(sub, class, path, modes, tr)
+	if err == nil {
+		cache.StoreAt(gen, name, class, path, modes, stack, n, nil)
+	} else if errors.Is(err, ErrDenied) {
+		cache.StoreAt(gen, name, class, path, modes, stack, nil, err)
+	}
+	return n, err
+}
+
 // checkAccessFull is the uncached check: resolve under the read lock,
 // then verify the target.
 func (s *Server) checkAccessFull(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
@@ -315,6 +352,27 @@ func (s *Server) checkAccessFull(sub acl.Subject, class lattice.Class, path stri
 	}
 	if err := s.checkNode(n, path, sub, class, modes, monitor.OpAccess); err != nil {
 		return nil, err
+	}
+	return n, nil
+}
+
+// checkAccessFullTraced mirrors checkAccessFull, recording the resolve
+// duration as a span and running the pipeline through CheckTraced so
+// each guard's verdict is visible individually.
+func (s *Server) checkAccessFullTraced(sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	start := time.Now()
+	n, err := s.resolveLocked(sub, class, path, true)
+	tr.Span("resolve", "", time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	v := s.pipe.CheckTraced(monitor.Request{
+		Subject: sub, Class: class, Object: describe(n, path), Modes: modes, Op: monitor.OpAccess,
+	}, tr)
+	if !v.Allow {
+		return nil, &DeniedError{Path: path, Op: modes.String(), Why: v.Reason}
 	}
 	return n, nil
 }

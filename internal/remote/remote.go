@@ -21,6 +21,8 @@
 //	SEND <endpoint> <text>   send a message
 //	RECV <endpoint>          receive (response: OK <from> <class> <quoted>)
 //	JOURNAL <text...>        append to the system journal
+//	STATS                    one-line telemetry summary
+//	TRACE [n]                recent decision traces: "OK <k>" then k lines
 //	WHOAMI                   current principal and class
 //	QUIT                     close the connection
 package remote
@@ -29,6 +31,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -37,6 +40,17 @@ import (
 	"secext/internal/services/netsvc"
 	"secext/internal/subject"
 )
+
+// statsLine renders the one-line STATS summary of a telemetry snapshot.
+func statsLine(sys *core.System) string {
+	s := sys.Telemetry().Snapshot()
+	allowed, denied := s.Mediated()
+	return fmt.Sprintf(
+		"mode=%s mediations=%d allowed=%d denied=%d cache_hits=%d cache_misses=%d admissions=%d traces=%d",
+		s.Mode, allowed+denied, allowed, denied,
+		s.Cache.Hits, s.Cache.Misses,
+		s.Admissions.Allowed+s.Admissions.Denied, s.TracesSampled)
+}
 
 // Server serves the protocol over a listener.
 type Server struct {
@@ -282,6 +296,33 @@ func (s *session) dispatch(line string) {
 			return
 		}
 		s.reply("OK")
+	case "STATS":
+		if !s.need() {
+			return
+		}
+		s.reply("OK %s", statsLine(s.srv.sys))
+	case "TRACE":
+		if len(args) > 1 {
+			s.reply("ERR usage: TRACE [n]")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		n := 10
+		if len(args) == 1 {
+			parsed, err := strconv.Atoi(args[0])
+			if err != nil || parsed < 1 {
+				s.reply("ERR usage: TRACE [n]")
+				return
+			}
+			n = parsed
+		}
+		traces := s.srv.sys.Telemetry().Recent(n, false)
+		s.reply("OK %d", len(traces))
+		for _, tr := range traces {
+			s.reply("%s", tr.String())
+		}
 	default:
 		s.reply("ERR unknown command %q", cmd)
 	}

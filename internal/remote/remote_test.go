@@ -309,3 +309,39 @@ func TestRemoteQuotaGuard(t *testing.T) {
 		t.Errorf("alice exhausted READ = %q", got)
 	}
 }
+
+func TestRemoteStatsAndTrace(t *testing.T) {
+	addr, aliceTok, _ := startServer(t)
+	c := dial(t, addr)
+	c.expectErr("STATS") // introspection needs authority too
+	c.expectErr("TRACE")
+	c.expectOK("AUTH %s", aliceTok)
+	c.expectOK("CREATE /fs/stats-note")
+
+	got := c.expectOK("STATS")
+	for _, want := range []string{"mode=sampled", "mediations=", "cache_hits=", "traces="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("STATS = %q, missing %q", got, want)
+		}
+	}
+
+	c.expectErr("TRACE nope")
+	c.expectErr("TRACE 0")
+	c.expectErr("TRACE 1 2")
+	head := c.expectOK("TRACE 5")
+	var k int
+	if _, err := fmt.Sscanf(head, "OK %d", &k); err != nil {
+		t.Fatalf("TRACE header = %q: %v", head, err)
+	}
+	// The sampler always selects the first mediation after boot, so a
+	// fresh world has at least one trace to return.
+	if k < 1 {
+		t.Fatalf("TRACE returned %d traces, want at least 1", k)
+	}
+	for i := 0; i < k; i++ {
+		line := c.readLine()
+		if !strings.Contains(line, "trace #") || !strings.Contains(line, "seq=") {
+			t.Errorf("trace line %d = %q", i, line)
+		}
+	}
+}

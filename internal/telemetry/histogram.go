@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count of every latency histogram.
+// Bucket 0 holds zero-duration observations; bucket b (b >= 1) holds
+// durations in [2^(b-1), 2^b) nanoseconds, so 40 buckets cover up to
+// ~2^39 ns ≈ 9 minutes — far beyond any mediation latency — with the
+// last bucket absorbing anything larger.
+const HistBuckets = 40
+
+// Histogram is a lock-free, fixed-size, log-bucketed latency histogram.
+// Observe performs two atomic adds and no allocation, so it is safe on
+// the mediation path; Snapshot may run concurrently with writers. The
+// zero Histogram is ready to use.
+type Histogram struct {
+	sum     atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns)) // 0 for 0ns, k for [2^(k-1), 2^k)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.sum.Add(uint64(ns))
+}
+
+// HistSnapshot is a point-in-time view of a Histogram. Count is derived
+// from the bucket values read by Snapshot, so Count always equals the
+// sum of Buckets — the consistency contract concurrent readers rely on
+// — and successive snapshots never see Count decrease (buckets only
+// grow).
+type HistSnapshot struct {
+	Count   uint64              `json:"count"`
+	SumNS   uint64              `json:"sum_ns"`
+	P50     float64             `json:"p50_ns"`
+	P95     float64             `json:"p95_ns"`
+	P99     float64             `json:"p99_ns"`
+	Buckets [HistBuckets]uint64 `json:"buckets"`
+}
+
+// Snapshot reads the histogram without stopping writers. An observation
+// that lands mid-snapshot may or may not appear; what does appear is
+// internally consistent (Count == Σ Buckets).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.SumNS = h.sum.Load()
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Buckets[i] = c
+		s.Count += c
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// bucketBounds returns the value range [lo, hi) of bucket b in
+// nanoseconds.
+func bucketBounds(b int) (lo, hi float64) {
+	if b == 0 {
+		return 0, 1
+	}
+	return float64(uint64(1) << (b - 1)), float64(uint64(1) << b)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in nanoseconds by
+// linear interpolation inside the covering bucket. An empty snapshot
+// returns 0.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := 0.0
+	for b, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum >= target {
+			lo, hi := bucketBounds(b)
+			frac := (target - prev) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+	}
+	_, hi := bucketBounds(HistBuckets - 1)
+	return hi
+}
+
+// Mean returns the average observed duration in nanoseconds.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNS) / float64(s.Count)
+}

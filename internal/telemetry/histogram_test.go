@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)                    // bucket 0
+	h.Observe(1)                    // bucket 1: [1,2)
+	h.Observe(3)                    // bucket 2: [2,4)
+	h.Observe(1000)                 // bucket 10: [512,1024)
+	h.Observe(-5 * time.Nanosecond) // clamps to 0 -> bucket 0
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.SumNS != 0+1+3+1000 {
+		t.Fatalf("sum = %d, want 1004", s.SumNS)
+	}
+	for b, want := range map[int]uint64{0: 2, 1: 1, 2: 1, 10: 1} {
+		if s.Buckets[b] != want {
+			t.Errorf("bucket %d = %d, want %d", b, s.Buckets[b], want)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Duration(1) << 50) // beyond the last bucket's range
+	s := h.Snapshot()
+	if s.Buckets[HistBuckets-1] != 1 {
+		t.Fatalf("overflow observation not in last bucket: %+v", s.Buckets)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// 100 observations of ~1µs, 1 of ~1ms: p50 must sit in the µs
+	// bucket, p99+ may reach the ms bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 < 512 || p50 > 2048 {
+		t.Errorf("p50 = %vns, want within the ~1µs bucket", p50)
+	}
+	if p999 := s.Quantile(0.9999); p999 < 512*1024 {
+		t.Errorf("p99.99 = %vns, want in the ~1ms bucket", p999)
+	}
+	if m := s.Mean(); m < 1000 {
+		t.Errorf("mean = %v, want >= 1000", m)
+	}
+}
+
+// TestHistogramConcurrent drives parallel writers against a snapshot
+// reader under the race detector, asserting the snapshot consistency
+// contract: Count always equals the sum of Buckets, successive
+// snapshots are monotone, and the final counts are exact.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 5000
+	)
+	var h Histogram
+	durations := []time.Duration{0, 100, 900, 70 * time.Microsecond, 3 * time.Millisecond}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prevCount uint64
+		for {
+			s := h.Snapshot()
+			var bucketSum uint64
+			for _, c := range s.Buckets {
+				bucketSum += c
+			}
+			if s.Count != bucketSum {
+				readerErr = errf("snapshot count %d != bucket sum %d", s.Count, bucketSum)
+				return
+			}
+			if s.Count < prevCount {
+				readerErr = errf("count went backwards: %d -> %d", prevCount, s.Count)
+				return
+			}
+			prevCount = s.Count
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(seed int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(durations[(seed+i)%len(durations)])
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+
+	s := h.Snapshot()
+	if want := uint64(writers * perWriter); s.Count != want {
+		t.Fatalf("final count = %d, want %d", s.Count, want)
+	}
+	var expectSum uint64
+	for i := 0; i < writers*perWriter; i++ {
+		expectSum += uint64(durations[i%len(durations)].Nanoseconds())
+	}
+	// Each writer walks the durations cycle from its own offset; totals
+	// across all writers cover the cycle uniformly, so the exact sum is
+	// writers × (sum over perWriter entries starting anywhere) only
+	// when perWriter is a multiple of the cycle length — it is.
+	if perWriter%len(durations) == 0 {
+		var cycle uint64
+		for _, d := range durations {
+			cycle += uint64(d.Nanoseconds())
+		}
+		want := cycle * uint64(writers) * uint64(perWriter/len(durations))
+		if s.SumNS != want {
+			t.Fatalf("final sum = %d, want %d", s.SumNS, want)
+		}
+	}
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// HTTPHandler returns the live introspection endpoints:
+//
+//	/metrics              Prometheus text format
+//	/debug/stats          the full Snapshot as JSON
+//	/debug/trace/recent   recent traces, JSON by default;
+//	                      ?n=20 limits, ?denied=1 filters to denials,
+//	                      ?text=1 renders one line per trace
+//
+// Safe on a nil receiver: a disabled system still serves the endpoints
+// (zero metrics, no traces), so dashboards never 404 on configuration.
+func (t *Telemetry) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, t.Snapshot())
+	})
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Snapshot())
+	})
+	mux.HandleFunc("/debug/trace/recent", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
+		denied := r.URL.Query().Get("denied") == "1"
+		traces := t.Recent(n, denied)
+		if r.URL.Query().Get("text") == "1" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, tr := range traces {
+				fmt.Fprintln(w, tr.String())
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if traces == nil {
+			traces = []Trace{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(traces)
+	})
+	return mux
+}

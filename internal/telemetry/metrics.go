@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the registry of counters and histograms. Counter updates
+// are single atomic adds; the guard table is copy-on-write so the
+// lookup on the (sampled) trace path is one atomic load plus a map
+// read.
+type metrics struct {
+	// mediations holds one allowed and one denied counter per mediation
+	// kind, flattened kind*2+verdict (verdict 0 = allowed).
+	mediations []atomic.Uint64
+	kinds      []string
+
+	// mediationLat observes the end-to-end latency of sampled
+	// mediations (the sampler bounds its cost; counts come from the
+	// unsampled counters above).
+	mediationLat Histogram
+
+	admitAllowed atomic.Uint64
+	admitDenied  atomic.Uint64
+
+	// guards maps guard name -> *guardStat, copy-on-write under mu.
+	guards atomic.Pointer[map[string]*guardStat]
+	mu     sync.Mutex
+}
+
+// guardStat accumulates one guard's verdict counters and evaluation-
+// time histogram. Fed from sampled traces only.
+type guardStat struct {
+	allowed atomic.Uint64
+	denied  atomic.Uint64
+	lat     Histogram
+}
+
+func (m *metrics) init(kinds []string) {
+	m.kinds = append([]string(nil), kinds...)
+	m.mediations = make([]atomic.Uint64, 2*len(kinds))
+	empty := map[string]*guardStat{}
+	m.guards.Store(&empty)
+}
+
+// mediation counts one mediated decision.
+// admission counts one dispatcher admission decision.
+func (m *metrics) admission(admitted bool) {
+	if admitted {
+		m.admitAllowed.Add(1)
+	} else {
+		m.admitDenied.Add(1)
+	}
+}
+
+// guard returns the stat record for name, creating it on first use.
+func (m *metrics) guard(name string) *guardStat {
+	if g, ok := (*m.guards.Load())[name]; ok {
+		return g
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := *m.guards.Load()
+	if g, ok := cur[name]; ok {
+		return g
+	}
+	next := make(map[string]*guardStat, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	g := &guardStat{}
+	next[name] = g
+	m.guards.Store(&next)
+	return g
+}
+
+// observeGuard records one sampled guard evaluation.
+func (m *metrics) observeGuard(name string, allowed bool, d time.Duration) {
+	g := m.guard(name)
+	if allowed {
+		g.allowed.Add(1)
+	} else {
+		g.denied.Add(1)
+	}
+	g.lat.Observe(d)
+}
+
+// MediationStat is the per-kind decision counters in a Snapshot.
+type MediationStat struct {
+	Kind    string `json:"kind"`
+	Allowed uint64 `json:"allowed"`
+	Denied  uint64 `json:"denied"`
+}
+
+// GuardStat is one guard's sampled counters and latency in a Snapshot.
+type GuardStat struct {
+	Name    string       `json:"name"`
+	Allowed uint64       `json:"allowed"`
+	Denied  uint64       `json:"denied"`
+	Latency HistSnapshot `json:"latency"`
+}
+
+// CacheStats mirrors the decision cache's counters; the reference
+// monitor wires the cache in via SetCacheStats so this package stays a
+// leaf.
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Stores        uint64 `json:"stores"`
+	Invalidations uint64 `json:"invalidations"`
+	Capacity      int    `json:"capacity"`
+}
+
+// AuditStats mirrors the audit log's counters, including ring drops
+// (events overwritten before ever being read out).
+type AuditStats struct {
+	Total    uint64 `json:"total"`
+	Allowed  uint64 `json:"allowed"`
+	Denied   uint64 `json:"denied"`
+	Bypassed uint64 `json:"bypassed"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// AdmissionStats counts dispatcher admission decisions.
+type AdmissionStats struct {
+	Allowed uint64 `json:"allowed"`
+	Denied  uint64 `json:"denied"`
+}
+
+// Snapshot is a consistent-enough point-in-time view of every metric:
+// counters are read once each, histograms satisfy Count == Σ Buckets,
+// and successive snapshots are monotone.
+type Snapshot struct {
+	Mode             string          `json:"mode"`
+	SampleEvery      int             `json:"sample_every"`
+	Mediations       []MediationStat `json:"mediations"`
+	MediationLatency HistSnapshot    `json:"mediation_latency"`
+	Guards           []GuardStat     `json:"guards"`
+	Cache            CacheStats      `json:"cache"`
+	Audit            AuditStats      `json:"audit"`
+	Admissions       AdmissionStats  `json:"admissions"`
+	TracesSampled    uint64          `json:"traces_sampled"`
+}
+
+// Mediated returns the total decision counts across kinds.
+func (s Snapshot) Mediated() (allowed, denied uint64) {
+	for _, m := range s.Mediations {
+		allowed += m.Allowed
+		denied += m.Denied
+	}
+	return allowed, denied
+}
+
+func (m *metrics) snapshot() (meds []MediationStat, lat HistSnapshot, guards []GuardStat, adm AdmissionStats) {
+	meds = make([]MediationStat, len(m.kinds))
+	for i, k := range m.kinds {
+		meds[i] = MediationStat{
+			Kind:    k,
+			Allowed: m.mediations[2*i].Load(),
+			Denied:  m.mediations[2*i+1].Load(),
+		}
+	}
+	lat = m.mediationLat.Snapshot()
+	cur := *m.guards.Load()
+	guards = make([]GuardStat, 0, len(cur))
+	for name, g := range cur {
+		guards = append(guards, GuardStat{
+			Name:    name,
+			Allowed: g.allowed.Load(),
+			Denied:  g.denied.Load(),
+			Latency: g.lat.Snapshot(),
+		})
+	}
+	sort.Slice(guards, func(i, j int) bool { return guards[i].Name < guards[j].Name })
+	adm = AdmissionStats{Allowed: m.admitAllowed.Load(), Denied: m.admitDenied.Load()}
+	return meds, lat, guards, adm
+}

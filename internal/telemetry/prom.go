@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteProm renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4) using only the standard library. Histograms are
+// emitted with cumulative log-2 buckets in seconds, trimmed past the
+// last occupied bucket to keep the page readable.
+func WriteProm(w io.Writer, s Snapshot) error {
+	ew := &errWriter{w: w}
+
+	ew.printf("# HELP secext_mediations_total Mediated access decisions by kind and verdict.\n")
+	ew.printf("# TYPE secext_mediations_total counter\n")
+	for _, m := range s.Mediations {
+		ew.printf("secext_mediations_total{kind=%q,verdict=\"allowed\"} %d\n", m.Kind, m.Allowed)
+		ew.printf("secext_mediations_total{kind=%q,verdict=\"denied\"} %d\n", m.Kind, m.Denied)
+	}
+
+	ew.printf("# HELP secext_decision_cache_hits_total Decision-cache lookups served from cache.\n")
+	ew.printf("# TYPE secext_decision_cache_hits_total counter\n")
+	ew.printf("secext_decision_cache_hits_total %d\n", s.Cache.Hits)
+	ew.printf("# HELP secext_decision_cache_misses_total Decision-cache lookups that took the full check.\n")
+	ew.printf("# TYPE secext_decision_cache_misses_total counter\n")
+	ew.printf("secext_decision_cache_misses_total %d\n", s.Cache.Misses)
+	ew.printf("# HELP secext_decision_cache_invalidations_total Protection-state generation bumps.\n")
+	ew.printf("# TYPE secext_decision_cache_invalidations_total counter\n")
+	ew.printf("secext_decision_cache_invalidations_total %d\n", s.Cache.Invalidations)
+	ew.printf("# HELP secext_decision_cache_stores_total Verdicts published into the decision cache.\n")
+	ew.printf("# TYPE secext_decision_cache_stores_total counter\n")
+	ew.printf("secext_decision_cache_stores_total %d\n", s.Cache.Stores)
+
+	ew.printf("# HELP secext_audit_events_total Audit log decisions by verdict, plus mediation bypasses.\n")
+	ew.printf("# TYPE secext_audit_events_total counter\n")
+	ew.printf("secext_audit_events_total{verdict=\"allowed\"} %d\n", s.Audit.Allowed)
+	ew.printf("secext_audit_events_total{verdict=\"denied\"} %d\n", s.Audit.Denied)
+	ew.printf("secext_audit_events_total{verdict=\"bypassed\"} %d\n", s.Audit.Bypassed)
+	ew.printf("# HELP secext_audit_ring_dropped_total Audit events overwritten in the bounded ring.\n")
+	ew.printf("# TYPE secext_audit_ring_dropped_total counter\n")
+	ew.printf("secext_audit_ring_dropped_total %d\n", s.Audit.Dropped)
+
+	ew.printf("# HELP secext_dispatch_admissions_total Dispatcher admission decisions.\n")
+	ew.printf("# TYPE secext_dispatch_admissions_total counter\n")
+	ew.printf("secext_dispatch_admissions_total{verdict=\"admitted\"} %d\n", s.Admissions.Allowed)
+	ew.printf("secext_dispatch_admissions_total{verdict=\"rejected\"} %d\n", s.Admissions.Denied)
+
+	ew.printf("# HELP secext_traces_sampled_total Mediations selected by the trace sampler.\n")
+	ew.printf("# TYPE secext_traces_sampled_total counter\n")
+	ew.printf("secext_traces_sampled_total %d\n", s.TracesSampled)
+
+	writePromHist(ew, "secext_mediation_seconds",
+		"End-to-end mediation latency (sampled).", "", s.MediationLatency)
+	for _, g := range s.Guards {
+		writePromHist(ew, "secext_guard_eval_seconds",
+			"Per-guard evaluation latency (sampled).",
+			"guard="+strconv.Quote(g.Name), g.Latency)
+	}
+	return ew.err
+}
+
+// writePromHist emits one histogram metric family; labels is either ""
+// or a rendered `name="value"` list without braces.
+func writePromHist(ew *errWriter, name, help, labels string, h HistSnapshot) {
+	ew.printf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	last := 0
+	for i, c := range h.Buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	cum := uint64(0)
+	for b := 0; b <= last; b++ {
+		cum += h.Buckets[b]
+		_, hi := bucketBounds(b)
+		ew.printf("%s_bucket{%s} %d\n", name, promLabels(labels, "le", formatSeconds(hi)), cum)
+	}
+	ew.printf("%s_bucket{%s} %d\n", name, promLabels(labels, "le", "+Inf"), h.Count)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	ew.printf("%s_sum%s %s\n", name, labels, formatSeconds(float64(h.SumNS)))
+	ew.printf("%s_count%s %d\n", name, labels, h.Count)
+}
+
+// promLabels joins an optional pre-rendered label list with one more
+// label pair.
+func promLabels(labels, k, v string) string {
+	pair := k + "=" + strconv.Quote(v)
+	if labels == "" {
+		return pair
+	}
+	return labels + "," + pair
+}
+
+// formatSeconds renders a nanosecond quantity as seconds.
+func formatSeconds(ns float64) string {
+	return strconv.FormatFloat(ns/1e9, 'g', -1, 64)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

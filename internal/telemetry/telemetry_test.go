@@ -1,0 +1,356 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestTelemetry(opts Options) *Telemetry {
+	if opts.Kinds == nil {
+		opts.Kinds = []string{"call", "data"}
+	}
+	return New(opts)
+}
+
+func TestNilTelemetryIsNoOp(t *testing.T) {
+	var tel *Telemetry
+	tel.Mediation(0, true)
+	tel.Admission(false)
+	tel.RegisterGuards("dac")
+	tel.SetCacheStats(func() CacheStats { return CacheStats{} })
+	tel.SetAuditStats(nil)
+	if tr := tel.StartTrace("call", "a", "/x", "read"); tr != nil {
+		t.Fatal("nil telemetry sampled a trace")
+	}
+	var a *ActiveTrace
+	a.SetClass("c")
+	a.Span("resolve", "", time.Microsecond)
+	a.CacheProbe(true, 1, 0)
+	a.Guard("dac", true, "", 0)
+	a.Finish(1, true, "")
+	if got := tel.Recent(10, false); got != nil {
+		t.Fatalf("nil Recent = %v", got)
+	}
+	s := tel.Snapshot()
+	if s.Mode != "off" {
+		t.Fatalf("nil snapshot mode = %q, want off", s.Mode)
+	}
+	if tel.Mode() != ModeOff {
+		t.Fatalf("nil Mode() = %v", tel.Mode())
+	}
+}
+
+func TestNewOffReturnsNil(t *testing.T) {
+	if tel := New(Options{Mode: ModeOff}); tel != nil {
+		t.Fatal("New(ModeOff) != nil")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"off", ModeOff, true}, {"metrics", ModeMetrics, true},
+		{"sampled", ModeSampled, true}, {"full", ModeFull, true},
+		{"bogus", ModeOff, false},
+	} {
+		got, ok := ParseMode(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("ParseMode(%q) = %v,%v want %v,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestMediationCounters(t *testing.T) {
+	tel := newTestTelemetry(Options{})
+	tel.Mediation(0, true)
+	tel.Mediation(0, true)
+	tel.Mediation(0, false)
+	tel.Mediation(1, false)
+	tel.Mediation(99, true) // out of range: ignored, no panic
+	tel.Mediation(-1, true)
+	s := tel.Snapshot()
+	if s.Mediations[0].Allowed != 2 || s.Mediations[0].Denied != 1 {
+		t.Fatalf("kind 0 = %+v", s.Mediations[0])
+	}
+	if s.Mediations[1].Denied != 1 {
+		t.Fatalf("kind 1 = %+v", s.Mediations[1])
+	}
+	a, d := s.Mediated()
+	if a != 2 || d != 2 {
+		t.Fatalf("Mediated() = %d,%d want 2,2", a, d)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	// The decision counter is the sampling clock: StartTrace consumes a
+	// flag that Mediation arms every SampleEvery-th decision, so the
+	// test follows the real request flow (trace decision, then count).
+	tel := newTestTelemetry(Options{SampleEvery: 4})
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		tr := tel.StartTrace("call", "a", "/x", "read")
+		tel.Mediation(0, true)
+		if tr != nil {
+			sampled++
+			tr.Finish(0, true, "")
+		}
+	}
+	// Requests 1 (boot flag), 5, 9, and 13 (armed by counts 4, 8, 12).
+	if sampled != 4 {
+		t.Fatalf("sampled %d of 16 with SampleEvery=4, want 4", sampled)
+	}
+	// The very first mediation must be sampled.
+	tel2 := newTestTelemetry(Options{SampleEvery: 1000})
+	if tr := tel2.StartTrace("call", "a", "/x", "read"); tr == nil {
+		t.Fatal("first mediation not sampled")
+	}
+	// SampleEvery rounds up to a power of two.
+	if got := tel2.Snapshot().SampleEvery; got != 1024 {
+		t.Fatalf("SampleEvery 1000 rounded to %d, want 1024", got)
+	}
+}
+
+func TestFullModeTracesEverything(t *testing.T) {
+	tel := newTestTelemetry(Options{Mode: ModeFull, SampleEvery: 1000})
+	for i := 0; i < 10; i++ {
+		tr := tel.StartTrace("call", "a", "/x", "read")
+		if tr == nil {
+			t.Fatal("full mode skipped a trace")
+		}
+		tr.Finish(0, true, "")
+	}
+	if got := len(tel.Recent(0, false)); got != 10 {
+		t.Fatalf("retained %d traces, want 10", got)
+	}
+}
+
+func TestMetricsModeRetainsNoTraces(t *testing.T) {
+	tel := newTestTelemetry(Options{Mode: ModeMetrics, SampleEvery: 1})
+	tr := tel.StartTrace("call", "a", "/x", "read")
+	if tr == nil {
+		t.Fatal("metrics mode must still sample for histograms")
+	}
+	tr.Finish(0, true, "")
+	if got := tel.Recent(0, false); len(got) != 0 {
+		t.Fatalf("metrics mode retained traces: %v", got)
+	}
+	if s := tel.Snapshot(); s.MediationLatency.Count != 1 {
+		t.Fatalf("latency histogram count = %d, want 1", s.MediationLatency.Count)
+	}
+}
+
+func TestTraceContentAndRender(t *testing.T) {
+	tel := newTestTelemetry(Options{Mode: ModeFull})
+	tr := tel.StartTrace("data", "alice", "/fs/secret", "read")
+	tr.SetClass("organization:{dept-1}")
+	tr.CacheProbe(false, 7, 120*time.Nanosecond)
+	tr.Span("resolve", "", time.Microsecond)
+	tr.Guard("dac", true, "", 300*time.Nanosecond)
+	tr.Guard("mac", false, "mac: no read up", 200*time.Nanosecond)
+	tr.Finish(42, false, "denied: mac: no read up")
+
+	got := tel.Recent(1, false)
+	if len(got) != 1 {
+		t.Fatalf("want 1 trace, got %d", len(got))
+	}
+	trace := got[0]
+	if trace.Seq != 42 || trace.Allowed || trace.DeniedBy != "mac" {
+		t.Fatalf("trace = %+v", trace)
+	}
+	if len(trace.Spans) != 4 {
+		t.Fatalf("spans = %v", trace.Spans)
+	}
+	if trace.Spans[0].Name != "cache" || !strings.Contains(trace.Spans[0].Detail, "miss gen=7") {
+		t.Fatalf("cache span = %+v", trace.Spans[0])
+	}
+	line := trace.String()
+	for _, want := range []string{"DENY", "alice@organization:{dept-1}", "/fs/secret",
+		"guard:mac", "denied-by=mac", "seq=42"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("render %q missing %q", line, want)
+		}
+	}
+
+	// The denying guard's evaluation fed the per-guard metrics.
+	s := tel.Snapshot()
+	var mac *GuardStat
+	for i := range s.Guards {
+		if s.Guards[i].Name == "mac" {
+			mac = &s.Guards[i]
+		}
+	}
+	if mac == nil || mac.Denied != 1 || mac.Latency.Count != 1 {
+		t.Fatalf("mac guard stat = %+v", mac)
+	}
+}
+
+func TestRecentFilterAndLimit(t *testing.T) {
+	tel := newTestTelemetry(Options{Mode: ModeFull, TraceCapacity: 4})
+	for i := 0; i < 6; i++ {
+		tr := tel.StartTrace("call", "a", "/x", "read")
+		tr.Finish(uint64(i+1), i%2 == 0, "boom")
+	}
+	all := tel.Recent(0, false)
+	if len(all) != 4 {
+		t.Fatalf("ring retained %d, want 4", len(all))
+	}
+	if all[0].ID < all[1].ID {
+		t.Fatal("Recent not newest-first")
+	}
+	denied := tel.Recent(0, true)
+	for _, tr := range denied {
+		if tr.Allowed {
+			t.Fatalf("denied filter returned allow: %+v", tr)
+		}
+	}
+	if got := tel.Recent(2, false); len(got) != 2 {
+		t.Fatalf("limit 2 returned %d", len(got))
+	}
+}
+
+func TestRegisterGuardsAndStatsWiring(t *testing.T) {
+	tel := newTestTelemetry(Options{})
+	tel.RegisterGuards("dac", "mac")
+	tel.SetCacheStats(func() CacheStats {
+		return CacheStats{Hits: 10, Misses: 3, Invalidations: 2, Capacity: 64}
+	})
+	tel.SetAuditStats(func() AuditStats {
+		return AuditStats{Total: 5, Allowed: 4, Denied: 1, Dropped: 7}
+	})
+	tel.Admission(true)
+	tel.Admission(false)
+	s := tel.Snapshot()
+	if len(s.Guards) != 2 || s.Guards[0].Name != "dac" || s.Guards[1].Name != "mac" {
+		t.Fatalf("guards = %+v", s.Guards)
+	}
+	if s.Cache.Hits != 10 || s.Audit.Dropped != 7 {
+		t.Fatalf("wired stats = %+v %+v", s.Cache, s.Audit)
+	}
+	if s.Admissions.Allowed != 1 || s.Admissions.Denied != 1 {
+		t.Fatalf("admissions = %+v", s.Admissions)
+	}
+}
+
+func TestWritePromOutput(t *testing.T) {
+	tel := newTestTelemetry(Options{Mode: ModeFull})
+	tel.RegisterGuards("dac", "mac")
+	tel.Mediation(0, true)
+	tel.Mediation(1, false)
+	tel.SetCacheStats(func() CacheStats { return CacheStats{Hits: 8, Misses: 2} })
+	tr := tel.StartTrace("call", "a", "/x", "read")
+	tr.Guard("dac", true, "", 250*time.Nanosecond)
+	tr.Finish(1, true, "")
+
+	var b strings.Builder
+	if err := WriteProm(&b, tel.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`secext_mediations_total{kind="call",verdict="allowed"} 1`,
+		`secext_mediations_total{kind="data",verdict="denied"} 1`,
+		`secext_decision_cache_hits_total 8`,
+		`secext_decision_cache_misses_total 2`,
+		`secext_guard_eval_seconds_bucket{guard="dac",le="+Inf"} 1`,
+		`secext_guard_eval_seconds_count{guard="mac"} 0`,
+		`secext_mediation_seconds_count 1`,
+		`secext_traces_sampled_total 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q\n%s", want, out)
+		}
+	}
+	// Basic format sanity: every non-comment line is "name{labels} value"
+	// or "name value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed prom line %q", line)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	tel := newTestTelemetry(Options{Mode: ModeFull})
+	tr := tel.StartTrace("call", "alice", "/svc/x", "execute")
+	tr.Guard("dac", false, "acl: no execute", time.Microsecond)
+	tr.Finish(3, false, "denied")
+	srv := httptest.NewServer(tel.HTTPHandler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String(), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ct := get("/metrics")
+	if !strings.Contains(ct, "text/plain") || !strings.Contains(metrics, "secext_mediations_total") {
+		t.Fatalf("/metrics: ct=%q body=%q", ct, metrics[:min(len(metrics), 200)])
+	}
+
+	stats, ct := get("/debug/stats")
+	if !strings.Contains(ct, "application/json") {
+		t.Fatalf("/debug/stats content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(stats), &snap); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if snap.Mode != "full" {
+		t.Fatalf("snapshot mode = %q", snap.Mode)
+	}
+
+	body, _ := get("/debug/trace/recent?n=5&denied=1")
+	var traces []Trace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("traces not JSON: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || traces[0].DeniedBy != "dac" {
+		t.Fatalf("traces = %+v", traces)
+	}
+	text, _ := get("/debug/trace/recent?text=1")
+	if !strings.Contains(text, "denied-by=dac") {
+		t.Fatalf("text render = %q", text)
+	}
+	if bad, _ := get("/debug/trace/recent?n=potato"); !strings.Contains(bad, "bad n") {
+		t.Fatalf("bad n accepted: %q", bad)
+	}
+
+	// Nil telemetry still serves (zero) endpoints.
+	var nilTel *Telemetry
+	nilSrv := httptest.NewServer(nilTel.HTTPHandler())
+	defer nilSrv.Close()
+	resp, err := nilSrv.Client().Get(nilSrv.URL + "/metrics")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("nil /metrics: %v %v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -49,6 +49,7 @@ import (
 	"secext/internal/policy"
 	"secext/internal/principal"
 	"secext/internal/subject"
+	"secext/internal/telemetry"
 )
 
 // Core system types.
@@ -192,6 +193,40 @@ type (
 	AuditStats = audit.Stats
 	// AuditQuery selects retained audit events.
 	AuditQuery = audit.Query
+)
+
+// Observability.
+type (
+	// Telemetry is the observability subsystem: mediation counters,
+	// sampled latency histograms, and decision traces; reach it via
+	// System.Telemetry() or World.Telemetry().
+	Telemetry = telemetry.Telemetry
+	// TelemetryOptions configure the subsystem (Options.Telemetry).
+	TelemetryOptions = telemetry.Options
+	// TelemetryMode selects how much the subsystem records.
+	TelemetryMode = telemetry.Mode
+	// TelemetrySnapshot is a point-in-time view of every counter.
+	TelemetrySnapshot = telemetry.Snapshot
+	// DecisionTrace is one sampled mediation, stage by stage.
+	DecisionTrace = telemetry.Trace
+)
+
+// WriteProm renders a telemetry snapshot in Prometheus text exposition
+// format (what secextd serves at /metrics).
+var WriteProm = telemetry.WriteProm
+
+// Telemetry modes.
+const (
+	// TelemetrySampled (the default) keeps all counters and samples
+	// traces (1 in SampleEvery mediations).
+	TelemetrySampled = telemetry.ModeSampled
+	// TelemetryOff disables telemetry entirely.
+	TelemetryOff = telemetry.ModeOff
+	// TelemetryMetrics keeps counters and sampled histograms but retains
+	// no traces.
+	TelemetryMetrics = telemetry.ModeMetrics
+	// TelemetryFull traces every mediation.
+	TelemetryFull = telemetry.ModeFull
 )
 
 // Policy files.

@@ -1,0 +1,111 @@
+package secext_test
+
+import (
+	"strings"
+	"testing"
+
+	"secext"
+)
+
+// TestTelemetryEndToEnd drives a denial through a fully traced world
+// and checks the three telemetry views agree with each other and with
+// the audit log: the retained trace carries the per-stage spans and the
+// guard that denied, its sequence number resolves to the matching audit
+// event, the snapshot counts the denial against the same guard, and the
+// Prometheus rendering exposes the series the scrape endpoint promises.
+func TestTelemetryEndToEnd(t *testing.T) {
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:    []string{"others", "organization"},
+		Telemetry: secext.TelemetryOptions{Mode: secext.TelemetryFull},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("alice", "organization"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("eve", "organization"); err != nil {
+		t.Fatal(err)
+	}
+	actx, err := w.Sys.NewContext("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ectx, err := w.Sys.NewContext("eve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same clearance, so the denial below is purely discretionary.
+	private := secext.NewACL(secext.Allow("alice", secext.Read|secext.Write))
+	if err := w.FS.Create(actx, "/fs/secret", private, actx.Class()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.CheckData(ectx, "/fs/secret", secext.Read); err == nil {
+		t.Fatal("eve reading alice's file should be denied")
+	}
+
+	var tr secext.DecisionTrace
+	for _, cand := range w.Telemetry().Recent(0, true) {
+		if cand.Subject == "eve" && cand.Path == "/fs/secret" {
+			tr = cand
+			break
+		}
+	}
+	if tr.ID == 0 {
+		t.Fatalf("no retained trace for eve's denial; have %v", w.Telemetry().Recent(0, false))
+	}
+	if tr.Allowed {
+		t.Errorf("trace records ALLOW for a denial: %s", tr)
+	}
+	if tr.DeniedBy != "dac" {
+		t.Errorf("trace DeniedBy = %q, want dac", tr.DeniedBy)
+	}
+	spans := make(map[string]bool)
+	for _, s := range tr.Spans {
+		spans[s.Name] = true
+	}
+	if !spans["resolve"] || !spans["guard:dac"] {
+		t.Errorf("trace spans missing resolve/guard:dac: %s", tr)
+	}
+
+	// The trace's sequence number is the audit event's.
+	if tr.Seq == 0 {
+		t.Fatalf("trace has no audit correlation: %s", tr)
+	}
+	found := false
+	for _, ev := range w.Sys.Audit().Select(secext.AuditQuery{Subject: "eve"}) {
+		if ev.Seq == tr.Seq {
+			found = true
+			if ev.Allowed || ev.Path != "/fs/secret" {
+				t.Errorf("audit event %d disagrees with trace: %+v", ev.Seq, ev)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no audit event with seq %d", tr.Seq)
+	}
+
+	snap := w.Telemetry().Snapshot()
+	var dacDenied uint64
+	for _, g := range snap.Guards {
+		if g.Name == "dac" {
+			dacDenied = g.Denied
+		}
+	}
+	if dacDenied == 0 {
+		t.Errorf("snapshot counts no dac denials: %+v", snap.Guards)
+	}
+
+	var b strings.Builder
+	if err := secext.WriteProm(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"secext_mediations_total", "secext_decision_cache_hits_total",
+		`secext_guard_eval_seconds_count{guard="dac"}`,
+	} {
+		if !strings.Contains(b.String(), series) {
+			t.Errorf("prometheus output missing %s", series)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"secext/internal/services/mbuf"
 	"secext/internal/services/netsvc"
 	"secext/internal/services/threadsvc"
+	"secext/internal/telemetry"
 )
 
 // Service types re-exported for World users.
@@ -72,6 +73,10 @@ type WorldOptions struct {
 	// Guards are extra policy modules stacked after the built-in
 	// discretionary and mandatory guards (see core.Options.Guards).
 	Guards []Guard
+	// Telemetry configures the observability subsystem (see
+	// core.Options.Telemetry). The zero value enables metrics with
+	// sampled traces; TelemetryOff disables it entirely.
+	Telemetry telemetry.Options
 	// PolicyText, if non-empty, is parsed as a policy document and
 	// applied to the assembled world: its principals, groups, extra
 	// nodes, and ACL grants land on top of the standard services. The
@@ -115,6 +120,7 @@ func NewWorld(opts WorldOptions) (*World, error) {
 		DisableDecisionCache: opts.DisableDecisionCache,
 		DecisionCacheSize:    opts.DecisionCacheSize,
 		Guards:               opts.Guards,
+		Telemetry:            opts.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -206,3 +212,7 @@ func NewWorld(opts WorldOptions) (*World, error) {
 
 	return &World{Sys: sys, FS: fs, Threads: threads, Mbuf: pool, Journal: journal, Net: net}, nil
 }
+
+// Telemetry returns the world's observability subsystem (nil when built
+// with TelemetryOff; all methods are nil-safe).
+func (w *World) Telemetry() *telemetry.Telemetry { return w.Sys.Telemetry() }
