@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover bench-smoke bench tables
+.PHONY: all build vet test race check cover bench-smoke bench bench-scale tables
 
 all: check
 
@@ -15,18 +15,21 @@ test:
 
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -cpu=1,4,8 ./internal/names/... ./internal/decision/...
 
 # check is the full local gate: build, vet, the complete test suite
 # under the race detector, and a benchmark smoke run so the harness
 # itself cannot bit-rot unnoticed.
 check: build vet race bench-smoke
 
-# cover runs the monitor and telemetry packages' tests with coverage
-# and enforces per-tree floors: the policy layer is the code whose
-# regressions are security bugs, and the telemetry layer is what makes
-# such regressions observable in production, so both stay covered.
+# cover runs the monitor, telemetry, and names packages' tests with
+# coverage and enforces per-tree floors: the policy layer is the code
+# whose regressions are security bugs, the telemetry layer is what makes
+# such regressions observable in production, and the name server is the
+# mechanism every decision rides through, so all three stay covered.
 MONITOR_COVER_FLOOR := 90.0
 TELEMETRY_COVER_FLOOR := 90.0
+NAMES_COVER_FLOOR := 90.0
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/monitor/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
@@ -38,6 +41,11 @@ cover:
 	echo "internal/telemetry coverage: $$total% (floor $(TELEMETRY_COVER_FLOOR)%)"; \
 	awk "BEGIN {exit !($$total >= $(TELEMETRY_COVER_FLOOR))}" || \
 		{ echo "coverage below floor"; exit 1; }
+	$(GO) test -coverprofile=cover-names.out ./internal/names/
+	@total=$$($(GO) tool cover -func=cover-names.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	echo "internal/names coverage: $$total% (floor $(NAMES_COVER_FLOOR)%)"; \
+	awk "BEGIN {exit !($$total >= $(NAMES_COVER_FLOOR))}" || \
+		{ echo "coverage below floor"; exit 1; }
 
 # bench-smoke compiles and exercises the E1 benchmarks for a fixed tiny
 # iteration count; it validates the harness, not the numbers.
@@ -47,6 +55,11 @@ bench-smoke:
 # bench runs the full benchmark suite with allocation stats (slow).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# bench-scale runs the E14 read-scaling experiment alone and writes
+# BENCH_E14.json (snapshot tree vs RWMutex shim at 1..8 goroutines).
+bench-scale:
+	$(GO) run ./cmd/benchtab -json . E14
 
 # tables regenerates the EXPERIMENTS.md tables and writes structured
 # BENCH_<ID>.json rows for machine consumers.

@@ -6,7 +6,10 @@ package secext_test
 // adversarial half of a security evaluation.
 
 import (
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"secext"
@@ -359,5 +362,75 @@ func TestAttackCachedGrantOutlivesRevocation(t *testing.T) {
 	}
 	if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); !secext.IsDenied(err) {
 		t.Fatalf("cached grant outlived relabel: %v", err)
+	}
+}
+
+// TestAttackStaleGrantUnderConcurrentRevocation extends the staleness
+// check to the snapshot path: readers hammer the cached CheckData fast
+// path while the ACL is revoked mid-flight. Every decision pins one
+// published snapshot, so the instant the revoking publish lands, any
+// check that starts afterwards pins a version at or past it and must
+// deny — no stale grant can be served from the cache, and no reader
+// ever sees the revocation "flicker" back to a grant. Run with -race.
+func TestAttackStaleGrantUnderConcurrentRevocation(t *testing.T) {
+	w := attackWorld(t)
+	if _, err := w.Sys.CreateNode(secext.NodeSpec{
+		Path: "/fs/plans", Kind: secext.KindFile,
+		ACL:   secext.NewACL(secext.Allow("insider", secext.Read)),
+		Class: w.Sys.Lattice().MustClass("organization", "dept-1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	insider := ctxA(t, w, "insider")
+	ns := w.Sys.Names()
+
+	// revokedAt is the snapshot version observed after the revoking
+	// publish; 0 until the revocation lands.
+	var revokedAt atomic.Uint64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deniedOnce := false
+			for i := 0; i < 5000; i++ {
+				vr := revokedAt.Load() // read BEFORE the check starts
+				_, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read)
+				switch {
+				case err == nil:
+					if deniedOnce {
+						t.Error("grant served after a denial: revocation flickered")
+						return
+					}
+					if vr != 0 {
+						t.Errorf("stale grant: check started after revocation (v%d) still granted", vr)
+						return
+					}
+				case secext.IsDenied(err):
+					deniedOnce = true
+				default:
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Let readers warm the cache, then revoke once.
+		for i := 0; i < 50; i++ {
+			runtime.Gosched()
+		}
+		if err := ns.SetACLUnchecked("/fs/plans", secext.NewACL()); err != nil {
+			t.Errorf("revoke: %v", err)
+			return
+		}
+		revokedAt.Store(ns.Version())
+	}()
+	wg.Wait()
+
+	if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); !secext.IsDenied(err) {
+		t.Fatalf("post-revocation check: %v, want denial", err)
 	}
 }

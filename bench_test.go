@@ -538,8 +538,7 @@ func BenchmarkE11Contention(b *testing.B) {
 	})
 	b.Run("cold", func(b *testing.B) {
 		w, ctx := e11World(b, false)
-		cache := w.Sys.DecisionCache()
-		check(b, w, ctx, cache.Invalidate)
+		check(b, w, ctx, w.Sys.Names().Invalidate)
 	})
 	b.Run("warm", func(b *testing.B) {
 		w, ctx := e11World(b, false)
@@ -550,7 +549,6 @@ func BenchmarkE11Contention(b *testing.B) {
 	})
 	b.Run("storm", func(b *testing.B) {
 		w, ctx := e11World(b, false)
-		cache := w.Sys.DecisionCache()
 		stop := make(chan struct{})
 		var wg sync.WaitGroup
 		wg.Add(1)
@@ -561,7 +559,7 @@ func BenchmarkE11Contention(b *testing.B) {
 				case <-stop:
 					return
 				default:
-					cache.Invalidate()
+					w.Sys.Names().Invalidate()
 				}
 			}
 		}()

@@ -1,6 +1,6 @@
 // Command benchtab regenerates every table in EXPERIMENTS.md: the
 // scenario reproductions S1-S3 (the paper's qualitative walk-throughs,
-// with asserted outcomes) and the quantitative characterizations E1-E13.
+// with asserted outcomes) and the quantitative characterizations E1-E14.
 //
 // Usage:
 //
@@ -52,7 +52,7 @@ func writeJSON(dir string, r experiments.Result) error {
 func main() {
 	jsonDir := flag.String("json", "", "directory to write BENCH_<ID>.json files with structured rows")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchtab [-json DIR] [S1 S2 S3 E1 ... E13]\n")
+		fmt.Fprintf(os.Stderr, "usage: benchtab [-json DIR] [S1 S2 S3 E1 ... E14]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

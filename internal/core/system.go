@@ -182,20 +182,31 @@ func NewSystem(opts Options) (*System, error) {
 		}).Allow
 	})
 
+	// The snapshot version is the single generation clock for cached
+	// verdicts, so ANY layer whose state feeds an access decision but
+	// lives outside the name space — the lattice universe, the
+	// principal/group registry — must advance it on mutation. The hooks
+	// publish a fresh (tree-identical) snapshot version.
+	lat.SetMutationHook(s.ns.Invalidate)
+	s.reg.SetMutationHook(s.ns.Invalidate)
+	s.tel.SetNamesStats(func() telemetry.NamesStats {
+		return telemetry.NamesStats{
+			Version:   s.ns.Version(),
+			Publishes: s.ns.Publishes(),
+		}
+	})
+
 	if !opts.DisableDecisionCache {
-		// The mediation fast path: memoized verdicts, invalidated by a
-		// generation bump from ANY layer whose state feeds an access
-		// decision — the name space (bindings, ACLs, classes), the
-		// lattice universe, and the principal/group registry.
+		// The mediation fast path: memoized verdicts stamped with the
+		// snapshot version they were computed against; a publish from any
+		// layer makes older entries unreachable.
 		cache := decision.NewCache(opts.DecisionCacheSize)
 		s.ns.SetDecisionCache(cache)
-		lat.SetMutationHook(cache.Invalidate)
-		s.reg.SetMutationHook(cache.Invalidate)
 		s.tel.SetCacheStats(func() telemetry.CacheStats {
 			st := cache.Stats()
 			return telemetry.CacheStats{
 				Hits: st.Hits, Misses: st.Misses, Stores: st.Stores,
-				Invalidations: st.Invalidations, Capacity: st.Capacity,
+				Invalidations: s.ns.Publishes(), Capacity: st.Capacity,
 			}
 		})
 	}

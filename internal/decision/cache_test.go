@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"secext/internal/acl"
@@ -24,12 +25,12 @@ func TestLookupMissThenHit(t *testing.T) {
 	cls := lat.MustClass("low")
 	c := NewCache(0)
 
-	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute, 0); ok {
+	if _, _, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute, 0); ok {
 		t.Fatal("empty cache must miss")
 	}
 	node := &struct{ name string }{"payload"}
-	c.StoreAt(c.Gen(), "alice", cls, "/svc/a", acl.Execute, 0, node, nil)
-	got, err, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute, 0)
+	c.StoreAt(1, "alice", cls, "/svc/a", acl.Execute, 0, node, nil)
+	got, err, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute, 0)
 	if !ok || err != nil || got != node {
 		t.Fatalf("Lookup = %v, %v, %v; want stored node", got, err, ok)
 	}
@@ -45,8 +46,8 @@ func TestCachedDenial(t *testing.T) {
 	cls := lat.MustClass("low")
 	c := NewCache(0)
 	denied := errors.New("denied for test")
-	c.StoreAt(c.Gen(), "mallory", cls, "/svc/a", acl.Write, 0, nil, denied)
-	node, err, ok := c.Lookup("mallory", cls, "/svc/a", acl.Write, 0)
+	c.StoreAt(1, "mallory", cls, "/svc/a", acl.Write, 0, nil, denied)
+	node, err, ok := c.Lookup(1, "mallory", cls, "/svc/a", acl.Write, 0)
 	if !ok || node != nil || !errors.Is(err, denied) {
 		t.Fatalf("Lookup = %v, %v, %v; want cached denial", node, err, ok)
 	}
@@ -56,7 +57,7 @@ func TestExactKeyMatch(t *testing.T) {
 	lat := testLattice(t)
 	low, high := lat.MustClass("low"), lat.MustClass("high", "a")
 	c := NewCache(0)
-	c.StoreAt(c.Gen(), "alice", low, "/svc/a", acl.Execute, 0, "v", nil)
+	c.StoreAt(1, "alice", low, "/svc/a", acl.Execute, 0, "v", nil)
 
 	// Any differing key component must miss, even if the hash collides.
 	misses := []struct {
@@ -71,42 +72,49 @@ func TestExactKeyMatch(t *testing.T) {
 		{"alice", low, "/svc/a", acl.Read},
 	}
 	for _, m := range misses {
-		if _, _, ok := c.Lookup(m.subject, m.class, m.path, m.modes, 0); ok {
+		if _, _, ok := c.Lookup(1, m.subject, m.class, m.path, m.modes, 0); ok {
 			t.Errorf("Lookup(%q, %v, %q, %v) hit; want miss", m.subject, m.class, m.path, m.modes)
 		}
 	}
 }
 
-func TestInvalidateKillsEveryEntry(t *testing.T) {
+// TestVersionAdvanceKillsEveryEntry: publishing a new snapshot version
+// makes every entry stamped with an older one unreachable — the
+// snapshot-clock form of whole-cache invalidation.
+func TestVersionAdvanceKillsEveryEntry(t *testing.T) {
 	lat := testLattice(t)
 	cls := lat.MustClass("low")
 	c := NewCache(0)
 	for i := 0; i < 100; i++ {
-		c.StoreAt(c.Gen(), "alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute, 0, i, nil)
+		c.StoreAt(1, "alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute, 0, i, nil)
 	}
-	c.Invalidate()
+	// The protection state moved to version 2; lookups pin version 2.
 	for i := 0; i < 100; i++ {
-		if _, _, ok := c.Lookup("alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute, 0); ok {
-			t.Fatalf("entry %d survived invalidation", i)
+		if _, _, ok := c.Lookup(2, "alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute, 0); ok {
+			t.Fatalf("entry %d stamped with version 1 served at version 2", i)
 		}
-	}
-	if s := c.Stats(); s.Invalidations != 1 {
-		t.Errorf("Invalidations = %d, want 1", s.Invalidations)
 	}
 }
 
-// TestStaleStoreDropped is the TOCTOU guard: a verdict computed against
-// generation g must not be served if the protection state mutated while
-// the computation ran.
-func TestStaleStoreDropped(t *testing.T) {
+// TestStaleEntryUnreachable is the TOCTOU guard in snapshot form: a
+// verdict computed against a pinned snapshot is stored stamped with
+// that snapshot's version. It stays correct *for that version*, and a
+// reader that pinned any later version can never see it.
+func TestStaleEntryUnreachable(t *testing.T) {
 	lat := testLattice(t)
 	cls := lat.MustClass("low")
 	c := NewCache(0)
-	gen := c.Gen() // read before "computing" the decision
-	c.Invalidate() // a mutation races with the computation
-	c.StoreAt(gen, "alice", cls, "/svc/a", acl.Execute, 0, "v", nil)
-	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute, 0); ok {
-		t.Fatal("verdict computed against a stale generation was served")
+	// Decision computed against pinned version 1 while a mutation
+	// concurrently published version 2: the store still lands...
+	c.StoreAt(1, "alice", cls, "/svc/a", acl.Execute, 0, "v", nil)
+	// ...but a reader pinning the current (newer) snapshot misses.
+	if _, _, ok := c.Lookup(2, "alice", cls, "/svc/a", acl.Execute, 0); ok {
+		t.Fatal("verdict stamped with a stale version was served")
+	}
+	// A reader still pinned to version 1 may use it: the verdict is
+	// correct for that snapshot by construction.
+	if _, _, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute, 0); !ok {
+		t.Fatal("verdict must hit for the version it was computed against")
 	}
 }
 
@@ -118,11 +126,11 @@ func TestTinyCacheCollisions(t *testing.T) {
 	c := NewCache(numShards) // one slot per shard
 	for i := 0; i < 1000; i++ {
 		path := fmt.Sprintf("/svc/n%d", i)
-		c.StoreAt(c.Gen(), "alice", cls, path, acl.Execute, 0, path, nil)
+		c.StoreAt(1, "alice", cls, path, acl.Execute, 0, path, nil)
 	}
 	for i := 0; i < 1000; i++ {
 		path := fmt.Sprintf("/svc/n%d", i)
-		if v, err, ok := c.Lookup("alice", cls, path, acl.Execute, 0); ok {
+		if v, err, ok := c.Lookup(1, "alice", cls, path, acl.Execute, 0); ok {
 			if err != nil || v.(string) != path {
 				t.Fatalf("collision served wrong verdict: key %q got %v, %v", path, v, err)
 			}
@@ -134,14 +142,10 @@ func TestNilCacheIsNoop(t *testing.T) {
 	var c *Cache
 	lat := testLattice(t)
 	cls := lat.MustClass("low")
-	if _, _, ok := c.Lookup("alice", cls, "/x", acl.Read, 0); ok {
+	if _, _, ok := c.Lookup(1, "alice", cls, "/x", acl.Read, 0); ok {
 		t.Error("nil cache must miss")
 	}
-	c.StoreAt(0, "alice", cls, "/x", acl.Read, 0, nil, nil) // must not panic
-	c.Invalidate()
-	if g := c.Gen(); g != 0 {
-		t.Errorf("nil Gen = %d", g)
-	}
+	c.StoreAt(1, "alice", cls, "/x", acl.Read, 0, nil, nil) // must not panic
 	if s := c.Stats(); s != (Stats{}) {
 		t.Errorf("nil Stats = %+v", s)
 	}
@@ -164,12 +168,15 @@ func TestCapacityRounding(t *testing.T) {
 }
 
 // TestConcurrentMixedUse hammers the cache from many goroutines doing
-// lookups, stores, and invalidations at once; run under -race this is
-// the memory-safety proof for the lock-free design.
+// lookups, stores, and version advances at once; run under -race this
+// is the memory-safety proof for the lock-free design. The external
+// version counter stands in for the name server's snapshot clock.
 func TestConcurrentMixedUse(t *testing.T) {
 	lat := testLattice(t)
 	cls := lat.MustClass("low")
 	c := NewCache(1024)
+	var version atomic.Uint64
+	version.Store(1)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -179,12 +186,11 @@ func TestConcurrentMixedUse(t *testing.T) {
 				path := fmt.Sprintf("/svc/n%d", i%64)
 				switch {
 				case i%97 == 0:
-					c.Invalidate()
+					version.Add(1) // a mutation publishes a new snapshot
 				case i%3 == 0:
-					gen := c.Gen()
-					c.StoreAt(gen, "alice", cls, path, acl.Execute, 0, path, nil)
+					c.StoreAt(version.Load(), "alice", cls, path, acl.Execute, 0, path, nil)
 				default:
-					if v, err, ok := c.Lookup("alice", cls, path, acl.Execute, 0); ok {
+					if v, err, ok := c.Lookup(version.Load(), "alice", cls, path, acl.Execute, 0); ok {
 						if err != nil || v.(string) != path {
 							t.Errorf("wrong verdict under concurrency: %v, %v", v, err)
 							return
@@ -203,11 +209,11 @@ func TestStackGenerationIsPartOfTheKey(t *testing.T) {
 	lat := testLattice(t)
 	cls := lat.MustClass("low")
 	c := NewCache(0)
-	c.StoreAt(c.Gen(), "alice", cls, "/svc/a", acl.Execute, 7, "v", nil)
-	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute, 8); ok {
+	c.StoreAt(1, "alice", cls, "/svc/a", acl.Execute, 7, "v", nil)
+	if _, _, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute, 8); ok {
 		t.Fatal("verdict computed under another guard stack was served")
 	}
-	if _, _, ok := c.Lookup("alice", cls, "/svc/a", acl.Execute, 7); !ok {
+	if _, _, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute, 7); !ok {
 		t.Fatal("matching stack generation must hit")
 	}
 }

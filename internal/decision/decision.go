@@ -4,35 +4,40 @@
 //
 // The paper's model mediates every call, extend, read, and write through
 // the central name server (§2.3) and defers the cost question; this
-// package answers it. A full check resolves the path under the server's
-// lock, walks per-level visibility, evaluates the ACL, and applies the
-// lattice flow rules. The decision, however, is a pure function of
+// package answers it. A full check resolves the path inside a pinned
+// name-space snapshot, walks per-level visibility, evaluates the ACL,
+// and applies the lattice flow rules. The decision, however, is a pure
+// function of
 //
 //	(subject, subject class, object path, requested modes,
 //	 guard-stack generation)
 //
 // and of the protection state (bindings, ACLs, classes, group
 // memberships). The cache memoizes verdicts keyed by the tuple and
-// stamps each entry with the *generation* of the protection state at the
-// time the decision was computed. Every mutation anywhere in the
-// protection state — Bind/Unbind/Rename, an ACL edit, a group
-// membership change, a relabel — bumps one atomic generation counter,
-// so a single comparison proves a cached verdict is still current. This
-// makes revocation correctness trivial to reason about: a stale grant
-// cannot be served, because the mutation that revoked it necessarily
-// advanced the generation before the next lookup. (Compare SPIN's
-// link-time capabilities, which trade exactly this property for speed;
-// the cache keeps full-mediation semantics and gets the speed back.)
+// stamps each entry with the *generation* of the protection state the
+// decision was computed against. The generation is not owned by this
+// package: it is the name server's snapshot version. Every mutation
+// anywhere in the protection state — Bind/Unbind/Rename, an ACL edit, a
+// group membership change, a relabel — publishes a new snapshot and so
+// advances the version, and a single comparison against the caller's
+// pinned version proves a cached verdict is still current. This makes
+// revocation correctness trivial to reason about: a stale grant cannot
+// be served, because the mutation that revoked it necessarily advanced
+// the version before the next lookup could pin a snapshot. (Compare
+// SPIN's link-time capabilities, which trade exactly this property for
+// speed; the cache keeps full-mediation semantics and gets the speed
+// back.)
 //
 // Concurrency design: the cache is a 64-way sharded, direct-mapped table
 // of atomic entry pointers. A hit performs zero locks and zero heap
-// allocations — one hash, one atomic pointer load, one generation load,
-// and an exact key comparison (hash collisions can evict, never confuse:
-// subject, path, modes, and class are all compared exactly). A store
-// publishes an immutable entry with a single atomic pointer store;
-// collisions simply overwrite (cache eviction, not an error).
-// Invalidation is one atomic increment; it never touches the shards, so
-// an invalidation storm costs readers only misses, never stalls.
+// allocations — one hash, one atomic pointer load, and an exact key
+// comparison (hash collisions can evict, never confuse: subject, path,
+// modes, and class are all compared exactly). A store publishes an
+// immutable entry with a single atomic pointer store; collisions simply
+// overwrite (cache eviction, not an error). Invalidation is implicit:
+// publishing a new snapshot version makes every entry stamped with an
+// older one unreachable, without touching the shards, so an
+// invalidation storm costs readers only misses, never stalls.
 package decision
 
 import (
@@ -51,10 +56,11 @@ const (
 	defaultSlotsPerShard = 512
 )
 
-// Generation is an atomic counter identifying a version of the whole
-// protection state. Every layer that can affect an access decision bumps
-// it on mutation; cached verdicts stamped with an older generation are
-// dead. The zero Generation is ready to use.
+// Generation is an atomic counter identifying a version of some piece
+// of decision-relevant state that lives outside the name space — the
+// monitor uses one for its guard stack. (The protection-state
+// generation itself is the name server's snapshot version, not a
+// Generation.) The zero Generation is ready to use.
 type Generation struct {
 	v atomic.Uint64
 }
@@ -69,7 +75,7 @@ func (g *Generation) Current() uint64 { return g.v.Load() }
 // entry is one immutable cached verdict. Published via atomic pointer
 // store; never mutated afterwards.
 type entry struct {
-	gen     uint64        // protection-state generation this verdict is valid for
+	gen     uint64        // snapshot version this verdict is valid for
 	subject string        // principal name
 	path    string        // object path
 	class   lattice.Class // subject's class at decision time
@@ -90,16 +96,16 @@ type shard struct {
 	_      [40]byte // pad to keep neighboring shards' counters apart
 }
 
-// Cache is the sharded decision cache. The zero Cache is not usable;
-// call NewCache. A nil *Cache is a valid no-op: Lookup always misses and
-// Store does nothing, so callers can make caching optional without
-// branching.
+// Cache is the sharded decision cache. It holds no generation of its
+// own: callers pin a name-space snapshot, pass its version to Lookup
+// and StoreAt, and the version comparison does the invalidation. The
+// zero Cache is not usable; call NewCache. A nil *Cache is a valid
+// no-op: Lookup always misses and StoreAt does nothing, so callers can
+// make caching optional without branching.
 type Cache struct {
-	gen    Generation
 	mask   uint64 // slotsPerShard - 1
 	shards [numShards]shard
 	stores atomic.Uint64
-	invals atomic.Uint64
 }
 
 // NewCache creates a cache with roughly the given total capacity
@@ -120,28 +126,6 @@ func NewCache(capacity int) *Cache {
 	return c
 }
 
-// Invalidate bumps the generation: every cached verdict becomes stale at
-// once. Called by the protection layers on any mutation.
-func (c *Cache) Invalidate() {
-	if c == nil {
-		return
-	}
-	c.gen.Bump()
-	c.invals.Add(1)
-}
-
-// Gen returns the current protection-state generation. Callers that are
-// about to compute a decision must read the generation BEFORE resolving
-// (see StoreAt): stamping the pre-computation generation means a
-// mutation that races with the computation invalidates the entry the
-// moment it is stored.
-func (c *Cache) Gen() uint64 {
-	if c == nil {
-		return 0
-	}
-	return c.gen.Current()
-}
-
 // fnv64 constants (FNV-1a).
 const (
 	fnvOffset = 14695981039346656037
@@ -156,12 +140,13 @@ func hashString(h uint64, s string) uint64 {
 	return h
 }
 
-// keyHash folds the key into 64 bits without allocating. The monitor
-// guard-stack generation is deliberately left OUT of the hash even
-// though it is part of the key (Lookup compares it exactly): the hash
-// only routes, so keeping every generation of a logical key in the same
-// slot lets the current stack's verdict overwrite its dead predecessor
-// instead of stranding stale entries across the table.
+// keyHash folds the key into 64 bits without allocating. The snapshot
+// version and the monitor guard-stack generation are deliberately left
+// OUT of the hash even though they are part of the match (Lookup
+// compares them exactly): the hash only routes, so keeping every
+// generation of a logical key in the same slot lets the current
+// verdict overwrite its dead predecessor instead of stranding stale
+// entries across the table.
 func keyHash(subject string, class lattice.Class, path string, modes acl.Mode) uint64 {
 	h := uint64(fnvOffset)
 	h = hashString(h, subject)
@@ -182,12 +167,14 @@ func (c *Cache) slotFor(h uint64) (*shard, *atomic.Pointer[entry]) {
 }
 
 // Lookup returns the cached verdict for the request, if one is present
-// and still current. stack is the monitor pipeline's guard-stack
-// generation the caller observed; entries stored under any other stack
-// never match. On a grant, node is the value stored by StoreAt and
-// err is nil; on a cached denial, err is the original denial error. The
-// fast path takes zero locks and performs zero allocations.
-func (c *Cache) Lookup(subject string, class lattice.Class, path string, modes acl.Mode, stack uint64) (node any, err error, ok bool) {
+// and was computed against snapshot version gen — the version of the
+// snapshot the caller has pinned for this decision. stack is the
+// monitor pipeline's guard-stack generation the caller observed;
+// entries stored under any other stack never match. On a grant, node is
+// the value stored by StoreAt and err is nil; on a cached denial, err
+// is the original denial error. The fast path takes zero locks and
+// performs zero allocations.
+func (c *Cache) Lookup(gen uint64, subject string, class lattice.Class, path string, modes acl.Mode, stack uint64) (node any, err error, ok bool) {
 	if c == nil {
 		return nil, nil, false
 	}
@@ -198,7 +185,7 @@ func (c *Cache) Lookup(subject string, class lattice.Class, path string, modes a
 	// cause the wrong verdict to be served. The comparison is written
 	// inline (not as an entry method) to keep the hit path free of call
 	// boundaries.
-	if e == nil || e.gen != c.gen.Current() ||
+	if e == nil || e.gen != gen ||
 		e.modes != modes || e.stack != stack || e.subject != subject ||
 		e.path != path || !e.class.Equal(class) {
 		sh.misses.Add(1)
@@ -208,16 +195,19 @@ func (c *Cache) Lookup(subject string, class lattice.Class, path string, modes a
 	return e.node, e.err, true
 }
 
-// StoreAt publishes a verdict computed while the protection state was at
-// generation gen (obtained from Gen before the computation started). If
-// the state has moved on since, the entry is dropped: it could describe
-// a world that no longer exists. stack is the guard-stack generation
+// StoreAt publishes a verdict computed against the pinned snapshot with
+// version gen. The store is unconditional: because the whole decision
+// ran against one immutable snapshot, the verdict is correct *for that
+// version* by construction — if a mutation published a newer snapshot
+// in the meantime, later lookups pin the newer version and the entry
+// simply never matches (it occupies a slot until overwritten, which is
+// eviction, not staleness). stack is the guard-stack generation
 // observed before the computation; a pipeline change between then and a
-// later lookup makes the entry unreachable. node is returned verbatim by
-// Lookup on a hit and is opaque to the cache; err non-nil caches a
-// denial.
+// later lookup makes the entry unreachable the same way. node is
+// returned verbatim by Lookup on a hit and is opaque to the cache; err
+// non-nil caches a denial.
 func (c *Cache) StoreAt(gen uint64, subject string, class lattice.Class, path string, modes acl.Mode, stack uint64, node any, err error) {
-	if c == nil || gen != c.gen.Current() {
+	if c == nil {
 		return
 	}
 	_, slot := c.slotFor(keyHash(subject, class, path, modes))
@@ -234,13 +224,14 @@ func (c *Cache) StoreAt(gen uint64, subject string, class lattice.Class, path st
 	c.stores.Add(1)
 }
 
-// Stats is a snapshot of the cache's counters.
+// Stats is a snapshot of the cache's counters. Invalidation is not
+// counted here — it is a property of the snapshot clock, reported by
+// the name server as its publish count.
 type Stats struct {
-	Hits          uint64 // lookups served from cache
-	Misses        uint64 // lookups that fell through to a full check
-	Stores        uint64 // verdicts published
-	Invalidations uint64 // generation bumps
-	Capacity      int    // total slots
+	Hits     uint64 // lookups served from cache
+	Misses   uint64 // lookups that fell through to a full check
+	Stores   uint64 // verdicts published
+	Capacity int    // total slots
 }
 
 // Stats sums the per-shard counters.
@@ -254,7 +245,6 @@ func (c *Cache) Stats() Stats {
 		s.Misses += c.shards[i].misses.Load()
 	}
 	s.Stores = c.stores.Load()
-	s.Invalidations = c.invals.Load()
 	s.Capacity = numShards * int(c.mask+1)
 	return s
 }

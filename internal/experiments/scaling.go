@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"secext"
+)
+
+// E14 measures read-path scaling of the snapshot name space: uncached
+// mediated checks (every CheckData takes the full resolve-and-verify
+// walk) at increasing goroutine counts, against a compatibility shim
+// that reproduces the pre-snapshot architecture — a single RWMutex
+// acquired in read mode around every check, exactly what the old
+// mutable tree did on every Resolve.
+//
+// The snapshot rows pay one atomic root load per decision and share
+// nothing, so their throughput should track GOMAXPROCS; the rwmutex
+// rows bounce the lock word's cache line between every reader, so they
+// flatten (and on a writer-present workload would collapse). The warm
+// rows record the cached fast path at the same goroutine counts: the
+// refactor must leave cache-hit latency inside the E13 noise band, so
+// warm figures here should match E11/E13's warm numbers.
+//
+// The scaling column normalizes each implementation's throughput to its
+// own single-goroutine run (ops/s at g divided by ops/s at 1): perfect
+// read scaling is g.0x, a flat line is ~1.0x. On a single-core host
+// every row necessarily stays near 1.0x — the table is still honest
+// (it records the machine's parallelism next to the rows), and the
+// lock-word traffic difference shows up in ns/op.
+func E14() Result {
+	res := Result{ID: "E14", Title: "Name-space read scaling: snapshot tree vs RWMutex shim, uncached checks"}
+	t := &table{header: []string{"impl", "goroutines", "ns/op", "scaling vs 1g"}}
+
+	counts := []int{1, 2, 4, 8}
+	scaling := func(base, v float64) string {
+		if v == 0 {
+			return "-"
+		}
+		// base and v are ns/op; throughput ratio inverts them.
+		return fmt.Sprintf("%.1fx", base/v)
+	}
+
+	// Snapshot tree, uncached: the refactor under test.
+	uw, uctx, err := checkWorld(true)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	snapCheck := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := uw.Sys.CheckData(uctx, "/fs/f", secext.Read); err != nil {
+				panic(err)
+			}
+		}
+	}
+	var snapBase float64
+	for _, g := range counts {
+		ns := measureParallel(defaultMinDur, g, snapCheck)
+		if g == 1 {
+			snapBase = ns
+		}
+		t.add("snapshot", strconv.Itoa(g), fmt.Sprintf("%.0f", ns), scaling(snapBase, ns))
+	}
+
+	// RWMutex shim: the same world, but every check first takes a global
+	// read lock — the old architecture's per-resolve synchronization.
+	var mu sync.RWMutex
+	shimCheck := func(n int) {
+		for i := 0; i < n; i++ {
+			mu.RLock()
+			_, err := uw.Sys.CheckData(uctx, "/fs/f", secext.Read)
+			mu.RUnlock()
+			if err != nil {
+				panic(err)
+			}
+		}
+	}
+	var shimBase float64
+	for _, g := range counts {
+		ns := measureParallel(defaultMinDur, g, shimCheck)
+		if g == 1 {
+			shimBase = ns
+		}
+		t.add("rwmutex-shim", strconv.Itoa(g), fmt.Sprintf("%.0f", ns), scaling(shimBase, ns))
+	}
+
+	// Warm cache hits on the snapshot path: must sit in the E13 band.
+	cw, cctx, err := checkWorld(false)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	warmCheck := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := cw.Sys.CheckData(cctx, "/fs/f", secext.Read); err != nil {
+				panic(err)
+			}
+		}
+	}
+	warmCheck(1) // publish the verdict once
+	var warmBase float64
+	for _, g := range counts {
+		ns := measureParallel(defaultMinDur, g, warmCheck)
+		if g == 1 {
+			warmBase = ns
+		}
+		t.add("snapshot-warm", strconv.Itoa(g), fmt.Sprintf("%.0f", ns), scaling(warmBase, ns))
+	}
+
+	t.add("gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0)), "-", "-")
+	res.setTable(t)
+	return res
+}

@@ -13,9 +13,9 @@ import (
 	"secext/internal/baseline/sandbox"
 	"secext/internal/baseline/unixmode"
 	"secext/internal/core"
-	"secext/internal/monitor"
 	"secext/internal/dispatch"
 	"secext/internal/lattice"
+	"secext/internal/monitor"
 	"secext/internal/names"
 	"secext/internal/subject"
 )

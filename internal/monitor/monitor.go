@@ -94,8 +94,10 @@ func (o Op) String() string {
 type Object struct {
 	// Path is the absolute name of the object.
 	Path string
-	// ACL is the object's live discretionary state. It may be nil only
-	// for requests that carry no discretionary question (OpAdmit).
+	// ACL is the object's discretionary state as of the immutable
+	// name-space snapshot the request was resolved against; it cannot
+	// change while guards read it. It may be nil only for requests
+	// that carry no discretionary question (OpAdmit).
 	ACL *acl.ACL
 	// Class is the object's mandatory security class (for OpAdmit, the
 	// binding's static class).

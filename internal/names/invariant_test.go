@@ -104,8 +104,9 @@ func checkTree(t *testing.T, f *fixture, seed int64, step int) {
 			t.Fatalf("seed %d step %d: path %s does not resolve to itself: %v", seed, step, p, err)
 		}
 		for name, child := range n.children {
-			if child.parent != n || child.name != name {
-				t.Fatalf("seed %d step %d: parent/child disagree at %s/%s", seed, step, p, name)
+			if child.name != name || child.path != Join(p, name) {
+				t.Fatalf("seed %d step %d: child path disagrees at %s/%s (name %q path %q)",
+					seed, step, p, name, child.name, child.path)
 			}
 		}
 	})

@@ -90,14 +90,18 @@ func (e *DeniedError) Error() string {
 
 func (e *DeniedError) Unwrap() error { return ErrDenied }
 
-// Node is one entry in the name space. Nodes are created and mutated
-// only through a Server, which serializes access; Node's exported
-// methods are read-only snapshots safe to call while the server is in
-// use.
+// Node is one entry in the name space. Nodes are immutable once
+// published: a Server mutation never edits a live node, it clones the
+// spine from the root to the change and publishes a new snapshot (see
+// Snapshot). A *Node obtained from any server operation is therefore
+// safe to read from any goroutine forever — it describes the node as
+// it was in the snapshot the operation ran against. Nodes carry their
+// absolute path instead of a parent pointer, so a snapshot is a pure
+// acyclic value.
 type Node struct {
 	name       string
+	path       string // absolute canonical path; "/" for the root
 	kind       Kind
-	parent     *Node
 	children   map[string]*Node
 	acl        *acl.ACL
 	class      lattice.Class
@@ -122,22 +126,15 @@ func (n *Node) Name() string { return n.name }
 // Kind returns the node's kind.
 func (n *Node) Kind() Kind { return n.kind }
 
-// Path returns the absolute path of the node.
-func (n *Node) Path() string {
-	if n.parent == nil {
-		return "/"
-	}
-	var parts []string
-	for cur := n; cur.parent != nil; cur = cur.parent {
-		parts = append(parts, cur.name)
-	}
-	var b strings.Builder
-	for i := len(parts) - 1; i >= 0; i-- {
-		b.WriteByte('/')
-		b.WriteString(parts[i])
-	}
-	return b.String()
-}
+// Path returns the absolute path the node was published under ("/"
+// for the root). A node moved by Rename keeps its old path in old
+// snapshots; the new snapshot contains a copy carrying the new path.
+func (n *Node) Path() string { return n.path }
+
+// ACL returns a copy of the node's access control list. The copy is
+// detached: editing it does not change the node's protection state
+// (only Server.SetACL does).
+func (n *Node) ACL() *acl.ACL { return n.acl.Clone() }
 
 // Class returns the node's security class.
 func (n *Node) Class() lattice.Class { return n.class }

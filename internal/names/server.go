@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"secext/internal/acl"
@@ -26,6 +27,17 @@ var ErrNotEmpty = fmt.Errorf("names: node not empty")
 // found (ACL, class, multilevel flag), and lets the guard stack decide.
 // It is safe for concurrent use.
 //
+// Concurrency design (RCU): the name space is an immutable tree
+// published through one atomic root pointer. Readers (Resolve,
+// CheckAccess, List, GetACL, Walk) pin the current Snapshot with a
+// single atomic load and traverse it with zero locks; every decision is
+// computed against exactly one published version of the protection
+// state, so a concurrent rename can never split a resolution across two
+// trees. Writers serialize on a writer-only mutex, clone the spine from
+// the root to their change, and publish a successor snapshot whose
+// version number is the decision-cache generation — one clock for both
+// "the tree changed" and "cached verdicts are dead".
+//
 // Checked operations take the requesting subject (for the DAC decision)
 // and the subject's current security class (for the MAC decision).
 // Unchecked variants exist for bootstrap and for the reference monitor's
@@ -33,39 +45,45 @@ var ErrNotEmpty = fmt.Errorf("names: node not empty")
 // reference monitor can observe unchecked operations via SetAdminHook so
 // that even mediation bypasses leave an audit trail.
 type Server struct {
-	mu   sync.RWMutex
-	root *Node
-	lat  *lattice.Lattice
+	// snap is the atomically published current snapshot. Readers load
+	// it once per operation and never look back; writeMu serializes the
+	// load-clone-publish sequence of mutations.
+	snap    atomic.Pointer[Snapshot]
+	writeMu sync.Mutex
 
-	// checkTraversal controls whether walking through interior nodes
-	// performs per-level visibility checks (list + MAC read). It is on
-	// by default; experiment E4 measures the cost by toggling it.
-	checkTraversal bool
+	lat *lattice.Lattice
 
-	// pipe is the policy pipeline every checked operation consults.
+	// publishes counts snapshot publications after boot (mutations plus
+	// external Invalidate calls): the writer-side telemetry counter.
+	publishes atomic.Uint64
+
+	// pipe is the policy pipeline every checked operation consults,
+	// behind an atomic pointer so the read path takes no lock.
 	// NewServer installs the default [dac, mac] stack; SetPipeline
-	// replaces it during setup. Like cache, it is read without the lock
-	// on the fast path, so install it before concurrent traffic.
-	pipe *monitor.Pipeline
+	// replaces it during setup.
+	pipe atomic.Pointer[monitor.Pipeline]
 
 	// adminHook, when set, observes every unchecked (policy-bypassing)
 	// operation: op is a short operation name, path the affected name,
-	// err the structural outcome. The hook runs with the server lock
-	// held and must not call back into the server.
-	adminHook func(op, path string, err error)
+	// err the structural outcome. The hook runs after the operation has
+	// published its snapshot, with no server lock held, so it may call
+	// back into the server freely (including ResolveUnchecked — but a
+	// hook that unconditionally re-enters an unchecked operation must
+	// guard against its own recursion).
+	adminHook atomic.Pointer[func(op, path string, err error)]
 
 	// cache, when set, memoizes CheckAccess verdicts keyed by
-	// (subject, class, path, modes, guard-stack generation) with
-	// generation-based invalidation: every name-space mutation bumps the
-	// cache generation and every pipeline change bumps the stack
-	// generation, so a hit is provably computed against the current
-	// protection state AND the current guard stack. Install it with
-	// SetDecisionCache before the server sees concurrent traffic; only
-	// the reference monitor should do so (cached verdicts assume subject
-	// names are canonical, which core guarantees). A nil cache means
-	// every check takes the full path, as does a pipeline containing a
-	// stateful guard (whose verdicts must not be memoized).
-	cache *decision.Cache
+	// (subject, class, path, modes, guard-stack generation) and stamped
+	// with the snapshot version the verdict was computed against. A hit
+	// requires the stamp to equal the current snapshot's version, so it
+	// is provably computed against the current protection state AND the
+	// current guard stack. Install it with SetDecisionCache before the
+	// server sees concurrent traffic; only the reference monitor should
+	// do so (cached verdicts assume subject names are canonical, which
+	// core guarantees). A nil cache means every check takes the full
+	// path, as does a pipeline containing a stateful guard (whose
+	// verdicts must not be memoized).
+	cache atomic.Pointer[decision.Cache]
 }
 
 // NewServer creates a name space whose root carries the given ACL and
@@ -74,59 +92,93 @@ func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) 
 	if rootACL == nil {
 		rootACL = acl.New()
 	}
-	s := &Server{
-		root: &Node{
-			kind:     KindRoot,
-			children: make(map[string]*Node),
-			acl:      rootACL.Clone(),
-			class:    rootClass,
-		},
-		lat:            lat,
-		checkTraversal: true,
-		pipe:           monitor.NewPipeline(dacguard.New(), macguard.New()),
+	s := &Server{lat: lat}
+	root := &Node{
+		path:     "/",
+		kind:     KindRoot,
+		children: make(map[string]*Node),
+		acl:      rootACL.Clone(),
+		class:    rootClass,
 	}
-	s.root.acl.SetMutationHook(s.invalidate)
+	s.snap.Store(&Snapshot{root: root, version: 1, traversal: true})
+	s.pipe.Store(monitor.NewPipeline(dacguard.New(), macguard.New()))
 	return s
 }
 
 // Lattice returns the lattice node classes are drawn from.
 func (s *Server) Lattice() *lattice.Lattice { return s.lat }
 
-// Pipeline returns the monitor pipeline the server consults.
-func (s *Server) Pipeline() *monitor.Pipeline {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.pipe
+// Current returns the currently published snapshot: one atomic load,
+// no locks. The returned snapshot is immutable and stays valid (and
+// internally consistent) forever; use it to run several reads against
+// one version of the protection state.
+func (s *Server) Current() *Snapshot { return s.snap.Load() }
+
+// Version returns the current snapshot's version: the unified
+// protection-state generation (see Snapshot.Version).
+func (s *Server) Version() uint64 { return s.snap.Load().version }
+
+// Publishes returns the number of snapshots published since boot —
+// the writer-side counter telemetry exposes.
+func (s *Server) Publishes() uint64 { return s.publishes.Load() }
+
+// publishLocked installs a successor snapshot with the given root and
+// traversal policy. Caller holds writeMu.
+func (s *Server) publishLocked(root *Node, traversal bool) {
+	old := s.snap.Load()
+	s.snap.Store(&Snapshot{root: root, version: old.version + 1, traversal: traversal})
+	s.publishes.Add(1)
 }
+
+// Invalidate publishes a new snapshot version without changing the
+// tree. Layers outside the name space whose state feeds access
+// decisions (the lattice universe, the principal/group registry) call
+// it on mutation, so the snapshot version stays the single generation
+// clock for every cached verdict.
+func (s *Server) Invalidate() {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	sn := s.snap.Load()
+	s.publishLocked(sn.root, sn.traversal)
+}
+
+// Pipeline returns the monitor pipeline the server consults.
+func (s *Server) Pipeline() *monitor.Pipeline { return s.pipe.Load() }
 
 // SetPipeline replaces the policy pipeline. Call it during setup,
 // before the server sees concurrent traffic; a nil pipeline is
 // rejected (a server without policy would fail open). Swapping whole
-// pipelines also invalidates the decision cache, since the old and new
-// stacks' generations are unrelated.
+// pipelines publishes a new snapshot version, so cached verdicts from
+// the old stack are dead (the old and new stacks' generations are
+// unrelated).
 func (s *Server) SetPipeline(p *monitor.Pipeline) {
 	if p == nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pipe = p
-	s.invalidate()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.pipe.Store(p)
+	sn := s.snap.Load()
+	s.publishLocked(sn.root, sn.traversal)
 }
 
 // SetAdminHook installs an observer for unchecked operations; nil
-// removes it. Call during setup. The hook must not call back into the
-// server (it runs under the server lock).
+// removes it. Call during setup. The hook runs after the operation
+// published, with no lock held, so it may call back into the server.
 func (s *Server) SetAdminHook(fn func(op, path string, err error)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.adminHook = fn
+	if fn == nil {
+		s.adminHook.Store(nil)
+		return
+	}
+	s.adminHook.Store(&fn)
 }
 
-// admin reports one unchecked operation to the hook, if any.
+// admin reports one unchecked operation to the hook, if any. Called
+// after the operation's snapshot (if any) is published and after
+// writeMu is released, so the hook observes the post-operation state.
 func (s *Server) admin(op, path string, err error) {
-	if s.adminHook != nil {
-		s.adminHook(op, path, err)
+	if fn := s.adminHook.Load(); fn != nil {
+		(*fn)(op, path, err)
 	}
 }
 
@@ -136,50 +188,33 @@ func (s *Server) admin(op, path string, err error) {
 // cached verdicts are keyed by subject *name*, which is sound only when
 // every subject name maps to one identity — core's registry guarantees
 // that; arbitrary acl.Subject implementations do not.
-func (s *Server) SetDecisionCache(c *decision.Cache) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cache = c
-}
+func (s *Server) SetDecisionCache(c *decision.Cache) { s.cache.Store(c) }
 
 // DecisionCache returns the installed decision cache (nil if none).
-func (s *Server) DecisionCache() *decision.Cache {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cache
-}
-
-// invalidate bumps the decision-cache generation. Every mutation of the
-// name space (bindings, ACLs, classes, payloads, traversal policy) must
-// call it; a nil cache makes it a no-op.
-func (s *Server) invalidate() { s.cache.Invalidate() }
-
-// hookACL attaches the cache-invalidation hook to an ACL that is about
-// to become live protection state on a node, so any in-place edit of it
-// bumps the generation even if it bypasses SetACL.
-func (s *Server) hookACL(a *acl.ACL) *acl.ACL {
-	a.SetMutationHook(s.invalidate)
-	return a
-}
+func (s *Server) DecisionCache() *decision.Cache { return s.cache.Load() }
 
 // SetTraversalChecks toggles per-level visibility checks during path
 // resolution. Intended for experiments; production systems leave it on.
+// The toggle publishes a new snapshot version, so cached verdicts
+// computed under the other policy are dead.
 func (s *Server) SetTraversalChecks(on bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.checkTraversal = on
-	s.invalidate()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.publishLocked(s.snap.Load().root, on)
 }
 
-// describe builds the pipeline's view of node n at path.
+// describe builds the pipeline's view of node n at path. The node comes
+// from a pinned snapshot, so the description (ACL, class, multilevel
+// flag) is frozen protection state: guards can never observe a torn
+// half-applied mutation.
 func describe(n *Node, path string) monitor.Object {
 	return monitor.Object{Path: path, ACL: n.acl, Class: n.class, Multilevel: n.multilevel}
 }
 
 // checkNode consults the pipeline for the requested modes on node n,
-// which lives at path. Caller holds s.mu (read or write).
-func (s *Server) checkNode(n *Node, path string, sub acl.Subject, class lattice.Class, modes acl.Mode, op monitor.Op) error {
-	v := s.pipe.Check(monitor.Request{
+// which lives at path.
+func checkNode(pipe *monitor.Pipeline, n *Node, path string, sub acl.Subject, class lattice.Class, modes acl.Mode, op monitor.Op) error {
+	v := pipe.Check(monitor.Request{
 		Subject: sub, Class: class, Object: describe(n, path), Modes: modes, Op: op,
 	})
 	if !v.Allow {
@@ -197,17 +232,17 @@ func parentOf(path string) string {
 	return path[:i]
 }
 
-// resolveLocked walks the path, applying traversal checks to every
-// interior node strictly above the target when enabled. Caller holds
-// s.mu. The walk slices components out of path in place instead of
-// calling SplitPath, so resolution allocates nothing on success; the
-// per-level prefix handed to the pipeline is a slice of path, not a
-// rebuilt string.
-func (s *Server) resolveLocked(sub acl.Subject, class lattice.Class, path string, checked bool) (*Node, error) {
+// resolveIn walks the path inside the pinned snapshot, applying
+// traversal checks to every interior node strictly above the target
+// when enabled. No lock is held at any point. The walk slices
+// components out of path in place instead of calling SplitPath, so
+// resolution allocates nothing on success; the per-level prefix handed
+// to the pipeline is a slice of path, not a rebuilt string.
+func resolveIn(sn *Snapshot, pipe *monitor.Pipeline, sub acl.Subject, class lattice.Class, path string, checked bool) (*Node, error) {
 	if err := ValidPath(path); err != nil {
 		return nil, err
 	}
-	cur := s.root
+	cur := sn.root
 	// Invariant: rest is the unconsumed suffix of path after the slash
 	// that follows the current node's name.
 	rest := path[1:]
@@ -218,7 +253,7 @@ func (s *Server) resolveLocked(sub acl.Subject, class lattice.Class, path string
 		} else {
 			rest = ""
 		}
-		if checked && s.checkTraversal {
+		if checked && sn.traversal {
 			// Visibility: walking through a node requires list on it
 			// and MAC read of it (§2.3: access control determines
 			// which names are visible). The node's path is the consumed
@@ -230,7 +265,7 @@ func (s *Server) resolveLocked(sub acl.Subject, class lattice.Class, path string
 			if prefix == "" {
 				prefix = "/"
 			}
-			if err := s.checkNode(cur, prefix, sub, class, acl.List, monitor.OpTraverse); err != nil {
+			if err := checkNode(pipe, cur, prefix, sub, class, acl.List, monitor.OpTraverse); err != nil {
 				return nil, err
 			}
 		}
@@ -248,20 +283,25 @@ func (s *Server) resolveLocked(sub acl.Subject, class lattice.Class, path string
 	return cur, nil
 }
 
+// ResolveIn walks to the node at path inside the pinned snapshot,
+// enforcing visibility along the way. It is Resolve with the snapshot
+// chosen by the caller: several ResolveIn calls against the same
+// snapshot observe one consistent version of the name space regardless
+// of concurrent mutations.
+func (s *Server) ResolveIn(sn *Snapshot, sub acl.Subject, class lattice.Class, path string) (*Node, error) {
+	return resolveIn(sn, s.pipe.Load(), sub, class, path, true)
+}
+
 // Resolve walks to the node at path, enforcing visibility along the way.
 // The target node itself is not checked; callers apply the operation-
 // specific check via CheckAccess or a higher-level operation.
 func (s *Server) Resolve(sub acl.Subject, class lattice.Class, path string) (*Node, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.resolveLocked(sub, class, path, true)
+	return s.ResolveIn(s.snap.Load(), sub, class, path)
 }
 
 // ResolveUnchecked walks to the node at path with no access checks.
 func (s *Server) ResolveUnchecked(path string) (*Node, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	n, err := resolveIn(s.snap.Load(), nil, nil, lattice.Class{}, path, false)
 	s.admin("resolve-unchecked", path, err)
 	return n, err
 }
@@ -270,105 +310,115 @@ func (s *Server) ResolveUnchecked(path string) (*Node, error) {
 // requested modes on the target under the guard pipeline. It returns the
 // node on success.
 //
-// With a decision cache installed and a pure (cacheable) pipeline, a
-// repeated check is served from the cache with zero locks and zero
-// allocations; the full check runs only on a miss, and its verdict is
-// published stamped with the cache generation read *before* the
-// computation and the pipeline's guard-stack generation, so a mutation
-// or a guard install racing with the check invalidates the entry the
-// moment it lands.
+// The whole decision — cache probe, resolve, guard evaluation — runs
+// against one pinned snapshot, so it is computed against exactly one
+// published version of the protection state. With a decision cache
+// installed and a pure (cacheable) pipeline, a repeated check is served
+// from the cache with zero locks and zero allocations; the full check
+// runs only on a miss, and its verdict is published stamped with the
+// pinned snapshot's version and the pipeline's guard-stack generation,
+// so a mutation or a guard install racing with the check leaves the
+// entry unreachable the moment it lands.
 func (s *Server) CheckAccess(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
-	cache := s.cache
+	sn := s.snap.Load()
+	pipe := s.pipe.Load()
+	cache := s.cache.Load()
 	if cache == nil {
-		return s.checkAccessFull(sub, class, path, modes)
+		return checkAccessIn(sn, pipe, sub, class, path, modes)
 	}
-	cacheable, stack := s.pipe.Snapshot()
+	cacheable, stack := pipe.Snapshot()
 	if !cacheable {
-		return s.checkAccessFull(sub, class, path, modes)
+		return checkAccessIn(sn, pipe, sub, class, path, modes)
 	}
 	name := sub.SubjectName()
-	if node, err, ok := cache.Lookup(name, class, path, modes, stack); ok {
+	if node, err, ok := cache.Lookup(sn.version, name, class, path, modes, stack); ok {
 		if err != nil {
 			return nil, err
 		}
 		return node.(*Node), nil
 	}
-	gen := cache.Gen()
-	n, err := s.checkAccessFull(sub, class, path, modes)
+	n, err := checkAccessIn(sn, pipe, sub, class, path, modes)
 	// Cache grants and access denials only. Structural errors
 	// (ErrNotFound, ErrBadPath) are cheap to recompute and their error
 	// values carry no security weight worth pinning.
 	if err == nil {
-		cache.StoreAt(gen, name, class, path, modes, stack, n, nil)
+		cache.StoreAt(sn.version, name, class, path, modes, stack, n, nil)
 	} else if errors.Is(err, ErrDenied) {
-		cache.StoreAt(gen, name, class, path, modes, stack, nil, err)
+		cache.StoreAt(sn.version, name, class, path, modes, stack, nil, err)
 	}
 	return n, err
 }
 
 // CheckAccessTraced is CheckAccess with stage-by-stage observability:
-// the decision-cache probe, the path resolution, and each guard's
-// verdict land as spans on tr. It is invoked only for requests the
-// telemetry sampler selected, so the extra clock reads never touch the
-// common path; the decision returned is identical to CheckAccess's.
+// the pinned snapshot version, the decision-cache probe, the path
+// resolution, and each guard's verdict land as spans on tr. It is
+// invoked only for requests the telemetry sampler selected, so the
+// extra clock reads never touch the common path; the decision returned
+// is identical to CheckAccess's.
 func (s *Server) CheckAccessTraced(sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, error) {
-	cache := s.cache
+	sn := s.snap.Load()
+	pipe := s.pipe.Load()
+	tr.SnapshotVersion(sn.version)
+	cache := s.cache.Load()
 	if cache == nil {
-		return s.checkAccessFullTraced(sub, class, path, modes, tr)
+		return checkAccessInTraced(sn, pipe, sub, class, path, modes, tr)
 	}
-	cacheable, stack := s.pipe.Snapshot()
+	cacheable, stack := pipe.Snapshot()
 	if !cacheable {
 		tr.Span("cache-skip", "stateful guard", 0)
-		return s.checkAccessFullTraced(sub, class, path, modes, tr)
+		return checkAccessInTraced(sn, pipe, sub, class, path, modes, tr)
 	}
 	name := sub.SubjectName()
 	start := time.Now()
-	node, err, ok := cache.Lookup(name, class, path, modes, stack)
-	gen := cache.Gen()
-	tr.CacheProbe(ok, gen, time.Since(start))
+	node, err, ok := cache.Lookup(sn.version, name, class, path, modes, stack)
+	tr.CacheProbe(ok, sn.version, time.Since(start))
 	if ok {
 		if err != nil {
 			return nil, err
 		}
 		return node.(*Node), nil
 	}
-	n, err := s.checkAccessFullTraced(sub, class, path, modes, tr)
+	n, err := checkAccessInTraced(sn, pipe, sub, class, path, modes, tr)
 	if err == nil {
-		cache.StoreAt(gen, name, class, path, modes, stack, n, nil)
+		cache.StoreAt(sn.version, name, class, path, modes, stack, n, nil)
 	} else if errors.Is(err, ErrDenied) {
-		cache.StoreAt(gen, name, class, path, modes, stack, nil, err)
+		cache.StoreAt(sn.version, name, class, path, modes, stack, nil, err)
 	}
 	return n, err
 }
 
-// checkAccessFull is the uncached check: resolve under the read lock,
-// then verify the target.
-func (s *Server) checkAccessFull(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, err := s.resolveLocked(sub, class, path, true)
+// CheckAccessIn is the uncached full check pinned to a caller-chosen
+// snapshot: resolve inside sn, then verify the target under the current
+// pipeline. Tests and experiments use it to prove a decision was
+// computed against one specific published version.
+func (s *Server) CheckAccessIn(sn *Snapshot, sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
+	return checkAccessIn(sn, s.pipe.Load(), sub, class, path, modes)
+}
+
+// checkAccessIn is the uncached check: resolve inside the pinned
+// snapshot, then verify the target.
+func checkAccessIn(sn *Snapshot, pipe *monitor.Pipeline, sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
+	n, err := resolveIn(sn, pipe, sub, class, path, true)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.checkNode(n, path, sub, class, modes, monitor.OpAccess); err != nil {
+	if err := checkNode(pipe, n, path, sub, class, modes, monitor.OpAccess); err != nil {
 		return nil, err
 	}
 	return n, nil
 }
 
-// checkAccessFullTraced mirrors checkAccessFull, recording the resolve
+// checkAccessInTraced mirrors checkAccessIn, recording the resolve
 // duration as a span and running the pipeline through CheckTraced so
 // each guard's verdict is visible individually.
-func (s *Server) checkAccessFullTraced(sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+func checkAccessInTraced(sn *Snapshot, pipe *monitor.Pipeline, sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, error) {
 	start := time.Now()
-	n, err := s.resolveLocked(sub, class, path, true)
+	n, err := resolveIn(sn, pipe, sub, class, path, true)
 	tr.Span("resolve", "", time.Since(start))
 	if err != nil {
 		return nil, err
 	}
-	v := s.pipe.CheckTraced(monitor.Request{
+	v := pipe.CheckTraced(monitor.Request{
 		Subject: sub, Class: class, Object: describe(n, path), Modes: modes, Op: monitor.OpAccess,
 	}, tr)
 	if !v.Allow {
@@ -380,16 +430,16 @@ func (s *Server) checkAccessFullTraced(sub acl.Subject, class lattice.Class, pat
 // List returns the names bound under path, requiring list mode and MAC
 // read on the target.
 func (s *Server) List(sub acl.Subject, class lattice.Class, path string) ([]string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, err := s.resolveLocked(sub, class, path, true)
+	sn := s.snap.Load()
+	pipe := s.pipe.Load()
+	n, err := resolveIn(sn, pipe, sub, class, path, true)
 	if err != nil {
 		return nil, err
 	}
 	if n.kind.Leaf() {
 		return nil, fmt.Errorf("%w: %s is a %s", ErrNotLeaf, path, n.kind)
 	}
-	if err := s.checkNode(n, path, sub, class, acl.List, monitor.OpAccess); err != nil {
+	if err := checkNode(pipe, n, path, sub, class, acl.List, monitor.OpAccess); err != nil {
 		return nil, err
 	}
 	return n.childNames(), nil
@@ -415,9 +465,11 @@ type BindSpec struct {
 // Multilevel containers waive the parent's no-write-down rule
 // (monitor.OpContainerBind).
 func (s *Server) Bind(sub acl.Subject, class lattice.Class, parentPath string, spec BindSpec) (*Node, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	parent, err := s.resolveLocked(sub, class, parentPath, true)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	sn := s.snap.Load()
+	pipe := s.pipe.Load()
+	parent, err := resolveIn(sn, pipe, sub, class, parentPath, true)
 	if err != nil {
 		return nil, err
 	}
@@ -425,33 +477,40 @@ func (s *Server) Bind(sub acl.Subject, class lattice.Class, parentPath string, s
 	if parent.multilevel {
 		op = monitor.OpContainerBind
 	}
-	if err := s.checkNode(parent, parentPath, sub, class, acl.Write, op); err != nil {
+	if err := checkNode(pipe, parent, parentPath, sub, class, acl.Write, op); err != nil {
 		return nil, err
 	}
-	if v := s.pipe.Check(monitor.Request{
+	if v := pipe.Check(monitor.Request{
 		Subject: sub, Class: class, Object: describe(parent, parentPath),
 		NewClass: spec.Class, Op: monitor.OpCreate,
 	}); !v.Allow {
 		return nil, &DeniedError{Path: Join(parentPath, spec.Name), Op: "bind", Why: v.Reason}
 	}
-	return s.bindLocked(parent, spec)
+	return s.bindLocked(sn, parent, spec)
 }
 
 // BindUnchecked creates a node with no access checks; for bootstrap.
 func (s *Server) BindUnchecked(parentPath string, spec BindSpec) (*Node, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	parent, err := s.resolveLocked(nil, lattice.Class{}, parentPath, false)
-	if err != nil {
-		s.admin("bind-unchecked", Join(parentPath, spec.Name), err)
-		return nil, err
-	}
-	n, err := s.bindLocked(parent, spec)
+	n, err := s.bindUnchecked(parentPath, spec)
 	s.admin("bind-unchecked", Join(parentPath, spec.Name), err)
 	return n, err
 }
 
-func (s *Server) bindLocked(parent *Node, spec BindSpec) (*Node, error) {
+func (s *Server) bindUnchecked(parentPath string, spec BindSpec) (*Node, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	sn := s.snap.Load()
+	parent, err := resolveIn(sn, nil, nil, lattice.Class{}, parentPath, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.bindLocked(sn, parent, spec)
+}
+
+// bindLocked builds and publishes the successor tree containing the new
+// node. Caller holds writeMu; parent belongs to sn, which is the
+// current snapshot (writers are serialized).
+func (s *Server) bindLocked(sn *Snapshot, parent *Node, spec BindSpec) (*Node, error) {
 	if err := ValidComponent(spec.Name); err != nil {
 		return nil, err
 	}
@@ -468,11 +527,12 @@ func (s *Server) bindLocked(parent *Node, spec BindSpec) (*Node, error) {
 	if a == nil {
 		a = acl.New()
 	}
+	childPath := Join(parent.Path(), spec.Name)
 	n := &Node{
 		name:       spec.Name,
+		path:       childPath,
 		kind:       spec.Kind,
-		parent:     parent,
-		acl:        s.hookACL(a.Clone()),
+		acl:        a.Clone(),
 		class:      spec.Class,
 		payload:    spec.Payload,
 		multilevel: spec.Multilevel && !spec.Kind.Leaf(),
@@ -480,8 +540,11 @@ func (s *Server) bindLocked(parent *Node, spec BindSpec) (*Node, error) {
 	if !spec.Kind.Leaf() {
 		n.children = make(map[string]*Node)
 	}
-	parent.children[spec.Name] = n
-	s.invalidate()
+	parts, err := SplitPath(childPath)
+	if err != nil {
+		return nil, err
+	}
+	s.publishLocked(rebind(sn.root, parts, n), sn.traversal)
 	return n, nil
 }
 
@@ -490,31 +553,39 @@ func (s *Server) bindLocked(parent *Node, spec BindSpec) (*Node, error) {
 // MAC rule is waived for multilevel containers). Non-empty nodes cannot
 // be unbound.
 func (s *Server) Unbind(sub acl.Subject, class lattice.Class, path string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.resolveLocked(sub, class, path, true)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	sn := s.snap.Load()
+	pipe := s.pipe.Load()
+	n, err := resolveIn(sn, pipe, sub, class, path, true)
 	if err != nil {
 		return err
 	}
-	if n.parent == nil {
+	if n.path == "/" {
 		return ErrRoot
 	}
 	if len(n.children) > 0 {
 		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
 	}
-	if err := s.checkNode(n, path, sub, class, acl.Delete, monitor.OpAccess); err != nil {
+	parent, err := resolveIn(sn, nil, nil, lattice.Class{}, parentOf(n.path), false)
+	if err != nil {
+		return err
+	}
+	if err := checkNode(pipe, n, path, sub, class, acl.Delete, monitor.OpAccess); err != nil {
 		return err
 	}
 	op := monitor.OpAccess
-	if n.parent.multilevel {
+	if parent.multilevel {
 		op = monitor.OpContainerUnbind
 	}
-	if err := s.checkNode(n.parent, parentOf(path), sub, class, acl.Write, op); err != nil {
+	if err := checkNode(pipe, parent, parentOf(path), sub, class, acl.Write, op); err != nil {
 		return err
 	}
-	delete(n.parent.children, n.name)
-	n.parent = nil
-	s.invalidate()
+	parts, err := SplitPath(n.path)
+	if err != nil {
+		return err
+	}
+	s.publishLocked(rebind(sn.root, parts, nil), sn.traversal)
 	return nil
 }
 
@@ -524,36 +595,45 @@ func (s *Server) Unbind(sub acl.Subject, class lattice.Class, path string) error
 // usual MAC rules; the node keeps its ACL, class, payload, and
 // children. Renaming across class boundaries never relabels: the name
 // moves, the protection does not.
+//
+// The move is one atomic publication: a concurrent reader sees the
+// wholly-old or the wholly-new tree, never a state where the subtree is
+// reachable under both names or neither.
 func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParentPath, newName string) error {
 	if err := ValidComponent(newName); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.resolveLocked(sub, class, oldPath, true)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	sn := s.snap.Load()
+	pipe := s.pipe.Load()
+	n, err := resolveIn(sn, pipe, sub, class, oldPath, true)
 	if err != nil {
 		return err
 	}
-	if n.parent == nil {
+	if n.path == "/" {
 		return ErrRoot
 	}
-	newParent, err := s.resolveLocked(sub, class, newParentPath, true)
+	newParent, err := resolveIn(sn, pipe, sub, class, newParentPath, true)
 	if err != nil {
 		return err
 	}
 	if newParent.kind.Leaf() {
 		return fmt.Errorf("%w: %s", ErrLeaf, newParentPath)
 	}
-	// A node must not become its own ancestor.
-	for cur := newParent; cur != nil; cur = cur.parent {
-		if cur == n {
-			return fmt.Errorf("%w: cannot move %s under itself", ErrBadPath, oldPath)
-		}
+	// A node must not become its own ancestor. Paths in one snapshot are
+	// canonical, so "inside n's subtree" is a prefix question.
+	if newParent.path == n.path || strings.HasPrefix(newParent.path, n.path+"/") {
+		return fmt.Errorf("%w: cannot move %s under itself", ErrBadPath, oldPath)
 	}
 	if _, dup := newParent.children[newName]; dup {
 		return fmt.Errorf("%w: %s", ErrExists, Join(newParentPath, newName))
 	}
-	if err := s.checkNode(n, oldPath, sub, class, acl.Delete, monitor.OpAccess); err != nil {
+	if err := checkNode(pipe, n, oldPath, sub, class, acl.Delete, monitor.OpAccess); err != nil {
+		return err
+	}
+	oldParent, err := resolveIn(sn, nil, nil, lattice.Class{}, parentOf(n.path), false)
+	if err != nil {
 		return err
 	}
 	checkParent := func(p *Node, path string) error {
@@ -561,45 +641,59 @@ func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParent
 		if p.multilevel {
 			op = monitor.OpContainerUnbind
 		}
-		return s.checkNode(p, path, sub, class, acl.Write, op)
+		return checkNode(pipe, p, path, sub, class, acl.Write, op)
 	}
-	if err := checkParent(n.parent, parentOf(oldPath)); err != nil {
+	if err := checkParent(oldParent, parentOf(oldPath)); err != nil {
 		return err
 	}
 	if err := checkParent(newParent, newParentPath); err != nil {
 		return err
 	}
-	delete(n.parent.children, n.name)
-	n.parent = newParent
-	n.name = newName
-	newParent.children[newName] = n
-	s.invalidate()
+	oldParts, err := SplitPath(n.path)
+	if err != nil {
+		return err
+	}
+	newPath := Join(newParent.path, newName)
+	newParts, err := SplitPath(newPath)
+	if err != nil {
+		return err
+	}
+	// Detach the subtree, deep-copy it under its new name and paths
+	// (published nodes never change, so old snapshots keep the old
+	// paths), then insert — all on the private successor tree, then one
+	// publication.
+	detached := rebind(sn.root, oldParts, nil)
+	moved := relocate(n, newName, newPath)
+	s.publishLocked(rebind(detached, newParts, moved), sn.traversal)
 	return nil
 }
 
 // UnbindUnchecked removes the node at path with no access checks.
 func (s *Server) UnbindUnchecked(path string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	err := s.unbindUncheckedLocked(path)
+	err := s.unbindUnchecked(path)
 	s.admin("unbind-unchecked", path, err)
 	return err
 }
 
-func (s *Server) unbindUncheckedLocked(path string) error {
-	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+func (s *Server) unbindUnchecked(path string) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	sn := s.snap.Load()
+	n, err := resolveIn(sn, nil, nil, lattice.Class{}, path, false)
 	if err != nil {
 		return err
 	}
-	if n.parent == nil {
+	if n.path == "/" {
 		return ErrRoot
 	}
 	if len(n.children) > 0 {
 		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
 	}
-	delete(n.parent.children, n.name)
-	n.parent = nil
-	s.invalidate()
+	parts, err := SplitPath(n.path)
+	if err != nil {
+		return err
+	}
+	s.publishLocked(rebind(sn.root, parts, nil), sn.traversal)
 	return nil
 }
 
@@ -607,13 +701,13 @@ func (s *Server) unbindUncheckedLocked(path string) error {
 // requires read or administrate mode (the AnyOf disjunction) and MAC
 // read.
 func (s *Server) GetACL(sub acl.Subject, class lattice.Class, path string) (*acl.ACL, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, err := s.resolveLocked(sub, class, path, true)
+	sn := s.snap.Load()
+	pipe := s.pipe.Load()
+	n, err := resolveIn(sn, pipe, sub, class, path, true)
 	if err != nil {
 		return nil, err
 	}
-	if v := s.pipe.Check(monitor.Request{
+	if v := pipe.Check(monitor.Request{
 		Subject: sub, Class: class, Object: describe(n, path),
 		Modes: acl.Read, AnyOf: acl.Read | acl.Administrate, Op: monitor.OpAccess,
 	}); !v.Allow {
@@ -625,31 +719,50 @@ func (s *Server) GetACL(sub acl.Subject, class lattice.Class, path string) (*acl
 // SetACL replaces the node's ACL. Changing protection is the
 // administrate mode (§2.1) and is MAC-wise a write.
 func (s *Server) SetACL(sub acl.Subject, class lattice.Class, path string, newACL *acl.ACL) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.resolveLocked(sub, class, path, true)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	sn := s.snap.Load()
+	pipe := s.pipe.Load()
+	n, err := resolveIn(sn, pipe, sub, class, path, true)
 	if err != nil {
 		return err
 	}
-	if err := s.checkNode(n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
+	if err := checkNode(pipe, n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
 		return err
 	}
-	n.acl = s.hookACL(newACL.Clone())
-	s.invalidate()
-	return nil
+	return s.replaceLocked(sn, n, func(c *Node) { c.acl = newACL.Clone() })
 }
 
 // SetACLUnchecked replaces a node's ACL with no access checks.
 func (s *Server) SetACLUnchecked(path string, newACL *acl.ACL) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	err := s.setACLUnchecked(path, newACL)
 	s.admin("set-acl-unchecked", path, err)
+	return err
+}
+
+func (s *Server) setACLUnchecked(path string, newACL *acl.ACL) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	sn := s.snap.Load()
+	n, err := resolveIn(sn, nil, nil, lattice.Class{}, path, false)
 	if err != nil {
 		return err
 	}
-	n.acl = s.hookACL(newACL.Clone())
-	s.invalidate()
+	return s.replaceLocked(sn, n, func(c *Node) { c.acl = newACL.Clone() })
+}
+
+// replaceLocked publishes a successor tree in which node n (from
+// snapshot sn) is replaced by a clone that mutate has edited. Caller
+// holds writeMu. The clone keeps the children map, so only the single
+// node changes; the spine above it is re-cloned by rebind.
+func (s *Server) replaceLocked(sn *Snapshot, n *Node, mutate func(c *Node)) error {
+	c := n.clone()
+	mutate(c)
+	parts, err := SplitPath(n.path)
+	if err != nil {
+		return err
+	}
+	s.publishLocked(rebind(sn.root, parts, c), sn.traversal)
 	return nil
 }
 
@@ -657,55 +770,54 @@ func (s *Server) SetACLUnchecked(path string, newACL *acl.ACL) error {
 // gated on administrate mode and the relabel flow rules (a read of the
 // old label, a write of the new).
 func (s *Server) SetClass(sub acl.Subject, class lattice.Class, path string, newClass lattice.Class) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.resolveLocked(sub, class, path, true)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	sn := s.snap.Load()
+	pipe := s.pipe.Load()
+	n, err := resolveIn(sn, pipe, sub, class, path, true)
 	if err != nil {
 		return err
 	}
 	if !newClass.Valid() || newClass.Lattice() != s.lat {
 		return fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
 	}
-	if err := s.checkNode(n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
+	if err := checkNode(pipe, n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
 		return err
 	}
-	if v := s.pipe.Check(monitor.Request{
+	if v := pipe.Check(monitor.Request{
 		Subject: sub, Class: class, Object: describe(n, path),
 		NewClass: newClass, Op: monitor.OpRelabel,
 	}); !v.Allow {
 		return &DeniedError{Path: path, Op: "set-class", Why: v.Reason}
 	}
-	n.class = newClass
-	s.invalidate()
-	return nil
+	return s.replaceLocked(sn, n, func(c *Node) { c.class = newClass })
 }
 
 // SetClassUnchecked relabels a node with no access checks; for
 // bootstrap and experiments.
 func (s *Server) SetClassUnchecked(path string, newClass lattice.Class) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	err := s.setClassUnchecked(path, newClass)
+	s.admin("set-class-unchecked", path, err)
+	return err
+}
+
+func (s *Server) setClassUnchecked(path string, newClass lattice.Class) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	sn := s.snap.Load()
+	n, err := resolveIn(sn, nil, nil, lattice.Class{}, path, false)
 	if err != nil {
-		s.admin("set-class-unchecked", path, err)
 		return err
 	}
 	if !newClass.Valid() || newClass.Lattice() != s.lat {
-		err = fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
-		s.admin("set-class-unchecked", path, err)
-		return err
+		return fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
 	}
-	n.class = newClass
-	s.invalidate()
-	s.admin("set-class-unchecked", path, nil)
-	return nil
+	return s.replaceLocked(sn, n, func(c *Node) { c.class = newClass })
 }
 
 // ACLOf returns a copy of a node's ACL with no checks (monitor use).
 func (s *Server) ACLOf(path string) (*acl.ACL, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	n, err := resolveIn(s.snap.Load(), nil, nil, lattice.Class{}, path, false)
 	if err != nil {
 		return nil, err
 	}
@@ -713,41 +825,38 @@ func (s *Server) ACLOf(path string) (*acl.ACL, error) {
 }
 
 // SetPayload replaces the payload at path with no access checks
-// (monitor and service bootstrap use).
+// (monitor and service bootstrap use). Readers that already resolved
+// the node keep the payload of their snapshot; the data plane behind a
+// payload handle is shared by reference across snapshots and does its
+// own locking.
 func (s *Server) SetPayload(path string, payload any) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.resolveLocked(nil, lattice.Class{}, path, false)
+	err := s.setPayload(path, payload)
 	s.admin("set-payload", path, err)
+	return err
+}
+
+func (s *Server) setPayload(path string, payload any) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	sn := s.snap.Load()
+	n, err := resolveIn(sn, nil, nil, lattice.Class{}, path, false)
 	if err != nil {
 		return err
 	}
-	n.payload = payload
-	s.invalidate()
-	return nil
+	return s.replaceLocked(sn, n, func(c *Node) { c.payload = payload })
 }
 
-// Walk visits every node in the name space in depth-first order with no
-// access checks, calling fn with each node's path and node. Intended for
-// administrative dumps and tests. The callback must not call back into
-// the server.
+// Walk visits every node in the current snapshot in depth-first order
+// with no access checks, calling fn with each node's path and node.
+// Iteration is deterministic (children in lexicographic name order) and
+// holds no lock: fn may call back into the server, including mutating
+// it — the walk keeps observing the snapshot pinned when it started.
 func (s *Server) Walk(fn func(path string, n *Node)) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var visit func(n *Node)
-	visit = func(n *Node) {
-		fn(n.Path(), n)
-		for _, name := range n.childNames() {
-			visit(n.children[name])
-		}
-	}
-	visit(s.root)
+	s.snap.Load().Walk(fn)
 }
 
-// Size returns the number of nodes in the name space, including the
-// root.
+// Size returns the number of nodes in the current snapshot, including
+// the root.
 func (s *Server) Size() int {
-	n := 0
-	s.Walk(func(string, *Node) { n++ })
-	return n
+	return s.snap.Load().Size()
 }

@@ -1,0 +1,124 @@
+package names
+
+// Snapshot is one immutable, fully consistent version of the name
+// space. The server publishes snapshots through a single atomic root
+// pointer (RCU style): readers pin one with a single atomic load and
+// traverse it with zero locks; writers clone the spine from the root
+// to their change under a writer-only mutex and publish a successor.
+//
+// A pinned snapshot guarantees:
+//
+//   - Every node reachable from it is frozen: name, path, kind, ACL,
+//     class, payload reference, multilevel flag, and child map never
+//     change. Concurrent mutations build new trees; they cannot touch
+//     this one.
+//   - The tree is internally consistent: a path either resolves fully
+//     in this version of the space or not at all. A rename concurrent
+//     with resolution is invisible — the walk sees the wholly-old or
+//     the wholly-new tree, never a torn mix.
+//   - Version() is the decision-cache generation for every verdict
+//     computed against this snapshot. Versions are strictly monotonic
+//     across publishes, so an entry stamped with an older version can
+//     never be served after the state moved on.
+//
+// Payloads are shared across snapshots by reference: a file's data
+// handle is the same object in every snapshot that contains the file,
+// so the data plane (which does its own locking) is not copied, only
+// the protection state is.
+type Snapshot struct {
+	root    *Node
+	version uint64
+	// traversal controls whether checked resolution performs per-level
+	// visibility checks. It lives in the snapshot so toggling it
+	// publishes a new version and invalidates cached decisions.
+	traversal bool
+}
+
+// Version returns the snapshot's version number: the unified
+// protection-state generation used by the decision cache.
+func (sn *Snapshot) Version() uint64 { return sn.version }
+
+// Root returns the snapshot's root node.
+func (sn *Snapshot) Root() *Node { return sn.root }
+
+// Walk visits every node in the snapshot in depth-first order with no
+// access checks, calling fn with each node's path and node. Iteration
+// is deterministic: children are visited in lexicographic name order,
+// so two walks of equal snapshots produce identical sequences. No lock
+// is held while fn runs — fn may call back into the Server freely; it
+// keeps observing this snapshot regardless of concurrent mutations.
+func (sn *Snapshot) Walk(fn func(path string, n *Node)) {
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		fn(n.path, n)
+		for _, name := range n.childNames() {
+			visit(n.children[name])
+		}
+	}
+	visit(sn.root)
+}
+
+// Size returns the number of nodes in the snapshot, including the
+// root.
+func (sn *Snapshot) Size() int {
+	n := 0
+	sn.Walk(func(string, *Node) { n++ })
+	return n
+}
+
+// clone returns a shallow copy of n with its own children map. The
+// copy shares the ACL, class, payload, and grandchildren — which are
+// immutable or replaced wholesale — so cloning a spine is O(children
+// per level), not O(subtree).
+func (n *Node) clone() *Node {
+	c := *n
+	if n.children != nil {
+		c.children = make(map[string]*Node, len(n.children))
+		for k, v := range n.children {
+			c.children[k] = v
+		}
+	}
+	return &c
+}
+
+// rebind returns a new tree equal to root except that the binding at
+// parts is replaced by repl; a nil repl removes the binding. Only the
+// spine from the root to the target is cloned — every untouched
+// subtree is shared with the old tree. With empty parts the
+// replacement IS the new root. The caller guarantees every interior
+// component of parts exists (the final one need not: that is how new
+// bindings are inserted).
+func rebind(root *Node, parts []string, repl *Node) *Node {
+	if len(parts) == 0 {
+		return repl
+	}
+	out := root.clone()
+	name := parts[0]
+	if len(parts) == 1 {
+		if repl == nil {
+			delete(out.children, name)
+		} else {
+			out.children[name] = repl
+		}
+		return out
+	}
+	out.children[name] = rebind(root.children[name], parts[1:], repl)
+	return out
+}
+
+// relocate deep-copies the subtree rooted at n under a new name and
+// absolute path, rewriting the stored path of every descendant.
+// Rename pays this O(subtree) copy so published nodes never change: a
+// reader holding the pre-rename snapshot keeps seeing the old paths.
+func relocate(n *Node, name, path string) *Node {
+	c := *n
+	c.name = name
+	c.path = path
+	if n.children != nil {
+		c.children = make(map[string]*Node, len(n.children))
+		for k, v := range n.children {
+			c.children[k] = relocate(v, k, Join(path, k))
+		}
+	}
+	return &c
+}

@@ -113,6 +113,14 @@ type CacheStats struct {
 	Capacity      int    `json:"capacity"`
 }
 
+// NamesStats mirrors the name server's snapshot counters: the version
+// of the currently published snapshot (the unified protection-state
+// generation) and the total number of snapshots published since boot.
+type NamesStats struct {
+	Version   uint64 `json:"version"`
+	Publishes uint64 `json:"publishes"`
+}
+
 // AuditStats mirrors the audit log's counters, including ring drops
 // (events overwritten before ever being read out).
 type AuditStats struct {
@@ -140,6 +148,7 @@ type Snapshot struct {
 	Guards           []GuardStat     `json:"guards"`
 	Cache            CacheStats      `json:"cache"`
 	Audit            AuditStats      `json:"audit"`
+	Names            NamesStats      `json:"names"`
 	Admissions       AdmissionStats  `json:"admissions"`
 	TracesSampled    uint64          `json:"traces_sampled"`
 }

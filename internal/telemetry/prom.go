@@ -33,6 +33,13 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	ew.printf("# TYPE secext_decision_cache_stores_total counter\n")
 	ew.printf("secext_decision_cache_stores_total %d\n", s.Cache.Stores)
 
+	ew.printf("# HELP secext_names_snapshot_version Version of the currently published name-space snapshot.\n")
+	ew.printf("# TYPE secext_names_snapshot_version gauge\n")
+	ew.printf("secext_names_snapshot_version %d\n", s.Names.Version)
+	ew.printf("# HELP secext_names_publishes_total Name-space snapshots published since boot.\n")
+	ew.printf("# TYPE secext_names_publishes_total counter\n")
+	ew.printf("secext_names_publishes_total %d\n", s.Names.Publishes)
+
 	ew.printf("# HELP secext_audit_events_total Audit log decisions by verdict, plus mediation bypasses.\n")
 	ew.printf("# TYPE secext_audit_events_total counter\n")
 	ew.printf("secext_audit_events_total{verdict=\"allowed\"} %d\n", s.Audit.Allowed)

@@ -117,11 +117,13 @@ type Telemetry struct {
 	ring    []atomic.Pointer[Trace]
 	ringPos atomic.Uint64
 
-	// cacheStats and auditStats, when wired, pull the decision cache's
-	// and audit log's own counters into snapshots; this package stays a
-	// leaf, so the owners inject them as plain functions.
+	// cacheStats, auditStats, and namesStats, when wired, pull the
+	// decision cache's, audit log's, and name server's own counters into
+	// snapshots; this package stays a leaf, so the owners inject them as
+	// plain functions.
 	cacheStats atomic.Pointer[func() CacheStats]
 	auditStats atomic.Pointer[func() AuditStats]
+	namesStats atomic.Pointer[func() NamesStats]
 }
 
 // New builds a telemetry registry. ModeOff returns nil — the nil
@@ -177,6 +179,19 @@ func (t *Telemetry) SetCacheStats(fn func() CacheStats) {
 		return
 	}
 	t.cacheStats.Store(&fn)
+}
+
+// SetNamesStats wires the name server's snapshot-version gauge and
+// publish counter into Snapshot; nil detaches it.
+func (t *Telemetry) SetNamesStats(fn func() NamesStats) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.namesStats.Store(nil)
+		return
+	}
+	t.namesStats.Store(&fn)
 }
 
 // SetAuditStats wires the audit log's counter snapshot into Snapshot;
@@ -326,6 +341,9 @@ func (t *Telemetry) Snapshot() Snapshot {
 	}
 	if fn := t.auditStats.Load(); fn != nil {
 		s.Audit = (*fn)()
+	}
+	if fn := t.namesStats.Load(); fn != nil {
+		s.Names = (*fn)()
 	}
 	return s
 }

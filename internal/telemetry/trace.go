@@ -122,6 +122,16 @@ func (a *ActiveTrace) Span(name, detail string, d time.Duration) {
 	a.t.Spans = append(a.t.Spans, Span{Name: name, Detail: detail, Dur: d})
 }
 
+// SnapshotVersion records the published name-space snapshot version the
+// decision was pinned to: every later stage of this trace ran against
+// exactly this version of the protection state.
+func (a *ActiveTrace) SnapshotVersion(v uint64) {
+	if a == nil {
+		return
+	}
+	a.Span("snapshot", "v="+strconv.FormatUint(v, 10), 0)
+}
+
 // CacheProbe records the decision-cache stage: whether the probe hit
 // and the protection-state generation it was answered against.
 func (a *ActiveTrace) CacheProbe(hit bool, gen uint64, d time.Duration) {
