@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover bench-smoke bench bench-scale tables
+.PHONY: all build vet test race check cover bench-smoke bench bench-scale bench-epoch tables
 
 all: check
 
@@ -15,21 +15,25 @@ test:
 
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -cpu=1,4,8 ./internal/names/... ./internal/decision/...
+	$(GO) test -race -cpu=1,4,8 ./internal/names/... ./internal/decision/... ./internal/lattice/... ./internal/principal/...
 
 # check is the full local gate: build, vet, the complete test suite
 # under the race detector, and a benchmark smoke run so the harness
 # itself cannot bit-rot unnoticed.
 check: build vet race bench-smoke
 
-# cover runs the monitor, telemetry, and names packages' tests with
-# coverage and enforces per-tree floors: the policy layer is the code
-# whose regressions are security bugs, the telemetry layer is what makes
-# such regressions observable in production, and the name server is the
-# mechanism every decision rides through, so all three stay covered.
+# cover runs the monitor, telemetry, names, lattice, and principal
+# packages' tests with coverage and enforces per-tree floors: the policy
+# layer is the code whose regressions are security bugs, the telemetry
+# layer is what makes such regressions observable in production, the
+# name server is the mechanism every decision rides through, and the
+# lattice and principal registries are the frozen shards every epoch
+# bundles, so all five stay covered.
 MONITOR_COVER_FLOOR := 90.0
 TELEMETRY_COVER_FLOOR := 90.0
 NAMES_COVER_FLOOR := 90.0
+LATTICE_COVER_FLOOR := 85.0
+PRINCIPAL_COVER_FLOOR := 85.0
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/monitor/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
@@ -46,6 +50,16 @@ cover:
 	echo "internal/names coverage: $$total% (floor $(NAMES_COVER_FLOOR)%)"; \
 	awk "BEGIN {exit !($$total >= $(NAMES_COVER_FLOOR))}" || \
 		{ echo "coverage below floor"; exit 1; }
+	$(GO) test -coverprofile=cover-lattice.out ./internal/lattice/
+	@total=$$($(GO) tool cover -func=cover-lattice.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	echo "internal/lattice coverage: $$total% (floor $(LATTICE_COVER_FLOOR)%)"; \
+	awk "BEGIN {exit !($$total >= $(LATTICE_COVER_FLOOR))}" || \
+		{ echo "coverage below floor"; exit 1; }
+	$(GO) test -coverprofile=cover-principal.out ./internal/principal/
+	@total=$$($(GO) tool cover -func=cover-principal.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	echo "internal/principal coverage: $$total% (floor $(PRINCIPAL_COVER_FLOOR)%)"; \
+	awk "BEGIN {exit !($$total >= $(PRINCIPAL_COVER_FLOOR))}" || \
+		{ echo "coverage below floor"; exit 1; }
 
 # bench-smoke compiles and exercises the E1 benchmarks for a fixed tiny
 # iteration count; it validates the harness, not the numbers.
@@ -60,6 +74,12 @@ bench:
 # BENCH_E14.json (snapshot tree vs RWMutex shim at 1..8 goroutines).
 bench-scale:
 	$(GO) run ./cmd/benchtab -json . E14
+
+# bench-epoch runs the E15 policy-epoch experiment alone and writes
+# BENCH_E15.json (frozen vs locked decision reads, mutation-publish
+# cost, warm cached path).
+bench-epoch:
+	$(GO) run ./cmd/benchtab -json . E15
 
 # tables regenerates the EXPERIMENTS.md tables and writes structured
 # BENCH_<ID>.json rows for machine consumers.

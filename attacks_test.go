@@ -434,3 +434,81 @@ func TestAttackStaleGrantUnderConcurrentRevocation(t *testing.T) {
 		t.Fatalf("post-revocation check: %v, want denial", err)
 	}
 }
+
+// TestAttackStaleGrantUnderConcurrentGroupRevocation is the registry
+// form of the staleness attack: insider holds access only through a
+// group, and the group membership is revoked while readers hammer the
+// cached fast path. Membership is policy state bundled in the epoch, so
+// the revoking RemoveMember publishes a new epoch before returning —
+// any check that starts afterwards pins an epoch at or past the
+// revocation and must judge the group ACL against the revoked
+// membership. No stale grant, no flicker. Run with -race.
+func TestAttackStaleGrantUnderConcurrentGroupRevocation(t *testing.T) {
+	w := attackWorld(t)
+	reg := w.Sys.Registry()
+	if err := reg.AddGroup("project"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddMember("project", "insider"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.CreateNode(secext.NodeSpec{
+		Path: "/fs/plans", Kind: secext.KindFile,
+		ACL:   secext.NewACL(secext.AllowGroup("project", secext.Read)),
+		Class: w.Sys.Lattice().MustClass("organization", "dept-1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	insider := ctxA(t, w, "insider")
+	ns := w.Sys.Names()
+
+	// revokedAt is the epoch version observed after the revoking
+	// publish; 0 until the revocation lands.
+	var revokedAt atomic.Uint64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deniedOnce := false
+			for i := 0; i < 5000; i++ {
+				vr := revokedAt.Load() // read BEFORE the check starts
+				_, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read)
+				switch {
+				case err == nil:
+					if deniedOnce {
+						t.Error("grant served after a denial: membership revocation flickered")
+						return
+					}
+					if vr != 0 {
+						t.Errorf("stale grant: check started after revocation (v%d) still granted", vr)
+						return
+					}
+				case secext.IsDenied(err):
+					deniedOnce = true
+				default:
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Let readers warm the cache, then revoke the membership once.
+		for i := 0; i < 50; i++ {
+			runtime.Gosched()
+		}
+		if err := reg.RemoveMember("project", "insider"); err != nil {
+			t.Errorf("revoke membership: %v", err)
+			return
+		}
+		revokedAt.Store(ns.Version())
+	}()
+	wg.Wait()
+
+	if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); !secext.IsDenied(err) {
+		t.Fatalf("post-revocation check: %v, want denial", err)
+	}
+}

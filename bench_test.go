@@ -538,7 +538,7 @@ func BenchmarkE11Contention(b *testing.B) {
 	})
 	b.Run("cold", func(b *testing.B) {
 		w, ctx := e11World(b, false)
-		check(b, w, ctx, w.Sys.Names().Invalidate)
+		check(b, w, ctx, w.Sys.Registry().Touch)
 	})
 	b.Run("warm", func(b *testing.B) {
 		w, ctx := e11World(b, false)
@@ -559,7 +559,7 @@ func BenchmarkE11Contention(b *testing.B) {
 				case <-stop:
 					return
 				default:
-					w.Sys.Names().Invalidate()
+					w.Sys.Registry().Touch()
 				}
 			}
 		}()

@@ -17,6 +17,18 @@ type Subject interface {
 	MemberOf(group string) bool
 }
 
+// Membership answers transitive group-membership queries by name. The
+// principal package's Frozen registry satisfies it; a reference monitor
+// that pins a policy epoch passes the pinned registry so every group
+// entry in a decision is judged against one consistent version of the
+// membership relation — never against live mutable state that a
+// concurrent revocation could change mid-decision.
+type Membership interface {
+	// IsMember reports whether subject is a (possibly transitive)
+	// member of group.
+	IsMember(subject, group string) bool
+}
+
 // WhoKind says what an entry's Who field names.
 type WhoKind uint8
 
@@ -50,14 +62,27 @@ type Entry struct {
 	Modes Mode
 }
 
-// Matches reports whether the entry applies to the subject.
+// Matches reports whether the entry applies to the subject, answering
+// group entries through the subject's own MemberOf (which may consult
+// live registry state). Decisions that have pinned an epoch should use
+// MatchesIn instead.
 func (e Entry) Matches(s Subject) bool {
+	return e.MatchesIn(s, nil)
+}
+
+// MatchesIn reports whether the entry applies to the subject, resolving
+// group entries against m when it is non-nil. A nil m falls back to the
+// subject's MemberOf.
+func (e Entry) MatchesIn(s Subject, m Membership) bool {
 	switch e.Kind {
 	case Everyone:
 		return true
 	case Principal:
 		return s.SubjectName() == e.Who
 	case Group:
+		if m != nil {
+			return m.IsMember(s.SubjectName(), e.Who)
+		}
 		return s.MemberOf(e.Who)
 	}
 	return false
@@ -240,9 +265,15 @@ func (a *ACL) Clone() *ACL {
 // all matching allow entries minus the union of all matching deny
 // entries (deny-overrides).
 func (a *ACL) Granted(s Subject) Mode {
+	return a.GrantedIn(s, nil)
+}
+
+// GrantedIn is Granted with group entries resolved against m when it is
+// non-nil (see MatchesIn).
+func (a *ACL) GrantedIn(s Subject, m Membership) Mode {
 	var allowed, denied Mode
 	for _, e := range a.entries {
-		if !e.Matches(s) {
+		if !e.MatchesIn(s, m) {
 			continue
 		}
 		if e.Deny {
@@ -258,6 +289,12 @@ func (a *ACL) Granted(s Subject) Mode {
 // An empty want is always granted.
 func (a *ACL) Check(s Subject, want Mode) bool {
 	return a.Granted(s).Has(want)
+}
+
+// CheckIn is Check with group entries resolved against m when it is
+// non-nil (see MatchesIn).
+func (a *ACL) CheckIn(s Subject, want Mode, m Membership) bool {
+	return a.GrantedIn(s, m).Has(want)
 }
 
 // Explanation reports how a decision came out: which entries matched
@@ -302,9 +339,15 @@ func (e Explanation) String() string {
 
 // Explain evaluates the request like Check but keeps the working.
 func (a *ACL) Explain(s Subject, want Mode) Explanation {
+	return a.ExplainIn(s, want, nil)
+}
+
+// ExplainIn is Explain with group entries resolved against m when it is
+// non-nil (see MatchesIn).
+func (a *ACL) ExplainIn(s Subject, want Mode, m Membership) Explanation {
 	ex := Explanation{Want: want}
 	for _, e := range a.entries {
-		if !e.Matches(s) {
+		if !e.MatchesIn(s, m) {
 			continue
 		}
 		ex.Matched = append(ex.Matched, e)

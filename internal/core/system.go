@@ -182,17 +182,24 @@ func NewSystem(opts Options) (*System, error) {
 		}).Allow
 	})
 
-	// The snapshot version is the single generation clock for cached
-	// verdicts, so ANY layer whose state feeds an access decision but
-	// lives outside the name space — the lattice universe, the
-	// principal/group registry — must advance it on mutation. The hooks
-	// publish a fresh (tree-identical) snapshot version.
-	lat.SetMutationHook(s.ns.Invalidate)
-	s.reg.SetMutationHook(s.ns.Invalidate)
+	// The epoch version is the single generation clock for cached
+	// verdicts, so ANY layer whose state feeds an access decision —
+	// the lattice universe, the principal/group registry, the guard
+	// stack — publishes its frozen state into the policy epoch through
+	// a typed transition. The lattice and pipeline hooks are wired by
+	// names.NewServer/SetPipeline; attaching the registry completes the
+	// epoch, so from here on one atomic load pins everything a decision
+	// needs.
+	s.ns.AttachRegistry(s.reg)
 	s.tel.SetNamesStats(func() telemetry.NamesStats {
+		tr := s.ns.EpochTransitions()
 		return telemetry.NamesStats{
-			Version:   s.ns.Version(),
-			Publishes: s.ns.Publishes(),
+			Version:             s.ns.Version(),
+			Publishes:           s.ns.Publishes(),
+			NameTransitions:     tr.Names,
+			LatticeTransitions:  tr.Lattice,
+			RegistryTransitions: tr.Registry,
+			StackTransitions:    tr.Stack,
 		}
 	})
 

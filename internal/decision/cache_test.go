@@ -25,12 +25,12 @@ func TestLookupMissThenHit(t *testing.T) {
 	cls := lat.MustClass("low")
 	c := NewCache(0)
 
-	if _, _, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute, 0); ok {
+	if _, _, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute); ok {
 		t.Fatal("empty cache must miss")
 	}
 	node := &struct{ name string }{"payload"}
-	c.StoreAt(1, "alice", cls, "/svc/a", acl.Execute, 0, node, nil)
-	got, err, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute, 0)
+	c.StoreAt(1, "alice", cls, "/svc/a", acl.Execute, node, nil)
+	got, err, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute)
 	if !ok || err != nil || got != node {
 		t.Fatalf("Lookup = %v, %v, %v; want stored node", got, err, ok)
 	}
@@ -46,8 +46,8 @@ func TestCachedDenial(t *testing.T) {
 	cls := lat.MustClass("low")
 	c := NewCache(0)
 	denied := errors.New("denied for test")
-	c.StoreAt(1, "mallory", cls, "/svc/a", acl.Write, 0, nil, denied)
-	node, err, ok := c.Lookup(1, "mallory", cls, "/svc/a", acl.Write, 0)
+	c.StoreAt(1, "mallory", cls, "/svc/a", acl.Write, nil, denied)
+	node, err, ok := c.Lookup(1, "mallory", cls, "/svc/a", acl.Write)
 	if !ok || node != nil || !errors.Is(err, denied) {
 		t.Fatalf("Lookup = %v, %v, %v; want cached denial", node, err, ok)
 	}
@@ -57,7 +57,7 @@ func TestExactKeyMatch(t *testing.T) {
 	lat := testLattice(t)
 	low, high := lat.MustClass("low"), lat.MustClass("high", "a")
 	c := NewCache(0)
-	c.StoreAt(1, "alice", low, "/svc/a", acl.Execute, 0, "v", nil)
+	c.StoreAt(1, "alice", low, "/svc/a", acl.Execute, "v", nil)
 
 	// Any differing key component must miss, even if the hash collides.
 	misses := []struct {
@@ -72,7 +72,7 @@ func TestExactKeyMatch(t *testing.T) {
 		{"alice", low, "/svc/a", acl.Read},
 	}
 	for _, m := range misses {
-		if _, _, ok := c.Lookup(1, m.subject, m.class, m.path, m.modes, 0); ok {
+		if _, _, ok := c.Lookup(1, m.subject, m.class, m.path, m.modes); ok {
 			t.Errorf("Lookup(%q, %v, %q, %v) hit; want miss", m.subject, m.class, m.path, m.modes)
 		}
 	}
@@ -86,11 +86,11 @@ func TestVersionAdvanceKillsEveryEntry(t *testing.T) {
 	cls := lat.MustClass("low")
 	c := NewCache(0)
 	for i := 0; i < 100; i++ {
-		c.StoreAt(1, "alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute, 0, i, nil)
+		c.StoreAt(1, "alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute, i, nil)
 	}
 	// The protection state moved to version 2; lookups pin version 2.
 	for i := 0; i < 100; i++ {
-		if _, _, ok := c.Lookup(2, "alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute, 0); ok {
+		if _, _, ok := c.Lookup(2, "alice", cls, fmt.Sprintf("/svc/n%d", i), acl.Execute); ok {
 			t.Fatalf("entry %d stamped with version 1 served at version 2", i)
 		}
 	}
@@ -106,14 +106,14 @@ func TestStaleEntryUnreachable(t *testing.T) {
 	c := NewCache(0)
 	// Decision computed against pinned version 1 while a mutation
 	// concurrently published version 2: the store still lands...
-	c.StoreAt(1, "alice", cls, "/svc/a", acl.Execute, 0, "v", nil)
+	c.StoreAt(1, "alice", cls, "/svc/a", acl.Execute, "v", nil)
 	// ...but a reader pinning the current (newer) snapshot misses.
-	if _, _, ok := c.Lookup(2, "alice", cls, "/svc/a", acl.Execute, 0); ok {
+	if _, _, ok := c.Lookup(2, "alice", cls, "/svc/a", acl.Execute); ok {
 		t.Fatal("verdict stamped with a stale version was served")
 	}
 	// A reader still pinned to version 1 may use it: the verdict is
 	// correct for that snapshot by construction.
-	if _, _, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute, 0); !ok {
+	if _, _, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute); !ok {
 		t.Fatal("verdict must hit for the version it was computed against")
 	}
 }
@@ -126,11 +126,11 @@ func TestTinyCacheCollisions(t *testing.T) {
 	c := NewCache(numShards) // one slot per shard
 	for i := 0; i < 1000; i++ {
 		path := fmt.Sprintf("/svc/n%d", i)
-		c.StoreAt(1, "alice", cls, path, acl.Execute, 0, path, nil)
+		c.StoreAt(1, "alice", cls, path, acl.Execute, path, nil)
 	}
 	for i := 0; i < 1000; i++ {
 		path := fmt.Sprintf("/svc/n%d", i)
-		if v, err, ok := c.Lookup(1, "alice", cls, path, acl.Execute, 0); ok {
+		if v, err, ok := c.Lookup(1, "alice", cls, path, acl.Execute); ok {
 			if err != nil || v.(string) != path {
 				t.Fatalf("collision served wrong verdict: key %q got %v, %v", path, v, err)
 			}
@@ -142,10 +142,10 @@ func TestNilCacheIsNoop(t *testing.T) {
 	var c *Cache
 	lat := testLattice(t)
 	cls := lat.MustClass("low")
-	if _, _, ok := c.Lookup(1, "alice", cls, "/x", acl.Read, 0); ok {
+	if _, _, ok := c.Lookup(1, "alice", cls, "/x", acl.Read); ok {
 		t.Error("nil cache must miss")
 	}
-	c.StoreAt(1, "alice", cls, "/x", acl.Read, 0, nil, nil) // must not panic
+	c.StoreAt(1, "alice", cls, "/x", acl.Read, nil, nil) // must not panic
 	if s := c.Stats(); s != (Stats{}) {
 		t.Errorf("nil Stats = %+v", s)
 	}
@@ -188,9 +188,9 @@ func TestConcurrentMixedUse(t *testing.T) {
 				case i%97 == 0:
 					version.Add(1) // a mutation publishes a new snapshot
 				case i%3 == 0:
-					c.StoreAt(version.Load(), "alice", cls, path, acl.Execute, 0, path, nil)
+					c.StoreAt(version.Load(), "alice", cls, path, acl.Execute, path, nil)
 				default:
-					if v, err, ok := c.Lookup(version.Load(), "alice", cls, path, acl.Execute, 0); ok {
+					if v, err, ok := c.Lookup(version.Load(), "alice", cls, path, acl.Execute); ok {
 						if err != nil || v.(string) != path {
 							t.Errorf("wrong verdict under concurrency: %v, %v", v, err)
 							return
@@ -203,17 +203,21 @@ func TestConcurrentMixedUse(t *testing.T) {
 	wg.Wait()
 }
 
-// TestStackGenerationIsPartOfTheKey: a verdict computed under one
-// monitor guard stack must never be served under another.
-func TestStackGenerationIsPartOfTheKey(t *testing.T) {
+// TestEpochVersionCoversTheGuardStack: the cache key carries no
+// separate guard-stack generation anymore — a stack change republishes
+// the policy epoch, so the single version comparison is what keeps a
+// verdict computed under one stack from being served under another.
+func TestEpochVersionCoversTheGuardStack(t *testing.T) {
 	lat := testLattice(t)
 	cls := lat.MustClass("low")
 	c := NewCache(0)
-	c.StoreAt(1, "alice", cls, "/svc/a", acl.Execute, 7, "v", nil)
-	if _, _, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute, 8); ok {
+	// Verdict computed against epoch 7 (some guard stack in force).
+	c.StoreAt(7, "alice", cls, "/svc/a", acl.Execute, "v", nil)
+	// A guard install published epoch 8: the entry is unreachable.
+	if _, _, ok := c.Lookup(8, "alice", cls, "/svc/a", acl.Execute); ok {
 		t.Fatal("verdict computed under another guard stack was served")
 	}
-	if _, _, ok := c.Lookup(1, "alice", cls, "/svc/a", acl.Execute, 7); !ok {
-		t.Fatal("matching stack generation must hit")
+	if _, _, ok := c.Lookup(7, "alice", cls, "/svc/a", acl.Execute); !ok {
+		t.Fatal("matching epoch version must hit")
 	}
 }

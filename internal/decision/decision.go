@@ -9,18 +9,21 @@
 // and applies the lattice flow rules. The decision, however, is a pure
 // function of
 //
-//	(subject, subject class, object path, requested modes,
-//	 guard-stack generation)
+//	(subject, subject class, object path, requested modes)
 //
 // and of the protection state (bindings, ACLs, classes, group
-// memberships). The cache memoizes verdicts keyed by the tuple and
-// stamps each entry with the *generation* of the protection state the
-// decision was computed against. The generation is not owned by this
-// package: it is the name server's snapshot version. Every mutation
-// anywhere in the protection state — Bind/Unbind/Rename, an ACL edit, a
-// group membership change, a relabel — publishes a new snapshot and so
-// advances the version, and a single comparison against the caller's
-// pinned version proves a cached verdict is still current. This makes
+// memberships, lattice definitions, guard stack). The cache memoizes
+// verdicts keyed by the tuple and stamps each entry with the
+// *generation* of the protection state the decision was computed
+// against. The generation is not owned by this package: it is the name
+// server's policy-epoch version, and because the epoch bundles the name
+// tree, the frozen lattice, the frozen registry, and the guard stack
+// behind one pointer, that single number covers all of them. Every
+// mutation anywhere in the protection state — Bind/Unbind/Rename, an
+// ACL edit, a group membership change, a lattice definition, a relabel,
+// a guard install — publishes a new epoch and so advances the version,
+// and a single comparison against the caller's pinned version proves a
+// cached verdict is still current. This makes
 // revocation correctness trivial to reason about: a stale grant cannot
 // be served, because the mutation that revoked it necessarily advanced
 // the version before the next lookup could pin a snapshot. (Compare
@@ -75,12 +78,11 @@ func (g *Generation) Current() uint64 { return g.v.Load() }
 // entry is one immutable cached verdict. Published via atomic pointer
 // store; never mutated afterwards.
 type entry struct {
-	gen     uint64        // snapshot version this verdict is valid for
+	gen     uint64        // epoch version this verdict is valid for
 	subject string        // principal name
 	path    string        // object path
 	class   lattice.Class // subject's class at decision time
 	modes   acl.Mode      // requested modes
-	stack   uint64        // monitor guard-stack generation at decision time
 	node    any           // resolved object on grant (opaque to this package)
 	err     error         // nil for a grant, the denial error otherwise
 }
@@ -140,13 +142,12 @@ func hashString(h uint64, s string) uint64 {
 	return h
 }
 
-// keyHash folds the key into 64 bits without allocating. The snapshot
-// version and the monitor guard-stack generation are deliberately left
-// OUT of the hash even though they are part of the match (Lookup
-// compares them exactly): the hash only routes, so keeping every
-// generation of a logical key in the same slot lets the current
-// verdict overwrite its dead predecessor instead of stranding stale
-// entries across the table.
+// keyHash folds the key into 64 bits without allocating. The epoch
+// version is deliberately left OUT of the hash even though it is part
+// of the match (Lookup compares it exactly): the hash only routes, so
+// keeping every generation of a logical key in the same slot lets the
+// current verdict overwrite its dead predecessor instead of stranding
+// stale entries across the table.
 func keyHash(subject string, class lattice.Class, path string, modes acl.Mode) uint64 {
 	h := uint64(fnvOffset)
 	h = hashString(h, subject)
@@ -167,14 +168,14 @@ func (c *Cache) slotFor(h uint64) (*shard, *atomic.Pointer[entry]) {
 }
 
 // Lookup returns the cached verdict for the request, if one is present
-// and was computed against snapshot version gen — the version of the
-// snapshot the caller has pinned for this decision. stack is the
-// monitor pipeline's guard-stack generation the caller observed;
-// entries stored under any other stack never match. On a grant, node is
-// the value stored by StoreAt and err is nil; on a cached denial, err
-// is the original denial error. The fast path takes zero locks and
+// and was computed against epoch version gen — the version of the
+// policy epoch the caller has pinned for this decision. Because the
+// epoch bundles name tree, lattice, registry, and guard stack, the one
+// version comparison proves the whole verdict current. On a grant, node
+// is the value stored by StoreAt and err is nil; on a cached denial,
+// err is the original denial error. The fast path takes zero locks and
 // performs zero allocations.
-func (c *Cache) Lookup(gen uint64, subject string, class lattice.Class, path string, modes acl.Mode, stack uint64) (node any, err error, ok bool) {
+func (c *Cache) Lookup(gen uint64, subject string, class lattice.Class, path string, modes acl.Mode) (node any, err error, ok bool) {
 	if c == nil {
 		return nil, nil, false
 	}
@@ -186,7 +187,7 @@ func (c *Cache) Lookup(gen uint64, subject string, class lattice.Class, path str
 	// inline (not as an entry method) to keep the hit path free of call
 	// boundaries.
 	if e == nil || e.gen != gen ||
-		e.modes != modes || e.stack != stack || e.subject != subject ||
+		e.modes != modes || e.subject != subject ||
 		e.path != path || !e.class.Equal(class) {
 		sh.misses.Add(1)
 		return nil, nil, false
@@ -195,18 +196,15 @@ func (c *Cache) Lookup(gen uint64, subject string, class lattice.Class, path str
 	return e.node, e.err, true
 }
 
-// StoreAt publishes a verdict computed against the pinned snapshot with
+// StoreAt publishes a verdict computed against the pinned epoch with
 // version gen. The store is unconditional: because the whole decision
-// ran against one immutable snapshot, the verdict is correct *for that
-// version* by construction — if a mutation published a newer snapshot
-// in the meantime, later lookups pin the newer version and the entry
+// ran against one immutable epoch, the verdict is correct *for that
+// version* by construction — if a mutation published a newer epoch in
+// the meantime, later lookups pin the newer version and the entry
 // simply never matches (it occupies a slot until overwritten, which is
-// eviction, not staleness). stack is the guard-stack generation
-// observed before the computation; a pipeline change between then and a
-// later lookup makes the entry unreachable the same way. node is
-// returned verbatim by Lookup on a hit and is opaque to the cache; err
-// non-nil caches a denial.
-func (c *Cache) StoreAt(gen uint64, subject string, class lattice.Class, path string, modes acl.Mode, stack uint64, node any, err error) {
+// eviction, not staleness). node is returned verbatim by Lookup on a
+// hit and is opaque to the cache; err non-nil caches a denial.
+func (c *Cache) StoreAt(gen uint64, subject string, class lattice.Class, path string, modes acl.Mode, node any, err error) {
 	if c == nil {
 		return
 	}
@@ -217,7 +215,6 @@ func (c *Cache) StoreAt(gen uint64, subject string, class lattice.Class, path st
 		path:    path,
 		class:   class,
 		modes:   modes,
-		stack:   stack,
 		node:    node,
 		err:     err,
 	})

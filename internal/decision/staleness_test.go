@@ -200,11 +200,11 @@ func (denyAll) Check(monitor.Request) monitor.Verdict {
 	return monitor.Deny("deny-all", "test veto")
 }
 
-// TestGuardStackChangeInvalidatesGrant covers the monitor layer: the
-// decision-cache key carries the guard-stack generation, so installing
-// a guard must kill every cached verdict (the very next check runs the
-// new stack and denies), and removing it must kill the cached denial
-// again.
+// TestGuardStackChangeInvalidatesGrant covers the monitor layer: a
+// guard install republishes the policy epoch, and the epoch version
+// stamps every cache key, so installing a guard must kill every cached
+// verdict (the very next check runs the new stack and denies), and
+// removing it must kill the cached denial again.
 func TestGuardStackChangeInvalidatesGrant(t *testing.T) {
 	s, ctx := stalenessSystem(t)
 	mustBind(t, s, "/obj/doc", acl.New(acl.Allow("worker", acl.Read)))

@@ -126,7 +126,7 @@ func E11() Result {
 
 		cold := measureParallel(defaultMinDur, procs, func(n int) {
 			for i := 0; i < n; i++ {
-				cw.Sys.Names().Invalidate()
+				cw.Sys.Registry().Touch()
 				doCheck(1)
 			}
 		})
@@ -146,7 +146,7 @@ func E11() Result {
 				case <-stop:
 					return
 				default:
-					cw.Sys.Names().Invalidate()
+					cw.Sys.Registry().Touch()
 					runtime.Gosched()
 				}
 			}

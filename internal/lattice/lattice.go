@@ -14,14 +14,25 @@
 // The paper additionally motivates a write-append mode so that a subject
 // at a lower level of trust cannot blindly overwrite an object at a
 // higher level; see CanAppend and CanOverwrite.
+//
+// Concurrency design (build-then-freeze): the universe of levels and
+// categories is an immutable Frozen value published through one atomic
+// pointer. Every read — name lookups, class construction, parsing,
+// formatting — loads the current Frozen once and works on pure data, so
+// the read side takes no locks. Writers (DefineLevel, DefineCategory)
+// serialize on a writer-only mutex, clone the tables, and publish a
+// successor version; the publish hook hands the new Frozen to the name
+// server, which folds it into the next policy epoch. Dominance checks
+// themselves never touch the universe at all: a Class carries its own
+// category bitset, so Dominates/Join/Meet are pure bitset arithmetic.
 package lattice
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Level identifies one trust level in a lattice. Levels are linearly
@@ -40,32 +51,37 @@ var (
 )
 
 // Lattice holds the universe of trust levels and categories out of which
-// security classes are formed. A Lattice is safe for concurrent use.
+// security classes are formed. A Lattice is safe for concurrent use; all
+// read methods are lock-free delegations to the current Frozen view.
 //
 // Levels are defined lowest-first; categories are an unordered set.
 // Definitions are append-only: once a level or category exists it cannot
-// be removed, so previously issued Classes remain valid.
+// be removed, so previously issued Classes remain valid in every later
+// version of the universe.
 type Lattice struct {
-	mu       sync.RWMutex
-	levels   []string
-	levelIdx map[string]Level
-	cats     []string
-	catIdx   map[string]int
+	// frozen is the atomically published current universe. Readers load
+	// it once per operation; writeMu serializes clone-and-publish.
+	frozen  atomic.Pointer[Frozen]
+	writeMu sync.Mutex
 
-	// onMutate, when set, is called after every universe mutation. The
-	// reference monitor wires it to the decision cache's generation
-	// counter so cached verdicts never outlive a definition change.
-	// (Definitions are append-only, so existing dominance relations are
-	// in fact unaffected; the bump is deliberate conservatism.)
-	onMutate func()
+	// onPublish, when set, receives every newly published Frozen. The
+	// reference monitor wires it to the name server's typed epoch
+	// transition (PublishLattice) so a definition lands in the policy
+	// epoch — and kills every cached verdict — before the definer
+	// regains control. Guarded by writeMu.
+	onPublish func(*Frozen)
 }
 
 // New returns an empty lattice with no levels and no categories.
 func New() *Lattice {
-	return &Lattice{
+	l := &Lattice{}
+	l.frozen.Store(&Frozen{
+		lat:      l,
+		version:  1,
 		levelIdx: make(map[string]Level),
 		catIdx:   make(map[string]int),
-	}
+	})
+	return l
 }
 
 // NewWithUniverse is a convenience constructor that defines the given
@@ -85,19 +101,32 @@ func NewWithUniverse(levelsLowToHigh, categories []string) (*Lattice, error) {
 	return l, nil
 }
 
-// SetMutationHook installs a function called after every universe
-// mutation (level or category definition). Used by the reference
-// monitor for decision-cache invalidation; a nil hook clears it.
-func (l *Lattice) SetMutationHook(fn func()) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.onMutate = fn
+// Freeze returns the currently published universe: one atomic load, no
+// locks. The returned view is immutable and stays valid forever; pin it
+// to run several lookups against one version of the universe.
+func (l *Lattice) Freeze() *Frozen { return l.frozen.Load() }
+
+// Version returns the current universe version (1 for an empty lattice,
+// +1 per definition).
+func (l *Lattice) Version() uint64 { return l.frozen.Load().version }
+
+// SetPublishHook installs a function that receives every newly
+// published Frozen universe. The reference monitor wires it to the name
+// server's PublishLattice epoch transition; a nil hook clears it. The
+// hook runs with the writer mutex held, so publications reach it in
+// version order.
+func (l *Lattice) SetPublishHook(fn func(*Frozen)) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.onPublish = fn
 }
 
-// mutated invokes the mutation hook. Caller holds l.mu.
-func (l *Lattice) mutated() {
-	if l.onMutate != nil {
-		l.onMutate()
+// publishLocked installs next as the current universe and reports it to
+// the hook. Caller holds writeMu.
+func (l *Lattice) publishLocked(next *Frozen) {
+	l.frozen.Store(next)
+	if l.onPublish != nil {
+		l.onPublish(next)
 	}
 }
 
@@ -107,15 +136,17 @@ func (l *Lattice) DefineLevel(name string) (Level, error) {
 	if err := validName(name); err != nil {
 		return 0, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, dup := l.levelIdx[name]; dup {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	cur := l.frozen.Load()
+	if _, dup := cur.levelIdx[name]; dup {
 		return 0, fmt.Errorf("%w: level %q", ErrDuplicateName, name)
 	}
-	lv := Level(len(l.levels))
-	l.levels = append(l.levels, name)
-	l.levelIdx[name] = lv
-	l.mutated()
+	next := cur.cloneForDefine()
+	lv := Level(len(next.levels))
+	next.levels = append(next.levels, name)
+	next.levelIdx[name] = lv
+	l.publishLocked(next)
 	return lv, nil
 }
 
@@ -125,15 +156,17 @@ func (l *Lattice) DefineCategory(name string) (int, error) {
 	if err := validName(name); err != nil {
 		return 0, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, dup := l.catIdx[name]; dup {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	cur := l.frozen.Load()
+	if _, dup := cur.catIdx[name]; dup {
 		return 0, fmt.Errorf("%w: category %q", ErrDuplicateName, name)
 	}
-	idx := len(l.cats)
-	l.cats = append(l.cats, name)
-	l.catIdx[name] = idx
-	l.mutated()
+	next := cur.cloneForDefine()
+	idx := len(next.cats)
+	next.cats = append(next.cats, name)
+	next.catIdx[name] = idx
+	l.publishLocked(next)
 	return idx, nil
 }
 
@@ -149,76 +182,30 @@ func validName(name string) error {
 
 // LevelByName resolves a level name.
 func (l *Lattice) LevelByName(name string) (Level, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	lv, ok := l.levelIdx[name]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownLevel, name)
-	}
-	return lv, nil
+	return l.frozen.Load().LevelByName(name)
 }
 
 // LevelName returns the name of a level.
 func (l *Lattice) LevelName(lv Level) (string, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	if lv < 0 || int(lv) >= len(l.levels) {
-		return "", fmt.Errorf("%w: index %d", ErrUnknownLevel, lv)
-	}
-	return l.levels[lv], nil
+	return l.frozen.Load().LevelName(lv)
 }
 
 // Levels returns all level names, lowest first.
-func (l *Lattice) Levels() []string {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	out := make([]string, len(l.levels))
-	copy(out, l.levels)
-	return out
-}
+func (l *Lattice) Levels() []string { return l.frozen.Load().Levels() }
 
 // Categories returns all category names in definition order.
-func (l *Lattice) Categories() []string {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	out := make([]string, len(l.cats))
-	copy(out, l.cats)
-	return out
-}
+func (l *Lattice) Categories() []string { return l.frozen.Load().Categories() }
 
 // NumLevels reports the number of defined trust levels.
-func (l *Lattice) NumLevels() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return len(l.levels)
-}
+func (l *Lattice) NumLevels() int { return l.frozen.Load().NumLevels() }
 
 // NumCategories reports the number of defined categories.
-func (l *Lattice) NumCategories() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return len(l.cats)
-}
+func (l *Lattice) NumCategories() int { return l.frozen.Load().NumCategories() }
 
 // Class constructs a security class at the named level with the named
 // categories.
 func (l *Lattice) Class(level string, categories ...string) (Class, error) {
-	lv, err := l.LevelByName(level)
-	if err != nil {
-		return Class{}, err
-	}
-	set := newBitset(0)
-	l.mu.RLock()
-	for _, c := range categories {
-		idx, ok := l.catIdx[c]
-		if !ok {
-			l.mu.RUnlock()
-			return Class{}, fmt.Errorf("%w: %q", ErrUnknownCategory, c)
-		}
-		set = set.with(idx)
-	}
-	l.mu.RUnlock()
-	return Class{lat: l, level: lv, cats: set}, nil
+	return l.frozen.Load().Class(level, categories...)
 }
 
 // MustClass is Class but panics on error; intended for tests and
@@ -233,29 +220,11 @@ func (l *Lattice) MustClass(level string, categories ...string) Class {
 
 // Bottom returns the least class of the lattice: lowest level, empty
 // category set. It fails if no levels are defined.
-func (l *Lattice) Bottom() (Class, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	if len(l.levels) == 0 {
-		return Class{}, ErrNoLevels
-	}
-	return Class{lat: l, level: 0, cats: newBitset(0)}, nil
-}
+func (l *Lattice) Bottom() (Class, error) { return l.frozen.Load().Bottom() }
 
 // Top returns the greatest class of the lattice: highest level, all
 // categories. It fails if no levels are defined.
-func (l *Lattice) Top() (Class, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	if len(l.levels) == 0 {
-		return Class{}, ErrNoLevels
-	}
-	set := newBitset(len(l.cats))
-	for i := range l.cats {
-		set = set.with(i)
-	}
-	return Class{lat: l, level: Level(len(l.levels) - 1), cats: set}, nil
-}
+func (l *Lattice) Top() (Class, error) { return l.frozen.Load().Top() }
 
 // ParseClass parses a textual class label of the form
 //
@@ -265,20 +234,7 @@ func (l *Lattice) Top() (Class, error) {
 //
 // Whitespace around names is not permitted; names follow validName.
 func (l *Lattice) ParseClass(label string) (Class, error) {
-	level := label
-	var cats []string
-	if i := strings.IndexByte(label, ':'); i >= 0 {
-		level = label[:i]
-		rest := label[i+1:]
-		if len(rest) < 2 || rest[0] != '{' || rest[len(rest)-1] != '}' {
-			return Class{}, fmt.Errorf("%w: %q", ErrBadLabel, label)
-		}
-		inner := rest[1 : len(rest)-1]
-		if inner != "" {
-			cats = strings.Split(inner, ",")
-		}
-	}
-	return l.Class(level, cats...)
+	return l.frozen.Load().ParseClass(label)
 }
 
 // Format renders a class as a label accepted by ParseClass. Categories
@@ -287,24 +243,5 @@ func (l *Lattice) Format(c Class) (string, error) {
 	if c.lat != l {
 		return "", ErrForeignClass
 	}
-	name, err := l.LevelName(c.level)
-	if err != nil {
-		return "", err
-	}
-	idxs := c.cats.members()
-	if len(idxs) == 0 {
-		return name, nil
-	}
-	l.mu.RLock()
-	names := make([]string, 0, len(idxs))
-	for _, i := range idxs {
-		if i >= len(l.cats) {
-			l.mu.RUnlock()
-			return "", fmt.Errorf("%w: index %d", ErrUnknownCategory, i)
-		}
-		names = append(names, l.cats[i])
-	}
-	l.mu.RUnlock()
-	sort.Strings(names)
-	return name + ":{" + strings.Join(names, ",") + "}", nil
+	return l.frozen.Load().Format(c)
 }

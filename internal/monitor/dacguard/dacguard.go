@@ -35,18 +35,23 @@ func (*Guard) Name() string { return name }
 //     granted (GetACL's "read or administrate" disjunction).
 //   - Everything else is the conjunctive check: every requested mode
 //     must be granted, deny entries overriding (acl.ACL.Check).
+//
+// Group entries are resolved against r.Members — the frozen membership
+// relation of the policy epoch the request was pinned to — so a
+// concurrent revocation can never split the decision. Only a caller
+// with no epoch (r.Members == nil) falls back to Subject.MemberOf.
 func (*Guard) Check(r monitor.Request) monitor.Verdict {
 	switch r.Op {
 	case monitor.OpCreate, monitor.OpRelabel, monitor.OpAdmit:
 		return monitor.Allow()
 	}
 	if r.AnyOf != 0 {
-		if r.Object.ACL.Granted(r.Subject)&r.AnyOf == 0 {
+		if r.Object.ACL.GrantedIn(r.Subject, r.Members)&r.AnyOf == 0 {
 			return monitor.Deny(name, "acl: need "+disjunction(r.AnyOf))
 		}
 		return monitor.Allow()
 	}
-	if !r.Object.ACL.Check(r.Subject, r.Modes) {
+	if !r.Object.ACL.CheckIn(r.Subject, r.Modes, r.Members) {
 		return monitor.Deny(name, "acl: modes not granted")
 	}
 	return monitor.Allow()

@@ -133,6 +133,13 @@ type Request struct {
 	// carries both — which keeps the by-value Request a cache-friendly
 	// size on the mediation path.
 	NewClass lattice.Class
+	// Members is the group-membership relation of the policy epoch the
+	// request was resolved against (the epoch's frozen principal
+	// registry). Guards that evaluate group ACL entries must consult it
+	// rather than Subject.MemberOf, so the whole decision reads one
+	// consistent version of the membership relation. Nil when the caller
+	// has no epoch pinned; guards then fall back to the subject.
+	Members acl.Membership
 	// Op is the operation that produced the request.
 	Op Op
 }
@@ -178,19 +185,20 @@ type Stateful interface {
 	Stateful() bool
 }
 
-// stack is one immutable configuration of the pipeline, published as a
-// whole so Check reads a consistent guard list with one atomic load. It
-// carries the generation it was published under, so the mediation fast
-// path snapshots (guards, cacheable, generation) together in that one
-// load instead of paying separate atomic reads.
-type stack struct {
+// Stack is one immutable configuration of the pipeline: the ordered
+// guard list, its cacheability, and the generation it was published
+// under. A Stack never changes after publication, so evaluating one is
+// pure — the policy epoch pins the Stack in force when the epoch was
+// published, and every decision under that epoch runs exactly that
+// guard list even while Install/remove republish the pipeline.
+type Stack struct {
 	guards    []Guard
 	cacheable bool
 	gen       uint64
 }
 
-func newStack(guards []Guard, gen uint64) *stack {
-	s := &stack{guards: guards, cacheable: true, gen: gen}
+func newStack(guards []Guard, gen uint64) *Stack {
+	s := &Stack{guards: guards, cacheable: true, gen: gen}
 	for _, g := range guards {
 		if sf, ok := g.(Stateful); ok && sf.Stateful() {
 			s.cacheable = false
@@ -199,31 +207,11 @@ func newStack(guards []Guard, gen uint64) *stack {
 	return s
 }
 
-// Pipeline composes an ordered guard stack with short-circuit deny: the
-// first guard that objects decides, later guards never run. An empty
-// pipeline allows everything — it is pure mechanism with no policy,
-// which is exactly what a name server with no monitor should be.
-//
-// The pipeline is safe for concurrent use. Check is lock-free and
-// allocation-free; Install and the remove functions it returns take a
-// mutex and bump the stack generation.
-type Pipeline struct {
-	mu    sync.Mutex
-	stack atomic.Pointer[stack]
-	gen   decision.Generation
-}
-
-// NewPipeline builds a pipeline over the given guards, in order.
-func NewPipeline(guards ...Guard) *Pipeline {
-	p := &Pipeline{}
-	p.stack.Store(newStack(append([]Guard(nil), guards...), 0))
-	return p
-}
-
 // Check runs the stack over one request: the first denial wins; if no
-// guard objects the request is allowed.
-func (p *Pipeline) Check(r Request) Verdict {
-	for _, g := range p.stack.Load().guards {
+// guard objects the request is allowed. It is lock-free and
+// allocation-free.
+func (s *Stack) Check(r Request) Verdict {
+	for _, g := range s.guards {
 		if v := g.Check(r); !v.Allow {
 			return v
 		}
@@ -233,12 +221,10 @@ func (p *Pipeline) Check(r Request) Verdict {
 
 // CheckTraced is Check with per-guard observability: each guard's
 // verdict and evaluation time are recorded as a span on tr, and the
-// denying guard's name is filled into the combined verdict. It is only
-// invoked for requests the telemetry sampler selected, so the
-// per-guard timestamps never burden the common path; tr may be nil, in
-// which case it degrades to Check plus the clock reads.
-func (p *Pipeline) CheckTraced(r Request, tr *telemetry.ActiveTrace) Verdict {
-	for _, g := range p.stack.Load().guards {
+// denying guard's name is filled into the combined verdict. tr may be
+// nil, in which case it degrades to Check plus the clock reads.
+func (s *Stack) CheckTraced(r Request, tr *telemetry.ActiveTrace) Verdict {
+	for _, g := range s.guards {
 		start := time.Now()
 		v := g.Check(r)
 		d := time.Since(start)
@@ -256,10 +242,9 @@ func (p *Pipeline) CheckTraced(r Request, tr *telemetry.ActiveTrace) Verdict {
 // Explain runs every guard regardless of earlier denials and returns
 // all verdicts in stack order — the diagnostic view of a decision.
 // Unlike Check it allocates; tooling only.
-func (p *Pipeline) Explain(r Request) []Verdict {
-	guards := p.stack.Load().guards
-	out := make([]Verdict, 0, len(guards))
-	for _, g := range guards {
+func (s *Stack) Explain(r Request) []Verdict {
+	out := make([]Verdict, 0, len(s.guards))
+	for _, g := range s.guards {
 		v := g.Check(r)
 		if v.Allow && v.Guard == "" {
 			v.Guard = g.Name()
@@ -267,6 +252,95 @@ func (p *Pipeline) Explain(r Request) []Verdict {
 		out = append(out, v)
 	}
 	return out
+}
+
+// Gen returns the generation this stack was published under.
+func (s *Stack) Gen() uint64 { return s.gen }
+
+// Cacheable reports whether every guard in this stack is pure (its
+// verdict a function of the request and the protection state alone).
+func (s *Stack) Cacheable() bool { return s.cacheable }
+
+// Depth returns the number of guards in this stack.
+func (s *Stack) Depth() int { return len(s.guards) }
+
+// Guards returns the names of the stacked guards, in order.
+func (s *Stack) Guards() []string {
+	out := make([]string, len(s.guards))
+	for i, g := range s.guards {
+		out[i] = g.Name()
+	}
+	return out
+}
+
+// Pipeline composes an ordered guard stack with short-circuit deny: the
+// first guard that objects decides, later guards never run. An empty
+// pipeline allows everything — it is pure mechanism with no policy,
+// which is exactly what a name server with no monitor should be.
+//
+// The pipeline is safe for concurrent use. Check is lock-free and
+// allocation-free; Install and the remove functions it returns take a
+// mutex and bump the stack generation.
+type Pipeline struct {
+	mu       sync.Mutex
+	stack    atomic.Pointer[Stack]
+	gen      decision.Generation
+	onChange func(*Stack) // guarded by mu
+}
+
+// NewPipeline builds a pipeline over the given guards, in order.
+func NewPipeline(guards ...Guard) *Pipeline {
+	p := &Pipeline{}
+	p.stack.Store(newStack(append([]Guard(nil), guards...), 0))
+	return p
+}
+
+// Current returns the currently published guard stack: one atomic load,
+// no locks. The returned Stack is immutable and stays valid forever;
+// the name server pins it in each policy epoch so decisions under that
+// epoch run a consistent guard list.
+func (p *Pipeline) Current() *Stack { return p.stack.Load() }
+
+// SetChangeHook installs a function that receives every newly published
+// Stack. The name server wires it to its PublishStack epoch transition,
+// so installing or removing a guard republishes the policy epoch — and
+// kills every cached verdict — before the installer regains control. A
+// nil hook clears it. The hook runs with the pipeline mutex held, so
+// publications reach it in generation order.
+func (p *Pipeline) SetChangeHook(fn func(*Stack)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onChange = fn
+}
+
+// publishLocked installs next as the current stack and reports it to
+// the hook. Caller holds p.mu.
+func (p *Pipeline) publishLocked(next *Stack) {
+	p.stack.Store(next)
+	if p.onChange != nil {
+		p.onChange(next)
+	}
+}
+
+// Check runs the current stack over one request: the first denial wins;
+// if no guard objects the request is allowed.
+func (p *Pipeline) Check(r Request) Verdict {
+	return p.stack.Load().Check(r)
+}
+
+// CheckTraced is Check with per-guard observability (see
+// Stack.CheckTraced). It is only invoked for requests the telemetry
+// sampler selected, so the per-guard timestamps never burden the common
+// path.
+func (p *Pipeline) CheckTraced(r Request, tr *telemetry.ActiveTrace) Verdict {
+	return p.stack.Load().CheckTraced(r, tr)
+}
+
+// Explain runs every guard regardless of earlier denials and returns
+// all verdicts in stack order — the diagnostic view of a decision.
+// Unlike Check it allocates; tooling only.
+func (p *Pipeline) Explain(r Request) []Verdict {
+	return p.stack.Load().Explain(r)
 }
 
 // Install appends a guard to the stack and returns a function that
@@ -281,7 +355,7 @@ func (p *Pipeline) Install(g Guard) (remove func()) {
 	copy(next, cur)
 	next = append(next, g)
 	p.gen.Bump()
-	p.stack.Store(newStack(next, p.gen.Current()))
+	p.publishLocked(newStack(next, p.gen.Current()))
 
 	var once sync.Once
 	return func() {
@@ -299,40 +373,24 @@ func (p *Pipeline) Install(g Guard) (remove func()) {
 				next = append(next, have)
 			}
 			p.gen.Bump()
-			p.stack.Store(newStack(next, p.gen.Current()))
+			p.publishLocked(newStack(next, p.gen.Current()))
 		})
 	}
 }
 
-// Gen returns the current guard-stack generation. The decision cache
-// folds it into every key, so a stack change invalidates all cached
-// verdicts without touching the cache.
+// Gen returns the current guard-stack generation. The name server folds
+// the stack into the policy epoch, whose version keys the decision
+// cache, so a stack change invalidates all cached verdicts without
+// touching the cache.
 func (p *Pipeline) Gen() uint64 { return p.stack.Load().gen }
 
-// Cacheable reports whether every guard in the stack is pure (its
-// verdict a function of the request and the protection state alone).
-// Stateful guards make the pipeline non-cacheable.
+// Cacheable reports whether every guard in the current stack is pure
+// (its verdict a function of the request and the protection state
+// alone). Stateful guards make the pipeline non-cacheable.
 func (p *Pipeline) Cacheable() bool { return p.stack.Load().cacheable }
 
-// Snapshot returns the cacheability and guard-stack generation of the
-// current stack in one atomic load — the pair the mediation fast path
-// needs before consulting the decision cache. Both values come from the
-// same published stack, so they are mutually consistent even against a
-// concurrent Install.
-func (p *Pipeline) Snapshot() (cacheable bool, gen uint64) {
-	s := p.stack.Load()
-	return s.cacheable, s.gen
-}
-
 // Depth returns the number of guards in the stack.
-func (p *Pipeline) Depth() int { return len(p.stack.Load().guards) }
+func (p *Pipeline) Depth() int { return p.stack.Load().Depth() }
 
 // Guards returns the names of the stacked guards, in order.
-func (p *Pipeline) Guards() []string {
-	guards := p.stack.Load().guards
-	out := make([]string, len(guards))
-	for i, g := range guards {
-		out[i] = g.Name()
-	}
-	return out
-}
+func (p *Pipeline) Guards() []string { return p.stack.Load().Guards() }

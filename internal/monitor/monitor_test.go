@@ -196,3 +196,90 @@ func TestConcurrentCheckAndInstall(t *testing.T) {
 		t.Errorf("Depth = %d after balanced install/remove", p.Depth())
 	}
 }
+
+// TestStackPinning: Current returns an immutable stack — installs
+// publish successors with bumped generations, and a pinned stack keeps
+// its guard list, cacheability, and generation while the pipeline moves
+// on. This is the property the policy epoch relies on.
+func TestStackPinning(t *testing.T) {
+	a := &scripted{name: "a", allow: true}
+	p := NewPipeline(a)
+	s0 := p.Current()
+	if s0.Depth() != 1 || !s0.Cacheable() || s0.Gen() != 0 {
+		t.Fatalf("initial stack: depth %d cacheable %v gen %d", s0.Depth(), s0.Cacheable(), s0.Gen())
+	}
+
+	remove := p.Install(&statefulGuard{scripted{name: "meter", allow: false}})
+	s1 := p.Current()
+	if s1 == s0 {
+		t.Fatal("Install did not publish a new stack")
+	}
+	if s1.Gen() != s0.Gen()+1 || s1.Cacheable() || s1.Depth() != 2 {
+		t.Fatalf("installed stack: gen %d cacheable %v depth %d", s1.Gen(), s1.Cacheable(), s1.Depth())
+	}
+	// The pinned old stack still allows and still reports itself pure.
+	if v := s0.Check(Request{}); !v.Allow {
+		t.Fatalf("pinned stack changed verdict: %+v", v)
+	}
+	if !s0.Cacheable() || s0.Depth() != 1 {
+		t.Fatal("pinned stack mutated by a later install")
+	}
+	// The new stack denies through the meter.
+	if v := s1.Check(Request{}); v.Allow || v.Guard != "meter" {
+		t.Fatalf("new stack verdict: %+v", v)
+	}
+	if got := s1.Guards(); len(got) != 2 || got[0] != "a" || got[1] != "meter" {
+		t.Fatalf("Guards() = %v", got)
+	}
+	remove()
+	if p.Current().Gen() != s1.Gen()+1 {
+		t.Fatal("remove did not bump the generation")
+	}
+}
+
+// TestChangeHookSeesEveryPublication: the hook receives each newly
+// published stack, in generation order, exactly once per change — the
+// contract the name server's PublishStack transition depends on.
+func TestChangeHookSeesEveryPublication(t *testing.T) {
+	p := NewPipeline(&scripted{name: "a", allow: true})
+	var got []uint64
+	p.SetChangeHook(func(s *Stack) { got = append(got, s.Gen()) })
+
+	remove := p.Install(&scripted{name: "b", allow: true})
+	remove()
+	remove() // idempotent: the second call must not republish
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("hook saw generations %v, want [1 2]", got)
+	}
+	// Clearing the hook stops deliveries.
+	p.SetChangeHook(nil)
+	p.Install(&scripted{name: "c", allow: true})
+	if len(got) != 2 {
+		t.Fatalf("cleared hook still fired: %v", got)
+	}
+}
+
+// TestStackExplainAndTracedNilTrace: Stack.Explain reports every guard
+// in order, and CheckTraced with a nil trace degrades to Check on both
+// the allow and the deny path.
+func TestStackExplainAndTracedNilTrace(t *testing.T) {
+	a := &scripted{name: "a", allow: true}
+	b := &scripted{name: "b", allow: false}
+	s := NewPipeline(a, b).Current()
+
+	vs := s.Explain(Request{})
+	if len(vs) != 2 || vs[0].Guard != "a" || !vs[0].Allow || vs[1].Guard != "b" || vs[1].Allow {
+		t.Fatalf("Explain = %+v", vs)
+	}
+	if v := s.CheckTraced(Request{}, nil); v.Allow || v.Guard != "b" {
+		t.Fatalf("CheckTraced deny = %+v", v)
+	}
+	allowStack := NewPipeline(a).Current()
+	if v := allowStack.CheckTraced(Request{}, nil); !v.Allow {
+		t.Fatalf("CheckTraced allow = %+v", v)
+	}
+	// The pipeline-level traced entry point takes the same path.
+	if v := NewPipeline(a, b).CheckTraced(Request{}, nil); v.Allow || v.Guard != "b" {
+		t.Fatalf("Pipeline.CheckTraced = %+v", v)
+	}
+}

@@ -10,6 +10,13 @@
 // and the mediation fast path is bypassed. Every request the guard
 // should count therefore actually reaches it; a cached allow can never
 // smuggle an access past the meter.
+//
+// A quota guard can also wrap another guard (NewWrapping): the meter
+// then only charges requests the inner guard allows, so denied requests
+// do not burn budget. The inner guard is evaluated outside the meter's
+// mutex — the lock protects only the budget table, never a foreign
+// Check, so a slow or reentrant inner guard cannot serialize the whole
+// pipeline behind the meter.
 package quotaguard
 
 import (
@@ -29,6 +36,13 @@ type Guard struct {
 	// path; requests elsewhere pass unmetered.
 	prefix string
 
+	// inner, when non-nil, is consulted before the meter: a request the
+	// inner guard denies is refused without spending budget. Evaluated
+	// strictly outside mu.
+	inner monitor.Guard
+
+	// mu protects budgets and nothing else. No foreign code runs while
+	// it is held.
 	mu      sync.Mutex
 	budgets map[string]int64
 }
@@ -38,6 +52,13 @@ type Guard struct {
 // with it.
 func New(prefix string) *Guard {
 	return &Guard{prefix: prefix, budgets: make(map[string]int64)}
+}
+
+// NewWrapping builds a quota guard that delegates to inner first and
+// only charges the subject's budget when inner allows the request.
+// inner must not be nil.
+func NewWrapping(prefix string, inner monitor.Guard) *Guard {
+	return &Guard{prefix: prefix, inner: inner, budgets: make(map[string]int64)}
 }
 
 // SetQuota assigns subject a budget of n accesses, replacing any
@@ -74,23 +95,38 @@ func (*Guard) Stateful() bool { return true }
 // dispatcher admission pass free, as do the mechanism's own subjectless
 // requests. A metered request spends one unit; a subject with no
 // assigned budget is denied, and so is one whose budget has run out.
+//
+// With a wrapped inner guard, the inner verdict is computed first and
+// outside the mutex; only an inner allow reaches the meter. The
+// critical section is exactly the budget lookup-and-decrement.
 func (g *Guard) Check(r monitor.Request) monitor.Verdict {
-	if r.Op != monitor.OpAccess || r.Subject == nil {
+	exempt := r.Op != monitor.OpAccess || r.Subject == nil ||
+		(g.prefix != "" && !strings.HasPrefix(r.Object.Path, g.prefix))
+
+	// Inner guard first, with no lock held: its verdict must not be
+	// serialized by — or deadlock against — the meter's mutex.
+	if g.inner != nil {
+		if v := g.inner.Check(r); !v.Allow {
+			return v
+		}
+	}
+	if exempt {
 		return monitor.Allow()
 	}
-	if g.prefix != "" && !strings.HasPrefix(r.Object.Path, g.prefix) {
-		return monitor.Allow()
-	}
+
 	who := r.Subject.SubjectName()
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	n, ok := g.budgets[who]
+	if ok && n > 0 {
+		g.budgets[who] = n - 1
+	}
+	g.mu.Unlock()
+
 	if !ok {
 		return monitor.Deny(name, "quota: no budget assigned")
 	}
 	if n <= 0 {
 		return monitor.Deny(name, "quota: exhausted")
 	}
-	g.budgets[who] = n - 1
 	return monitor.Allow()
 }

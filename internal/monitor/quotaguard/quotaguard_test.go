@@ -1,6 +1,8 @@
 package quotaguard
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"secext/internal/acl"
@@ -87,5 +89,88 @@ func TestOnlyScopedAccessesMetered(t *testing.T) {
 func TestGuardIsStateful(t *testing.T) {
 	if monitor.NewPipeline(New("")).Cacheable() {
 		t.Fatal("quota pipeline reported cacheable")
+	}
+}
+
+// denyInner always refuses; the meter must not charge for it.
+type denyInner struct{}
+
+func (denyInner) Name() string                          { return "inner" }
+func (denyInner) Check(monitor.Request) monitor.Verdict { return monitor.Deny("inner", "refused") }
+
+func TestWrappingChargesOnlyInnerAllows(t *testing.T) {
+	g := NewWrapping("", denyInner{})
+	g.SetQuota("p", 3)
+	for i := 0; i < 5; i++ {
+		if v := g.Check(access("p", "/x")); v.Allow || v.Guard != "inner" {
+			t.Fatalf("inner denial not propagated: %+v", v)
+		}
+	}
+	if rem, _ := g.Remaining("p"); rem != 3 {
+		t.Fatalf("denied requests burned budget: remaining %d, want 3", rem)
+	}
+}
+
+// reentrantInner calls back into the wrapping meter from inside its own
+// evaluation — the shape of a composed guard that consults another
+// quota. sync.Mutex is not reentrant, so this test deadlocks (and the
+// suite times out) if the meter ever evaluates the inner guard with its
+// mutex held; passing proves the critical section is exactly the budget
+// lookup-and-decrement.
+type reentrantInner struct{ g *Guard }
+
+func (r *reentrantInner) Name() string { return "reentrant" }
+
+func (r *reentrantInner) Check(monitor.Request) monitor.Verdict {
+	r.g.SetQuota("probe", 1)
+	if _, ok := r.g.Remaining("probe"); !ok {
+		return monitor.Deny("reentrant", "probe lost")
+	}
+	return monitor.Allow()
+}
+
+func TestWrappingInnerRunsOutsideMutex(t *testing.T) {
+	inner := &reentrantInner{}
+	g := NewWrapping("", inner)
+	inner.g = g
+	g.SetQuota("p", 2)
+	if v := g.Check(access("p", "/x")); !v.Allow {
+		t.Fatalf("reentrant wrapped check denied: %+v", v)
+	}
+	if rem, _ := g.Remaining("p"); rem != 1 {
+		t.Fatalf("remaining = %d, want 1", rem)
+	}
+}
+
+// TestWrappingConcurrentMetering hammers a wrapped meter from many
+// goroutines; run under -race this is the memory-safety check for the
+// narrowed critical section, and the allow count proves the meter stays
+// exact: precisely the budgeted number of requests get through no
+// matter how the goroutines interleave.
+func TestWrappingConcurrentMetering(t *testing.T) {
+	inner := &reentrantInner{}
+	g := NewWrapping("", inner)
+	inner.g = g
+	const budget = 1000
+	g.SetQuota("p", budget)
+	var allowed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if g.Check(access("p", "/x")).Allow {
+					allowed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if allowed.Load() != budget {
+		t.Fatalf("allowed %d of 4000 requests, want exactly %d", allowed.Load(), budget)
+	}
+	if rem, _ := g.Remaining("p"); rem != 0 {
+		t.Fatalf("remaining = %d, want 0", rem)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"secext/internal/monitor"
 	"secext/internal/monitor/dacguard"
 	"secext/internal/monitor/macguard"
+	"secext/internal/principal"
 	"secext/internal/telemetry"
 )
 
@@ -27,16 +28,26 @@ var ErrNotEmpty = fmt.Errorf("names: node not empty")
 // found (ACL, class, multilevel flag), and lets the guard stack decide.
 // It is safe for concurrent use.
 //
-// Concurrency design (RCU): the name space is an immutable tree
-// published through one atomic root pointer. Readers (Resolve,
-// CheckAccess, List, GetACL, Walk) pin the current Snapshot with a
-// single atomic load and traverse it with zero locks; every decision is
-// computed against exactly one published version of the protection
-// state, so a concurrent rename can never split a resolution across two
-// trees. Writers serialize on a writer-only mutex, clone the spine from
-// the root to their change, and publish a successor snapshot whose
-// version number is the decision-cache generation — one clock for both
-// "the tree changed" and "cached verdicts are dead".
+// Concurrency design (RCU over the WHOLE policy): the server publishes
+// an immutable Epoch — name tree, frozen lattice, frozen
+// principal/group registry, guard stack — through one atomic pointer.
+// Readers (Resolve, CheckAccess, List, GetACL, Walk) pin the current
+// Epoch with a single atomic load and run the entire decision against
+// it with zero locks; no mediation step ever consults mutable state.
+// Writers serialize on a writer-only mutex, derive a successor epoch
+// (cloning the tree spine for name mutations, swapping the frozen
+// lattice/registry/stack for the typed transitions below), and publish
+// it at version+1. The epoch version IS the decision-cache generation —
+// one clock for "any policy shard changed" and "cached verdicts are
+// dead".
+//
+// Epoch transitions are typed: name mutations come through the Bind/
+// Unbind/Rename/Set* operations; the lattice and registry push their
+// freshly frozen state through PublishLattice/PublishRegistry (wired
+// via publish hooks at construction/attachment); guard installs push
+// the new stack through PublishStack. There is no untyped "invalidate
+// everything" entry point — every version bump names the shard that
+// moved.
 //
 // Checked operations take the requesting subject (for the DAC decision)
 // and the subject's current security class (for the MAC decision).
@@ -45,49 +56,59 @@ var ErrNotEmpty = fmt.Errorf("names: node not empty")
 // reference monitor can observe unchecked operations via SetAdminHook so
 // that even mediation bypasses leave an audit trail.
 type Server struct {
-	// snap is the atomically published current snapshot. Readers load
-	// it once per operation and never look back; writeMu serializes the
-	// load-clone-publish sequence of mutations.
-	snap    atomic.Pointer[Snapshot]
+	// epoch is the atomically published current policy epoch. Readers
+	// load it once per operation and never look back; writeMu serializes
+	// the load-derive-publish sequence of every transition.
+	epoch   atomic.Pointer[Epoch]
 	writeMu sync.Mutex
 
 	lat *lattice.Lattice
 
-	// publishes counts snapshot publications after boot (mutations plus
-	// external Invalidate calls): the writer-side telemetry counter.
-	publishes atomic.Uint64
+	// publishes counts epoch publications after boot: the writer-side
+	// telemetry counter. The typed counters below split it by the shard
+	// that moved.
+	publishes    atomic.Uint64
+	namePubs     atomic.Uint64
+	latticePubs  atomic.Uint64
+	registryPubs atomic.Uint64
+	stackPubs    atomic.Uint64
 
-	// pipe is the policy pipeline every checked operation consults,
-	// behind an atomic pointer so the read path takes no lock.
-	// NewServer installs the default [dac, mac] stack; SetPipeline
-	// replaces it during setup.
+	// pipe is the writer-side policy pipeline: Install and remove
+	// mutate it, and every newly published stack lands in the next
+	// epoch via the change hook. The READ side never touches it — a
+	// pinned epoch carries the stack to run.
 	pipe atomic.Pointer[monitor.Pipeline]
 
 	// adminHook, when set, observes every unchecked (policy-bypassing)
 	// operation: op is a short operation name, path the affected name,
 	// err the structural outcome. The hook runs after the operation has
-	// published its snapshot, with no server lock held, so it may call
+	// published its epoch, with no server lock held, so it may call
 	// back into the server freely (including ResolveUnchecked — but a
 	// hook that unconditionally re-enters an unchecked operation must
 	// guard against its own recursion).
 	adminHook atomic.Pointer[func(op, path string, err error)]
 
 	// cache, when set, memoizes CheckAccess verdicts keyed by
-	// (subject, class, path, modes, guard-stack generation) and stamped
-	// with the snapshot version the verdict was computed against. A hit
-	// requires the stamp to equal the current snapshot's version, so it
-	// is provably computed against the current protection state AND the
-	// current guard stack. Install it with SetDecisionCache before the
-	// server sees concurrent traffic; only the reference monitor should
-	// do so (cached verdicts assume subject names are canonical, which
-	// core guarantees). A nil cache means every check takes the full
-	// path, as does a pipeline containing a stateful guard (whose
-	// verdicts must not be memoized).
+	// (subject, class, path, modes) and stamped with the epoch version
+	// the verdict was computed against. A hit requires the stamp to
+	// equal the pinned epoch's version, so it is provably computed
+	// against the current tree AND lattice AND registry AND guard
+	// stack — the epoch bundles all four. Install it with
+	// SetDecisionCache before the server sees concurrent traffic; only
+	// the reference monitor should do so (cached verdicts assume
+	// subject names are canonical, which core guarantees). A nil cache
+	// means every check takes the full path, as does an epoch whose
+	// stack contains a stateful guard (whose verdicts must not be
+	// memoized).
 	cache atomic.Pointer[decision.Cache]
 }
 
 // NewServer creates a name space whose root carries the given ACL and
-// class, guarded by the default [dac, mac] pipeline.
+// class, guarded by the default [dac, mac] pipeline. The server wires
+// itself as the lattice's publish hook: each DefineLevel/DefineCategory
+// lands its frozen universe in a new epoch. A lattice therefore backs
+// one server; constructing a second server over the same lattice
+// re-points the hook at the newer server.
 func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) *Server {
 	if rootACL == nil {
 		rootACL = acl.New()
@@ -100,46 +121,143 @@ func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) 
 		acl:      rootACL.Clone(),
 		class:    rootClass,
 	}
-	s.snap.Store(&Snapshot{root: root, version: 1, traversal: true})
-	s.pipe.Store(monitor.NewPipeline(dacguard.New(), macguard.New()))
+	pipe := monitor.NewPipeline(dacguard.New(), macguard.New())
+	s.pipe.Store(pipe)
+	s.epoch.Store(&Epoch{
+		root:      root,
+		version:   1,
+		traversal: true,
+		lat:       lat.Freeze(),
+		stack:     pipe.Current(),
+	})
+	lat.SetPublishHook(s.PublishLattice)
+	pipe.SetChangeHook(s.PublishStack)
 	return s
 }
 
 // Lattice returns the lattice node classes are drawn from.
 func (s *Server) Lattice() *lattice.Lattice { return s.lat }
 
-// Current returns the currently published snapshot: one atomic load,
-// no locks. The returned snapshot is immutable and stays valid (and
+// Current returns the currently published epoch: one atomic load, no
+// locks. The returned epoch is immutable and stays valid (and
 // internally consistent) forever; use it to run several reads against
-// one version of the protection state.
-func (s *Server) Current() *Snapshot { return s.snap.Load() }
+// one version of the whole policy.
+func (s *Server) Current() *Epoch { return s.epoch.Load() }
 
-// Version returns the current snapshot's version: the unified
-// protection-state generation (see Snapshot.Version).
-func (s *Server) Version() uint64 { return s.snap.Load().version }
+// Version returns the current epoch's version: the unified
+// protection-state generation (see Epoch.Version).
+func (s *Server) Version() uint64 { return s.epoch.Load().version }
 
-// Publishes returns the number of snapshots published since boot —
-// the writer-side counter telemetry exposes.
+// Publishes returns the number of epochs published since boot — the
+// writer-side counter telemetry exposes.
 func (s *Server) Publishes() uint64 { return s.publishes.Load() }
 
-// publishLocked installs a successor snapshot with the given root and
-// traversal policy. Caller holds writeMu.
-func (s *Server) publishLocked(root *Node, traversal bool) {
-	old := s.snap.Load()
-	s.snap.Store(&Snapshot{root: root, version: old.version + 1, traversal: traversal})
-	s.publishes.Add(1)
+// Transitions breaks Publishes down by the policy shard whose change
+// drove each publication.
+type Transitions struct {
+	Names    uint64 // tree mutations (bind/unbind/rename/set-acl/...)
+	Lattice  uint64 // lattice universe definitions
+	Registry uint64 // principal/group registry mutations
+	Stack    uint64 // guard installs/removals and pipeline swaps
 }
 
-// Invalidate publishes a new snapshot version without changing the
-// tree. Layers outside the name space whose state feeds access
-// decisions (the lattice universe, the principal/group registry) call
-// it on mutation, so the snapshot version stays the single generation
-// clock for every cached verdict.
-func (s *Server) Invalidate() {
+// EpochTransitions returns the per-shard publication counters.
+func (s *Server) EpochTransitions() Transitions {
+	return Transitions{
+		Names:    s.namePubs.Load(),
+		Lattice:  s.latticePubs.Load(),
+		Registry: s.registryPubs.Load(),
+		Stack:    s.stackPubs.Load(),
+	}
+}
+
+// publishLocked installs a successor epoch with the given name tree and
+// traversal policy, keeping the current lattice, registry, and stack.
+// Caller holds writeMu.
+func (s *Server) publishLocked(root *Node, traversal bool) {
+	old := s.epoch.Load()
+	next := *old
+	next.root = root
+	next.traversal = traversal
+	next.version = old.version + 1
+	s.epoch.Store(&next)
+	s.publishes.Add(1)
+	s.namePubs.Add(1)
+}
+
+// PublishLattice is the typed epoch transition for the lattice shard:
+// it publishes a successor epoch pinning f as the universe, at
+// version+1. The lattice's publish hook (wired by NewServer) calls it
+// on every definition, so a DefineLevel/DefineCategory lands in the
+// policy epoch — and kills every cached verdict — before the definer
+// regains control. A nil f is ignored.
+func (s *Server) PublishLattice(f *lattice.Frozen) {
+	if f == nil {
+		return
+	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	sn := s.snap.Load()
-	s.publishLocked(sn.root, sn.traversal)
+	old := s.epoch.Load()
+	next := *old
+	next.lat = f
+	next.version = old.version + 1
+	s.epoch.Store(&next)
+	s.publishes.Add(1)
+	s.latticePubs.Add(1)
+}
+
+// PublishRegistry is the typed epoch transition for the principal/group
+// shard: it publishes a successor epoch pinning f as the registry, at
+// version+1. The registry's publish hook (wired by AttachRegistry)
+// calls it on every mutation, so a membership revocation reaches every
+// future decision — and kills every cached verdict — before the revoker
+// regains control. A nil f is ignored.
+func (s *Server) PublishRegistry(f *principal.Frozen) {
+	if f == nil {
+		return
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	old := s.epoch.Load()
+	next := *old
+	next.reg = f
+	next.version = old.version + 1
+	s.epoch.Store(&next)
+	s.publishes.Add(1)
+	s.registryPubs.Add(1)
+}
+
+// PublishStack is the typed epoch transition for the guard-stack shard:
+// it publishes a successor epoch pinning st as the stack, at version+1.
+// The pipeline's change hook (wired by NewServer and SetPipeline) calls
+// it on every Install/remove. A nil st is ignored.
+func (s *Server) PublishStack(st *monitor.Stack) {
+	if st == nil {
+		return
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	old := s.epoch.Load()
+	next := *old
+	next.stack = st
+	next.version = old.version + 1
+	s.epoch.Store(&next)
+	s.publishes.Add(1)
+	s.stackPubs.Add(1)
+}
+
+// AttachRegistry wires the principal/group registry into the policy
+// epoch: the registry's publish hook becomes PublishRegistry, and the
+// registry's current frozen state is published immediately so the very
+// next decision pins it. Call during setup, before the server sees
+// concurrent traffic; only the reference monitor should attach a
+// registry (pinned membership assumes subject names are canonical).
+func (s *Server) AttachRegistry(reg *principal.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.SetPublishHook(s.PublishRegistry)
+	s.PublishRegistry(reg.Freeze())
 }
 
 // Pipeline returns the monitor pipeline the server consults.
@@ -147,19 +265,20 @@ func (s *Server) Pipeline() *monitor.Pipeline { return s.pipe.Load() }
 
 // SetPipeline replaces the policy pipeline. Call it during setup,
 // before the server sees concurrent traffic; a nil pipeline is
-// rejected (a server without policy would fail open). Swapping whole
-// pipelines publishes a new snapshot version, so cached verdicts from
-// the old stack are dead (the old and new stacks' generations are
-// unrelated).
+// rejected (a server without policy would fail open). The new
+// pipeline's current stack is published as a typed stack transition,
+// so cached verdicts from the old stack are dead.
 func (s *Server) SetPipeline(p *monitor.Pipeline) {
 	if p == nil {
 		return
 	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
+	old := s.pipe.Load()
+	if old != nil && old != p {
+		old.SetChangeHook(nil)
+	}
+	p.SetChangeHook(s.PublishStack)
 	s.pipe.Store(p)
-	sn := s.snap.Load()
-	s.publishLocked(sn.root, sn.traversal)
+	s.PublishStack(p.Current())
 }
 
 // SetAdminHook installs an observer for unchecked operations; nil
@@ -174,8 +293,8 @@ func (s *Server) SetAdminHook(fn func(op, path string, err error)) {
 }
 
 // admin reports one unchecked operation to the hook, if any. Called
-// after the operation's snapshot (if any) is published and after
-// writeMu is released, so the hook observes the post-operation state.
+// after the operation's epoch (if any) is published and after writeMu
+// is released, so the hook observes the post-operation state.
 func (s *Server) admin(op, path string, err error) {
 	if fn := s.adminHook.Load(); fn != nil {
 		(*fn)(op, path, err)
@@ -195,27 +314,29 @@ func (s *Server) DecisionCache() *decision.Cache { return s.cache.Load() }
 
 // SetTraversalChecks toggles per-level visibility checks during path
 // resolution. Intended for experiments; production systems leave it on.
-// The toggle publishes a new snapshot version, so cached verdicts
-// computed under the other policy are dead.
+// The toggle publishes a new epoch version, so cached verdicts computed
+// under the other policy are dead.
 func (s *Server) SetTraversalChecks(on bool) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	s.publishLocked(s.snap.Load().root, on)
+	s.publishLocked(s.epoch.Load().root, on)
 }
 
-// describe builds the pipeline's view of node n at path. The node comes
-// from a pinned snapshot, so the description (ACL, class, multilevel
+// describe builds the guard stack's view of node n at path. The node
+// comes from a pinned epoch, so the description (ACL, class, multilevel
 // flag) is frozen protection state: guards can never observe a torn
 // half-applied mutation.
 func describe(n *Node, path string) monitor.Object {
 	return monitor.Object{Path: path, ACL: n.acl, Class: n.class, Multilevel: n.multilevel}
 }
 
-// checkNode consults the pipeline for the requested modes on node n,
-// which lives at path.
-func checkNode(pipe *monitor.Pipeline, n *Node, path string, sub acl.Subject, class lattice.Class, modes acl.Mode, op monitor.Op) error {
-	v := pipe.Check(monitor.Request{
-		Subject: sub, Class: class, Object: describe(n, path), Modes: modes, Op: op,
+// checkNode consults the epoch's pinned guard stack for the requested
+// modes on node n, which lives at path. Group-ACL entries resolve
+// against the epoch's pinned membership relation.
+func checkNode(ep *Epoch, n *Node, path string, sub acl.Subject, class lattice.Class, modes acl.Mode, op monitor.Op) error {
+	v := ep.stack.Check(monitor.Request{
+		Subject: sub, Class: class, Object: describe(n, path), Modes: modes,
+		Members: ep.members(), Op: op,
 	})
 	if !v.Allow {
 		return &DeniedError{Path: path, Op: modes.String(), Why: v.Reason}
@@ -232,17 +353,17 @@ func parentOf(path string) string {
 	return path[:i]
 }
 
-// resolveIn walks the path inside the pinned snapshot, applying
-// traversal checks to every interior node strictly above the target
-// when enabled. No lock is held at any point. The walk slices
-// components out of path in place instead of calling SplitPath, so
-// resolution allocates nothing on success; the per-level prefix handed
-// to the pipeline is a slice of path, not a rebuilt string.
-func resolveIn(sn *Snapshot, pipe *monitor.Pipeline, sub acl.Subject, class lattice.Class, path string, checked bool) (*Node, error) {
+// resolveIn walks the path inside the pinned epoch, applying traversal
+// checks to every interior node strictly above the target when enabled.
+// No lock is held at any point. The walk slices components out of path
+// in place instead of calling SplitPath, so resolution allocates
+// nothing on success; the per-level prefix handed to the guard stack is
+// a slice of path, not a rebuilt string.
+func resolveIn(ep *Epoch, sub acl.Subject, class lattice.Class, path string, checked bool) (*Node, error) {
 	if err := ValidPath(path); err != nil {
 		return nil, err
 	}
-	cur := sn.root
+	cur := ep.root
 	// Invariant: rest is the unconsumed suffix of path after the slash
 	// that follows the current node's name.
 	rest := path[1:]
@@ -253,7 +374,7 @@ func resolveIn(sn *Snapshot, pipe *monitor.Pipeline, sub acl.Subject, class latt
 		} else {
 			rest = ""
 		}
-		if checked && sn.traversal {
+		if checked && ep.traversal {
 			// Visibility: walking through a node requires list on it
 			// and MAC read of it (§2.3: access control determines
 			// which names are visible). The node's path is the consumed
@@ -265,7 +386,7 @@ func resolveIn(sn *Snapshot, pipe *monitor.Pipeline, sub acl.Subject, class latt
 			if prefix == "" {
 				prefix = "/"
 			}
-			if err := checkNode(pipe, cur, prefix, sub, class, acl.List, monitor.OpTraverse); err != nil {
+			if err := checkNode(ep, cur, prefix, sub, class, acl.List, monitor.OpTraverse); err != nil {
 				return nil, err
 			}
 		}
@@ -283,143 +404,138 @@ func resolveIn(sn *Snapshot, pipe *monitor.Pipeline, sub acl.Subject, class latt
 	return cur, nil
 }
 
-// ResolveIn walks to the node at path inside the pinned snapshot,
-// enforcing visibility along the way. It is Resolve with the snapshot
-// chosen by the caller: several ResolveIn calls against the same
-// snapshot observe one consistent version of the name space regardless
-// of concurrent mutations.
-func (s *Server) ResolveIn(sn *Snapshot, sub acl.Subject, class lattice.Class, path string) (*Node, error) {
-	return resolveIn(sn, s.pipe.Load(), sub, class, path, true)
+// ResolveIn walks to the node at path inside the pinned epoch,
+// enforcing visibility along the way. It is Resolve with the epoch
+// chosen by the caller: several ResolveIn calls against the same epoch
+// observe one consistent version of the policy regardless of concurrent
+// mutations.
+func (s *Server) ResolveIn(ep *Epoch, sub acl.Subject, class lattice.Class, path string) (*Node, error) {
+	return resolveIn(ep, sub, class, path, true)
 }
 
 // Resolve walks to the node at path, enforcing visibility along the way.
 // The target node itself is not checked; callers apply the operation-
 // specific check via CheckAccess or a higher-level operation.
 func (s *Server) Resolve(sub acl.Subject, class lattice.Class, path string) (*Node, error) {
-	return s.ResolveIn(s.snap.Load(), sub, class, path)
+	return s.ResolveIn(s.epoch.Load(), sub, class, path)
 }
 
 // ResolveUnchecked walks to the node at path with no access checks.
 func (s *Server) ResolveUnchecked(path string) (*Node, error) {
-	n, err := resolveIn(s.snap.Load(), nil, nil, lattice.Class{}, path, false)
+	n, err := resolveIn(s.epoch.Load(), nil, lattice.Class{}, path, false)
 	s.admin("resolve-unchecked", path, err)
 	return n, err
 }
 
 // CheckAccess resolves path and verifies that the subject holds the
-// requested modes on the target under the guard pipeline. It returns the
+// requested modes on the target under the guard stack. It returns the
 // node on success.
 //
 // The whole decision — cache probe, resolve, guard evaluation — runs
-// against one pinned snapshot, so it is computed against exactly one
-// published version of the protection state. With a decision cache
-// installed and a pure (cacheable) pipeline, a repeated check is served
-// from the cache with zero locks and zero allocations; the full check
-// runs only on a miss, and its verdict is published stamped with the
-// pinned snapshot's version and the pipeline's guard-stack generation,
-// so a mutation or a guard install racing with the check leaves the
-// entry unreachable the moment it lands.
+// against one pinned epoch, so it is computed against exactly one
+// published version of the tree, the lattice, the registry, and the
+// guard stack; the read side acquires no mutex anywhere. With a
+// decision cache installed and a pure (cacheable) stack, a repeated
+// check is served from the cache with zero locks and zero allocations;
+// the full check runs only on a miss, and its verdict is published
+// stamped with the pinned epoch's version, so a mutation of ANY policy
+// shard racing with the check leaves the entry unreachable the moment
+// it lands.
 func (s *Server) CheckAccess(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
-	sn := s.snap.Load()
-	pipe := s.pipe.Load()
+	ep := s.epoch.Load()
 	cache := s.cache.Load()
-	if cache == nil {
-		return checkAccessIn(sn, pipe, sub, class, path, modes)
-	}
-	cacheable, stack := pipe.Snapshot()
-	if !cacheable {
-		return checkAccessIn(sn, pipe, sub, class, path, modes)
+	if cache == nil || !ep.stack.Cacheable() {
+		return checkAccessIn(ep, sub, class, path, modes)
 	}
 	name := sub.SubjectName()
-	if node, err, ok := cache.Lookup(sn.version, name, class, path, modes, stack); ok {
+	if node, err, ok := cache.Lookup(ep.version, name, class, path, modes); ok {
 		if err != nil {
 			return nil, err
 		}
 		return node.(*Node), nil
 	}
-	n, err := checkAccessIn(sn, pipe, sub, class, path, modes)
+	n, err := checkAccessIn(ep, sub, class, path, modes)
 	// Cache grants and access denials only. Structural errors
 	// (ErrNotFound, ErrBadPath) are cheap to recompute and their error
 	// values carry no security weight worth pinning.
 	if err == nil {
-		cache.StoreAt(sn.version, name, class, path, modes, stack, n, nil)
+		cache.StoreAt(ep.version, name, class, path, modes, n, nil)
 	} else if errors.Is(err, ErrDenied) {
-		cache.StoreAt(sn.version, name, class, path, modes, stack, nil, err)
+		cache.StoreAt(ep.version, name, class, path, modes, nil, err)
 	}
 	return n, err
 }
 
 // CheckAccessTraced is CheckAccess with stage-by-stage observability:
-// the pinned snapshot version, the decision-cache probe, the path
+// the pinned epoch version, the decision-cache probe, the path
 // resolution, and each guard's verdict land as spans on tr. It is
 // invoked only for requests the telemetry sampler selected, so the
 // extra clock reads never touch the common path; the decision returned
 // is identical to CheckAccess's.
 func (s *Server) CheckAccessTraced(sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, error) {
-	sn := s.snap.Load()
-	pipe := s.pipe.Load()
-	tr.SnapshotVersion(sn.version)
+	ep := s.epoch.Load()
+	tr.EpochVersion(ep.version)
 	cache := s.cache.Load()
 	if cache == nil {
-		return checkAccessInTraced(sn, pipe, sub, class, path, modes, tr)
+		return checkAccessInTraced(ep, sub, class, path, modes, tr)
 	}
-	cacheable, stack := pipe.Snapshot()
-	if !cacheable {
+	if !ep.stack.Cacheable() {
 		tr.Span("cache-skip", "stateful guard", 0)
-		return checkAccessInTraced(sn, pipe, sub, class, path, modes, tr)
+		return checkAccessInTraced(ep, sub, class, path, modes, tr)
 	}
 	name := sub.SubjectName()
 	start := time.Now()
-	node, err, ok := cache.Lookup(sn.version, name, class, path, modes, stack)
-	tr.CacheProbe(ok, sn.version, time.Since(start))
+	node, err, ok := cache.Lookup(ep.version, name, class, path, modes)
+	tr.CacheProbe(ok, ep.version, time.Since(start))
 	if ok {
 		if err != nil {
 			return nil, err
 		}
 		return node.(*Node), nil
 	}
-	n, err := checkAccessInTraced(sn, pipe, sub, class, path, modes, tr)
+	n, err := checkAccessInTraced(ep, sub, class, path, modes, tr)
 	if err == nil {
-		cache.StoreAt(sn.version, name, class, path, modes, stack, n, nil)
+		cache.StoreAt(ep.version, name, class, path, modes, n, nil)
 	} else if errors.Is(err, ErrDenied) {
-		cache.StoreAt(sn.version, name, class, path, modes, stack, nil, err)
+		cache.StoreAt(ep.version, name, class, path, modes, nil, err)
 	}
 	return n, err
 }
 
 // CheckAccessIn is the uncached full check pinned to a caller-chosen
-// snapshot: resolve inside sn, then verify the target under the current
-// pipeline. Tests and experiments use it to prove a decision was
-// computed against one specific published version.
-func (s *Server) CheckAccessIn(sn *Snapshot, sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
-	return checkAccessIn(sn, s.pipe.Load(), sub, class, path, modes)
+// epoch: resolve inside ep, then verify the target under ep's guard
+// stack. Tests and experiments use it to prove a decision was computed
+// against one specific published version.
+func (s *Server) CheckAccessIn(ep *Epoch, sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
+	return checkAccessIn(ep, sub, class, path, modes)
 }
 
-// checkAccessIn is the uncached check: resolve inside the pinned
-// snapshot, then verify the target.
-func checkAccessIn(sn *Snapshot, pipe *monitor.Pipeline, sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
-	n, err := resolveIn(sn, pipe, sub, class, path, true)
+// checkAccessIn is the uncached check: resolve inside the pinned epoch,
+// then verify the target.
+func checkAccessIn(ep *Epoch, sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
+	n, err := resolveIn(ep, sub, class, path, true)
 	if err != nil {
 		return nil, err
 	}
-	if err := checkNode(pipe, n, path, sub, class, modes, monitor.OpAccess); err != nil {
+	if err := checkNode(ep, n, path, sub, class, modes, monitor.OpAccess); err != nil {
 		return nil, err
 	}
 	return n, nil
 }
 
 // checkAccessInTraced mirrors checkAccessIn, recording the resolve
-// duration as a span and running the pipeline through CheckTraced so
+// duration as a span and running the guard stack through CheckTraced so
 // each guard's verdict is visible individually.
-func checkAccessInTraced(sn *Snapshot, pipe *monitor.Pipeline, sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, error) {
+func checkAccessInTraced(ep *Epoch, sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, error) {
 	start := time.Now()
-	n, err := resolveIn(sn, pipe, sub, class, path, true)
+	n, err := resolveIn(ep, sub, class, path, true)
 	tr.Span("resolve", "", time.Since(start))
 	if err != nil {
 		return nil, err
 	}
-	v := pipe.CheckTraced(monitor.Request{
-		Subject: sub, Class: class, Object: describe(n, path), Modes: modes, Op: monitor.OpAccess,
+	v := ep.stack.CheckTraced(monitor.Request{
+		Subject: sub, Class: class, Object: describe(n, path), Modes: modes,
+		Members: ep.members(), Op: monitor.OpAccess,
 	}, tr)
 	if !v.Allow {
 		return nil, &DeniedError{Path: path, Op: modes.String(), Why: v.Reason}
@@ -430,16 +546,15 @@ func checkAccessInTraced(sn *Snapshot, pipe *monitor.Pipeline, sub acl.Subject, 
 // List returns the names bound under path, requiring list mode and MAC
 // read on the target.
 func (s *Server) List(sub acl.Subject, class lattice.Class, path string) ([]string, error) {
-	sn := s.snap.Load()
-	pipe := s.pipe.Load()
-	n, err := resolveIn(sn, pipe, sub, class, path, true)
+	ep := s.epoch.Load()
+	n, err := resolveIn(ep, sub, class, path, true)
 	if err != nil {
 		return nil, err
 	}
 	if n.kind.Leaf() {
 		return nil, fmt.Errorf("%w: %s is a %s", ErrNotLeaf, path, n.kind)
 	}
-	if err := checkNode(pipe, n, path, sub, class, acl.List, monitor.OpAccess); err != nil {
+	if err := checkNode(ep, n, path, sub, class, acl.List, monitor.OpAccess); err != nil {
 		return nil, err
 	}
 	return n.childNames(), nil
@@ -467,9 +582,8 @@ type BindSpec struct {
 func (s *Server) Bind(sub acl.Subject, class lattice.Class, parentPath string, spec BindSpec) (*Node, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	sn := s.snap.Load()
-	pipe := s.pipe.Load()
-	parent, err := resolveIn(sn, pipe, sub, class, parentPath, true)
+	ep := s.epoch.Load()
+	parent, err := resolveIn(ep, sub, class, parentPath, true)
 	if err != nil {
 		return nil, err
 	}
@@ -477,16 +591,16 @@ func (s *Server) Bind(sub acl.Subject, class lattice.Class, parentPath string, s
 	if parent.multilevel {
 		op = monitor.OpContainerBind
 	}
-	if err := checkNode(pipe, parent, parentPath, sub, class, acl.Write, op); err != nil {
+	if err := checkNode(ep, parent, parentPath, sub, class, acl.Write, op); err != nil {
 		return nil, err
 	}
-	if v := pipe.Check(monitor.Request{
+	if v := ep.stack.Check(monitor.Request{
 		Subject: sub, Class: class, Object: describe(parent, parentPath),
-		NewClass: spec.Class, Op: monitor.OpCreate,
+		NewClass: spec.Class, Members: ep.members(), Op: monitor.OpCreate,
 	}); !v.Allow {
 		return nil, &DeniedError{Path: Join(parentPath, spec.Name), Op: "bind", Why: v.Reason}
 	}
-	return s.bindLocked(sn, parent, spec)
+	return s.bindLocked(ep, parent, spec)
 }
 
 // BindUnchecked creates a node with no access checks; for bootstrap.
@@ -499,18 +613,18 @@ func (s *Server) BindUnchecked(parentPath string, spec BindSpec) (*Node, error) 
 func (s *Server) bindUnchecked(parentPath string, spec BindSpec) (*Node, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	sn := s.snap.Load()
-	parent, err := resolveIn(sn, nil, nil, lattice.Class{}, parentPath, false)
+	ep := s.epoch.Load()
+	parent, err := resolveIn(ep, nil, lattice.Class{}, parentPath, false)
 	if err != nil {
 		return nil, err
 	}
-	return s.bindLocked(sn, parent, spec)
+	return s.bindLocked(ep, parent, spec)
 }
 
 // bindLocked builds and publishes the successor tree containing the new
-// node. Caller holds writeMu; parent belongs to sn, which is the
-// current snapshot (writers are serialized).
-func (s *Server) bindLocked(sn *Snapshot, parent *Node, spec BindSpec) (*Node, error) {
+// node. Caller holds writeMu; parent belongs to ep, which is the
+// current epoch (writers are serialized).
+func (s *Server) bindLocked(ep *Epoch, parent *Node, spec BindSpec) (*Node, error) {
 	if err := ValidComponent(spec.Name); err != nil {
 		return nil, err
 	}
@@ -544,7 +658,7 @@ func (s *Server) bindLocked(sn *Snapshot, parent *Node, spec BindSpec) (*Node, e
 	if err != nil {
 		return nil, err
 	}
-	s.publishLocked(rebind(sn.root, parts, n), sn.traversal)
+	s.publishLocked(rebind(ep.root, parts, n), ep.traversal)
 	return n, nil
 }
 
@@ -555,9 +669,8 @@ func (s *Server) bindLocked(sn *Snapshot, parent *Node, spec BindSpec) (*Node, e
 func (s *Server) Unbind(sub acl.Subject, class lattice.Class, path string) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	sn := s.snap.Load()
-	pipe := s.pipe.Load()
-	n, err := resolveIn(sn, pipe, sub, class, path, true)
+	ep := s.epoch.Load()
+	n, err := resolveIn(ep, sub, class, path, true)
 	if err != nil {
 		return err
 	}
@@ -567,25 +680,25 @@ func (s *Server) Unbind(sub acl.Subject, class lattice.Class, path string) error
 	if len(n.children) > 0 {
 		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
 	}
-	parent, err := resolveIn(sn, nil, nil, lattice.Class{}, parentOf(n.path), false)
+	parent, err := resolveIn(ep, nil, lattice.Class{}, parentOf(n.path), false)
 	if err != nil {
 		return err
 	}
-	if err := checkNode(pipe, n, path, sub, class, acl.Delete, monitor.OpAccess); err != nil {
+	if err := checkNode(ep, n, path, sub, class, acl.Delete, monitor.OpAccess); err != nil {
 		return err
 	}
 	op := monitor.OpAccess
 	if parent.multilevel {
 		op = monitor.OpContainerUnbind
 	}
-	if err := checkNode(pipe, parent, parentOf(path), sub, class, acl.Write, op); err != nil {
+	if err := checkNode(ep, parent, parentOf(path), sub, class, acl.Write, op); err != nil {
 		return err
 	}
 	parts, err := SplitPath(n.path)
 	if err != nil {
 		return err
 	}
-	s.publishLocked(rebind(sn.root, parts, nil), sn.traversal)
+	s.publishLocked(rebind(ep.root, parts, nil), ep.traversal)
 	return nil
 }
 
@@ -605,23 +718,22 @@ func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParent
 	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	sn := s.snap.Load()
-	pipe := s.pipe.Load()
-	n, err := resolveIn(sn, pipe, sub, class, oldPath, true)
+	ep := s.epoch.Load()
+	n, err := resolveIn(ep, sub, class, oldPath, true)
 	if err != nil {
 		return err
 	}
 	if n.path == "/" {
 		return ErrRoot
 	}
-	newParent, err := resolveIn(sn, pipe, sub, class, newParentPath, true)
+	newParent, err := resolveIn(ep, sub, class, newParentPath, true)
 	if err != nil {
 		return err
 	}
 	if newParent.kind.Leaf() {
 		return fmt.Errorf("%w: %s", ErrLeaf, newParentPath)
 	}
-	// A node must not become its own ancestor. Paths in one snapshot are
+	// A node must not become its own ancestor. Paths in one epoch are
 	// canonical, so "inside n's subtree" is a prefix question.
 	if newParent.path == n.path || strings.HasPrefix(newParent.path, n.path+"/") {
 		return fmt.Errorf("%w: cannot move %s under itself", ErrBadPath, oldPath)
@@ -629,10 +741,10 @@ func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParent
 	if _, dup := newParent.children[newName]; dup {
 		return fmt.Errorf("%w: %s", ErrExists, Join(newParentPath, newName))
 	}
-	if err := checkNode(pipe, n, oldPath, sub, class, acl.Delete, monitor.OpAccess); err != nil {
+	if err := checkNode(ep, n, oldPath, sub, class, acl.Delete, monitor.OpAccess); err != nil {
 		return err
 	}
-	oldParent, err := resolveIn(sn, nil, nil, lattice.Class{}, parentOf(n.path), false)
+	oldParent, err := resolveIn(ep, nil, lattice.Class{}, parentOf(n.path), false)
 	if err != nil {
 		return err
 	}
@@ -641,7 +753,7 @@ func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParent
 		if p.multilevel {
 			op = monitor.OpContainerUnbind
 		}
-		return checkNode(pipe, p, path, sub, class, acl.Write, op)
+		return checkNode(ep, p, path, sub, class, acl.Write, op)
 	}
 	if err := checkParent(oldParent, parentOf(oldPath)); err != nil {
 		return err
@@ -659,12 +771,12 @@ func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParent
 		return err
 	}
 	// Detach the subtree, deep-copy it under its new name and paths
-	// (published nodes never change, so old snapshots keep the old
+	// (published nodes never change, so old epochs keep the old
 	// paths), then insert — all on the private successor tree, then one
 	// publication.
-	detached := rebind(sn.root, oldParts, nil)
+	detached := rebind(ep.root, oldParts, nil)
 	moved := relocate(n, newName, newPath)
-	s.publishLocked(rebind(detached, newParts, moved), sn.traversal)
+	s.publishLocked(rebind(detached, newParts, moved), ep.traversal)
 	return nil
 }
 
@@ -678,8 +790,8 @@ func (s *Server) UnbindUnchecked(path string) error {
 func (s *Server) unbindUnchecked(path string) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	sn := s.snap.Load()
-	n, err := resolveIn(sn, nil, nil, lattice.Class{}, path, false)
+	ep := s.epoch.Load()
+	n, err := resolveIn(ep, nil, lattice.Class{}, path, false)
 	if err != nil {
 		return err
 	}
@@ -693,7 +805,7 @@ func (s *Server) unbindUnchecked(path string) error {
 	if err != nil {
 		return err
 	}
-	s.publishLocked(rebind(sn.root, parts, nil), sn.traversal)
+	s.publishLocked(rebind(ep.root, parts, nil), ep.traversal)
 	return nil
 }
 
@@ -701,15 +813,15 @@ func (s *Server) unbindUnchecked(path string) error {
 // requires read or administrate mode (the AnyOf disjunction) and MAC
 // read.
 func (s *Server) GetACL(sub acl.Subject, class lattice.Class, path string) (*acl.ACL, error) {
-	sn := s.snap.Load()
-	pipe := s.pipe.Load()
-	n, err := resolveIn(sn, pipe, sub, class, path, true)
+	ep := s.epoch.Load()
+	n, err := resolveIn(ep, sub, class, path, true)
 	if err != nil {
 		return nil, err
 	}
-	if v := pipe.Check(monitor.Request{
+	if v := ep.stack.Check(monitor.Request{
 		Subject: sub, Class: class, Object: describe(n, path),
-		Modes: acl.Read, AnyOf: acl.Read | acl.Administrate, Op: monitor.OpAccess,
+		Modes: acl.Read, AnyOf: acl.Read | acl.Administrate,
+		Members: ep.members(), Op: monitor.OpAccess,
 	}); !v.Allow {
 		return nil, &DeniedError{Path: path, Op: "get-acl", Why: v.Reason}
 	}
@@ -721,16 +833,15 @@ func (s *Server) GetACL(sub acl.Subject, class lattice.Class, path string) (*acl
 func (s *Server) SetACL(sub acl.Subject, class lattice.Class, path string, newACL *acl.ACL) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	sn := s.snap.Load()
-	pipe := s.pipe.Load()
-	n, err := resolveIn(sn, pipe, sub, class, path, true)
+	ep := s.epoch.Load()
+	n, err := resolveIn(ep, sub, class, path, true)
 	if err != nil {
 		return err
 	}
-	if err := checkNode(pipe, n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
+	if err := checkNode(ep, n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
 		return err
 	}
-	return s.replaceLocked(sn, n, func(c *Node) { c.acl = newACL.Clone() })
+	return s.replaceLocked(ep, n, func(c *Node) { c.acl = newACL.Clone() })
 }
 
 // SetACLUnchecked replaces a node's ACL with no access checks.
@@ -743,26 +854,26 @@ func (s *Server) SetACLUnchecked(path string, newACL *acl.ACL) error {
 func (s *Server) setACLUnchecked(path string, newACL *acl.ACL) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	sn := s.snap.Load()
-	n, err := resolveIn(sn, nil, nil, lattice.Class{}, path, false)
+	ep := s.epoch.Load()
+	n, err := resolveIn(ep, nil, lattice.Class{}, path, false)
 	if err != nil {
 		return err
 	}
-	return s.replaceLocked(sn, n, func(c *Node) { c.acl = newACL.Clone() })
+	return s.replaceLocked(ep, n, func(c *Node) { c.acl = newACL.Clone() })
 }
 
-// replaceLocked publishes a successor tree in which node n (from
-// snapshot sn) is replaced by a clone that mutate has edited. Caller
-// holds writeMu. The clone keeps the children map, so only the single
-// node changes; the spine above it is re-cloned by rebind.
-func (s *Server) replaceLocked(sn *Snapshot, n *Node, mutate func(c *Node)) error {
+// replaceLocked publishes a successor tree in which node n (from epoch
+// ep) is replaced by a clone that mutate has edited. Caller holds
+// writeMu. The clone keeps the children map, so only the single node
+// changes; the spine above it is re-cloned by rebind.
+func (s *Server) replaceLocked(ep *Epoch, n *Node, mutate func(c *Node)) error {
 	c := n.clone()
 	mutate(c)
 	parts, err := SplitPath(n.path)
 	if err != nil {
 		return err
 	}
-	s.publishLocked(rebind(sn.root, parts, c), sn.traversal)
+	s.publishLocked(rebind(ep.root, parts, c), ep.traversal)
 	return nil
 }
 
@@ -772,25 +883,24 @@ func (s *Server) replaceLocked(sn *Snapshot, n *Node, mutate func(c *Node)) erro
 func (s *Server) SetClass(sub acl.Subject, class lattice.Class, path string, newClass lattice.Class) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	sn := s.snap.Load()
-	pipe := s.pipe.Load()
-	n, err := resolveIn(sn, pipe, sub, class, path, true)
+	ep := s.epoch.Load()
+	n, err := resolveIn(ep, sub, class, path, true)
 	if err != nil {
 		return err
 	}
 	if !newClass.Valid() || newClass.Lattice() != s.lat {
 		return fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
 	}
-	if err := checkNode(pipe, n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
+	if err := checkNode(ep, n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
 		return err
 	}
-	if v := pipe.Check(monitor.Request{
+	if v := ep.stack.Check(monitor.Request{
 		Subject: sub, Class: class, Object: describe(n, path),
-		NewClass: newClass, Op: monitor.OpRelabel,
+		NewClass: newClass, Members: ep.members(), Op: monitor.OpRelabel,
 	}); !v.Allow {
 		return &DeniedError{Path: path, Op: "set-class", Why: v.Reason}
 	}
-	return s.replaceLocked(sn, n, func(c *Node) { c.class = newClass })
+	return s.replaceLocked(ep, n, func(c *Node) { c.class = newClass })
 }
 
 // SetClassUnchecked relabels a node with no access checks; for
@@ -804,20 +914,20 @@ func (s *Server) SetClassUnchecked(path string, newClass lattice.Class) error {
 func (s *Server) setClassUnchecked(path string, newClass lattice.Class) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	sn := s.snap.Load()
-	n, err := resolveIn(sn, nil, nil, lattice.Class{}, path, false)
+	ep := s.epoch.Load()
+	n, err := resolveIn(ep, nil, lattice.Class{}, path, false)
 	if err != nil {
 		return err
 	}
 	if !newClass.Valid() || newClass.Lattice() != s.lat {
 		return fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
 	}
-	return s.replaceLocked(sn, n, func(c *Node) { c.class = newClass })
+	return s.replaceLocked(ep, n, func(c *Node) { c.class = newClass })
 }
 
 // ACLOf returns a copy of a node's ACL with no checks (monitor use).
 func (s *Server) ACLOf(path string) (*acl.ACL, error) {
-	n, err := resolveIn(s.snap.Load(), nil, nil, lattice.Class{}, path, false)
+	n, err := resolveIn(s.epoch.Load(), nil, lattice.Class{}, path, false)
 	if err != nil {
 		return nil, err
 	}
@@ -826,9 +936,9 @@ func (s *Server) ACLOf(path string) (*acl.ACL, error) {
 
 // SetPayload replaces the payload at path with no access checks
 // (monitor and service bootstrap use). Readers that already resolved
-// the node keep the payload of their snapshot; the data plane behind a
-// payload handle is shared by reference across snapshots and does its
-// own locking.
+// the node keep the payload of their epoch; the data plane behind a
+// payload handle is shared by reference across epochs and does its own
+// locking.
 func (s *Server) SetPayload(path string, payload any) error {
 	err := s.setPayload(path, payload)
 	s.admin("set-payload", path, err)
@@ -838,25 +948,25 @@ func (s *Server) SetPayload(path string, payload any) error {
 func (s *Server) setPayload(path string, payload any) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	sn := s.snap.Load()
-	n, err := resolveIn(sn, nil, nil, lattice.Class{}, path, false)
+	ep := s.epoch.Load()
+	n, err := resolveIn(ep, nil, lattice.Class{}, path, false)
 	if err != nil {
 		return err
 	}
-	return s.replaceLocked(sn, n, func(c *Node) { c.payload = payload })
+	return s.replaceLocked(ep, n, func(c *Node) { c.payload = payload })
 }
 
-// Walk visits every node in the current snapshot in depth-first order
+// Walk visits every node in the current epoch in depth-first order
 // with no access checks, calling fn with each node's path and node.
 // Iteration is deterministic (children in lexicographic name order) and
 // holds no lock: fn may call back into the server, including mutating
-// it — the walk keeps observing the snapshot pinned when it started.
+// it — the walk keeps observing the epoch pinned when it started.
 func (s *Server) Walk(fn func(path string, n *Node)) {
-	s.snap.Load().Walk(fn)
+	s.epoch.Load().Walk(fn)
 }
 
-// Size returns the number of nodes in the current snapshot, including
+// Size returns the number of nodes in the current epoch, including
 // the root.
 func (s *Server) Size() int {
-	return s.snap.Load().Size()
+	return s.epoch.Load().Size()
 }

@@ -1,70 +1,9 @@
 package names
 
-// Snapshot is one immutable, fully consistent version of the name
-// space. The server publishes snapshots through a single atomic root
-// pointer (RCU style): readers pin one with a single atomic load and
-// traverse it with zero locks; writers clone the spine from the root
-// to their change under a writer-only mutex and publish a successor.
-//
-// A pinned snapshot guarantees:
-//
-//   - Every node reachable from it is frozen: name, path, kind, ACL,
-//     class, payload reference, multilevel flag, and child map never
-//     change. Concurrent mutations build new trees; they cannot touch
-//     this one.
-//   - The tree is internally consistent: a path either resolves fully
-//     in this version of the space or not at all. A rename concurrent
-//     with resolution is invisible — the walk sees the wholly-old or
-//     the wholly-new tree, never a torn mix.
-//   - Version() is the decision-cache generation for every verdict
-//     computed against this snapshot. Versions are strictly monotonic
-//     across publishes, so an entry stamped with an older version can
-//     never be served after the state moved on.
-//
-// Payloads are shared across snapshots by reference: a file's data
-// handle is the same object in every snapshot that contains the file,
-// so the data plane (which does its own locking) is not copied, only
-// the protection state is.
-type Snapshot struct {
-	root    *Node
-	version uint64
-	// traversal controls whether checked resolution performs per-level
-	// visibility checks. It lives in the snapshot so toggling it
-	// publishes a new version and invalidates cached decisions.
-	traversal bool
-}
-
-// Version returns the snapshot's version number: the unified
-// protection-state generation used by the decision cache.
-func (sn *Snapshot) Version() uint64 { return sn.version }
-
-// Root returns the snapshot's root node.
-func (sn *Snapshot) Root() *Node { return sn.root }
-
-// Walk visits every node in the snapshot in depth-first order with no
-// access checks, calling fn with each node's path and node. Iteration
-// is deterministic: children are visited in lexicographic name order,
-// so two walks of equal snapshots produce identical sequences. No lock
-// is held while fn runs — fn may call back into the Server freely; it
-// keeps observing this snapshot regardless of concurrent mutations.
-func (sn *Snapshot) Walk(fn func(path string, n *Node)) {
-	var visit func(n *Node)
-	visit = func(n *Node) {
-		fn(n.path, n)
-		for _, name := range n.childNames() {
-			visit(n.children[name])
-		}
-	}
-	visit(sn.root)
-}
-
-// Size returns the number of nodes in the snapshot, including the
-// root.
-func (sn *Snapshot) Size() int {
-	n := 0
-	sn.Walk(func(string, *Node) { n++ })
-	return n
-}
+// This file holds the copy-on-write tree machinery behind epoch
+// publication: spine cloning, rebinding, and subtree relocation. The
+// pinned-version type itself is Epoch (see epoch.go); the PR-4 name
+// Snapshot survives as an alias for it.
 
 // clone returns a shallow copy of n with its own children map. The
 // copy shares the ACL, class, payload, and grandchildren — which are
@@ -109,7 +48,7 @@ func rebind(root *Node, parts []string, repl *Node) *Node {
 // relocate deep-copies the subtree rooted at n under a new name and
 // absolute path, rewriting the stored path of every descendant.
 // Rename pays this O(subtree) copy so published nodes never change: a
-// reader holding the pre-rename snapshot keeps seeing the old paths.
+// reader holding the pre-rename epoch keeps seeing the old paths.
 func relocate(n *Node, name, path string) *Node {
 	c := *n
 	c.name = name

@@ -161,10 +161,10 @@ func TestSnapshotPinning(t *testing.T) {
 	if _, err := f.srv.CheckAccessIn(sn, subj("alice"), f.bot, "/svc/fs/read", acl.Read); err != nil {
 		t.Fatalf("pinned snapshot's decision changed after mutations: %v", err)
 	}
-	if _, err := resolveIn(sn, nil, nil, lattice.Class{}, "/svc/new", false); !errors.Is(err, ErrNotFound) {
+	if _, err := resolveIn(sn, nil, lattice.Class{}, "/svc/new", false); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("pinned snapshot sees a node bound later: %v", err)
 	}
-	if _, err := resolveIn(sn, nil, nil, lattice.Class{}, "/fs2/read", false); !errors.Is(err, ErrNotFound) {
+	if _, err := resolveIn(sn, nil, lattice.Class{}, "/fs2/read", false); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("pinned snapshot sees a post-pin rename: %v", err)
 	}
 
@@ -179,15 +179,16 @@ func TestSnapshotPinning(t *testing.T) {
 	if _, err := f.srv.CheckAccessIn(cur, subj("alice"), f.bot, "/fs2/read", acl.Read); !errors.Is(err, ErrDenied) {
 		t.Fatalf("current snapshot must deny the revoked grant: %v", err)
 	}
-	if _, err := resolveIn(cur, nil, nil, lattice.Class{}, "/fs2/read", false); err != nil {
+	if _, err := resolveIn(cur, nil, lattice.Class{}, "/fs2/read", false); err != nil {
 		t.Fatalf("current snapshot missing renamed node: %v", err)
 	}
 
-	// Invalidate publishes a fresh version without changing the tree.
+	// A typed transition of a non-tree shard (here: a guard-stack
+	// republish) bumps the version without changing the tree.
 	v1 := f.srv.Version()
-	f.srv.Invalidate()
+	f.srv.PublishStack(f.srv.Pipeline().Current())
 	if f.srv.Version() != v1+1 {
-		t.Fatalf("Invalidate: version %d -> %d, want +1", v1, f.srv.Version())
+		t.Fatalf("PublishStack: version %d -> %d, want +1", v1, f.srv.Version())
 	}
 }
 
@@ -266,8 +267,8 @@ func TestRenameConcurrentReaders(t *testing.T) {
 			defer readers.Done()
 			for i := 0; i < 3000; i++ {
 				sn := f.srv.Current()
-				old, errOld := resolveIn(sn, nil, nil, lattice.Class{}, "/a/b/c", false)
-				new_, errNew := resolveIn(sn, nil, nil, lattice.Class{}, "/z/b/c", false)
+				old, errOld := resolveIn(sn, nil, lattice.Class{}, "/a/b/c", false)
+				new_, errNew := resolveIn(sn, nil, lattice.Class{}, "/z/b/c", false)
 				switch {
 				case errOld == nil && errNew == nil:
 					t.Error("torn read: subtree visible under both names in one snapshot")
@@ -558,8 +559,8 @@ func TestCheckAccessTraced(t *testing.T) {
 	}
 	// Every trace carries the pinned snapshot-version span first.
 	for _, tr := range recent {
-		if len(tr.Spans) == 0 || tr.Spans[0].Name != "snapshot" {
-			t.Fatalf("trace %d missing snapshot span: %+v", tr.ID, tr.Spans)
+		if len(tr.Spans) == 0 || tr.Spans[0].Name != "epoch" {
+			t.Fatalf("trace %d missing epoch span: %+v", tr.ID, tr.Spans)
 		}
 	}
 }

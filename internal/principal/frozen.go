@@ -1,0 +1,147 @@
+package principal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// groupset is a bit vector over the frozen registry's group indices:
+// bit i set means membership in the group with index i. Sets are built
+// once at freeze time and never mutated, so testing membership is one
+// bounds check and one AND — no locks, no lazy computation, no maps of
+// maps.
+type groupset []uint64
+
+func newGroupset(n int) groupset { return make(groupset, (n+63)/64) }
+
+func (s groupset) set(i int) { s[i/64] |= 1 << uint(i%64) }
+
+func (s groupset) has(i int) bool {
+	w := i / 64
+	return w < len(s) && s[w]&(1<<uint(i%64)) != 0
+}
+
+// union folds o into s (same length by construction).
+func (s groupset) union(o groupset) {
+	for i, w := range o {
+		s[i] |= w
+	}
+}
+
+// frozenGroup is one group's direct membership as of the freeze.
+type frozenGroup struct {
+	principals []string // sorted
+	subgroups  []string // sorted
+}
+
+// Frozen is one immutable version of the principal/group registry: the
+// identity tables and the *transitively closed* group membership as of
+// one publication. Every query on a Frozen is a pure lookup — the
+// closure is precomputed into per-principal bitsets at freeze time, so
+// IsMember costs two map probes and a bit test, with no locks and no
+// memoization races.
+//
+// Frozen is the registry's contribution to a policy epoch (see
+// names.Epoch): a reference monitor that pins an epoch evaluates every
+// group-ACL entry against this closed membership, so a concurrent
+// revocation can never split a decision — the decision sees wholly the
+// pre-revocation or wholly the post-revocation registry.
+//
+// Frozen implements acl.Membership.
+type Frozen struct {
+	reg        *Registry
+	version    uint64
+	principals map[string]*Principal
+	groups     map[string]*frozenGroup
+	groupNames []string       // sorted; index = bit position
+	groupIdx   map[string]int // name -> bit position
+	membership map[string]groupset
+}
+
+// Version returns the registry version this view was published as.
+// Versions start at 1 and advance by one per mutation.
+func (f *Frozen) Version() uint64 { return f.version }
+
+// Registry returns the registry this view was frozen from.
+func (f *Frozen) Registry() *Registry { return f.reg }
+
+// Principal looks up a principal by name.
+func (f *Frozen) Principal(name string) (*Principal, error) {
+	p, ok := f.principals[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: principal %q", ErrNotFound, name)
+	}
+	return p, nil
+}
+
+// HasPrincipal reports whether the named principal exists in this
+// version.
+func (f *Frozen) HasPrincipal(name string) bool {
+	_, ok := f.principals[name]
+	return ok
+}
+
+// HasGroup reports whether the named group exists in this version.
+func (f *Frozen) HasGroup(name string) bool {
+	_, ok := f.groups[name]
+	return ok
+}
+
+// Principals returns all principal names, sorted.
+func (f *Frozen) Principals() []string {
+	out := make([]string, 0, len(f.principals))
+	for n := range f.principals {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Groups returns all group names, sorted.
+func (f *Frozen) Groups() []string {
+	return append([]string(nil), f.groupNames...)
+}
+
+// Members returns the direct members of a group: principal names and
+// group names (prefixed "@"), sorted.
+func (f *Frozen) Members(groupName string) ([]string, error) {
+	g, ok := f.groups[groupName]
+	if !ok {
+		return nil, fmt.Errorf("%w: group %q", ErrNotFound, groupName)
+	}
+	out := make([]string, 0, len(g.principals)+len(g.subgroups))
+	out = append(out, g.principals...)
+	for _, s := range g.subgroups {
+		out = append(out, "@"+s)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// IsMember reports whether the named principal is a transitive member
+// of the named group in this version of the registry. Unknown
+// principals or groups are simply not members. The query is pure: one
+// index probe, one closure probe, one bit test.
+//
+// IsMember's (subject, group) signature satisfies acl.Membership, so a
+// pinned Frozen can drive ACL evaluation directly.
+func (f *Frozen) IsMember(principalName, groupName string) bool {
+	idx, ok := f.groupIdx[groupName]
+	if !ok {
+		return false
+	}
+	return f.membership[principalName].has(idx)
+}
+
+// GroupsOf returns every group the principal transitively belongs to,
+// sorted.
+func (f *Frozen) GroupsOf(principalName string) []string {
+	set := f.membership[principalName]
+	var out []string
+	for i, name := range f.groupNames {
+		if set.has(i) {
+			out = append(out, name)
+		}
+	}
+	return out // groupNames is sorted, so out is too
+}

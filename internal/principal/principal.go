@@ -9,6 +9,17 @@
 // control ... function at the same security class as the associated
 // principal"); the reference monitor stamps that class onto the
 // principal's subjects.
+//
+// Concurrency design (build-then-freeze): the registry's queryable
+// state is an immutable Frozen value — identity tables plus the
+// transitively closed group membership, precomputed into per-principal
+// bitsets — published through one atomic pointer. Readers load the
+// current Frozen and perform pure lookups with zero locks; writers
+// serialize on a writer-only mutex, mutate the private builder tables,
+// and publish a successor version. The publish hook hands each new
+// Frozen to the name server, which folds it into the next policy epoch,
+// so a membership revocation reaches every future access decision in
+// one atomic publication.
 package principal
 
 import (
@@ -21,6 +32,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"secext/internal/lattice"
 )
@@ -36,7 +48,8 @@ var (
 )
 
 // Principal is an individual subject identity. Principals satisfy
-// acl.Subject.
+// acl.Subject. A Principal is immutable; the same value is shared by
+// every frozen registry version that contains it.
 type Principal struct {
 	name  string
 	class lattice.Class
@@ -50,50 +63,52 @@ func (p *Principal) SubjectName() string { return p.name }
 func (p *Principal) Class() lattice.Class { return p.class }
 
 // MemberOf reports whether the principal is a transitive member of the
-// named group.
+// named group, as of the registry's current frozen version. Decisions
+// that must be atomic against concurrent membership edits go through a
+// pinned Frozen (the policy epoch) instead.
 func (p *Principal) MemberOf(group string) bool {
-	return p.reg.IsMember(p.name, group)
+	return p.reg.Freeze().IsMember(p.name, group)
 }
 
 // Groups returns the names of all groups the principal transitively
 // belongs to, sorted.
 func (p *Principal) Groups() []string {
-	return p.reg.groupsOf(p.name)
+	return p.reg.Freeze().GroupsOf(p.name)
 }
 
 func (p *Principal) String() string {
 	return fmt.Sprintf("%s@%s", p.name, p.class)
 }
 
-// group is a named set of member principals and nested member groups.
+// group is the builder-side form of a named set of member principals
+// and nested member groups. Only writers touch it, under writeMu.
 type group struct {
 	principals map[string]bool
 	subgroups  map[string]bool
 }
 
 // Registry is the authoritative store of principals, groups, and group
-// membership. It is safe for concurrent use.
-//
-// Transitive membership queries are memoized per principal (experiment
-// E8 shows the naive closure walk costs microseconds at deep nesting);
-// any group mutation invalidates the whole cache.
+// membership. It is safe for concurrent use: reads are lock-free
+// lookups on the current Frozen; mutations serialize on a writer-only
+// mutex and publish a successor Frozen with the closure recomputed.
 type Registry struct {
-	mu         sync.RWMutex
-	lat        *lattice.Lattice
+	// frozen is the atomically published current view.
+	frozen  atomic.Pointer[Frozen]
+	writeMu sync.Mutex
+
+	lat    *lattice.Lattice
+	secret []byte
+
+	// Builder state; only writers touch it, under writeMu.
 	principals map[string]*Principal
 	groups     map[string]*group
-	secret     []byte
-	// closure caches principal name -> set of groups it transitively
-	// belongs to. Entries are computed lazily under mu and dropped on
-	// any membership mutation.
-	closure map[string]map[string]bool
 
-	// onMutate, when set, is called after every registry mutation that
-	// can change an access decision (new identities, group membership
-	// edits). The reference monitor wires it to the decision cache's
-	// generation counter so cached verdicts never outlive a membership
-	// change.
-	onMutate func()
+	// onPublish, when set, receives every newly published Frozen. The
+	// reference monitor wires it to the name server's typed epoch
+	// transition (PublishRegistry) so a membership edit lands in the
+	// policy epoch — and kills every cached verdict — before the editor
+	// regains control. Guarded by writeMu.
+	onPublish func(*Frozen)
 }
 
 // NewRegistry creates an empty registry whose principals carry classes
@@ -105,32 +120,140 @@ func NewRegistry(lat *lattice.Lattice) *Registry {
 		// broken; tokens would be forgeable, so refuse to continue.
 		panic("principal: cannot read entropy: " + err.Error())
 	}
-	return &Registry{
+	r := &Registry{
 		lat:        lat,
 		principals: make(map[string]*Principal),
 		groups:     make(map[string]*group),
 		secret:     secret,
-		closure:    make(map[string]map[string]bool),
 	}
+	r.frozen.Store(r.buildFrozen(1))
+	return r
 }
 
 // Lattice returns the lattice principals of this registry label against.
 func (r *Registry) Lattice() *lattice.Lattice { return r.lat }
 
-// SetMutationHook installs a function called after every mutation that
-// can change an access decision. Used by the reference monitor for
-// decision-cache invalidation; a nil hook clears it.
-func (r *Registry) SetMutationHook(fn func()) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.onMutate = fn
+// Freeze returns the currently published registry view: one atomic
+// load, no locks. The returned view is immutable and stays valid
+// forever; pin it to evaluate several membership questions against one
+// version of the registry.
+func (r *Registry) Freeze() *Frozen { return r.frozen.Load() }
+
+// Version returns the current registry version (1 when empty, +1 per
+// mutation).
+func (r *Registry) Version() uint64 { return r.frozen.Load().version }
+
+// SetPublishHook installs a function that receives every newly
+// published Frozen view. The reference monitor wires it to the name
+// server's PublishRegistry epoch transition; a nil hook clears it. The
+// hook runs with the writer mutex held, so publications reach it in
+// version order.
+func (r *Registry) SetPublishHook(fn func(*Frozen)) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	r.onPublish = fn
 }
 
-// mutated invokes the mutation hook. Caller holds r.mu.
-func (r *Registry) mutated() {
-	if r.onMutate != nil {
-		r.onMutate()
+// Touch republishes the registry's current state as a new version — a
+// typed no-op mutation. Experiments use it to drive epoch-invalidation
+// storms without growing the registry.
+func (r *Registry) Touch() {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	r.publishLocked()
+}
+
+// publishLocked rebuilds the frozen view from the builder tables and
+// publishes it at version+1. Caller holds writeMu.
+func (r *Registry) publishLocked() {
+	next := r.buildFrozen(r.frozen.Load().version + 1)
+	r.frozen.Store(next)
+	if r.onPublish != nil {
+		r.onPublish(next)
 	}
+}
+
+// buildFrozen snapshots the builder tables into an immutable view with
+// the transitive closure precomputed. Group bit indices follow sorted
+// group-name order, so equal registries freeze identically.
+func (r *Registry) buildFrozen(version uint64) *Frozen {
+	f := &Frozen{
+		reg:        r,
+		version:    version,
+		principals: make(map[string]*Principal, len(r.principals)),
+		groups:     make(map[string]*frozenGroup, len(r.groups)),
+		groupNames: make([]string, 0, len(r.groups)),
+		groupIdx:   make(map[string]int, len(r.groups)),
+		membership: make(map[string]groupset, len(r.principals)),
+	}
+	for n, p := range r.principals {
+		f.principals[n] = p
+	}
+	f.groups = f.collectGroups(r.groups)
+	sort.Strings(f.groupNames)
+	for i, n := range f.groupNames {
+		f.groupIdx[n] = i
+	}
+
+	// Transitive closure. up[g] lists the groups that directly contain
+	// group g as a subgroup; super(g) is the set of groups reachable
+	// from g through up-edges, including g itself. A principal's
+	// closure is the union of super(g) over every group g that lists it
+	// directly. AddMember guarantees the subgroup graph is acyclic, so
+	// the memoized walk terminates.
+	up := make(map[string][]string, len(r.groups))
+	for name, g := range r.groups {
+		for sub := range g.subgroups {
+			up[sub] = append(up[sub], name)
+		}
+	}
+	super := make(map[string]groupset, len(r.groups))
+	var superOf func(name string) groupset
+	superOf = func(name string) groupset {
+		if s, ok := super[name]; ok {
+			return s
+		}
+		s := newGroupset(len(f.groupNames))
+		s.set(f.groupIdx[name])
+		super[name] = s // memoize before recursing (acyclic, but cheap insurance)
+		for _, parent := range up[name] {
+			s.union(superOf(parent))
+		}
+		return s
+	}
+	for pname := range r.principals {
+		set := newGroupset(len(f.groupNames))
+		for gname, g := range r.groups {
+			if g.principals[pname] {
+				set.union(superOf(gname))
+			}
+		}
+		f.membership[pname] = set
+	}
+	return f
+}
+
+// collectGroups converts builder groups to their frozen form, filling
+// f.groupNames as a side effect.
+func (f *Frozen) collectGroups(groups map[string]*group) map[string]*frozenGroup {
+	out := make(map[string]*frozenGroup, len(groups))
+	for name, g := range groups {
+		fg := &frozenGroup{
+			principals: make([]string, 0, len(g.principals)),
+			subgroups:  make([]string, 0, len(g.subgroups)),
+		}
+		for p := range g.principals {
+			fg.principals = append(fg.principals, p)
+		}
+		for s := range g.subgroups {
+			fg.subgroups = append(fg.subgroups, s)
+		}
+		sort.Strings(fg.principals)
+		sort.Strings(fg.subgroups)
+		out[name] = fg
+		f.groupNames = append(f.groupNames, name)
+	}
+	return out
 }
 
 func validName(name string) error {
@@ -148,8 +271,8 @@ func (r *Registry) AddPrincipal(name string, class lattice.Class) (*Principal, e
 	if class.Lattice() != r.lat {
 		return nil, fmt.Errorf("%w: principal %q", ErrInvalidClass, name)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
 	if _, dup := r.principals[name]; dup {
 		return nil, fmt.Errorf("%w: principal %q", ErrExists, name)
 	}
@@ -158,31 +281,18 @@ func (r *Registry) AddPrincipal(name string, class lattice.Class) (*Principal, e
 	}
 	p := &Principal{name: name, class: class, reg: r}
 	r.principals[name] = p
-	r.mutated()
+	r.publishLocked()
 	return p, nil
 }
 
 // Principal looks up a principal by name.
 func (r *Registry) Principal(name string) (*Principal, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	p, ok := r.principals[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: principal %q", ErrNotFound, name)
-	}
-	return p, nil
+	return r.frozen.Load().Principal(name)
 }
 
 // Principals returns all principal names, sorted.
 func (r *Registry) Principals() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.principals))
-	for n := range r.principals {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return r.frozen.Load().Principals()
 }
 
 // AddGroup registers a new empty group.
@@ -190,8 +300,8 @@ func (r *Registry) AddGroup(name string) error {
 	if err := validName(name); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
 	if _, dup := r.groups[name]; dup {
 		return fmt.Errorf("%w: group %q", ErrExists, name)
 	}
@@ -202,35 +312,27 @@ func (r *Registry) AddGroup(name string) error {
 		principals: make(map[string]bool),
 		subgroups:  make(map[string]bool),
 	}
-	r.mutated()
+	r.publishLocked()
 	return nil
 }
 
 // Groups returns all group names, sorted.
 func (r *Registry) Groups() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.groups))
-	for n := range r.groups {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return r.frozen.Load().Groups()
 }
 
 // AddMember adds a principal or a group (nested) to a group. Adding a
 // group member that would create a membership cycle fails with ErrCycle.
 func (r *Registry) AddMember(groupName, member string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
 	g, ok := r.groups[groupName]
 	if !ok {
 		return fmt.Errorf("%w: group %q", ErrNotFound, groupName)
 	}
 	if _, isP := r.principals[member]; isP {
 		g.principals[member] = true
-		r.closure = make(map[string]map[string]bool)
-		r.mutated()
+		r.publishLocked()
 		return nil
 	}
 	if _, isG := r.groups[member]; isG {
@@ -238,8 +340,7 @@ func (r *Registry) AddMember(groupName, member string) error {
 			return fmt.Errorf("%w: %q -> %q", ErrCycle, groupName, member)
 		}
 		g.subgroups[member] = true
-		r.closure = make(map[string]map[string]bool)
-		r.mutated()
+		r.publishLocked()
 		return nil
 	}
 	return fmt.Errorf("%w: member %q", ErrNotFound, member)
@@ -247,29 +348,27 @@ func (r *Registry) AddMember(groupName, member string) error {
 
 // RemoveMember removes a direct member (principal or group) from a group.
 func (r *Registry) RemoveMember(groupName, member string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
 	g, ok := r.groups[groupName]
 	if !ok {
 		return fmt.Errorf("%w: group %q", ErrNotFound, groupName)
 	}
 	if g.principals[member] {
 		delete(g.principals, member)
-		r.closure = make(map[string]map[string]bool)
-		r.mutated()
+		r.publishLocked()
 		return nil
 	}
 	if g.subgroups[member] {
 		delete(g.subgroups, member)
-		r.closure = make(map[string]map[string]bool)
-		r.mutated()
+		r.publishLocked()
 		return nil
 	}
 	return fmt.Errorf("%w: member %q of %q", ErrNotFound, member, groupName)
 }
 
 // reachableLocked reports whether group "to" is reachable from group
-// "from" through subgroup edges. Caller holds r.mu.
+// "from" through subgroup edges. Caller holds writeMu.
 func (r *Registry) reachableLocked(from, to string) bool {
 	seen := map[string]bool{}
 	var walk func(string) bool
@@ -296,82 +395,16 @@ func (r *Registry) reachableLocked(from, to string) bool {
 }
 
 // IsMember reports whether the named principal is a transitive member of
-// the named group. Unknown principals or groups are simply not members.
-// The first query for a principal computes and caches its full closure;
-// subsequent queries are a map lookup.
+// the named group in the current frozen version. Unknown principals or
+// groups are simply not members.
 func (r *Registry) IsMember(principalName, groupName string) bool {
-	r.mu.RLock()
-	if c, ok := r.closure[principalName]; ok {
-		res := c[groupName]
-		r.mu.RUnlock()
-		return res
-	}
-	r.mu.RUnlock()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.closureLocked(principalName)[groupName]
-}
-
-// closureLocked returns (computing and caching if needed) the set of
-// groups principalName transitively belongs to. Caller holds r.mu for
-// writing.
-func (r *Registry) closureLocked(principalName string) map[string]bool {
-	if c, ok := r.closure[principalName]; ok {
-		return c
-	}
-	set := make(map[string]bool)
-	var queue []string
-	for name, g := range r.groups {
-		if g.principals[principalName] {
-			set[name] = true
-			queue = append(queue, name)
-		}
-	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for name, g := range r.groups {
-			if g.subgroups[cur] && !set[name] {
-				set[name] = true
-				queue = append(queue, name)
-			}
-		}
-	}
-	r.closure[principalName] = set
-	return set
-}
-
-// groupsOf returns every group the principal transitively belongs to.
-func (r *Registry) groupsOf(principalName string) []string {
-	r.mu.Lock()
-	c := r.closureLocked(principalName)
-	out := make([]string, 0, len(c))
-	for name := range c {
-		out = append(out, name)
-	}
-	r.mu.Unlock()
-	sort.Strings(out)
-	return out
+	return r.frozen.Load().IsMember(principalName, groupName)
 }
 
 // Members returns the direct members of a group: principal names and
 // group names (prefixed "@"), sorted.
 func (r *Registry) Members(groupName string) ([]string, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	g, ok := r.groups[groupName]
-	if !ok {
-		return nil, fmt.Errorf("%w: group %q", ErrNotFound, groupName)
-	}
-	out := make([]string, 0, len(g.principals)+len(g.subgroups))
-	for p := range g.principals {
-		out = append(out, p)
-	}
-	for s := range g.subgroups {
-		out = append(out, "@"+s)
-	}
-	sort.Strings(out)
-	return out, nil
+	return r.frozen.Load().Members(groupName)
 }
 
 // IssueToken mints an authentication token for a registered principal.

@@ -113,12 +113,21 @@ type CacheStats struct {
 	Capacity      int    `json:"capacity"`
 }
 
-// NamesStats mirrors the name server's snapshot counters: the version
-// of the currently published snapshot (the unified protection-state
-// generation) and the total number of snapshots published since boot.
+// NamesStats mirrors the name server's epoch counters: the version of
+// the currently published policy epoch (the unified protection-state
+// generation), the total number of epochs published since boot, and
+// the per-shard breakdown of which kind of transition drove each
+// publication.
 type NamesStats struct {
 	Version   uint64 `json:"version"`
 	Publishes uint64 `json:"publishes"`
+	// Typed epoch transitions: how many publications were driven by
+	// name-tree mutations, lattice definitions, registry mutations,
+	// and guard-stack changes respectively.
+	NameTransitions     uint64 `json:"name_transitions"`
+	LatticeTransitions  uint64 `json:"lattice_transitions"`
+	RegistryTransitions uint64 `json:"registry_transitions"`
+	StackTransitions    uint64 `json:"stack_transitions"`
 }
 
 // AuditStats mirrors the audit log's counters, including ring drops

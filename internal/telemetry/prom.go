@@ -33,12 +33,21 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	ew.printf("# TYPE secext_decision_cache_stores_total counter\n")
 	ew.printf("secext_decision_cache_stores_total %d\n", s.Cache.Stores)
 
-	ew.printf("# HELP secext_names_snapshot_version Version of the currently published name-space snapshot.\n")
+	ew.printf("# HELP secext_epoch_version Version of the currently published policy epoch (name tree + lattice + registry + guard stack).\n")
+	ew.printf("# TYPE secext_epoch_version gauge\n")
+	ew.printf("secext_epoch_version %d\n", s.Names.Version)
+	ew.printf("# HELP secext_names_snapshot_version Version of the currently published name-space snapshot (alias of secext_epoch_version).\n")
 	ew.printf("# TYPE secext_names_snapshot_version gauge\n")
 	ew.printf("secext_names_snapshot_version %d\n", s.Names.Version)
-	ew.printf("# HELP secext_names_publishes_total Name-space snapshots published since boot.\n")
+	ew.printf("# HELP secext_names_publishes_total Policy epochs published since boot.\n")
 	ew.printf("# TYPE secext_names_publishes_total counter\n")
 	ew.printf("secext_names_publishes_total %d\n", s.Names.Publishes)
+	ew.printf("# HELP secext_epoch_transitions_total Policy-epoch publications by the shard whose change drove them.\n")
+	ew.printf("# TYPE secext_epoch_transitions_total counter\n")
+	ew.printf("secext_epoch_transitions_total{shard=\"names\"} %d\n", s.Names.NameTransitions)
+	ew.printf("secext_epoch_transitions_total{shard=\"lattice\"} %d\n", s.Names.LatticeTransitions)
+	ew.printf("secext_epoch_transitions_total{shard=\"registry\"} %d\n", s.Names.RegistryTransitions)
+	ew.printf("secext_epoch_transitions_total{shard=\"stack\"} %d\n", s.Names.StackTransitions)
 
 	ew.printf("# HELP secext_audit_events_total Audit log decisions by verdict, plus mediation bypasses.\n")
 	ew.printf("# TYPE secext_audit_events_total counter\n")

@@ -122,15 +122,21 @@ func (a *ActiveTrace) Span(name, detail string, d time.Duration) {
 	a.t.Spans = append(a.t.Spans, Span{Name: name, Detail: detail, Dur: d})
 }
 
-// SnapshotVersion records the published name-space snapshot version the
-// decision was pinned to: every later stage of this trace ran against
-// exactly this version of the protection state.
-func (a *ActiveTrace) SnapshotVersion(v uint64) {
+// EpochVersion records the published policy-epoch version the decision
+// was pinned to: every later stage of this trace — resolve, each
+// guard, the cache probe — ran against exactly this version of the name
+// tree, the lattice, the registry, and the guard stack.
+func (a *ActiveTrace) EpochVersion(v uint64) {
 	if a == nil {
 		return
 	}
-	a.Span("snapshot", "v="+strconv.FormatUint(v, 10), 0)
+	a.Span("epoch", "v="+strconv.FormatUint(v, 10), 0)
 }
+
+// SnapshotVersion is the PR-4 name for EpochVersion, kept for
+// compatibility: the pinned version grew from covering the name tree
+// alone to covering the whole policy.
+func (a *ActiveTrace) SnapshotVersion(v uint64) { a.EpochVersion(v) }
 
 // CacheProbe records the decision-cache stage: whether the probe hit
 // and the protection-state generation it was answered against.
