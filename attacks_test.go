@@ -512,3 +512,127 @@ func TestAttackStaleGrantUnderConcurrentGroupRevocation(t *testing.T) {
 		t.Fatalf("post-revocation check: %v, want denial", err)
 	}
 }
+
+// TestAttackBatchedRevocationNotDelayed attacks the write-combining
+// epoch publisher's ordering contract: with concurrent mutators forcing
+// the revocation to ride a batch, the version RemoveMemberAt returns to
+// the revoker must already enforce the revocation — any reader that
+// pins an epoch at or past that version and still gets a grant has
+// found a window where batching delayed enforcement, not just
+// publication. Run with -race.
+func TestAttackBatchedRevocationNotDelayed(t *testing.T) {
+	w := attackWorld(t)
+	reg := w.Sys.Registry()
+	ns := w.Sys.Names()
+	if err := reg.AddGroup("project"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddGroup("noise"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddMember("project", "insider"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.CreateNode(secext.NodeSpec{
+		Path: "/fs/plans", Kind: secext.KindFile,
+		ACL:   secext.NewACL(secext.AllowGroup("project", secext.Read)),
+		Class: w.Sys.Lattice().MustClass("organization", "dept-1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.CreateNode(secext.NodeSpec{
+		Path: "/fs/churn", Kind: secext.KindFile,
+		ACL:   secext.NewACL(secext.Allow("victim", secext.Read)),
+		Class: w.Sys.Lattice().MustClass("organization", "dept-1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	insider := ctxA(t, w, "insider")
+
+	// revokedAt is the epoch version RemoveMemberAt returned; 0 until
+	// the revocation lands.
+	var revokedAt atomic.Uint64
+	stop := make(chan struct{})
+	var wg, wgNoise sync.WaitGroup
+
+	// Noise mutators keep the batched publisher busy on both the
+	// registry and name-tree shards, so the revocation coalesces with
+	// unrelated mutations instead of publishing alone. They run until
+	// the readers and the revoker are done (their own WaitGroup).
+	for m := 0; m < 2; m++ {
+		wgNoise.Add(1)
+		go func(m int) {
+			defer wgNoise.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if m == 0 {
+					reg.AddMember("noise", "mallory")
+					reg.RemoveMember("noise", "mallory")
+				} else {
+					ns.SetACLUnchecked("/fs/churn",
+						secext.NewACL(secext.Allow("victim", secext.Read)))
+				}
+			}
+		}(m)
+	}
+
+	// Readers: pin an epoch, then check. If the pinned epoch is at or
+	// past the version returned to the revoker, the check must deny —
+	// the contract says no reader observes epoch >= that version
+	// without the revocation applied.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				ep := ns.Current() // pin BEFORE the check starts
+				_, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read)
+				vr := revokedAt.Load()
+				switch {
+				case err == nil:
+					if vr != 0 && ep.Version() >= vr {
+						t.Errorf("stale grant: pinned epoch v%d >= revocation v%d but check granted", ep.Version(), vr)
+						return
+					}
+				case secext.IsDenied(err):
+					// Denial is always acceptable post-enqueue.
+				default:
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			runtime.Gosched()
+		}
+		v, err := reg.RemoveMemberAt("project", "insider")
+		if err != nil {
+			t.Errorf("revoke membership: %v", err)
+			return
+		}
+		revokedAt.Store(v)
+		// The returned version must itself already be published and
+		// enforce the revocation: check synchronously at that version.
+		if cur := ns.Version(); cur < v {
+			t.Errorf("RemoveMemberAt returned v%d but published epoch is v%d", v, cur)
+		}
+		if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); !secext.IsDenied(err) {
+			t.Errorf("check immediately after revocation returned: %v, want denial", err)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	wgNoise.Wait()
+	if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); !secext.IsDenied(err) {
+		t.Fatalf("post-revocation check: %v, want denial", err)
+	}
+}

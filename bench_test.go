@@ -634,6 +634,151 @@ func BenchmarkE10Append(b *testing.B) {
 	}
 }
 
+// --- E16: write-path churn (batched publication, incremental freeze) ---
+
+// e16World builds the E16 fixture: 64 member principals, a reader whose
+// access flows through the churned group, audit off.
+func e16World(b testing.TB) (*secext.World, *secext.Context, []string) {
+	b.Helper()
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:       []string{"others", "organization", "local"},
+		Categories:   []string{"dept-1", "dept-2"},
+		DisableAudit: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := w.Sys.Registry()
+	if err := reg.AddGroup("churn"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("alice", "organization:{dept-1}"); err != nil {
+		b.Fatal(err)
+	}
+	members := make([]string, 64)
+	for i := range members {
+		name := fmt.Sprintf("p%d", i)
+		if _, err := w.Sys.AddPrincipal(name, "organization:{dept-1}"); err != nil {
+			b.Fatal(err)
+		}
+		members[i] = name
+	}
+	if err := reg.AddMember("churn", "alice"); err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := w.Sys.NewContext("alice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	grant := secext.NewACL(secext.AllowGroup("churn", secext.Read))
+	if err := w.FS.Create(ctx, "/fs/churn", grant, ctx.Class()); err != nil {
+		b.Fatal(err)
+	}
+	return w, ctx, members
+}
+
+// BenchmarkE16Churn is the benchmark form of E16's table: per-mutation
+// publish cost with full vs incremental freeze, and the 64-member bulk
+// op unbatched vs batched.
+func BenchmarkE16Churn(b *testing.B) {
+	b.Run("single-full-freeze", func(b *testing.B) {
+		w, _, _ := e16World(b)
+		reg := w.Sys.Registry()
+		reg.SetIncrementalFreeze(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := reg.AddMember("churn", "p0"); err != nil {
+				b.Fatal(err)
+			}
+			if err := reg.RemoveMember("churn", "p0"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("single-incremental", func(b *testing.B) {
+		w, _, _ := e16World(b)
+		reg := w.Sys.Registry()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := reg.AddMember("churn", "p0"); err != nil {
+				b.Fatal(err)
+			}
+			if err := reg.RemoveMember("churn", "p0"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bulk64-unbatched", func(b *testing.B) {
+		w, _, members := e16World(b)
+		reg := w.Sys.Registry()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, m := range members {
+				if err := reg.AddMember("churn", m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, m := range members {
+				if err := reg.RemoveMember("churn", m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("bulk64-batched", func(b *testing.B) {
+		w, _, members := e16World(b)
+		reg := w.Sys.Registry()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.AddMembers("churn", members...); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := reg.RemoveMembers("churn", members...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE16ChurnUnderReaders runs mutations while reader goroutines
+// hammer the warm cached check — the sustained-churn shape of E16's
+// concurrent row. Reported ns/op is per add+remove pair.
+func BenchmarkE16ChurnUnderReaders(b *testing.B) {
+	w, ctx, members := e16World(b)
+	reg := w.Sys.Registry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := w.Sys.CheckData(ctx, "/fs/churn", secext.Read); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.AddMember("churn", members[0]); err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.RemoveMember("churn", members[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
 // --- S1: full matrix evaluation ---
 
 func BenchmarkS1OrgMatrix(b *testing.B) {

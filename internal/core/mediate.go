@@ -188,20 +188,36 @@ func (s *System) GetACL(ctx *subject.Context, path string) (*acl.ACL, error) {
 
 // SetACL replaces the protection state of path (administrate mode).
 func (s *System) SetACL(ctx *subject.Context, path string, newACL *acl.ACL) error {
-	err := s.ns.SetACL(ctx, ctx.Class(), path, newACL)
-	s.record(audit.KindAdmin, ctx, path, "set-acl", err)
+	_, err := s.SetACLAt(ctx, path, newACL)
 	return err
+}
+
+// SetACLAt is SetACL, additionally returning the policy-epoch version
+// the change was published in: every check that observes an epoch at or
+// past that version sees the new ACL. With write combining the version
+// may cover other concurrent mutations batched into the same epoch.
+func (s *System) SetACLAt(ctx *subject.Context, path string, newACL *acl.ACL) (uint64, error) {
+	v, err := s.ns.SetACLAt(ctx, ctx.Class(), path, newACL)
+	s.record(audit.KindAdmin, ctx, path, "set-acl", err)
+	return v, err
 }
 
 // SetClass relabels path (administrate mode plus relabel flow rules).
 func (s *System) SetClass(ctx *subject.Context, path string, label string) error {
+	_, err := s.SetClassAt(ctx, path, label)
+	return err
+}
+
+// SetClassAt is SetClass, additionally returning the policy-epoch
+// version the relabel was published in (see SetACLAt).
+func (s *System) SetClassAt(ctx *subject.Context, path string, label string) (uint64, error) {
 	class, err := s.lat.ParseClass(label)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	err = s.ns.SetClass(ctx, ctx.Class(), path, class)
+	v, err := s.ns.SetClassAt(ctx, ctx.Class(), path, class)
 	s.record(audit.KindAdmin, ctx, path, "set-class "+label, err)
-	return err
+	return v, err
 }
 
 // IsDenied reports whether err represents an access-control denial (as

@@ -193,6 +193,7 @@ func NewSystem(opts Options) (*System, error) {
 	s.ns.AttachRegistry(s.reg)
 	s.tel.SetNamesStats(func() telemetry.NamesStats {
 		tr := s.ns.EpochTransitions()
+		bs := s.ns.BatchStats()
 		return telemetry.NamesStats{
 			Version:             s.ns.Version(),
 			Publishes:           s.ns.Publishes(),
@@ -200,6 +201,10 @@ func NewSystem(opts Options) (*System, error) {
 			LatticeTransitions:  tr.Lattice,
 			RegistryTransitions: tr.Registry,
 			StackTransitions:    tr.Stack,
+			BatchedMutations:    bs.Mutations,
+			MaxBatch:            bs.MaxBatch,
+			BatchSize:           bs.Sizes,
+			FlushLatency:        bs.FlushLatency,
 		}
 	})
 

@@ -64,12 +64,14 @@ type Lattice struct {
 	frozen  atomic.Pointer[Frozen]
 	writeMu sync.Mutex
 
-	// onPublish, when set, receives every newly published Frozen. The
-	// reference monitor wires it to the name server's typed epoch
-	// transition (PublishLattice) so a definition lands in the policy
-	// epoch — and kills every cached verdict — before the definer
-	// regains control. Guarded by writeMu.
-	onPublish func(*Frozen)
+	// onPublish, when set, receives every newly published Frozen and
+	// returns a wait function that blocks until the view is live in the
+	// receiver's own published state. The reference monitor wires it to
+	// the name server's batched epoch publisher (stage + flush), so a
+	// definition lands in the policy epoch — and kills every cached
+	// verdict — before the definer regains control, while concurrent
+	// definitions may coalesce into one epoch. Guarded by writeMu.
+	onPublish func(*Frozen) func() uint64
 }
 
 // New returns an empty lattice with no levels and no categories.
@@ -111,23 +113,30 @@ func (l *Lattice) Freeze() *Frozen { return l.frozen.Load() }
 func (l *Lattice) Version() uint64 { return l.frozen.Load().version }
 
 // SetPublishHook installs a function that receives every newly
-// published Frozen universe. The reference monitor wires it to the name
-// server's PublishLattice epoch transition; a nil hook clears it. The
+// published Frozen universe and returns a wait function blocking until
+// the view is live downstream. The reference monitor wires it to the
+// name server's batched epoch publisher; a nil hook clears it. The
 // hook runs with the writer mutex held, so publications reach it in
-// version order.
-func (l *Lattice) SetPublishHook(fn func(*Frozen)) {
+// version order; the wait function it returns is called after the
+// mutex is released, so a slow downstream flush never blocks other
+// definers from staging.
+func (l *Lattice) SetPublishHook(fn func(*Frozen) func() uint64) {
 	l.writeMu.Lock()
 	defer l.writeMu.Unlock()
 	l.onPublish = fn
 }
 
-// publishLocked installs next as the current universe and reports it to
-// the hook. Caller holds writeMu.
-func (l *Lattice) publishLocked(next *Frozen) {
+// publishLocked installs next as the current universe, reports it to
+// the hook, and returns the wait function the definer must call after
+// releasing writeMu (it blocks until the epoch carrying next is
+// published downstream). Caller holds writeMu.
+func (l *Lattice) publishLocked(next *Frozen) func() uint64 {
 	l.frozen.Store(next)
 	if l.onPublish != nil {
-		l.onPublish(next)
+		return l.onPublish(next)
 	}
+	v := next.version
+	return func() uint64 { return v }
 }
 
 // DefineLevel appends a new trust level that dominates every level
@@ -137,16 +146,18 @@ func (l *Lattice) DefineLevel(name string) (Level, error) {
 		return 0, err
 	}
 	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
 	cur := l.frozen.Load()
 	if _, dup := cur.levelIdx[name]; dup {
+		l.writeMu.Unlock()
 		return 0, fmt.Errorf("%w: level %q", ErrDuplicateName, name)
 	}
 	next := cur.cloneForDefine()
 	lv := Level(len(next.levels))
 	next.levels = append(next.levels, name)
 	next.levelIdx[name] = lv
-	l.publishLocked(next)
+	wait := l.publishLocked(next)
+	l.writeMu.Unlock()
+	wait()
 	return lv, nil
 }
 
@@ -157,16 +168,18 @@ func (l *Lattice) DefineCategory(name string) (int, error) {
 		return 0, err
 	}
 	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
 	cur := l.frozen.Load()
 	if _, dup := cur.catIdx[name]; dup {
+		l.writeMu.Unlock()
 		return 0, fmt.Errorf("%w: category %q", ErrDuplicateName, name)
 	}
 	next := cur.cloneForDefine()
 	idx := len(next.cats)
 	next.cats = append(next.cats, name)
 	next.catIdx[name] = idx
-	l.publishLocked(next)
+	wait := l.publishLocked(next)
+	l.writeMu.Unlock()
+	wait()
 	return idx, nil
 }
 

@@ -162,10 +162,14 @@ func TestEpochReadPathAcquiresNoMutex(t *testing.T) {
 // epochs, and asserts every pinned epoch is internally consistent
 // (Epoch.Consistent) with a monotone version. A publication that paired
 // a new tree with a stale lattice or registry — or tore half a
-// transition — fails the consistency walk.
+// transition — fails the consistency walk. The op vocabulary mixes
+// per-mutation publishes, bulk batched paths (AddMembers, ACL batches),
+// and direct Publish* calls, so write-combined and unbatched
+// publications interleave; the end-state checks catch lost mutations
+// and incremental-freeze divergence.
 func FuzzEpochTransitions(f *testing.F) {
-	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
-	f.Add([]byte{7, 6, 5, 4, 3, 2, 1, 0, 7, 7, 2, 2})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 7, 7, 2, 2, 8, 8})
 	f.Add([]byte("epoch transitions"))
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) == 0 {
@@ -206,7 +210,7 @@ func FuzzEpochTransitions(f *testing.F) {
 				defer wg.Done()
 				home := fmt.Sprintf("/d%d", g)
 				for i := g; i < len(ops); i += mutators {
-					switch ops[i] % 8 {
+					switch ops[i] % 12 {
 					case 0:
 						srv.BindUnchecked(home, BindSpec{
 							Name: fmt.Sprintf("n%d", i), Kind: KindFile,
@@ -228,6 +232,20 @@ func FuzzEpochTransitions(f *testing.F) {
 						reg.RemoveMember(fmt.Sprintf("g%d", i%2), fmt.Sprintf("p%d", i%3))
 					case 7:
 						srv.PublishStack(srv.Pipeline().Current())
+					case 8:
+						// Bulk membership: one freeze, one batched publish.
+						reg.AddMembers(fmt.Sprintf("g%d", i%2), "p0", "p1", "p2")
+					case 9:
+						reg.RemoveMembers(fmt.Sprintf("g%d", i%2), "p0", "p1")
+					case 10:
+						// Batched ACL install over the mutator's own home.
+						srv.SetACLsUnchecked([]ACLEdit{
+							{Path: home, ACL: acl.New(acl.Allow("root", acl.AllModes), acl.AllowEveryone(acl.List))},
+						})
+					case 11:
+						// Direct publish of the current frozen registry,
+						// interleaved with hook-driven batched publishes.
+						srv.PublishRegistry(reg.Freeze())
 					}
 				}
 			}(g)
@@ -261,8 +279,33 @@ func FuzzEpochTransitions(f *testing.F) {
 				t.Errorf("old epoch v%d mutated after pin: %s: %s", ep.Version(), path, why)
 			}
 		}
-		if ok, path, why := srv.Current().Consistent(); !ok {
+		final := srv.Current()
+		if ok, path, why := final.Consistent(); !ok {
 			t.Errorf("final epoch inconsistent at %s: %s", path, why)
+		}
+		// No lost publications: once every mutator has returned, the
+		// published epoch must carry each shard's latest frozen state —
+		// a batch that was staged but never flushed would strand them.
+		if final.Lattice() != lat.Freeze() {
+			t.Errorf("final epoch lattice v%d, lattice at v%d", final.Lattice().Version(), lat.Version())
+		}
+		if final.Registry() != reg.Freeze() {
+			t.Errorf("final epoch registry v%d, registry at v%d", final.Registry().Version(), reg.Version())
+		}
+		// Incremental-freeze equivalence: rebuilding the registry closure
+		// from scratch must agree with the incrementally patched view the
+		// epoch carries, for every principal × group pair.
+		inc := final.Registry()
+		reg.SetIncrementalFreeze(false)
+		reg.Touch()
+		full := reg.Freeze()
+		for _, p := range full.Principals() {
+			for _, g := range full.Groups() {
+				if inc.IsMember(p, g) != full.IsMember(p, g) {
+					t.Errorf("incremental closure diverged: %s in %s: inc=%v full=%v",
+						p, g, inc.IsMember(p, g), full.IsMember(p, g))
+				}
+			}
 		}
 	})
 }

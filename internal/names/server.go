@@ -58,20 +58,37 @@ var ErrNotEmpty = fmt.Errorf("names: node not empty")
 type Server struct {
 	// epoch is the atomically published current policy epoch. Readers
 	// load it once per operation and never look back; writeMu serializes
-	// the load-derive-publish sequence of every transition.
+	// the load-derive-stage sequence of every transition.
 	epoch   atomic.Pointer[Epoch]
 	writeMu sync.Mutex
+
+	// staged is the open batch's successor epoch: mutations staged but
+	// not yet published, at the published version + 1. batch tracks the
+	// waiters and telemetry of that open batch. Both are guarded by
+	// writeMu and nil when no batch is open; see batch.go.
+	staged *Epoch
+	batch  *pendingBatch
 
 	lat *lattice.Lattice
 
 	// publishes counts epoch publications after boot: the writer-side
 	// telemetry counter. The typed counters below split it by the shard
-	// that moved.
+	// that moved; with write combining one publication can carry
+	// several shards, so the typed counters may sum to more than
+	// publishes.
 	publishes    atomic.Uint64
 	namePubs     atomic.Uint64
 	latticePubs  atomic.Uint64
 	registryPubs atomic.Uint64
 	stackPubs    atomic.Uint64
+
+	// Batched-publication telemetry: mutations staged through batches,
+	// the largest batch one flush published, and the batch-size and
+	// flush-latency distributions.
+	batchedMutations atomic.Uint64
+	maxBatch         atomic.Uint64
+	batchSizes       telemetry.Histogram
+	flushLat         telemetry.Histogram
 
 	// pipe is the writer-side policy pipeline: Install and remove
 	// mutate it, and every newly published stack lands in the next
@@ -130,8 +147,8 @@ func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) 
 		lat:       lat.Freeze(),
 		stack:     pipe.Current(),
 	})
-	lat.SetPublishHook(s.PublishLattice)
-	pipe.SetChangeHook(s.PublishStack)
+	lat.SetPublishHook(s.stageLattice)
+	pipe.SetChangeHook(func(st *monitor.Stack) { s.PublishStack(st) })
 	return s
 }
 
@@ -171,92 +188,62 @@ func (s *Server) EpochTransitions() Transitions {
 	}
 }
 
-// publishLocked installs a successor epoch with the given name tree and
-// traversal policy, keeping the current lattice, registry, and stack.
-// Caller holds writeMu.
-func (s *Server) publishLocked(root *Node, traversal bool) {
-	old := s.epoch.Load()
-	next := *old
-	next.root = root
-	next.traversal = traversal
-	next.version = old.version + 1
-	s.epoch.Store(&next)
-	s.publishes.Add(1)
-	s.namePubs.Add(1)
-}
-
 // PublishLattice is the typed epoch transition for the lattice shard:
-// it publishes a successor epoch pinning f as the universe, at
-// version+1. The lattice's publish hook (wired by NewServer) calls it
-// on every definition, so a DefineLevel/DefineCategory lands in the
-// policy epoch — and kills every cached verdict — before the definer
-// regains control. A nil f is ignored.
-func (s *Server) PublishLattice(f *lattice.Frozen) {
+// a thin wrapper over the batched publisher that stages f as the
+// epoch's universe, flushes, and returns the version the publication
+// landed in. The lattice's publish hook (wired by NewServer) goes
+// through the staged path directly so definitions can coalesce; this
+// entry point is for callers that hold no lattice lock and want the
+// change live on return. A nil f is ignored (returns 0).
+func (s *Server) PublishLattice(f *lattice.Frozen) uint64 {
 	if f == nil {
-		return
+		return 0
 	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	old := s.epoch.Load()
-	next := *old
-	next.lat = f
-	next.version = old.version + 1
-	s.epoch.Store(&next)
-	s.publishes.Add(1)
-	s.latticePubs.Add(1)
+	return s.stageLattice(f)()
 }
 
 // PublishRegistry is the typed epoch transition for the principal/group
-// shard: it publishes a successor epoch pinning f as the registry, at
-// version+1. The registry's publish hook (wired by AttachRegistry)
-// calls it on every mutation, so a membership revocation reaches every
-// future decision — and kills every cached verdict — before the revoker
-// regains control. A nil f is ignored.
-func (s *Server) PublishRegistry(f *principal.Frozen) {
+// shard: a thin wrapper over the batched publisher that stages f as the
+// epoch's registry, flushes, and returns the version the publication
+// landed in. The registry's publish hook (wired by AttachRegistry) goes
+// through the staged path directly so membership edits can coalesce —
+// an editor still blocks until its epoch is published, so a revocation
+// reaches every future decision before the revoker regains control. A
+// nil f is ignored (returns 0).
+func (s *Server) PublishRegistry(f *principal.Frozen) uint64 {
 	if f == nil {
-		return
+		return 0
 	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	old := s.epoch.Load()
-	next := *old
-	next.reg = f
-	next.version = old.version + 1
-	s.epoch.Store(&next)
-	s.publishes.Add(1)
-	s.registryPubs.Add(1)
+	return s.stageRegistry(f)()
 }
 
 // PublishStack is the typed epoch transition for the guard-stack shard:
-// it publishes a successor epoch pinning st as the stack, at version+1.
-// The pipeline's change hook (wired by NewServer and SetPipeline) calls
-// it on every Install/remove. A nil st is ignored.
-func (s *Server) PublishStack(st *monitor.Stack) {
+// it stages st as the epoch's stack, flushes, and returns the version
+// the publication landed in. The pipeline's change hook (wired by
+// NewServer and SetPipeline) calls it on every Install/remove. A nil st
+// is ignored (returns 0).
+func (s *Server) PublishStack(st *monitor.Stack) uint64 {
 	if st == nil {
-		return
+		return 0
 	}
 	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	old := s.epoch.Load()
-	next := *old
-	next.stack = st
-	next.version = old.version + 1
-	s.epoch.Store(&next)
-	s.publishes.Add(1)
-	s.stackPubs.Add(1)
+	b := s.stageLocked(shardStack, func(e *Epoch) { e.stack = st })
+	s.writeMu.Unlock()
+	return s.waiter(b)()
 }
 
 // AttachRegistry wires the principal/group registry into the policy
-// epoch: the registry's publish hook becomes PublishRegistry, and the
-// registry's current frozen state is published immediately so the very
-// next decision pins it. Call during setup, before the server sees
-// concurrent traffic; only the reference monitor should attach a
-// registry (pinned membership assumes subject names are canonical).
+// epoch: the registry's publish hook becomes the server's batched
+// registry transition, and the registry's current frozen state is
+// published immediately so the very next decision pins it. Call during
+// setup, before the server sees concurrent traffic; only the reference
+// monitor should attach a registry (pinned membership assumes subject
+// names are canonical).
 func (s *Server) AttachRegistry(reg *principal.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.SetPublishHook(s.PublishRegistry)
+	reg.SetPublishHook(s.stageRegistry)
 	s.PublishRegistry(reg.Freeze())
 }
 
@@ -276,7 +263,7 @@ func (s *Server) SetPipeline(p *monitor.Pipeline) {
 	if old != nil && old != p {
 		old.SetChangeHook(nil)
 	}
-	p.SetChangeHook(s.PublishStack)
+	p.SetChangeHook(func(st *monitor.Stack) { s.PublishStack(st) })
 	s.pipe.Store(p)
 	s.PublishStack(p.Current())
 }
@@ -318,8 +305,9 @@ func (s *Server) DecisionCache() *decision.Cache { return s.cache.Load() }
 // under the other policy are dead.
 func (s *Server) SetTraversalChecks(on bool) {
 	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	s.publishLocked(s.epoch.Load().root, on)
+	wait := s.stageTreeLocked(s.currentLocked().root, on)
+	s.writeMu.Unlock()
+	wait()
 }
 
 // describe builds the guard stack's view of node n at path. The node
@@ -580,62 +568,90 @@ type BindSpec struct {
 // Multilevel containers waive the parent's no-write-down rule
 // (monitor.OpContainerBind).
 func (s *Server) Bind(sub acl.Subject, class lattice.Class, parentPath string, spec BindSpec) (*Node, error) {
+	n, _, err := s.BindAt(sub, class, parentPath, spec)
+	return n, err
+}
+
+// BindAt is Bind returning the epoch version the binding landed in:
+// every reader pinning that version or later sees the new node.
+func (s *Server) BindAt(sub acl.Subject, class lattice.Class, parentPath string, spec BindSpec) (*Node, uint64, error) {
+	n, wait, err := s.bindChecked(sub, class, parentPath, spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	return n, wait(), nil
+}
+
+func (s *Server) bindChecked(sub acl.Subject, class lattice.Class, parentPath string, spec BindSpec) (*Node, func() uint64, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	ep := s.epoch.Load()
+	ep := s.currentLocked()
 	parent, err := resolveIn(ep, sub, class, parentPath, true)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	op := monitor.OpAccess
 	if parent.multilevel {
 		op = monitor.OpContainerBind
 	}
 	if err := checkNode(ep, parent, parentPath, sub, class, acl.Write, op); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if v := ep.stack.Check(monitor.Request{
 		Subject: sub, Class: class, Object: describe(parent, parentPath),
 		NewClass: spec.Class, Members: ep.members(), Op: monitor.OpCreate,
 	}); !v.Allow {
-		return nil, &DeniedError{Path: Join(parentPath, spec.Name), Op: "bind", Why: v.Reason}
+		return nil, nil, &DeniedError{Path: Join(parentPath, spec.Name), Op: "bind", Why: v.Reason}
 	}
 	return s.bindLocked(ep, parent, spec)
 }
 
 // BindUnchecked creates a node with no access checks; for bootstrap.
 func (s *Server) BindUnchecked(parentPath string, spec BindSpec) (*Node, error) {
-	n, err := s.bindUnchecked(parentPath, spec)
-	s.admin("bind-unchecked", Join(parentPath, spec.Name), err)
+	n, _, err := s.BindUncheckedAt(parentPath, spec)
 	return n, err
 }
 
-func (s *Server) bindUnchecked(parentPath string, spec BindSpec) (*Node, error) {
+// BindUncheckedAt is BindUnchecked returning the epoch version the
+// binding landed in.
+func (s *Server) BindUncheckedAt(parentPath string, spec BindSpec) (*Node, uint64, error) {
+	n, wait, err := s.bindUnchecked(parentPath, spec)
+	var v uint64
+	if err == nil {
+		v = wait()
+	}
+	s.admin("bind-unchecked", Join(parentPath, spec.Name), err)
+	return n, v, err
+}
+
+func (s *Server) bindUnchecked(parentPath string, spec BindSpec) (*Node, func() uint64, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	ep := s.epoch.Load()
+	ep := s.currentLocked()
 	parent, err := resolveIn(ep, nil, lattice.Class{}, parentPath, false)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return s.bindLocked(ep, parent, spec)
 }
 
-// bindLocked builds and publishes the successor tree containing the new
-// node. Caller holds writeMu; parent belongs to ep, which is the
-// current epoch (writers are serialized).
-func (s *Server) bindLocked(ep *Epoch, parent *Node, spec BindSpec) (*Node, error) {
+// bindLocked builds and stages the successor tree containing the new
+// node, returning the wait function the mutator calls after releasing
+// writeMu. Caller holds writeMu; parent belongs to ep, the epoch
+// returned by currentLocked (writers are serialized, so it reflects
+// every staged mutation).
+func (s *Server) bindLocked(ep *Epoch, parent *Node, spec BindSpec) (*Node, func() uint64, error) {
 	if err := ValidComponent(spec.Name); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if parent.kind.Leaf() {
-		return nil, fmt.Errorf("%w: %s", ErrLeaf, parent.Path())
+		return nil, nil, fmt.Errorf("%w: %s", ErrLeaf, parent.Path())
 	}
 	if !spec.Class.Valid() || spec.Class.Lattice() != s.lat {
-		return nil, fmt.Errorf("%w: node class must come from the server lattice", ErrBadPath)
+		return nil, nil, fmt.Errorf("%w: node class must come from the server lattice", ErrBadPath)
 	}
 	if _, dup := parent.children[spec.Name]; dup {
-		return nil, fmt.Errorf("%w: %s", ErrExists, Join(parent.Path(), spec.Name))
+		return nil, nil, fmt.Errorf("%w: %s", ErrExists, Join(parent.Path(), spec.Name))
 	}
 	a := spec.ACL
 	if a == nil {
@@ -656,10 +672,9 @@ func (s *Server) bindLocked(ep *Epoch, parent *Node, spec BindSpec) (*Node, erro
 	}
 	parts, err := SplitPath(childPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	s.publishLocked(rebind(ep.root, parts, n), ep.traversal)
-	return n, nil
+	return n, s.stageTreeLocked(rebind(ep.root, parts, n), ep.traversal), nil
 }
 
 // Unbind removes the node at path. The subject needs delete mode on the
@@ -667,39 +682,53 @@ func (s *Server) bindLocked(ep *Epoch, parent *Node, spec BindSpec) (*Node, erro
 // MAC rule is waived for multilevel containers). Non-empty nodes cannot
 // be unbound.
 func (s *Server) Unbind(sub acl.Subject, class lattice.Class, path string) error {
+	_, err := s.UnbindAt(sub, class, path)
+	return err
+}
+
+// UnbindAt is Unbind returning the epoch version the removal landed in:
+// every reader pinning that version or later no longer sees the node.
+func (s *Server) UnbindAt(sub acl.Subject, class lattice.Class, path string) (uint64, error) {
+	wait, err := s.unbindChecked(sub, class, path)
+	if err != nil {
+		return 0, err
+	}
+	return wait(), nil
+}
+
+func (s *Server) unbindChecked(sub acl.Subject, class lattice.Class, path string) (func() uint64, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	ep := s.epoch.Load()
+	ep := s.currentLocked()
 	n, err := resolveIn(ep, sub, class, path, true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if n.path == "/" {
-		return ErrRoot
+		return nil, ErrRoot
 	}
 	if len(n.children) > 0 {
-		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+		return nil, fmt.Errorf("%w: %s", ErrNotEmpty, path)
 	}
 	parent, err := resolveIn(ep, nil, lattice.Class{}, parentOf(n.path), false)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := checkNode(ep, n, path, sub, class, acl.Delete, monitor.OpAccess); err != nil {
-		return err
+		return nil, err
 	}
 	op := monitor.OpAccess
 	if parent.multilevel {
 		op = monitor.OpContainerUnbind
 	}
 	if err := checkNode(ep, parent, parentOf(path), sub, class, acl.Write, op); err != nil {
-		return err
+		return nil, err
 	}
 	parts, err := SplitPath(n.path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	s.publishLocked(rebind(ep.root, parts, nil), ep.traversal)
-	return nil
+	return s.stageTreeLocked(rebind(ep.root, parts, nil), ep.traversal), nil
 }
 
 // Rename moves the node at oldPath to newParentPath/newName. The
@@ -713,40 +742,54 @@ func (s *Server) Unbind(sub acl.Subject, class lattice.Class, path string) error
 // wholly-old or the wholly-new tree, never a state where the subtree is
 // reachable under both names or neither.
 func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParentPath, newName string) error {
+	_, err := s.RenameAt(sub, class, oldPath, newParentPath, newName)
+	return err
+}
+
+// RenameAt is Rename returning the epoch version the move landed in.
+func (s *Server) RenameAt(sub acl.Subject, class lattice.Class, oldPath, newParentPath, newName string) (uint64, error) {
+	wait, err := s.renameChecked(sub, class, oldPath, newParentPath, newName)
+	if err != nil {
+		return 0, err
+	}
+	return wait(), nil
+}
+
+func (s *Server) renameChecked(sub acl.Subject, class lattice.Class, oldPath, newParentPath, newName string) (func() uint64, error) {
 	if err := ValidComponent(newName); err != nil {
-		return err
+		return nil, err
 	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	ep := s.epoch.Load()
+	ep := s.currentLocked()
 	n, err := resolveIn(ep, sub, class, oldPath, true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if n.path == "/" {
-		return ErrRoot
+		return nil, ErrRoot
 	}
 	newParent, err := resolveIn(ep, sub, class, newParentPath, true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if newParent.kind.Leaf() {
-		return fmt.Errorf("%w: %s", ErrLeaf, newParentPath)
+		return nil, fmt.Errorf("%w: %s", ErrLeaf, newParentPath)
 	}
 	// A node must not become its own ancestor. Paths in one epoch are
 	// canonical, so "inside n's subtree" is a prefix question.
 	if newParent.path == n.path || strings.HasPrefix(newParent.path, n.path+"/") {
-		return fmt.Errorf("%w: cannot move %s under itself", ErrBadPath, oldPath)
+		return nil, fmt.Errorf("%w: cannot move %s under itself", ErrBadPath, oldPath)
 	}
 	if _, dup := newParent.children[newName]; dup {
-		return fmt.Errorf("%w: %s", ErrExists, Join(newParentPath, newName))
+		return nil, fmt.Errorf("%w: %s", ErrExists, Join(newParentPath, newName))
 	}
 	if err := checkNode(ep, n, oldPath, sub, class, acl.Delete, monitor.OpAccess); err != nil {
-		return err
+		return nil, err
 	}
 	oldParent, err := resolveIn(ep, nil, lattice.Class{}, parentOf(n.path), false)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	checkParent := func(p *Node, path string) error {
 		op := monitor.OpAccess
@@ -756,19 +799,19 @@ func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParent
 		return checkNode(ep, p, path, sub, class, acl.Write, op)
 	}
 	if err := checkParent(oldParent, parentOf(oldPath)); err != nil {
-		return err
+		return nil, err
 	}
 	if err := checkParent(newParent, newParentPath); err != nil {
-		return err
+		return nil, err
 	}
 	oldParts, err := SplitPath(n.path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newPath := Join(newParent.path, newName)
 	newParts, err := SplitPath(newPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Detach the subtree, deep-copy it under its new name and paths
 	// (published nodes never change, so old epochs keep the old
@@ -776,37 +819,46 @@ func (s *Server) Rename(sub acl.Subject, class lattice.Class, oldPath, newParent
 	// publication.
 	detached := rebind(ep.root, oldParts, nil)
 	moved := relocate(n, newName, newPath)
-	s.publishLocked(rebind(detached, newParts, moved), ep.traversal)
-	return nil
+	return s.stageTreeLocked(rebind(detached, newParts, moved), ep.traversal), nil
 }
 
 // UnbindUnchecked removes the node at path with no access checks.
 func (s *Server) UnbindUnchecked(path string) error {
-	err := s.unbindUnchecked(path)
-	s.admin("unbind-unchecked", path, err)
+	_, err := s.UnbindUncheckedAt(path)
 	return err
 }
 
-func (s *Server) unbindUnchecked(path string) error {
+// UnbindUncheckedAt is UnbindUnchecked returning the epoch version the
+// removal landed in.
+func (s *Server) UnbindUncheckedAt(path string) (uint64, error) {
+	wait, err := s.unbindUnchecked(path)
+	var v uint64
+	if err == nil {
+		v = wait()
+	}
+	s.admin("unbind-unchecked", path, err)
+	return v, err
+}
+
+func (s *Server) unbindUnchecked(path string) (func() uint64, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	ep := s.epoch.Load()
+	ep := s.currentLocked()
 	n, err := resolveIn(ep, nil, lattice.Class{}, path, false)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if n.path == "/" {
-		return ErrRoot
+		return nil, ErrRoot
 	}
 	if len(n.children) > 0 {
-		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+		return nil, fmt.Errorf("%w: %s", ErrNotEmpty, path)
 	}
 	parts, err := SplitPath(n.path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	s.publishLocked(rebind(ep.root, parts, nil), ep.traversal)
-	return nil
+	return s.stageTreeLocked(rebind(ep.root, parts, nil), ep.traversal), nil
 }
 
 // GetACL returns a copy of the node's ACL. Reading the protection state
@@ -831,74 +883,171 @@ func (s *Server) GetACL(sub acl.Subject, class lattice.Class, path string) (*acl
 // SetACL replaces the node's ACL. Changing protection is the
 // administrate mode (§2.1) and is MAC-wise a write.
 func (s *Server) SetACL(sub acl.Subject, class lattice.Class, path string, newACL *acl.ACL) error {
+	_, err := s.SetACLAt(sub, class, path, newACL)
+	return err
+}
+
+// SetACLAt is SetACL returning the epoch version the new ACL landed in:
+// a caller revoking a grant can assert "no decision computed against
+// that version or later honors the old ACL".
+func (s *Server) SetACLAt(sub acl.Subject, class lattice.Class, path string, newACL *acl.ACL) (uint64, error) {
+	wait, err := s.setACLChecked(sub, class, path, newACL)
+	if err != nil {
+		return 0, err
+	}
+	return wait(), nil
+}
+
+func (s *Server) setACLChecked(sub acl.Subject, class lattice.Class, path string, newACL *acl.ACL) (func() uint64, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	ep := s.epoch.Load()
+	ep := s.currentLocked()
 	n, err := resolveIn(ep, sub, class, path, true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := checkNode(ep, n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
-		return err
+		return nil, err
 	}
 	return s.replaceLocked(ep, n, func(c *Node) { c.acl = newACL.Clone() })
 }
 
 // SetACLUnchecked replaces a node's ACL with no access checks.
 func (s *Server) SetACLUnchecked(path string, newACL *acl.ACL) error {
-	err := s.setACLUnchecked(path, newACL)
-	s.admin("set-acl-unchecked", path, err)
+	_, err := s.SetACLUncheckedAt(path, newACL)
 	return err
 }
 
-func (s *Server) setACLUnchecked(path string, newACL *acl.ACL) error {
+// SetACLUncheckedAt is SetACLUnchecked returning the epoch version the
+// new ACL landed in.
+func (s *Server) SetACLUncheckedAt(path string, newACL *acl.ACL) (uint64, error) {
+	wait, err := s.setACLUnchecked(path, newACL)
+	var v uint64
+	if err == nil {
+		v = wait()
+	}
+	s.admin("set-acl-unchecked", path, err)
+	return v, err
+}
+
+func (s *Server) setACLUnchecked(path string, newACL *acl.ACL) (func() uint64, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	ep := s.epoch.Load()
+	ep := s.currentLocked()
 	n, err := resolveIn(ep, nil, lattice.Class{}, path, false)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	return s.replaceLocked(ep, n, func(c *Node) { c.acl = newACL.Clone() })
 }
 
-// replaceLocked publishes a successor tree in which node n (from epoch
-// ep) is replaced by a clone that mutate has edited. Caller holds
-// writeMu. The clone keeps the children map, so only the single node
-// changes; the spine above it is re-cloned by rebind.
-func (s *Server) replaceLocked(ep *Epoch, n *Node, mutate func(c *Node)) error {
+// ACLEdit is one path/ACL pair for SetACLsUnchecked.
+type ACLEdit struct {
+	Path string
+	ACL  *acl.ACL
+}
+
+// SetACLsUnchecked installs several ACLs in one published epoch, with
+// no access checks. The edits are atomic — all-or-nothing: if any path
+// fails to resolve, no edit is applied and the published state is
+// untouched. One epoch carries the whole batch, so a policy document
+// installing N grants costs one publication instead of N. It returns
+// the epoch version the batch landed in; an empty edit list is a no-op
+// returning 0.
+func (s *Server) SetACLsUnchecked(edits []ACLEdit) (uint64, error) {
+	if len(edits) == 0 {
+		return 0, nil
+	}
+	wait, err := s.setACLsUnchecked(edits)
+	if err != nil {
+		return 0, err
+	}
+	v := wait()
+	for _, e := range edits {
+		s.admin("set-acl-unchecked", e.Path, nil)
+	}
+	return v, nil
+}
+
+func (s *Server) setACLsUnchecked(edits []ACLEdit) (func() uint64, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	ep := s.currentLocked()
+	root := ep.root
+	// Resolve each edit against the accumulating successor tree so
+	// edits later in the batch see earlier ones; scratch carries the
+	// in-progress root through resolveIn without touching ep.
+	scratch := *ep
+	for _, e := range edits {
+		scratch.root = root
+		n, err := resolveIn(&scratch, nil, lattice.Class{}, e.Path, false)
+		if err != nil {
+			s.admin("set-acl-unchecked", e.Path, err)
+			return nil, err
+		}
+		c := n.clone()
+		c.acl = e.ACL.Clone()
+		parts, err := SplitPath(n.path)
+		if err != nil {
+			return nil, err
+		}
+		root = rebind(root, parts, c)
+	}
+	return s.stageTreeLocked(root, ep.traversal), nil
+}
+
+// replaceLocked stages a successor tree in which node n (from epoch
+// ep) is replaced by a clone that mutate has edited, returning the
+// wait function the mutator calls after releasing writeMu. The clone
+// keeps the children map, so only the single node changes; the spine
+// above it is re-cloned by rebind. Caller holds writeMu.
+func (s *Server) replaceLocked(ep *Epoch, n *Node, mutate func(c *Node)) (func() uint64, error) {
 	c := n.clone()
 	mutate(c)
 	parts, err := SplitPath(n.path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	s.publishLocked(rebind(ep.root, parts, c), ep.traversal)
-	return nil
+	return s.stageTreeLocked(rebind(ep.root, parts, c), ep.traversal), nil
 }
 
 // SetClass relabels the node. Relabeling violates tranquility, so it is
 // gated on administrate mode and the relabel flow rules (a read of the
 // old label, a write of the new).
 func (s *Server) SetClass(sub acl.Subject, class lattice.Class, path string, newClass lattice.Class) error {
+	_, err := s.SetClassAt(sub, class, path, newClass)
+	return err
+}
+
+// SetClassAt is SetClass returning the epoch version the relabel landed
+// in.
+func (s *Server) SetClassAt(sub acl.Subject, class lattice.Class, path string, newClass lattice.Class) (uint64, error) {
+	wait, err := s.setClassChecked(sub, class, path, newClass)
+	if err != nil {
+		return 0, err
+	}
+	return wait(), nil
+}
+
+func (s *Server) setClassChecked(sub acl.Subject, class lattice.Class, path string, newClass lattice.Class) (func() uint64, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	ep := s.epoch.Load()
+	ep := s.currentLocked()
 	n, err := resolveIn(ep, sub, class, path, true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if !newClass.Valid() || newClass.Lattice() != s.lat {
-		return fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
+		return nil, fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
 	}
 	if err := checkNode(ep, n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
-		return err
+		return nil, err
 	}
 	if v := ep.stack.Check(monitor.Request{
 		Subject: sub, Class: class, Object: describe(n, path),
 		NewClass: newClass, Members: ep.members(), Op: monitor.OpRelabel,
 	}); !v.Allow {
-		return &DeniedError{Path: path, Op: "set-class", Why: v.Reason}
+		return nil, &DeniedError{Path: path, Op: "set-class", Why: v.Reason}
 	}
 	return s.replaceLocked(ep, n, func(c *Node) { c.class = newClass })
 }
@@ -906,21 +1055,32 @@ func (s *Server) SetClass(sub acl.Subject, class lattice.Class, path string, new
 // SetClassUnchecked relabels a node with no access checks; for
 // bootstrap and experiments.
 func (s *Server) SetClassUnchecked(path string, newClass lattice.Class) error {
-	err := s.setClassUnchecked(path, newClass)
-	s.admin("set-class-unchecked", path, err)
+	_, err := s.SetClassUncheckedAt(path, newClass)
 	return err
 }
 
-func (s *Server) setClassUnchecked(path string, newClass lattice.Class) error {
+// SetClassUncheckedAt is SetClassUnchecked returning the epoch version
+// the relabel landed in.
+func (s *Server) SetClassUncheckedAt(path string, newClass lattice.Class) (uint64, error) {
+	wait, err := s.setClassUnchecked(path, newClass)
+	var v uint64
+	if err == nil {
+		v = wait()
+	}
+	s.admin("set-class-unchecked", path, err)
+	return v, err
+}
+
+func (s *Server) setClassUnchecked(path string, newClass lattice.Class) (func() uint64, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	ep := s.epoch.Load()
+	ep := s.currentLocked()
 	n, err := resolveIn(ep, nil, lattice.Class{}, path, false)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if !newClass.Valid() || newClass.Lattice() != s.lat {
-		return fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
+		return nil, fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
 	}
 	return s.replaceLocked(ep, n, func(c *Node) { c.class = newClass })
 }
@@ -940,18 +1100,21 @@ func (s *Server) ACLOf(path string) (*acl.ACL, error) {
 // payload handle is shared by reference across epochs and does its own
 // locking.
 func (s *Server) SetPayload(path string, payload any) error {
-	err := s.setPayload(path, payload)
+	wait, err := s.setPayload(path, payload)
+	if err == nil {
+		wait()
+	}
 	s.admin("set-payload", path, err)
 	return err
 }
 
-func (s *Server) setPayload(path string, payload any) error {
+func (s *Server) setPayload(path string, payload any) (func() uint64, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	ep := s.epoch.Load()
+	ep := s.currentLocked()
 	n, err := resolveIn(ep, nil, lattice.Class{}, path, false)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	return s.replaceLocked(ep, n, func(c *Node) { c.payload = payload })
 }

@@ -289,9 +289,22 @@ func (p *Policy) Apply(sys *core.System) error {
 			return fmt.Errorf("policy: group %s: %w", g, err)
 		}
 	}
+	// Group membership lines by group so each group costs one freeze and
+	// one epoch publication instead of one per member. Insertion order
+	// within the final graph does not matter for cycle detection: a cycle
+	// is a property of the edge set, so any order over an acyclic-final
+	// graph is accepted.
+	memberOf := make(map[string][]string)
+	var memberOrder []string
 	for _, m := range p.Members {
-		if err := sys.Registry().AddMember(m.Group, m.Member); err != nil {
-			return fmt.Errorf("policy: member %s of %s: %w", m.Member, m.Group, err)
+		if _, ok := memberOf[m.Group]; !ok {
+			memberOrder = append(memberOrder, m.Group)
+		}
+		memberOf[m.Group] = append(memberOf[m.Group], m.Member)
+	}
+	for _, g := range memberOrder {
+		if _, err := sys.Registry().AddMembers(g, memberOf[g]...); err != nil {
+			return fmt.Errorf("policy: members of %s: %w", g, err)
 		}
 	}
 	for _, n := range p.Nodes {
@@ -319,10 +332,14 @@ func (p *Policy) Apply(sys *core.System) error {
 		}
 		a.Add(d.Entry)
 	}
+	// Install every ACL in one batch: one name-tree freeze and one epoch
+	// publication for the whole document instead of one per path.
+	edits := make([]names.ACLEdit, 0, len(order))
 	for _, path := range order {
-		if err := sys.Names().SetACLUnchecked(path, perPath[path]); err != nil {
-			return fmt.Errorf("policy: acl %s: %w", path, err)
-		}
+		edits = append(edits, names.ACLEdit{Path: path, ACL: perPath[path]})
+	}
+	if _, err := sys.Names().SetACLsUnchecked(edits); err != nil {
+		return fmt.Errorf("policy: acl: %w", err)
 	}
 	return nil
 }

@@ -56,11 +56,31 @@ type Frozen struct {
 	groupNames []string       // sorted; index = bit position
 	groupIdx   map[string]int // name -> bit position
 	membership map[string]groupset
+
+	// super maps every group to the set of groups reachable from it
+	// through "contained in" edges, itself included. It is the
+	// intermediate of the transitive closure, retained so an
+	// incremental freeze can recompute one principal's membership as a
+	// union of supersets without re-walking the subgroup graph. Valid
+	// for exactly this version's group structure: any structural change
+	// (new group, subgroup edge added or removed) forces a full
+	// rebuild.
+	super map[string]groupset
+
+	// deltaBase is the version this view was incrementally derived
+	// from by cloning and patching only the touched principals' rows;
+	// 0 means the closure was rebuilt from scratch. See
+	// names.FrozenShard.
+	deltaBase uint64
 }
 
 // Version returns the registry version this view was published as.
 // Versions start at 1 and advance by one per mutation.
 func (f *Frozen) Version() uint64 { return f.version }
+
+// DeltaBase returns the version this view was incrementally derived
+// from, or 0 if the membership closure was rebuilt from scratch.
+func (f *Frozen) DeltaBase() uint64 { return f.deltaBase }
 
 // Registry returns the registry this view was frozen from.
 func (f *Frozen) Registry() *Registry { return f.reg }

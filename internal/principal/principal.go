@@ -103,12 +103,34 @@ type Registry struct {
 	principals map[string]*Principal
 	groups     map[string]*group
 
-	// onPublish, when set, receives every newly published Frozen. The
-	// reference monitor wires it to the name server's typed epoch
-	// transition (PublishRegistry) so a membership edit lands in the
-	// policy epoch — and kills every cached verdict — before the editor
-	// regains control. Guarded by writeMu.
-	onPublish func(*Frozen)
+	// Dirty state since the last freeze; only writers touch it, under
+	// writeMu. dirtyPrincipals names principals whose membership rows
+	// must be recomputed, dirtyGroups names groups whose direct-member
+	// lists changed, and dirtyAll forces a full rebuild (set by any
+	// structural change — a new group shifts bit indices, a subgroup
+	// edge invalidates the retained super sets).
+	dirtyPrincipals map[string]bool
+	dirtyGroups     map[string]bool
+	dirtyAll        bool
+
+	// incremental enables the delta freeze path (default on);
+	// SetIncrementalFreeze turns it off for experiments that price the
+	// full closure rebuild.
+	incremental bool
+
+	// fullFreezes and incFreezes count how each published Frozen was
+	// built; experiments and tests read them through FreezeStats.
+	fullFreezes atomic.Uint64
+	incFreezes  atomic.Uint64
+
+	// onPublish, when set, receives every newly published Frozen and
+	// returns a wait function that blocks until the view is live in the
+	// receiver's published state. The reference monitor wires it to the
+	// name server's batched epoch publisher (stage + flush), so a
+	// membership edit lands in the policy epoch — and kills every
+	// cached verdict — before the editor regains control, while
+	// concurrent edits may coalesce into one epoch. Guarded by writeMu.
+	onPublish func(*Frozen) func() uint64
 }
 
 // NewRegistry creates an empty registry whose principals carry classes
@@ -121,10 +143,13 @@ func NewRegistry(lat *lattice.Lattice) *Registry {
 		panic("principal: cannot read entropy: " + err.Error())
 	}
 	r := &Registry{
-		lat:        lat,
-		principals: make(map[string]*Principal),
-		groups:     make(map[string]*group),
-		secret:     secret,
+		lat:             lat,
+		principals:      make(map[string]*Principal),
+		groups:          make(map[string]*group),
+		secret:          secret,
+		dirtyPrincipals: make(map[string]bool),
+		dirtyGroups:     make(map[string]bool),
+		incremental:     true,
 	}
 	r.frozen.Store(r.buildFrozen(1))
 	return r
@@ -144,14 +169,39 @@ func (r *Registry) Freeze() *Frozen { return r.frozen.Load() }
 func (r *Registry) Version() uint64 { return r.frozen.Load().version }
 
 // SetPublishHook installs a function that receives every newly
-// published Frozen view. The reference monitor wires it to the name
-// server's PublishRegistry epoch transition; a nil hook clears it. The
-// hook runs with the writer mutex held, so publications reach it in
-// version order.
-func (r *Registry) SetPublishHook(fn func(*Frozen)) {
+// published Frozen view and returns a wait function blocking until the
+// view is live downstream. The reference monitor wires it to the name
+// server's batched epoch publisher; a nil hook clears it. The hook runs
+// with the writer mutex held, so publications reach it in version
+// order; the wait function it returns is called after the mutex is
+// released, so a slow downstream flush never blocks other editors from
+// staging their own mutations.
+func (r *Registry) SetPublishHook(fn func(*Frozen) func() uint64) {
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 	r.onPublish = fn
+}
+
+// SetIncrementalFreeze enables or disables the delta freeze path.
+// Incremental freezing is on by default; experiments turn it off to
+// price the full closure rebuild against the patched one. Turning it
+// back on is always safe: dirty tracking runs regardless, so the next
+// freeze patches against an accurate baseline.
+func (r *Registry) SetIncrementalFreeze(on bool) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	r.incremental = on
+}
+
+// FreezeStats reports how published views were built since boot.
+type FreezeStats struct {
+	Full        uint64 // closure rebuilt from scratch
+	Incremental uint64 // previous view cloned and patched
+}
+
+// FreezeCounts returns the full/incremental freeze counters.
+func (r *Registry) FreezeCounts() FreezeStats {
+	return FreezeStats{Full: r.fullFreezes.Load(), Incremental: r.incFreezes.Load()}
 }
 
 // Touch republishes the registry's current state as a new version — a
@@ -159,18 +209,98 @@ func (r *Registry) SetPublishHook(fn func(*Frozen)) {
 // storms without growing the registry.
 func (r *Registry) Touch() {
 	r.writeMu.Lock()
-	defer r.writeMu.Unlock()
-	r.publishLocked()
+	wait := r.publishLocked()
+	r.writeMu.Unlock()
+	wait()
 }
 
-// publishLocked rebuilds the frozen view from the builder tables and
-// publishes it at version+1. Caller holds writeMu.
-func (r *Registry) publishLocked() {
-	next := r.buildFrozen(r.frozen.Load().version + 1)
+// publishLocked freezes the builder tables into a successor view at
+// version+1, publishes it, and returns the wait function the mutator
+// must call after releasing writeMu: it blocks until the downstream
+// policy epoch carrying the view is live and returns that epoch's
+// version (or the registry's own version when no hook is attached).
+// Waiting outside the mutex is what lets concurrent mutations pipeline
+// into one batched epoch. Caller holds writeMu.
+func (r *Registry) publishLocked() func() uint64 {
+	next := r.freezeLocked(r.frozen.Load().version + 1)
 	r.frozen.Store(next)
+	clear(r.dirtyPrincipals)
+	clear(r.dirtyGroups)
+	r.dirtyAll = false
 	if r.onPublish != nil {
-		r.onPublish(next)
+		return r.onPublish(next)
 	}
+	v := next.version
+	return func() uint64 { return v }
+}
+
+// freezeLocked builds the successor view, patching the previous one
+// when only membership rows changed (the common churn case) and
+// falling back to a full rebuild on structural change. Caller holds
+// writeMu.
+func (r *Registry) freezeLocked(version uint64) *Frozen {
+	prev := r.frozen.Load()
+	if !r.incremental || r.dirtyAll || prev == nil {
+		r.fullFreezes.Add(1)
+		return r.buildFrozen(version)
+	}
+	r.incFreezes.Add(1)
+	// Start as a shallow copy sharing every table with prev; clone only
+	// the maps that have dirty entries. The group universe (names,
+	// indices, super sets) is untouched by construction — any change to
+	// it sets dirtyAll above.
+	f := &Frozen{
+		reg:        r,
+		version:    version,
+		deltaBase:  prev.version,
+		principals: prev.principals,
+		groups:     prev.groups,
+		groupNames: prev.groupNames,
+		groupIdx:   prev.groupIdx,
+		membership: prev.membership,
+		super:      prev.super,
+	}
+	if len(r.dirtyGroups) > 0 {
+		groups := make(map[string]*frozenGroup, len(prev.groups))
+		for k, v := range prev.groups {
+			groups[k] = v
+		}
+		for gname := range r.dirtyGroups {
+			groups[gname] = freezeGroup(r.groups[gname])
+		}
+		f.groups = groups
+	}
+	if len(r.dirtyPrincipals) > 0 {
+		membership := make(map[string]groupset, len(prev.membership)+len(r.dirtyPrincipals))
+		for k, v := range prev.membership {
+			membership[k] = v
+		}
+		var principals map[string]*Principal // cloned on first new principal
+		for pname := range r.dirtyPrincipals {
+			if _, known := prev.principals[pname]; !known {
+				if principals == nil {
+					principals = make(map[string]*Principal, len(prev.principals)+1)
+					for k, v := range prev.principals {
+						principals[k] = v
+					}
+					f.principals = principals
+				}
+				principals[pname] = r.principals[pname]
+			}
+			// Recompute this one principal's closed membership as the
+			// union of super sets of the groups that list it directly;
+			// identical to the full rebuild's per-principal step.
+			set := newGroupset(len(f.groupNames))
+			for gname, g := range r.groups {
+				if g.principals[pname] {
+					set.union(f.super[gname])
+				}
+			}
+			membership[pname] = set
+		}
+		f.membership = membership
+	}
+	return f
 }
 
 // buildFrozen snapshots the builder tables into an immutable view with
@@ -221,11 +351,18 @@ func (r *Registry) buildFrozen(version uint64) *Frozen {
 		}
 		return s
 	}
+	// Materialize super for every group, not just the ones principals
+	// sit in: the retained table is what lets the next freeze patch a
+	// touched principal's row without re-walking the subgroup graph.
+	for gname := range r.groups {
+		superOf(gname)
+	}
+	f.super = super
 	for pname := range r.principals {
 		set := newGroupset(len(f.groupNames))
 		for gname, g := range r.groups {
 			if g.principals[pname] {
-				set.union(superOf(gname))
+				set.union(super[gname])
 			}
 		}
 		f.membership[pname] = set
@@ -233,24 +370,29 @@ func (r *Registry) buildFrozen(version uint64) *Frozen {
 	return f
 }
 
+// freezeGroup converts one builder group to its frozen (sorted) form.
+func freezeGroup(g *group) *frozenGroup {
+	fg := &frozenGroup{
+		principals: make([]string, 0, len(g.principals)),
+		subgroups:  make([]string, 0, len(g.subgroups)),
+	}
+	for p := range g.principals {
+		fg.principals = append(fg.principals, p)
+	}
+	for s := range g.subgroups {
+		fg.subgroups = append(fg.subgroups, s)
+	}
+	sort.Strings(fg.principals)
+	sort.Strings(fg.subgroups)
+	return fg
+}
+
 // collectGroups converts builder groups to their frozen form, filling
 // f.groupNames as a side effect.
 func (f *Frozen) collectGroups(groups map[string]*group) map[string]*frozenGroup {
 	out := make(map[string]*frozenGroup, len(groups))
 	for name, g := range groups {
-		fg := &frozenGroup{
-			principals: make([]string, 0, len(g.principals)),
-			subgroups:  make([]string, 0, len(g.subgroups)),
-		}
-		for p := range g.principals {
-			fg.principals = append(fg.principals, p)
-		}
-		for s := range g.subgroups {
-			fg.subgroups = append(fg.subgroups, s)
-		}
-		sort.Strings(fg.principals)
-		sort.Strings(fg.subgroups)
-		out[name] = fg
+		out[name] = freezeGroup(g)
 		f.groupNames = append(f.groupNames, name)
 	}
 	return out
@@ -272,16 +414,20 @@ func (r *Registry) AddPrincipal(name string, class lattice.Class) (*Principal, e
 		return nil, fmt.Errorf("%w: principal %q", ErrInvalidClass, name)
 	}
 	r.writeMu.Lock()
-	defer r.writeMu.Unlock()
 	if _, dup := r.principals[name]; dup {
+		r.writeMu.Unlock()
 		return nil, fmt.Errorf("%w: principal %q", ErrExists, name)
 	}
 	if _, dup := r.groups[name]; dup {
+		r.writeMu.Unlock()
 		return nil, fmt.Errorf("%w: %q is a group", ErrExists, name)
 	}
 	p := &Principal{name: name, class: class, reg: r}
 	r.principals[name] = p
-	r.publishLocked()
+	r.dirtyPrincipals[name] = true
+	wait := r.publishLocked()
+	r.writeMu.Unlock()
+	wait()
 	return p, nil
 }
 
@@ -295,24 +441,29 @@ func (r *Registry) Principals() []string {
 	return r.frozen.Load().Principals()
 }
 
-// AddGroup registers a new empty group.
+// AddGroup registers a new empty group. A new group shifts the frozen
+// bit indices, so it always forces a full freeze.
 func (r *Registry) AddGroup(name string) error {
 	if err := validName(name); err != nil {
 		return err
 	}
 	r.writeMu.Lock()
-	defer r.writeMu.Unlock()
 	if _, dup := r.groups[name]; dup {
+		r.writeMu.Unlock()
 		return fmt.Errorf("%w: group %q", ErrExists, name)
 	}
 	if _, dup := r.principals[name]; dup {
+		r.writeMu.Unlock()
 		return fmt.Errorf("%w: %q is a principal", ErrExists, name)
 	}
 	r.groups[name] = &group{
 		principals: make(map[string]bool),
 		subgroups:  make(map[string]bool),
 	}
-	r.publishLocked()
+	r.dirtyAll = true
+	wait := r.publishLocked()
+	r.writeMu.Unlock()
+	wait()
 	return nil
 }
 
@@ -324,47 +475,159 @@ func (r *Registry) Groups() []string {
 // AddMember adds a principal or a group (nested) to a group. Adding a
 // group member that would create a membership cycle fails with ErrCycle.
 func (r *Registry) AddMember(groupName, member string) error {
+	_, err := r.AddMemberAt(groupName, member)
+	return err
+}
+
+// AddMemberAt is AddMember returning the version of the policy epoch
+// (or, unattached, the registry version) the edit landed in: every
+// reader observing that version or later sees the membership.
+func (r *Registry) AddMemberAt(groupName, member string) (uint64, error) {
 	r.writeMu.Lock()
-	defer r.writeMu.Unlock()
-	g, ok := r.groups[groupName]
-	if !ok {
-		return fmt.Errorf("%w: group %q", ErrNotFound, groupName)
+	if _, err := r.addMemberLocked(groupName, member); err != nil {
+		r.writeMu.Unlock()
+		return 0, err
 	}
-	if _, isP := r.principals[member]; isP {
-		g.principals[member] = true
-		r.publishLocked()
-		return nil
-	}
-	if _, isG := r.groups[member]; isG {
-		if member == groupName || r.reachableLocked(member, groupName) {
-			return fmt.Errorf("%w: %q -> %q", ErrCycle, groupName, member)
-		}
-		g.subgroups[member] = true
-		r.publishLocked()
-		return nil
-	}
-	return fmt.Errorf("%w: member %q", ErrNotFound, member)
+	wait := r.publishLocked()
+	r.writeMu.Unlock()
+	return wait(), nil
 }
 
 // RemoveMember removes a direct member (principal or group) from a group.
 func (r *Registry) RemoveMember(groupName, member string) error {
+	_, err := r.RemoveMemberAt(groupName, member)
+	return err
+}
+
+// RemoveMemberAt is RemoveMember returning the version of the policy
+// epoch (or, unattached, the registry version) the revocation landed
+// in: every decision computed against that version or later enforces
+// it. This is the revocation barrier callers pin audits to.
+func (r *Registry) RemoveMemberAt(groupName, member string) (uint64, error) {
 	r.writeMu.Lock()
-	defer r.writeMu.Unlock()
+	if _, err := r.removeMemberLocked(groupName, member); err != nil {
+		r.writeMu.Unlock()
+		return 0, err
+	}
+	wait := r.publishLocked()
+	r.writeMu.Unlock()
+	return wait(), nil
+}
+
+// AddMembers adds several members to one group as one published
+// version: all edits are applied atomically (on the first failure every
+// prior edit is rolled back and the published state is untouched), the
+// closure is refrozen once, and one epoch carries the whole batch — N
+// grants for one freeze instead of N. It returns the version the batch
+// landed in. An empty member list is a no-op returning 0.
+func (r *Registry) AddMembers(groupName string, members ...string) (uint64, error) {
+	if len(members) == 0 {
+		return 0, nil
+	}
+	r.writeMu.Lock()
+	inserted := make([]string, 0, len(members))
+	for _, m := range members {
+		ins, err := r.addMemberLocked(groupName, m)
+		if err != nil {
+			for _, u := range inserted {
+				// Roll back only true inserts; the over-marked dirty
+				// state recomputes to identical rows, so it is harmless.
+				r.removeMemberLocked(groupName, u)
+			}
+			r.writeMu.Unlock()
+			return 0, err
+		}
+		if ins {
+			inserted = append(inserted, m)
+		}
+	}
+	wait := r.publishLocked()
+	r.writeMu.Unlock()
+	return wait(), nil
+}
+
+// RemoveMembers removes several direct members from one group as one
+// published version, with the same all-or-nothing and single-freeze
+// semantics as AddMembers. It returns the version the batch landed in;
+// an empty member list is a no-op returning 0.
+func (r *Registry) RemoveMembers(groupName string, members ...string) (uint64, error) {
+	if len(members) == 0 {
+		return 0, nil
+	}
+	r.writeMu.Lock()
+	type undo struct {
+		member string
+		sub    bool
+	}
+	removed := make([]undo, 0, len(members))
+	for _, m := range members {
+		sub, err := r.removeMemberLocked(groupName, m)
+		if err != nil {
+			g := r.groups[groupName]
+			for _, u := range removed {
+				if u.sub {
+					g.subgroups[u.member] = true
+				} else {
+					g.principals[u.member] = true
+				}
+			}
+			r.writeMu.Unlock()
+			return 0, err
+		}
+		removed = append(removed, undo{member: m, sub: sub})
+	}
+	wait := r.publishLocked()
+	r.writeMu.Unlock()
+	return wait(), nil
+}
+
+// addMemberLocked applies one membership edit to the builder tables,
+// marking dirty state, and reports whether it inserted a new direct
+// member (false when already present). Caller holds writeMu.
+func (r *Registry) addMemberLocked(groupName, member string) (inserted bool, err error) {
 	g, ok := r.groups[groupName]
 	if !ok {
-		return fmt.Errorf("%w: group %q", ErrNotFound, groupName)
+		return false, fmt.Errorf("%w: group %q", ErrNotFound, groupName)
+	}
+	if _, isP := r.principals[member]; isP {
+		inserted = !g.principals[member]
+		g.principals[member] = true
+		r.dirtyGroups[groupName] = true
+		r.dirtyPrincipals[member] = true
+		return inserted, nil
+	}
+	if _, isG := r.groups[member]; isG {
+		if member == groupName || r.reachableLocked(member, groupName) {
+			return false, fmt.Errorf("%w: %q -> %q", ErrCycle, groupName, member)
+		}
+		inserted = !g.subgroups[member]
+		g.subgroups[member] = true
+		r.dirtyAll = true // subgroup edge: retained super sets are stale
+		return inserted, nil
+	}
+	return false, fmt.Errorf("%w: member %q", ErrNotFound, member)
+}
+
+// removeMemberLocked applies one membership removal to the builder
+// tables, marking dirty state, and reports whether the removed member
+// was a subgroup. Caller holds writeMu.
+func (r *Registry) removeMemberLocked(groupName, member string) (sub bool, err error) {
+	g, ok := r.groups[groupName]
+	if !ok {
+		return false, fmt.Errorf("%w: group %q", ErrNotFound, groupName)
 	}
 	if g.principals[member] {
 		delete(g.principals, member)
-		r.publishLocked()
-		return nil
+		r.dirtyGroups[groupName] = true
+		r.dirtyPrincipals[member] = true
+		return false, nil
 	}
 	if g.subgroups[member] {
 		delete(g.subgroups, member)
-		r.publishLocked()
-		return nil
+		r.dirtyAll = true // subgroup edge: retained super sets are stale
+		return true, nil
 	}
-	return fmt.Errorf("%w: member %q of %q", ErrNotFound, member, groupName)
+	return false, fmt.Errorf("%w: member %q of %q", ErrNotFound, member, groupName)
 }
 
 // reachableLocked reports whether group "to" is reachable from group

@@ -123,11 +123,22 @@ type NamesStats struct {
 	Publishes uint64 `json:"publishes"`
 	// Typed epoch transitions: how many publications were driven by
 	// name-tree mutations, lattice definitions, registry mutations,
-	// and guard-stack changes respectively.
+	// and guard-stack changes respectively. With write combining one
+	// publication can carry several shards, so these may sum to more
+	// than Publishes.
 	NameTransitions     uint64 `json:"name_transitions"`
 	LatticeTransitions  uint64 `json:"lattice_transitions"`
 	RegistryTransitions uint64 `json:"registry_transitions"`
 	StackTransitions    uint64 `json:"stack_transitions"`
+	// Write-combining publisher: mutations staged through batches, the
+	// largest batch one flush published, and the batch-size and
+	// flush-latency distributions. BatchSize reuses the histogram's
+	// nanosecond buckets as plain counts (a "duration" of n ns is a
+	// batch of n mutations).
+	BatchedMutations uint64       `json:"batched_mutations"`
+	MaxBatch         uint64       `json:"max_batch"`
+	BatchSize        HistSnapshot `json:"batch_size"`
+	FlushLatency     HistSnapshot `json:"flush_latency"`
 }
 
 // AuditStats mirrors the audit log's counters, including ring drops

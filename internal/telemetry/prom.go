@@ -48,6 +48,12 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	ew.printf("secext_epoch_transitions_total{shard=\"lattice\"} %d\n", s.Names.LatticeTransitions)
 	ew.printf("secext_epoch_transitions_total{shard=\"registry\"} %d\n", s.Names.RegistryTransitions)
 	ew.printf("secext_epoch_transitions_total{shard=\"stack\"} %d\n", s.Names.StackTransitions)
+	ew.printf("# HELP secext_epoch_batched_mutations_total Mutations staged through the write-combining epoch publisher.\n")
+	ew.printf("# TYPE secext_epoch_batched_mutations_total counter\n")
+	ew.printf("secext_epoch_batched_mutations_total %d\n", s.Names.BatchedMutations)
+	ew.printf("# HELP secext_epoch_max_batch Largest number of mutations one epoch publication carried.\n")
+	ew.printf("# TYPE secext_epoch_max_batch gauge\n")
+	ew.printf("secext_epoch_max_batch %d\n", s.Names.MaxBatch)
 
 	ew.printf("# HELP secext_audit_events_total Audit log decisions by verdict, plus mediation bypasses.\n")
 	ew.printf("# TYPE secext_audit_events_total counter\n")
@@ -69,6 +75,12 @@ func WriteProm(w io.Writer, s Snapshot) error {
 
 	writePromHist(ew, "secext_mediation_seconds",
 		"End-to-end mediation latency (sampled).", "", s.MediationLatency)
+	writePromHistWith(ew, "secext_epoch_batch_size",
+		"Mutations coalesced into one epoch publication.", "",
+		s.Names.BatchSize, formatCount)
+	writePromHist(ew, "secext_epoch_flush_seconds",
+		"Latency from first staged mutation to epoch publication.", "",
+		s.Names.FlushLatency)
 	for _, g := range s.Guards {
 		writePromHist(ew, "secext_guard_eval_seconds",
 			"Per-guard evaluation latency (sampled).",
@@ -77,9 +89,17 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	return ew.err
 }
 
-// writePromHist emits one histogram metric family; labels is either ""
-// or a rendered `name="value"` list without braces.
+// writePromHist emits one histogram metric family with bucket bounds
+// and sum rendered as seconds; labels is either "" or a rendered
+// `name="value"` list without braces.
 func writePromHist(ew *errWriter, name, help, labels string, h HistSnapshot) {
+	writePromHistWith(ew, name, help, labels, h, formatSeconds)
+}
+
+// writePromHistWith is writePromHist with an explicit value formatter,
+// so histograms that reuse the nanosecond buckets for unitless counts
+// (e.g. batch sizes) can render raw bucket bounds instead of seconds.
+func writePromHistWith(ew *errWriter, name, help, labels string, h HistSnapshot, format func(float64) string) {
 	ew.printf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	last := 0
 	for i, c := range h.Buckets {
@@ -91,13 +111,13 @@ func writePromHist(ew *errWriter, name, help, labels string, h HistSnapshot) {
 	for b := 0; b <= last; b++ {
 		cum += h.Buckets[b]
 		_, hi := bucketBounds(b)
-		ew.printf("%s_bucket{%s} %d\n", name, promLabels(labels, "le", formatSeconds(hi)), cum)
+		ew.printf("%s_bucket{%s} %d\n", name, promLabels(labels, "le", format(hi)), cum)
 	}
 	ew.printf("%s_bucket{%s} %d\n", name, promLabels(labels, "le", "+Inf"), h.Count)
 	if labels != "" {
 		labels = "{" + labels + "}"
 	}
-	ew.printf("%s_sum%s %s\n", name, labels, formatSeconds(float64(h.SumNS)))
+	ew.printf("%s_sum%s %s\n", name, labels, format(float64(h.SumNS)))
 	ew.printf("%s_count%s %d\n", name, labels, h.Count)
 }
 
@@ -114,6 +134,12 @@ func promLabels(labels, k, v string) string {
 // formatSeconds renders a nanosecond quantity as seconds.
 func formatSeconds(ns float64) string {
 	return strconv.FormatFloat(ns/1e9, 'g', -1, 64)
+}
+
+// formatCount renders a bucket bound as a raw (unitless) number, for
+// histograms whose nanosecond buckets actually hold counts.
+func formatCount(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 type errWriter struct {
