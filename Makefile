@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover bench-smoke bench bench-scale bench-epoch bench-churn tables
+.PHONY: all build vet test race check cover bench-smoke bench bench-scale bench-epoch bench-churn bench-resolve tables
 
 all: check
 
@@ -15,7 +15,7 @@ test:
 
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -cpu=1,4,8 ./internal/names/... ./internal/decision/... ./internal/lattice/... ./internal/principal/... ./internal/core/...
+	$(GO) test -race -cpu=1,4,8 ./internal/names/... ./internal/acl/... ./internal/monitor/... ./internal/decision/... ./internal/lattice/... ./internal/principal/... ./internal/core/...
 
 # check is the full local gate: build, vet, the complete test suite
 # under the race detector, and a benchmark smoke run so the harness
@@ -37,6 +37,11 @@ PRINCIPAL_COVER_FLOOR := 85.0
 # The write-combining publisher is new write-path machinery; its file
 # keeps its own floor so the package average cannot hide it.
 BATCH_COVER_FLOOR := 85.0
+# Compiled epochs are new read-path machinery: the freeze-time index
+# and the ACL-summary bitsets each keep a per-file floor for the same
+# reason.
+COMPILED_COVER_FLOOR := 85.0
+SUMMARY_COVER_FLOOR := 85.0
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/monitor/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
@@ -57,6 +62,15 @@ cover:
 	echo "internal/names/batch.go coverage: $$batch% (floor $(BATCH_COVER_FLOOR)%)"; \
 	awk "BEGIN {exit !($$batch >= $(BATCH_COVER_FLOOR))}" || \
 		{ echo "batched-publisher coverage below floor"; exit 1; }
+	@compiled=$$($(GO) tool cover -func=cover-names.out | awk '/internal\/names\/compiled\.go/ {gsub(/%/,"",$$3); sum += $$3; n++} END {if (n) printf "%.1f", sum/n; else print 0}'); \
+	echo "internal/names/compiled.go coverage: $$compiled% (floor $(COMPILED_COVER_FLOOR)%)"; \
+	awk "BEGIN {exit !($$compiled >= $(COMPILED_COVER_FLOOR))}" || \
+		{ echo "compiled-epoch coverage below floor"; exit 1; }
+	$(GO) test -coverprofile=cover-acl.out ./internal/acl/
+	@summary=$$($(GO) tool cover -func=cover-acl.out | awk '/internal\/acl\/summary\.go/ {gsub(/%/,"",$$3); sum += $$3; n++} END {if (n) printf "%.1f", sum/n; else print 0}'); \
+	echo "internal/acl/summary.go coverage: $$summary% (floor $(SUMMARY_COVER_FLOOR)%)"; \
+	awk "BEGIN {exit !($$summary >= $(SUMMARY_COVER_FLOOR))}" || \
+		{ echo "acl-summary coverage below floor"; exit 1; }
 	$(GO) test -coverprofile=cover-lattice.out ./internal/lattice/
 	@total=$$($(GO) tool cover -func=cover-lattice.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
 	echo "internal/lattice coverage: $$total% (floor $(LATTICE_COVER_FLOOR)%)"; \
@@ -75,6 +89,7 @@ cover:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'E1' -benchtime 100x .
 	$(GO) test -run '^$$' -bench 'E16' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'E17' -benchtime 1x .
 
 # bench runs the full benchmark suite with allocation stats (slow).
 bench:
@@ -96,6 +111,12 @@ bench-epoch:
 # unbatched bulk churn, sustained churn under readers).
 bench-churn:
 	$(GO) run ./cmd/benchtab -json . E16
+
+# bench-resolve runs the E17 compiled-epoch resolve experiment alone
+# and writes BENCH_E17.json (uncached compiled verdict vs spine walk vs
+# warm cache hit, by path depth, plus the resolve-only split).
+bench-resolve:
+	$(GO) run ./cmd/benchtab -json . E17
 
 # tables regenerates the EXPERIMENTS.md tables and writes structured
 # BENCH_<ID>.json rows for machine consumers.

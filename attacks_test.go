@@ -636,3 +636,134 @@ func TestAttackBatchedRevocationNotDelayed(t *testing.T) {
 		t.Fatalf("post-revocation check: %v, want denial", err)
 	}
 }
+
+// TestAttackStaleCompiledSummary attacks the compiled-epoch freeze
+// pipeline: every epoch carries freeze-time effective-ACL bitsets, so a
+// revocation that fails to recompile the group-sensitive summary would
+// keep granting from stale bits even though entry iteration denies.
+// Readers race the revocation through the compiled fast path directly
+// (CompiledAllows on pinned epochs — the uncached route CheckAccess
+// takes on a cache miss) while noise mutators keep the revocation
+// riding shared batches; any pinned epoch at or past the version
+// RemoveMemberAt returned whose bitsets still grant is a stale compiled
+// summary. Companion to TestAttackBatchedRevocationNotDelayed, one
+// layer down. Run with -race.
+func TestAttackStaleCompiledSummary(t *testing.T) {
+	w := attackWorld(t)
+	reg := w.Sys.Registry()
+	ns := w.Sys.Names()
+	for _, g := range []string{"project", "noise"} {
+		if err := reg.AddGroup(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.AddMember("project", "insider"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.CreateNode(secext.NodeSpec{
+		Path: "/fs/plans", Kind: secext.KindFile,
+		ACL:   secext.NewACL(secext.AllowGroup("project", secext.Read)),
+		Class: w.Sys.Lattice().MustClass("organization", "dept-1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	insider := ctxA(t, w, "insider")
+	insiderP, err := reg.Principal("insider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := insiderP.Class()
+
+	// Sanity: the current epoch's compiled bitsets grant through the
+	// group, and the fast path decides the allow — otherwise the race
+	// below would not be exercising compiled state at all.
+	ep0 := ns.Current()
+	if g, ok := ep0.CompiledGrants("/fs/plans", "insider"); !ok || g&secext.Read == 0 {
+		t.Fatalf("compiled summary does not grant pre-revocation (mode %v, ok %v)", g, ok)
+	}
+	if _, decided := ep0.CompiledAllows(insiderP, cls, "/fs/plans", secext.Read); !decided {
+		t.Fatal("compiled fast path undecided pre-revocation")
+	}
+
+	var revokedAt atomic.Uint64
+	stop := make(chan struct{})
+	var wg, wgNoise sync.WaitGroup
+	for m := 0; m < 2; m++ {
+		wgNoise.Add(1)
+		go func(m int) {
+			defer wgNoise.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if m == 0 {
+					reg.AddMember("noise", "mallory")
+					reg.RemoveMember("noise", "mallory")
+				} else {
+					ns.SetACLUnchecked("/fs/churn",
+						secext.NewACL(secext.Allow("victim", secext.Read)))
+				}
+			}
+		}(m)
+	}
+	if _, err := w.Sys.CreateNode(secext.NodeSpec{
+		Path: "/fs/churn", Kind: secext.KindFile,
+		ACL:   secext.NewACL(secext.Allow("victim", secext.Read)),
+		Class: w.Sys.Lattice().MustClass("organization", "dept-1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				ep := ns.Current() // pin BEFORE the probe
+				_, decided := ep.CompiledAllows(insiderP, cls, "/fs/plans", secext.Read)
+				vr := revokedAt.Load()
+				if decided && vr != 0 && ep.Version() >= vr {
+					t.Errorf("stale compiled summary: pinned epoch v%d >= revocation v%d still grants",
+						ep.Version(), vr)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			runtime.Gosched()
+		}
+		v, err := reg.RemoveMemberAt("project", "insider")
+		if err != nil {
+			t.Errorf("revoke membership: %v", err)
+			return
+		}
+		revokedAt.Store(v)
+		// The very next epoch — the one the revoker's returned version
+		// names — must already carry recompiled bitsets that deny.
+		ep := ns.Current()
+		if ep.Version() < v {
+			t.Errorf("RemoveMemberAt returned v%d but published epoch is v%d", v, ep.Version())
+		}
+		if g, ok := ep.CompiledGrants("/fs/plans", "insider"); !ok || g&secext.Read != 0 {
+			t.Errorf("compiled summary still grants at v%d (mode %v, ok %v)", ep.Version(), g, ok)
+		}
+		if _, decided := ep.CompiledAllows(insiderP, cls, "/fs/plans", secext.Read); decided {
+			t.Errorf("compiled fast path still allows at v%d", ep.Version())
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	wgNoise.Wait()
+
+	// End to end, through the monitor: denied.
+	if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); !secext.IsDenied(err) {
+		t.Fatalf("post-revocation check: %v, want denial", err)
+	}
+}

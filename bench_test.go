@@ -827,3 +827,97 @@ func BenchmarkS1OrgMatrix(b *testing.B) {
 		}
 	}
 }
+
+// --- E17: compiled-epoch resolve (uncached check vs warm hit) ---
+
+// e17Names is deepNames with the decision cache disabled, so every
+// CheckData exercises the uncached path the compiled epoch accelerates.
+func e17Names(b testing.TB, depth int) (*core.System, *subject.Context, string) {
+	sys, err := core.NewSystem(core.Options{
+		Levels: []string{"lo"}, DisableAudit: true, DisableDecisionCache: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	listable := acl.New(acl.AllowEveryone(acl.List))
+	path := ""
+	for i := 0; i < depth-1; i++ {
+		path += "/n" + strconv.Itoa(i)
+		if _, err := sys.CreateNode(core.NodeSpec{Path: path, Kind: names.KindDomain, ACL: listable}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	leaf := path + "/leaf"
+	if _, err := sys.CreateNode(core.NodeSpec{
+		Path: leaf, Kind: names.KindFile, ACL: acl.New(acl.AllowEveryone(acl.Read)),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.AddPrincipal("p", "lo"); err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := sys.NewContext("p")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, ctx, leaf
+}
+
+// BenchmarkE17Resolve is the benchmark form of E17's table: the
+// uncached mediated check with the compiled verdict on and off, plus
+// the warm cached hit at the same depth for the band comparison.
+func BenchmarkE17Resolve(b *testing.B) {
+	for _, depth := range []int{2, 8, 32} {
+		sys, ctx, leaf := e17Names(b, depth)
+		b.Run(fmt.Sprintf("depth=%d/uncached-compiled", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.CheckData(ctx, leaf, acl.Read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sys.Names().SetCompiledEpochs(false)
+		b.Run(fmt.Sprintf("depth=%d/uncached-walk", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.CheckData(ctx, leaf, acl.Read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sys.Names().SetCompiledEpochs(true)
+
+		wsys, wctx, wleaf := deepNames(b, depth)
+		if _, err := wsys.CheckData(wctx, wleaf, acl.Read); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("depth=%d/warm-hit", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wsys.CheckData(wctx, wleaf, acl.Read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE17ResolveOnly isolates naming from verification at depth
+// 32: the compiled index probe vs the checked spine walk.
+func BenchmarkE17ResolveOnly(b *testing.B) {
+	sys, ctx, leaf := e17Names(b, 32)
+	ns := sys.Names()
+	b.Run("index-probe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ns.Resolve(ctx, ctx.Class(), leaf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ns.SetCompiledEpochs(false)
+	b.Run("spine-walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ns.Resolve(ctx, ctx.Class(), leaf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

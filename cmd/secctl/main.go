@@ -268,6 +268,15 @@ func runStats(args []string) {
 		lat.P50, lat.P95, lat.P99, lat.Count)
 	fmt.Printf("decision cache: %d hits, %d misses, %d stores, %d invalidations\n",
 		s.Cache.Hits, s.Cache.Misses, s.Cache.Stores, s.Cache.Invalidations)
+	n := s.Names
+	fmt.Printf("epoch v%d: %d publishes, compiled builds %d incremental / %d full / %d reused\n",
+		n.Version, n.Publishes, n.CompiledIncremental, n.CompiledFull, n.CompiledReused)
+	fmt.Printf("compiled view: %d index entries, %d classes, %d registry-sensitive summaries, %s retained (%s if unshared)\n",
+		n.CompiledEntries, n.CompiledDomClasses, n.CompiledSensitive,
+		fmtBytes(n.CompiledRetainedBytes), fmtBytes(n.CompiledRetainedBytesCloned))
+	fmt.Printf("freeze cost p95: index %gns, summaries %gns, bitsets %gns (over %d compiled flushes)\n",
+		n.CompiledIndexBuild.P95, n.CompiledSummaryCompile.P95,
+		n.CompiledVisRecompute.P95, n.CompiledIndexBuild.Count)
 	fmt.Printf("audit: %d decisions (%d allowed, %d denied), %d bypasses, %d dropped from ring\n",
 		s.Audit.Total, s.Audit.Allowed, s.Audit.Denied, s.Audit.Bypassed, s.Audit.Dropped)
 	fmt.Printf("dispatcher admissions: %d admitted, %d rejected\n",
@@ -298,3 +307,15 @@ func runTrace(args []string) {
 }
 
 var _ = names.KindRoot // keep names import for Node alias methods
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

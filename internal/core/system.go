@@ -194,6 +194,7 @@ func NewSystem(opts Options) (*System, error) {
 	s.tel.SetNamesStats(func() telemetry.NamesStats {
 		tr := s.ns.EpochTransitions()
 		bs := s.ns.BatchStats()
+		cs := s.ns.CompiledStats()
 		return telemetry.NamesStats{
 			Version:             s.ns.Version(),
 			Publishes:           s.ns.Publishes(),
@@ -205,6 +206,18 @@ func NewSystem(opts Options) (*System, error) {
 			MaxBatch:            bs.MaxBatch,
 			BatchSize:           bs.Sizes,
 			FlushLatency:        bs.FlushLatency,
+
+			CompiledFull:                cs.Full,
+			CompiledIncremental:         cs.Incremental,
+			CompiledReused:              cs.Reused,
+			CompiledEntries:             cs.Entries,
+			CompiledDomClasses:          cs.DomClasses,
+			CompiledSensitive:           cs.Sensitive,
+			CompiledRetainedBytes:       cs.RetainedBytes,
+			CompiledRetainedBytesCloned: cs.RetainedBytesCloned,
+			CompiledIndexBuild:          cs.IndexBuild,
+			CompiledSummaryCompile:      cs.SummaryCompile,
+			CompiledVisRecompute:        cs.VisRecompute,
 		}
 	})
 

@@ -1,0 +1,144 @@
+package lattice
+
+// This file implements the precomputed dominance table compiled into
+// policy epochs: the distinct classes a decision can mention (node
+// labels, principal default classes) are interned to small dense
+// indices, and the full Dominates relation over them is evaluated once
+// at freeze time into a bit matrix. The MAC check on the compiled read
+// path is then one array word probe instead of a level compare plus a
+// category-subset scan.
+
+// Dominance is an immutable interned-class universe plus the
+// precomputed Dominates bit matrix over it. Build one with a
+// DominanceBuilder; published tables are shared by every reader of an
+// epoch and by successor builders.
+type Dominance struct {
+	classes []Class
+	buckets map[uint64][]int32 // Hash64 -> candidate indices
+	words   []uint64           // row-major bit matrix, stride words per row
+	stride  int
+}
+
+// Len reports the number of interned classes. Nil-safe.
+func (d *Dominance) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.classes)
+}
+
+// Index returns the dense index of c if it is interned. Nil-safe.
+// Hash64 only routes; candidates are confirmed with Equal.
+func (d *Dominance) Index(c Class) (int, bool) {
+	if d == nil || !c.Valid() {
+		return 0, false
+	}
+	for _, i := range d.buckets[c.Hash64()] {
+		if d.classes[i].Equal(c) {
+			return int(i), true
+		}
+	}
+	return 0, false
+}
+
+// Class returns the interned class at index i.
+func (d *Dominance) Class(i int) Class { return d.classes[i] }
+
+// Dominates reports whether class i dominates class j: one word probe
+// into the precomputed matrix. Indices must come from Index/Add.
+func (d *Dominance) Dominates(i, j int) bool {
+	return d.words[i*d.stride+j>>6]&(1<<(uint(j)&63)) != 0
+}
+
+// RetainedBytes reports the heap bytes held by the table's matrix and
+// bucket index (the interned Class headers share lattice-owned bitset
+// words, which are not counted). Nil-safe.
+func (d *Dominance) RetainedBytes() int {
+	if d == nil {
+		return 0
+	}
+	n := cap(d.words) * 8
+	for _, b := range d.buckets {
+		n += cap(b) * 4
+	}
+	return n + cap(d.classes)*48 // approximate Class header footprint
+}
+
+// DominanceBuilder accumulates an interned-class universe, deduping by
+// Equal, and compiles it into a Dominance. The zero value is not
+// usable; construct with NewDominanceBuilder or BuilderFrom.
+type DominanceBuilder struct {
+	classes []Class
+	buckets map[uint64][]int32
+	base    *Dominance // returned unchanged by Build when nothing was added
+}
+
+// NewDominanceBuilder returns an empty builder.
+func NewDominanceBuilder() *DominanceBuilder {
+	return BuilderFrom(nil)
+}
+
+// BuilderFrom returns a builder seeded with d's interned classes, which
+// keep their indices — the incremental freeze path seeds from the
+// parent epoch's table so class indices stay stable and, when no new
+// class appears, Build returns the parent's table untouched. A nil d
+// yields an empty builder.
+func BuilderFrom(d *Dominance) *DominanceBuilder {
+	b := &DominanceBuilder{base: d, buckets: make(map[uint64][]int32, d.Len())}
+	if d != nil {
+		b.classes = append([]Class(nil), d.classes...)
+		for h, idxs := range d.buckets {
+			b.buckets[h] = append([]int32(nil), idxs...)
+		}
+	}
+	return b
+}
+
+// Add interns c and returns its dense index, deduping against every
+// class already added. Invalid (zero) classes are not interned and
+// report -1.
+func (b *DominanceBuilder) Add(c Class) int {
+	if !c.Valid() {
+		return -1
+	}
+	h := c.Hash64()
+	for _, i := range b.buckets[h] {
+		if b.classes[i].Equal(c) {
+			return int(i)
+		}
+	}
+	i := int32(len(b.classes))
+	b.classes = append(b.classes, c)
+	b.buckets[h] = append(b.buckets[h], i)
+	return int(i)
+}
+
+// Len reports the number of classes interned so far.
+func (b *DominanceBuilder) Len() int { return len(b.classes) }
+
+// Build compiles the Dominates bit matrix over the interned universe.
+// If no class was added since BuilderFrom, the seed table is returned
+// as-is (the common steady-state freeze: class universes only grow).
+// The matrix is O(n²) bits in the number of *distinct* classes, which
+// stays small even for huge trees — labels repeat massively.
+func (b *DominanceBuilder) Build() *Dominance {
+	if b.base != nil && len(b.classes) == b.base.Len() {
+		return b.base
+	}
+	n := len(b.classes)
+	d := &Dominance{
+		classes: b.classes,
+		buckets: b.buckets,
+		stride:  (n + 63) / 64,
+	}
+	d.words = make([]uint64, n*d.stride)
+	for i := 0; i < n; i++ {
+		row := d.words[i*d.stride : (i+1)*d.stride]
+		for j := 0; j < n; j++ {
+			if b.classes[i].Dominates(b.classes[j]) {
+				row[j>>6] |= 1 << (uint(j) & 63)
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,159 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testUniverse(t *testing.T) (*Lattice, []Class) {
+	t.Helper()
+	lat, err := NewWithUniverse(
+		[]string{"low", "mid", "high"},
+		[]string{"a", "b", "c", "d"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := []string{"low", "mid", "high"}
+	cats := []string{"a", "b", "c", "d"}
+	var classes []Class
+	for _, lv := range levels {
+		for mask := 0; mask < 1<<len(cats); mask++ {
+			var cs []string
+			for i, c := range cats {
+				if mask&(1<<i) != 0 {
+					cs = append(cs, c)
+				}
+			}
+			classes = append(classes, lat.MustClass(lv, cs...))
+		}
+	}
+	return lat, classes
+}
+
+// TestDominanceMatrixOracle interns a full class universe and checks
+// every matrix cell against Class.Dominates.
+func TestDominanceMatrixOracle(t *testing.T) {
+	_, classes := testUniverse(t)
+	b := NewDominanceBuilder()
+	idx := make([]int, len(classes))
+	for i, c := range classes {
+		idx[i] = b.Add(c)
+	}
+	// Re-adding dedups to the same index.
+	for i, c := range classes {
+		if got := b.Add(c); got != idx[i] {
+			t.Fatalf("re-Add(%s) = %d, want %d", c, got, idx[i])
+		}
+	}
+	if b.Len() != len(classes) {
+		t.Fatalf("builder holds %d classes, want %d", b.Len(), len(classes))
+	}
+	d := b.Build()
+	if d.Len() != len(classes) {
+		t.Fatalf("table holds %d classes, want %d", d.Len(), len(classes))
+	}
+	for i, ci := range classes {
+		gi, ok := d.Index(ci)
+		if !ok || gi != idx[i] {
+			t.Fatalf("Index(%s) = %d,%v, want %d,true", ci, gi, ok, idx[i])
+		}
+		if !d.Class(gi).Equal(ci) {
+			t.Fatalf("Class(%d) != %s", gi, ci)
+		}
+		for j, cj := range classes {
+			if got, want := d.Dominates(idx[i], idx[j]), ci.Dominates(cj); got != want {
+				t.Fatalf("Dominates(%s, %s) = %v, oracle %v", ci, cj, got, want)
+			}
+		}
+	}
+	if d.RetainedBytes() <= 0 {
+		t.Fatal("table retains no bytes")
+	}
+}
+
+func TestDominanceInvalidAndUnknown(t *testing.T) {
+	lat, _ := testUniverse(t)
+	b := NewDominanceBuilder()
+	if b.Add(Class{}) != -1 {
+		t.Fatal("invalid class interned")
+	}
+	d := b.Build()
+	if _, ok := d.Index(Class{}); ok {
+		t.Fatal("invalid class resolved")
+	}
+	if _, ok := d.Index(lat.MustClass("low")); ok {
+		t.Fatal("unknown class resolved in empty table")
+	}
+	var nilTable *Dominance
+	if nilTable.Len() != 0 || nilTable.RetainedBytes() != 0 {
+		t.Fatal("nil table not empty")
+	}
+	if _, ok := nilTable.Index(lat.MustClass("low")); ok {
+		t.Fatal("nil table resolved a class")
+	}
+}
+
+// TestBuilderFromKeepsIndicesAndReuses checks the incremental seeding
+// contract: seeded classes keep their indices, an unchanged builder
+// returns the seed table itself, and a grown table still matches the
+// oracle everywhere (including across the old/new boundary).
+func TestBuilderFromKeepsIndicesAndReuses(t *testing.T) {
+	_, classes := testUniverse(t)
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(classes), func(i, j int) { classes[i], classes[j] = classes[j], classes[i] })
+
+	first := classes[:10]
+	b := NewDominanceBuilder()
+	for _, c := range first {
+		b.Add(c)
+	}
+	d1 := b.Build()
+
+	// No additions: Build must hand back the very same table.
+	if d2 := BuilderFrom(d1).Build(); d2 != d1 {
+		t.Fatal("unchanged builder rebuilt the table")
+	}
+	// Re-adding only known classes is still "no additions".
+	b2 := BuilderFrom(d1)
+	for _, c := range first {
+		b2.Add(c)
+	}
+	if d2 := b2.Build(); d2 != d1 {
+		t.Fatal("dedup-only additions rebuilt the table")
+	}
+
+	// Grow: old classes keep indices, every pair still matches.
+	b3 := BuilderFrom(d1)
+	for _, c := range classes[:20] {
+		b3.Add(c)
+	}
+	d3 := b3.Build()
+	if d3 == d1 || d3.Len() != 20 {
+		t.Fatalf("grown table wrong: len=%d", d3.Len())
+	}
+	for i, c := range first {
+		gi, ok := d3.Index(c)
+		if !ok || gi != i {
+			t.Fatalf("seeded class %s moved: %d,%v want %d", c, gi, ok, i)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if got, want := d3.Dominates(i, j), classes[i].Dominates(classes[j]); got != want {
+				t.Fatalf("grown Dominates(%d,%d) = %v, oracle %v", i, j, got, want)
+			}
+		}
+	}
+	// The seed table is untouched by the grown builder.
+	if d1.Len() != 10 {
+		t.Fatal("seed table mutated")
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if got, want := d1.Dominates(i, j), classes[i].Dominates(classes[j]); got != want {
+				t.Fatalf("seed Dominates(%d,%d) changed", i, j)
+			}
+		}
+	}
+}

@@ -61,3 +61,17 @@ func (*Guard) Check(r monitor.Request) monitor.Verdict {
 func disjunction(m acl.Mode) string {
 	return strings.ReplaceAll(m.String(), ",", " or ")
 }
+
+// Allows is the compiled form of Check's OpAccess/OpTraverse verdict:
+// the same decision Check renders by ACL entry iteration, answered from
+// a freeze-time Summary with a few bitset probes. pid is the subject's
+// dense principal ID in the registry the summary was compiled against.
+// Callers (the epoch fast path) handle the ops Check passes through
+// (OpCreate/OpRelabel/OpAdmit) before consulting summaries; the
+// existing Check remains the oracle the fast path is tested against.
+func Allows(sum *acl.Summary, pid int, modes, anyOf acl.Mode) bool {
+	if anyOf != 0 {
+		return sum.Granted(pid)&anyOf != 0
+	}
+	return sum.Grants(pid, modes)
+}

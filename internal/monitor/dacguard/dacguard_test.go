@@ -63,3 +63,76 @@ func TestName(t *testing.T) {
 		t.Fatal("name changed; verdict attribution depends on it")
 	}
 }
+
+// idResolver maps a fixed principal list and flat groups onto dense
+// IDs; it doubles as the acl.Membership for the oracle side.
+type idResolver struct {
+	ids    map[string]int
+	groups map[string][]string
+}
+
+func (r *idResolver) PrincipalID(name string) (int, bool) {
+	id, ok := r.ids[name]
+	return id, ok
+}
+
+func (r *idResolver) GroupPrincipalIDs(group string) []uint64 {
+	var s acl.IDSet
+	for _, m := range r.groups[group] {
+		if id, ok := r.ids[m]; ok {
+			for len(s) <= id/64 {
+				s = append(s, 0)
+			}
+			s[id/64] |= 1 << uint(id%64)
+		}
+	}
+	return s
+}
+
+func (r *idResolver) NumPrincipalIDs() int { return len(r.ids) }
+
+func (r *idResolver) IsMember(subject, group string) bool {
+	for _, m := range r.groups[group] {
+		if m == subject {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAllowsMatchesCheck cross-checks the compiled Allows verdict
+// against the guard's Check over every mode subset, both conjunctive
+// and disjunctive, for subjects hit by principal, group, everyone, and
+// deny entries.
+func TestAllowsMatchesCheck(t *testing.T) {
+	g := New()
+	r := &idResolver{
+		ids:    map[string]int{"p": 0, "q": 1, "z": 2},
+		groups: map[string][]string{"staff": {"q", "z"}},
+	}
+	a := acl.New(
+		acl.Allow("p", acl.Read|acl.Write),
+		acl.AllowGroup("staff", acl.Read|acl.List),
+		acl.AllowEveryone(acl.Execute),
+		acl.Deny("z", acl.Read),
+		acl.DenyEveryone(acl.Delete),
+	)
+	sum := a.Compile(r)
+	for name, id := range r.ids {
+		s := sub(name)
+		for want := acl.Mode(0); want <= acl.AllModes; want++ {
+			rq := monitor.Request{
+				Subject: s,
+				Object:  monitor.Object{Path: "/obj", ACL: a},
+				Modes:   want, Members: r, Op: monitor.OpAccess,
+			}
+			if got, oracle := Allows(sum, id, want, 0), g.Check(rq).Allow; got != oracle {
+				t.Fatalf("Allows(%s, %s) = %v, Check = %v", name, want, got, oracle)
+			}
+			rq.AnyOf = want
+			if got, oracle := Allows(sum, id, want, want), g.Check(rq).Allow; got != oracle {
+				t.Fatalf("Allows anyOf(%s, %s) = %v, Check = %v", name, want, got, oracle)
+			}
+		}
+	}
+}

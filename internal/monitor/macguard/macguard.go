@@ -99,3 +99,27 @@ func flow(subject, object lattice.Class, modes acl.Mode) monitor.Verdict {
 	}
 	return monitor.Allow()
 }
+
+// FlowAllows is the boolean form of the default-op flow decision: true
+// exactly when Check on an OpAccess/OpTraverse request with these
+// classes and modes would allow. The epoch fast path uses it when one
+// of the classes is not interned in the compiled dominance table; the
+// denial reasons stay the walk path's business.
+func FlowAllows(subject, object lattice.Class, modes acl.Mode) bool {
+	return flow(subject, object, modes).Allow
+}
+
+// FlowAllowsInterned is FlowAllows over a precomputed dominance table:
+// both classes are dense indices from d, so each direction of the flow
+// test is a single matrix word probe.
+func FlowAllowsInterned(d *lattice.Dominance, subj, obj int, modes acl.Mode) bool {
+	const readGroup = acl.Read | acl.List | acl.Execute | acl.Extend
+	const writeGroup = acl.Write | acl.Delete | acl.Administrate
+	if modes&readGroup != 0 && !d.Dominates(subj, obj) {
+		return false
+	}
+	if modes&(writeGroup|acl.WriteAppend) != 0 && !d.Dominates(obj, subj) {
+		return false
+	}
+	return true
+}

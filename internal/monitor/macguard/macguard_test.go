@@ -121,3 +121,49 @@ func TestAdmit(t *testing.T) {
 		t.Errorf("dominated caller admitted: %+v", v)
 	}
 }
+
+// TestFlowAllowsMatchesCheck cross-checks the boolean and interned
+// flow helpers against the guard's Check verdict for every class pair
+// and every mode subset of the default (OpAccess) rule.
+func TestFlowAllowsMatchesCheck(t *testing.T) {
+	g := New()
+	lat, err := lattice.NewWithUniverse(
+		[]string{"low", "high"},
+		[]string{"a", "b"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var classes []lattice.Class
+	for _, lv := range []string{"low", "high"} {
+		for _, cs := range [][]string{nil, {"a"}, {"b"}, {"a", "b"}} {
+			classes = append(classes, lat.MustClass(lv, cs...))
+		}
+	}
+	b := lattice.NewDominanceBuilder()
+	for _, c := range classes {
+		b.Add(c)
+	}
+	dom := b.Build()
+
+	for i, subj := range classes {
+		for j, obj := range classes {
+			for modes := acl.Mode(0); modes <= acl.AllModes; modes++ {
+				rq := monitor.Request{
+					Class:  subj,
+					Object: monitor.Object{Path: "/obj", Class: obj},
+					Modes:  modes, Op: monitor.OpAccess,
+				}
+				oracle := g.Check(rq).Allow
+				if got := FlowAllows(subj, obj, modes); got != oracle {
+					t.Fatalf("FlowAllows(%s, %s, %s) = %v, Check = %v",
+						subj, obj, modes, got, oracle)
+				}
+				if got := FlowAllowsInterned(dom, i, j, modes); got != oracle {
+					t.Fatalf("FlowAllowsInterned(%s, %s, %s) = %v, Check = %v",
+						subj, obj, modes, got, oracle)
+				}
+			}
+		}
+	}
+}

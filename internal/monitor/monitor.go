@@ -264,6 +264,11 @@ func (s *Stack) Cacheable() bool { return s.cacheable }
 // Depth returns the number of guards in this stack.
 func (s *Stack) Depth() int { return len(s.guards) }
 
+// At returns the guard at position i in stack order. The epoch compiler
+// uses it to recognize the default [dac, mac] stack by type, which is
+// what licenses the compiled bitset/dominance fast path.
+func (s *Stack) At(i int) Guard { return s.guards[i] }
+
 // Guards returns the names of the stacked guards, in order.
 func (s *Stack) Guards() []string {
 	out := make([]string, len(s.guards))

@@ -97,6 +97,10 @@ func (s *Server) stageLocked(shard uint8, apply func(*Epoch)) *pendingBatch {
 	if s.staged == nil {
 		cur := *s.epoch.Load()
 		cur.version++
+		// The staged epoch must never serve compiled answers: its tree
+		// diverges from the published index as mutations accumulate.
+		// The flush compiles a fresh view right before the store.
+		cur.compiled = nil
 		s.staged = &cur
 		s.batch = &pendingBatch{
 			done:    make(chan struct{}),
@@ -137,6 +141,15 @@ func (s *Server) flush() {
 		s.writeMu.Unlock()
 		return
 	}
+	// Compile the successor's read-side structures while s.epoch still
+	// holds the parent (compileEpoch builds incrementally from the
+	// parent's compiled view). This is the one deliberate cost the
+	// write path pays for the read path: the freeze-cost split is
+	// recorded below, outside the mutex.
+	var cs compileStats
+	if !s.compiledOff && st.reg != nil {
+		st.compiled, cs = s.compileEpoch(st)
+	}
 	s.staged, s.batch = nil, nil
 	s.epoch.Store(st)
 	s.publishes.Add(1)
@@ -156,6 +169,23 @@ func (s *Server) flush() {
 	// Telemetry outside the mutex: the histograms are lock-free.
 	s.batchSizes.Observe(time.Duration(b.size)) // unit hack: size as ns
 	s.flushLat.Observe(time.Since(b.start))
+	switch cs.kind {
+	case compileFull:
+		s.compFull.Add(1)
+	case compileIncremental:
+		s.compIncr.Add(1)
+	case compileReused:
+		s.compReused.Add(1)
+	}
+	if cs.kind == compileFull || cs.kind == compileIncremental {
+		s.compSummaryNs.Observe(time.Duration(cs.sumNs))
+		s.compVisNs.Observe(time.Duration(cs.visNs))
+		idx := cs.totalNs - cs.sumNs - cs.visNs
+		if idx < 0 {
+			idx = 0
+		}
+		s.compIndexNs.Observe(time.Duration(idx))
+	}
 	for {
 		cur := s.maxBatch.Load()
 		if uint64(b.size) <= cur || s.maxBatch.CompareAndSwap(cur, uint64(b.size)) {

@@ -1,0 +1,711 @@
+package names
+
+import (
+	"sync"
+	"time"
+	"unsafe"
+
+	"secext/internal/acl"
+	"secext/internal/lattice"
+	"secext/internal/monitor"
+	"secext/internal/monitor/dacguard"
+	"secext/internal/monitor/macguard"
+	"secext/internal/telemetry"
+)
+
+// Compiled epochs.
+//
+// Epochs are immutable, so anything computable at freeze time is free
+// at read time. This file compiles three read-side structures into
+// every published epoch (when a registry is attached):
+//
+//   - a flat path→entry hash index over the whole tree, so resolution
+//     is one map probe instead of a per-component spine walk;
+//   - per-node effective-ACL summaries (allow/deny bitsets over dense
+//     principal IDs, group entries flattened through the frozen
+//     registry's transitive-membership bitsets) plus a per-node
+//     traversal-visibility chain (the AND of every strict ancestor's
+//     effective List set and the Join of their classes), so the DAC
+//     side of a check is a few bitset probes with zero entry iteration
+//     and zero per-component work;
+//   - an interned-class dominance table (lattice.Dominance), so the
+//     MAC side is one bit-matrix probe per flow direction.
+//
+// The compiled fast path decides ALLOW only: any miss — unknown path,
+// unregistered subject, a failing probe, a non-default guard stack —
+// falls back to the spine walk, which produces byte-identical errors
+// and remains the oracle the compiled structures are tested against.
+// The security-critical direction is therefore structural: the fast
+// path can never allow what the walk denies unless the compiled
+// bitsets disagree with the ACL/lattice evaluation, which the oracle
+// fuzz (FuzzEpochTransitions) and the guard-level equivalence tests
+// exist to rule out.
+//
+// Builds are incremental: the successor epoch starts from the parent's
+// index (an O(entries) map clone of shared pointers), prunes every
+// subtree whose root pointer, visibility context, and summary validity
+// are unchanged, and recompiles only what moved. A registry transition
+// recompiles only registry-sensitive summaries (group entries or
+// unresolved names); summaries naming only resolved individuals stay
+// valid across registry versions because principal IDs are dense,
+// arrival-ordered, and never reused. A rename lands as a deletion of
+// the old paths plus a fresh compile of the relocated subtree (its
+// nodes and paths are all new), which is the "targeted re-keying" the
+// incremental contract promises.
+
+// centry is one compiled index entry: the node, its compiled ACL, and
+// the precomputed context of every traversal check strictly above it.
+type centry struct {
+	node *Node
+	// sum is the node's ACL compiled against the epoch's registry.
+	sum *acl.Summary
+	// effList is the node's effective List set over principal IDs (nil
+	// for leaves, which have no children to make visible). It is the
+	// input to the children's visibility chain.
+	effList acl.IDSet
+	// visAllow is the AND of every strict ancestor's effList: the
+	// principals for which every traversal DAC check on the way here
+	// passes. visClass is the Join of every strict ancestor's class:
+	// a subject dominates it iff it dominates each ancestor, i.e. iff
+	// every traversal MAC check passes. visIdx is visClass interned in
+	// the epoch's dominance table. hasVis is false only for the root,
+	// which has no strict ancestors (resolution of "/" runs no
+	// traversal checks at all).
+	visAllow acl.IDSet
+	visClass lattice.Class
+	objIdx   int32
+	// sensIdx is this entry's slot in the compiled view's sens/sums
+	// pair when sum is registry-sensitive, -1 otherwise. Sensitive
+	// summaries are read through compiled.sumOf, never through sum
+	// directly: a registry-only transition republishes just the sums
+	// slice and shares the entry (and the whole index) wholesale, so
+	// sum holds the summary from the build that created the entry,
+	// which may be older than the epoch's.
+	sensIdx int32
+	visIdx  int32
+	hasVis  bool
+}
+
+// retainedMem caches the lazily computed retained-bytes accounting of
+// one compiled view (it is a pointer member so the compiled struct
+// stays shallow-copyable).
+type retainedMem struct {
+	once   sync.Once
+	dedup  int64
+	cloned int64
+}
+
+// compiled is the read-side compilation of one epoch. It is immutable
+// after the flush that built it publishes.
+type compiled struct {
+	index map[string]*centry
+	dom   *lattice.Dominance
+	// fast records whether the epoch's guard stack is exactly the
+	// default [dac, mac] pair, whose OpAccess/OpTraverse semantics the
+	// summaries and dominance table reproduce. Any other stack keeps
+	// the index for unchecked resolution but routes every decision
+	// through the walk.
+	fast bool
+	// n is the principal-ID space size the bitsets were materialized
+	// over; sensitive counts live registry-sensitive summaries.
+	n         int
+	sensitive int
+	// sens/sums hold the registry-sensitive entries and their CURRENT
+	// summaries: entry sens[i] (with sensIdx == i) is judged by
+	// sums[i]. A registry-only transition clones sums — O(sensitive) —
+	// and shares index, sens, and every entry with the parent view. A
+	// nil slot is dead: a later tree build replaced or deleted its
+	// entry. Slots are append-only (shared entries pin their indices),
+	// so dead slots accumulate under ACL churn on sensitive nodes;
+	// when they outnumber live ones the flush forces a full rebuild,
+	// which resets both slices.
+	sens []*centry
+	sums []*acl.Summary
+	dead int
+	ret  *retainedMem
+}
+
+// sumOf resolves e's current summary in this compiled view.
+func (c *compiled) sumOf(e *centry) *acl.Summary {
+	if e.sensIdx >= 0 {
+		return c.sums[e.sensIdx]
+	}
+	return e.sum
+}
+
+// compileKind classifies how a flush obtained its compiled view.
+type compileKind uint8
+
+const (
+	compileNone compileKind = iota
+	compileFull
+	compileIncremental
+	compileReused
+)
+
+// compileStats is the freeze-cost split one flush reports: total build
+// time, the share spent compiling ACL summaries, and the share spent
+// recomputing effective/visibility bitsets.
+type compileStats struct {
+	kind    compileKind
+	totalNs int64
+	sumNs   int64
+	visNs   int64
+}
+
+// fastStack reports whether st is exactly the default [dac, mac]
+// stack the compiled fast path models.
+func fastStack(st *monitor.Stack) bool {
+	if st.Depth() != 2 {
+		return false
+	}
+	_, dacOK := st.At(0).(*dacguard.Guard)
+	_, macOK := st.At(1).(*macguard.Guard)
+	return dacOK && macOK
+}
+
+// visCtx is the accumulated traversal context above the node being
+// compiled; the zero value (has == false) is the root's context.
+type visCtx struct {
+	allow acl.IDSet
+	cls   lattice.Class
+	has   bool
+}
+
+// compileBuilder carries one build/patch pass over the tree.
+type compileBuilder struct {
+	st   *Epoch    // the staged successor epoch being compiled
+	prev *compiled // parent epoch's compiled view; nil = full build
+	// regInvalid marks that the registry moved in a way that can
+	// change verdicts of sensitive summaries (any sensitive summary
+	// exists, or the ID space grew): pointer-equality pruning is then
+	// unsound and every entry must be revisited. nChanged narrows it:
+	// materialized bitsets (effList, visAllow) cover a stale ID range
+	// and must be rebuilt even where summaries are reusable.
+	regInvalid bool
+	nChanged   bool
+	n          int
+	dom        *lattice.DominanceBuilder
+	index      map[string]*centry
+	sensitive  int
+	sens       []*centry
+	sums       []*acl.Summary
+	dead       int
+	sumNs      int64
+	visNs      int64
+}
+
+// killSlot retires e's sens/sums slot when e is replaced or deleted.
+// The identity guard makes repeated kills (e.g. a stale-entry
+// overwrite followed by a subtree delete) idempotent.
+func (b *compileBuilder) killSlot(e *centry) {
+	if e.sensIdx >= 0 && b.sens[e.sensIdx] == e {
+		b.sens[e.sensIdx] = nil
+		b.sums[e.sensIdx] = nil
+		b.sensitive--
+		b.dead++
+	}
+}
+
+// walk compiles node (at node.path) given old, the node published at
+// the same path in the parent epoch (nil if the path is new), and the
+// traversal context accumulated above it. visChanged reports whether
+// that context differs from the one the parent's compile used.
+func (b *compileBuilder) walk(node, old *Node, vis visCtx, visChanged bool) {
+	if old == node && !visChanged && !b.regInvalid {
+		// The whole subtree is shared with the parent epoch and every
+		// compiled entry under it is still valid: the cloned index
+		// already carries them.
+		return
+	}
+	var oldE *centry
+	if b.prev != nil {
+		if e, ok := b.prev.index[node.path]; ok && e.node == old {
+			oldE = e
+		}
+	}
+	if stale, ok := b.index[node.path]; ok {
+		b.killSlot(stale) // entry being replaced (or re-keyed over)
+	}
+
+	// ACL summary: reuse the parent's current summary when the node
+	// shares the ACL value and the registry transition cannot have
+	// changed its verdicts (non-sensitive summaries survive any
+	// transition — principal IDs are append-only).
+	sum := (*acl.Summary)(nil)
+	if oldE != nil && oldE.node.acl == node.acl && !(b.regInvalid && oldE.sum.RegSensitive()) {
+		sum = b.prev.sumOf(oldE)
+	}
+	if sum == nil {
+		t0 := time.Now()
+		sum = node.acl.Compile(b.st.reg)
+		b.sumNs += time.Since(t0).Nanoseconds()
+	}
+
+	// Effective List set (non-leaves only): the children's visibility
+	// input. Recompute when the summary changed or the ID space grew;
+	// if the recomputed set is equal to the parent's, adopt the old
+	// pointer so the children's pruning and sharing survive.
+	var effList acl.IDSet
+	if len(node.children) > 0 {
+		// Reuse requires the old node to have had children: a leaf's
+		// entry skipped the computation, and its nil is "not computed",
+		// not "nobody holds List".
+		if oldE != nil && sum == b.prev.sumOf(oldE) && !b.nChanged && len(oldE.node.children) > 0 {
+			effList = oldE.effList
+		} else {
+			t0 := time.Now()
+			effList = sum.EffectiveIDs(acl.List, b.n)
+			if oldE != nil && effList.Equal(oldE.effList) {
+				effList = oldE.effList
+			}
+			b.visNs += time.Since(t0).Nanoseconds()
+		}
+	}
+
+	e := &centry{
+		node:    node,
+		sum:     sum,
+		effList: effList,
+		objIdx:  int32(b.dom.Add(node.class)),
+		sensIdx: -1,
+		visIdx:  -1,
+	}
+	if sum.RegSensitive() {
+		e.sensIdx = int32(len(b.sens))
+		b.sens = append(b.sens, e)
+		b.sums = append(b.sums, sum)
+		b.sensitive++
+	}
+	if vis.has {
+		e.hasVis = true
+		if !visChanged && oldE != nil && oldE.hasVis {
+			// Context unchanged: keep the parent's pointers so the
+			// chain stays shared across epochs.
+			e.visAllow, e.visClass, e.visIdx = oldE.visAllow, oldE.visClass, oldE.visIdx
+		} else {
+			e.visAllow, e.visClass = vis.allow, vis.cls
+			e.visIdx = int32(b.dom.Add(vis.cls))
+		}
+	}
+	b.index[node.path] = e
+
+	if len(node.children) > 0 {
+		var childVis visCtx
+		if !vis.has {
+			childVis = visCtx{allow: effList, cls: node.class, has: true}
+		} else {
+			childVis = visCtx{allow: vis.allow.And(effList), cls: vis.cls.Join(node.class), has: true}
+		}
+		childChanged := visChanged || oldE == nil || !sameIDSet(effList, oldE.effList)
+		for name, child := range node.children {
+			var oldChild *Node
+			if old != nil {
+				oldChild = old.children[name]
+			}
+			b.walk(child, oldChild, childVis, childChanged)
+		}
+	}
+	if old != nil {
+		for name, oldChild := range old.children {
+			if _, ok := node.children[name]; !ok {
+				b.deleteSubtree(oldChild)
+			}
+		}
+	}
+}
+
+// sameIDSet reports slice identity (same backing array and length) —
+// the sharing invariant the incremental build maintains: an unchanged
+// effList keeps the parent epoch's pointer, so identity ⟺ unchanged.
+func sameIDSet(a, b acl.IDSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// deleteSubtree removes the compiled entries of a subtree that is no
+// longer bound at its old paths (unbind, or the detach side of a
+// rename — the re-key of the incremental contract).
+func (b *compileBuilder) deleteSubtree(n *Node) {
+	if e, ok := b.index[n.path]; ok && e.node == n {
+		b.killSlot(e)
+		delete(b.index, n.path)
+	}
+	for _, c := range n.children {
+		b.deleteSubtree(c)
+	}
+}
+
+// compileEpoch builds the staged epoch's compiled view. Caller holds
+// writeMu and has not yet stored st, so s.epoch.Load() is still the
+// parent epoch. st.reg is non-nil (checked by the flush).
+func (s *Server) compileEpoch(st *Epoch) (*compiled, compileStats) {
+	prev := s.epoch.Load()
+	prevC := prev.compiled
+	n := st.reg.NumPrincipalIDs()
+	start := time.Now()
+
+	// Sensitive slots are append-only across incremental builds, so a
+	// long unbind-heavy history accumulates dead (nil) slots that every
+	// registry patch clone still pays for. Once the dead slots outnumber
+	// the live ones (plus slack), force a full rebuild to reset the
+	// slices.
+	if prevC != nil && prevC.dead > prevC.sensitive+64 {
+		prevC = nil
+	}
+
+	if prevC != nil {
+		regChanged := st.reg != prev.reg
+		regInvalid := regChanged && (prevC.sensitive > 0 || n != prevC.n)
+		if st.root == prev.root && !regInvalid {
+			// Nothing the compiled structures depend on moved (a pure
+			// lattice/stack/traversal transition, or a registry
+			// transition no summary is sensitive to). Reuse wholesale;
+			// only the fast flag can differ, and it is the one scalar
+			// field, so a shallow copy suffices.
+			if fast := fastStack(st.stack); fast != prevC.fast {
+				c := *prevC
+				c.fast = fast
+				return &c, compileStats{kind: compileReused, totalNs: time.Since(start).Nanoseconds()}
+			}
+			return prevC, compileStats{kind: compileReused, totalNs: time.Since(start).Nanoseconds()}
+		}
+		if st.root == prev.root && n == prevC.n {
+			// Pure registry transition over an unchanged tree with an
+			// unchanged ID space: only registry-sensitive summaries can
+			// have changed verdicts, so patch those entries instead of
+			// walking the tree. Bails (ok == false) when a sensitive
+			// interior node's effective-List set changed value, because
+			// then descendant visibility chains are stale too.
+			if c, cs, ok := patchRegistrySummaries(st, prevC, start); ok {
+				return c, cs
+			}
+		}
+		b := &compileBuilder{
+			st: st, prev: prevC,
+			regInvalid: regInvalid, nChanged: n != prevC.n, n: n,
+			dom:       lattice.BuilderFrom(prevC.dom),
+			index:     make(map[string]*centry, len(prevC.index)),
+			sensitive: prevC.sensitive,
+			sens:      append([]*centry(nil), prevC.sens...),
+			sums:      append([]*acl.Summary(nil), prevC.sums...),
+			dead:      prevC.dead,
+		}
+		// Start from the parent's entries (shared pointers; O(entries)
+		// map clone — the honest cost of the incremental path, see
+		// CompiledStats) and patch what moved.
+		for k, v := range prevC.index {
+			b.index[k] = v
+		}
+		b.walk(st.root, prev.root, visCtx{}, false)
+		c := &compiled{
+			index: b.index, dom: b.dom.Build(), fast: fastStack(st.stack),
+			n: n, sensitive: b.sensitive,
+			sens: b.sens, sums: b.sums, dead: b.dead,
+			ret: &retainedMem{},
+		}
+		return c, compileStats{
+			kind: compileIncremental, totalNs: time.Since(start).Nanoseconds(),
+			sumNs: b.sumNs, visNs: b.visNs,
+		}
+	}
+
+	b := &compileBuilder{
+		st: st, n: n,
+		dom:   lattice.NewDominanceBuilder(),
+		index: make(map[string]*centry, 64),
+	}
+	b.walk(st.root, nil, visCtx{}, false)
+	c := &compiled{
+		index: b.index, dom: b.dom.Build(), fast: fastStack(st.stack),
+		n: n, sensitive: b.sensitive,
+		sens: b.sens, sums: b.sums, dead: b.dead,
+		ret: &retainedMem{},
+	}
+	return c, compileStats{
+		kind: compileFull, totalNs: time.Since(start).Nanoseconds(),
+		sumNs: b.sumNs, visNs: b.visNs,
+	}
+}
+
+// patchRegistrySummaries compiles a registry-only transition (same
+// tree root, same principal-ID count) by recompiling just the
+// registry-sensitive summaries into a cloned sums slice. Everything
+// else — the path index, entries, visibility chains, the dominance
+// table — is shared wholesale with the parent's compiled view:
+// membership churn cannot move nodes, intern new classes, or resize
+// bitsets, and sensitive entries read their summary through sumOf, so
+// versioning the O(sensitive) slice is enough. The one case it cannot
+// patch is a sensitive *interior* node whose effective-List set
+// changed value (the churn revoked or granted List somewhere):
+// descendant visibility chains are then stale, and the caller falls
+// back to the full incremental walk. RegSensitive is a property of the
+// ACL's shape, not of the registry, so the sensitive count carries
+// over unchanged.
+func patchRegistrySummaries(st *Epoch, prevC *compiled, start time.Time) (*compiled, compileStats, bool) {
+	var sumNs, visNs int64
+	sums := append([]*acl.Summary(nil), prevC.sums...)
+	for i, e := range prevC.sens {
+		if e == nil {
+			continue // dead slot (unbound node)
+		}
+		t0 := time.Now()
+		s := e.node.acl.Compile(st.reg)
+		sumNs += time.Since(t0).Nanoseconds()
+		if len(e.node.children) > 0 {
+			t0 = time.Now()
+			eff := s.EffectiveIDs(acl.List, prevC.n)
+			visNs += time.Since(t0).Nanoseconds()
+			if !eff.Equal(e.effList) {
+				return nil, compileStats{}, false
+			}
+			// Value-equal: descendant chains built from the old
+			// effList pointer are still correct.
+		}
+		sums[i] = s
+	}
+	c := &compiled{
+		index: prevC.index, dom: prevC.dom, fast: fastStack(st.stack),
+		n: prevC.n, sensitive: prevC.sensitive,
+		sens: prevC.sens, sums: sums, dead: prevC.dead,
+		ret: &retainedMem{},
+	}
+	return c, compileStats{
+		kind: compileIncremental, totalNs: time.Since(start).Nanoseconds(),
+		sumNs: sumNs, visNs: visNs,
+	}, true
+}
+
+// fastCheck answers CheckAccess's resolve+verify from the compiled
+// structures alone: index probe, visibility bitset tests, summary
+// probe, dominance probe. It decides ALLOW only — ok == false means
+// "take the walk", which re-derives denials and structural errors with
+// byte-identical error values.
+func (ep *Epoch) fastCheck(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, bool) {
+	c := ep.compiled
+	if c == nil || !c.fast || sub == nil {
+		return nil, false
+	}
+	e, ok := c.index[path]
+	if !ok {
+		return nil, false
+	}
+	pid, ok := ep.reg.PrincipalID(sub.SubjectName())
+	if !ok {
+		return nil, false
+	}
+	sIdx, sOK := c.dom.Index(class)
+	if ep.traversal && e.hasVis {
+		if !e.visAllow.Has(pid) {
+			return nil, false
+		}
+		// A zero visClass (an unclassed or cross-lattice ancestor
+		// collapsed the Join) is never interned and CanRead of it is
+		// false for every subject, so both arms bail — matching the
+		// walk, which denies at such an ancestor.
+		if sOK && e.visIdx >= 0 {
+			if !c.dom.Dominates(sIdx, int(e.visIdx)) {
+				return nil, false
+			}
+		} else if !class.CanRead(e.visClass) {
+			return nil, false
+		}
+	}
+	if !c.sumOf(e).Grants(pid, modes) {
+		return nil, false
+	}
+	if sOK && e.objIdx >= 0 {
+		if !macguard.FlowAllowsInterned(c.dom, sIdx, int(e.objIdx), modes) {
+			return nil, false
+		}
+	} else if !macguard.FlowAllows(class, e.node.class, modes) {
+		return nil, false
+	}
+	return e.node, true
+}
+
+// fastResolve answers resolveIn from the index: a bare probe for
+// unchecked resolution, the precomputed visibility chain for checked.
+// Like fastCheck it decides success only.
+func (ep *Epoch) fastResolve(sub acl.Subject, class lattice.Class, path string, checked bool) (*Node, bool) {
+	c := ep.compiled
+	if c == nil {
+		return nil, false
+	}
+	if !checked || !ep.traversal {
+		if e, ok := c.index[path]; ok {
+			return e.node, true
+		}
+		return nil, false
+	}
+	if !c.fast || sub == nil {
+		return nil, false
+	}
+	e, ok := c.index[path]
+	if !ok {
+		return nil, false
+	}
+	if !e.hasVis {
+		return e.node, true // the root: no traversal checks apply
+	}
+	pid, ok := ep.reg.PrincipalID(sub.SubjectName())
+	if !ok || !e.visAllow.Has(pid) {
+		return nil, false
+	}
+	if sIdx, sOK := c.dom.Index(class); sOK && e.visIdx >= 0 {
+		if !c.dom.Dominates(sIdx, int(e.visIdx)) {
+			return nil, false
+		}
+	} else if !class.CanRead(e.visClass) {
+		return nil, false
+	}
+	return e.node, true
+}
+
+// Compiled reports whether this epoch carries compiled read-side
+// structures (a registry is attached and compilation is enabled).
+func (ep *Epoch) Compiled() bool { return ep.compiled != nil }
+
+// CompiledResolve probes the epoch's path index with no checks. ok is
+// false when the epoch is not compiled or the path is unbound; tests
+// and experiments use it to compare the probe against the spine walk.
+func (ep *Epoch) CompiledResolve(path string) (*Node, bool) {
+	if ep.compiled == nil {
+		return nil, false
+	}
+	e, ok := ep.compiled.index[path]
+	if !ok {
+		return nil, false
+	}
+	return e.node, true
+}
+
+// CompiledAllows runs the compiled fast check: decided is true only
+// for a full allow (resolution visibility, DAC summary, and MAC
+// dominance all pass); any other outcome reports decided == false and
+// the caller must take the walk. The oracle fuzz asserts decided
+// allows agree with the walk everywhere.
+func (ep *Epoch) CompiledAllows(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (n *Node, decided bool) {
+	return ep.fastCheck(sub, class, path, modes)
+}
+
+// CompiledGrants returns the compiled effective mode set of the named
+// subject on the node at path — the Summary form of GrantedIn. ok is
+// false when the epoch is not compiled, the path is unbound, or the
+// subject has no principal ID.
+func (ep *Epoch) CompiledGrants(path, subject string) (acl.Mode, bool) {
+	if ep.compiled == nil {
+		return 0, false
+	}
+	e, ok := ep.compiled.index[path]
+	if !ok {
+		return 0, false
+	}
+	pid, ok := ep.reg.PrincipalID(subject)
+	if !ok {
+		return 0, false
+	}
+	return ep.compiled.sumOf(e).Granted(pid), true
+}
+
+// CompiledStats is the compiled-epoch telemetry: how flushes obtained
+// their compiled views, the freeze-cost split, and what the CURRENT
+// epoch's view holds and retains. RetainedBytes counts structures
+// shared across entries and epochs once (what this epoch actually
+// pins); RetainedBytesCloned prices every use site separately — the
+// honest upper bound showing what structural sharing saves. Both are
+// estimates (map internals are approximated by slot size).
+type CompiledStats struct {
+	Full        uint64
+	Incremental uint64
+	Reused      uint64
+
+	Entries             int
+	DomClasses          int
+	Sensitive           int
+	RetainedBytes       int64
+	RetainedBytesCloned int64
+
+	IndexBuild     telemetry.HistSnapshot
+	SummaryCompile telemetry.HistSnapshot
+	VisRecompute   telemetry.HistSnapshot
+}
+
+// CompiledStats returns the compiled-epoch counters, the freeze-cost
+// split histograms, and the current epoch's compiled footprint.
+func (s *Server) CompiledStats() CompiledStats {
+	st := CompiledStats{
+		Full:           s.compFull.Load(),
+		Incremental:    s.compIncr.Load(),
+		Reused:         s.compReused.Load(),
+		IndexBuild:     s.compIndexNs.Snapshot(),
+		SummaryCompile: s.compSummaryNs.Snapshot(),
+		VisRecompute:   s.compVisNs.Snapshot(),
+	}
+	if c := s.epoch.Load().compiled; c != nil {
+		st.Entries = len(c.index)
+		st.DomClasses = c.dom.Len()
+		st.Sensitive = c.sensitive
+		st.RetainedBytes, st.RetainedBytesCloned = c.retainedBytes()
+	}
+	return st
+}
+
+// retainedBytes computes (once, lazily — compiled views are immutable
+// so any goroutine may trigger it) the heap bytes the compiled view
+// retains. dedup counts shared structures once, the honest number for
+// "what does this epoch pin"; cloned counts them at every use site, an
+// upper bound showing what sharing saves (summaries are shared across
+// epochs and entries, visibility chains across siblings).
+func (c *compiled) retainedBytes() (dedup, cloned int64) {
+	c.ret.once.Do(func() {
+		seenSum := make(map[*acl.Summary]bool)
+		seenSet := make(map[*uint64]bool)
+		addSet := func(s acl.IDSet) {
+			if len(s) == 0 {
+				return
+			}
+			c.ret.cloned += int64(cap(s)) * 8
+			if head := &s[0]; !seenSet[head] {
+				seenSet[head] = true
+				c.ret.dedup += int64(cap(s)) * 8
+			}
+		}
+		entrySize := int64(unsafe.Sizeof(centry{}))
+		for path, e := range c.index {
+			// Map slot: key header + bytes, value pointer, entry.
+			slot := int64(len(path)) + 16 + 8 + entrySize
+			c.ret.dedup += slot
+			c.ret.cloned += slot
+			sum := c.sumOf(e)
+			if !seenSum[sum] {
+				seenSum[sum] = true
+				c.ret.dedup += int64(sum.RetainedBytes())
+			}
+			c.ret.cloned += int64(sum.RetainedBytes())
+			addSet(e.effList)
+			addSet(e.visAllow)
+		}
+		// The sensitive-slot slices: pointer pairs, plus any build-time
+		// summary a patched entry still pins via e.sum (the entry keeps
+		// its construction-time pointer; the live one lives in sums).
+		slots := int64(cap(c.sens)+cap(c.sums)) * 8
+		c.ret.dedup += slots
+		c.ret.cloned += slots
+		for _, e := range c.sens {
+			if e == nil {
+				continue
+			}
+			if !seenSum[e.sum] {
+				seenSum[e.sum] = true
+				c.ret.dedup += int64(e.sum.RetainedBytes())
+			}
+		}
+		dom := int64(c.dom.RetainedBytes())
+		c.ret.dedup += dom
+		c.ret.cloned += dom
+	})
+	return c.ret.dedup, c.ret.cloned
+}

@@ -1,0 +1,428 @@
+package names
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"secext/internal/acl"
+	"secext/internal/lattice"
+	"secext/internal/monitor"
+	"secext/internal/monitor/dacguard"
+	"secext/internal/principal"
+)
+
+// walkOnly returns a shadow of ep with the compiled view stripped, so
+// resolveIn/checkAccessIn against it exercise the spine walk alone.
+// The shadow shares every shard with ep, making it the oracle the
+// compiled answers must agree with.
+func walkOnly(ep *Epoch) *Epoch {
+	sh := *ep
+	sh.compiled = nil
+	return &sh
+}
+
+var equivModes = []acl.Mode{
+	acl.Read, acl.List, acl.Write, acl.Read | acl.Write,
+	acl.Extend, acl.AllModes,
+}
+
+// assertCompiledEquiv asserts the full compiled-vs-walk contract on one
+// pinned epoch: the index is exactly the tree (no missing, no stale
+// entries), compiled summaries render the same effective mode sets as
+// ACL entry iteration, and the fast check never decides an allow the
+// walk denies — and, for registered subjects under the default stack,
+// decides every allow the walk grants.
+func assertCompiledEquiv(t *testing.T, ep *Epoch, subs []fakeSubject, classes []lattice.Class) {
+	t.Helper()
+	if !ep.Compiled() {
+		t.Fatalf("epoch v%d not compiled", ep.Version())
+	}
+	shadow := walkOnly(ep)
+
+	// Index ≡ tree, both directions.
+	tree := make(map[string]*Node)
+	ep.Walk(func(p string, n *Node) { tree[p] = n })
+	for p, n := range tree {
+		got, ok := ep.CompiledResolve(p)
+		if !ok || got != n {
+			t.Errorf("v%d: index missing or wrong at %s (ok=%v)", ep.Version(), p, ok)
+		}
+	}
+	if len(ep.compiled.index) != len(tree) {
+		for p := range ep.compiled.index {
+			if _, ok := tree[p]; !ok {
+				t.Errorf("v%d: stale index entry %s", ep.Version(), p)
+			}
+		}
+	}
+
+	for p, n := range tree {
+		for _, sub := range subs {
+			// Summary verdict ≡ ACL entry iteration, mode set for mode set.
+			if granted, ok := ep.CompiledGrants(p, sub.name); ok {
+				if oracle := n.acl.GrantedIn(sub, ep.members()); granted != oracle {
+					t.Errorf("v%d: %s on %s: summary grants %v, entry iteration %v",
+						ep.Version(), sub.name, p, granted, oracle)
+				}
+			}
+			_, registered := ep.Registry().PrincipalID(sub.name)
+			for _, class := range classes {
+				// Checked resolution through the compiled visibility chain
+				// must agree with the per-ancestor walk, errors included.
+				rn, rerr := resolveIn(ep, sub, class, p, true)
+				wn, werr := resolveIn(shadow, sub, class, p, true)
+				if rn != wn || fmt.Sprint(rerr) != fmt.Sprint(werr) {
+					t.Errorf("v%d: resolve %s as %s: fast (%v,%v) walk (%v,%v)",
+						ep.Version(), p, sub.name, rn, rerr, wn, werr)
+				}
+				for _, modes := range equivModes {
+					fastN, decided := ep.CompiledAllows(sub, class, p, modes)
+					wn, werr := checkAccessIn(shadow, sub, class, p, modes)
+					if decided && (werr != nil || wn != fastN) {
+						t.Errorf("v%d: FAST PATH ALLOWED WHAT WALK DENIES: %s %s %v (walk err %v)",
+							ep.Version(), sub.name, p, modes, werr)
+					}
+					if !decided && werr == nil && registered && ep.compiled.fast {
+						t.Errorf("v%d: fast path undecided on a walk allow: %s %s %v",
+							ep.Version(), sub.name, p, modes)
+					}
+					// The composed check must be identical either way.
+					cn, cerr := checkAccessIn(ep, sub, class, p, modes)
+					if cn != wn || fmt.Sprint(cerr) != fmt.Sprint(werr) {
+						t.Errorf("v%d: checkAccessIn diverged at %s as %s %v: (%v,%v) vs (%v,%v)",
+							ep.Version(), p, sub.name, modes, cn, cerr, wn, werr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// compiledFixture is a server with registry, groups, and a small tree.
+type compiledFixture struct {
+	*fixture
+	reg  *principal.Registry
+	subs []fakeSubject
+}
+
+func newCompiledFixture(t *testing.T) *compiledFixture {
+	t.Helper()
+	f := newFixture(t)
+	f.mkTree(t)
+	reg := principal.NewRegistry(f.lat)
+	for _, p := range []string{"root", "alice", "bob", "carol"} {
+		if _, err := reg.AddPrincipal(p, f.bot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, g := range []string{"ops", "eng"} {
+		if err := reg.AddGroup(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.AddMember("ops", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	f.srv.AttachRegistry(reg)
+	return &compiledFixture{
+		fixture: f, reg: reg,
+		subs: []fakeSubject{subj("root"), subj("alice"), subj("bob"), subj("carol"), subj("mallory")},
+	}
+}
+
+func (cf *compiledFixture) classes() []lattice.Class {
+	return []lattice.Class{cf.bot, cf.org, cf.top}
+}
+
+// TestCompiledEpochLifecycle: no compiled view without a registry, one
+// appears at attachment, SetCompiledEpochs strips and rebuilds it, and
+// decisions are unaffected by the toggle.
+func TestCompiledEpochLifecycle(t *testing.T) {
+	f := newFixture(t)
+	f.mkTree(t)
+	if f.srv.Current().Compiled() {
+		t.Fatal("compiled view without a registry")
+	}
+	reg := principal.NewRegistry(f.lat)
+	if _, err := reg.AddPrincipal("root", f.bot); err != nil {
+		t.Fatal(err)
+	}
+	f.srv.AttachRegistry(reg)
+	if !f.srv.Current().Compiled() {
+		t.Fatal("no compiled view after registry attach")
+	}
+	full0 := f.srv.CompiledStats().Full
+
+	f.srv.SetCompiledEpochs(false)
+	if f.srv.Current().Compiled() {
+		t.Fatal("compiled view survived SetCompiledEpochs(false)")
+	}
+	if _, err := f.srv.CheckAccess(f.root, f.bot, "/svc/fs/read", acl.Read); err != nil {
+		t.Fatalf("walk check with compilation off: %v", err)
+	}
+	f.srv.SetCompiledEpochs(true)
+	if !f.srv.Current().Compiled() {
+		t.Fatal("no compiled view after SetCompiledEpochs(true)")
+	}
+	if got := f.srv.CompiledStats().Full; got != full0+1 {
+		t.Fatalf("full rebuilds = %d, want %d (re-enable forces one)", got, full0+1)
+	}
+	if _, err := f.srv.CheckAccess(f.root, f.bot, "/svc/fs/read", acl.Read); err != nil {
+		t.Fatalf("fast check with compilation on: %v", err)
+	}
+}
+
+// TestCompiledIndexTracksMutations drives every structural mutation
+// class — bind, ACL install, membership change, unbind, rename with
+// subtree move — and asserts the full equivalence contract after each.
+func TestCompiledIndexTracksMutations(t *testing.T) {
+	cf := newCompiledFixture(t)
+	srv, classes := cf.srv, cf.classes()
+	check := func(step string) {
+		t.Helper()
+		ep := srv.Current()
+		assertCompiledEquiv(t, ep, cf.subs, classes)
+		if t.Failed() {
+			t.Fatalf("after %s", step)
+		}
+	}
+	check("attach")
+
+	deptACL := acl.New(
+		acl.Allow("root", acl.AllModes),
+		acl.AllowGroup("ops", acl.Read|acl.List),
+		acl.AllowEveryone(acl.List),
+	)
+	if _, err := srv.BindUnchecked("/svc", BindSpec{Name: "dept", Kind: KindDirectory, ACL: deptACL, Class: cf.bot}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := srv.BindUnchecked("/svc/dept", BindSpec{
+			Name: fmt.Sprintf("doc%d", i), Kind: KindFile,
+			ACL:   acl.New(acl.Allow("alice", acl.Read|acl.Write), acl.AllowGroup("eng", acl.Read), acl.Deny("bob", acl.Read)),
+			Class: cf.bot,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("binds")
+
+	// ACL install on an interior node changes the children's visibility
+	// chain: drop Everyone's List.
+	if err := srv.SetACLUnchecked("/svc/dept", acl.New(
+		acl.Allow("root", acl.AllModes), acl.Allow("alice", acl.List|acl.Read))); err != nil {
+		t.Fatal(err)
+	}
+	check("interior ACL tightened")
+
+	// Membership churn flips group-sensitive summaries.
+	if err := cf.reg.AddMember("eng", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	check("bob joins eng")
+	if err := cf.reg.RemoveMember("ops", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	check("alice leaves ops")
+
+	// A new principal grows the ID space; bitsets must follow.
+	if _, err := cf.reg.AddPrincipal("dave", cf.bot); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.reg.AddMember("eng", "dave"); err != nil {
+		t.Fatal(err)
+	}
+	cf.subs = append(cf.subs, subj("dave"))
+	check("dave arrives")
+
+	// Rename: move the whole dept subtree under a new parent — the old
+	// paths must vanish from the index and the new ones appear.
+	if _, err := srv.BindUnchecked("/", BindSpec{Name: "archive", Kind: KindDirectory, ACL: acl.New(acl.Allow("root", acl.AllModes), acl.AllowEveryone(acl.List)), Class: cf.bot}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Rename(cf.root, cf.bot, "/svc/dept", "/archive", "dept-old"); err != nil {
+		t.Fatal(err)
+	}
+	check("subtree move")
+	if _, ok := srv.Current().CompiledResolve("/svc/dept/doc0"); ok {
+		t.Fatal("stale index entry for pre-rename path")
+	}
+	if _, ok := srv.Current().CompiledResolve("/archive/dept-old/doc0"); !ok {
+		t.Fatal("index missing relocated node")
+	}
+
+	if err := srv.UnbindUnchecked("/archive/dept-old/doc2"); err != nil {
+		t.Fatal(err)
+	}
+	check("unbind")
+
+	// Traversal toggle republishes but must not disturb equivalence.
+	srv.SetTraversalChecks(false)
+	check("traversal off")
+	srv.SetTraversalChecks(true)
+	check("traversal on")
+
+	st := srv.CompiledStats()
+	if st.Incremental == 0 {
+		t.Fatalf("no incremental builds recorded: %+v", st)
+	}
+	if st.Entries == 0 || st.RetainedBytes <= 0 || st.RetainedBytesCloned < st.RetainedBytes {
+		t.Fatalf("implausible footprint: %+v", st)
+	}
+}
+
+// TestCompiledIncrementalMatchesFullRebuild pins the incrementally
+// maintained compiled view after a mutation storm, forces a from-
+// scratch rebuild of the same epoch state, and deep-compares the two.
+func TestCompiledIncrementalMatchesFullRebuild(t *testing.T) {
+	cf := newCompiledFixture(t)
+	srv := cf.srv
+	for i := 0; i < 8; i++ {
+		if _, err := srv.BindUnchecked("/svc", BindSpec{
+			Name: fmt.Sprintf("s%d", i), Kind: KindFile,
+			ACL:   acl.New(acl.Allow("alice", acl.Read), acl.AllowGroup("ops", acl.List)),
+			Class: cf.bot,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			cf.reg.AddMember("eng", "bob")
+			cf.reg.RemoveMember("eng", "bob")
+		}
+	}
+	inc := srv.Current()
+	srv.SetCompiledEpochs(false)
+	srv.SetCompiledEpochs(true)
+	full := srv.Current()
+	if full.Root() != inc.Root() {
+		t.Fatal("toggle moved the tree")
+	}
+	ic, fc := inc.compiled, full.compiled
+	if len(ic.index) != len(fc.index) {
+		t.Fatalf("index sizes differ: inc %d full %d", len(ic.index), len(fc.index))
+	}
+	if ic.sensitive != fc.sensitive || ic.n != fc.n || ic.fast != fc.fast {
+		t.Fatalf("metadata differs: inc{n:%d sens:%d fast:%v} full{n:%d sens:%d fast:%v}",
+			ic.n, ic.sensitive, ic.fast, fc.n, fc.sensitive, fc.fast)
+	}
+	for p, ie := range ic.index {
+		fe, ok := fc.index[p]
+		if !ok || fe.node != ie.node {
+			t.Fatalf("full rebuild disagrees about %s", p)
+		}
+		sameCls := ie.visClass.Equal(fe.visClass) || (!ie.visClass.Valid() && !fe.visClass.Valid())
+		if ie.hasVis != fe.hasVis || !ie.visAllow.Equal(fe.visAllow) || !sameCls {
+			t.Errorf("visibility chain differs at %s", p)
+		}
+		isum, fsum := ic.sumOf(ie), fc.sumOf(fe)
+		for pid := 0; pid < ic.n; pid++ {
+			if isum.Granted(pid) != fsum.Granted(pid) {
+				t.Errorf("summary differs at %s for pid %d: inc %v full %v",
+					p, pid, isum.Granted(pid), fsum.Granted(pid))
+			}
+		}
+	}
+}
+
+// TestCompiledNonDefaultStackFallsBack: with a custom guard stack the
+// index still resolves, but the fast check declines to decide — the
+// stack's own semantics must run on the walk.
+func TestCompiledNonDefaultStackFallsBack(t *testing.T) {
+	cf := newCompiledFixture(t)
+	srv := cf.srv
+	dacOnly := monitor.NewPipeline(dacguard.New()).Current()
+	srv.PublishStack(dacOnly)
+	ep := srv.Current()
+	if !ep.Compiled() {
+		t.Fatal("stack publish dropped the compiled view")
+	}
+	if ep.compiled.fast {
+		t.Fatal("non-default stack marked fast")
+	}
+	if _, ok := ep.CompiledResolve("/svc/fs/read"); !ok {
+		t.Fatal("index lost under custom stack")
+	}
+	if _, decided := ep.CompiledAllows(subj("root"), cf.bot, "/svc/fs/read", acl.Read); decided {
+		t.Fatal("fast check decided under a custom stack")
+	}
+	if _, err := srv.CheckAccess(subj("root"), cf.bot, "/svc/fs/read", acl.Read); err != nil {
+		t.Fatalf("walk check under custom stack: %v", err)
+	}
+}
+
+// TestCompiledRandomizedOracle fuzzes a deterministic op sequence over
+// every mutation class and asserts the equivalence contract on every
+// published epoch along the way, plus pinned-epoch immutability at the
+// end. This is the op-sequence oracle for index-resolve ≡ walk-resolve
+// and summary-verdict ≡ entry-iteration.
+func TestCompiledRandomizedOracle(t *testing.T) {
+	cf := newCompiledFixture(t)
+	srv, classes := cf.srv, cf.classes()
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"alice", "bob", "carol", "root"}
+	groups := []string{"ops", "eng"}
+	var pinned []*Epoch
+	dirs := []string{"/svc", "/svc/fs"}
+	serial := 0
+	for i := 0; i < 120; i++ {
+		switch rng.Intn(8) {
+		case 0, 1:
+			parent := dirs[rng.Intn(len(dirs))]
+			serial++
+			name := fmt.Sprintf("r%d", serial)
+			a := acl.New(
+				acl.Allow(names[rng.Intn(len(names))], acl.Read|acl.Write),
+				acl.AllowGroup(groups[rng.Intn(len(groups))], acl.Read|acl.List),
+			)
+			if rng.Intn(2) == 0 {
+				a.Add(acl.Deny(names[rng.Intn(len(names))], acl.Read))
+			}
+			kind, path := KindFile, parent+"/"+name
+			if rng.Intn(3) == 0 {
+				kind = KindDirectory
+			}
+			if _, err := srv.BindUnchecked(parent, BindSpec{Name: name, Kind: kind, ACL: a, Class: cf.bot}); err == nil && kind == KindDirectory {
+				dirs = append(dirs, path)
+			}
+		case 2:
+			srv.UnbindUnchecked(fmt.Sprintf("/svc/r%d", rng.Intn(serial+1)))
+		case 3:
+			p := dirs[rng.Intn(len(dirs))]
+			srv.SetACLUnchecked(p, acl.New(
+				acl.Allow("root", acl.AllModes),
+				acl.AllowGroup(groups[rng.Intn(len(groups))], acl.List),
+				acl.AllowEveryone(acl.List),
+			))
+		case 4:
+			cf.reg.AddMember(groups[rng.Intn(len(groups))], names[rng.Intn(len(names))])
+		case 5:
+			cf.reg.RemoveMember(groups[rng.Intn(len(groups))], names[rng.Intn(len(names))])
+		case 6:
+			// Rename a random renameable node under /svc into /svc/fs.
+			old := fmt.Sprintf("/svc/r%d", rng.Intn(serial+1))
+			srv.Rename(cf.root, cf.bot, old, "/svc/fs", fmt.Sprintf("mv%d", i))
+		case 7:
+			if p, err := cf.reg.AddPrincipal(fmt.Sprintf("u%d", i), cf.bot); err == nil {
+				_ = p
+				cf.subs = append(cf.subs, subj(fmt.Sprintf("u%d", i)))
+			}
+		}
+		if i%10 == 0 || i == 119 {
+			ep := srv.Current()
+			assertCompiledEquiv(t, ep, cf.subs, classes)
+			if t.Failed() {
+				t.Fatalf("after op %d", i)
+			}
+			pinned = append(pinned, ep)
+		}
+	}
+	// Pinned epochs are immutable: the contract still holds on each.
+	for _, ep := range pinned {
+		assertCompiledEquiv(t, ep, cf.subs, classes)
+	}
+	st := srv.CompiledStats()
+	if st.Incremental == 0 || st.Full == 0 {
+		t.Fatalf("expected both full and incremental builds: %+v", st)
+	}
+}

@@ -61,6 +61,13 @@ type Epoch struct {
 	lat       *lattice.Frozen
 	reg       *principal.Frozen // nil until a registry is attached
 	stack     *monitor.Stack
+	// compiled is the epoch's freeze-time read-side compilation (path
+	// index, effective-ACL bitsets, dominance table; see compiled.go).
+	// It is nil on staged epochs (mutators always walk their own
+	// accumulated tree), when no registry is attached, and when
+	// compilation is disabled; the flush populates it immediately
+	// before the atomic store.
+	compiled *compiled
 }
 
 // Snapshot is the PR-4 name for a pinned policy version. It survives as

@@ -274,14 +274,26 @@ func FuzzEpochTransitions(f *testing.F) {
 
 		// Pinned epochs stay consistent after the dust settles — they are
 		// immutable, so the concurrent mutations cannot have touched them.
+		// Each pinned compiled epoch must also honor the compiled-vs-walk
+		// equivalence contract: index ≡ tree, summary verdict ≡ ACL entry
+		// iteration, fast check ≡ spine walk (assertCompiledEquiv).
+		fuzzSubs := []fakeSubject{subj("root"), subj("p0"), subj("p1"), subj("p2")}
 		for _, ep := range pinned {
 			if ok, path, why := ep.Consistent(); !ok {
 				t.Errorf("old epoch v%d mutated after pin: %s: %s", ep.Version(), path, why)
+			}
+			if ep.Compiled() {
+				assertCompiledEquiv(t, ep, fuzzSubs, []lattice.Class{bot})
 			}
 		}
 		final := srv.Current()
 		if ok, path, why := final.Consistent(); !ok {
 			t.Errorf("final epoch inconsistent at %s: %s", path, why)
+		}
+		if final.Compiled() {
+			assertCompiledEquiv(t, final, fuzzSubs, []lattice.Class{bot})
+		} else {
+			t.Error("final epoch carries no compiled view despite an attached registry")
 		}
 		// No lost publications: once every mutator has returned, the
 		// published epoch must carry each shard's latest frozen state —

@@ -105,6 +105,21 @@ type Server struct {
 	// guard against its own recursion).
 	adminHook atomic.Pointer[func(op, path string, err error)]
 
+	// compiledOff disables epoch compilation (SetCompiledEpochs); it is
+	// guarded by writeMu and read only by the flush. The counters and
+	// histograms below are the freeze-cost split: how each flush
+	// obtained its compiled view (full build, incremental patch,
+	// wholesale reuse) and where build time went (ACL summary
+	// compilation, effective/visibility bitset recomputation, and the
+	// remainder — index walk, map clone, dominance interning).
+	compiledOff   bool
+	compFull      atomic.Uint64
+	compIncr      atomic.Uint64
+	compReused    atomic.Uint64
+	compIndexNs   telemetry.Histogram
+	compSummaryNs telemetry.Histogram
+	compVisNs     telemetry.Histogram
+
 	// cache, when set, memoizes CheckAccess verdicts keyed by
 	// (subject, class, path, modes) and stamped with the epoch version
 	// the verdict was computed against. A hit requires the stamp to
@@ -310,6 +325,21 @@ func (s *Server) SetTraversalChecks(on bool) {
 	wait()
 }
 
+// SetCompiledEpochs toggles freeze-time compilation of read-side
+// structures (path index, effective-ACL bitsets, dominance table; see
+// compiled.go). It is on by default; experiments turn it off to
+// measure the spine walk. The toggle republishes the current tree, so
+// it takes effect at a new epoch version: off strips the compiled view
+// from the next publication onward, on compiles a fresh one.
+func (s *Server) SetCompiledEpochs(on bool) {
+	s.writeMu.Lock()
+	s.compiledOff = !on
+	cur := s.currentLocked()
+	wait := s.stageTreeLocked(cur.root, cur.traversal)
+	s.writeMu.Unlock()
+	wait()
+}
+
 // describe builds the guard stack's view of node n at path. The node
 // comes from a pinned epoch, so the description (ACL, class, multilevel
 // flag) is frozen protection state: guards can never observe a torn
@@ -350,6 +380,14 @@ func parentOf(path string) string {
 func resolveIn(ep *Epoch, sub acl.Subject, class lattice.Class, path string, checked bool) (*Node, error) {
 	if err := ValidPath(path); err != nil {
 		return nil, err
+	}
+	// Compiled epochs answer resolution from the path index: a bare
+	// probe when no checks apply, the precomputed visibility chain when
+	// they do. The index decides success only — a miss (unbound path,
+	// failing visibility, non-default stack, staged epoch) falls
+	// through to the walk, which derives the exact error.
+	if n, ok := ep.fastResolve(sub, class, path, checked); ok {
+		return n, nil
 	}
 	cur := ep.root
 	// Invariant: rest is the unconsumed suffix of path after the slash
@@ -499,8 +537,14 @@ func (s *Server) CheckAccessIn(ep *Epoch, sub acl.Subject, class lattice.Class, 
 }
 
 // checkAccessIn is the uncached check: resolve inside the pinned epoch,
-// then verify the target.
+// then verify the target. On a compiled epoch with the default stack
+// the whole decision — resolution visibility, DAC, MAC — is answered
+// from the freeze-time structures (one index probe plus a few bitset
+// tests); everything the fast path cannot prove allowed takes the walk.
 func checkAccessIn(ep *Epoch, sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
+	if n, ok := ep.fastCheck(sub, class, path, modes); ok {
+		return n, nil
+	}
 	n, err := resolveIn(ep, sub, class, path, true)
 	if err != nil {
 		return nil, err
@@ -978,6 +1022,10 @@ func (s *Server) setACLsUnchecked(edits []ACLEdit) (func() uint64, error) {
 	// edits later in the batch see earlier ones; scratch carries the
 	// in-progress root through resolveIn without touching ep.
 	scratch := *ep
+	// The scratch epoch's root diverges from ep's as edits accumulate;
+	// a copied compiled view would keep answering from ep's index, so
+	// it must not come along.
+	scratch.compiled = nil
 	for _, e := range edits {
 		scratch.root = root
 		n, err := resolveIn(&scratch, nil, lattice.Class{}, e.Path, false)

@@ -16,6 +16,24 @@ func newGroupset(n int) groupset { return make(groupset, (n+63)/64) }
 
 func (s groupset) set(i int) { s[i/64] |= 1 << uint(i%64) }
 
+// clear removes bit i if it is in range (a short set simply lacks it).
+func (s groupset) clear(i int) {
+	if w := i / 64; w < len(s) {
+		s[w] &^= 1 << uint(i%64)
+	}
+}
+
+// cloneGrown copies s into a fresh set wide enough to hold bit i.
+func (s groupset) cloneGrown(i int) groupset {
+	n := len(s)
+	if need := i/64 + 1; need > n {
+		n = need
+	}
+	out := make(groupset, n)
+	copy(out, s)
+	return out
+}
+
 func (s groupset) has(i int) bool {
 	w := i / 64
 	return w < len(s) && s[w]&(1<<uint(i%64)) != 0
@@ -56,6 +74,15 @@ type Frozen struct {
 	groupNames []string       // sorted; index = bit position
 	groupIdx   map[string]int // name -> bit position
 	membership map[string]groupset
+
+	// groupMembers is the reverse index of membership: one bitset per
+	// group (indexed like groupNames) whose bit p is set when the
+	// principal with dense ID p is a transitive member. It is what lets
+	// freeze-time ACL compilation turn a group entry into principal-ID
+	// bits without touching names (see acl.IDResolver). Rows are
+	// copy-on-write: an incremental freeze clones only the rows whose
+	// member sets actually changed.
+	groupMembers []groupset
 
 	// super maps every group to the set of groups reachable from it
 	// through "contained in" edges, itself included. It is the
@@ -151,6 +178,35 @@ func (f *Frozen) IsMember(principalName, groupName string) bool {
 		return false
 	}
 	return f.membership[principalName].has(idx)
+}
+
+// PrincipalID returns the dense, append-only ID of the named principal.
+// IDs are assigned in arrival order at registration and never reused or
+// reassigned, so an ID obtained from any frozen version names the same
+// principal in every other version that contains it. Together with
+// GroupPrincipalIDs and NumPrincipalIDs this satisfies acl.IDResolver.
+func (f *Frozen) PrincipalID(name string) (int, bool) {
+	p, ok := f.principals[name]
+	if !ok {
+		return 0, false
+	}
+	return p.id, true
+}
+
+// NumPrincipalIDs reports how many principal IDs this version has
+// allocated; IDs are dense in 0..N-1.
+func (f *Frozen) NumPrincipalIDs() int { return len(f.principals) }
+
+// GroupPrincipalIDs returns the transitive member set of the named
+// group as bitset words over principal IDs (bit p == principal with ID
+// p), nil for an unknown group. The returned words are shared with the
+// frozen view and must not be mutated.
+func (f *Frozen) GroupPrincipalIDs(group string) []uint64 {
+	idx, ok := f.groupIdx[group]
+	if !ok || idx >= len(f.groupMembers) {
+		return nil
+	}
+	return f.groupMembers[idx]
 }
 
 // GroupsOf returns every group the principal transitively belongs to,

@@ -54,10 +54,21 @@ type Principal struct {
 	name  string
 	class lattice.Class
 	reg   *Registry
+
+	// id is the principal's dense, append-only ID: assigned in arrival
+	// order at registration, never reused (there is no principal
+	// removal). Freeze-time ACL compilation indexes its bitsets by this
+	// ID, and the stability guarantee is what lets compiled summaries
+	// that name only individuals survive registry transitions.
+	id int
 }
 
 // SubjectName returns the principal's unique name.
 func (p *Principal) SubjectName() string { return p.name }
+
+// ID returns the principal's dense, append-only ID (see the field
+// comment: arrival-ordered, stable across every registry version).
+func (p *Principal) ID() int { return p.id }
 
 // Class returns the principal's default security class.
 func (p *Principal) Class() lattice.Class { return p.class }
@@ -250,15 +261,16 @@ func (r *Registry) freezeLocked(version uint64) *Frozen {
 	// indices, super sets) is untouched by construction — any change to
 	// it sets dirtyAll above.
 	f := &Frozen{
-		reg:        r,
-		version:    version,
-		deltaBase:  prev.version,
-		principals: prev.principals,
-		groups:     prev.groups,
-		groupNames: prev.groupNames,
-		groupIdx:   prev.groupIdx,
-		membership: prev.membership,
-		super:      prev.super,
+		reg:          r,
+		version:      version,
+		deltaBase:    prev.version,
+		principals:   prev.principals,
+		groups:       prev.groups,
+		groupNames:   prev.groupNames,
+		groupIdx:     prev.groupIdx,
+		membership:   prev.membership,
+		groupMembers: prev.groupMembers,
+		super:        prev.super,
 	}
 	if len(r.dirtyGroups) > 0 {
 		groups := make(map[string]*frozenGroup, len(prev.groups))
@@ -299,6 +311,37 @@ func (r *Registry) freezeLocked(version uint64) *Frozen {
 			membership[pname] = set
 		}
 		f.membership = membership
+
+		// Patch the reverse index: for each dirty principal, flip its
+		// ID bit in exactly the groups whose membership changed. Rows
+		// are copy-on-write — untouched groups keep sharing prev's
+		// bitsets, and a row is cloned at most once per freeze.
+		rowFresh := make(map[int]bool)
+		for pname := range r.dirtyPrincipals {
+			id := r.principals[pname].id
+			old := prev.membership[pname] // nil for a new principal
+			neu := membership[pname]
+			for i := range f.groupNames {
+				was, is := old.has(i), neu.has(i)
+				if was == is {
+					continue
+				}
+				if !rowFresh[i] {
+					if len(rowFresh) == 0 {
+						f.groupMembers = append([]groupset(nil), prev.groupMembers...)
+					}
+					f.groupMembers[i] = f.groupMembers[i].cloneGrown(id)
+					rowFresh[i] = true
+				} else if id/64 >= len(f.groupMembers[i]) {
+					f.groupMembers[i] = f.groupMembers[i].cloneGrown(id)
+				}
+				if is {
+					f.groupMembers[i].set(id)
+				} else {
+					f.groupMembers[i].clear(id)
+				}
+			}
+		}
 	}
 	return f
 }
@@ -367,6 +410,20 @@ func (r *Registry) buildFrozen(version uint64) *Frozen {
 		}
 		f.membership[pname] = set
 	}
+	// Reverse index: per-group bitsets over principal IDs. Built by
+	// transposing the per-principal closure rows just computed.
+	f.groupMembers = make([]groupset, len(f.groupNames))
+	for i := range f.groupMembers {
+		f.groupMembers[i] = newGroupset(len(r.principals))
+	}
+	for pname, set := range f.membership {
+		id := r.principals[pname].id
+		for i := range f.groupNames {
+			if set.has(i) {
+				f.groupMembers[i].set(id)
+			}
+		}
+	}
 	return f
 }
 
@@ -422,7 +479,7 @@ func (r *Registry) AddPrincipal(name string, class lattice.Class) (*Principal, e
 		r.writeMu.Unlock()
 		return nil, fmt.Errorf("%w: %q is a group", ErrExists, name)
 	}
-	p := &Principal{name: name, class: class, reg: r}
+	p := &Principal{name: name, class: class, reg: r, id: len(r.principals)}
 	r.principals[name] = p
 	r.dirtyPrincipals[name] = true
 	wait := r.publishLocked()

@@ -139,6 +139,24 @@ type NamesStats struct {
 	MaxBatch         uint64       `json:"max_batch"`
 	BatchSize        HistSnapshot `json:"batch_size"`
 	FlushLatency     HistSnapshot `json:"flush_latency"`
+	// Compiled epochs: how flushes obtained the read-side compilation
+	// (full build / incremental patch / wholesale reuse), the current
+	// epoch's compiled footprint, and the freeze-cost split (index
+	// build vs ACL-summary compilation vs effective/visibility bitset
+	// recomputation). CompiledRetainedBytes counts shared structures
+	// once; CompiledRetainedBytesCloned prices every use site, the
+	// upper bound structural sharing avoids.
+	CompiledFull                uint64       `json:"compiled_full"`
+	CompiledIncremental         uint64       `json:"compiled_incremental"`
+	CompiledReused              uint64       `json:"compiled_reused"`
+	CompiledEntries             int          `json:"compiled_entries"`
+	CompiledDomClasses          int          `json:"compiled_dom_classes"`
+	CompiledSensitive           int          `json:"compiled_sensitive"`
+	CompiledRetainedBytes       int64        `json:"compiled_retained_bytes"`
+	CompiledRetainedBytesCloned int64        `json:"compiled_retained_bytes_cloned"`
+	CompiledIndexBuild          HistSnapshot `json:"compiled_index_build"`
+	CompiledSummaryCompile      HistSnapshot `json:"compiled_summary_compile"`
+	CompiledVisRecompute        HistSnapshot `json:"compiled_vis_recompute"`
 }
 
 // AuditStats mirrors the audit log's counters, including ring drops

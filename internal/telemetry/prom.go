@@ -55,6 +55,23 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	ew.printf("# TYPE secext_epoch_max_batch gauge\n")
 	ew.printf("secext_epoch_max_batch %d\n", s.Names.MaxBatch)
 
+	ew.printf("# HELP secext_epoch_index_incremental_total Compiled-epoch builds patched incrementally from the parent epoch's index.\n")
+	ew.printf("# TYPE secext_epoch_index_incremental_total counter\n")
+	ew.printf("secext_epoch_index_incremental_total %d\n", s.Names.CompiledIncremental)
+	ew.printf("# HELP secext_epoch_index_full_total Compiled-epoch builds rebuilt from scratch.\n")
+	ew.printf("# TYPE secext_epoch_index_full_total counter\n")
+	ew.printf("secext_epoch_index_full_total %d\n", s.Names.CompiledFull)
+	ew.printf("# HELP secext_epoch_index_reused_total Flushes that reused the parent epoch's compiled view wholesale.\n")
+	ew.printf("# TYPE secext_epoch_index_reused_total counter\n")
+	ew.printf("secext_epoch_index_reused_total %d\n", s.Names.CompiledReused)
+	ew.printf("# HELP secext_epoch_index_entries Path index entries in the current epoch's compiled view.\n")
+	ew.printf("# TYPE secext_epoch_index_entries gauge\n")
+	ew.printf("secext_epoch_index_entries %d\n", s.Names.CompiledEntries)
+	ew.printf("# HELP secext_epoch_compiled_retained_bytes Heap bytes the current epoch's compiled view retains, shared structures counted once (label deduped=\"false\" prices every use site).\n")
+	ew.printf("# TYPE secext_epoch_compiled_retained_bytes gauge\n")
+	ew.printf("secext_epoch_compiled_retained_bytes{deduped=\"true\"} %d\n", s.Names.CompiledRetainedBytes)
+	ew.printf("secext_epoch_compiled_retained_bytes{deduped=\"false\"} %d\n", s.Names.CompiledRetainedBytesCloned)
+
 	ew.printf("# HELP secext_audit_events_total Audit log decisions by verdict, plus mediation bypasses.\n")
 	ew.printf("# TYPE secext_audit_events_total counter\n")
 	ew.printf("secext_audit_events_total{verdict=\"allowed\"} %d\n", s.Audit.Allowed)
@@ -81,6 +98,15 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	writePromHist(ew, "secext_epoch_flush_seconds",
 		"Latency from first staged mutation to epoch publication.", "",
 		s.Names.FlushLatency)
+	writePromHist(ew, "secext_epoch_compile_index_seconds",
+		"Per-flush compiled-epoch index build time (walk, map clone, dominance interning).", "",
+		s.Names.CompiledIndexBuild)
+	writePromHist(ew, "secext_epoch_compile_summary_seconds",
+		"Per-flush ACL-summary compilation time within compiled-epoch builds.", "",
+		s.Names.CompiledSummaryCompile)
+	writePromHist(ew, "secext_epoch_compile_bitset_seconds",
+		"Per-flush effective/visibility bitset recomputation time within compiled-epoch builds.", "",
+		s.Names.CompiledVisRecompute)
 	for _, g := range s.Guards {
 		writePromHist(ew, "secext_guard_eval_seconds",
 			"Per-guard evaluation latency (sampled).",
