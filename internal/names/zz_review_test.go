@@ -1,0 +1,13 @@
+package names
+
+import "testing"
+
+// Reproducer: relabel an interior node and check that descendants'
+// compiled visibility chains track the new class.
+func TestReviewRelabelStaleVisChain(t *testing.T) {
+	cf := newCompiledFixture(t)
+	if err := cf.srv.SetClassUnchecked("/svc/fs", cf.top); err != nil {
+		t.Fatal(err)
+	}
+	assertCompiledEquiv(t, cf.srv.Current(), cf.subs, cf.classes())
+}
