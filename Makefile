@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover bench-smoke bench bench-scale bench-epoch bench-churn bench-resolve tables
+.PHONY: all build vet test race check cover bench-smoke bench bench-scale bench-epoch bench-churn bench-resolve bench-explain tables
 
 all: check
 
@@ -15,7 +15,7 @@ test:
 
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -cpu=1,4,8 ./internal/names/... ./internal/acl/... ./internal/monitor/... ./internal/decision/... ./internal/lattice/... ./internal/principal/... ./internal/core/...
+	$(GO) test -race -cpu=1,4,8 ./internal/names/... ./internal/acl/... ./internal/monitor/... ./internal/decision/... ./internal/lattice/... ./internal/principal/... ./internal/core/... ./internal/provenance/...
 
 # check is the full local gate: build, vet, the complete test suite
 # under the race detector, and a benchmark smoke run so the harness
@@ -42,6 +42,10 @@ BATCH_COVER_FLOOR := 85.0
 # reason.
 COMPILED_COVER_FLOOR := 85.0
 SUMMARY_COVER_FLOOR := 85.0
+# The provenance engine answers "why was this allowed?" — an explain
+# path with an untested branch is an explanation you cannot trust, so
+# every file in the package keeps the floor individually.
+PROVENANCE_COVER_FLOOR := 85.0
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/monitor/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
@@ -71,6 +75,12 @@ cover:
 	echo "internal/acl/summary.go coverage: $$summary% (floor $(SUMMARY_COVER_FLOOR)%)"; \
 	awk "BEGIN {exit !($$summary >= $(SUMMARY_COVER_FLOOR))}" || \
 		{ echo "acl-summary coverage below floor"; exit 1; }
+	$(GO) test -coverprofile=cover-provenance.out ./internal/provenance/
+	@$(GO) tool cover -func=cover-provenance.out | \
+	awk '/internal\/provenance\/.*\.go/ {split($$1, p, ":"); gsub(/%/,"",$$3); sum[p[1]] += $$3; n[p[1]]++} \
+	END {bad = 0; for (f in sum) {avg = sum[f]/n[f]; printf "%s coverage: %.1f%% (floor $(PROVENANCE_COVER_FLOOR)%%)\n", f, avg; \
+	if (avg < $(PROVENANCE_COVER_FLOOR)) bad = 1} exit bad}' || \
+		{ echo "provenance per-file coverage below floor"; exit 1; }
 	$(GO) test -coverprofile=cover-lattice.out ./internal/lattice/
 	@total=$$($(GO) tool cover -func=cover-lattice.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
 	echo "internal/lattice coverage: $$total% (floor $(LATTICE_COVER_FLOOR)%)"; \
@@ -90,6 +100,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'E1' -benchtime 100x .
 	$(GO) test -run '^$$' -bench 'E16' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'E17' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'E18' -benchtime 1x .
 
 # bench runs the full benchmark suite with allocation stats (slow).
 bench:
@@ -117,6 +128,14 @@ bench-churn:
 # warm cache hit, by path depth, plus the resolve-only split).
 bench-resolve:
 	$(GO) run ./cmd/benchtab -json . E17
+
+# bench-explain runs the E18 decision-provenance experiment alone and
+# writes BENCH_E18.json (warm and uncached check by telemetry mode with
+# the shadow divergence monitor riding the sampler), then asserts the
+# monitor keeps the sampled warm path inside the off mode's noise band.
+bench-explain:
+	$(GO) run ./cmd/benchtab -json . E18
+	$(GO) test -run 'TestE18SampledWithinNoise' ./internal/experiments/
 
 # tables regenerates the EXPERIMENTS.md tables and writes structured
 # BENCH_<ID>.json rows for machine consumers.

@@ -921,3 +921,74 @@ func BenchmarkE17ResolveOnly(b *testing.B) {
 		}
 	})
 }
+
+// --- E18: shadow divergence monitor (decision provenance) ---
+
+// e18World is benchWorld with a chosen telemetry mode and the decision
+// cache optionally disabled: the shadow monitor only runs on traced,
+// uncached checks, so the two knobs together select how often it fires.
+func e18World(b testing.TB, mode secext.TelemetryMode, disableCache bool) (*secext.World, *secext.Context) {
+	b.Helper()
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:               []string{"others", "organization", "local"},
+		Categories:           []string{"dept-1", "dept-2"},
+		DisableAudit:         true,
+		DisableDecisionCache: disableCache,
+		Telemetry:            secext.TelemetryOptions{Mode: mode},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("alice", "organization:{dept-1}"); err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := w.Sys.NewContext("alice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	open := secext.NewACL(secext.AllowEveryone(secext.Read | secext.Write))
+	if err := w.FS.Create(ctx, "/fs/f", open, ctx.Class()); err != nil {
+		b.Fatal(err)
+	}
+	return w, ctx
+}
+
+// BenchmarkE18Shadow is the benchmark form of E18's table: the warm
+// cached check and the uncached check, by telemetry mode. The claim is
+// that "sampled" warm hits match "off" — the shadow comparison hides
+// entirely behind the trace-selection branch — while "full/uncached"
+// prices the monitor's worst case (every check walks twice).
+func BenchmarkE18Shadow(b *testing.B) {
+	modes := []struct {
+		name string
+		mode secext.TelemetryMode
+	}{
+		{"off", secext.TelemetryOff},
+		{"sampled", secext.TelemetrySampled},
+		{"full", secext.TelemetryFull},
+	}
+	for _, m := range modes {
+		w, ctx := e18World(b, m.mode, false)
+		if _, err := w.Sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(m.name+"/warm-hit", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		uw, uctx := e18World(b, m.mode, true)
+		b.Run(m.name+"/uncached", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := uw.Sys.CheckData(uctx, "/fs/f", secext.Read); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, dv := uw.Sys.Names().DivergenceStats(); dv != 0 {
+				b.Fatalf("%d divergences on an honest epoch", dv)
+			}
+		})
+	}
+}

@@ -8,15 +8,20 @@
 //	secctl matrix -policy p.pol -modes read [-paths /a,/b]
 //	secctl tree   -policy p.pol
 //	secctl fmt    -policy p.pol
-//	secctl stats  -http 127.0.0.1:7778
-//	secctl trace  -http 127.0.0.1:7778 [-n 10] [-denied]
+//	secctl stats   -http 127.0.0.1:7778
+//	secctl trace   -http 127.0.0.1:7778 [-n 10] [-denied]
+//	secctl explain -http 127.0.0.1:7778 -as alice -path /fs/x -modes read
+//	secctl epochs  -http 127.0.0.1:7778 [-n 10]
 //
 // check prints ALLOW/DENY with the monitor's reason; matrix prints the
 // decision for every principal against the given (or all leaf) paths;
 // tree dumps the name space with per-node kind, class, and ACL; fmt
-// re-emits the policy in canonical form. stats and trace talk to a
-// running secextd's telemetry endpoint (-http on the daemon): stats
-// summarizes the live counters, trace prints recent decision traces.
+// re-emits the policy in canonical form. stats, trace, explain, and
+// epochs talk to a running secextd's telemetry endpoint (-http on the
+// daemon): stats summarizes the live counters, trace prints recent
+// decision traces, explain prints the provenance verdict tree for one
+// decision (the exact ACL entry, guard, and MAC comparison that decided
+// it), and epochs prints the epoch-transition journal.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
 
@@ -52,6 +58,10 @@ func main() {
 		runStats(args)
 	case "trace":
 		runTrace(args)
+	case "explain":
+		runExplain(args)
+	case "epochs":
+		runEpochs(args)
 	default:
 		usage()
 	}
@@ -59,7 +69,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: secctl <check|matrix|tree|fmt|snapshot> -policy <file> [flags]")
-	fmt.Fprintln(os.Stderr, "       secctl <stats|trace> -http <addr> [flags]")
+	fmt.Fprintln(os.Stderr, "       secctl <stats|trace|explain|epochs> -http <addr> [flags]")
 	os.Exit(2)
 }
 
@@ -277,6 +287,8 @@ func runStats(args []string) {
 	fmt.Printf("freeze cost p95: index %gns, summaries %gns, bitsets %gns (over %d compiled flushes)\n",
 		n.CompiledIndexBuild.P95, n.CompiledSummaryCompile.P95,
 		n.CompiledVisRecompute.P95, n.CompiledIndexBuild.Count)
+	fmt.Printf("shadow monitor: %d checks shadowed, %d divergences; journal holds %d transitions\n",
+		n.ShadowChecks, n.Divergences, n.JournalRecords)
 	fmt.Printf("audit: %d decisions (%d allowed, %d denied), %d bypasses, %d dropped from ring\n",
 		s.Audit.Total, s.Audit.Allowed, s.Audit.Denied, s.Audit.Bypassed, s.Audit.Dropped)
 	fmt.Printf("dispatcher admissions: %d admitted, %d rejected\n",
@@ -301,6 +313,47 @@ func runTrace(args []string) {
 	body := fetch(*httpAddr, path)
 	if len(strings.TrimSpace(string(body))) == 0 {
 		fmt.Println("no traces retained")
+		return
+	}
+	os.Stdout.Write(body)
+}
+
+// runExplain asks a running daemon why a decision went the way it did
+// and prints the provenance verdict tree.
+func runExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	httpAddr := fs.String("http", "", "daemon telemetry address (host:port)")
+	as := fs.String("as", "", "principal to explain as")
+	path := fs.String("path", "", "object path")
+	modesArg := fs.String("modes", "read", "comma-separated access modes")
+	raw := fs.Bool("json", false, "print the structured explanation as JSON")
+	_ = fs.Parse(args)
+	if *as == "" || *path == "" {
+		fatal(fmt.Errorf("-as and -path are required"))
+	}
+	q := url.Values{"subject": {*as}, "path": {*path}, "mode": {*modesArg}}
+	if !*raw {
+		q.Set("text", "1")
+	}
+	os.Stdout.Write(fetch(*httpAddr, "/debug/explain?"+q.Encode()))
+}
+
+// runEpochs prints a running daemon's epoch-transition journal, newest
+// first: which policy shards changed, the batch size, incremental vs
+// full freeze, the compile kind and cost, and the publish latency.
+func runEpochs(args []string) {
+	fs := flag.NewFlagSet("epochs", flag.ExitOnError)
+	httpAddr := fs.String("http", "", "daemon telemetry address (host:port)")
+	n := fs.Int("n", 10, "maximum transitions to print")
+	raw := fs.Bool("json", false, "print the raw JSON records")
+	_ = fs.Parse(args)
+	path := fmt.Sprintf("/debug/epochs?n=%d", *n)
+	if !*raw {
+		path += "&text=1"
+	}
+	body := fetch(*httpAddr, path)
+	if len(strings.TrimSpace(string(body))) == 0 || strings.TrimSpace(string(body)) == "[]" {
+		fmt.Println("no transitions recorded")
 		return
 	}
 	os.Stdout.Write(body)

@@ -16,8 +16,10 @@
 //	OK
 //
 // With -http the daemon also serves the live introspection endpoints:
-// /metrics (Prometheus text), /debug/stats (JSON), and
-// /debug/trace/recent (sampled decision traces).
+// /metrics (Prometheus text), /debug/stats (JSON), /debug/trace/recent
+// (sampled decision traces), /debug/epochs (the epoch-transition
+// journal), and /debug/explain?subject=&path=&mode= (decision
+// provenance).
 package main
 
 import (

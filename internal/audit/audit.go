@@ -110,6 +110,12 @@ type Event struct {
 	Op      string    // operation detail, e.g. requested modes
 	Allowed bool      // the decision
 	Reason  string    // why (which check failed, or "granted")
+	// Epoch is the policy-epoch version the decision was computed
+	// against (0 for events recorded before epoch plumbing, or for
+	// occurrences with no deciding epoch). It correlates the audit
+	// trail with the epoch-transition journal and decision traces by
+	// version as well as by Seq.
+	Epoch uint64 `json:",omitempty"`
 }
 
 // String renders the event in a single audit line.
@@ -118,8 +124,12 @@ func (e Event) String() string {
 	if e.Allowed {
 		verdict = "ALLOW"
 	}
-	return fmt.Sprintf("#%d %s %s subject=%s class=%s path=%s op=%s: %s (%s)",
-		e.Seq, e.Time.UTC().Format(time.RFC3339Nano), e.Kind, e.Subject,
+	epoch := ""
+	if e.Epoch != 0 {
+		epoch = fmt.Sprintf(" epoch=%d", e.Epoch)
+	}
+	return fmt.Sprintf("#%d %s %s%s subject=%s class=%s path=%s op=%s: %s (%s)",
+		e.Seq, e.Time.UTC().Format(time.RFC3339Nano), e.Kind, epoch, e.Subject,
 		e.Class, e.Path, e.Op, verdict, e.Reason)
 }
 

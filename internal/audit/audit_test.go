@@ -328,6 +328,54 @@ func TestKindJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEpochJSONRoundTrip: the epoch-provenance field survives export
+// and import, is omitted for zero (pre-provenance events and legacy
+// exports stay byte-identical), and renders in String only when set.
+func TestEpochJSONRoundTrip(t *testing.T) {
+	l := NewLog(16)
+	e := ev(KindData, "alice", "/fs/x", true)
+	e.Epoch = 42
+	l.Record(e)
+	l.Record(ev(KindCall, "bob", "/svc/a", false)) // no epoch
+
+	var buf strings.Builder
+	if err := l.ExportJSON(&buf); err != nil {
+		t.Fatalf("ExportJSON: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"Epoch":42`) {
+		t.Fatalf("export lacks epoch:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Contains(lines[1], "Epoch") {
+		t.Errorf("zero epoch serialized: %s", lines[1])
+	}
+
+	back, err := ImportJSON(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ImportJSON: %v", err)
+	}
+	if len(back) != 2 || back[0].Epoch != 42 || back[1].Epoch != 0 {
+		t.Fatalf("epoch round trip = %+v", back)
+	}
+
+	// Legacy exports without the field import with a zero epoch.
+	legacy := `{"Seq":1,"Kind":"call","Subject":"alice","Path":"/svc/a","Allowed":true}` + "\n"
+	back, err = ImportJSON(strings.NewReader(legacy))
+	if err != nil || len(back) != 1 || back[0].Epoch != 0 {
+		t.Fatalf("legacy import = %+v, %v", back, err)
+	}
+
+	if s := back[0].String(); strings.Contains(s, "epoch=") {
+		t.Errorf("zero-epoch String renders epoch: %q", s)
+	}
+	withEpoch := ev(KindData, "alice", "/fs/x", true)
+	withEpoch.Epoch = 42
+	if s := withEpoch.String(); !strings.Contains(s, " epoch=42") {
+		t.Errorf("String %q missing epoch=42", s)
+	}
+}
+
 func TestKindNames(t *testing.T) {
 	names := KindNames()
 	if len(names) != numKinds || names[KindCall] != "call" || names[KindUnchecked] != "unchecked" {

@@ -24,14 +24,15 @@ func (s *System) check(ctx *subject.Context, path string, modes acl.Mode, kind a
 		tr = s.tel.StartTrace(kind.String(), ctx.SubjectName(), path, modes.String())
 	}
 	var n *names.Node
+	var epoch uint64
 	var err error
 	if tr == nil {
-		n, err = s.ns.CheckAccess(ctx, ctx.Class(), path, modes)
+		n, epoch, err = s.ns.CheckAccessAt(ctx, ctx.Class(), path, modes)
 	} else {
 		tr.SetClass(ctx.ClassLabel())
-		n, err = s.ns.CheckAccessTraced(ctx, ctx.Class(), path, modes, tr)
+		n, epoch, err = s.ns.CheckAccessTracedAt(ctx, ctx.Class(), path, modes, tr)
 	}
-	seq := s.record(kind, ctx, path, modes.String(), err)
+	seq := s.recordAt(kind, ctx, path, modes.String(), epoch, err)
 	reason := ""
 	if err != nil {
 		reason = err.Error()
@@ -45,6 +46,15 @@ func (s *System) check(ctx *subject.Context, path string, modes acl.Mode, kind a
 // regardless of audit state: metrics must see every decision even on
 // systems running the E7 no-audit configuration.
 func (s *System) record(kind audit.Kind, ctx *subject.Context, path, op string, err error) uint64 {
+	// Operations that don't surface their pinned epoch stamp the
+	// current version: at worst one publication newer than the epoch
+	// that decided, still close enough to correlate with the journal.
+	return s.recordAt(kind, ctx, path, op, s.ns.Version(), err)
+}
+
+// recordAt is record with the deciding policy-epoch version carried
+// into the audit event, for audit ↔ journal ↔ trace correlation.
+func (s *System) recordAt(kind audit.Kind, ctx *subject.Context, path, op string, epoch uint64, err error) uint64 {
 	s.tel.Mediation(int(kind), err == nil)
 	if !s.log.Enabled() {
 		return 0
@@ -61,6 +71,7 @@ func (s *System) record(kind audit.Kind, ctx *subject.Context, path, op string, 
 		Op:      op,
 		Allowed: err == nil,
 		Reason:  reason,
+		Epoch:   epoch,
 	})
 }
 
@@ -198,8 +209,18 @@ func (s *System) SetACL(ctx *subject.Context, path string, newACL *acl.ACL) erro
 // may cover other concurrent mutations batched into the same epoch.
 func (s *System) SetACLAt(ctx *subject.Context, path string, newACL *acl.ACL) (uint64, error) {
 	v, err := s.ns.SetACLAt(ctx, ctx.Class(), path, newACL)
-	s.record(audit.KindAdmin, ctx, path, "set-acl", err)
+	s.recordAt(audit.KindAdmin, ctx, path, "set-acl", landingEpoch(s, v), err)
 	return v, err
+}
+
+// landingEpoch picks the audit epoch for a mutation: the version the
+// change landed in when the mutation succeeded, the current version
+// otherwise (a failed mutation published nothing).
+func landingEpoch(s *System, v uint64) uint64 {
+	if v != 0 {
+		return v
+	}
+	return s.ns.Version()
 }
 
 // SetClass relabels path (administrate mode plus relabel flow rules).
@@ -216,7 +237,7 @@ func (s *System) SetClassAt(ctx *subject.Context, path string, label string) (ui
 		return 0, err
 	}
 	v, err := s.ns.SetClassAt(ctx, ctx.Class(), path, class)
-	s.record(audit.KindAdmin, ctx, path, "set-class "+label, err)
+	s.recordAt(audit.KindAdmin, ctx, path, "set-class "+label, landingEpoch(s, v), err)
 	return v, err
 }
 

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -31,6 +32,7 @@ import (
 	"secext/internal/monitor/macguard"
 	"secext/internal/names"
 	"secext/internal/principal"
+	"secext/internal/provenance"
 	"secext/internal/subject"
 	"secext/internal/telemetry"
 )
@@ -195,6 +197,7 @@ func NewSystem(opts Options) (*System, error) {
 		tr := s.ns.EpochTransitions()
 		bs := s.ns.BatchStats()
 		cs := s.ns.CompiledStats()
+		sc, dv := s.ns.DivergenceStats()
 		return telemetry.NamesStats{
 			Version:             s.ns.Version(),
 			Publishes:           s.ns.Publishes(),
@@ -218,7 +221,41 @@ func NewSystem(opts Options) (*System, error) {
 			CompiledIndexBuild:          cs.IndexBuild,
 			CompiledSummaryCompile:      cs.SummaryCompile,
 			CompiledVisRecompute:        cs.VisRecompute,
+
+			ShadowChecks:   sc,
+			Divergences:    dv,
+			JournalRecords: s.ns.JournalLen(),
 		}
+	})
+	// Decision provenance: the epoch-transition journal and the explain
+	// engine back /debug/epochs, /debug/explain, and the remote
+	// EXPLAIN/EPOCHS commands.
+	s.tel.SetEpochJournal(func(n int) []telemetry.EpochTransition {
+		recs := s.ns.Journal(n)
+		out := make([]telemetry.EpochTransition, len(recs))
+		for i, r := range recs {
+			out[i] = telemetry.EpochTransition{
+				Version: r.Version, Time: r.Time, Shards: r.Shards,
+				BatchSize:        r.BatchSize,
+				LatticeVersion:   r.LatticeVersion,
+				LatticeDeltaBase: r.LatticeDeltaBase,
+				RegistryVersion:  r.RegistryVersion, RegistryDeltaBase: r.RegistryDeltaBase,
+				IncrementalFreeze: r.IncrementalFreeze,
+				Compile:           r.Compile, CompileNS: r.CompileNS, PublishNS: r.PublishNS,
+			}
+		}
+		return out
+	})
+	s.tel.SetExplain(func(subjectName, path, modes string) (string, []byte, error) {
+		ex, err := s.Explain(subjectName, path, modes)
+		if err != nil {
+			return "", nil, err
+		}
+		body, err := json.Marshal(ex)
+		if err != nil {
+			return "", nil, err
+		}
+		return ex.String(), body, nil
 	})
 
 	if !opts.DisableDecisionCache {
@@ -307,6 +344,26 @@ func (s *System) NewContext(principalName string) (*subject.Context, error) {
 		return nil, err
 	}
 	return subject.New(p)
+}
+
+// Explain re-evaluates the decision (principal, path, modes) against
+// the current policy epoch and returns the full provenance working:
+// the exact ACL entry and membership chain that matched, each guard's
+// verdict with the production short-circuit point, and the MAC
+// dominance comparison with both classes named. Advisory tooling: the
+// re-evaluation never touches the decision cache and is never audited
+// as an access — callers gate it behind an administrative surface
+// (secctl, /debug/explain, the remote EXPLAIN command).
+func (s *System) Explain(principalName, path, modes string) (*provenance.Explanation, error) {
+	ctx, err := s.NewContext(principalName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := acl.ParseMode(modes)
+	if err != nil {
+		return nil, err
+	}
+	return provenance.ExplainCheck(s.ns.Current(), ctx, path, m), nil
 }
 
 // NewContextFromToken authenticates a token and creates a root context

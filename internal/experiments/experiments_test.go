@@ -158,6 +158,42 @@ func TestE13DefaultWithinNoise(t *testing.T) {
 	}
 }
 
+// TestE18SampledWithinNoise asserts PR 8's cost claim: with the shadow
+// divergence monitor riding the default sampler, the warm mediation
+// path stays close to telemetry-off — the monitor only runs on traced,
+// uncached checks, so an unsampled cache hit pays nothing new. The
+// bound mirrors TestE13DefaultWithinNoise's generous 2x for noisy CI;
+// the honest figure is the E18 table.
+func TestE18SampledWithinNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiments skipped in -short mode")
+	}
+	warm := func(mode telemetry.Mode) float64 {
+		w, ctx, err := telWorld(mode, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !w.Sys.Names().Current().Compiled() {
+			t.Fatal("epoch not compiled; the shadow monitor is a no-op")
+		}
+		check := func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := w.Sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		check(1)
+		return measure(defaultMinDur, check)
+	}
+	off := warm(telemetry.ModeOff)
+	def := warm(telemetry.ModeSampled)
+	if def > 2*off {
+		t.Errorf("sampled warm path %.1fns vs off %.1fns: shadow monitor broke the noise band", def, off)
+	}
+}
+
 // TestTimingExperimentsRun executes the timed experiments with the
 // default budget; in -short mode it is skipped to keep CI fast.
 func TestTimingExperimentsRun(t *testing.T) {

@@ -254,6 +254,23 @@ func (s *Stack) Explain(r Request) []Verdict {
 	return out
 }
 
+// ExplainOp is Explain plus the short-circuit point: it runs every
+// guard and additionally reports the index of the guard whose denial
+// would have ended a production Check (-1 when every guard allows).
+// Check stops at that guard; ExplainOp records what the rest would
+// have said instead of short-circuiting silently. Tooling only.
+func (s *Stack) ExplainOp(r Request) (verdicts []Verdict, shortCircuit int) {
+	verdicts = s.Explain(r)
+	shortCircuit = -1
+	for i, v := range verdicts {
+		if !v.Allow {
+			shortCircuit = i
+			break
+		}
+	}
+	return verdicts, shortCircuit
+}
+
 // Gen returns the generation this stack was published under.
 func (s *Stack) Gen() uint64 { return s.gen }
 
@@ -346,6 +363,12 @@ func (p *Pipeline) CheckTraced(r Request, tr *telemetry.ActiveTrace) Verdict {
 // Unlike Check it allocates; tooling only.
 func (p *Pipeline) Explain(r Request) []Verdict {
 	return p.stack.Load().Explain(r)
+}
+
+// ExplainOp is Explain plus the short-circuit point — see
+// Stack.ExplainOp.
+func (p *Pipeline) ExplainOp(r Request) ([]Verdict, int) {
+	return p.stack.Load().ExplainOp(r)
 }
 
 // Install appends a guard to the stack and returns a function that

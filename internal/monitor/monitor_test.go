@@ -76,6 +76,40 @@ func TestExplainRunsEveryGuard(t *testing.T) {
 	}
 }
 
+// TestExplainOpShortCircuitPoint: ExplainOp runs every guard like
+// Explain but additionally names the guard whose denial would have
+// ended a production Check.
+func TestExplainOpShortCircuitPoint(t *testing.T) {
+	a := &scripted{name: "a", allow: true}
+	b := &scripted{name: "b", allow: false}
+	c := &scripted{name: "c", allow: false}
+	p := NewPipeline(a, b, c)
+
+	vs, sc := p.ExplainOp(Request{})
+	if len(vs) != 3 {
+		t.Fatalf("ExplainOp returned %d verdicts", len(vs))
+	}
+	if sc != 1 {
+		t.Errorf("short-circuit = %d, want 1 (b denies first)", sc)
+	}
+	if c.calls != 1 {
+		t.Error("ExplainOp skipped c after b's denial")
+	}
+	// Production Check agrees with the reported short-circuit point.
+	if v := p.Check(Request{}); v.Guard != vs[sc].Guard {
+		t.Errorf("Check decided at %q, ExplainOp reported %q", v.Guard, vs[sc].Guard)
+	}
+
+	// All-allow stacks report no short-circuit.
+	if vs, sc := NewPipeline(a).Current().ExplainOp(Request{}); sc != -1 || len(vs) != 1 {
+		t.Errorf("all-allow ExplainOp = (%d verdicts, sc %d), want (1, -1)", len(vs), sc)
+	}
+	// The empty stack allows vacuously.
+	if vs, sc := NewPipeline().ExplainOp(Request{}); sc != -1 || len(vs) != 0 {
+		t.Errorf("empty ExplainOp = (%d verdicts, sc %d), want (0, -1)", len(vs), sc)
+	}
+}
+
 func TestInstallRemoveAndGeneration(t *testing.T) {
 	p := NewPipeline(&scripted{name: "base", allow: true})
 	g0 := p.Gen()

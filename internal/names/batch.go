@@ -192,6 +192,27 @@ func (s *Server) flush() {
 			break
 		}
 	}
+	// Journal the transition. st is immutable once published, so its
+	// shard versions are safe to read here without the mutex.
+	rec := &TransitionRecord{
+		Version:   st.version,
+		Time:      time.Now(),
+		Shards:    shardKinds(b.shards),
+		BatchSize: b.size,
+		Compile:   cs.kind.label(),
+		CompileNS: cs.totalNs,
+		PublishNS: time.Since(b.start).Nanoseconds(),
+	}
+	if st.lat != nil {
+		rec.LatticeVersion = st.lat.Version()
+		rec.LatticeDeltaBase = st.lat.DeltaBase()
+	}
+	if st.reg != nil {
+		rec.RegistryVersion = st.reg.Version()
+		rec.RegistryDeltaBase = st.reg.DeltaBase()
+		rec.IncrementalFreeze = st.reg.DeltaBase() != 0
+	}
+	s.journal.append(rec)
 	close(b.done)
 }
 

@@ -297,7 +297,12 @@ func (b *compileBuilder) walk(node, old *Node, vis visCtx, visChanged bool) {
 		} else {
 			childVis = visCtx{allow: vis.allow.And(effList), cls: vis.cls.Join(node.class), has: true}
 		}
-		childChanged := visChanged || oldE == nil || !sameIDSet(effList, oldE.effList)
+		// The children's context changes when this node's List set OR its
+		// class moved: both feed the chain (allow ∧ effList, cls ⊔ class),
+		// so a relabel must recompile descendant visibility even though
+		// the descendants' own nodes are shared with the parent epoch.
+		childChanged := visChanged || oldE == nil ||
+			!sameIDSet(effList, oldE.effList) || !node.class.Equal(oldE.node.class)
 		for name, child := range node.children {
 			var oldChild *Node
 			if old != nil {

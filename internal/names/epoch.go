@@ -92,6 +92,32 @@ func (ep *Epoch) Registry() *principal.Frozen { return ep.reg }
 // Stack returns the guard stack pinned in this epoch.
 func (ep *Epoch) Stack() *monitor.Stack { return ep.stack }
 
+// TraversalChecks reports whether this epoch enforces per-component
+// visibility during resolution (list+MAC-read on every interior node).
+func (ep *Epoch) TraversalChecks() bool { return ep.traversal }
+
+// Membership returns the epoch's frozen membership relation for ACL
+// evaluation, or nil when no registry is attached. Explain hooks use
+// it to re-evaluate entries exactly as the guards did.
+func (ep *Epoch) Membership() acl.Membership { return ep.members() }
+
+// Lookup walks to the node bound at path inside this epoch with NO
+// access or visibility checks — structural resolution only. It is an
+// explain hook: provenance needs to inspect nodes (their ACLs and
+// classes) that the asking subject may not itself be able to see.
+// Production mediation never calls it.
+func (ep *Epoch) Lookup(path string) (*Node, error) {
+	return resolveIn(ep, nil, lattice.Class{}, path, false)
+}
+
+// CheckIn is the uncached full check pinned to this epoch — identical
+// to Server.CheckAccessIn. Explain re-runs the authoritative decision
+// through it so the verdict it reports is the one mediation computes,
+// byte for byte.
+func (ep *Epoch) CheckIn(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
+	return checkAccessIn(ep, sub, class, path, modes)
+}
+
 // members returns the epoch's membership relation for ACL evaluation,
 // or a nil interface when no registry is attached (guards then fall
 // back to the subject's own MemberOf). The explicit nil check matters:

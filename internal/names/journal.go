@@ -1,0 +1,152 @@
+package names
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// journalCap is the number of epoch-transition records the journal
+// retains. Old records are overwritten ring-style; 256 transitions is
+// hours of history under interactive policy editing and a few seconds
+// under a churn benchmark, which is exactly the window a divergence or
+// latency investigation needs.
+const journalCap = 256
+
+// TransitionRecord describes one epoch publication: which shards
+// changed, how many staged mutations the batch coalesced, whether the
+// freezes were incremental or full rebuilds, what kind of compiled
+// read side was built and what it cost, and how long the whole
+// publish took. Records are immutable once appended.
+type TransitionRecord struct {
+	Version   uint64    `json:"version"`    // version the batch landed in
+	Time      time.Time `json:"time"`       // wall-clock publish time
+	Shards    []string  `json:"shards"`     // shard kinds staged into the batch
+	BatchSize int       `json:"batch_size"` // staged mutations coalesced
+
+	// Frozen-shard provenance: version and delta base of the lattice
+	// and registry snapshots the epoch carries. DeltaBase == 0 means
+	// the freeze was a full rebuild; nonzero names the version the
+	// incremental freeze derived from. Registry fields are zero when
+	// no registry is attached.
+	LatticeVersion    uint64 `json:"lattice_version"`
+	LatticeDeltaBase  uint64 `json:"lattice_delta_base"`
+	RegistryVersion   uint64 `json:"registry_version"`
+	RegistryDeltaBase uint64 `json:"registry_delta_base"`
+	// IncrementalFreeze reports whether the registry freeze for this
+	// epoch was derived incrementally from a prior frozen snapshot.
+	IncrementalFreeze bool `json:"incremental_freeze"`
+
+	// Compile provenance: the build kind of the epoch's compiled read
+	// side ("full", "incremental", "reused", or "none" when compiled
+	// epochs are off or no registry is attached) and its cost.
+	Compile   string `json:"compile"`
+	CompileNS int64  `json:"compile_ns"`
+
+	// PublishNS is the end-to-end latency of the flush that published
+	// this epoch (freeze + compile + pointer store), as observed by
+	// the flushing writer.
+	PublishNS int64 `json:"publish_ns"`
+}
+
+// epochJournal is a lock-free ring of transition records. Appends are
+// one atomic add plus one pointer store; snapshots read pointers
+// without stopping writers. The zero value is ready to use, so the
+// Server embeds it without construction. A record observed mid-append
+// is either the old or the new pointer — never a torn record — because
+// the slot holds a pointer to an immutable struct.
+type epochJournal struct {
+	slots [journalCap]atomic.Pointer[TransitionRecord]
+	pos   atomic.Uint64 // total appends since boot
+}
+
+func (j *epochJournal) append(r *TransitionRecord) {
+	i := j.pos.Add(1) - 1
+	j.slots[i%journalCap].Store(r)
+}
+
+// snapshot returns up to n records, newest first. n <= 0 means all
+// retained records. Concurrent appends may overwrite the oldest slots
+// while we read; a slot whose pointer moved forward simply yields the
+// newer record, so the result is always a set of real transitions.
+func (j *epochJournal) snapshot(n int) []TransitionRecord {
+	total := j.pos.Load()
+	avail := total
+	if avail > journalCap {
+		avail = journalCap
+	}
+	if n <= 0 || uint64(n) > avail {
+		n = int(avail)
+	}
+	out := make([]TransitionRecord, 0, n)
+	for k := 0; k < n; k++ {
+		// Walk backwards from the most recent append.
+		idx := (total - 1 - uint64(k)) % journalCap
+		if r := j.slots[idx].Load(); r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// recorded returns the number of records currently retained.
+func (j *epochJournal) recorded() int {
+	total := j.pos.Load()
+	if total > journalCap {
+		return journalCap
+	}
+	return int(total)
+}
+
+// Journal returns up to n epoch-transition records, newest first
+// (n <= 0 means all retained records). The snapshot is lock-free and
+// never blocks writers; see TransitionRecord for field semantics.
+func (s *Server) Journal(n int) []TransitionRecord {
+	return s.journal.snapshot(n)
+}
+
+// JournalLen returns the number of transition records currently
+// retained in the journal ring (at most journalCap).
+func (s *Server) JournalLen() int { return s.journal.recorded() }
+
+// DivergenceStats returns the shadow divergence monitor's counters:
+// how many traced checks were routed through both the compiled fast
+// path and the authoritative walk, and how many of those disagreed.
+// A nonzero divergence count is a correctness alarm — the compiled
+// read side allowed something the walk denied (the walk's verdict was
+// enforced; the compiled answer was only compared).
+func (s *Server) DivergenceStats() (shadowChecks, divergences uint64) {
+	return s.shadowChecks.Load(), s.divergences.Load()
+}
+
+// label renders a compile build kind for journal records and
+// telemetry.
+func (k compileKind) label() string {
+	switch k {
+	case compileFull:
+		return "full"
+	case compileIncremental:
+		return "incremental"
+	case compileReused:
+		return "reused"
+	}
+	return "none"
+}
+
+// shardKinds returns the human-readable shard kinds staged into a
+// batch, from its shard bitmask.
+func shardKinds(shards uint8) []string {
+	var out []string
+	if shards&shardNames != 0 {
+		out = append(out, "names")
+	}
+	if shards&shardLattice != 0 {
+		out = append(out, "lattice")
+	}
+	if shards&shardRegistry != 0 {
+		out = append(out, "registry")
+	}
+	if shards&shardStack != 0 {
+		out = append(out, "stack")
+	}
+	return out
+}

@@ -133,6 +133,23 @@ type Server struct {
 	// stack contains a stateful guard (whose verdicts must not be
 	// memoized).
 	cache atomic.Pointer[decision.Cache]
+
+	// journal retains the last journalCap epoch transitions (version,
+	// shards, batch size, freeze delta-bases, compile kind and cost,
+	// publish latency) in a lock-free ring; Journal snapshots it
+	// without stopping writers.
+	journal epochJournal
+
+	// Shadow divergence monitor: every traced check (the telemetry
+	// sampler picks 1/N of all checks) additionally consults the
+	// compiled fast path and compares its verdict against the
+	// authoritative walk. shadowChecks counts comparisons, divergences
+	// counts disagreements — a nonzero divergence count means the
+	// compiled bitsets allowed something the walk denied, which is a
+	// correctness alarm (the walk's verdict is always the one
+	// enforced).
+	shadowChecks atomic.Uint64
+	divergences  atomic.Uint64
 }
 
 // NewServer creates a name space whose root carries the given ACL and
@@ -468,17 +485,28 @@ func (s *Server) ResolveUnchecked(path string) (*Node, error) {
 // shard racing with the check leaves the entry unreachable the moment
 // it lands.
 func (s *Server) CheckAccess(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, error) {
+	n, _, err := s.CheckAccessAt(sub, class, path, modes)
+	return n, err
+}
+
+// CheckAccessAt is CheckAccess plus the deciding epoch's version, so
+// callers (the reference monitor's audit path) can stamp the decision
+// with the exact protection-state generation it was computed against —
+// a cache hit included, since a hit requires the stamp to equal the
+// pinned version.
+func (s *Server) CheckAccessAt(sub acl.Subject, class lattice.Class, path string, modes acl.Mode) (*Node, uint64, error) {
 	ep := s.epoch.Load()
 	cache := s.cache.Load()
 	if cache == nil || !ep.stack.Cacheable() {
-		return checkAccessIn(ep, sub, class, path, modes)
+		n, err := checkAccessIn(ep, sub, class, path, modes)
+		return n, ep.version, err
 	}
 	name := sub.SubjectName()
 	if node, err, ok := cache.Lookup(ep.version, name, class, path, modes); ok {
 		if err != nil {
-			return nil, err
+			return nil, ep.version, err
 		}
-		return node.(*Node), nil
+		return node.(*Node), ep.version, nil
 	}
 	n, err := checkAccessIn(ep, sub, class, path, modes)
 	// Cache grants and access denials only. Structural errors
@@ -489,7 +517,7 @@ func (s *Server) CheckAccess(sub acl.Subject, class lattice.Class, path string, 
 	} else if errors.Is(err, ErrDenied) {
 		cache.StoreAt(ep.version, name, class, path, modes, nil, err)
 	}
-	return n, err
+	return n, ep.version, err
 }
 
 // CheckAccessTraced is CheckAccess with stage-by-stage observability:
@@ -499,15 +527,24 @@ func (s *Server) CheckAccess(sub acl.Subject, class lattice.Class, path string, 
 // extra clock reads never touch the common path; the decision returned
 // is identical to CheckAccess's.
 func (s *Server) CheckAccessTraced(sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, error) {
+	n, _, err := s.CheckAccessTracedAt(sub, class, path, modes, tr)
+	return n, err
+}
+
+// CheckAccessTracedAt is CheckAccessTraced plus the deciding epoch's
+// version (see CheckAccessAt).
+func (s *Server) CheckAccessTracedAt(sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, uint64, error) {
 	ep := s.epoch.Load()
 	tr.EpochVersion(ep.version)
 	cache := s.cache.Load()
 	if cache == nil {
-		return checkAccessInTraced(ep, sub, class, path, modes, tr)
+		n, err := s.checkAccessInTraced(ep, sub, class, path, modes, tr)
+		return n, ep.version, err
 	}
 	if !ep.stack.Cacheable() {
 		tr.Span("cache-skip", "stateful guard", 0)
-		return checkAccessInTraced(ep, sub, class, path, modes, tr)
+		n, err := s.checkAccessInTraced(ep, sub, class, path, modes, tr)
+		return n, ep.version, err
 	}
 	name := sub.SubjectName()
 	start := time.Now()
@@ -515,17 +552,17 @@ func (s *Server) CheckAccessTraced(sub acl.Subject, class lattice.Class, path st
 	tr.CacheProbe(ok, ep.version, time.Since(start))
 	if ok {
 		if err != nil {
-			return nil, err
+			return nil, ep.version, err
 		}
-		return node.(*Node), nil
+		return node.(*Node), ep.version, nil
 	}
-	n, err := checkAccessInTraced(ep, sub, class, path, modes, tr)
+	n, err := s.checkAccessInTraced(ep, sub, class, path, modes, tr)
 	if err == nil {
 		cache.StoreAt(ep.version, name, class, path, modes, n, nil)
 	} else if errors.Is(err, ErrDenied) {
 		cache.StoreAt(ep.version, name, class, path, modes, nil, err)
 	}
-	return n, err
+	return n, ep.version, err
 }
 
 // CheckAccessIn is the uncached full check pinned to a caller-chosen
@@ -557,20 +594,41 @@ func checkAccessIn(ep *Epoch, sub acl.Subject, class lattice.Class, path string,
 
 // checkAccessInTraced mirrors checkAccessIn, recording the resolve
 // duration as a span and running the guard stack through CheckTraced so
-// each guard's verdict is visible individually.
-func checkAccessInTraced(ep *Epoch, sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, error) {
+// each guard's verdict is visible individually. Because it runs only
+// for the 1/N of checks the telemetry sampler selects, it doubles as
+// the shadow divergence monitor: it takes the authoritative walk
+// unconditionally, then consults the compiled fast path and compares.
+// The walk's verdict is always the one returned.
+func (s *Server) checkAccessInTraced(ep *Epoch, sub acl.Subject, class lattice.Class, path string, modes acl.Mode, tr *telemetry.ActiveTrace) (*Node, error) {
 	start := time.Now()
 	n, err := resolveIn(ep, sub, class, path, true)
 	tr.Span("resolve", "", time.Since(start))
+	var werr error
 	if err != nil {
-		return nil, err
+		werr = err
+	} else {
+		v := ep.stack.CheckTraced(monitor.Request{
+			Subject: sub, Class: class, Object: describe(n, path), Modes: modes,
+			Members: ep.members(), Op: monitor.OpAccess,
+		}, tr)
+		if !v.Allow {
+			werr = &DeniedError{Path: path, Op: modes.String(), Why: v.Reason}
+		}
 	}
-	v := ep.stack.CheckTraced(monitor.Request{
-		Subject: sub, Class: class, Object: describe(n, path), Modes: modes,
-		Members: ep.members(), Op: monitor.OpAccess,
-	}, tr)
-	if !v.Allow {
-		return nil, &DeniedError{Path: path, Op: modes.String(), Why: v.Reason}
+	if ep.compiled != nil && sub != nil {
+		s.shadowChecks.Add(1)
+		if _, allowed := ep.fastCheck(sub, class, path, modes); allowed && werr != nil {
+			// The compiled bitsets proved ALLOW while the walk denied:
+			// the freeze-time structures disagree with the authoritative
+			// evaluation. Alarm, but enforce the walk's verdict.
+			s.divergences.Add(1)
+			tr.Span("shadow", "DIVERGENCE: compiled=allow walk=deny", 0)
+		} else {
+			tr.Span("shadow", "no divergence", 0)
+		}
+	}
+	if werr != nil {
+		return nil, werr
 	}
 	return n, nil
 }

@@ -23,6 +23,10 @@
 //	JOURNAL <text...>        append to the system journal
 //	STATS                    one-line telemetry summary
 //	TRACE [n]                recent decision traces: "OK <k>" then k lines
+//	EXPLAIN <path> <modes>   provenance of a decision for the connected
+//	                         principal: "OK <k>" then the k-line verdict tree
+//	EPOCHS [n]               epoch-transition journal, newest first:
+//	                         "OK <k>" then k lines
 //	WHOAMI                   current principal and class
 //	QUIT                     close the connection
 package remote
@@ -297,7 +301,15 @@ func (s *session) dispatch(line string) {
 		}
 		s.reply("OK")
 	case "STATS":
+		if len(args) != 0 {
+			s.reply("ERR usage: STATS")
+			return
+		}
 		if !s.need() {
+			return
+		}
+		if s.srv.sys.Telemetry() == nil {
+			s.reply("ERR telemetry disabled")
 			return
 		}
 		s.reply("OK %s", statsLine(s.srv.sys))
@@ -307,6 +319,10 @@ func (s *session) dispatch(line string) {
 			return
 		}
 		if !s.need() {
+			return
+		}
+		if s.srv.sys.Telemetry() == nil {
+			s.reply("ERR telemetry disabled")
 			return
 		}
 		n := 10
@@ -322,6 +338,53 @@ func (s *session) dispatch(line string) {
 		s.reply("OK %d", len(traces))
 		for _, tr := range traces {
 			s.reply("%s", tr.String())
+		}
+	case "EXPLAIN":
+		if len(args) != 2 {
+			s.reply("ERR usage: EXPLAIN <path> <modes>")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		// The connection's own principal is the explained subject: a
+		// remote caller may interrogate its own verdicts, not forge
+		// questions on behalf of others.
+		ex, err := s.srv.sys.Explain(s.ctx.SubjectName(), args[0], args[1])
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		lines := strings.Split(strings.TrimRight(ex.String(), "\n"), "\n")
+		s.reply("OK %d", len(lines))
+		for _, l := range lines {
+			s.reply("%s", l)
+		}
+	case "EPOCHS":
+		if len(args) > 1 {
+			s.reply("ERR usage: EPOCHS [n]")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		if s.srv.sys.Telemetry() == nil {
+			s.reply("ERR telemetry disabled")
+			return
+		}
+		n := 10
+		if len(args) == 1 {
+			parsed, err := strconv.Atoi(args[0])
+			if err != nil || parsed < 1 {
+				s.reply("ERR usage: EPOCHS [n]")
+				return
+			}
+			n = parsed
+		}
+		recs := s.srv.sys.Telemetry().EpochJournal(n)
+		s.reply("OK %d", len(recs))
+		for _, r := range recs {
+			s.reply("%s", r.String())
 		}
 	default:
 		s.reply("ERR unknown command %q", cmd)

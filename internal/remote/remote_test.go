@@ -345,3 +345,173 @@ func TestRemoteStatsAndTrace(t *testing.T) {
 		}
 	}
 }
+
+// readBody reads the k payload lines announced by an "OK <k>" header
+// and returns them joined.
+func (c *client) readBody(head string) string {
+	c.t.Helper()
+	var k int
+	if _, err := fmt.Sscanf(head, "OK %d", &k); err != nil {
+		c.t.Fatalf("framing header = %q: %v", head, err)
+	}
+	lines := make([]string, k)
+	for i := range lines {
+		lines[i] = c.readLine()
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestRemoteStatsTraceArgErrors(t *testing.T) {
+	addr, aliceTok, _ := startServer(t)
+	c := dial(t, addr)
+	c.expectOK("AUTH %s", aliceTok)
+	// Malformed arguments are usage errors, not silent defaults.
+	if got := c.expectErr("STATS extra"); !strings.Contains(got, "usage: STATS") {
+		t.Errorf("STATS extra = %q", got)
+	}
+	for _, bad := range []string{"TRACE nope", "TRACE 0", "TRACE -3", "TRACE 1 2"} {
+		if got := c.expectErr(bad); !strings.Contains(got, "usage: TRACE [n]") {
+			t.Errorf("%s = %q", bad, got)
+		}
+	}
+	for _, bad := range []string{"EPOCHS nope", "EPOCHS 0", "EPOCHS 1 2"} {
+		if got := c.expectErr(bad); !strings.Contains(got, "usage: EPOCHS [n]") {
+			t.Errorf("%s = %q", bad, got)
+		}
+	}
+	c.expectErr("EXPLAIN")
+	c.expectErr("EXPLAIN /fs")
+	c.expectErr("EXPLAIN /fs read extra")
+}
+
+// TestRemoteTelemetryDisabled serves a world built with telemetry off:
+// the introspection commands that depend on it report the condition
+// instead of pretending to succeed, while EXPLAIN (which re-evaluates
+// against the epoch directly) still works.
+func TestRemoteTelemetryDisabled(t *testing.T) {
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:     []string{"others", "organization", "local"},
+		Categories: []string{"dept-1", "dept-2"},
+		Telemetry:  secext.TelemetryOptions{Mode: secext.TelemetryOff},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sys.AddPrincipal("alice", "organization:{dept-1}"); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := w.Sys.Registry().IssueToken("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(w.Sys)
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { srv.Close(); l.Close() })
+
+	c := dial(t, l.Addr().String())
+	c.expectOK("AUTH %s", tok)
+	for _, cmd := range []string{"STATS", "TRACE", "EPOCHS"} {
+		if got := c.expectErr(cmd); !strings.Contains(got, "telemetry disabled") {
+			t.Errorf("%s with telemetry off = %q", cmd, got)
+		}
+	}
+	c.expectOK("CREATE /fs/dark-note")
+	head := c.expectOK("EXPLAIN /fs/dark-note read")
+	if body := c.readBody(head); !strings.Contains(body, "ALLOW alice read on /fs/dark-note") {
+		t.Errorf("EXPLAIN with telemetry off = %q", body)
+	}
+}
+
+// TestRemoteExplain drives the full provenance pipeline over real TCP:
+// an allowed check names the exact ACL entry that granted it, and a
+// denied check names the fail-closed ACL verdict, the decisive guard,
+// and the MAC dominance comparison with both classes.
+func TestRemoteExplain(t *testing.T) {
+	addr, aliceTok, eveTok := startServer(t)
+	alice := dial(t, addr)
+	alice.expectOK("AUTH %s", aliceTok)
+	alice.expectOK("CREATE /fs/secret")
+
+	// Allowed: the owner entry created by /svc/fs/create decides.
+	body := alice.readBody(alice.expectOK("EXPLAIN /fs/secret read"))
+	for _, want := range []string{
+		"ALLOW alice read on /fs/secret",
+		"epoch v",
+		"subject class: organization:{dept-1}",
+		"matched: allow alice read,write,write-append,administrate,delete",
+		"want read => ALLOW",
+		"mac: subject organization:{dept-1} vs object organization:{dept-1}",
+		"verdict: allow",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("allowed EXPLAIN missing %q in:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, "route compiled") && !strings.Contains(body, "route walk") {
+		t.Errorf("allowed EXPLAIN names no route:\n%s", body)
+	}
+
+	// Denied: eve (class others, below the file) gets the whole story —
+	// no ACL entry matches her, the DAC guard is decisive, and the MAC
+	// report shows she does not dominate the object.
+	eve := dial(t, addr)
+	eve.expectOK("AUTH %s", eveTok)
+	body = eve.readBody(eve.expectOK("EXPLAIN /fs/secret read"))
+	for _, want := range []string{
+		"DENY eve read on /fs/secret",
+		"route walk", // denials always take the walk
+		"no entries matched the subject (fail-closed)",
+		"want read => DENY",
+		"<- decided here",
+		"mac: subject others vs object organization:{dept-1}",
+		"subject dominates object: false",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("denied EXPLAIN missing %q in:\n%s", want, body)
+		}
+	}
+
+	// A structurally missing path explains the resolve failure.
+	body = alice.readBody(alice.expectOK("EXPLAIN /fs/no-such read"))
+	if !strings.Contains(body, "resolve:") {
+		t.Errorf("missing-path EXPLAIN = %q", body)
+	}
+	// Bad modes are an error, not a panic.
+	alice.expectErr("EXPLAIN /fs/secret frobnicate")
+}
+
+// TestRemoteEpochs reads the epoch-transition journal over the wire:
+// each mutation published at least one epoch, and the rendered records
+// carry version, shard, and compile information.
+func TestRemoteEpochs(t *testing.T) {
+	addr, aliceTok, _ := startServer(t)
+	c := dial(t, addr)
+	c.expectOK("AUTH %s", aliceTok)
+	c.expectOK("CREATE /fs/epoch-a")
+	c.expectOK("CREATE /fs/epoch-b")
+
+	head := c.expectOK("EPOCHS 5")
+	var k int
+	if _, err := fmt.Sscanf(head, "OK %d", &k); err != nil {
+		t.Fatalf("EPOCHS header = %q: %v", head, err)
+	}
+	if k < 2 {
+		t.Fatalf("EPOCHS returned %d records, want at least 2", k)
+	}
+	for i := 0; i < k; i++ {
+		line := c.readLine()
+		for _, want := range []string{"epoch v", "shards=", "compile=", "publish="} {
+			if !strings.Contains(line, want) {
+				t.Errorf("EPOCHS line %d = %q, missing %q", i, line, want)
+			}
+		}
+	}
+	// Unauthenticated connections get nothing.
+	anon := dial(t, addr)
+	anon.expectErr("EPOCHS")
+	anon.expectErr("EXPLAIN /fs/epoch-a read")
+}

@@ -14,6 +14,12 @@ import (
 //	/debug/trace/recent   recent traces, JSON by default;
 //	                      ?n=20 limits, ?denied=1 filters to denials,
 //	                      ?text=1 renders one line per trace
+//	/debug/epochs         epoch-transition journal, newest first;
+//	                      ?n=20 limits, ?text=1 renders one line per
+//	                      transition
+//	/debug/explain        provenance re-evaluation of one decision;
+//	                      ?subject=&path=&mode= required, JSON verdict
+//	                      tree by default, ?text=1 renders it
 //
 // Safe on a nil receiver: a disabled system still serves the endpoints
 // (zero metrics, no traces), so dashboards never 404 on configuration.
@@ -55,6 +61,52 @@ func (t *Telemetry) HTTPHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(traces)
+	})
+	mux.HandleFunc("/debug/epochs", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
+		recs := t.EpochJournal(n)
+		if r.URL.Query().Get("text") == "1" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, rec := range recs {
+				fmt.Fprintln(w, rec.String())
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if recs == nil {
+			recs = []EpochTransition{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(recs)
+	})
+	mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		subject, path, mode := q.Get("subject"), q.Get("path"), q.Get("mode")
+		if subject == "" || path == "" || mode == "" {
+			http.Error(w, "need subject=, path=, mode=", http.StatusBadRequest)
+			return
+		}
+		text, jsonBody, err := t.Explain(subject, path, mode)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if q.Get("text") == "1" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, text)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(jsonBody)
 	})
 	return mux
 }

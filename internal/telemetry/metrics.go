@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -157,6 +159,59 @@ type NamesStats struct {
 	CompiledIndexBuild          HistSnapshot `json:"compiled_index_build"`
 	CompiledSummaryCompile      HistSnapshot `json:"compiled_summary_compile"`
 	CompiledVisRecompute        HistSnapshot `json:"compiled_vis_recompute"`
+	// Shadow divergence monitor: traced checks routed through both the
+	// compiled fast path and the authoritative walk, and how many of
+	// those comparisons disagreed (compiled=allow, walk=deny). A
+	// nonzero divergence count is a correctness alarm.
+	ShadowChecks uint64 `json:"shadow_checks"`
+	Divergences  uint64 `json:"compiled_divergences"`
+	// JournalRecords is the number of epoch-transition records the
+	// journal ring currently retains.
+	JournalRecords int `json:"journal_records"`
+}
+
+// EpochTransition mirrors one record of the name server's
+// epoch-transition journal: which shards a publication carried, how
+// many staged mutations it coalesced, whether the freezes and the
+// read-side compilation were incremental, and what the publish cost.
+// The owner injects the journal via SetEpochJournal; this package
+// stays a leaf.
+type EpochTransition struct {
+	Version           uint64    `json:"version"`
+	Time              time.Time `json:"time"`
+	Shards            []string  `json:"shards"`
+	BatchSize         int       `json:"batch_size"`
+	LatticeVersion    uint64    `json:"lattice_version"`
+	LatticeDeltaBase  uint64    `json:"lattice_delta_base"`
+	RegistryVersion   uint64    `json:"registry_version"`
+	RegistryDeltaBase uint64    `json:"registry_delta_base"`
+	IncrementalFreeze bool      `json:"incremental_freeze"`
+	Compile           string    `json:"compile"`
+	CompileNS         int64     `json:"compile_ns"`
+	PublishNS         int64     `json:"publish_ns"`
+}
+
+// String renders the transition as a one-line journal entry.
+func (e EpochTransition) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch v%d %s shards=%s batch=%d",
+		e.Version, e.Time.Format(time.RFC3339Nano), strings.Join(e.Shards, "+"), e.BatchSize)
+	if e.RegistryVersion != 0 {
+		freeze := "full"
+		if e.IncrementalFreeze {
+			freeze = fmt.Sprintf("incremental(from v%d)", e.RegistryDeltaBase)
+		}
+		fmt.Fprintf(&b, " registry=v%d freeze=%s", e.RegistryVersion, freeze)
+	}
+	if e.LatticeVersion != 0 {
+		fmt.Fprintf(&b, " lattice=v%d", e.LatticeVersion)
+	}
+	fmt.Fprintf(&b, " compile=%s", e.Compile)
+	if e.Compile != "none" && e.Compile != "reused" {
+		fmt.Fprintf(&b, "(%s)", time.Duration(e.CompileNS))
+	}
+	fmt.Fprintf(&b, " publish=%s", time.Duration(e.PublishNS))
+	return b.String()
 }
 
 // AuditStats mirrors the audit log's counters, including ring drops

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // WriteProm renders a snapshot in the Prometheus text exposition format
@@ -16,8 +17,8 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	ew.printf("# HELP secext_mediations_total Mediated access decisions by kind and verdict.\n")
 	ew.printf("# TYPE secext_mediations_total counter\n")
 	for _, m := range s.Mediations {
-		ew.printf("secext_mediations_total{kind=%q,verdict=\"allowed\"} %d\n", m.Kind, m.Allowed)
-		ew.printf("secext_mediations_total{kind=%q,verdict=\"denied\"} %d\n", m.Kind, m.Denied)
+		ew.printf("secext_mediations_total{kind=%s,verdict=\"allowed\"} %d\n", promQuote(m.Kind), m.Allowed)
+		ew.printf("secext_mediations_total{kind=%s,verdict=\"denied\"} %d\n", promQuote(m.Kind), m.Denied)
 	}
 
 	ew.printf("# HELP secext_decision_cache_hits_total Decision-cache lookups served from cache.\n")
@@ -72,6 +73,16 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	ew.printf("secext_epoch_compiled_retained_bytes{deduped=\"true\"} %d\n", s.Names.CompiledRetainedBytes)
 	ew.printf("secext_epoch_compiled_retained_bytes{deduped=\"false\"} %d\n", s.Names.CompiledRetainedBytesCloned)
 
+	ew.printf("# HELP secext_compiled_shadow_checks_total Sampled checks routed through both the compiled fast path and the authoritative walk.\n")
+	ew.printf("# TYPE secext_compiled_shadow_checks_total counter\n")
+	ew.printf("secext_compiled_shadow_checks_total %d\n", s.Names.ShadowChecks)
+	ew.printf("# HELP secext_compiled_divergence_total Shadow comparisons where the compiled verdict diverged from the walk (correctness alarm; the walk's verdict was enforced).\n")
+	ew.printf("# TYPE secext_compiled_divergence_total counter\n")
+	ew.printf("secext_compiled_divergence_total %d\n", s.Names.Divergences)
+	ew.printf("# HELP secext_epoch_journal_records Epoch-transition records currently retained in the journal ring.\n")
+	ew.printf("# TYPE secext_epoch_journal_records gauge\n")
+	ew.printf("secext_epoch_journal_records %d\n", s.Names.JournalRecords)
+
 	ew.printf("# HELP secext_audit_events_total Audit log decisions by verdict, plus mediation bypasses.\n")
 	ew.printf("# TYPE secext_audit_events_total counter\n")
 	ew.printf("secext_audit_events_total{verdict=\"allowed\"} %d\n", s.Audit.Allowed)
@@ -110,7 +121,7 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	for _, g := range s.Guards {
 		writePromHist(ew, "secext_guard_eval_seconds",
 			"Per-guard evaluation latency (sampled).",
-			"guard="+strconv.Quote(g.Name), g.Latency)
+			"guard="+promQuote(g.Name), g.Latency)
 	}
 	return ew.err
 }
@@ -150,11 +161,38 @@ func writePromHistWith(ew *errWriter, name, help, labels string, h HistSnapshot,
 // promLabels joins an optional pre-rendered label list with one more
 // label pair.
 func promLabels(labels, k, v string) string {
-	pair := k + "=" + strconv.Quote(v)
+	pair := k + "=" + promQuote(v)
 	if labels == "" {
 		return pair
 	}
 	return labels + "," + pair
+}
+
+// promQuote renders a label value per the Prometheus text exposition
+// format (0.0.4): backslash, double quote, and line feed are escaped
+// as \\, \", and \n; every other byte — UTF-8 sequences included —
+// passes through literally. strconv.Quote is NOT a substitute: it
+// emits Go-style escapes (\t, \xNN, \uNNNN) the exposition format
+// does not define, which scrapers would ingest as literal backslash
+// sequences or reject.
+func promQuote(v string) string {
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // formatSeconds renders a nanosecond quantity as seconds.

@@ -35,6 +35,7 @@
 package telemetry
 
 import (
+	"errors"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -124,6 +125,14 @@ type Telemetry struct {
 	cacheStats atomic.Pointer[func() CacheStats]
 	auditStats atomic.Pointer[func() AuditStats]
 	namesStats atomic.Pointer[func() NamesStats]
+
+	// epochJournal, when wired, snapshots the name server's
+	// epoch-transition journal (newest first, n <= 0 for all), and
+	// explain runs a provenance re-evaluation for the HTTP and remote
+	// introspection surfaces. Injected as plain functions for the same
+	// leaf-package reason as the stat hooks above.
+	epochJournal atomic.Pointer[func(n int) []EpochTransition]
+	explain      atomic.Pointer[func(subject, path, modes string) (string, []byte, error)]
 }
 
 // New builds a telemetry registry. ModeOff returns nil — the nil
@@ -205,6 +214,60 @@ func (t *Telemetry) SetAuditStats(fn func() AuditStats) {
 		return
 	}
 	t.auditStats.Store(&fn)
+}
+
+// SetEpochJournal wires the name server's epoch-transition journal
+// snapshot into the introspection endpoints; nil detaches it.
+func (t *Telemetry) SetEpochJournal(fn func(n int) []EpochTransition) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.epochJournal.Store(nil)
+		return
+	}
+	t.epochJournal.Store(&fn)
+}
+
+// EpochJournal returns up to n epoch-transition records, newest first
+// (n <= 0 for all retained); nil when no journal is wired or the
+// receiver is nil.
+func (t *Telemetry) EpochJournal(n int) []EpochTransition {
+	if t == nil {
+		return nil
+	}
+	fn := t.epochJournal.Load()
+	if fn == nil {
+		return nil
+	}
+	return (*fn)(n)
+}
+
+// SetExplain wires the provenance explain engine: fn takes a subject
+// name, an object path, and a textual mode set, and returns the
+// human-readable verdict tree plus its JSON encoding. nil detaches.
+func (t *Telemetry) SetExplain(fn func(subject, path, modes string) (text string, jsonBody []byte, err error)) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.explain.Store(nil)
+		return
+	}
+	t.explain.Store(&fn)
+}
+
+// Explain runs the wired explain engine; it errors when none is wired
+// (or the receiver is nil).
+func (t *Telemetry) Explain(subject, path, modes string) (text string, jsonBody []byte, err error) {
+	if t == nil {
+		return "", nil, errors.New("telemetry: explain not wired")
+	}
+	fn := t.explain.Load()
+	if fn == nil {
+		return "", nil, errors.New("telemetry: explain not wired")
+	}
+	return (*fn)(subject, path, modes)
 }
 
 // RegisterGuards pre-creates the per-guard stat entries so the metric

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -353,4 +354,248 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestPromQuote: label values escape exactly the three bytes the
+// exposition format defines — backslash, double quote, line feed —
+// and pass everything else (tabs, UTF-8) through literally, which is
+// where strconv.Quote would corrupt the output.
+func TestPromQuote(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"dac", `"dac"`},
+		{`he said "hi"`, `"he said \"hi\""`},
+		{`back\slash`, `"back\\slash"`},
+		{"line\nfeed", `"line\nfeed"`},
+		{"tab\there", "\"tab\there\""},
+		{"classé ⊑ ⊤", `"classé ⊑ ⊤"`},
+		{"", `""`},
+	}
+	for _, tc := range cases {
+		if got := promQuote(tc.in); got != tc.want {
+			t.Errorf("promQuote(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestPromLabelEscaping: a quote-bearing name flows through WriteProm
+// as a correctly escaped label value. Guard names carry arbitrary
+// strings (a quota guard may embed the subject it meters, e.g.
+// quota("o'brien \"admin\"")), so the guard label is the path that
+// must never emit an unescaped quote.
+func TestPromLabelEscaping(t *testing.T) {
+	tel := newTestTelemetry(Options{Mode: ModeFull})
+	tel.RegisterGuards(`quota("o'brien \"admin\"")`)
+
+	var b strings.Builder
+	if err := WriteProm(&b, tel.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `guard="quota(\"o'brien \\\"admin\\\"\")"`
+	if !strings.Contains(out, want) {
+		t.Fatalf("prom output missing escaped label %s\n%s", want, out)
+	}
+	// No line may contain an unescaped interior quote: strip every
+	// \\ and \" and what remains must have exactly the delimiter quotes.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "guard=") {
+			continue
+		}
+		clean := strings.ReplaceAll(strings.ReplaceAll(line, `\\`, ``), `\"`, ``)
+		if n := strings.Count(clean, `"`); n%2 != 0 {
+			t.Errorf("odd quote count after unescaping: %q", line)
+		}
+	}
+}
+
+// TestPromDivergenceMetrics: the shadow monitor counters and journal
+// gauge render under their documented metric names.
+func TestPromDivergenceMetrics(t *testing.T) {
+	tel := newTestTelemetry(Options{})
+	tel.SetNamesStats(func() NamesStats {
+		return NamesStats{ShadowChecks: 41, Divergences: 2, JournalRecords: 17}
+	})
+	var b strings.Builder
+	if err := WriteProm(&b, tel.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"secext_compiled_shadow_checks_total 41",
+		"secext_compiled_divergence_total 2",
+		"secext_epoch_journal_records 17",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q", want)
+		}
+	}
+}
+
+// TestTraceEpochRendering: EpochVersion stamps the trace header field
+// (rendered as epoch=N) while keeping the epoch span for span-level
+// consumers; an unstamped trace omits the field.
+func TestTraceEpochRendering(t *testing.T) {
+	tel := newTestTelemetry(Options{Mode: ModeFull})
+	tr := tel.StartTrace("data", "alice", "/fs/x", "read")
+	tr.EpochVersion(7)
+	tr.Finish(1, true, "")
+
+	got := tel.Recent(1, false)[0]
+	if got.Epoch != 7 {
+		t.Fatalf("trace.Epoch = %d", got.Epoch)
+	}
+	if got.Spans[0].Name != "epoch" || got.Spans[0].Detail != "v=7" {
+		t.Fatalf("epoch span = %+v", got.Spans[0])
+	}
+	if line := got.String(); !strings.Contains(line, " epoch=7 ") {
+		t.Errorf("render %q missing epoch=7", line)
+	}
+
+	tr = tel.StartTrace("data", "bob", "/fs/y", "read")
+	tr.Finish(2, true, "")
+	if line := tel.Recent(1, false)[0].String(); strings.Contains(line, "epoch=") {
+		t.Errorf("unstamped trace renders an epoch: %q", line)
+	}
+}
+
+// TestEpochTransitionString covers the render variants: registry
+// provenance with full vs incremental freeze, compile cost shown for
+// real builds and suppressed for reuse, registry-less records.
+func TestEpochTransitionString(t *testing.T) {
+	base := EpochTransition{
+		Version: 12, Time: time.Unix(0, 0).UTC(), Shards: []string{"names", "registry"},
+		BatchSize: 3, RegistryVersion: 4, Compile: "incremental",
+		CompileNS: 1500, PublishNS: 42000,
+	}
+	s := base.String()
+	for _, want := range []string{
+		"epoch v12", "shards=names+registry", "batch=3",
+		"registry=v4 freeze=full", "compile=incremental(1.5µs)", "publish=42µs",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render %q missing %q", s, want)
+		}
+	}
+
+	incr := base
+	incr.IncrementalFreeze = true
+	incr.RegistryDeltaBase = 3
+	if s := incr.String(); !strings.Contains(s, "freeze=incremental(from v3)") {
+		t.Errorf("incremental render = %q", s)
+	}
+
+	bare := EpochTransition{Version: 2, Shards: []string{"names"}, BatchSize: 1, Compile: "none"}
+	s = bare.String()
+	if strings.Contains(s, "registry=") || strings.Contains(s, "compile=none(") {
+		t.Errorf("bare render = %q", s)
+	}
+}
+
+// TestEpochJournalAndExplainWiring: the injected hooks round-trip, and
+// both are nil-safe before wiring and on a nil receiver.
+func TestEpochJournalAndExplainWiring(t *testing.T) {
+	var nilTel *Telemetry
+	if recs := nilTel.EpochJournal(5); recs != nil {
+		t.Errorf("nil telemetry journal = %v", recs)
+	}
+	if _, _, err := nilTel.Explain("a", "/x", "read"); err == nil {
+		t.Error("nil telemetry explain did not error")
+	}
+
+	tel := newTestTelemetry(Options{})
+	if recs := tel.EpochJournal(5); recs != nil {
+		t.Errorf("unwired journal = %v", recs)
+	}
+	if _, _, err := tel.Explain("a", "/x", "read"); err == nil {
+		t.Error("unwired explain did not error")
+	}
+
+	tel.SetEpochJournal(func(n int) []EpochTransition {
+		return []EpochTransition{{Version: uint64(n)}}
+	})
+	if recs := tel.EpochJournal(9); len(recs) != 1 || recs[0].Version != 9 {
+		t.Errorf("wired journal = %v", recs)
+	}
+	tel.SetExplain(func(subject, path, mode string) (string, []byte, error) {
+		return "TEXT " + subject, []byte(`{"ok":true}`), nil
+	})
+	text, body, err := tel.Explain("alice", "/x", "read")
+	if err != nil || text != "TEXT alice" || string(body) != `{"ok":true}` {
+		t.Errorf("wired explain = (%q, %q, %v)", text, body, err)
+	}
+}
+
+// TestHTTPEpochsAndExplain drives the two new debug endpoints through
+// a real HTTP server: JSON and text renderings, parameter validation,
+// and error propagation from the explain hook.
+func TestHTTPEpochsAndExplain(t *testing.T) {
+	tel := newTestTelemetry(Options{})
+	tel.SetEpochJournal(func(n int) []EpochTransition {
+		return []EpochTransition{{Version: 5, Shards: []string{"names"}, BatchSize: 2, Compile: "full"}}
+	})
+	tel.SetExplain(func(subject, path, mode string) (string, []byte, error) {
+		if subject == "nobody" {
+			return "", nil, fmt.Errorf("unknown principal %q", subject)
+		}
+		return "ALLOW " + subject, []byte(`{"allowed":true}`), nil
+	})
+	srv := httptest.NewServer(tel.HTTPHandler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/debug/epochs"); code != 200 || !strings.Contains(body, `"version": 5`) {
+		t.Errorf("/debug/epochs = %d %q", code, body)
+	}
+	if _, body := get("/debug/epochs?text=1&n=3"); !strings.Contains(body, "epoch v5") {
+		t.Errorf("/debug/epochs text = %q", body)
+	}
+	if code, body := get("/debug/epochs?n=potato"); code != 400 || !strings.Contains(body, "bad n") {
+		t.Errorf("bad n = %d %q", code, body)
+	}
+
+	if code, body := get("/debug/explain?subject=alice&path=/x&mode=read&text=1"); code != 200 || body != "ALLOW alice" {
+		t.Errorf("explain text = %d %q", code, body)
+	}
+	if code, body := get("/debug/explain?subject=alice&path=/x&mode=read"); code != 200 || body != `{"allowed":true}` {
+		t.Errorf("explain json = %d %q", code, body)
+	}
+	if code, body := get("/debug/explain?subject=alice"); code != 400 || !strings.Contains(body, "need subject=") {
+		t.Errorf("missing params = %d %q", code, body)
+	}
+	if code, body := get("/debug/explain?subject=nobody&path=/x&mode=read"); code != 400 || !strings.Contains(body, "unknown principal") {
+		t.Errorf("hook error = %d %q", code, body)
+	}
+
+	// A nil telemetry serves the endpoints too: empty journal, explain
+	// reports the unwired condition instead of crashing.
+	var nilTel *Telemetry
+	nilSrv := httptest.NewServer(nilTel.HTTPHandler())
+	defer nilSrv.Close()
+	resp, err := nilSrv.Client().Get(nilSrv.URL + "/debug/epochs")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("nil /debug/epochs: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = nilSrv.Client().Get(nilSrv.URL + "/debug/explain?subject=a&path=/x&mode=read")
+	if err != nil || resp.StatusCode != 400 {
+		t.Fatalf("nil /debug/explain: %v %v", err, resp)
+	}
+	resp.Body.Close()
 }

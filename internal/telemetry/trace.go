@@ -38,6 +38,10 @@ type Trace struct {
 	// Path is the object name; Op the requested modes.
 	Path string `json:"path"`
 	Op   string `json:"op"`
+	// Epoch is the policy-epoch version the decision was pinned to
+	// (0 when the mechanism never reported one). It correlates traces
+	// with the epoch-transition journal and with audit events.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Allowed is the final verdict; Reason explains a denial.
 	Allowed bool   `json:"allowed"`
 	Reason  string `json:"reason,omitempty"`
@@ -59,7 +63,11 @@ func (t Trace) String() string {
 	if t.Allowed {
 		verdict = "ALLOW"
 	}
-	fmt.Fprintf(&b, "trace #%d seq=%d %s %s %s", t.ID, t.Seq, verdict, t.Kind, t.Subject)
+	fmt.Fprintf(&b, "trace #%d seq=%d", t.ID, t.Seq)
+	if t.Epoch != 0 {
+		fmt.Fprintf(&b, " epoch=%d", t.Epoch)
+	}
+	fmt.Fprintf(&b, " %s %s %s", verdict, t.Kind, t.Subject)
 	if t.Class != "" {
 		b.WriteByte('@')
 		b.WriteString(t.Class)
@@ -130,6 +138,7 @@ func (a *ActiveTrace) EpochVersion(v uint64) {
 	if a == nil {
 		return
 	}
+	a.t.Epoch = v
 	a.Span("epoch", "v="+strconv.FormatUint(v, 10), 0)
 }
 
