@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover bench-smoke bench bench-scale bench-epoch bench-churn bench-resolve bench-explain tables
+.PHONY: all build vet test race check cover bench-smoke bench bench-scale bench-epoch bench-churn bench-resolve bench-explain bench-replica tables
 
 all: check
 
@@ -15,7 +15,7 @@ test:
 
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -cpu=1,4,8 ./internal/names/... ./internal/acl/... ./internal/monitor/... ./internal/decision/... ./internal/lattice/... ./internal/principal/... ./internal/core/... ./internal/provenance/...
+	$(GO) test -race -cpu=1,4,8 ./internal/names/... ./internal/acl/... ./internal/monitor/... ./internal/decision/... ./internal/lattice/... ./internal/principal/... ./internal/core/... ./internal/provenance/... ./internal/replica/...
 
 # check is the full local gate: build, vet, the complete test suite
 # under the race detector, and a benchmark smoke run so the harness
@@ -46,6 +46,10 @@ SUMMARY_COVER_FLOOR := 85.0
 # path with an untested branch is an explanation you cannot trust, so
 # every file in the package keeps the floor individually.
 PROVENANCE_COVER_FLOOR := 85.0
+# The replication engine moves whole policies between mediators; an
+# untested branch there is a fleet-wide policy bug, so every file in
+# the package keeps the floor individually.
+REPLICA_COVER_FLOOR := 85.0
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/monitor/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
@@ -81,6 +85,12 @@ cover:
 	END {bad = 0; for (f in sum) {avg = sum[f]/n[f]; printf "%s coverage: %.1f%% (floor $(PROVENANCE_COVER_FLOOR)%%)\n", f, avg; \
 	if (avg < $(PROVENANCE_COVER_FLOOR)) bad = 1} exit bad}' || \
 		{ echo "provenance per-file coverage below floor"; exit 1; }
+	$(GO) test -coverprofile=cover-replica.out ./internal/replica/
+	@$(GO) tool cover -func=cover-replica.out | \
+	awk '/internal\/replica\/.*\.go/ {split($$1, p, ":"); gsub(/%/,"",$$3); sum[p[1]] += $$3; n[p[1]]++} \
+	END {bad = 0; for (f in sum) {avg = sum[f]/n[f]; printf "%s coverage: %.1f%% (floor $(REPLICA_COVER_FLOOR)%%)\n", f, avg; \
+	if (avg < $(REPLICA_COVER_FLOOR)) bad = 1} exit bad}' || \
+		{ echo "replica per-file coverage below floor"; exit 1; }
 	$(GO) test -coverprofile=cover-lattice.out ./internal/lattice/
 	@total=$$($(GO) tool cover -func=cover-lattice.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
 	echo "internal/lattice coverage: $$total% (floor $(LATTICE_COVER_FLOOR)%)"; \
@@ -101,6 +111,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'E16' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'E17' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'E18' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'E19' -benchtime 1x .
 
 # bench runs the full benchmark suite with allocation stats (slow).
 bench:
@@ -136,6 +147,13 @@ bench-resolve:
 bench-explain:
 	$(GO) run ./cmd/benchtab -json . E18
 	$(GO) test -run 'TestE18SampledWithinNoise' ./internal/experiments/
+
+# bench-replica runs the E19 replica-fleet experiment alone and writes
+# BENCH_E19.json (aggregate replica mediation throughput at fleet sizes
+# 1/2/4 over loopback TCP, revocation-barrier wall time after a
+# 64-epoch burst, and snapshot-vs-delta transfer cost).
+bench-replica:
+	$(GO) run ./cmd/benchtab -json . E19
 
 # tables regenerates the EXPERIMENTS.md tables and writes structured
 # BENCH_<ID>.json rows for machine consumers.

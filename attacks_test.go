@@ -6,13 +6,17 @@ package secext_test
 // adversarial half of a security evaluation.
 
 import (
+	"net"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"secext"
+	"secext/internal/remote"
+	"secext/internal/replica"
 )
 
 func attackWorld(t *testing.T) *secext.World {
@@ -765,5 +769,153 @@ func TestAttackStaleCompiledSummary(t *testing.T) {
 	// End to end, through the monitor: denied.
 	if _, err := w.Sys.CheckData(insider, "/fs/plans", secext.Read); !secext.IsDenied(err) {
 		t.Fatalf("post-revocation check: %v, want denial", err)
+	}
+}
+
+// TestAttackFleetRevocationBarrier is the distributed form of the
+// staleness attack: the insider's grant is cached on a fleet of
+// replica mediators, and the revoker wants the revocation to hold
+// fleet-wide, not just on the primary. The revoking administrator
+// publishes the new ACL and raises the revocation barrier; once
+// Barrier returns, no replica may grant under the old epoch — checker
+// goroutines hammer every replica throughout and flag any grant that
+// starts after the barrier. Then the attack's second half: the stream
+// to one replica is severed entirely, and the replica must fail
+// closed (deny everything) once its staleness deadline passes, rather
+// than serving its last-known policy forever. Run with -race.
+func TestAttackFleetRevocationBarrier(t *testing.T) {
+	w := attackWorld(t)
+	if _, err := w.Sys.CreateNode(secext.NodeSpec{
+		Path: "/fs/plans", Kind: secext.KindFile,
+		ACL:   secext.NewACL(secext.Allow("insider", secext.Read)),
+		Class: w.Sys.Lattice().MustClass("organization", "dept-1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Replication plumbing: a replicator principal holding administrate
+	// on the root, a publisher on the primary's server, two replicas.
+	if _, err := w.Sys.AddPrincipal("replicator", "others"); err != nil {
+		t.Fatal(err)
+	}
+	rootACL, err := w.Sys.Names().ACLOf("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootACL.Add(secext.Allow("replicator", secext.Administrate))
+	if err := w.Sys.Names().SetACLUnchecked("/", rootACL); err != nil {
+		t.Fatal(err)
+	}
+	rtok, err := w.Sys.Registry().IssueToken("replicator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insiderTok, err := w.Sys.Registry().IssueToken("insider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.NewServer(w.Sys)
+	srv.PingInterval = 25 * time.Millisecond
+	pub := replica.NewPublisher(w.Sys)
+	srv.SetPublisher(pub)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer func() { pub.Close(); srv.Close(); l.Close() }()
+
+	const fleet = 2
+	reps := make([]*replica.Replica, fleet)
+	ctxs := make([]*secext.Context, fleet)
+	for i := range reps {
+		r, err := replica.Connect(replica.Options{
+			Addr: l.Addr().String(), Token: rtok, StaleAfter: 250 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		reps[i] = r
+		ctxs[i], err = r.System().NewContextFromToken(insiderTok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm the replica's decision cache with the doomed grant.
+		if _, err := r.System().CheckData(ctxs[i], "/fs/plans", secext.Read); err != nil {
+			t.Fatalf("pre-revocation grant missing on replica %d: %v", i, err)
+		}
+	}
+
+	// barrierDone flips AFTER Barrier returns: any check that reads it
+	// as true before starting and still gets a grant is a stale grant
+	// the barrier promised could not exist.
+	var barrierDone atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < fleet; i++ {
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sys, ctx := reps[i].System(), ctxs[i]
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					done := barrierDone.Load() // read BEFORE the check starts
+					_, err := sys.CheckData(ctx, "/fs/plans", secext.Read)
+					if err == nil && done {
+						t.Errorf("replica %d granted after the revocation barrier returned", i)
+						return
+					}
+					if err != nil && !secext.IsDenied(err) {
+						t.Errorf("replica %d unexpected error: %v", i, err)
+						return
+					}
+				}
+			}(i)
+		}
+	}
+
+	// The revocation: publish, then raise the fleet-wide barrier.
+	v, err := w.Sys.Names().SetACLUncheckedAt("/fs/plans", secext.NewACL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Barrier(v, 10*time.Second); err != nil {
+		t.Fatalf("revocation barrier: %v", err)
+	}
+	barrierDone.Store(true)
+	// Let the checkers observe the post-barrier world for a while.
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	for i, r := range reps {
+		if _, err := r.System().CheckData(ctxs[i], "/fs/plans", secext.Read); !secext.IsDenied(err) {
+			t.Fatalf("replica %d post-barrier check: %v, want denial", i, err)
+		}
+	}
+
+	// Second half: sever the fleet. Every replica must fail closed —
+	// not just the revoked path; everything — after its deadline.
+	pub.Close()
+	srv.Close()
+	l.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for i, r := range reps {
+		for !r.Stale() {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d never failed closed after the stream was severed", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if _, err := r.System().CheckData(ctxs[i], "/fs/plans", secext.Read); !secext.IsDenied(err) {
+			t.Fatalf("severed replica %d still answers: %v, want denial", i, err)
+		}
+		if _, err := r.System().CheckData(ctxs[i], "/svc", secext.List); !secext.IsDenied(err) {
+			t.Fatalf("severed replica %d grants an unrelated path: %v, want denial", i, err)
+		}
 	}
 }

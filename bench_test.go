@@ -7,9 +7,11 @@ package secext_test
 
 import (
 	"fmt"
+	"net"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"secext"
 	"secext/internal/acl"
@@ -22,6 +24,8 @@ import (
 	"secext/internal/dispatch"
 	"secext/internal/lattice"
 	"secext/internal/names"
+	"secext/internal/remote"
+	"secext/internal/replica"
 	"secext/internal/subject"
 )
 
@@ -988,6 +992,113 @@ func BenchmarkE18Shadow(b *testing.B) {
 			}
 			if _, dv := uw.Sys.Names().DivergenceStats(); dv != 0 {
 				b.Fatalf("%d divergences on an honest epoch", dv)
+			}
+		})
+	}
+}
+
+// --- E19: replica mediation and the revocation barrier ---
+
+// benchFleet wires a replication-enabled primary and n connected
+// replicas over loopback TCP.
+func benchFleet(b *testing.B, n int) (*secext.World, *replica.Publisher, []*replica.Replica, []*secext.Context, func()) {
+	b.Helper()
+	w, ctx := benchWorld(b)
+	if _, err := w.Sys.AddPrincipal("replicator", "others"); err != nil {
+		b.Fatal(err)
+	}
+	rootACL, err := w.Sys.Names().ACLOf("/")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rootACL.Add(secext.Allow("replicator", secext.Administrate))
+	if err := w.Sys.Names().SetACLUnchecked("/", rootACL); err != nil {
+		b.Fatal(err)
+	}
+	rtok, err := w.Sys.Registry().IssueToken("replicator")
+	if err != nil {
+		b.Fatal(err)
+	}
+	aliceTok, err := w.Sys.Registry().IssueToken("alice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := remote.NewServer(w.Sys)
+	srv.PingInterval = 100 * time.Millisecond
+	pub := replica.NewPublisher(w.Sys)
+	srv.SetPublisher(pub)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	reps := make([]*replica.Replica, n)
+	ctxs := make([]*secext.Context, n)
+	for i := range reps {
+		reps[i], err = replica.Connect(replica.Options{
+			Addr: l.Addr().String(), Token: rtok, StaleAfter: time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctxs[i], err = reps[i].System().NewContextFromToken(aliceTok)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	cleanup := func() {
+		for _, r := range reps {
+			r.Close()
+		}
+		pub.Close()
+		srv.Close()
+		l.Close()
+	}
+	_ = ctx
+	return w, pub, reps, ctxs, cleanup
+}
+
+// BenchmarkE19ReplicaCheck measures the warm mediated check served
+// from a replica's locally rebuilt epoch — the number the tentpole
+// promises is the primary's own warm path, not a network round trip.
+func BenchmarkE19ReplicaCheck(b *testing.B) {
+	_, _, reps, ctxs, cleanup := benchFleet(b, 1)
+	defer cleanup()
+	sys, ctx := reps[0].System(), ctxs[0]
+	if _, err := sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.CheckData(ctx, "/fs/f", secext.Read); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE19RevocationBarrier measures one full revocation round
+// trip at fleet sizes 1 and 2: publish a revoking epoch on the
+// primary, then block until every replica acknowledges it.
+func BenchmarkE19RevocationBarrier(b *testing.B) {
+	for _, n := range []int{1, 2} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			w, pub, _, _, cleanup := benchFleet(b, n)
+			defer cleanup()
+			open := secext.NewACL(secext.AllowEveryone(secext.Read | secext.Write | secext.WriteAppend))
+			closed := secext.NewACL(secext.AllowEveryone(secext.Read))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next := open
+				if i%2 == 0 {
+					next = closed
+				}
+				v, err := w.Sys.Names().SetACLUncheckedAt("/fs/f", next)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := pub.Barrier(v, 10*time.Second); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -12,6 +12,8 @@
 //	secctl trace   -http 127.0.0.1:7778 [-n 10] [-denied]
 //	secctl explain -http 127.0.0.1:7778 -as alice -path /fs/x -modes read
 //	secctl epochs  -http 127.0.0.1:7778 [-n 10]
+//	secctl epochs  -peer 127.0.0.1:7779 -token <tok> [-n 10]
+//	secctl replicas -http 127.0.0.1:7778
 //
 // check prints ALLOW/DENY with the monitor's reason; matrix prints the
 // decision for every principal against the given (or all leaf) paths;
@@ -21,14 +23,20 @@
 // daemon): stats summarizes the live counters, trace prints recent
 // decision traces, explain prints the provenance verdict tree for one
 // decision (the exact ACL entry, guard, and MAC comparison that decided
-// it), and epochs prints the epoch-transition journal.
+// it), and epochs prints the epoch-transition journal. replicas prints
+// a replicating primary's per-peer status (lag, transfer volume).
+// epochs -peer talks the line protocol directly instead of HTTP — the
+// way to read a replica mediator's journal and verify it applied the
+// primary's epochs.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
@@ -62,6 +70,8 @@ func main() {
 		runExplain(args)
 	case "epochs":
 		runEpochs(args)
+	case "replicas":
+		runReplicas(args)
 	default:
 		usage()
 	}
@@ -69,7 +79,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: secctl <check|matrix|tree|fmt|snapshot> -policy <file> [flags]")
-	fmt.Fprintln(os.Stderr, "       secctl <stats|trace|explain|epochs> -http <addr> [flags]")
+	fmt.Fprintln(os.Stderr, "       secctl <stats|trace|explain|epochs|replicas> -http <addr> [flags]")
+	fmt.Fprintln(os.Stderr, "       secctl epochs -peer <addr> -token <tok> [-n 10]")
 	os.Exit(2)
 }
 
@@ -344,9 +355,15 @@ func runExplain(args []string) {
 func runEpochs(args []string) {
 	fs := flag.NewFlagSet("epochs", flag.ExitOnError)
 	httpAddr := fs.String("http", "", "daemon telemetry address (host:port)")
+	peer := fs.String("peer", "", "query a daemon's line protocol instead of HTTP (host:port)")
+	token := fs.String("token", "", "principal token for -peer")
 	n := fs.Int("n", 10, "maximum transitions to print")
 	raw := fs.Bool("json", false, "print the raw JSON records")
 	_ = fs.Parse(args)
+	if *peer != "" {
+		runEpochsPeer(*peer, *token, *n)
+		return
+	}
 	path := fmt.Sprintf("/debug/epochs?n=%d", *n)
 	if !*raw {
 		path += "&text=1"
@@ -357,6 +374,58 @@ func runEpochs(args []string) {
 		return
 	}
 	os.Stdout.Write(body)
+}
+
+// runEpochsPeer reads the epoch-transition journal over the line
+// protocol — works against replicas too, where the journal's
+// kind=replica records carry the primary version each apply landed.
+func runEpochsPeer(addr, token string, n int) {
+	if token == "" {
+		fatal(fmt.Errorf("-peer needs -token"))
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	expect := func(what string) string {
+		if !sc.Scan() {
+			fatal(fmt.Errorf("connection closed during %s", what))
+		}
+		line := sc.Text()
+		if !strings.HasPrefix(line, "OK") {
+			fatal(fmt.Errorf("%s: %s", what, line))
+		}
+		return line
+	}
+	expect("greeting")
+	fmt.Fprintf(conn, "AUTH %s\n", token)
+	expect("authentication")
+	fmt.Fprintf(conn, "EPOCHS %d\n", n)
+	head := expect("epochs")
+	var k int
+	fmt.Sscanf(head, "OK %d", &k)
+	if k == 0 {
+		fmt.Println("no transitions recorded")
+		return
+	}
+	for i := 0; i < k && sc.Scan(); i++ {
+		fmt.Println(sc.Text())
+	}
+}
+
+// runReplicas prints a replicating primary's per-peer status.
+func runReplicas(args []string) {
+	fs := flag.NewFlagSet("replicas", flag.ExitOnError)
+	httpAddr := fs.String("http", "", "daemon telemetry address (host:port)")
+	raw := fs.Bool("json", false, "print the raw JSON status")
+	_ = fs.Parse(args)
+	path := "/debug/replicas"
+	if !*raw {
+		path += "?text=1"
+	}
+	os.Stdout.Write(fetch(*httpAddr, path))
 }
 
 var _ = names.KindRoot // keep names import for Node alias methods

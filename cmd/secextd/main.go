@@ -18,8 +18,22 @@
 // With -http the daemon also serves the live introspection endpoints:
 // /metrics (Prometheus text), /debug/stats (JSON), /debug/trace/recent
 // (sampled decision traces), /debug/epochs (the epoch-transition
-// journal), and /debug/explain?subject=&path=&mode= (decision
-// provenance).
+// journal), /debug/explain?subject=&path=&mode= (decision provenance),
+// and — on a replicating primary — /debug/replicas (per-peer lag and
+// transfer volume).
+//
+// Replication. A primary started with -serve-replication streams its
+// policy epochs to replica mediators and prints a replicator token:
+//
+//	secextd -addr 127.0.0.1:7777 -serve-replication
+//	replicator token secext-replicator.…
+//
+//	secextd -addr 127.0.0.1:7778 \
+//	    -replica-of 127.0.0.1:7777 -replica-token secext-replicator.…
+//
+// The replica serves the same line protocol (reads and CHECKs mediate
+// against the replicated policy; writes belong to the primary). A
+// replica that loses its primary fails closed after -stale-after.
 package main
 
 import (
@@ -29,9 +43,12 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"secext"
+	"secext/internal/acl"
 	"secext/internal/remote"
+	"secext/internal/replica"
 	"secext/internal/telemetry"
 )
 
@@ -44,6 +61,14 @@ func main() {
 		"comma-separated trust levels, lowest first")
 	categories := flag.String("categories", "dept-1,dept-2",
 		"comma-separated categories")
+	serveRepl := flag.Bool("serve-replication", false,
+		"stream policy epochs to replica mediators (prints the replicator token)")
+	replicaOf := flag.String("replica-of", "",
+		"run as a replica of the primary at this address")
+	replicaToken := flag.String("replica-token", "",
+		"token authenticating the replica subscription (from the primary's startup output)")
+	staleAfter := flag.Duration("stale-after", 3*time.Second,
+		"replica staleness deadline: fail closed when the primary is silent this long")
 	var principals []string
 	flag.Func("principal", "name=class-label (repeatable)", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -54,13 +79,19 @@ func main() {
 	})
 	flag.Parse()
 
-	var cats []string
-	if *categories != "" {
-		cats = strings.Split(*categories, ",")
-	}
 	mode, ok := telemetry.ParseMode(*telMode)
 	if !ok {
 		fatal(fmt.Errorf("unknown telemetry mode %q", *telMode))
+	}
+
+	if *replicaOf != "" {
+		runReplica(*addr, *httpAddr, *replicaOf, *replicaToken, *staleAfter, mode)
+		return
+	}
+
+	var cats []string
+	if *categories != "" {
+		cats = strings.Split(*categories, ",")
 	}
 	w, err := secext.NewWorld(secext.WorldOptions{
 		Levels:     strings.Split(*levels, ","),
@@ -82,27 +113,88 @@ func main() {
 		fmt.Printf("principal %-12s class %-36s token %s\n", name, class, tok)
 	}
 
+	srv := remote.NewServer(w.Sys)
+	if *serveRepl {
+		// The replicator principal authenticates replica subscriptions:
+		// lowest class (root sits at the bottom of the lattice) plus an
+		// administrate grant on "/" — exactly what SUBSCRIBE demands.
+		name := "secext-replicator"
+		if _, err := w.Sys.AddPrincipal(name, strings.Split(*levels, ",")[0]); err != nil {
+			fatal(err)
+		}
+		rootACL, err := w.Sys.Names().ACLOf("/")
+		if err != nil {
+			fatal(err)
+		}
+		rootACL.Add(acl.Allow(name, acl.Administrate))
+		if err := w.Sys.Names().SetACLUnchecked("/", rootACL); err != nil {
+			fatal(err)
+		}
+		tok, err := w.Sys.Registry().IssueToken(name)
+		if err != nil {
+			fatal(err)
+		}
+		pub := replica.NewPublisher(w.Sys)
+		srv.SetPublisher(pub)
+		if tel := w.Telemetry(); tel != nil {
+			tel.SetReplication(pub.Stats)
+		}
+		fmt.Printf("replicator token %s\n", tok)
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("secextd listening on %s\n", l.Addr())
 	if *httpAddr != "" {
-		hl, err := net.Listen("tcp", *httpAddr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("secextd telemetry on http://%s\n", hl.Addr())
-		go func() {
-			if err := http.Serve(hl, w.Telemetry().HTTPHandler()); err != nil {
-				fmt.Fprintln(os.Stderr, "secextd: http:", err)
-			}
-		}()
+		serveTelemetry(*httpAddr, w.Telemetry())
 	}
-	srv := remote.NewServer(w.Sys)
 	if err := srv.Serve(l); err != nil {
 		fatal(err)
 	}
+}
+
+// runReplica joins a primary's replication stream and serves the line
+// protocol against the replicated policy.
+func runReplica(addr, httpAddr, primary, token string, staleAfter time.Duration, mode telemetry.Mode) {
+	if token == "" {
+		fatal(fmt.Errorf("-replica-of needs -replica-token (printed by the primary's -serve-replication)"))
+	}
+	r, err := replica.Connect(replica.Options{
+		Addr:       primary,
+		Token:      token,
+		StaleAfter: staleAfter,
+		Telemetry:  telemetry.Options{Mode: mode},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replica of %s at epoch v%d\n", primary, r.AppliedVersion())
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("secextd (replica) listening on %s\n", l.Addr())
+	if httpAddr != "" {
+		serveTelemetry(httpAddr, r.System().Telemetry())
+	}
+	if err := remote.NewServer(r.System()).Serve(l); err != nil {
+		fatal(err)
+	}
+}
+
+func serveTelemetry(addr string, tel *telemetry.Telemetry) {
+	hl, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("secextd telemetry on http://%s\n", hl.Addr())
+	go func() {
+		if err := http.Serve(hl, tel.HTTPHandler()); err != nil {
+			fmt.Fprintln(os.Stderr, "secextd: http:", err)
+		}
+	}()
 }
 
 func fatal(err error) {

@@ -242,6 +242,7 @@ func NewSystem(opts Options) (*System, error) {
 				RegistryVersion:  r.RegistryVersion, RegistryDeltaBase: r.RegistryDeltaBase,
 				IncrementalFreeze: r.IncrementalFreeze,
 				Compile:           r.Compile, CompileNS: r.CompileNS, PublishNS: r.PublishNS,
+				Kind: r.Kind, PrimaryVersion: r.PrimaryVersion,
 			}
 		}
 		return out

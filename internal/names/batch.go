@@ -59,6 +59,13 @@ type pendingBatch struct {
 	size    int
 	shards  uint8
 	start   time.Time
+
+	// Replication stamps for the journal record: set by ApplyReplicated
+	// (wire.go) so the flush journals the publication with a distinct
+	// kind and the primary version it mirrors. Zero values mean a local
+	// publication.
+	replicaKind    string
+	replicaVersion uint64
 }
 
 // FrozenShard is the delta-aware freeze contract shared by the policy
@@ -150,6 +157,7 @@ func (s *Server) flush() {
 	if !s.compiledOff && st.reg != nil {
 		st.compiled, cs = s.compileEpoch(st)
 	}
+	prev := s.epoch.Load()
 	s.staged, s.batch = nil, nil
 	s.epoch.Store(st)
 	s.publishes.Add(1)
@@ -164,6 +172,13 @@ func (s *Server) flush() {
 	}
 	if b.shards&shardStack != 0 {
 		s.stackPubs.Add(1)
+	}
+	// The transition hook runs under writeMu so a replication publisher
+	// observes transitions in strict version order (two flushes can
+	// never race past each other here). The hook must only enqueue —
+	// anything slow would serialize behind every mutation.
+	if s.transHook != nil {
+		s.transHook(prev, st)
 	}
 	s.writeMu.Unlock()
 	// Telemetry outside the mutex: the histograms are lock-free.
@@ -212,6 +227,7 @@ func (s *Server) flush() {
 		rec.RegistryDeltaBase = st.reg.DeltaBase()
 		rec.IncrementalFreeze = st.reg.DeltaBase() != 0
 	}
+	rec.Kind, rec.PrimaryVersion = b.replicaKind, b.replicaVersion
 	s.journal.append(rec)
 	close(b.done)
 }

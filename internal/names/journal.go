@@ -46,6 +46,16 @@ type TransitionRecord struct {
 	// this epoch (freeze + compile + pointer store), as observed by
 	// the flushing writer.
 	PublishNS int64 `json:"publish_ns"`
+
+	// Replication provenance: Kind is empty for a local publication,
+	// "replica" for an epoch applied from a primary's replication
+	// stream, and "replica-stale" for a fail-closed publication a
+	// replica installed after missing its staleness deadline.
+	// PrimaryVersion is the primary epoch version a replication apply
+	// mirrors (zero for local publications) — the field that ties the
+	// replica's local version clock to the primary's.
+	Kind           string `json:"kind,omitempty"`
+	PrimaryVersion uint64 `json:"primary_version,omitempty"`
 }
 
 // epochJournal is a lock-free ring of transition records. Appends are

@@ -140,6 +140,13 @@ type Server struct {
 	// without stopping writers.
 	journal epochJournal
 
+	// transHook, when set, observes every epoch publication as a
+	// (parent, successor) pair, called by the flush under writeMu so
+	// transitions arrive in strict version order. Replication wires it
+	// to the delta publisher; the hook must only enqueue and return.
+	// Guarded by writeMu.
+	transHook func(prev, next *Epoch)
+
 	// Shadow divergence monitor: every traced check (the telemetry
 	// sampler picks 1/N of all checks) additionally consults the
 	// compiled fast path and compares its verdict against the
@@ -298,6 +305,18 @@ func (s *Server) SetPipeline(p *monitor.Pipeline) {
 	p.SetChangeHook(func(st *monitor.Stack) { s.PublishStack(st) })
 	s.pipe.Store(p)
 	s.PublishStack(p.Current())
+}
+
+// SetTransitionHook installs an observer for epoch publications; nil
+// removes it. The hook receives every publication as a (parent,
+// successor) pair, in strict version order, while the publisher's
+// mutex is held — it must only enqueue the pair and return (the
+// replication fan-out does its diffing and encoding on its own
+// goroutine). Only the replication publisher should install it.
+func (s *Server) SetTransitionHook(fn func(prev, next *Epoch)) {
+	s.writeMu.Lock()
+	s.transHook = fn
+	s.writeMu.Unlock()
 }
 
 // SetAdminHook installs an observer for unchecked operations; nil

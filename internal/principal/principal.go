@@ -759,3 +759,27 @@ func (r *Registry) Authenticate(token string) (*Principal, error) {
 	}
 	return r.Principal(name)
 }
+
+// TokenSecret returns a copy of the per-registry token-signing secret.
+// Host-privileged: replication uses it so a replica registry can verify
+// tokens the primary issued; nothing else should read it.
+func (r *Registry) TokenSecret() []byte {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	return append([]byte(nil), r.secret...)
+}
+
+// SetTokenSecret replaces the token-signing secret, so primary-issued
+// tokens authenticate against this registry. Host-privileged, bootstrap
+// only: call before the registry serves concurrent Authenticate traffic
+// (a replica installs the primary's secret while replaying the initial
+// snapshot, before it accepts clients).
+func (r *Registry) SetTokenSecret(secret []byte) error {
+	if len(secret) < 16 {
+		return fmt.Errorf("principal: token secret too short (%d bytes)", len(secret))
+	}
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	r.secret = append([]byte(nil), secret...)
+	return nil
+}

@@ -27,8 +27,24 @@
 //	                         principal: "OK <k>" then the k-line verdict tree
 //	EPOCHS [n]               epoch-transition journal, newest first:
 //	                         "OK <k>" then k lines
+//	CHECK <path> <modes>     mediated access check for the connected
+//	                         principal: "OK allowed" or "ERR denied: ..."
 //	WHOAMI                   current principal and class
 //	QUIT                     close the connection
+//
+// Protocol version 2 adds replication (all of these require a prior
+// "HELLO 2"; HELLO itself is version 1 so old servers answer it with a
+// clean unknown-command error instead of a hang):
+//
+//	HELLO <n>                negotiate: "OK proto <min(n, server)>", or a
+//	                         clean ERR when n is below the server's minimum
+//	SUBSCRIBE 0              become a replica (administrate on "/" required):
+//	                         "OK <peer>", "SNAPSHOT <json>", then a stream of
+//	                         "DELTA <json>" / "PING <v>" lines; the client
+//	                         answers each with "ACK <version>"
+//	BARRIER <v> [timeoutms]  block until every connected replica acked
+//	                         epoch >= v (administrate on "/" required)
+//	REPLICAS                 per-peer replication status: "OK <k>" then k lines
 package remote
 
 import (
@@ -38,9 +54,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"secext/internal/acl"
 	"secext/internal/core"
 	"secext/internal/fsys"
+	"secext/internal/replica"
 	"secext/internal/services/netsvc"
 	"secext/internal/subject"
 )
@@ -60,15 +79,42 @@ func statsLine(sys *core.System) string {
 type Server struct {
 	sys *core.System
 
+	// PingInterval paces the keepalive PINGs on replication streams
+	// (liveness for the replicas' staleness deadline). Set before
+	// Serve; zero means 500ms.
+	PingInterval time.Duration
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]bool
+	pub    *replica.Publisher
 }
 
 // NewServer wraps a system. The system is expected to have the standard
 // world services mounted (/svc/fs, /svc/net, /svc/log).
 func NewServer(sys *core.System) *Server {
 	return &Server{sys: sys, conns: make(map[net.Conn]bool)}
+}
+
+// SetPublisher enables the replication commands (SUBSCRIBE, BARRIER,
+// REPLICAS). Without one they answer with a clean "not enabled" error.
+func (s *Server) SetPublisher(pub *replica.Publisher) {
+	s.mu.Lock()
+	s.pub = pub
+	s.mu.Unlock()
+}
+
+func (s *Server) publisher() *replica.Publisher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pub
+}
+
+func (s *Server) pingEvery() time.Duration {
+	if s.PingInterval > 0 {
+		return s.PingInterval
+	}
+	return 500 * time.Millisecond
 }
 
 // Serve accepts connections until the listener is closed. Each
@@ -117,16 +163,28 @@ func (s *Server) drop(conn net.Conn) {
 
 // session is one authenticated connection.
 type session struct {
-	srv *Server
-	ctx *subject.Context
-	out *bufio.Writer
+	srv  *Server
+	ctx  *subject.Context
+	out  *bufio.Writer
+	conn net.Conn
+	sc   *bufio.Scanner
+	// proto is the negotiated protocol version: 1 until the client
+	// sends HELLO (pre-replication clients never do).
+	proto int
+	// hijacked marks that SUBSCRIBE converted the connection into a
+	// replication stream; when the stream ends the connection dies.
+	hijacked bool
 }
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.drop(conn)
-	sess := &session{srv: s, out: bufio.NewWriter(conn)}
-	sess.reply("OK secext ready")
 	sc := bufio.NewScanner(conn)
+	// Replication snapshots and deltas are single lines that can carry
+	// a whole policy tree; raise the scanner ceiling far above the
+	// interactive default.
+	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
+	sess := &session{srv: s, out: bufio.NewWriter(conn), conn: conn, sc: sc, proto: 1}
+	sess.reply("OK secext ready")
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -137,6 +195,9 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		sess.dispatch(line)
+		if sess.hijacked {
+			return
+		}
 	}
 }
 
@@ -386,7 +447,189 @@ func (s *session) dispatch(line string) {
 		for _, r := range recs {
 			s.reply("%s", r.String())
 		}
+	case "CHECK":
+		if len(args) != 2 {
+			s.reply("ERR usage: CHECK <path> <modes>")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		modes, err := acl.ParseMode(args[1])
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		if _, err := s.srv.sys.CheckData(s.ctx, args[0], modes); err != nil {
+			s.fail(err)
+			return
+		}
+		s.reply("OK allowed")
+	case "HELLO":
+		if len(args) != 1 {
+			s.reply("ERR usage: HELLO <version>")
+			return
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			s.reply("ERR usage: HELLO <version>")
+			return
+		}
+		if n < replica.MinProto {
+			s.reply("ERR protocol version %d no longer supported (minimum %d)", n, replica.MinProto)
+			return
+		}
+		if n > replica.ProtoVersion {
+			n = replica.ProtoVersion
+		}
+		s.proto = n
+		s.reply("OK proto %d", n)
+	case "SUBSCRIBE":
+		if len(args) != 1 {
+			s.reply("ERR usage: SUBSCRIBE 0")
+			return
+		}
+		if s.proto < 2 {
+			s.reply("ERR SUBSCRIBE requires protocol >= 2 (send HELLO 2 first)")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		pub := s.srv.publisher()
+		if pub == nil {
+			s.reply("ERR replication not enabled on this server")
+			return
+		}
+		// Subscribing hands out the entire policy (tree, ACLs, token
+		// secret): only a principal holding administrate on the root
+		// may become a replica.
+		if _, err := s.srv.sys.CheckData(s.ctx, "/", acl.Administrate); err != nil {
+			s.fail(err)
+			return
+		}
+		peer, snap, err := pub.Subscribe(s.ctx.SubjectName())
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.reply("OK %s", peer.Name())
+		s.reply("SNAPSHOT %s", snap)
+		s.stream(pub, peer)
+	case "BARRIER":
+		if len(args) < 1 || len(args) > 2 {
+			s.reply("ERR usage: BARRIER <version> [timeout-ms]")
+			return
+		}
+		if s.proto < 2 {
+			s.reply("ERR BARRIER requires protocol >= 2 (send HELLO 2 first)")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		pub := s.srv.publisher()
+		if pub == nil {
+			s.reply("ERR replication not enabled on this server")
+			return
+		}
+		if _, err := s.srv.sys.CheckData(s.ctx, "/", acl.Administrate); err != nil {
+			s.fail(err)
+			return
+		}
+		v, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			s.reply("ERR usage: BARRIER <version> [timeout-ms]")
+			return
+		}
+		timeout := 5 * time.Second
+		if len(args) == 2 {
+			ms, err := strconv.Atoi(args[1])
+			if err != nil || ms < 1 {
+				s.reply("ERR usage: BARRIER <version> [timeout-ms]")
+				return
+			}
+			timeout = time.Duration(ms) * time.Millisecond
+		}
+		if err := pub.Barrier(v, timeout); err != nil {
+			s.fail(err)
+			return
+		}
+		s.reply("OK barrier v%d", v)
+	case "REPLICAS":
+		if len(args) != 0 {
+			s.reply("ERR usage: REPLICAS")
+			return
+		}
+		if !s.need() {
+			return
+		}
+		pub := s.srv.publisher()
+		if pub == nil {
+			s.reply("ERR replication not enabled on this server")
+			return
+		}
+		st := pub.Stats()
+		s.reply("OK %d", len(st.Peers))
+		for _, peer := range st.Peers {
+			s.reply("peer=%s acked=v%d lag=%d deltas=%d delta_bytes=%d snapshot_bytes=%d",
+				peer.Name, peer.Acked, peer.Lag, peer.Deltas, peer.DeltaBytes, peer.SnapshotBytes)
+		}
 	default:
 		s.reply("ERR unknown command %q", cmd)
 	}
+}
+
+// stream converts the connection into a replication stream: a writer
+// goroutine drains the peer's delta queue (interleaving keepalive
+// PINGs), while this goroutine keeps reading the client's ACK lines
+// and feeding them to the publisher — where they satisfy revocation
+// barriers. Runs until either side hangs up or the publisher drops the
+// peer (queue overflow, shutdown).
+func (s *session) stream(pub *replica.Publisher, peer *replica.Peer) {
+	s.hijacked = true
+	defer pub.Remove(peer)
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(s.srv.pingEvery())
+		defer ticker.Stop()
+		for {
+			select {
+			case msg, ok := <-peer.Ch():
+				if !ok {
+					// Dropped by the publisher: hang up so the replica
+					// notices and re-bootstraps (or fails closed).
+					s.conn.Close()
+					return
+				}
+				s.reply("DELTA %s", msg.Payload)
+			case <-ticker.C:
+				s.reply("PING %d", s.srv.sys.Names().Version())
+			case <-quit:
+				return
+			}
+		}
+	}()
+	for s.sc.Scan() {
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if strings.EqualFold(fields[0], "ACK") && len(fields) == 2 {
+			if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+				pub.Ack(peer, v)
+			}
+			continue
+		}
+		if strings.EqualFold(fields[0], "QUIT") {
+			break
+		}
+		// Anything else on a replication stream is ignored; the
+		// connection is single-purpose now.
+	}
+	close(quit)
+	<-done
 }

@@ -1,0 +1,113 @@
+// Package replica distributes the reference monitor: a primary
+// secextd streams its policy epochs — the immutable, versioned,
+// atomically published units PR 5 introduced — to replica mediators
+// that serve access checks locally against their own epoch pointer.
+//
+// The paper's single central name server (§2.3) is economy of
+// mechanism but also a scalability ceiling; epochs make distribution
+// almost free of new trust: a replica applies each transition
+// atomically into a local epoch, rebuilds the compiled read side at
+// apply time, and answers checks with the same lock-free pinned-epoch
+// discipline as the primary. The consistency contract is deliberate
+// and asymmetric:
+//
+//   - Grants are bounded-stale: a replica may briefly honor policy the
+//     primary has already tightened, bounded by the staleness deadline.
+//   - Revocations can be made fleet-wide synchronous: the primary's
+//     Publisher exposes a revocation Barrier that blocks until every
+//     connected replica has acknowledged an epoch >= the revoking
+//     version, so "no stale grant at/after revocation" holds across
+//     the fleet, not just one process.
+//   - A replica that loses its primary fails CLOSED: when nothing has
+//     been heard for the staleness deadline it publishes an epoch whose
+//     guard stack is a single unconditional deny, and restores the
+//     replicated stack only when the stream resumes.
+//
+// There is no consensus and no failover: a single primary owns all
+// writes; replicas are read-only mediators.
+//
+// This package speaks the wire format (internal/names' epoch codec
+// wrapped in the line protocol's SNAPSHOT/DELTA/ACK messages) from
+// both ends but never imports internal/remote — remote imports this
+// package to serve the primary side.
+package replica
+
+import (
+	"encoding/base64"
+	"fmt"
+
+	"secext/internal/monitor"
+	"secext/internal/monitor/dacguard"
+	"secext/internal/monitor/macguard"
+	"secext/internal/names"
+)
+
+// Protocol versions. Version 1 is the pre-replication line protocol;
+// version 2 adds HELLO/SUBSCRIBE/SNAPSHOT/DELTA/ACK/BARRIER/REPLICAS.
+// A server negotiates min(client, ProtoVersion) and rejects clients
+// below MinProto with a clean error instead of a parse failure.
+const (
+	ProtoVersion = 2
+	MinProto     = 1
+)
+
+// SnapshotEnvelope is the payload of a SNAPSHOT message: the full
+// epoch plus the primary's token-signing secret, so tokens the primary
+// issued authenticate against the replica too. The secret rides the
+// replication envelope, not the names codec — it is a transport
+// credential, not protection state.
+type SnapshotEnvelope struct {
+	Epoch  *names.EpochWire `json:"epoch"`
+	Secret string           `json:"secret"`
+}
+
+// EncodeSecret renders a token secret for the envelope.
+func EncodeSecret(secret []byte) string {
+	return base64.StdEncoding.EncodeToString(secret)
+}
+
+// DecodeSecret parses an envelope secret.
+func DecodeSecret(s string) ([]byte, error) {
+	return base64.StdEncoding.DecodeString(s)
+}
+
+// staleGuard is the fail-closed stack: one pure guard that denies
+// everything. A replica whose staleness deadline passed publishes an
+// epoch carrying only this guard — the epoch transition kills every
+// cached verdict, and pure denial is safely cacheable.
+type staleGuard struct{}
+
+func (staleGuard) Name() string { return "stale-replica" }
+
+func (staleGuard) Check(monitor.Request) monitor.Verdict {
+	return monitor.Deny("stale-replica", "replica: staleness deadline exceeded, failing closed")
+}
+
+// StaleStack returns the fail-closed guard stack.
+func StaleStack() *monitor.Stack {
+	return monitor.NewPipeline(staleGuard{}).Current()
+}
+
+// BuildStack rebuilds a guard stack from its replicated descriptor
+// (ordered guard names). Only guards with registered pure constructors
+// can be rebuilt; a stack naming any other guard fails the
+// subscription — the replica then refuses to serve rather than run a
+// weaker stack than the primary. The rebuilt default [dac, mac] stack
+// is type-identical to the primary's, so the compiled-epoch fast path
+// stays licensed on replicas.
+func BuildStack(guardNames []string) (*monitor.Stack, error) {
+	guards := make([]monitor.Guard, 0, len(guardNames))
+	for _, name := range guardNames {
+		switch name {
+		case "dac":
+			guards = append(guards, dacguard.New())
+		case "mac":
+			guards = append(guards, macguard.New())
+		case "stale-replica":
+			guards = append(guards, staleGuard{})
+		default:
+			return nil, fmt.Errorf("replica: cannot rebuild guard %q: no replicable constructor", name)
+		}
+	}
+	return monitor.NewPipeline(guards...).Current(), nil
+}

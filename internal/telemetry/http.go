@@ -20,6 +20,9 @@ import (
 //	/debug/explain        provenance re-evaluation of one decision;
 //	                      ?subject=&path=&mode= required, JSON verdict
 //	                      tree by default, ?text=1 renders it
+//	/debug/replicas       replication status (per-peer lag, transfer
+//	                      volume, barrier-wait distribution); JSON by
+//	                      default, ?text=1 renders one line per peer
 //
 // Safe on a nil receiver: a disabled system still serves the endpoints
 // (zero metrics, no traces), so dashboards never 404 on configuration.
@@ -87,6 +90,28 @@ func (t *Telemetry) HTTPHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(recs)
+	})
+	mux.HandleFunc("/debug/replicas", func(w http.ResponseWriter, r *http.Request) {
+		stats, ok := t.Replication()
+		if !ok {
+			http.Error(w, "replication not enabled", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("text") == "1" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "primary=v%d peers=%d snapshots=%d deltas=%d snapshot_bytes=%d delta_bytes=%d barrier_timeouts=%d\n",
+				stats.PrimaryVersion, len(stats.Peers), stats.Snapshots, stats.Deltas,
+				stats.SnapshotBytes, stats.DeltaBytes, stats.BarrierTimeouts)
+			for _, p := range stats.Peers {
+				fmt.Fprintf(w, "peer=%s acked=v%d lag=%d deltas=%d delta_bytes=%d snapshot_bytes=%d\n",
+					p.Name, p.Acked, p.Lag, p.Deltas, p.DeltaBytes, p.SnapshotBytes)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(stats)
 	})
 	mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()

@@ -189,6 +189,12 @@ type EpochTransition struct {
 	Compile           string    `json:"compile"`
 	CompileNS         int64     `json:"compile_ns"`
 	PublishNS         int64     `json:"publish_ns"`
+	// Kind is empty for local publications, "replica" for epochs applied
+	// from a replication stream, "replica-stale" for a replica's
+	// fail-closed publication; PrimaryVersion is the primary epoch a
+	// replication apply mirrors (zero for local publications).
+	Kind           string `json:"kind,omitempty"`
+	PrimaryVersion uint64 `json:"primary_version,omitempty"`
 }
 
 // String renders the transition as a one-line journal entry.
@@ -211,7 +217,37 @@ func (e EpochTransition) String() string {
 		fmt.Fprintf(&b, "(%s)", time.Duration(e.CompileNS))
 	}
 	fmt.Fprintf(&b, " publish=%s", time.Duration(e.PublishNS))
+	if e.Kind != "" {
+		fmt.Fprintf(&b, " kind=%s primary=v%d", e.Kind, e.PrimaryVersion)
+	}
 	return b.String()
+}
+
+// ReplicaPeerStat is one connected replica's lag view: the last primary
+// epoch it acknowledged, how many epochs it trails the primary by, and
+// the bytes streamed to it.
+type ReplicaPeerStat struct {
+	Name          string `json:"name"`
+	Acked         uint64 `json:"acked"`
+	Lag           uint64 `json:"lag"`
+	SnapshotBytes uint64 `json:"snapshot_bytes"`
+	DeltaBytes    uint64 `json:"delta_bytes"`
+	Deltas        uint64 `json:"deltas"`
+}
+
+// ReplicationStats is the primary-side replication publisher's counter
+// snapshot: per-peer lag, transfer volume by message kind, and the
+// revocation-barrier wait distribution. The publisher injects it via
+// SetReplication so this package stays a leaf.
+type ReplicationStats struct {
+	Peers           []ReplicaPeerStat `json:"peers"`
+	PrimaryVersion  uint64            `json:"primary_version"`
+	Snapshots       uint64            `json:"snapshots"`
+	Deltas          uint64            `json:"deltas"`
+	SnapshotBytes   uint64            `json:"snapshot_bytes"`
+	DeltaBytes      uint64            `json:"delta_bytes"`
+	BarrierTimeouts uint64            `json:"barrier_timeouts"`
+	BarrierWait     HistSnapshot      `json:"barrier_wait"`
 }
 
 // AuditStats mirrors the audit log's counters, including ring drops
@@ -244,6 +280,9 @@ type Snapshot struct {
 	Names            NamesStats      `json:"names"`
 	Admissions       AdmissionStats  `json:"admissions"`
 	TracesSampled    uint64          `json:"traces_sampled"`
+	// Replication is present only on a primary with a replication
+	// publisher attached (SetReplication).
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // Mediated returns the total decision counts across kinds.

@@ -123,6 +123,35 @@ func WriteProm(w io.Writer, s Snapshot) error {
 			"Per-guard evaluation latency (sampled).",
 			"guard="+promQuote(g.Name), g.Latency)
 	}
+
+	if s.Replication != nil {
+		r := s.Replication
+		ew.printf("# HELP secext_replica_primary_version Primary epoch version the publisher is streaming.\n")
+		ew.printf("# TYPE secext_replica_primary_version gauge\n")
+		ew.printf("secext_replica_primary_version %d\n", r.PrimaryVersion)
+		ew.printf("# HELP secext_replica_peers Currently subscribed replica peers.\n")
+		ew.printf("# TYPE secext_replica_peers gauge\n")
+		ew.printf("secext_replica_peers %d\n", len(r.Peers))
+		ew.printf("# HELP secext_replica_lag Epochs a peer trails the primary by (primary version minus last acked).\n")
+		ew.printf("# TYPE secext_replica_lag gauge\n")
+		for _, p := range r.Peers {
+			ew.printf("secext_replica_lag{peer=%s} %d\n", promQuote(p.Name), p.Lag)
+		}
+		ew.printf("# HELP secext_replica_messages_total Replication messages sent by kind.\n")
+		ew.printf("# TYPE secext_replica_messages_total counter\n")
+		ew.printf("secext_replica_messages_total{kind=\"snapshot\"} %d\n", r.Snapshots)
+		ew.printf("secext_replica_messages_total{kind=\"delta\"} %d\n", r.Deltas)
+		ew.printf("# HELP secext_replica_bytes_total Replication payload bytes sent by kind.\n")
+		ew.printf("# TYPE secext_replica_bytes_total counter\n")
+		ew.printf("secext_replica_bytes_total{kind=\"snapshot\"} %d\n", r.SnapshotBytes)
+		ew.printf("secext_replica_bytes_total{kind=\"delta\"} %d\n", r.DeltaBytes)
+		ew.printf("# HELP secext_replica_barrier_timeouts_total Revocation barriers that timed out before the fleet acked.\n")
+		ew.printf("# TYPE secext_replica_barrier_timeouts_total counter\n")
+		ew.printf("secext_replica_barrier_timeouts_total %d\n", r.BarrierTimeouts)
+		writePromHist(ew, "secext_replica_barrier_wait_seconds",
+			"Time revocation barriers waited for fleet-wide acknowledgment.", "",
+			r.BarrierWait)
+	}
 	return ew.err
 }
 

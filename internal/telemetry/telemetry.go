@@ -133,6 +133,10 @@ type Telemetry struct {
 	// leaf-package reason as the stat hooks above.
 	epochJournal atomic.Pointer[func(n int) []EpochTransition]
 	explain      atomic.Pointer[func(subject, path, modes string) (string, []byte, error)]
+
+	// replication, when wired, snapshots the replication publisher's
+	// per-peer lag and transfer counters (primary side only).
+	replication atomic.Pointer[func() ReplicationStats]
 }
 
 // New builds a telemetry registry. ModeOff returns nil — the nil
@@ -241,6 +245,33 @@ func (t *Telemetry) EpochJournal(n int) []EpochTransition {
 		return nil
 	}
 	return (*fn)(n)
+}
+
+// SetReplication wires the replication publisher's counter snapshot
+// into Snapshot and the introspection endpoints; nil detaches it.
+func (t *Telemetry) SetReplication(fn func() ReplicationStats) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.replication.Store(nil)
+		return
+	}
+	t.replication.Store(&fn)
+}
+
+// Replication returns the wired replication snapshot and true, or a
+// zero value and false when no publisher is wired (or the receiver is
+// nil).
+func (t *Telemetry) Replication() (ReplicationStats, bool) {
+	if t == nil {
+		return ReplicationStats{}, false
+	}
+	fn := t.replication.Load()
+	if fn == nil {
+		return ReplicationStats{}, false
+	}
+	return (*fn)(), true
 }
 
 // SetExplain wires the provenance explain engine: fn takes a subject
@@ -407,6 +438,10 @@ func (t *Telemetry) Snapshot() Snapshot {
 	}
 	if fn := t.namesStats.Load(); fn != nil {
 		s.Names = (*fn)()
+	}
+	if fn := t.replication.Load(); fn != nil {
+		r := (*fn)()
+		s.Replication = &r
 	}
 	return s
 }

@@ -599,3 +599,103 @@ func TestHTTPEpochsAndExplain(t *testing.T) {
 	}
 	resp.Body.Close()
 }
+
+// TestReplicationWiring: the replication hook flows into Snapshot,
+// WriteProm, and /debug/replicas; an unwired telemetry reports the
+// absence cleanly everywhere.
+func TestReplicationWiring(t *testing.T) {
+	tel := newTestTelemetry(Options{})
+
+	// Unwired: accessor says no, the endpoint 404s, prom emits nothing.
+	if _, ok := tel.Replication(); ok {
+		t.Fatal("Replication() reported wired before SetReplication")
+	}
+	var hist Histogram
+	hist.Observe(3 * time.Millisecond)
+	stats := ReplicationStats{
+		PrimaryVersion:  9,
+		Snapshots:       2,
+		Deltas:          40,
+		SnapshotBytes:   5000,
+		DeltaBytes:      6000,
+		BarrierTimeouts: 1,
+		BarrierWait:     hist.Snapshot(),
+		Peers: []ReplicaPeerStat{
+			{Name: `rep"1`, Acked: 7, Lag: 2, Deltas: 40, DeltaBytes: 6000, SnapshotBytes: 2500},
+		},
+	}
+	var b strings.Builder
+	if err := WriteProm(&b, tel.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "secext_replica_") {
+		t.Fatal("prom carries replica metrics with no publisher wired")
+	}
+
+	tel.SetReplication(func() ReplicationStats { return stats })
+	got, ok := tel.Replication()
+	if !ok || got.PrimaryVersion != 9 || len(got.Peers) != 1 {
+		t.Fatalf("Replication() = %+v, %v", got, ok)
+	}
+
+	b.Reset()
+	if err := WriteProm(&b, tel.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, w := range []string{
+		"secext_replica_primary_version 9",
+		"secext_replica_peers 1",
+		`secext_replica_lag{peer="rep\"1"} 2`,
+		`secext_replica_messages_total{kind="snapshot"} 2`,
+		`secext_replica_messages_total{kind="delta"} 40`,
+		`secext_replica_bytes_total{kind="snapshot"} 5000`,
+		`secext_replica_bytes_total{kind="delta"} 6000`,
+		"secext_replica_barrier_timeouts_total 1",
+		"secext_replica_barrier_wait_seconds_count 1",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("prom output missing %q", w)
+		}
+	}
+
+	srv := httptest.NewServer(tel.HTTPHandler())
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+	if code, body := get("/debug/replicas"); code != 200 ||
+		!strings.Contains(body, `"primary_version": 9`) || !strings.Contains(body, `rep\"1`) {
+		t.Errorf("/debug/replicas json = %d %q", code, body)
+	}
+	if code, body := get("/debug/replicas?text=1"); code != 200 ||
+		!strings.Contains(body, "primary=v9 peers=1") || !strings.Contains(body, "acked=v7 lag=2") {
+		t.Errorf("/debug/replicas text = %d %q", code, body)
+	}
+
+	// Detach: back to 404.
+	tel.SetReplication(nil)
+	if code, _ := get("/debug/replicas"); code != 404 {
+		t.Errorf("/debug/replicas after detach = %d, want 404", code)
+	}
+	// Nil receiver: the setters and accessor are no-ops, not panics.
+	var nilTel *Telemetry
+	nilTel.SetReplication(func() ReplicationStats { return stats })
+	if _, ok := nilTel.Replication(); ok {
+		t.Error("nil telemetry reported a wired publisher")
+	}
+}
