@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover bench-smoke bench bench-scale bench-epoch bench-churn bench-resolve bench-explain bench-replica tables
+.PHONY: all build vet test race check cover bench-smoke bench bench-scale bench-epoch bench-churn bench-resolve bench-explain bench-replica bench-load tables
 
 all: check
 
@@ -50,6 +50,10 @@ PROVENANCE_COVER_FLOOR := 85.0
 # untested branch there is a fleet-wide policy bug, so every file in
 # the package keeps the floor individually.
 REPLICA_COVER_FLOOR := 85.0
+# The compact node layout and the intern/dedup tables are what every
+# million-node claim rests on; each new file keeps its own floor so the
+# package average cannot hide a hole in the layout machinery.
+LAYOUT_COVER_FLOOR := 85.0
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/monitor/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
@@ -74,6 +78,12 @@ cover:
 	echo "internal/names/compiled.go coverage: $$compiled% (floor $(COMPILED_COVER_FLOOR)%)"; \
 	awk "BEGIN {exit !($$compiled >= $(COMPILED_COVER_FLOOR))}" || \
 		{ echo "compiled-epoch coverage below floor"; exit 1; }
+	@for f in childref intern footprint bulk; do \
+		avg=$$($(GO) tool cover -func=cover-names.out | awk "/internal\/names\/$$f\.go/ {gsub(/%/,\"\",\$$3); sum += \$$3; n++} END {if (n) printf \"%.1f\", sum/n; else print 0}"); \
+		echo "internal/names/$$f.go coverage: $$avg% (floor $(LAYOUT_COVER_FLOOR)%)"; \
+		awk "BEGIN {exit !($$avg >= $(LAYOUT_COVER_FLOOR))}" || \
+			{ echo "compact-layout coverage below floor"; exit 1; }; \
+	done
 	$(GO) test -coverprofile=cover-acl.out ./internal/acl/
 	@summary=$$($(GO) tool cover -func=cover-acl.out | awk '/internal\/acl\/summary\.go/ {gsub(/%/,"",$$3); sum += $$3; n++} END {if (n) printf "%.1f", sum/n; else print 0}'); \
 	echo "internal/acl/summary.go coverage: $$summary% (floor $(SUMMARY_COVER_FLOOR)%)"; \
@@ -112,6 +122,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'E17' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'E18' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'E19' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'E20' -benchtime 1x .
 
 # bench runs the full benchmark suite with allocation stats (slow).
 bench:
@@ -154,6 +165,16 @@ bench-explain:
 # 64-epoch burst, and snapshot-vs-delta transfer cost).
 bench-replica:
 	$(GO) run ./cmd/benchtab -json . E19
+
+# bench-load runs the E20 scale experiment at its full advertised size —
+# a 10^6-node tree under 10^5 principals — and writes BENCH_E20.json
+# (map-children baseline vs compact layout bytes/node, footprint
+# accounting, and open-loop zipf CHECK latency over loopback TCP).
+# Takes minutes and several GB of heap; the CI smoke runs the same code
+# at the small defaults via bench-smoke / `benchtab E20`.
+bench-load:
+	SECEXT_E20_NODES=1000000 SECEXT_E20_PRINCIPALS=100000 SECEXT_E20_WINDOW_MS=2000 \
+		$(GO) run ./cmd/benchtab -json . E20
 
 # tables regenerates the EXPERIMENTS.md tables and writes structured
 # BENCH_<ID>.json rows for machine consumers.

@@ -300,6 +300,16 @@ func runStats(args []string) {
 		n.CompiledVisRecompute.P95, n.CompiledIndexBuild.Count)
 	fmt.Printf("shadow monitor: %d checks shadowed, %d divergences; journal holds %d transitions\n",
 		n.ShadowChecks, n.Divergences, n.JournalRecords)
+	fp := n.Footprint
+	fmt.Printf("tree footprint: %d nodes (%d dirs, %d leaves), %s total (%.1f B/node)\n",
+		fp.Nodes, fp.Directories, fp.Leaves, fmtBytes(fp.TotalBytes), fp.BytesPerNode)
+	fmt.Printf("  structure sharing: %d owned / %d shared nodes this epoch; child slices %s, paths %s, names %s\n",
+		fp.OwnedNodes, fp.SharedNodes, fmtBytes(fp.ChildSliceBytes), fmtBytes(fp.PathBytes), fmtBytes(fp.NameBytes))
+	fmt.Printf("  acl dedupe: %d refs onto %d distinct values (ratio %.1f, %s)\n",
+		fp.ACLRefs, fp.DistinctACLs, fp.ACLDedupRatio, fmtBytes(fp.ACLBytes))
+	fmt.Printf("  interner: %d strings / %s held, %d hits, %d misses, %d resets; acl table %d distinct, %d dedups\n",
+		fp.InternedStrings, fmtBytes(fp.InternedBytes), fp.InternHits, fp.InternMisses,
+		fp.InternResets, fp.ACLCanonDistinct, fp.ACLCanonDedups)
 	fmt.Printf("audit: %d decisions (%d allowed, %d denied), %d bypasses, %d dropped from ring\n",
 		s.Audit.Total, s.Audit.Allowed, s.Audit.Denied, s.Audit.Bypassed, s.Audit.Dropped)
 	fmt.Printf("dispatcher admissions: %d admitted, %d rejected\n",

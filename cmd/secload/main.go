@@ -1,0 +1,161 @@
+// Command secload is the scale/traffic harness behind experiment E20:
+// it builds a large synthetic name tree (directories of fixed fan-out,
+// a principal/group population, a bounded pool of distinct ACLs reused
+// across the tree), then drives zipf-distributed CHECK traffic over the
+// secextd line protocol and reports open-loop latency percentiles.
+//
+// Self-hosted (default): secload builds the world in-process, serves it
+// on a loopback listener, and drives traffic against itself — one
+// command to reproduce the E20 numbers at any scale:
+//
+//	secload -nodes 1000000 -principals 100000 -rate 4000 -duration 5s
+//
+// Against a running daemon: point it at an existing secextd and hand it
+// tokens (comma-separated; connection i authenticates with token
+// i mod len). The tree must already exist there with the same shape
+// flags, since zipf targets are derived from -nodes/-leaves-per-dir:
+//
+//	secload -addr 127.0.0.1:7777 -tokens $TOK1,$TOK2 -rate 1000 -duration 10s
+//
+// Latencies are measured from each operation's SCHEDULED send time on a
+// fixed open-loop clock, so a server that falls behind accumulates
+// queueing delay in the percentiles instead of silently pacing the
+// generator down. On a single-vCPU host the generator and the server
+// share the machine; treat the tails as an upper bound.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"secext"
+	"secext/internal/load"
+	"secext/internal/remote"
+	"secext/internal/telemetry"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 100_000, "approximate tree size (rounded to whole directories)")
+	leavesPerDir := flag.Int("leaves-per-dir", 256, "directory fan-out")
+	principals := flag.Int("principals", 10_000, "registry population")
+	groups := flag.Int("groups", 0, "group count (0 = principals/32, min 4)")
+	aclPool := flag.Int("acl-pool", 0, "distinct ACL values scattered over the tree (0 = nodes/64, min 16)")
+	conns := flag.Int("conns", 4, "concurrent connections")
+	rate := flag.Float64("rate", 2000, "target checks/sec across all connections")
+	duration := flag.Duration("duration", 3*time.Second, "traffic window")
+	zipf := flag.Float64("zipf", 1.1, "zipf skew s (> 1) of the leaf-index distribution")
+	seed := flag.Int64("seed", 1, "deterministic seed for tree/ACL/zipf choices")
+	addr := flag.String("addr", "", "existing secextd address (empty = self-host on loopback)")
+	tokens := flag.String("tokens", "", "comma-separated auth tokens for -addr mode")
+	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text")
+	flag.Parse()
+
+	cfg := load.Defaults()
+	cfg.Nodes = *nodes
+	cfg.LeavesPerDir = *leavesPerDir
+	cfg.Principals = *principals
+	cfg.Seed = *seed
+	cfg.Zipf = *zipf
+	if *groups > 0 {
+		cfg.Groups = *groups
+	} else if g := *principals / 32; g >= 4 {
+		cfg.Groups = g
+	} else {
+		cfg.Groups = 4
+	}
+	if *aclPool > 0 {
+		cfg.ACLPool = *aclPool
+	} else if a := *nodes / 64; a >= 16 {
+		cfg.ACLPool = a
+	} else {
+		cfg.ACLPool = 16
+	}
+	p := load.NewPlan(cfg)
+
+	target := *addr
+	var authTokens []string
+	var st load.BuildStats
+	if target == "" {
+		var err error
+		target, authTokens, st, err = selfHost(p, *conns)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		if *tokens == "" {
+			fatal(fmt.Errorf("-addr requires -tokens"))
+		}
+		authTokens = strings.Split(*tokens, ",")
+	}
+
+	tr, err := load.DriveZipf(target, authTokens, p, *rate, *duration, *conns)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		doc := struct {
+			Plan    load.Plan          `json:"plan"`
+			Build   load.BuildStats    `json:"build"`
+			Traffic load.TrafficResult `json:"traffic"`
+		}{p, st, tr}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if st.TreeNodes > 0 {
+		fmt.Printf("built %d nodes (%d dirs × %d leaves) in %s (%d publications), %d principals / %d groups in %s\n",
+			st.TreeNodes, p.Dirs, p.LeavesPerDir, st.TreeTime.Round(time.Millisecond),
+			st.Publications, st.Principals, st.Groups, st.RegistryTime.Round(time.Millisecond))
+	}
+	fmt.Printf("traffic: %d ops (%d denied, %d errors) in %s, %.0f ops/s achieved (target %.0f)\n",
+		tr.Ops, tr.Denied, tr.Errors, tr.Wall.Round(time.Millisecond), tr.Achieved, *rate)
+	fmt.Printf("latency (open-loop, from scheduled send): p50 %s  p95 %s  p99 %s  max %s\n",
+		tr.P50, tr.P95, tr.P99, tr.Max)
+}
+
+// selfHost builds the world in-process and serves it on loopback,
+// returning the listen address and one token per connection.
+func selfHost(p load.Plan, conns int) (string, []string, load.BuildStats, error) {
+	var st load.BuildStats
+	w, err := secext.NewWorld(secext.WorldOptions{
+		Levels:       []string{"others", "organization", "local"},
+		Categories:   []string{"dept-1", "dept-2"},
+		DisableAudit: true,
+		Telemetry:    secext.TelemetryOptions{Mode: telemetry.ModeOff},
+	})
+	if err != nil {
+		return "", nil, st, err
+	}
+	st, err = load.Populate(w.Sys, p)
+	if err != nil {
+		return "", nil, st, err
+	}
+	toks := make([]string, conns)
+	for i := range toks {
+		toks[i], err = w.Sys.Registry().IssueToken(load.PrincipalName(i % p.Principals))
+		if err != nil {
+			return "", nil, st, err
+		}
+	}
+	srv := remote.NewServer(w.Sys)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, st, err
+	}
+	go srv.Serve(l)
+	return l.Addr().String(), toks, st, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "secload:", err)
+	os.Exit(1)
+}

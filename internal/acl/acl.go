@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"unsafe"
 )
 
 // Subject is the view of a requesting principal the decision procedure
@@ -255,6 +256,17 @@ func (a *ACL) Entries() []Entry {
 
 // Len reports the number of entries.
 func (a *ACL) Len() int { return len(a.entries) }
+
+// RetainedBytes estimates the heap bytes held by the ACL's entry list:
+// the backing array plus each entry's name string. The name server's
+// footprint accounting uses it to price distinct ACL values once.
+func (a *ACL) RetainedBytes() int {
+	n := int(unsafe.Sizeof(Entry{})) * cap(a.entries)
+	for _, e := range a.entries {
+		n += len(e.Who)
+	}
+	return n
+}
 
 // Clone returns a deep copy of the ACL.
 func (a *ACL) Clone() *ACL {

@@ -225,6 +225,7 @@ func NewSystem(opts Options) (*System, error) {
 			ShadowChecks:   sc,
 			Divergences:    dv,
 			JournalRecords: s.ns.JournalLen(),
+			Footprint:      footprintStats(s.ns.EpochFootprint()),
 		}
 	})
 	// Decision provenance: the epoch-transition journal and the explain
@@ -335,6 +336,17 @@ func (s *System) AddPrincipal(name, classLabel string) (*principal.Principal, er
 		return nil, err
 	}
 	return s.reg.AddPrincipal(name, class)
+}
+
+// AddPrincipals registers several principals at the class given by
+// label as one published registry version — one freeze and one policy
+// epoch carry the whole batch (see principal.Registry.AddPrincipals).
+func (s *System) AddPrincipals(classLabel string, names ...string) ([]*principal.Principal, error) {
+	class, err := s.lat.ParseClass(classLabel)
+	if err != nil {
+		return nil, err
+	}
+	return s.reg.AddPrincipals(class, names...)
 }
 
 // NewContext creates a root thread of control for a registered
@@ -456,4 +468,43 @@ func (s *System) RegisterService(spec ServiceSpec) error {
 		return err
 	}
 	return nil
+}
+
+// footprintStats maps the name server's epoch footprint into its
+// telemetry mirror (the telemetry package stays a leaf and cannot
+// import names).
+func footprintStats(ef names.EpochFootprint) telemetry.FootprintStats {
+	fp := ef.Footprint
+	return telemetry.FootprintStats{
+		EpochVersion: fp.Version,
+
+		Nodes:       fp.Nodes,
+		Leaves:      fp.Leaves,
+		Directories: fp.Directories,
+		OwnedNodes:  fp.OwnedNodes,
+		SharedNodes: fp.SharedNodes,
+
+		ChildSlots:      fp.ChildSlots,
+		ChildSliceBytes: fp.ChildSliceBytes,
+		PathBytes:       fp.PathBytes,
+		NameBytes:       fp.NameBytes,
+		NodeStructBytes: fp.NodeStructBytes,
+
+		ACLRefs:       fp.ACLRefs,
+		DistinctACLs:  fp.DistinctACLs,
+		ACLBytes:      fp.ACLBytes,
+		ACLDedupRatio: fp.ACLDedupRatio,
+
+		TotalBytes:   fp.TotalBytes,
+		BytesPerNode: fp.BytesPerNode,
+
+		InternedStrings:  ef.Interner.Strings,
+		InternedBytes:    ef.Interner.Bytes,
+		InternHits:       ef.Interner.Hits,
+		InternMisses:     ef.Interner.Misses,
+		InternResets:     ef.Interner.Resets,
+		ACLCanonDistinct: ef.ACLCanon.Distinct,
+		ACLCanonDedups:   ef.ACLCanon.Dedups,
+		ACLCanonResets:   ef.ACLCanon.Resets,
+	}
 }

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"secext"
+	"secext/internal/lattice"
+	"secext/internal/load"
+	"secext/internal/names"
+	"secext/internal/remote"
+	"secext/internal/telemetry"
+)
+
+// e20Scale reads the experiment scale from the environment so the same
+// code serves both the CI smoke (small defaults, seconds) and the real
+// bench-load run (10^6 nodes / 10^5 principals, minutes):
+//
+//	SECEXT_E20_NODES       tree size (default 10 000)
+//	SECEXT_E20_PRINCIPALS  registry population (default 2 000)
+//	SECEXT_E20_WINDOW_MS   remote traffic window (default 300)
+func e20Scale() (nodes, principals int, window time.Duration) {
+	nodes, principals, window = 10_000, 2_000, 300*time.Millisecond
+	if v, err := strconv.Atoi(os.Getenv("SECEXT_E20_NODES")); err == nil && v > 0 {
+		nodes = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("SECEXT_E20_PRINCIPALS")); err == nil && v > 0 {
+		principals = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("SECEXT_E20_WINDOW_MS")); err == nil && v > 0 {
+		window = time.Duration(v) * time.Millisecond
+	}
+	return nodes, principals, window
+}
+
+// e20Plan derives the load plan for the configured scale. Groups and
+// the ACL pool scale sublinearly with the population, mirroring how
+// real deployments share policy across many objects.
+func e20Plan(nodes, principals int) load.Plan {
+	cfg := load.Defaults()
+	cfg.Nodes = nodes
+	cfg.Principals = principals
+	cfg.Groups = principals / 32
+	if cfg.Groups < 4 {
+		cfg.Groups = 4
+	}
+	cfg.ACLPool = nodes / 64
+	if cfg.ACLPool < 16 {
+		cfg.ACLPool = 16
+	}
+	return load.NewPlan(cfg)
+}
+
+// E20 prices the compact epoch layout at scale: a synthetic tree of
+// SECEXT_E20_NODES nodes (10^6 for bench-load) under a population of
+// SECEXT_E20_PRINCIPALS principals, built through the bulk bind path,
+// then measured three ways and driven with zipf-distributed check
+// traffic over the real line protocol on loopback TCP.
+//
+// Columns:
+//
+//   - map B/node: the measured (GC-bracketed heap delta, not estimated)
+//     retained bytes per node of the pre-PR-10 representation — map
+//     children, per-node path/name strings, per-node ACL clones —
+//     rebuilt as a shadow structure on the identical population.
+//   - slice B/node: the same measurement for the live representation,
+//     built through the same bulk binds on a bare name server: sorted
+//     []childRef children, interned paths (names derived, never
+//     stored), canonicalized shared ACLs and classes. Tree-only: the
+//     server's intern/dedup tables are dropped before the closing heap
+//     reading, since they are server-wide state amortized across every
+//     epoch, reported separately by the footprint gauges.
+//   - reduction: map/slice. The acceptance bar is >= 2x.
+//   - accounted B/node: the EpochFootprint analytic estimate for the
+//     full system's tree, cross-checking the accounting the telemetry
+//     gauges export against the measured truth.
+//   - acl dedupe: distinct ACL values per reference (footprint view).
+//   - warm check: in-process mediated CheckData on a zipf-hot leaf,
+//     comparable to the E13/E17 warm band.
+//   - remote p50/p95/p99: open-loop zipf CHECK traffic over loopback
+//     TCP, latencies measured from scheduled (not actual) send times,
+//     so server lag shows up as queueing delay instead of silently
+//     pacing the generator down. Single-vCPU caveat: generator and
+//     server share the host, so tail latencies include scheduler
+//     interference; treat the columns as an upper bound.
+func E20() Result {
+	res := Result{ID: "E20",
+		Title: "Million-object epochs: compact layout footprint and zipf check traffic (loopback TCP)"}
+	nodes, principals, window := e20Scale()
+	p := e20Plan(nodes, principals)
+
+	w, _, err := telWorld(telemetry.ModeOff, false)
+	if err != nil {
+		res.Err = fmt.Errorf("E20: world: %w", err)
+		return res
+	}
+	t0 := time.Now()
+	st, err := load.Populate(w.Sys, p)
+	if err != nil {
+		res.Err = fmt.Errorf("E20: populate: %w", err)
+		return res
+	}
+	buildTime := time.Since(t0)
+
+	// Measured footprints: identical population, two representations,
+	// both priced by GC-bracketed retained-heap deltas.
+	lat, err := lattice.NewWithUniverse([]string{"others", "organization", "local"}, nil)
+	if err != nil {
+		res.Err = fmt.Errorf("E20: lattice: %w", err)
+		return res
+	}
+	bottom, err := lat.Bottom()
+	if err != nil {
+		res.Err = fmt.Errorf("E20: bottom: %w", err)
+		return res
+	}
+	// Build on a bare name server, then keep only the published epoch:
+	// the server (interner table, dedup tables, journal, batch
+	// machinery) is dropped — and the lattice's publish hook cleared so
+	// nothing pins it — before the closing heap reading, so the delta
+	// prices the TREE representation alone, symmetric with the map
+	// baseline below. The tables are server-wide state that amortizes
+	// across every epoch the server ever publishes; their retained
+	// bytes are reported separately by the footprint gauges
+	// (secext_interner_bytes), not smuggled into the per-node layout
+	// comparison.
+	var keepEpoch *names.Epoch
+	sliceBytes := load.HeapDelta(func() {
+		bare := names.NewServer(lat, secext.NewACL(secext.AllowEveryone(secext.List)), bottom)
+		if e := load.BuildTree(bare, p, bottom); e != nil && err == nil {
+			err = e
+		}
+		keepEpoch = bare.Current()
+		lat.SetPublishHook(nil)
+	})
+	if err != nil {
+		res.Err = fmt.Errorf("E20: slice-layout build: %w", err)
+		return res
+	}
+	var mapRoot any
+	var mapNodes int
+	mapBytes := load.HeapDelta(func() {
+		mapRoot, mapNodes = load.BuildMapBaseline(p, bottom)
+	})
+	// Both shadow structures must outlive BOTH measurements: if the
+	// slice-layout tree dies while the map baseline is being measured,
+	// its freed bytes cancel the baseline's allocation and the delta
+	// goes negative.
+	runtime.KeepAlive(keepEpoch)
+	runtime.KeepAlive(mapRoot)
+	if mapNodes != p.TotalNodes {
+		res.Err = fmt.Errorf("E20: baseline built %d nodes, want %d", mapNodes, p.TotalNodes)
+		return res
+	}
+	slicePer := float64(sliceBytes) / float64(p.TotalNodes)
+	mapPer := float64(mapBytes) / float64(p.TotalNodes)
+	reduction := mapPer / slicePer
+	if reduction < 2 {
+		res.Err = fmt.Errorf("E20: layout reduction %.2fx below the 2x bar (map %.0f B/node, slice %.0f B/node)",
+			reduction, mapPer, slicePer)
+	}
+	fp := w.Sys.Names().EpochFootprint()
+
+	// Warm in-process check on the zipf-hottest leaf, for comparability
+	// with the E13/E17 warm band.
+	ctx, err := w.Sys.NewContext(load.PrincipalName(0))
+	if err != nil {
+		res.Err = fmt.Errorf("E20: context: %w", err)
+		return res
+	}
+	hot := p.LeafPath(0)
+	if _, err := w.Sys.CheckData(ctx, hot, secext.Read); err != nil {
+		res.Err = fmt.Errorf("E20: warm check: %w", err)
+		return res
+	}
+	warm := measure(defaultMinDur, func(n int) {
+		for i := 0; i < n; i++ {
+			if _, e := w.Sys.CheckData(ctx, hot, secext.Read); e != nil {
+				panic(e)
+			}
+		}
+	})
+
+	// Remote zipf traffic over the real line protocol on loopback.
+	srv := remote.NewServer(w.Sys)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		res.Err = fmt.Errorf("E20: listen: %w", err)
+		return res
+	}
+	go srv.Serve(l)
+	defer l.Close()
+	defer srv.Close()
+	const conns = 4
+	tokens := make([]string, conns)
+	for i := range tokens {
+		tokens[i], err = w.Sys.Registry().IssueToken(load.PrincipalName(i % p.Principals))
+		if err != nil {
+			res.Err = fmt.Errorf("E20: token: %w", err)
+			return res
+		}
+	}
+	tr, err := load.DriveZipf(l.Addr().String(), tokens, p, 4000, window, conns)
+	if err != nil {
+		res.Err = fmt.Errorf("E20: traffic: %w", err)
+		return res
+	}
+	if tr.Errors > 0 {
+		res.Err = fmt.Errorf("E20: %d transport errors during traffic window", tr.Errors)
+	}
+
+	t := &table{header: []string{
+		"nodes", "principals", "build s", "pubs",
+		"map B/node", "slice B/node", "reduction",
+		"accounted B/node", "acl dedupe",
+		"warm check", "remote p50", "p95", "p99", "ops/s",
+	}}
+	t.add(
+		fmt.Sprintf("%d", p.TotalNodes),
+		fmt.Sprintf("%d", st.Principals),
+		fmt.Sprintf("%.2f", buildTime.Seconds()),
+		fmt.Sprintf("%d", st.Publications),
+		fmt.Sprintf("%.0f", mapPer),
+		fmt.Sprintf("%.0f", slicePer),
+		fmt.Sprintf("%.2fx", reduction),
+		fmt.Sprintf("%.0f", fp.BytesPerNode),
+		fmt.Sprintf("%.1fx", fp.ACLDedupRatio),
+		ns(warm),
+		ns(float64(tr.P50.Nanoseconds())),
+		ns(float64(tr.P95.Nanoseconds())),
+		ns(float64(tr.P99.Nanoseconds())),
+		fmt.Sprintf("%.0f", tr.Achieved),
+	)
+	res.setTable(t)
+	return res
+}

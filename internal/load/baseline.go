@@ -1,0 +1,69 @@
+package load
+
+import (
+	"fmt"
+
+	"secext/internal/acl"
+	"secext/internal/lattice"
+)
+
+// The map-children baseline.
+//
+// Before the compact layout (PR 10) a tree node carried its children in
+// a map[string]*Node, every bind allocated a fresh path and name
+// string, and every node held a private clone of its ACL. This file
+// rebuilds that representation as a shadow structure so E20 can price
+// the old layout against the live one on identical populations. The
+// shadow is measured (HeapDelta), not estimated, so the comparison does
+// not depend on anyone's arithmetic being charitable.
+
+// mapNode mirrors the old node layout: map children, a stored name
+// header alongside the path, an inline class value, a private ACL
+// clone per node.
+type mapNode struct {
+	name       string
+	path       string
+	kind       uint8
+	multilevel bool
+	acl        *acl.ACL
+	class      lattice.Class
+	payload    any
+	children   map[string]*mapNode
+}
+
+// BuildMapBaseline builds the plan's tree in the map-children layout
+// with per-node strings and per-node ACL clones — the allocation
+// behavior the interner and the dedup table replaced. Returns the root
+// and the node count.
+func BuildMapBaseline(p Plan, class lattice.Class) (*mapNode, int) {
+	pool := make([]*acl.ACL, p.ACLPool)
+	for k := range pool {
+		pool[k] = p.ACLPoolEntry(k)
+	}
+	root := &mapNode{
+		name: p.Root[1:], path: p.Root,
+		acl: pool[0].Clone(), class: class,
+		children: make(map[string]*mapNode, p.Dirs),
+	}
+	n := 1
+	for d := 0; d < p.Dirs; d++ {
+		name := fmt.Sprintf("d%05d", d)
+		dir := &mapNode{
+			name: name, path: p.Root + "/" + name,
+			acl: pool[p.dirACLIndex(d)].Clone(), class: class,
+			children: make(map[string]*mapNode, p.LeavesPerDir),
+		}
+		root.children[name] = dir
+		n++
+		for l := 0; l < p.LeavesPerDir; l++ {
+			ln := fmt.Sprintf("f%04d", l)
+			leaf := &mapNode{
+				name: ln, path: dir.path + "/" + ln, kind: 6, // file
+				acl: pool[p.leafACLIndex(d*p.LeavesPerDir+l)].Clone(), class: class,
+			}
+			dir.children[ln] = leaf
+			n++
+		}
+	}
+	return root, n
+}

@@ -1,0 +1,309 @@
+// Package load builds large synthetic name trees and drives zipf-
+// distributed check traffic against them. It is the machinery behind
+// the E20 scale experiment and the cmd/secload harness: both need the
+// same deterministic million-object tree (shape, ACL pool, principal
+// population), the same leaf-index→path mapping for zipf sampling, and
+// the same latency accounting, so the machinery lives here once.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"secext/internal/acl"
+	"secext/internal/core"
+	"secext/internal/lattice"
+	"secext/internal/names"
+)
+
+// Config describes one synthetic population: tree size and shape, the
+// principal/group population, and the distinct-ACL pool scattered over
+// the tree. The zero value is not usable; start from Defaults.
+type Config struct {
+	// Nodes is the approximate tree size under Root (the builder rounds
+	// to whole directories; see Plan).
+	Nodes int
+	// LeavesPerDir is the fan-out of each directory.
+	LeavesPerDir int
+	// Principals and Groups populate the registry; every principal is a
+	// member of one group (index mod Groups).
+	Principals int
+	Groups     int
+	// ACLPool is the number of distinct ACL values scattered over the
+	// tree. Every pool entry grants everyone read+list (so any principal
+	// can drive check traffic) plus distinguishing principal and group
+	// entries.
+	ACLPool int
+	// Root is the directory the tree is built under.
+	Root string
+	// ChunkSize bounds one BindSubtreeUnchecked call (one epoch
+	// publication per chunk).
+	ChunkSize int
+	// Seed fixes every pseudo-random choice.
+	Seed int64
+	// Zipf is the skew parameter s (> 1) of the leaf-index distribution.
+	Zipf float64
+}
+
+// Defaults is a small, CI-sized population. Scale Nodes/Principals up
+// for real runs (bench-load uses 10^6 / 10^5).
+func Defaults() Config {
+	return Config{
+		Nodes:        10_000,
+		LeavesPerDir: 256,
+		Principals:   2_000,
+		Groups:       64,
+		ACLPool:      512,
+		Root:         "/load",
+		ChunkSize:    20_000,
+		Seed:         1,
+		Zipf:         1.1,
+	}
+}
+
+// Plan is the concrete shape derived from a Config: Dirs directories,
+// each with exactly LeavesPerDir leaves, under the Root directory.
+type Plan struct {
+	Config
+	Dirs   int
+	Leaves int
+	// TotalNodes counts the Root directory, the Dirs, and the Leaves.
+	TotalNodes int
+}
+
+// NewPlan rounds the configured node count to whole directories.
+func NewPlan(cfg Config) Plan {
+	if cfg.LeavesPerDir <= 0 {
+		cfg.LeavesPerDir = 256
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 20_000
+	}
+	if cfg.Root == "" {
+		cfg.Root = "/load"
+	}
+	if cfg.Zipf <= 1 {
+		cfg.Zipf = 1.1
+	}
+	dirs := (cfg.Nodes - 1 + cfg.LeavesPerDir) / (cfg.LeavesPerDir + 1)
+	if dirs < 1 {
+		dirs = 1
+	}
+	return Plan{
+		Config:     cfg,
+		Dirs:       dirs,
+		Leaves:     dirs * cfg.LeavesPerDir,
+		TotalNodes: 1 + dirs + dirs*cfg.LeavesPerDir,
+	}
+}
+
+// DirPath returns the path of directory d.
+func (p Plan) DirPath(d int) string {
+	return fmt.Sprintf("%s/d%05d", p.Root, d)
+}
+
+// LeafPath maps leaf index i (0 <= i < Leaves) to its path. Zipf
+// sampling draws indices; this turns them into check targets.
+func (p Plan) LeafPath(i int) string {
+	return fmt.Sprintf("%s/d%05d/f%04d", p.Root, i/p.LeavesPerDir, i%p.LeavesPerDir)
+}
+
+// PrincipalName returns the name of principal i.
+func PrincipalName(i int) string { return fmt.Sprintf("p%06d", i) }
+
+// GroupName returns the name of group g.
+func GroupName(g int) string { return fmt.Sprintf("g%03d", g) }
+
+// ACLPoolEntry builds the k-th distinct ACL of the pool: everyone may
+// read and list (so check traffic from any principal is allowed), and
+// the distinguishing write/delete entries reference a real principal
+// and a real group so the ACLs exercise the registry like hand-written
+// policy would.
+func (p Plan) ACLPoolEntry(k int) *acl.ACL {
+	return acl.New(
+		acl.AllowEveryone(acl.Read|acl.List),
+		acl.Allow(PrincipalName((k*7)%p.Principals), acl.Write|acl.Delete),
+		acl.AllowGroup(GroupName(k%p.Groups), acl.Write|acl.Administrate),
+	)
+}
+
+// aclFor assigns every node a pool entry: directories by directory
+// index, leaves by global leaf index.
+func (p Plan) dirACLIndex(d int) int  { return d % p.ACLPool }
+func (p Plan) leafACLIndex(i int) int { return i % p.ACLPool }
+
+// BuildStats reports what Populate did and what it cost.
+type BuildStats struct {
+	Plan         Plan
+	Principals   int
+	Groups       int
+	TreeNodes    int
+	Publications uint64
+	RegistryTime time.Duration
+	TreeTime     time.Duration
+}
+
+// Populate fills a system with the plan's population: principals,
+// groups, and memberships in three batched registry publications (one
+// freeze each — per-entity registration is quadratic at this scale;
+// see principal.Registry.AddPrincipals), then the tree in ChunkSize
+// bulk-bind publications.
+func Populate(sys *core.System, p Plan) (BuildStats, error) {
+	st := BuildStats{Plan: p}
+	lowest := sys.Lattice().Levels()[0]
+	bottom, err := sys.Lattice().Bottom()
+	if err != nil {
+		return st, err
+	}
+
+	t0 := time.Now()
+	if err := addPrincipals(sys, p, lowest); err != nil {
+		return st, err
+	}
+	reg := sys.Registry()
+	groups := make([]string, p.Groups)
+	for g := range groups {
+		groups[g] = GroupName(g)
+	}
+	if err := reg.AddGroups(groups...); err != nil {
+		return st, err
+	}
+	grants := make(map[string][]string, p.Groups)
+	for i := 0; i < p.Principals; i++ {
+		g := GroupName(i % p.Groups)
+		grants[g] = append(grants[g], PrincipalName(i))
+	}
+	if _, err := reg.AddMemberships(grants); err != nil {
+		return st, err
+	}
+	st.Principals, st.Groups = p.Principals, p.Groups
+	st.RegistryTime = time.Since(t0)
+
+	t1 := time.Now()
+	pubs0 := sys.Names().Publishes()
+	if err := BuildTree(sys.Names(), p, bottom); err != nil {
+		return st, err
+	}
+	st.TreeTime = time.Since(t1)
+	st.Publications = sys.Names().Publishes() - pubs0
+	st.TreeNodes = 1 + p.Dirs + p.Leaves
+	return st, nil
+}
+
+// addPrincipals registers the plan's principals as one batched registry
+// publication. A worker pool over AddPrincipal does not help here: the
+// write-combining publisher coalesces the downstream *epochs*, but
+// every individual registration still freezes the registry, and each
+// freeze clones membership tables holding all earlier principals —
+// quadratic in the population.
+func addPrincipals(sys *core.System, p Plan, classLabel string) error {
+	names := make([]string, p.Principals)
+	for i := range names {
+		names[i] = PrincipalName(i)
+	}
+	_, err := sys.AddPrincipals(classLabel, names...)
+	return err
+}
+
+// BuildTree builds the plan's tree on a bare name server (no checks,
+// ChunkSize specs per publication). The ACL pool is materialized once
+// and shared across chunks, so the server's dedup table sees the same
+// pointers it canonicalized before.
+func BuildTree(ns *names.Server, p Plan, class lattice.Class) error {
+	pool := make([]*acl.ACL, p.ACLPool)
+	for k := range pool {
+		pool[k] = p.ACLPoolEntry(k)
+	}
+	if _, err := ns.BindUnchecked("/", names.BindSpec{
+		Name: p.Root[1:], Kind: names.KindDomain, ACL: pool[0], Class: class,
+	}); err != nil {
+		return err
+	}
+	chunk := make([]names.SubtreeSpec, 0, p.ChunkSize)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if _, _, err := ns.BindSubtreeUnchecked(p.Root, chunk); err != nil {
+			return err
+		}
+		chunk = chunk[:0]
+		return nil
+	}
+	for d := 0; d < p.Dirs; d++ {
+		dir := fmt.Sprintf("d%05d", d)
+		chunk = append(chunk, names.SubtreeSpec{
+			Path: dir, Kind: names.KindDomain, ACL: pool[p.dirACLIndex(d)], Class: class,
+		})
+		for l := 0; l < p.LeavesPerDir; l++ {
+			chunk = append(chunk, names.SubtreeSpec{
+				Path: fmt.Sprintf("%s/f%04d", dir, l), Kind: names.KindFile,
+				ACL: pool[p.leafACLIndex(d*p.LeavesPerDir+l)], Class: class,
+			})
+		}
+		// Flush on directory boundaries only, so a chunk never needs a
+		// parent from a previous chunk.
+		if len(chunk) >= p.ChunkSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// NewZipfPicker returns a deterministic zipf sampler over leaf indices.
+func (p Plan) NewZipfPicker(seed int64) func() int {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, p.Zipf, 1, uint64(p.Leaves-1))
+	return func() int { return int(z.Uint64()) }
+}
+
+// Latencies accumulates samples and reports percentiles.
+type Latencies struct {
+	ds []time.Duration
+}
+
+// Add records one sample.
+func (l *Latencies) Add(d time.Duration) { l.ds = append(l.ds, d) }
+
+// Merge folds another recorder's samples in.
+func (l *Latencies) Merge(o *Latencies) { l.ds = append(l.ds, o.ds...) }
+
+// Count returns the number of samples.
+func (l *Latencies) Count() int { return len(l.ds) }
+
+// Percentile returns the p-th percentile (0 < p <= 100) over the
+// recorded samples, or 0 with no samples. Sorting happens per call;
+// call after the measurement window, not inside it.
+func (l *Latencies) Percentile(p float64) time.Duration {
+	if len(l.ds) == 0 {
+		return 0
+	}
+	sort.Slice(l.ds, func(i, j int) bool { return l.ds[i] < l.ds[j] })
+	i := int(p/100*float64(len(l.ds))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(l.ds) {
+		i = len(l.ds) - 1
+	}
+	return l.ds[i]
+}
+
+// HeapDelta runs build between two garbage-collected heap readings and
+// returns the retained-byte delta. The caller must keep the built
+// structure reachable (return it from build's closure scope) or the
+// second GC frees what the first reading excluded.
+func HeapDelta(build func()) int64 {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	build()
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	return int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+}

@@ -1,0 +1,185 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Remote traffic driving: a minimal line-protocol client and an
+// open-loop zipf check generator. The generator schedules sends on a
+// fixed clock and measures each operation from its SCHEDULED time, not
+// its actual send time, so a server that falls behind shows the queue
+// delay in the percentiles instead of silently pacing the generator
+// down (the coordinated-omission trap).
+
+// Conn is one authenticated line-protocol connection.
+type Conn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// Dial connects to a secextd line-protocol address and authenticates
+// with the token.
+func Dial(addr, token string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{c: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+	// The server greets each connection with a banner line before any
+	// request; consume it or every reply afterwards is off by one.
+	banner, err := c.r.ReadString('\n')
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if !strings.HasPrefix(banner, "OK") {
+		nc.Close()
+		return nil, fmt.Errorf("load: banner: %s", strings.TrimSpace(banner))
+	}
+	resp, err := c.roundTrip("AUTH " + token)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if !strings.HasPrefix(resp, "OK") {
+		nc.Close()
+		return nil, fmt.Errorf("load: auth: %s", resp)
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+func (c *Conn) roundTrip(line string) (string, error) {
+	if _, err := c.w.WriteString(line + "\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(resp), nil
+}
+
+// Check issues one mediated CHECK and reports whether it was allowed.
+// A denial is a normal outcome, not an error; errors are transport or
+// protocol failures.
+func (c *Conn) Check(path, modes string) (bool, error) {
+	resp, err := c.roundTrip("CHECK " + path + " " + modes)
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case strings.HasPrefix(resp, "OK"):
+		return true, nil
+	case strings.HasPrefix(resp, "ERR denied"):
+		return false, nil
+	}
+	return false, fmt.Errorf("load: check: %s", resp)
+}
+
+// TrafficResult is one generator run's outcome.
+type TrafficResult struct {
+	Ops      int           // operations completed
+	Denied   int           // checks answered with a denial
+	Errors   int           // transport/protocol failures
+	Wall     time.Duration // wall time of the window
+	Achieved float64       // completed ops per second
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+// DriveZipf runs an open-loop zipf check load: conns connections each
+// pace rate/conns checks per second against addr for the window,
+// targets drawn by the plan's zipf sampler. tokens[i%len] authenticates
+// connection i.
+func DriveZipf(addr string, tokens []string, p Plan, rate float64, window time.Duration, conns int) (TrafficResult, error) {
+	if conns <= 0 {
+		conns = 1
+	}
+	if rate <= 0 {
+		return TrafficResult{}, fmt.Errorf("load: rate must be positive")
+	}
+	interval := time.Duration(float64(conns) / rate * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	var (
+		mu     sync.Mutex
+		all    Latencies
+		res    TrafficResult
+		errOut error
+		wg     sync.WaitGroup
+	)
+	start := time.Now().Add(10 * time.Millisecond) // common epoch for all conns
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := Dial(addr, tokens[i%len(tokens)])
+			if err != nil {
+				mu.Lock()
+				if errOut == nil {
+					errOut = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer conn.Close()
+			pick := p.NewZipfPicker(p.Seed + int64(i)*7919)
+			var lats Latencies
+			ops, denied, errs := 0, 0, 0
+			// Stagger connections across one interval so sends do not
+			// arrive in lockstep.
+			next := start.Add(time.Duration(i) * interval / time.Duration(conns))
+			deadline := start.Add(window)
+			for next.Before(deadline) {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				ok, err := conn.Check(p.LeafPath(pick()), "read")
+				lats.Add(time.Since(next)) // from SCHEDULED time
+				next = next.Add(interval)
+				if err != nil {
+					errs++
+					continue
+				}
+				ops++
+				if !ok {
+					denied++
+				}
+			}
+			mu.Lock()
+			all.Merge(&lats)
+			res.Ops += ops
+			res.Denied += denied
+			res.Errors += errs
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if errOut != nil {
+		return res, errOut
+	}
+	res.Wall = time.Since(start)
+	if res.Wall > 0 {
+		res.Achieved = float64(res.Ops) / res.Wall.Seconds()
+	}
+	res.P50 = all.Percentile(50)
+	res.P95 = all.Percentile(95)
+	res.P99 = all.Percentile(99)
+	res.Max = all.Percentile(100)
+	return res, nil
+}

@@ -106,8 +106,13 @@ func (s *Server) stageLocked(shard uint8, apply func(*Epoch)) *pendingBatch {
 		cur.version++
 		// The staged epoch must never serve compiled answers: its tree
 		// diverges from the published index as mutations accumulate.
-		// The flush compiles a fresh view right before the store.
+		// The flush compiles a fresh view right before the store. The
+		// footprint cell is per-publication state for the same reason —
+		// the flush installs a fresh one (and recomputes owned) before
+		// the store.
 		cur.compiled = nil
+		cur.fp = nil
+		cur.owned = 0
 		s.staged = &cur
 		s.batch = &pendingBatch{
 			done:    make(chan struct{}),
@@ -158,6 +163,11 @@ func (s *Server) flush() {
 		st.compiled, cs = s.compileEpoch(st)
 	}
 	prev := s.epoch.Load()
+	// Footprint accounting: count the nodes this publication allocated
+	// (everything not pointer-shared with the parent tree). The walk is
+	// pruned at shared subtrees, so a typical publication pays O(spine).
+	st.owned = countOwned(prev.root, st.root)
+	st.fp = &fpCell{}
 	s.staged, s.batch = nil, nil
 	s.epoch.Store(st)
 	s.publishes.Add(1)

@@ -193,6 +193,47 @@ type compileBuilder struct {
 	dead       int
 	sumNs      int64
 	visNs      int64
+
+	// Freeze-time bitset dedup. With the server's ACL canonicalization
+	// most directories share a handful of distinct ACL pointers, so a
+	// single build would otherwise materialize the same effective-List
+	// bitset (O(principals/64) words EACH) thousands of times over a
+	// million-node tree. effCache memoizes EffectiveIDs per summary
+	// pointer (n is fixed within one build), and andCache memoizes the
+	// visibility-chain AND by the identity of its two operands, so
+	// equal chains collapse to one allocation.
+	effCache map[*acl.Summary]acl.IDSet
+	andCache map[andKey]acl.IDSet
+}
+
+// andKey identifies an IDSet AND by its operands' identities (backing
+// array head + length — the sharing invariant makes identity ⟺ value
+// for sets already in the build).
+type andKey struct {
+	a, b *uint64
+	la   int
+	lb   int
+}
+
+func setHead(s acl.IDSet) *uint64 {
+	if len(s) == 0 {
+		return nil
+	}
+	return &s[0]
+}
+
+// andSets returns vis ∧ eff, memoized by operand identity.
+func (b *compileBuilder) andSets(vis, eff acl.IDSet) acl.IDSet {
+	k := andKey{a: setHead(vis), b: setHead(eff), la: len(vis), lb: len(eff)}
+	if v, ok := b.andCache[k]; ok {
+		return v
+	}
+	if b.andCache == nil {
+		b.andCache = make(map[andKey]acl.IDSet, 16)
+	}
+	v := vis.And(eff)
+	b.andCache[k] = v
+	return v
 }
 
 // killSlot retires e's sens/sums slot when e is replaced or deleted.
@@ -253,6 +294,8 @@ func (b *compileBuilder) walk(node, old *Node, vis visCtx, visChanged bool) {
 		// not "nobody holds List".
 		if oldE != nil && sum == b.prev.sumOf(oldE) && !b.nChanged && len(oldE.node.children) > 0 {
 			effList = oldE.effList
+		} else if cached, ok := b.effCache[sum]; ok {
+			effList = cached
 		} else {
 			t0 := time.Now()
 			effList = sum.EffectiveIDs(acl.List, b.n)
@@ -260,6 +303,10 @@ func (b *compileBuilder) walk(node, old *Node, vis visCtx, visChanged bool) {
 				effList = oldE.effList
 			}
 			b.visNs += time.Since(t0).Nanoseconds()
+			if b.effCache == nil {
+				b.effCache = make(map[*acl.Summary]acl.IDSet, 16)
+			}
+			b.effCache[sum] = effList
 		}
 	}
 
@@ -267,7 +314,7 @@ func (b *compileBuilder) walk(node, old *Node, vis visCtx, visChanged bool) {
 		node:    node,
 		sum:     sum,
 		effList: effList,
-		objIdx:  int32(b.dom.Add(node.class)),
+		objIdx:  int32(b.dom.Add(*node.class)),
 		sensIdx: -1,
 		visIdx:  -1,
 	}
@@ -293,28 +340,28 @@ func (b *compileBuilder) walk(node, old *Node, vis visCtx, visChanged bool) {
 	if len(node.children) > 0 {
 		var childVis visCtx
 		if !vis.has {
-			childVis = visCtx{allow: effList, cls: node.class, has: true}
+			childVis = visCtx{allow: effList, cls: *node.class, has: true}
 		} else {
-			childVis = visCtx{allow: vis.allow.And(effList), cls: vis.cls.Join(node.class), has: true}
+			childVis = visCtx{allow: b.andSets(vis.allow, effList), cls: vis.cls.Join(*node.class), has: true}
 		}
 		// The children's context changes when this node's List set OR its
 		// class moved: both feed the chain (allow ∧ effList, cls ⊔ class),
 		// so a relabel must recompile descendant visibility even though
 		// the descendants' own nodes are shared with the parent epoch.
 		childChanged := visChanged || oldE == nil ||
-			!sameIDSet(effList, oldE.effList) || !node.class.Equal(oldE.node.class)
-		for name, child := range node.children {
+			!sameIDSet(effList, oldE.effList) || !node.class.Equal(*oldE.node.class)
+		for _, cr := range node.children {
 			var oldChild *Node
 			if old != nil {
-				oldChild = old.children[name]
+				oldChild = old.child(cr.name())
 			}
-			b.walk(child, oldChild, childVis, childChanged)
+			b.walk(cr.node, oldChild, childVis, childChanged)
 		}
 	}
 	if old != nil {
-		for name, oldChild := range old.children {
-			if _, ok := node.children[name]; !ok {
-				b.deleteSubtree(oldChild)
+		for _, cr := range old.children {
+			if node.child(cr.name()) == nil {
+				b.deleteSubtree(cr.node)
 			}
 		}
 	}
@@ -338,8 +385,8 @@ func (b *compileBuilder) deleteSubtree(n *Node) {
 		b.killSlot(e)
 		delete(b.index, n.path)
 	}
-	for _, c := range n.children {
-		b.deleteSubtree(c)
+	for _, cr := range n.children {
+		b.deleteSubtree(cr.node)
 	}
 }
 
@@ -525,7 +572,7 @@ func (ep *Epoch) fastCheck(sub acl.Subject, class lattice.Class, path string, mo
 		if !macguard.FlowAllowsInterned(c.dom, sIdx, int(e.objIdx), modes) {
 			return nil, false
 		}
-	} else if !macguard.FlowAllows(class, e.node.class, modes) {
+	} else if !macguard.FlowAllows(class, *e.node.class, modes) {
 		return nil, false
 	}
 	return e.node, true

@@ -68,6 +68,15 @@ type Epoch struct {
 	// compilation is disabled; the flush populates it immediately
 	// before the atomic store.
 	compiled *compiled
+
+	// owned counts the tree nodes newly allocated for this epoch (not
+	// pointer-shared with the parent epoch's tree). The flush computes
+	// it by a pointer-pruned diff walk — O(changed) — so the footprint
+	// can report structure sharing without holding parent epochs alive.
+	// fp caches the lazily computed footprint (see footprint.go); it is
+	// freshly allocated per publication, nil on staged epochs.
+	owned int
+	fp    *fpCell
 }
 
 // Snapshot is the PR-4 name for a pinned policy version. It survives as
@@ -133,16 +142,17 @@ func (ep *Epoch) members() acl.Membership {
 // Walk visits every node in the epoch's name tree in depth-first order
 // with no access checks, calling fn with each node's path and node.
 // Iteration is deterministic: children are visited in lexicographic
-// name order, so two walks of equal trees produce identical sequences.
-// No lock is held while fn runs — fn may call back into the Server
-// freely; it keeps observing this epoch regardless of concurrent
-// mutations.
+// name order (the children slices are name-sorted), so two walks of
+// equal trees produce identical sequences — and the walk allocates
+// nothing per node. No lock is held while fn runs — fn may call back
+// into the Server freely; it keeps observing this epoch regardless of
+// concurrent mutations.
 func (ep *Epoch) Walk(fn func(path string, n *Node)) {
 	var visit func(n *Node)
 	visit = func(n *Node) {
 		fn(n.path, n)
-		for _, name := range n.childNames() {
-			visit(n.children[name])
+		for _, cr := range n.children {
+			visit(cr.node)
 		}
 	}
 	visit(ep.root)
@@ -169,7 +179,7 @@ func (ep *Epoch) Consistent() (ok bool, path, why string) {
 		if !ok {
 			return
 		}
-		if !ep.lat.Contains(n.class) {
+		if !ep.lat.Contains(*n.class) {
 			ok, path, why = false, p, "class not in epoch lattice"
 			return
 		}

@@ -171,6 +171,8 @@ func FuzzEpochTransitions(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
 	f.Add([]byte{11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 7, 7, 2, 2, 8, 8})
 	f.Add([]byte("epoch transitions"))
+	// Wide-directory and deep-rename ops, interleaved with plain churn.
+	f.Add([]byte{12, 13, 0, 12, 2, 13, 5, 12, 13, 7})
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) == 0 {
 			return
@@ -210,7 +212,7 @@ func FuzzEpochTransitions(f *testing.F) {
 				defer wg.Done()
 				home := fmt.Sprintf("/d%d", g)
 				for i := g; i < len(ops); i += mutators {
-					switch ops[i] % 12 {
+					switch ops[i] % 14 {
 					case 0:
 						srv.BindUnchecked(home, BindSpec{
 							Name: fmt.Sprintf("n%d", i), Kind: KindFile,
@@ -246,6 +248,36 @@ func FuzzEpochTransitions(f *testing.F) {
 						// Direct publish of the current frozen registry,
 						// interleaved with hook-driven batched publishes.
 						srv.PublishRegistry(reg.Freeze())
+					case 12:
+						// Wide directory: 10^3+ children land in one bulk
+						// publication, stressing the sorted-slice layout's
+						// append fast path and the binary-searched lookups
+						// concurrent readers run against it.
+						wname := fmt.Sprintf("w%d", i)
+						specs := make([]SubtreeSpec, 0, 1+1024)
+						specs = append(specs, SubtreeSpec{Path: wname, Kind: KindDirectory, ACL: open, Class: bot})
+						for k := 0; k < 1024; k++ {
+							specs = append(specs, SubtreeSpec{
+								Path: fmt.Sprintf("%s/k%04d", wname, k), Kind: KindFile, ACL: open, Class: bot,
+							})
+						}
+						srv.BindSubtreeUnchecked(home, specs)
+					case 13:
+						// Deep chain, then rename its head: every
+						// descendant's stored path is rewritten, and the
+						// entry's sort position in home changes — the
+						// derived-name invariant (entry name == path tail)
+						// must hold through both.
+						base := fmt.Sprintf("deep%d", i)
+						specs := []SubtreeSpec{{Path: base, Kind: KindDirectory, ACL: open, Class: bot}}
+						rel := base
+						for d := 0; d < 24; d++ {
+							rel += "/c"
+							specs = append(specs, SubtreeSpec{Path: rel, Kind: KindDirectory, ACL: open, Class: bot})
+						}
+						if _, _, err := srv.BindSubtreeUnchecked(home, specs); err == nil {
+							srv.Rename(subj("root"), bot, home+"/"+base, home, fmt.Sprintf("a-moved%d", i))
+						}
 					}
 				}
 			}(g)

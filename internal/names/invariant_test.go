@@ -103,10 +103,14 @@ func checkTree(t *testing.T, f *fixture, seed int64, step int) {
 		if err != nil || got != n {
 			t.Fatalf("seed %d step %d: path %s does not resolve to itself: %v", seed, step, p, err)
 		}
-		for name, child := range n.children {
-			if child.name != name || child.path != Join(p, name) {
+		for i, cr := range n.children {
+			if cr.node.Name() != cr.name() || cr.node.path != Join(p, cr.name()) {
 				t.Fatalf("seed %d step %d: child path disagrees at %s/%s (name %q path %q)",
-					seed, step, p, name, child.name, child.path)
+					seed, step, p, cr.name(), cr.node.Name(), cr.node.path)
+			}
+			if i > 0 && n.children[i-1].name() >= cr.name() {
+				t.Fatalf("seed %d step %d: children of %s not strictly sorted (%q >= %q)",
+					seed, step, p, n.children[i-1].name(), cr.name())
 			}
 		}
 	})

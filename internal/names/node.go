@@ -20,7 +20,6 @@ package names
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 
 	"secext/internal/acl"
@@ -98,15 +97,24 @@ func (e *DeniedError) Unwrap() error { return ErrDenied }
 // it was in the snapshot the operation ran against. Nodes carry their
 // absolute path instead of a parent pointer, so a snapshot is a pure
 // acyclic value.
+//
+// Children are a name-sorted []childRef (see childref.go): successor
+// epochs share the slice wholesale with their parent, a spine edit
+// clones exactly one level with one allocation, and iteration is
+// deterministic without sorting. The struct is deliberately lean: the
+// path string is interned by the owning server and the component name
+// is derived from it (Name) rather than stored, and the security class
+// is a pointer into the server's class dedup table rather than an
+// inline value, so a million-node tree pays one pointer per node for
+// what are in practice a handful of distinct classes.
 type Node struct {
-	name       string
 	path       string // absolute canonical path; "/" for the root
 	kind       Kind
-	children   map[string]*Node
-	acl        *acl.ACL
-	class      lattice.Class
-	payload    any
 	multilevel bool
+	children   []childRef // sorted by name; empty/nil for leaves
+	acl        *acl.ACL
+	class      *lattice.Class // canonical; shared across nodes
+	payload    any
 }
 
 // Multilevel reports whether the node is a multilevel container: a
@@ -120,8 +128,11 @@ type Node struct {
 // not readable, a covert channel conventional MLS systems accept.
 func (n *Node) Multilevel() bool { return n.multilevel }
 
-// Name returns the node's final path component ("" for the root).
-func (n *Node) Name() string { return n.name }
+// Name returns the node's final path component ("" for the root). The
+// name is a substring of the stored path, not a second field: deriving
+// it costs one byte scan and no allocation, and saves a string header
+// per node at scale.
+func (n *Node) Name() string { return nameOf(n.path) }
 
 // Kind returns the node's kind.
 func (n *Node) Kind() Kind { return n.kind }
@@ -137,19 +148,21 @@ func (n *Node) Path() string { return n.path }
 func (n *Node) ACL() *acl.ACL { return n.acl.Clone() }
 
 // Class returns the node's security class.
-func (n *Node) Class() lattice.Class { return n.class }
+func (n *Node) Class() lattice.Class { return *n.class }
 
 // Payload returns the value bound at the node (a service implementation,
 // file contents handle, etc.).
 func (n *Node) Payload() any { return n.payload }
 
-// childNames returns the sorted names of the node's children.
+// childNames returns the names of the node's children. The children
+// slice is already name-sorted, so this is one copy with no sort — and
+// callers that only iterate (Walk, the wire codec) range the slice
+// directly and allocate nothing.
 func (n *Node) childNames() []string {
-	out := make([]string, 0, len(n.children))
-	for name := range n.children {
-		out = append(out, name)
+	out := make([]string, len(n.children))
+	for i, cr := range n.children {
+		out[i] = cr.name()
 	}
-	sort.Strings(out)
 	return out
 }
 

@@ -2,6 +2,7 @@ package names
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"secext/internal/acl"
@@ -167,4 +168,79 @@ func TestRenameInMultilevelDir(t *testing.T) {
 	if _, err := f.srv.ResolveUnchecked("/tmp/g"); err != nil {
 		t.Error("renamed entry missing")
 	}
+}
+
+// TestRenameWideDirectory moves a directory of 10^3+ children and
+// re-checks the full tree invariants: every child's stored path is
+// rewritten under the new name, derived entry names still equal the
+// path tails, and every sibling list stays strictly sorted — the
+// rename changes the moved entry's sort position in both parents.
+func TestRenameWideDirectory(t *testing.T) {
+	f := renameFixture(t)
+	const kids = 1200
+	specs := make([]SubtreeSpec, 0, 1+kids)
+	specs = append(specs, SubtreeSpec{Path: "wide", Kind: KindDirectory,
+		ACL: acl.New(acl.Allow("owner", acl.AllModes), acl.AllowEveryone(acl.List)), Class: f.bot})
+	for k := 0; k < kids; k++ {
+		specs = append(specs, SubtreeSpec{
+			Path: fmt.Sprintf("wide/k%04d", k), Kind: KindFile, Payload: k,
+			ACL: acl.New(acl.Allow("owner", acl.Read)), Class: f.bot,
+		})
+	}
+	if _, _, err := f.srv.BindSubtreeUnchecked("/a", specs); err != nil {
+		t.Fatal(err)
+	}
+	// "0-first" sorts before every existing sibling of /b; the old name
+	// "wide" sorted last in /a — both insertion paths get exercised.
+	if err := f.srv.Rename(subj("owner"), f.bot, "/a/wide", "/b", "0-first"); err != nil {
+		t.Fatalf("Rename wide: %v", err)
+	}
+	for _, k := range []int{0, 1, kids / 2, kids - 1} {
+		p := fmt.Sprintf("/b/0-first/k%04d", k)
+		n, err := f.srv.ResolveUnchecked(p)
+		if err != nil {
+			t.Fatalf("child %s missing after rename: %v", p, err)
+		}
+		if n.Payload() != k || n.Path() != p {
+			t.Errorf("child %s carries path %q payload %v", p, n.Path(), n.Payload())
+		}
+	}
+	if _, err := f.srv.ResolveUnchecked("/a/wide"); !errors.Is(err, ErrNotFound) {
+		t.Error("old wide directory still resolves")
+	}
+	checkTree(t, f, 0, 0)
+}
+
+// TestRenameDeepChain renames the head of a deep directory chain:
+// every descendant's canonical path must be rewritten through the full
+// depth, and the subtree must stay reachable at each level.
+func TestRenameDeepChain(t *testing.T) {
+	f := renameFixture(t)
+	const depth = 64
+	specs := []SubtreeSpec{{Path: "deep", Kind: KindDirectory,
+		ACL: acl.New(acl.Allow("owner", acl.AllModes), acl.AllowEveryone(acl.List)), Class: f.bot}}
+	rel := "deep"
+	for d := 0; d < depth; d++ {
+		rel += "/c"
+		specs = append(specs, SubtreeSpec{Path: rel, Kind: KindDirectory,
+			ACL: acl.New(acl.Allow("owner", acl.AllModes)), Class: f.bot})
+	}
+	if _, _, err := f.srv.BindSubtreeUnchecked("/a", specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Rename(subj("owner"), f.bot, "/a/deep", "/b", "moved"); err != nil {
+		t.Fatalf("Rename deep: %v", err)
+	}
+	want := "/b/moved"
+	for d := 0; d <= depth; d++ {
+		n, err := f.srv.ResolveUnchecked(want)
+		if err != nil {
+			t.Fatalf("depth %d: %s missing: %v", d, want, err)
+		}
+		if n.Path() != want {
+			t.Errorf("depth %d: stored path %q, want %q", d, n.Path(), want)
+		}
+		want += "/c"
+	}
+	checkTree(t, f, 0, 0)
 }

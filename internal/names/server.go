@@ -157,6 +157,13 @@ type Server struct {
 	// enforced).
 	shadowChecks atomic.Uint64
 	divergences  atomic.Uint64
+
+	// strings interns path strings (component names are substrings of
+	// the interned paths) and acls dedupes ACL values as they enter the
+	// tree; see intern.go. Both are internally synchronized.
+	strings interner
+	acls    aclCanon
+	classes classCanon
 }
 
 // NewServer creates a name space whose root carries the given ACL and
@@ -171,11 +178,10 @@ func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) 
 	}
 	s := &Server{lat: lat}
 	root := &Node{
-		path:     "/",
-		kind:     KindRoot,
-		children: make(map[string]*Node),
-		acl:      rootACL.Clone(),
-		class:    rootClass,
+		path:  "/",
+		kind:  KindRoot,
+		acl:   s.acls.canon(rootACL),
+		class: s.classes.canon(rootClass),
 	}
 	pipe := monitor.NewPipeline(dacguard.New(), macguard.New())
 	s.pipe.Store(pipe)
@@ -185,6 +191,8 @@ func NewServer(lat *lattice.Lattice, rootACL *acl.ACL, rootClass lattice.Class) 
 		traversal: true,
 		lat:       lat.Freeze(),
 		stack:     pipe.Current(),
+		owned:     1,
+		fp:        &fpCell{},
 	})
 	lat.SetPublishHook(s.stageLattice)
 	pipe.SetChangeHook(func(st *monitor.Stack) { s.PublishStack(st) })
@@ -381,7 +389,7 @@ func (s *Server) SetCompiledEpochs(on bool) {
 // flag) is frozen protection state: guards can never observe a torn
 // half-applied mutation.
 func describe(n *Node, path string) monitor.Object {
-	return monitor.Object{Path: path, ACL: n.acl, Class: n.class, Multilevel: n.multilevel}
+	return monitor.Object{Path: path, ACL: n.acl, Class: *n.class, Multilevel: n.multilevel}
 }
 
 // checkNode consults the epoch's pinned guard stack for the requested
@@ -452,8 +460,8 @@ func resolveIn(ep *Epoch, sub acl.Subject, class lattice.Class, path string, che
 				return nil, err
 			}
 		}
-		next, ok := cur.children[part]
-		if !ok {
+		next := cur.child(part)
+		if next == nil {
 			// Report the prefix up to and including the missing name.
 			consumed := len(path) - len(rest)
 			if rest != "" {
@@ -771,25 +779,17 @@ func (s *Server) bindLocked(ep *Epoch, parent *Node, spec BindSpec) (*Node, func
 	if !spec.Class.Valid() || spec.Class.Lattice() != s.lat {
 		return nil, nil, fmt.Errorf("%w: node class must come from the server lattice", ErrBadPath)
 	}
-	if _, dup := parent.children[spec.Name]; dup {
+	if parent.child(spec.Name) != nil {
 		return nil, nil, fmt.Errorf("%w: %s", ErrExists, Join(parent.Path(), spec.Name))
 	}
-	a := spec.ACL
-	if a == nil {
-		a = acl.New()
-	}
-	childPath := Join(parent.Path(), spec.Name)
+	childPath := s.strings.intern(Join(parent.Path(), spec.Name))
 	n := &Node{
-		name:       spec.Name,
 		path:       childPath,
 		kind:       spec.Kind,
-		acl:        a.Clone(),
-		class:      spec.Class,
+		acl:        s.acls.canon(spec.ACL),
+		class:      s.classes.canon(spec.Class),
 		payload:    spec.Payload,
 		multilevel: spec.Multilevel && !spec.Kind.Leaf(),
-	}
-	if !spec.Kind.Leaf() {
-		n.children = make(map[string]*Node)
 	}
 	parts, err := SplitPath(childPath)
 	if err != nil {
@@ -902,7 +902,7 @@ func (s *Server) renameChecked(sub acl.Subject, class lattice.Class, oldPath, ne
 	if newParent.path == n.path || strings.HasPrefix(newParent.path, n.path+"/") {
 		return nil, fmt.Errorf("%w: cannot move %s under itself", ErrBadPath, oldPath)
 	}
-	if _, dup := newParent.children[newName]; dup {
+	if newParent.child(newName) != nil {
 		return nil, fmt.Errorf("%w: %s", ErrExists, Join(newParentPath, newName))
 	}
 	if err := checkNode(ep, n, oldPath, sub, class, acl.Delete, monitor.OpAccess); err != nil {
@@ -939,7 +939,7 @@ func (s *Server) renameChecked(sub acl.Subject, class lattice.Class, oldPath, ne
 	// paths), then insert — all on the private successor tree, then one
 	// publication.
 	detached := rebind(ep.root, oldParts, nil)
-	moved := relocate(n, newName, newPath)
+	moved := relocate(n, newPath, &s.strings)
 	return s.stageTreeLocked(rebind(detached, newParts, moved), ep.traversal), nil
 }
 
@@ -1030,7 +1030,7 @@ func (s *Server) setACLChecked(sub acl.Subject, class lattice.Class, path string
 	if err := checkNode(ep, n, path, sub, class, acl.Administrate, monitor.OpAccess); err != nil {
 		return nil, err
 	}
-	return s.replaceLocked(ep, n, func(c *Node) { c.acl = newACL.Clone() })
+	return s.replaceLocked(ep, n, func(c *Node) { c.acl = s.acls.canon(newACL) })
 }
 
 // SetACLUnchecked replaces a node's ACL with no access checks.
@@ -1059,7 +1059,7 @@ func (s *Server) setACLUnchecked(path string, newACL *acl.ACL) (func() uint64, e
 	if err != nil {
 		return nil, err
 	}
-	return s.replaceLocked(ep, n, func(c *Node) { c.acl = newACL.Clone() })
+	return s.replaceLocked(ep, n, func(c *Node) { c.acl = s.acls.canon(newACL) })
 }
 
 // ACLEdit is one path/ACL pair for SetACLsUnchecked.
@@ -1111,7 +1111,7 @@ func (s *Server) setACLsUnchecked(edits []ACLEdit) (func() uint64, error) {
 			return nil, err
 		}
 		c := n.clone()
-		c.acl = e.ACL.Clone()
+		c.acl = s.acls.canon(e.ACL)
 		parts, err := SplitPath(n.path)
 		if err != nil {
 			return nil, err
@@ -1174,7 +1174,7 @@ func (s *Server) setClassChecked(sub acl.Subject, class lattice.Class, path stri
 	}); !v.Allow {
 		return nil, &DeniedError{Path: path, Op: "set-class", Why: v.Reason}
 	}
-	return s.replaceLocked(ep, n, func(c *Node) { c.class = newClass })
+	return s.replaceLocked(ep, n, func(c *Node) { c.class = s.classes.canon(newClass) })
 }
 
 // SetClassUnchecked relabels a node with no access checks; for
@@ -1207,7 +1207,7 @@ func (s *Server) setClassUnchecked(path string, newClass lattice.Class) (func() 
 	if !newClass.Valid() || newClass.Lattice() != s.lat {
 		return nil, fmt.Errorf("%w: class must come from the server lattice", ErrBadPath)
 	}
-	return s.replaceLocked(ep, n, func(c *Node) { c.class = newClass })
+	return s.replaceLocked(ep, n, func(c *Node) { c.class = s.classes.canon(newClass) })
 }
 
 // ACLOf returns a copy of a node's ACL with no checks (monitor use).

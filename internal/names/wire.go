@@ -99,7 +99,7 @@ type EpochDelta struct {
 // encodeNode renders one node for the wire, formatting its class
 // against the epoch's own frozen lattice.
 func encodeNode(n *Node, lat *lattice.Frozen) (NodeWire, error) {
-	label, err := lat.Format(n.class)
+	label, err := lat.Format(*n.class)
 	if err != nil {
 		return NodeWire{}, fmt.Errorf("names: wire-encode %s: %w", n.path, err)
 	}
@@ -113,9 +113,13 @@ func encodeNode(n *Node, lat *lattice.Frozen) (NodeWire, error) {
 }
 
 // decodeNode rebuilds a node from the wire against the receiver's
-// frozen lattice. The node has no payload and, for non-leaf kinds, an
-// empty children map the patcher fills in.
-func decodeNode(w NodeWire, lat *lattice.Frozen) (*Node, error) {
+// frozen lattice. The node has no payload and no children (the patcher
+// fills those in). The path is interned and the ACL canonicalized by
+// the receiving server's tables, so a replica bootstrapping a
+// million-node snapshot shares strings across re-bootstraps and ACL
+// values across nodes exactly as the primary does; in is nil-safe and
+// canon is nil-safe for contexts without a server.
+func decodeNode(w NodeWire, lat *lattice.Frozen, in *interner, canon *aclCanon, classes *classCanon) (*Node, error) {
 	if err := ValidPath(w.Path); err != nil {
 		return nil, err
 	}
@@ -131,23 +135,13 @@ func decodeNode(w NodeWire, lat *lattice.Frozen) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("names: wire-decode %s: %w", w.Path, err)
 	}
-	name := ""
-	for i := len(w.Path) - 1; i >= 0; i-- {
-		if w.Path[i] == '/' {
-			name = w.Path[i+1:]
-			break
-		}
-	}
+	path := in.intern(w.Path)
 	n := &Node{
-		name:       name,
-		path:       w.Path,
+		path:       path,
 		kind:       kind,
-		acl:        a,
-		class:      class,
+		acl:        canon.canon(a),
+		class:      classes.canon(class),
 		multilevel: w.Multilevel && !kind.Leaf(),
-	}
-	if !kind.Leaf() {
-		n.children = make(map[string]*Node)
 	}
 	return n, nil
 }
@@ -264,7 +258,7 @@ func contentDiffers(prev, next *Node) bool {
 	return prev.kind != next.kind ||
 		prev.multilevel != next.multilevel ||
 		prev.acl != next.acl ||
-		!prev.class.Equal(next.class)
+		!prev.class.Equal(*next.class)
 }
 
 // upsertSubtree emits the whole subtree rooted at n, pre-order.
@@ -274,8 +268,8 @@ func upsertSubtree(n *Node, lat *lattice.Frozen, out *[]NodeWire) error {
 		return err
 	}
 	*out = append(*out, w)
-	for _, name := range n.childNames() {
-		if err := upsertSubtree(n.children[name], lat, out); err != nil {
+	for _, cr := range n.children {
+		if err := upsertSubtree(cr.node, lat, out); err != nil {
 			return err
 		}
 	}
@@ -297,22 +291,21 @@ func diffTree(prev, next *Node, lat *lattice.Frozen, d *EpochDelta) error {
 		}
 		d.Upserts = append(d.Upserts, w)
 	}
-	for _, name := range next.childNames() {
-		nc := next.children[name]
-		pc, ok := prev.children[name]
-		if !ok {
-			if err := upsertSubtree(nc, lat, &d.Upserts); err != nil {
+	for _, cr := range next.children {
+		pc := prev.child(cr.name())
+		if pc == nil {
+			if err := upsertSubtree(cr.node, lat, &d.Upserts); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := diffTree(pc, nc, lat, d); err != nil {
+		if err := diffTree(pc, cr.node, lat, d); err != nil {
 			return err
 		}
 	}
-	for _, name := range prev.childNames() {
-		if _, ok := next.children[name]; !ok {
-			d.Deletes = append(d.Deletes, Join(next.path, name))
+	for _, cr := range prev.children {
+		if next.child(cr.name()) == nil {
+			d.Deletes = append(d.Deletes, Join(next.path, cr.name()))
 		}
 	}
 	return nil
@@ -383,8 +376,8 @@ func lookupWire(root *Node, path string) *Node {
 	}
 	cur := root
 	for _, p := range parts {
-		next, ok := cur.children[p]
-		if !ok {
+		next := cur.child(p)
+		if next == nil {
 			return nil
 		}
 		cur = next
@@ -393,11 +386,14 @@ func lookupWire(root *Node, path string) *Node {
 }
 
 // buildWireTree rebuilds a full tree from pre-ordered snapshot nodes.
-func buildWireTree(nodes []NodeWire, lat *lattice.Frozen) (*Node, error) {
+// Every node here is freshly allocated by this build, so the in-place
+// appendChild is legal; snapshot order is the Walk pre-order, which
+// appends children in sorted order without shifting.
+func buildWireTree(nodes []NodeWire, lat *lattice.Frozen, in *interner, canon *aclCanon, classes *classCanon) (*Node, error) {
 	if len(nodes) == 0 || nodes[0].Path != "/" {
 		return nil, fmt.Errorf("%w: snapshot must begin at the root", ErrBadPath)
 	}
-	root, err := decodeNode(nodes[0], lat)
+	root, err := decodeNode(nodes[0], lat, in, canon, classes)
 	if err != nil {
 		return nil, err
 	}
@@ -405,7 +401,7 @@ func buildWireTree(nodes []NodeWire, lat *lattice.Frozen) (*Node, error) {
 		return nil, fmt.Errorf("%w: snapshot root has kind %s", ErrBadPath, root.kind)
 	}
 	for _, w := range nodes[1:] {
-		n, err := decodeNode(w, lat)
+		n, err := decodeNode(w, lat, in, canon, classes)
 		if err != nil {
 			return nil, err
 		}
@@ -413,7 +409,7 @@ func buildWireTree(nodes []NodeWire, lat *lattice.Frozen) (*Node, error) {
 		if parent == nil || parent.kind.Leaf() {
 			return nil, fmt.Errorf("%w: snapshot node %s has no parent", ErrBadPath, w.Path)
 		}
-		parent.children[n.name] = n
+		appendChild(parent, n)
 	}
 	return root, nil
 }
@@ -424,7 +420,7 @@ func buildWireTree(nodes []NodeWire, lat *lattice.Frozen) (*Node, error) {
 // replaces the node's content and keeps its children, an upsert of a
 // new path creates the node (its parent must already exist — deltas
 // list parents before children).
-func patchWireTree(root *Node, upserts []NodeWire, deletes []string, lat *lattice.Frozen) (*Node, error) {
+func patchWireTree(root *Node, upserts []NodeWire, deletes []string, lat *lattice.Frozen, in *interner, canon *aclCanon, classes *classCanon) (*Node, error) {
 	for _, path := range deletes {
 		parts, err := SplitPath(path)
 		if err != nil {
@@ -439,7 +435,7 @@ func patchWireTree(root *Node, upserts []NodeWire, deletes []string, lat *lattic
 		root = rebind(root, parts, nil)
 	}
 	for _, w := range upserts {
-		n, err := decodeNode(w, lat)
+		n, err := decodeNode(w, lat, in, canon, classes)
 		if err != nil {
 			return nil, err
 		}
@@ -508,9 +504,9 @@ func (s *Server) ApplyReplicated(app ReplicaApply) (uint64, error) {
 	root := cur.root
 	var err error
 	if app.Full != nil {
-		root, err = buildWireTree(app.Full, lat)
+		root, err = buildWireTree(app.Full, lat, &s.strings, &s.acls, &s.classes)
 	} else if len(app.Upserts) > 0 || len(app.Deletes) > 0 {
-		root, err = patchWireTree(cur.root, app.Upserts, app.Deletes, lat)
+		root, err = patchWireTree(cur.root, app.Upserts, app.Deletes, lat, &s.strings, &s.acls, &s.classes)
 	}
 	if err != nil {
 		s.writeMu.Unlock()

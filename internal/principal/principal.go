@@ -129,6 +129,14 @@ type Registry struct {
 	// full closure rebuild.
 	incremental bool
 
+	// directMembers counts direct principal→group membership edges in
+	// the builder tables. Freeze-time closure recomputation picks between
+	// walking the dirty principals (cost dirty×groups) and walking the
+	// membership edges (cost directMembers) by comparing the two; without
+	// the counter a bulk grant over the whole population would cost
+	// principals×groups hash probes. Only writers touch it, under writeMu.
+	directMembers int
+
 	// fullFreezes and incFreezes count how each published Frozen was
 	// built; experiments and tests read them through FreezeStats.
 	fullFreezes atomic.Uint64
@@ -288,6 +296,7 @@ func (r *Registry) freezeLocked(version uint64) *Frozen {
 			membership[k] = v
 		}
 		var principals map[string]*Principal // cloned on first new principal
+		dirtySets := make(map[string]groupset, len(r.dirtyPrincipals))
 		for pname := range r.dirtyPrincipals {
 			if _, known := prev.principals[pname]; !known {
 				if principals == nil {
@@ -299,15 +308,34 @@ func (r *Registry) freezeLocked(version uint64) *Frozen {
 				}
 				principals[pname] = r.principals[pname]
 			}
-			// Recompute this one principal's closed membership as the
-			// union of super sets of the groups that list it directly;
-			// identical to the full rebuild's per-principal step.
-			set := newGroupset(len(f.groupNames))
+			dirtySets[pname] = newGroupset(len(f.groupNames))
+		}
+		// Recompute each dirty principal's closed membership as the union
+		// of super sets of the groups that list it directly — identical
+		// to the full rebuild's step. Two walk orders compute the same
+		// rows at different cost: per-principal costs dirty×groups hash
+		// probes, per-edge costs one probe per direct membership. Pick
+		// the cheaper one, so a single-principal churn stays O(G) and a
+		// bulk grant over the whole population stays O(edges).
+		if len(dirtySets)*len(r.groups) > r.directMembers {
 			for gname, g := range r.groups {
-				if g.principals[pname] {
-					set.union(f.super[gname])
+				s := f.super[gname]
+				for pname := range g.principals {
+					if set, dirty := dirtySets[pname]; dirty {
+						set.union(s)
+					}
 				}
 			}
+		} else {
+			for pname, set := range dirtySets {
+				for gname, g := range r.groups {
+					if g.principals[pname] {
+						set.union(f.super[gname])
+					}
+				}
+			}
+		}
+		for pname, set := range dirtySets {
 			membership[pname] = set
 		}
 		f.membership = membership
@@ -401,14 +429,20 @@ func (r *Registry) buildFrozen(version uint64) *Frozen {
 		superOf(gname)
 	}
 	f.super = super
+	// Per-principal closure = union of super sets over the groups that
+	// list the principal directly. Walk the membership *edges* rather
+	// than the principals×groups cross product: the edge walk costs
+	// O(direct memberships), where the cross product is O(P·G) hash
+	// probes — the difference between seconds and milliseconds at the
+	// 10^5-principal scale bench-load builds.
 	for pname := range r.principals {
-		set := newGroupset(len(f.groupNames))
-		for gname, g := range r.groups {
-			if g.principals[pname] {
-				set.union(super[gname])
-			}
+		f.membership[pname] = newGroupset(len(f.groupNames))
+	}
+	for gname, g := range r.groups {
+		s := super[gname]
+		for pname := range g.principals {
+			f.membership[pname].union(s)
 		}
-		f.membership[pname] = set
 	}
 	// Reverse index: per-group bitsets over principal IDs. Built by
 	// transposing the per-principal closure rows just computed.
@@ -488,6 +522,54 @@ func (r *Registry) AddPrincipal(name string, class lattice.Class) (*Principal, e
 	return p, nil
 }
 
+// AddPrincipals registers several principals at one default class as
+// one published version: either every name registers or none does (the
+// published state is untouched on failure), the closure is refrozen
+// once, and one epoch carries the whole batch. Registering N principals
+// one at a time costs N freezes, each cloning membership tables that
+// already hold every earlier principal — quadratic in N; the batch pays
+// one. Bulk population (load harnesses, snapshot replay) should always
+// come through here.
+func (r *Registry) AddPrincipals(class lattice.Class, names ...string) ([]*Principal, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	if class.Lattice() != r.lat {
+		return nil, fmt.Errorf("%w: principals %q...", ErrInvalidClass, names[0])
+	}
+	for _, name := range names {
+		if err := validName(name); err != nil {
+			return nil, err
+		}
+	}
+	r.writeMu.Lock()
+	// Validate the whole batch before inserting anything, so failure
+	// needs no rollback and the builder tables never hold a half batch.
+	batch := make(map[string]bool, len(names))
+	for _, name := range names {
+		if _, dup := r.principals[name]; dup || batch[name] {
+			r.writeMu.Unlock()
+			return nil, fmt.Errorf("%w: principal %q", ErrExists, name)
+		}
+		if _, dup := r.groups[name]; dup {
+			r.writeMu.Unlock()
+			return nil, fmt.Errorf("%w: %q is a group", ErrExists, name)
+		}
+		batch[name] = true
+	}
+	out := make([]*Principal, len(names))
+	for i, name := range names {
+		p := &Principal{name: name, class: class, reg: r, id: len(r.principals)}
+		r.principals[name] = p
+		r.dirtyPrincipals[name] = true
+		out[i] = p
+	}
+	wait := r.publishLocked()
+	r.writeMu.Unlock()
+	wait()
+	return out, nil
+}
+
 // Principal looks up a principal by name.
 func (r *Registry) Principal(name string) (*Principal, error) {
 	return r.frozen.Load().Principal(name)
@@ -516,6 +598,45 @@ func (r *Registry) AddGroup(name string) error {
 	r.groups[name] = &group{
 		principals: make(map[string]bool),
 		subgroups:  make(map[string]bool),
+	}
+	r.dirtyAll = true
+	wait := r.publishLocked()
+	r.writeMu.Unlock()
+	wait()
+	return nil
+}
+
+// AddGroups registers several new empty groups as one published
+// version, all-or-nothing. Every new group shifts the frozen bit
+// indices and forces a full closure rebuild, so registering N groups
+// one at a time pays N full freezes; the batch pays one.
+func (r *Registry) AddGroups(names ...string) error {
+	if len(names) == 0 {
+		return nil
+	}
+	for _, name := range names {
+		if err := validName(name); err != nil {
+			return err
+		}
+	}
+	r.writeMu.Lock()
+	batch := make(map[string]bool, len(names))
+	for _, name := range names {
+		if _, dup := r.groups[name]; dup || batch[name] {
+			r.writeMu.Unlock()
+			return fmt.Errorf("%w: group %q", ErrExists, name)
+		}
+		if _, dup := r.principals[name]; dup {
+			r.writeMu.Unlock()
+			return fmt.Errorf("%w: %q is a principal", ErrExists, name)
+		}
+		batch[name] = true
+	}
+	for _, name := range names {
+		r.groups[name] = &group{
+			principals: make(map[string]bool),
+			subgroups:  make(map[string]bool),
+		}
 	}
 	r.dirtyAll = true
 	wait := r.publishLocked()
@@ -603,6 +724,54 @@ func (r *Registry) AddMembers(groupName string, members ...string) (uint64, erro
 	return wait(), nil
 }
 
+// AddMemberships applies membership grants across several groups as
+// one published version: grants maps each group name to the members
+// (principals or nested groups) to add to it. The whole map is applied
+// atomically — on the first failure every prior edit is rolled back and
+// the published state is untouched — the closure is refrozen once, and
+// one epoch carries every grant. This is the cross-group analogue of
+// AddMembers: populating G groups one AddMembers call at a time pays G
+// freezes, each cloning the full membership table; the bulk call pays
+// one. Groups are processed in sorted name order, so which grant an
+// error reports is deterministic. It returns the version the batch
+// landed in; an empty or all-empty map is a no-op returning 0.
+func (r *Registry) AddMemberships(grants map[string][]string) (uint64, error) {
+	gnames := make([]string, 0, len(grants))
+	total := 0
+	for g, ms := range grants {
+		if len(ms) == 0 {
+			continue
+		}
+		gnames = append(gnames, g)
+		total += len(ms)
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	sort.Strings(gnames)
+	type edit struct{ group, member string }
+	r.writeMu.Lock()
+	inserted := make([]edit, 0, total)
+	for _, gname := range gnames {
+		for _, m := range grants[gname] {
+			ins, err := r.addMemberLocked(gname, m)
+			if err != nil {
+				for _, u := range inserted {
+					r.removeMemberLocked(u.group, u.member)
+				}
+				r.writeMu.Unlock()
+				return 0, fmt.Errorf("group %q: %w", gname, err)
+			}
+			if ins {
+				inserted = append(inserted, edit{group: gname, member: m})
+			}
+		}
+	}
+	wait := r.publishLocked()
+	r.writeMu.Unlock()
+	return wait(), nil
+}
+
 // RemoveMembers removes several direct members from one group as one
 // published version, with the same all-or-nothing and single-freeze
 // semantics as AddMembers. It returns the version the batch landed in;
@@ -626,6 +795,7 @@ func (r *Registry) RemoveMembers(groupName string, members ...string) (uint64, e
 					g.subgroups[u.member] = true
 				} else {
 					g.principals[u.member] = true
+					r.directMembers++
 				}
 			}
 			r.writeMu.Unlock()
@@ -648,6 +818,9 @@ func (r *Registry) addMemberLocked(groupName, member string) (inserted bool, err
 	}
 	if _, isP := r.principals[member]; isP {
 		inserted = !g.principals[member]
+		if inserted {
+			r.directMembers++
+		}
 		g.principals[member] = true
 		r.dirtyGroups[groupName] = true
 		r.dirtyPrincipals[member] = true
@@ -675,6 +848,7 @@ func (r *Registry) removeMemberLocked(groupName, member string) (sub bool, err e
 	}
 	if g.principals[member] {
 		delete(g.principals, member)
+		r.directMembers--
 		r.dirtyGroups[groupName] = true
 		r.dirtyPrincipals[member] = true
 		return false, nil

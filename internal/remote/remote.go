@@ -39,7 +39,9 @@
 //	HELLO <n>                negotiate: "OK proto <min(n, server)>", or a
 //	                         clean ERR when n is below the server's minimum
 //	SUBSCRIBE 0              become a replica (administrate on "/" required):
-//	                         "OK <peer>", "SNAPSHOT <json>", then a stream of
+//	                         "OK <peer>", "SNAPSHOT <json>" (or, once the
+//	                         session negotiated protocol >= 3, "SNAPSHOT-GZ
+//	                         <base64(gzip(json))>"), then a stream of
 //	                         "DELTA <json>" / "PING <v>" lines; the client
 //	                         answers each with "ACK <version>"
 //	BARRIER <v> [timeoutms]  block until every connected replica acked
@@ -514,7 +516,21 @@ func (s *session) dispatch(line string) {
 			return
 		}
 		s.reply("OK %s", peer.Name())
-		s.reply("SNAPSHOT %s", snap)
+		// Protocol >= 3 peers take the bootstrap snapshot gzipped —
+		// it is the one message whose size scales with the whole tree.
+		// Older peers keep the plaintext form, so a mixed fleet
+		// upgrades one process at a time.
+		if s.proto >= 3 {
+			gz, err := pub.CompressSnapshotFor(peer, snap)
+			if err != nil {
+				pub.Remove(peer)
+				s.fail(err)
+				return
+			}
+			s.reply("SNAPSHOT-GZ %s", gz)
+		} else {
+			s.reply("SNAPSHOT %s", snap)
+		}
 		s.stream(pub, peer)
 	case "BARRIER":
 		if len(args) < 1 || len(args) > 2 {

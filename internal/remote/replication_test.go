@@ -255,3 +255,48 @@ func TestCheckCommand(t *testing.T) {
 	anon.expectErr("CHECK /svc list")
 	_ = eveTok
 }
+
+// TestSnapshotCompressionNegotiation: a protocol-3 subscriber receives
+// SNAPSHOT-GZ and the payload decompresses to the exact envelope a
+// protocol-2 subscriber receives in plaintext; the publisher's stats
+// record both the raw and the compressed sizes.
+func TestSnapshotCompressionNegotiation(t *testing.T) {
+	addr, adminTok, _, _, pub := startReplServer(t)
+
+	subscribe := func(proto int) (kind, payload string) {
+		t.Helper()
+		c := dial(t, addr)
+		c.expectOK("HELLO %d", proto)
+		c.expectOK("AUTH %s", adminTok)
+		c.expectOK("SUBSCRIBE 0")
+		kind, payload, _ = strings.Cut(c.readLine(), " ")
+		return kind, payload
+	}
+
+	kind2, plain := subscribe(2)
+	if kind2 != "SNAPSHOT" {
+		t.Fatalf("proto-2 subscriber got %q, want SNAPSHOT", kind2)
+	}
+	kind3, gz := subscribe(3)
+	if kind3 != "SNAPSHOT-GZ" {
+		t.Fatalf("proto-3 subscriber got %q, want SNAPSHOT-GZ", kind3)
+	}
+	body, err := replica.DecompressSnapshot(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != plain {
+		t.Errorf("decompressed snapshot differs from the plaintext form:\n gz: %.120s...\n v2: %.120s...", body, plain)
+	}
+	if len(gz) >= len(plain) {
+		t.Errorf("compressed payload (%d bytes) not smaller than plaintext (%d bytes)", len(gz), len(plain))
+	}
+
+	st := pub.Stats()
+	if st.Snapshots != 2 || st.SnapshotsGz != 1 {
+		t.Errorf("snapshots = %d (%d gz), want 2 (1 gz)", st.Snapshots, st.SnapshotsGz)
+	}
+	if st.SnapshotGzBytes == 0 || st.SnapshotGzBytes >= st.SnapshotBytes {
+		t.Errorf("gz bytes %d vs raw bytes %d: compression not recorded", st.SnapshotGzBytes, st.SnapshotBytes)
+	}
+}

@@ -33,8 +33,11 @@
 package replica
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/base64"
 	"fmt"
+	"io"
 
 	"secext/internal/monitor"
 	"secext/internal/monitor/dacguard"
@@ -43,13 +46,54 @@ import (
 )
 
 // Protocol versions. Version 1 is the pre-replication line protocol;
-// version 2 adds HELLO/SUBSCRIBE/SNAPSHOT/DELTA/ACK/BARRIER/REPLICAS.
-// A server negotiates min(client, ProtoVersion) and rejects clients
-// below MinProto with a clean error instead of a parse failure.
+// version 2 adds HELLO/SUBSCRIBE/SNAPSHOT/DELTA/ACK/BARRIER/REPLICAS;
+// version 3 compresses the bootstrap snapshot: a subscriber that
+// negotiated >= 3 receives SNAPSHOT-GZ (base64 of the gzipped JSON
+// envelope) instead of SNAPSHOT. A server negotiates min(client,
+// ProtoVersion) and rejects clients below MinProto with a clean error
+// instead of a parse failure; version-2 peers keep getting plaintext
+// snapshots, so mixed fleets upgrade one process at a time.
 const (
-	ProtoVersion = 2
+	ProtoVersion = 3
 	MinProto     = 1
 )
+
+// CompressSnapshot encodes a snapshot body for the SNAPSHOT-GZ message:
+// gzip, then base64 so the payload stays a single protocol line. The
+// JSON envelope is dominated by repeated key names and path prefixes,
+// so a million-node snapshot typically shrinks several-fold.
+func CompressSnapshot(body []byte) (string, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(body); err != nil {
+		return "", fmt.Errorf("replica: compressing snapshot: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return "", fmt.Errorf("replica: compressing snapshot: %w", err)
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes()), nil
+}
+
+// DecompressSnapshot decodes a SNAPSHOT-GZ payload back to the JSON
+// envelope.
+func DecompressSnapshot(s string) ([]byte, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("replica: decoding snapshot: %w", err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("replica: decompressing snapshot: %w", err)
+	}
+	body, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("replica: decompressing snapshot: %w", err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("replica: decompressing snapshot: %w", err)
+	}
+	return body, nil
+}
 
 // SnapshotEnvelope is the payload of a SNAPSHOT message: the full
 // epoch plus the primary's token-signing secret, so tokens the primary

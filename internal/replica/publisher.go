@@ -77,8 +77,10 @@ type Publisher struct {
 	closed bool
 
 	snapshots       atomic.Uint64
+	snapshotsGz     atomic.Uint64
 	deltas          atomic.Uint64
 	snapshotBytes   atomic.Uint64
+	snapshotGzBytes atomic.Uint64
 	deltaBytes      atomic.Uint64
 	barrierTimeouts atomic.Uint64
 	barrierWait     telemetry.Histogram
@@ -157,6 +159,22 @@ func (p *Publisher) Subscribe(label string) (*Peer, []byte, error) {
 	p.snapshotBytes.Add(uint64(len(body)))
 	peer.snapshotBytes = uint64(len(body))
 	return peer, body, nil
+}
+
+// CompressSnapshotFor gzips a snapshot body for a protocol >= 3 peer
+// and records the compressed wire size next to the raw size Subscribe
+// already counted — the two counters together are the compression
+// ratio the telemetry exports. The peer's own snapshot stat switches
+// to the wire size: it reports what the link actually carried.
+func (p *Publisher) CompressSnapshotFor(peer *Peer, raw []byte) (string, error) {
+	gz, err := CompressSnapshot(raw)
+	if err != nil {
+		return "", err
+	}
+	p.snapshotsGz.Add(1)
+	p.snapshotGzBytes.Add(uint64(len(gz)))
+	peer.snapshotBytes = uint64(len(gz))
+	return gz, nil
 }
 
 // Ack records that the peer applied every primary epoch up to v, and
@@ -332,8 +350,10 @@ func (p *Publisher) Stats() telemetry.ReplicationStats {
 	st := telemetry.ReplicationStats{
 		PrimaryVersion:  cur,
 		Snapshots:       p.snapshots.Load(),
+		SnapshotsGz:     p.snapshotsGz.Load(),
 		Deltas:          p.deltas.Load(),
 		SnapshotBytes:   p.snapshotBytes.Load(),
+		SnapshotGzBytes: p.snapshotGzBytes.Load(),
 		DeltaBytes:      p.deltaBytes.Load(),
 		BarrierTimeouts: p.barrierTimeouts.Load(),
 		BarrierWait:     p.barrierWait.Snapshot(),

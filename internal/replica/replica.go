@@ -126,11 +126,23 @@ func Connect(opts Options) (*Replica, error) {
 		return fail(fmt.Errorf("replica: connection closed before snapshot"))
 	}
 	kind, payload, _ := strings.Cut(sc.Text(), " ")
-	if kind != "SNAPSHOT" {
+	var body []byte
+	switch kind {
+	case "SNAPSHOT":
+		body = []byte(payload)
+	case "SNAPSHOT-GZ":
+		// Protocol >= 3 primaries compress the bootstrap snapshot; a
+		// protocol-2 primary (which would have negotiated our HELLO
+		// down) still sends plaintext, handled above.
+		body, err = DecompressSnapshot(payload)
+		if err != nil {
+			return fail(err)
+		}
+	default:
 		return fail(fmt.Errorf("replica: expected SNAPSHOT, got %q", kind))
 	}
 	var env SnapshotEnvelope
-	if err := json.Unmarshal([]byte(payload), &env); err != nil {
+	if err := json.Unmarshal(body, &env); err != nil {
 		return fail(fmt.Errorf("replica: decoding snapshot: %w", err))
 	}
 	r := &Replica{

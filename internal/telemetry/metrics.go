@@ -168,6 +168,49 @@ type NamesStats struct {
 	// JournalRecords is the number of epoch-transition records the
 	// journal ring currently retains.
 	JournalRecords int `json:"journal_records"`
+	// Footprint is the current epoch's tree-memory accounting plus the
+	// server's intern-table counters (see FootprintStats).
+	Footprint FootprintStats `json:"footprint"`
+}
+
+// FootprintStats mirrors the name server's per-epoch tree-memory
+// accounting: what the published tree costs (node structs, child-slice
+// backing arrays, path/name strings, distinct ACL values), how much of
+// it is newly allocated versus structure-shared with the parent epoch,
+// and the write-side intern tables that keep re-created strings and
+// ACLs on canonical allocations. The server injects it through
+// SetNamesStats so this package stays a leaf.
+type FootprintStats struct {
+	EpochVersion uint64 `json:"epoch_version"`
+
+	Nodes       int `json:"nodes"`
+	Leaves      int `json:"leaves"`
+	Directories int `json:"directories"`
+	OwnedNodes  int `json:"owned_nodes"`
+	SharedNodes int `json:"shared_nodes"`
+
+	ChildSlots      int   `json:"child_slots"`
+	ChildSliceBytes int64 `json:"child_slice_bytes"`
+	PathBytes       int64 `json:"path_bytes"`
+	NameBytes       int64 `json:"name_bytes"`
+	NodeStructBytes int64 `json:"node_struct_bytes"`
+
+	ACLRefs       int     `json:"acl_refs"`
+	DistinctACLs  int     `json:"distinct_acls"`
+	ACLBytes      int64   `json:"acl_bytes"`
+	ACLDedupRatio float64 `json:"acl_dedupe_ratio"`
+
+	TotalBytes   int64   `json:"total_bytes"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+
+	InternedStrings  int    `json:"interned_strings"`
+	InternedBytes    int64  `json:"interned_bytes"`
+	InternHits       uint64 `json:"intern_hits"`
+	InternMisses     uint64 `json:"intern_misses"`
+	InternResets     uint64 `json:"intern_resets"`
+	ACLCanonDistinct uint64 `json:"acl_canon_distinct"`
+	ACLCanonDedups   uint64 `json:"acl_canon_dedups"`
+	ACLCanonResets   uint64 `json:"acl_canon_resets"`
 }
 
 // EpochTransition mirrors one record of the name server's
@@ -240,14 +283,20 @@ type ReplicaPeerStat struct {
 // revocation-barrier wait distribution. The publisher injects it via
 // SetReplication so this package stays a leaf.
 type ReplicationStats struct {
-	Peers           []ReplicaPeerStat `json:"peers"`
-	PrimaryVersion  uint64            `json:"primary_version"`
-	Snapshots       uint64            `json:"snapshots"`
-	Deltas          uint64            `json:"deltas"`
-	SnapshotBytes   uint64            `json:"snapshot_bytes"`
-	DeltaBytes      uint64            `json:"delta_bytes"`
-	BarrierTimeouts uint64            `json:"barrier_timeouts"`
-	BarrierWait     HistSnapshot      `json:"barrier_wait"`
+	Peers          []ReplicaPeerStat `json:"peers"`
+	PrimaryVersion uint64            `json:"primary_version"`
+	Snapshots      uint64            `json:"snapshots"`
+	// SnapshotsGz counts the snapshots that went out gzip-compressed
+	// (protocol >= 3 subscribers); SnapshotBytes always accumulates the
+	// raw JSON size, SnapshotGzBytes the compressed wire size of the
+	// compressed ones, so gz_bytes / raw bytes is the observed ratio.
+	SnapshotsGz     uint64       `json:"snapshots_gz"`
+	Deltas          uint64       `json:"deltas"`
+	SnapshotBytes   uint64       `json:"snapshot_bytes"`
+	SnapshotGzBytes uint64       `json:"snapshot_gz_bytes"`
+	DeltaBytes      uint64       `json:"delta_bytes"`
+	BarrierTimeouts uint64       `json:"barrier_timeouts"`
+	BarrierWait     HistSnapshot `json:"barrier_wait"`
 }
 
 // AuditStats mirrors the audit log's counters, including ring drops

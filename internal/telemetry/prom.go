@@ -83,6 +83,48 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	ew.printf("# TYPE secext_epoch_journal_records gauge\n")
 	ew.printf("secext_epoch_journal_records %d\n", s.Names.JournalRecords)
 
+	fp := s.Names.Footprint
+	ew.printf("# HELP secext_epoch_footprint_nodes Nodes in the current epoch's name tree by role.\n")
+	ew.printf("# TYPE secext_epoch_footprint_nodes gauge\n")
+	ew.printf("secext_epoch_footprint_nodes{role=\"all\"} %d\n", fp.Nodes)
+	ew.printf("secext_epoch_footprint_nodes{role=\"leaf\"} %d\n", fp.Leaves)
+	ew.printf("secext_epoch_footprint_nodes{role=\"directory\"} %d\n", fp.Directories)
+	ew.printf("# HELP secext_epoch_footprint_sharing Nodes newly allocated by the current epoch's publication versus pointer-shared with the parent epoch.\n")
+	ew.printf("# TYPE secext_epoch_footprint_sharing gauge\n")
+	ew.printf("secext_epoch_footprint_sharing{nodes=\"owned\"} %d\n", fp.OwnedNodes)
+	ew.printf("secext_epoch_footprint_sharing{nodes=\"shared\"} %d\n", fp.SharedNodes)
+	ew.printf("# HELP secext_epoch_footprint_bytes Estimated heap bytes the current epoch's tree retains, by component.\n")
+	ew.printf("# TYPE secext_epoch_footprint_bytes gauge\n")
+	ew.printf("secext_epoch_footprint_bytes{component=\"node_structs\"} %d\n", fp.NodeStructBytes)
+	ew.printf("secext_epoch_footprint_bytes{component=\"child_slices\"} %d\n", fp.ChildSliceBytes)
+	ew.printf("secext_epoch_footprint_bytes{component=\"paths\"} %d\n", fp.PathBytes)
+	ew.printf("secext_epoch_footprint_bytes{component=\"names\"} %d\n", fp.NameBytes)
+	ew.printf("secext_epoch_footprint_bytes{component=\"acls\"} %d\n", fp.ACLBytes)
+	ew.printf("secext_epoch_footprint_bytes{component=\"total\"} %d\n", fp.TotalBytes)
+	ew.printf("# HELP secext_epoch_footprint_bytes_per_node Estimated tree bytes per node in the current epoch.\n")
+	ew.printf("# TYPE secext_epoch_footprint_bytes_per_node gauge\n")
+	ew.printf("secext_epoch_footprint_bytes_per_node %g\n", fp.BytesPerNode)
+	ew.printf("# HELP secext_epoch_footprint_acl_dedupe_ratio ACL references per distinct ACL value in the current epoch's tree.\n")
+	ew.printf("# TYPE secext_epoch_footprint_acl_dedupe_ratio gauge\n")
+	ew.printf("secext_epoch_footprint_acl_dedupe_ratio %g\n", fp.ACLDedupRatio)
+	ew.printf("# HELP secext_interner_strings Canonical strings currently held by the server's path interner.\n")
+	ew.printf("# TYPE secext_interner_strings gauge\n")
+	ew.printf("secext_interner_strings %d\n", fp.InternedStrings)
+	ew.printf("# HELP secext_interner_bytes Unique bytes currently held by the server's path interner.\n")
+	ew.printf("# TYPE secext_interner_bytes gauge\n")
+	ew.printf("secext_interner_bytes %d\n", fp.InternedBytes)
+	ew.printf("# HELP secext_interner_lookups_total Path-interner lookups by outcome.\n")
+	ew.printf("# TYPE secext_interner_lookups_total counter\n")
+	ew.printf("secext_interner_lookups_total{outcome=\"hit\"} %d\n", fp.InternHits)
+	ew.printf("secext_interner_lookups_total{outcome=\"miss\"} %d\n", fp.InternMisses)
+	ew.printf("# HELP secext_interner_resets_total Wholesale intern-table resets after hitting the size cap (interner plus ACL table).\n")
+	ew.printf("# TYPE secext_interner_resets_total counter\n")
+	ew.printf("secext_interner_resets_total{table=\"paths\"} %d\n", fp.InternResets)
+	ew.printf("secext_interner_resets_total{table=\"acls\"} %d\n", fp.ACLCanonResets)
+	ew.printf("# HELP secext_acl_canon_dedups_total Fresh ACLs deduplicated onto an existing canonical value.\n")
+	ew.printf("# TYPE secext_acl_canon_dedups_total counter\n")
+	ew.printf("secext_acl_canon_dedups_total %d\n", fp.ACLCanonDedups)
+
 	ew.printf("# HELP secext_audit_events_total Audit log decisions by verdict, plus mediation bypasses.\n")
 	ew.printf("# TYPE secext_audit_events_total counter\n")
 	ew.printf("secext_audit_events_total{verdict=\"allowed\"} %d\n", s.Audit.Allowed)
@@ -140,10 +182,12 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		ew.printf("# HELP secext_replica_messages_total Replication messages sent by kind.\n")
 		ew.printf("# TYPE secext_replica_messages_total counter\n")
 		ew.printf("secext_replica_messages_total{kind=\"snapshot\"} %d\n", r.Snapshots)
+		ew.printf("secext_replica_messages_total{kind=\"snapshot_gz\"} %d\n", r.SnapshotsGz)
 		ew.printf("secext_replica_messages_total{kind=\"delta\"} %d\n", r.Deltas)
-		ew.printf("# HELP secext_replica_bytes_total Replication payload bytes sent by kind.\n")
+		ew.printf("# HELP secext_replica_bytes_total Replication payload bytes by kind: snapshot is the raw JSON size of every snapshot, snapshot_gz the compressed wire size of those sent gzipped (protocol >= 3), delta the delta stream.\n")
 		ew.printf("# TYPE secext_replica_bytes_total counter\n")
 		ew.printf("secext_replica_bytes_total{kind=\"snapshot\"} %d\n", r.SnapshotBytes)
+		ew.printf("secext_replica_bytes_total{kind=\"snapshot_gz\"} %d\n", r.SnapshotGzBytes)
 		ew.printf("secext_replica_bytes_total{kind=\"delta\"} %d\n", r.DeltaBytes)
 		ew.printf("# HELP secext_replica_barrier_timeouts_total Revocation barriers that timed out before the fleet acked.\n")
 		ew.printf("# TYPE secext_replica_barrier_timeouts_total counter\n")

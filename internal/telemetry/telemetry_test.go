@@ -431,6 +431,48 @@ func TestPromDivergenceMetrics(t *testing.T) {
 	}
 }
 
+// TestPromFootprintMetrics: the per-epoch footprint gauges and interner
+// counters render under the secext_epoch_footprint_* / secext_interner_*
+// metric names.
+func TestPromFootprintMetrics(t *testing.T) {
+	tel := newTestTelemetry(Options{})
+	tel.SetNamesStats(func() NamesStats {
+		return NamesStats{Footprint: FootprintStats{
+			Nodes: 100, Leaves: 60, Directories: 40,
+			OwnedNodes: 7, SharedNodes: 93,
+			ChildSliceBytes: 3200, PathBytes: 1800, NameBytes: 0,
+			NodeStructBytes: 12800, ACLBytes: 640, TotalBytes: 18440,
+			BytesPerNode: 184.4, ACLRefs: 100, DistinctACLs: 4, ACLDedupRatio: 25,
+			InternedStrings: 99, InternedBytes: 1800,
+			InternHits: 5, InternMisses: 99, InternResets: 1,
+			ACLCanonDistinct: 4, ACLCanonDedups: 96, ACLCanonResets: 0,
+		}}
+	})
+	var b strings.Builder
+	if err := WriteProm(&b, tel.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`secext_epoch_footprint_nodes{role="all"} 100`,
+		`secext_epoch_footprint_nodes{role="leaf"} 60`,
+		`secext_epoch_footprint_sharing{nodes="owned"} 7`,
+		`secext_epoch_footprint_sharing{nodes="shared"} 93`,
+		`secext_epoch_footprint_bytes{component="child_slices"} 3200`,
+		`secext_epoch_footprint_bytes{component="total"} 18440`,
+		`secext_epoch_footprint_bytes_per_node 184.4`,
+		`secext_epoch_footprint_acl_dedupe_ratio 25`,
+		`secext_interner_strings 99`,
+		`secext_interner_lookups_total{outcome="miss"} 99`,
+		`secext_interner_resets_total{table="paths"} 1`,
+		`secext_acl_canon_dedups_total 96`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q", want)
+		}
+	}
+}
+
 // TestTraceEpochRendering: EpochVersion stamps the trace header field
 // (rendered as epoch=N) while keeping the epoch span for span-level
 // consumers; an unstamped trace omits the field.
